@@ -1,0 +1,380 @@
+(* Command-line interface to the library: assemble/disassemble/validate/run
+   modules, fuzz them, reduce bug-triggering transformation sequences, run
+   targets and small campaigns.  Modules are exchanged as .spvasm text via
+   the Asm/Disasm pair. *)
+
+open Cmdliner
+
+(* ------------------------------------------------------------------ *)
+(* Common helpers                                                      *)
+
+let read_module path =
+  let ic = open_in_bin path in
+  let n = in_channel_length ic in
+  let s = really_input_string ic n in
+  close_in ic;
+  match Spirv_ir.Asm.of_string_result s with
+  | Ok m -> Ok m
+  | Error e -> Error (Printf.sprintf "%s: %s" path e)
+
+let write_module path m =
+  let oc = open_out_bin path in
+  output_string oc (Spirv_ir.Disasm.to_string m);
+  close_out oc
+
+let corpus_module name =
+  List.assoc_opt name (Lazy.force Corpus.lowered_references)
+
+let load ~path ~corpus =
+  match (path, corpus) with
+  | Some p, _ -> read_module p
+  | None, Some name -> (
+      match corpus_module name with
+      | Some m -> Ok m
+      | None ->
+          Error
+            (Printf.sprintf "unknown corpus program %s (try: %s)" name
+               (String.concat ", "
+                  (List.map fst (Lazy.force Corpus.lowered_references)))))
+  | None, None -> Error "provide a module file or --corpus NAME"
+
+let or_die = function
+  | Ok x -> x
+  | Error e ->
+      prerr_endline ("error: " ^ e);
+      exit 1
+
+(* shared args *)
+let file_arg =
+  Arg.(value & pos 0 (some string) None & info [] ~docv:"MODULE.spvasm")
+
+let corpus_arg =
+  Arg.(value & opt (some string) None & info [ "corpus" ] ~docv:"NAME"
+         ~doc:"Use a built-in corpus shader instead of a file.")
+
+let seed_arg =
+  Arg.(value & opt int 0 & info [ "seed" ] ~docv:"N" ~doc:"Random seed.")
+
+let target_arg =
+  let names = List.map (fun (t : Compilers.Target.t) -> t.Compilers.Target.name) Compilers.Target.all in
+  Arg.(value & opt string "SwiftShader"
+       & info [ "target" ] ~docv:"TARGET"
+           ~doc:(Printf.sprintf "Target to test (%s)." (String.concat ", " names)))
+
+let uniforms_arg =
+  Arg.(value & opt (some string) None
+       & info [ "uniforms" ] ~docv:"SPEC"
+           ~doc:"Input description: comma-separated name=value assignments \
+                 (true/false, ints, floats, (a;b;...) composites) plus the \
+                 reserved width=/height= grid size.  Default: the corpus \
+                 input.")
+
+let input_of_spec = function
+  | None -> Ok Corpus.default_input
+  | Some spec -> Spirv_ir.Input.of_string spec
+
+let find_target name =
+  match Compilers.Target.find name with
+  | Some t -> Ok t
+  | None -> Error ("unknown target " ^ name)
+
+(* ------------------------------------------------------------------ *)
+(* disasm / validate / run                                             *)
+
+let validate_cmd =
+  let run path corpus =
+    let m = or_die (load ~path ~corpus) in
+    match Spirv_ir.Validate.check m with
+    | Ok () ->
+        print_endline "valid";
+        0
+    | Error errors ->
+        List.iter (fun e -> print_endline (Spirv_ir.Validate.error_to_string e)) errors;
+        1
+  in
+  Cmd.v (Cmd.info "validate" ~doc:"Validate a module (the spirv-val analog).")
+    Term.(const (fun p c -> Stdlib.exit (run p c)) $ file_arg $ corpus_arg)
+
+let disasm_cmd =
+  let run path corpus =
+    let m = or_die (load ~path ~corpus) in
+    print_string (Spirv_ir.Disasm.to_string m)
+  in
+  Cmd.v (Cmd.info "disasm" ~doc:"Print the canonical textual form of a module.")
+    Term.(const run $ file_arg $ corpus_arg)
+
+let render_cmd =
+  let run path corpus uniforms =
+    let m = or_die (load ~path ~corpus) in
+    let input = or_die (input_of_spec uniforms) in
+    match Spirv_ir.Interp.render m input with
+    | Ok img -> print_string (Spirv_ir.Image.to_ascii img)
+    | Error t ->
+        prerr_endline ("trap: " ^ Spirv_ir.Interp.trap_to_string t);
+        exit 1
+  in
+  Cmd.v
+    (Cmd.info "render"
+       ~doc:"Execute a module on the reference interpreter and print the image.")
+    Term.(const run $ file_arg $ corpus_arg $ uniforms_arg)
+
+let run_cmd =
+  let run path corpus target uniforms =
+    let m = or_die (load ~path ~corpus) in
+    let t = or_die (find_target target) in
+    let input = or_die (input_of_spec uniforms) in
+    match Compilers.Backend.run t m input with
+    | Compilers.Backend.Rendered img ->
+        Printf.printf "rendered on %s:\n%s" target (Spirv_ir.Image.to_ascii img)
+    | Compilers.Backend.Compiled_ok -> Printf.printf "compiled ok on %s\n" target
+    | Compilers.Backend.Crashed s ->
+        Printf.printf "CRASH on %s: %s\n" target s;
+        exit 2
+  in
+  Cmd.v
+    (Cmd.info "run" ~doc:"Compile and execute a module on a (buggy) target.")
+    Term.(const run $ file_arg $ corpus_arg $ target_arg $ uniforms_arg)
+
+let targets_cmd =
+  let run () =
+    Printf.printf "%-14s %-22s %-10s %s\n" "Target" "Version" "GPU" "Bugs";
+    List.iter
+      (fun (t : Compilers.Target.t) ->
+        Printf.printf "%-14s %-22s %-10s %s\n" t.Compilers.Target.name
+          t.Compilers.Target.version
+          (Compilers.Target.gpu_type_to_string t.Compilers.Target.gpu)
+          (String.concat ", "
+             (t.Compilers.Target.crash_bug_ids @ t.Compilers.Target.miscompile_bug_ids)))
+      Compilers.Target.all
+  in
+  Cmd.v (Cmd.info "targets" ~doc:"List the Table 2 targets and their bug rosters.")
+    Term.(const run $ const ())
+
+(* ------------------------------------------------------------------ *)
+(* fuzz                                                                *)
+
+let fuzz_cmd =
+  let out_arg =
+    Arg.(value & opt (some string) None & info [ "o"; "output" ] ~docv:"FILE"
+           ~doc:"Write the variant module here.")
+  in
+  let count_arg =
+    Arg.(value & opt int 0
+         & info [ "max-transformations" ] ~docv:"N"
+             ~doc:"Cap on recorded transformations (0 = default).")
+  in
+  let run path corpus seed out cap =
+    let m = or_die (load ~path ~corpus) in
+    let ctx = Spirv_fuzz.Context.make m Corpus.default_input in
+    let config =
+      let base =
+        {
+          Spirv_fuzz.Fuzzer.default_config with
+          Spirv_fuzz.Fuzzer.donors = List.map snd (Lazy.force Corpus.lowered_donors);
+        }
+      in
+      if cap > 0 then { base with Spirv_fuzz.Fuzzer.max_transformations = cap } else base
+    in
+    let result = Spirv_fuzz.Fuzzer.run ~config ~seed ctx in
+    let variant = result.Spirv_fuzz.Fuzzer.final.Spirv_fuzz.Context.m in
+    Printf.printf "applied %d transformations over %d passes; %d -> %d instructions\n"
+      (List.length result.Spirv_fuzz.Fuzzer.transformations)
+      (List.length result.Spirv_fuzz.Fuzzer.passes_run)
+      (Spirv_ir.Module_ir.instruction_count m)
+      (Spirv_ir.Module_ir.instruction_count variant);
+    let tally = Hashtbl.create 16 in
+    List.iter
+      (fun t ->
+        let k = Spirv_fuzz.Transformation.type_id t in
+        Hashtbl.replace tally k (1 + Option.value ~default:0 (Hashtbl.find_opt tally k)))
+      result.Spirv_fuzz.Fuzzer.transformations;
+    Hashtbl.iter (fun k n -> Printf.printf "  %-28s %d\n" k n) tally;
+    match out with
+    | Some path ->
+        write_module path variant;
+        Printf.printf "variant written to %s\n" path
+    | None -> ()
+  in
+  Cmd.v
+    (Cmd.info "fuzz"
+       ~doc:"Apply random semantics-preserving transformations to a module.")
+    Term.(const run $ file_arg $ corpus_arg $ seed_arg $ out_arg $ count_arg)
+
+(* ------------------------------------------------------------------ *)
+(* hunt: fuzz against a target until a bug is found, then reduce       *)
+
+let hunt_cmd =
+  let seeds_arg =
+    Arg.(value & opt int 200 & info [ "seeds" ] ~docv:"N" ~doc:"Seeds to try.")
+  in
+  let run path corpus target seeds =
+    let m = or_die (load ~path ~corpus) in
+    let t = or_die (find_target target) in
+    let input = Corpus.default_input in
+    let config =
+      {
+        Spirv_fuzz.Fuzzer.default_config with
+        Spirv_fuzz.Fuzzer.donors = List.map snd (Lazy.force Corpus.lowered_donors);
+      }
+    in
+    let original_run = Compilers.Backend.run t m input in
+    let exception Found of int * Spirv_fuzz.Fuzzer.result * string in
+    (try
+       for seed = 0 to seeds - 1 do
+         let ctx = Spirv_fuzz.Context.make m input in
+         let result = Spirv_fuzz.Fuzzer.run ~config ~seed ctx in
+         match
+           ( original_run,
+             Compilers.Backend.run t result.Spirv_fuzz.Fuzzer.final.Spirv_fuzz.Context.m
+               input )
+         with
+         | _, Compilers.Backend.Crashed s -> raise (Found (seed, result, s))
+         | Compilers.Backend.Rendered i0, Compilers.Backend.Rendered i1
+           when not (Spirv_ir.Image.equal i0 i1) ->
+             raise (Found (seed, result, "miscompilation"))
+         | _ -> ()
+       done;
+       Printf.printf "no bug found on %s in %d seeds\n" target seeds
+     with Found (seed, result, signature) ->
+       Printf.printf "seed %d triggers: %s\n" seed signature;
+       let ctx = Spirv_fuzz.Context.make m input in
+       let is_interesting (c : Spirv_fuzz.Context.t) =
+         match (original_run, Compilers.Backend.run t c.Spirv_fuzz.Context.m input) with
+         | _, Compilers.Backend.Crashed s -> String.equal s signature
+         | Compilers.Backend.Rendered i0, Compilers.Backend.Rendered i1 ->
+             String.equal signature "miscompilation" && not (Spirv_ir.Image.equal i0 i1)
+         | _ -> false
+       in
+       let r =
+         Spirv_fuzz.Reducer.reduce ~original:ctx ~is_interesting
+           result.Spirv_fuzz.Fuzzer.transformations
+       in
+       Printf.printf "reduced %d transformations to %d (%d interestingness queries)\n"
+         r.Spirv_fuzz.Reducer.stats.Tbct.Reducer.initial
+         r.Spirv_fuzz.Reducer.stats.Tbct.Reducer.kept
+         r.Spirv_fuzz.Reducer.stats.Tbct.Reducer.queries;
+       List.iter
+         (fun tr -> Printf.printf "  %s\n" (Spirv_fuzz.Transformation.type_id tr))
+         r.Spirv_fuzz.Reducer.transformations;
+       Printf.printf "delta between original and reduced variant:\n%s\n"
+         (Spirv_fuzz.Reducer.delta_listing ~original:ctx r.Spirv_fuzz.Reducer.reduced))
+  in
+  Cmd.v
+    (Cmd.info "hunt"
+       ~doc:"Fuzz a module against a target until a bug appears, then reduce it.")
+    Term.(const run $ file_arg $ corpus_arg $ target_arg $ seeds_arg)
+
+(* ------------------------------------------------------------------ *)
+(* campaign                                                            *)
+
+let campaign_cmd =
+  let seeds_arg =
+    Arg.(value & opt int 100 & info [ "seeds" ] ~docv:"N" ~doc:"Seeds per tool.")
+  in
+  let tool_arg =
+    Arg.(value & opt string "spirv-fuzz"
+         & info [ "tool" ] ~doc:"spirv-fuzz | spirv-fuzz-simple | glsl-fuzz")
+  in
+  let run seeds tool =
+    let tool =
+      match tool with
+      | "spirv-fuzz" -> Harness.Pipeline.Spirv_fuzz_tool
+      | "spirv-fuzz-simple" -> Harness.Pipeline.Spirv_fuzz_simple
+      | "glsl-fuzz" -> Harness.Pipeline.Glsl_fuzz_tool
+      | other ->
+          prerr_endline ("unknown tool " ^ other);
+          exit 1
+    in
+    let scale = { Harness.Experiments.default_scale with Harness.Experiments.seeds = seeds } in
+    let hits = Harness.Experiments.run_campaign ~scale tool in
+    Printf.printf "%d detections from %d seeds\n" (List.length hits) seeds;
+    let tally = Hashtbl.create 16 in
+    List.iter
+      (fun (h : Harness.Experiments.hit) ->
+        let k =
+          h.Harness.Experiments.hit_target ^ " / "
+          ^ h.Harness.Experiments.hit_detection.Harness.Pipeline.signature
+        in
+        Hashtbl.replace tally k (1 + Option.value ~default:0 (Hashtbl.find_opt tally k)))
+      hits;
+    Hashtbl.fold (fun k n acc -> (k, n) :: acc) tally []
+    |> List.sort compare
+    |> List.iter (fun (k, n) -> Printf.printf "  %-70s %3d\n" k n)
+  in
+  Cmd.v
+    (Cmd.info "campaign" ~doc:"Run a fuzzing campaign over all targets.")
+    Term.(const run $ seeds_arg $ tool_arg)
+
+(* ------------------------------------------------------------------ *)
+(* dedup: fuzz, reduce the crashes, run the Figure 6 selection            *)
+
+let dedup_cmd =
+  let seeds_arg =
+    Arg.(value & opt int 150 & info [ "seeds" ] ~docv:"N" ~doc:"Seeds to fuzz.")
+  in
+  let cap_arg =
+    Arg.(value & opt int 3
+         & info [ "cap" ] ~docv:"N" ~doc:"Reductions per crash signature.")
+  in
+  let run seeds cap =
+    let scale =
+      {
+        Harness.Experiments.default_scale with
+        Harness.Experiments.seeds;
+        Harness.Experiments.max_reductions_per_signature = cap;
+      }
+    in
+    Printf.printf "fuzzing %d seeds against every target...
+%!" seeds;
+    let hits = Harness.Experiments.run_campaign ~scale Harness.Pipeline.Spirv_fuzz_tool in
+    let crashes =
+      List.filter
+        (fun (h : Harness.Experiments.hit) ->
+          not
+            (Harness.Signature.is_miscompilation
+               h.Harness.Experiments.hit_detection.Harness.Pipeline.signature))
+        hits
+    in
+    Printf.printf "%d detections (%d crashes); reducing and deduplicating...
+%!"
+      (List.length hits) (List.length crashes);
+    let rows, total = Harness.Experiments.table4 ~scale ~hits:[| hits; []; [] |] () in
+    Printf.printf "%-14s %6s %6s %8s %9s %6s
+" "Target" "Tests" "Sigs" "Reports"
+      "Distinct" "Dups";
+    List.iter
+      (fun (r : Harness.Experiments.table4_row) ->
+        if r.Harness.Experiments.t4_tests > 0 then
+          Printf.printf "%-14s %6d %6d %8d %9d %6d
+" r.Harness.Experiments.t4_target
+            r.Harness.Experiments.t4_tests r.Harness.Experiments.t4_sigs
+            r.Harness.Experiments.t4_reports r.Harness.Experiments.t4_distinct
+            r.Harness.Experiments.t4_dups)
+      (rows @ [ total ])
+  in
+  Cmd.v
+    (Cmd.info "dedup"
+       ~doc:
+         "Fuzz, reduce every crash, and recommend a deduplicated subset for           investigation (the Figure 6 algorithm).")
+    Term.(const run $ seeds_arg $ cap_arg)
+
+(* --verbose works on every subcommand: it is stripped from argv before
+   dispatch and turns on debug logging for the tbct.* sources *)
+let () =
+  let verbose = Array.exists (String.equal "--verbose") Sys.argv in
+  if verbose then begin
+    Logs.set_reporter (Logs.format_reporter ());
+    Logs.set_level (Some Logs.Debug)
+  end;
+  let argv =
+    Array.of_list (List.filter (fun a -> a <> "--verbose") (Array.to_list Sys.argv))
+  in
+  let doc = "transformation-based compiler testing (spirv-fuzz reproduction)" in
+  let info = Cmd.info "tbct" ~version:"1.0.0" ~doc in
+  exit
+    (Cmd.eval ~argv
+       (Cmd.group info
+          [
+            validate_cmd; disasm_cmd; render_cmd; run_cmd; targets_cmd; fuzz_cmd;
+            hunt_cmd; campaign_cmd; dedup_cmd;
+          ]))

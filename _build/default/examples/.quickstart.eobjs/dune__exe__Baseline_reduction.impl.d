@@ -1,0 +1,1 @@
+examples/baseline_reduction.ml: Compilers Corpus Glsl_like List Printf Spirv_ir String

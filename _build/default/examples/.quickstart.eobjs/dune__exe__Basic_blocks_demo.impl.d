@@ -1,0 +1,1 @@
+examples/basic_blocks_demo.ml: Bb_lang List Printf String Tbct

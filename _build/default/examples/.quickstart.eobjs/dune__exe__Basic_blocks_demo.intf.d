@@ -1,0 +1,1 @@
+examples/basic_blocks_demo.mli:

@@ -1,0 +1,1 @@
+examples/dedup_workflow.ml: Harness List Printf

@@ -1,0 +1,1 @@
+examples/quickstart.ml: Compilers Corpus Lazy List Printf Spirv_fuzz Spirv_ir String Tbct

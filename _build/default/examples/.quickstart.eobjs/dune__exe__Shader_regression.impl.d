@@ -1,0 +1,1 @@
+examples/shader_regression.ml: Compilers Corpus Lazy List Printf Spirv_fuzz Spirv_ir String

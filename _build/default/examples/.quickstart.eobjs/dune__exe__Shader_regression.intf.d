@@ -1,0 +1,1 @@
+examples/shader_regression.mli:

@@ -1,0 +1,76 @@
+(* Quickstart: the full transformation-based-testing loop on one shader.
+
+   1. take a reference shader (MiniGLSL) and lower it to the IR;
+   2. fuzz it: apply a recorded sequence of semantics-preserving
+      transformations (Figure 1);
+   3. run original and variant on a buggy target and compare;
+   4. when a bug appears, delta-debug the transformation sequence to a
+      1-minimal subsequence (Figure 2) and print the module-level delta
+      (the artifact a bug report would contain, Figure 3).
+
+   Run with:  dune exec examples/quickstart.exe *)
+
+let () =
+  (* 1. a reference program, known to render a stable image *)
+  let name = "helper_distance" in
+  let reference =
+    List.assoc name (Lazy.force Corpus.lowered_references)
+  in
+  let input = Corpus.default_input in
+  Printf.printf "reference %s: %d instructions\n" name
+    (Spirv_ir.Module_ir.instruction_count reference);
+  (match Spirv_ir.Interp.render reference input with
+  | Ok img -> Printf.printf "reference image:\n%s" (Spirv_ir.Image.to_ascii img)
+  | Error t -> failwith (Spirv_ir.Interp.trap_to_string t));
+
+  (* 2. fuzz: every transformation is recorded with all its parameters *)
+  let ctx = Spirv_fuzz.Context.make reference input in
+  let config =
+    {
+      Spirv_fuzz.Fuzzer.default_config with
+      Spirv_fuzz.Fuzzer.donors = List.map snd (Lazy.force Corpus.lowered_donors);
+    }
+  in
+  let result = Spirv_fuzz.Fuzzer.run ~config ~seed:0 ctx in
+  let variant = result.Spirv_fuzz.Fuzzer.final.Spirv_fuzz.Context.m in
+  Printf.printf "\nfuzzed with %d transformations -> %d instructions\n"
+    (List.length result.Spirv_fuzz.Fuzzer.transformations)
+    (Spirv_ir.Module_ir.instruction_count variant);
+
+  (* the variant still renders the same image on a correct implementation *)
+  (match (Spirv_ir.Interp.render reference input, Spirv_ir.Interp.render variant input) with
+  | Ok a, Ok b ->
+      Printf.printf "variant agrees with reference on the correct interpreter: %b\n"
+        (Spirv_ir.Image.equal a b)
+  | _ -> failwith "render failed");
+
+  (* 3. run on a buggy target (SwiftShader has the DontInline bug) *)
+  let target = Compilers.Target.swiftshader in
+  let signature =
+    match Compilers.Backend.run target variant input with
+    | Compilers.Backend.Crashed s ->
+        Printf.printf "\nSwiftShader crashed on the variant: %s\n" s;
+        s
+    | _ ->
+        print_endline "\n(no bug with this seed; try another)";
+        exit 0
+  in
+
+  (* 4. reduce: delta debugging over the recorded transformation sequence *)
+  let is_interesting (c : Spirv_fuzz.Context.t) =
+    match Compilers.Backend.run target c.Spirv_fuzz.Context.m input with
+    | Compilers.Backend.Crashed s -> String.equal s signature
+    | _ -> false
+  in
+  let reduction =
+    Spirv_fuzz.Reducer.reduce ~original:ctx ~is_interesting
+      result.Spirv_fuzz.Fuzzer.transformations
+  in
+  Printf.printf "reduced to %d transformation(s) with %d interestingness queries:\n"
+    (List.length reduction.Spirv_fuzz.Reducer.transformations)
+    reduction.Spirv_fuzz.Reducer.stats.Tbct.Reducer.queries;
+  List.iter
+    (fun t -> Printf.printf "  %s\n" (Spirv_fuzz.Transformation.type_id t))
+    reduction.Spirv_fuzz.Reducer.transformations;
+  Printf.printf "\nbug-report delta (original vs minimally-transformed variant):\n%s\n"
+    (Spirv_fuzz.Reducer.delta_listing ~original:ctx reduction.Spirv_fuzz.Reducer.reduced)

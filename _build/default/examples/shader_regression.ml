@@ -1,0 +1,84 @@
+(* Turning a found bug into a regression test (section 2.1, "Bug reports and
+   regression tests"): the pair (P_{n-1}, P_n) — the minimally-reduced
+   variant with and without its final transformation — executed on the same
+   input must produce the same image.  A conformance suite can check exactly
+   that.
+
+   Run with:  dune exec examples/shader_regression.exe *)
+
+let () =
+  let name = "two_helpers" in
+  let reference = List.assoc name (Lazy.force Corpus.lowered_references) in
+  let input = Corpus.default_input in
+  let target = Compilers.Target.swiftshader in
+  let config =
+    {
+      Spirv_fuzz.Fuzzer.default_config with
+      Spirv_fuzz.Fuzzer.donors = List.map snd (Lazy.force Corpus.lowered_donors);
+    }
+  in
+  (* find a crashing seed *)
+  let rec hunt seed =
+    if seed > 300 then None
+    else begin
+      let ctx = Spirv_fuzz.Context.make reference input in
+      let result = Spirv_fuzz.Fuzzer.run ~config ~seed ctx in
+      match
+        Compilers.Backend.run target result.Spirv_fuzz.Fuzzer.final.Spirv_fuzz.Context.m
+          input
+      with
+      | Compilers.Backend.Crashed s -> Some (ctx, result, s)
+      | _ -> hunt (seed + 1)
+    end
+  in
+  match hunt 0 with
+  | None -> print_endline "no crash found at this scale"
+  | Some (ctx, result, signature) ->
+      Printf.printf "found: %s\n" signature;
+      let is_interesting (c : Spirv_fuzz.Context.t) =
+        match Compilers.Backend.run target c.Spirv_fuzz.Context.m input with
+        | Compilers.Backend.Crashed s -> String.equal s signature
+        | _ -> false
+      in
+      let r =
+        Spirv_fuzz.Reducer.reduce ~original:ctx ~is_interesting
+          result.Spirv_fuzz.Fuzzer.transformations
+      in
+      let kept = r.Spirv_fuzz.Reducer.transformations in
+      Printf.printf "minimized sequence: %s\n"
+        (String.concat ", " (List.map Spirv_fuzz.Transformation.type_id kept));
+
+      (* the regression pair: P_{n-1} (all but the last transformation) and
+         P_n (all of them) *)
+      let all_but_last =
+        match List.rev kept with [] -> [] | _ :: rest -> List.rev rest
+      in
+      let p_pred = Spirv_fuzz.Lang.replay ctx all_but_last in
+      let p_final = r.Spirv_fuzz.Reducer.reduced in
+      Printf.printf "\nregression pair: %d vs %d instructions; delta:\n%s\n"
+        (Spirv_ir.Module_ir.instruction_count p_pred.Spirv_fuzz.Context.m)
+        (Spirv_ir.Module_ir.instruction_count p_final.Spirv_fuzz.Context.m)
+        (Spirv_ir.Disasm.diff_to_string p_pred.Spirv_fuzz.Context.m
+           p_final.Spirv_fuzz.Context.m);
+
+      (* the regression check a conformance suite would run: both programs
+         must render identical images on any correct implementation *)
+      (match
+         ( Spirv_ir.Interp.render p_pred.Spirv_fuzz.Context.m input,
+           Spirv_ir.Interp.render p_final.Spirv_fuzz.Context.m input )
+       with
+      | Ok a, Ok b ->
+          Printf.printf "regression check on the reference interpreter: images equal = %b\n"
+            (Spirv_ir.Image.equal a b)
+      | _ -> print_endline "render failed");
+
+      (* and the buggy target fails it: P_{n-1} passes, P_n crashes *)
+      let describe m =
+        match Compilers.Backend.run target m input with
+        | Compilers.Backend.Crashed s -> "CRASH: " ^ s
+        | Compilers.Backend.Rendered _ -> "renders"
+        | Compilers.Backend.Compiled_ok -> "compiles"
+      in
+      Printf.printf "on %s: P_pred %s; P_final %s\n" target.Compilers.Target.name
+        (describe p_pred.Spirv_fuzz.Context.m)
+        (describe p_final.Spirv_fuzz.Context.m)

@@ -1,0 +1,1 @@
+lib/bb_lang/compiler.pp.mli: Syntax Transform

@@ -1,0 +1,1 @@
+lib/bb_lang/figures.pp.mli: Syntax Transform

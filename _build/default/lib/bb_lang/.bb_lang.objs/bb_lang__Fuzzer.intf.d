@@ -1,0 +1,1 @@
+lib/bb_lang/fuzzer.pp.mli: Transform

@@ -1,0 +1,1 @@
+lib/bb_lang/interp.pp.ml: List Syntax

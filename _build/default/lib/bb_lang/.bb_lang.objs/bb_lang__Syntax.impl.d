@@ -1,0 +1,1 @@
+lib/bb_lang/syntax.pp.ml: List Ppx_deriving_runtime Printf String

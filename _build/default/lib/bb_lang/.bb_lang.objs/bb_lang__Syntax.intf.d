@@ -1,0 +1,1 @@
+lib/bb_lang/syntax.pp.mli: Format

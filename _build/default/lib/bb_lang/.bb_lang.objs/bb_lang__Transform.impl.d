@@ -1,0 +1,1 @@
+lib/bb_lang/transform.pp.ml: List Option Ppx_deriving_runtime Set String Syntax Tbct

@@ -1,0 +1,1 @@
+lib/bb_lang/transform.pp.mli: Format Set Syntax Tbct

@@ -1,0 +1,106 @@
+(** A tiny "compiler" for the basic-blocks language, with the hypothetical
+    bug of section 2.1 built in.
+
+    The compiler performs a constant-propagation pass that rewrites a
+    conditional branch to an unconditional one when the condition variable
+    was assigned a literal [true]/[false] earlier in the same block.  The
+    hypothetical bug lives in the backend: lowering a conditional branch
+    that {e survives} simplification fails with an internal error.  Thus the
+    bug triggers exactly when a program contains a conditional branch whose
+    condition the compiler cannot resolve — e.g. after the fact that a block
+    is dead has been obfuscated via ChangeRHS, the scenario of Figure 5. *)
+
+type result =
+  | Output of Syntax.value list
+  | Crash of string  (** crash signature *)
+
+(* Constant propagation, block-local: resolve Cond_goto whose variable holds
+   a known literal at the end of the block. *)
+let simplify_block (b : Syntax.block) =
+  match b.Syntax.term with
+  | Syntax.Cond_goto (v, t, f) -> (
+      let last_literal =
+        List.fold_left
+          (fun acc i ->
+            match i with
+            | Syntax.Assign (x, Syntax.Bool_lit bv) when String.equal x v -> Some bv
+            | Syntax.Assign (x, _) | Syntax.Add (x, _, _) when String.equal x v -> None
+            | Syntax.Assign _ | Syntax.Add _ | Syntax.Print _ -> acc)
+          None b.Syntax.instrs
+      in
+      match last_literal with
+      | Some true -> { b with Syntax.term = Syntax.Goto t }
+      | Some false -> { b with Syntax.term = Syntax.Goto f }
+      | None -> b)
+  | Syntax.Goto _ | Syntax.Halt -> b
+
+let optimize (p : Syntax.program) =
+  { p with Syntax.blocks = List.map simplify_block p.Syntax.blocks }
+
+(* The correct implementation: optimize, then run the reference semantics
+   (the optimization above is semantics-preserving). *)
+let run_correct p input =
+  match Interp.run (optimize p) input with
+  | Ok output -> Output output
+  | Error msg -> Crash ("runtime: " ^ msg)
+
+(* The buggy implementation: the backend cannot lower a surviving
+   conditional branch. *)
+let run_buggy p input =
+  let optimized = optimize p in
+  let surviving_cond =
+    List.exists
+      (fun (b : Syntax.block) ->
+        match b.Syntax.term with
+        | Syntax.Cond_goto _ -> true
+        | Syntax.Goto _ | Syntax.Halt -> false)
+      optimized.Syntax.blocks
+  in
+  if surviving_cond then
+    Crash "internal error: cannot lower non-constant conditional branch"
+  else
+    match Interp.run optimized input with
+    | Ok output -> Output output
+    | Error msg -> Crash ("runtime: " ^ msg)
+
+(* A second, independent bug for the deduplication walkthrough: the
+   "instruction scheduler" mis-schedules blocks containing more than three
+   instructions and loses the last addition in them.  Triggered by
+   AddLoad/AddStore piling instructions into one block — a different
+   transformation family from the conditional-lowering crash, so Figure 6
+   should separate the two. *)
+let run_buggy_scheduler p input =
+  let optimized = optimize p in
+  let corrupt_block (b : Syntax.block) =
+    if List.length b.Syntax.instrs > 3 then begin
+      let last_add =
+        List.fold_left
+          (fun (i, found) instr ->
+            match instr with Syntax.Add _ -> (i + 1, Some i) | _ -> (i + 1, found))
+          (0, None) b.Syntax.instrs
+        |> snd
+      in
+      match last_add with
+      | None -> b
+      | Some drop ->
+          { b with Syntax.instrs = List.filteri (fun i _ -> i <> drop) b.Syntax.instrs }
+    end
+    else b
+  in
+  let corrupted =
+    { optimized with Syntax.blocks = List.map corrupt_block optimized.Syntax.blocks }
+  in
+  match Interp.run corrupted input with
+  | Ok output -> Output output
+  | Error msg -> Crash ("runtime: " ^ msg)
+
+(** The oracle of Figure 1: an implementation is caught out when it faults
+    on, or disagrees about, a transformed variant of a well-defined
+    original. *)
+let exhibits_bug ~impl (ctx : Transform.context) =
+  match Interp.run ctx.Transform.program ctx.Transform.input with
+  | Error _ -> false (* not well-defined: not a usable test *)
+  | Ok expected -> (
+      match impl ctx.Transform.program ctx.Transform.input with
+      | Crash _ -> true
+      | Output actual -> actual <> expected)

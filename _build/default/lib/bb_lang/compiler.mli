@@ -1,0 +1,30 @@
+(** Tiny "compilers" for the basic-blocks language, hosting the section 2.1
+    hypothetical bugs that the Figure 5 walkthrough and the deduplication
+    demo reduce against. *)
+
+type result =
+  | Output of Syntax.value list
+  | Crash of string  (** crash signature *)
+
+val optimize : Syntax.program -> Syntax.program
+(** Block-local constant propagation: resolves conditional branches whose
+    variable provably holds a literal at the end of the block.
+    Semantics-preserving. *)
+
+val run_correct : Syntax.program -> Syntax.input -> result
+(** Optimize, then execute faithfully: a correct implementation. *)
+
+val run_buggy : Syntax.program -> Syntax.input -> result
+(** The section 2.1 hypothetical bug: the backend cannot lower a conditional
+    branch that survives constant propagation — triggered exactly when a
+    dead block's guard has been obfuscated (ChangeRHS), the Figure 5
+    scenario. *)
+
+val run_buggy_scheduler : Syntax.program -> Syntax.input -> result
+(** An independent second bug for the deduplication walkthrough: blocks with
+    more than three instructions lose their last addition — triggered by
+    the AddLoad/AddStore family piling instructions into a block. *)
+
+val exhibits_bug : impl:(Syntax.program -> Syntax.input -> result) -> Transform.context -> bool
+(** The Figure 1 oracle: the implementation faults on, or disagrees about,
+    a transformed variant of a well-defined original. *)

@@ -1,0 +1,43 @@
+(** The exact programs and transformation sequences of Figures 4 and 5.
+
+    The original program prints 6 on the input i = 1, j = 2, k = true; the
+    five transformations T1..T5 build the fully transformed variant of
+    Figure 4; delta-debugging the sequence against the buggy compiler of
+    {!Compiler} recovers the minimized sequence [T1; T2; T5] of Figure 5. *)
+
+let original : Syntax.program =
+  {
+    Syntax.entry = "a";
+    blocks =
+      [
+        {
+          Syntax.name = "a";
+          instrs =
+            [
+              Syntax.Add ("s", Syntax.Var "i", Syntax.Var "j");
+              Syntax.Add ("t", Syntax.Var "s", Syntax.Var "s");
+              Syntax.Print (Syntax.Var "t");
+            ];
+          term = Syntax.Halt;
+        };
+      ];
+  }
+
+let input : Syntax.input =
+  [ ("i", Syntax.Int 1); ("j", Syntax.Int 2); ("k", Syntax.Bool true) ]
+
+let t1 = Transform.Split_block ("a", 1, "b")
+let t2 = Transform.Add_dead_block ("a", "c", "u")
+let t3 = Transform.Add_store ("c", 0, "s", "i")
+let t4 = Transform.Add_load ("b", 0, "v", "s")
+let t5 = Transform.Change_rhs ("a", 1, "k")
+
+let sequence = [ t1; t2; t3; t4; t5 ]
+
+(** The minimized sequence the reducer should find (Figure 5). *)
+let minimized = [ t1; t2; t5 ]
+
+let initial_context () = Transform.initial_context original input
+
+let transformed_context () =
+  Transform.Apply.sequence_ctx (initial_context ()) sequence

@@ -1,0 +1,25 @@
+(** The exact programs and transformation sequences of Figures 4 and 5.
+
+    {!original} prints 6 on {!input} (i = 1, j = 2, k = true); T1..T5 build
+    the fully transformed variant of Figure 4; delta-debugging {!sequence}
+    against {!Compiler.run_buggy} recovers {!minimized} = [T1; T2; T5],
+    which is Figure 5. *)
+
+val original : Syntax.program
+val input : Syntax.input
+
+val t1 : Transform.t  (** SplitBlock(a, 1, b) *)
+val t2 : Transform.t  (** AddDeadBlock(a, c, u) *)
+val t3 : Transform.t  (** AddStore(c, 0, s, i) *)
+val t4 : Transform.t  (** AddLoad(b, 0, v, s) *)
+val t5 : Transform.t  (** ChangeRHS(a, 1, k) *)
+
+val sequence : Transform.t list
+(** [\[t1; t2; t3; t4; t5\]] — Figure 4. *)
+
+val minimized : Transform.t list
+(** [\[t1; t2; t5\]] — the 1-minimal sequence of Figure 5. *)
+
+val initial_context : unit -> Transform.context
+val transformed_context : unit -> Transform.context
+(** {!initial_context} with the full {!sequence} applied. *)

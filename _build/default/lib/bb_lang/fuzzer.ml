@@ -1,0 +1,58 @@
+(** A small randomized fuzzer for the basic-blocks language — the "fuzzer"
+    box of Figure 1 instantiated for section 2.1's teaching language.
+
+    Repeatedly proposes random instantiations of the five Table 1 templates
+    and keeps those whose preconditions hold.  Used by the examples and by
+    the deduplication walkthrough of section 2.1 (the "weekend of fuzzing"
+    scenario). *)
+
+type config = {
+  max_transformations : int;
+  proposals_per_round : int;
+}
+
+let default_config = { max_transformations = 30; proposals_per_round = 4 }
+
+let propose rng (ctx : Transform.context) =
+  let p = ctx.Transform.program in
+  let blocks = Syntax.block_names p in
+  let vars = Syntax.variables p in
+  let inputs = List.map fst ctx.Transform.input in
+  let fresh prefix = Printf.sprintf "%s%d" prefix (Tbct.Rng.int rng 1_000_000) in
+  let block = Tbct.Rng.choose rng blocks in
+  let blk = Option.get (Syntax.find_block p block) in
+  let offset = Tbct.Rng.int rng (List.length blk.Syntax.instrs + 1) in
+  match Tbct.Rng.int rng 5 with
+  | 0 -> Transform.Split_block (block, offset, fresh "blk")
+  | 1 -> Transform.Add_dead_block (block, fresh "dead", fresh "guard")
+  | 2 ->
+      let x = Tbct.Rng.choose rng (vars @ inputs) in
+      Transform.Add_load (block, offset, fresh "v", x)
+  | 3 ->
+      let x1 = Tbct.Rng.choose rng (vars @ inputs) in
+      let x2 = Tbct.Rng.choose rng (vars @ inputs) in
+      Transform.Add_store (block, offset, x1, x2)
+  | _ ->
+      let x = Tbct.Rng.choose rng (vars @ inputs) in
+      Transform.Change_rhs (block, offset, x)
+
+type result = {
+  final : Transform.context;
+  transformations : Transform.t list;
+}
+
+let run ?(config = default_config) ~seed (ctx : Transform.context) : result =
+  let rng = Tbct.Rng.make seed in
+  let rec go ctx acc n =
+    if n >= config.max_transformations then (ctx, acc)
+    else begin
+      let candidates =
+        List.init config.proposals_per_round (fun _ -> propose rng ctx)
+      in
+      match List.find_opt (Transform.precondition ctx) candidates with
+      | Some t -> go (Transform.apply ctx t) (t :: acc) (n + 1)
+      | None -> go ctx acc (n + 1)
+    end
+  in
+  let final, rev = go ctx [] 0 in
+  { final; transformations = List.rev rev }

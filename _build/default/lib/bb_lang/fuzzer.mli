@@ -1,0 +1,22 @@
+(** A small randomized fuzzer for the basic-blocks language — the "fuzzer"
+    box of Figure 1 instantiated for the section 2.1 teaching language.
+    Used by the examples and by the "weekend of fuzzing" deduplication
+    walkthrough. *)
+
+type config = {
+  max_transformations : int;
+  proposals_per_round : int;  (** random candidates tried per round *)
+}
+
+val default_config : config
+
+type result = {
+  final : Transform.context;
+  transformations : Transform.t list;
+      (** the recorded sequence; replaying it with {!Transform.Apply}
+          reproduces [final] *)
+}
+
+val run : ?config:config -> seed:int -> Transform.context -> result
+(** Deterministic in the seed; the result's program prints the same output
+    as the original (property-tested). *)

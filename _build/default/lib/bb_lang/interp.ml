@@ -1,0 +1,54 @@
+(** Reference semantics of the basic-blocks language.
+
+    Execution starts at the entry block with the environment given by the
+    input and collects the values printed.  Semantics is total: reading an
+    undefined variable yields [Int 0], a conditional on an integer treats
+    non-zero as true, and a step budget bounds execution (programs exceeding
+    it are not well-defined, per Definition 2.1). *)
+
+type outcome = (Syntax.value list, string) result
+
+let truthy = function Syntax.Bool b -> b | Syntax.Int n -> n <> 0
+
+let eval env = function
+  | Syntax.Var v -> (
+      match List.assoc_opt v env with Some x -> x | None -> Syntax.Int 0)
+  | Syntax.Int_lit n -> Syntax.Int n
+  | Syntax.Bool_lit b -> Syntax.Bool b
+
+let as_int = function Syntax.Int n -> n | Syntax.Bool b -> if b then 1 else 0
+
+let default_step_limit = 10_000
+
+let run ?(step_limit = default_step_limit) (p : Syntax.program) (input : Syntax.input) :
+    outcome =
+  let rec exec steps env output block =
+    if steps > step_limit then Error "step limit exceeded"
+    else
+      let env, output =
+        List.fold_left
+          (fun (env, output) i ->
+            match i with
+            | Syntax.Assign (x, y) -> ((x, eval env y) :: env, output)
+            | Syntax.Add (x, y1, y2) ->
+                ((x, Syntax.Int (as_int (eval env y1) + as_int (eval env y2))) :: env, output)
+            | Syntax.Print y -> (env, eval env y :: output))
+          (env, output) block.Syntax.instrs
+      in
+      let continue target =
+        match Syntax.find_block p target with
+        | Some b -> exec (steps + List.length block.Syntax.instrs + 1) env output b
+        | None -> Error ("branch to unknown block " ^ target)
+      in
+      match block.Syntax.term with
+      | Syntax.Goto t -> continue t
+      | Syntax.Cond_goto (v, t, f) ->
+          if truthy (eval env (Syntax.Var v)) then continue t else continue f
+      | Syntax.Halt -> Ok (List.rev output)
+  in
+  match Syntax.find_block p p.Syntax.entry with
+  | Some entry -> exec 0 input [] entry
+  | None -> Error ("unknown entry block " ^ p.Syntax.entry)
+
+let well_defined ?step_limit p input =
+  match run ?step_limit p input with Ok _ -> true | Error _ -> false

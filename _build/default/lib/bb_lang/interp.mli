@@ -1,0 +1,19 @@
+(** Reference semantics of the basic-blocks language.
+
+    Execution starts at the entry block with the environment given by the
+    input and collects the printed values — the program's result in
+    Definition 2.1.  Semantics is total up to the step budget: reading an
+    undefined variable yields [Int 0] and a conditional on an integer treats
+    non-zero as true, so well-formed programs have no undefined behaviour
+    (the property Theorem 2.6 needs). *)
+
+type outcome = (Syntax.value list, string) result
+
+val default_step_limit : int
+
+val run : ?step_limit:int -> Syntax.program -> Syntax.input -> outcome
+(** [Error] on branch-to-unknown-block or step-limit exhaustion. *)
+
+val well_defined : ?step_limit:int -> Syntax.program -> Syntax.input -> bool
+(** Whether the (program, input) pair may serve as an original test
+    (Definition 2.3). *)

@@ -1,0 +1,101 @@
+(** The "basic blocks" language of section 2.1.
+
+    Every block contains instructions of the form [x := y], [x := y1 + y2]
+    or [print(y1)], where operands are variables or literals, and ends by
+    branching unconditionally to a single successor, conditionally on a
+    boolean variable, or halting. *)
+
+type value =
+  | Int of int
+  | Bool of bool
+[@@deriving show { with_path = false }, eq]
+
+type operand =
+  | Var of string
+  | Int_lit of int
+  | Bool_lit of bool
+[@@deriving show { with_path = false }, eq]
+
+type instr =
+  | Assign of string * operand            (** x := y *)
+  | Add of string * operand * operand     (** x := y1 + y2 *)
+  | Print of operand                      (** print(y) *)
+[@@deriving show { with_path = false }, eq]
+
+type terminator =
+  | Goto of string
+  | Cond_goto of string * string * string  (** variable, true target, false target *)
+  | Halt
+[@@deriving show { with_path = false }, eq]
+
+type block = {
+  name : string;
+  instrs : instr list;
+  term : terminator;
+}
+[@@deriving show { with_path = false }, eq]
+
+type program = {
+  blocks : block list;
+  entry : string;
+}
+[@@deriving show { with_path = false }, eq]
+
+type input = (string * value) list
+
+let find_block p name = List.find_opt (fun b -> String.equal b.name name) p.blocks
+
+let block_names p = List.map (fun b -> b.name) p.blocks
+
+let variables p =
+  let of_operand = function Var v -> [ v ] | Int_lit _ | Bool_lit _ -> [] in
+  List.concat_map
+    (fun b ->
+      List.concat_map
+        (function
+          | Assign (x, y) -> x :: of_operand y
+          | Add (x, y1, y2) -> (x :: of_operand y1) @ of_operand y2
+          | Print y -> of_operand y)
+        b.instrs
+      @ (match b.term with Cond_goto (v, _, _) -> [ v ] | Goto _ | Halt -> []))
+    p.blocks
+  |> List.sort_uniq String.compare
+
+let replace_block p b =
+  { p with blocks = List.map (fun b' -> if String.equal b'.name b.name then b else b') p.blocks }
+
+let insert_block_after p ~after nb =
+  let rec go = function
+    | [] -> [ nb ]
+    | b :: rest -> if String.equal b.name after then b :: nb :: rest else b :: go rest
+  in
+  { p with blocks = go p.blocks }
+
+(** Fresh w.r.t. both block names and variables, as Table 1's side condition
+    "f is fresh" requires. *)
+let is_fresh p name =
+  (not (List.mem name (block_names p))) && not (List.mem name (variables p))
+
+(** Total instruction count, the size measure used in examples. *)
+let size p = List.fold_left (fun acc b -> acc + List.length b.instrs + 1) 0 p.blocks
+
+let to_string p =
+  let operand = function
+    | Var v -> v
+    | Int_lit n -> string_of_int n
+    | Bool_lit b -> string_of_bool b
+  in
+  let instr = function
+    | Assign (x, y) -> Printf.sprintf "  %s := %s" x (operand y)
+    | Add (x, y1, y2) -> Printf.sprintf "  %s := %s + %s" x (operand y1) (operand y2)
+    | Print y -> Printf.sprintf "  print(%s)" (operand y)
+  in
+  let term = function
+    | Goto t -> Printf.sprintf "  goto %s" t
+    | Cond_goto (v, t, f) -> Printf.sprintf "  if %s goto %s else goto %s" v t f
+    | Halt -> "  halt"
+  in
+  String.concat "\n"
+    (List.map
+       (fun b -> String.concat "\n" ((b.name ^ ":") :: List.map instr b.instrs @ [ term b.term ]))
+       p.blocks)

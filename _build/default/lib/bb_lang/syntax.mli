@@ -1,0 +1,73 @@
+(** The "basic blocks" language of section 2.1 of the paper.
+
+    Every block contains instructions of the form [x := y], [x := y1 + y2]
+    or [print(y1)], where operands are variables or literals, and ends by
+    branching unconditionally to a single successor, conditionally on a
+    boolean variable, or halting.  The language exists to make the formal
+    framework concrete: Table 1's five transformation templates are defined
+    over it ({!Transform}), and Figures 4 and 5 replay on it verbatim
+    ({!Figures}). *)
+
+type value = Int of int | Bool of bool
+
+val pp_value : Format.formatter -> value -> unit
+val show_value : value -> string
+val equal_value : value -> value -> bool
+
+type operand = Var of string | Int_lit of int | Bool_lit of bool
+
+val pp_operand : Format.formatter -> operand -> unit
+val show_operand : operand -> string
+val equal_operand : operand -> operand -> bool
+
+type instr =
+  | Assign of string * operand         (** x := y *)
+  | Add of string * operand * operand  (** x := y1 + y2 *)
+  | Print of operand                   (** print(y) *)
+
+val pp_instr : Format.formatter -> instr -> unit
+val show_instr : instr -> string
+val equal_instr : instr -> instr -> bool
+
+type terminator =
+  | Goto of string
+  | Cond_goto of string * string * string
+      (** variable, true target, false target *)
+  | Halt
+
+val pp_terminator : Format.formatter -> terminator -> unit
+val show_terminator : terminator -> string
+val equal_terminator : terminator -> terminator -> bool
+
+type block = { name : string; instrs : instr list; term : terminator }
+
+val pp_block : Format.formatter -> block -> unit
+val show_block : block -> string
+val equal_block : block -> block -> bool
+
+type program = { blocks : block list; entry : string }
+
+val pp_program : Format.formatter -> program -> unit
+val show_program : program -> string
+val equal_program : program -> program -> bool
+
+type input = (string * value) list
+
+val find_block : program -> string -> block option
+val block_names : program -> string list
+
+val variables : program -> string list
+(** Every variable read or written anywhere in the program, sorted. *)
+
+val replace_block : program -> block -> program
+val insert_block_after : program -> after:string -> block -> program
+
+val is_fresh : program -> string -> bool
+(** Fresh with respect to both block names and variables — Table 1's
+    "f is fresh" side condition. *)
+
+val size : program -> int
+(** Instruction count, terminators included. *)
+
+val to_string : program -> string
+(** Pretty-print in the notation of Figure 4. *)

@@ -1,0 +1,176 @@
+(** The transformation templates of Table 1, instantiating the generic
+    framework of {!Tbct.Spec} for the basic-blocks language.
+
+    A context is (program, input, facts); the only fact kind is "block [b]
+    is dead".  Each template's precondition and effect follow Table 1
+    literally, including the design flaws the paper points out in
+    section 2.3 (SplitBlock's block+offset parameters, AddDeadBlock's fused
+    true-variable) — reproducing those flaws is the point: the ablation
+    benchmarks measure their cost. *)
+
+module String_set = Set.Make (String)
+
+type context = {
+  program : Syntax.program;
+  input : Syntax.input;
+  dead_blocks : String_set.t;  (** the fact set: "block b is dead" *)
+}
+
+let initial_context program input =
+  { program; input; dead_blocks = String_set.empty }
+
+type t =
+  | Split_block of string * int * string
+      (** [Split_block (b, o, f)]: instructions from offset [o] of [b] move
+          to new block [f] *)
+  | Add_dead_block of string * string * string
+      (** [Add_dead_block (b, f1, f2)]: new dead block [f1]; fresh variable
+          [f2 := true] guards the branch *)
+  | Add_load of string * int * string * string
+      (** [Add_load (b, o, f, x)]: insert [f := x] at offset [o] *)
+  | Add_store of string * int * string * string
+      (** [Add_store (b, o, x1, x2)]: insert [x1 := x2] at offset [o];
+          requires the "b is dead" fact *)
+  | Change_rhs of string * int * string
+      (** [Change_rhs (b, o, x)]: replace the right-hand side of the
+          assignment at [b\[o\]] with [x], which must be guaranteed equal *)
+[@@deriving show { with_path = false }, eq]
+
+let type_id = function
+  | Split_block _ -> "SplitBlock"
+  | Add_dead_block _ -> "AddDeadBlock"
+  | Add_load _ -> "AddLoad"
+  | Add_store _ -> "AddStore"
+  | Change_rhs _ -> "ChangeRHS"
+
+(* "x and z are guaranteed to be equal at b[o]": we implement the guarantee
+   the paper's example uses — [x] is an input variable never reassigned in
+   the program, and [z] is a literal equal to its input value (or the same
+   variable). *)
+let guaranteed_equal ctx x z =
+  let never_reassigned v =
+    List.for_all
+      (fun (b : Syntax.block) ->
+        List.for_all
+          (function
+            | Syntax.Assign (y, _) | Syntax.Add (y, _, _) -> not (String.equal y v)
+            | Syntax.Print _ -> true)
+          b.Syntax.instrs)
+      ctx.program.Syntax.blocks
+  in
+  match z with
+  | Syntax.Var v -> String.equal v x
+  | Syntax.Int_lit n ->
+      never_reassigned x
+      && List.assoc_opt x ctx.input = Some (Syntax.Int n)
+  | Syntax.Bool_lit bv ->
+      never_reassigned x
+      && List.assoc_opt x ctx.input = Some (Syntax.Bool bv)
+
+let precondition ctx t =
+  let p = ctx.program in
+  match t with
+  | Split_block (b, o, f) -> (
+      match Syntax.find_block p b with
+      | Some blk -> o >= 0 && o <= List.length blk.Syntax.instrs && Syntax.is_fresh p f
+      | None -> false)
+  | Add_dead_block (b, f1, f2) -> (
+      match Syntax.find_block p b with
+      | Some blk -> (
+          match blk.Syntax.term with
+          | Syntax.Goto _ ->
+              Syntax.is_fresh p f1 && Syntax.is_fresh p f2 && not (String.equal f1 f2)
+          | Syntax.Cond_goto _ | Syntax.Halt -> false)
+      | None -> false)
+  | Add_load (b, o, f, x) -> (
+      match Syntax.find_block p b with
+      | Some blk ->
+          o >= 0
+          && o <= List.length blk.Syntax.instrs
+          && Syntax.is_fresh p f
+          && List.mem x (Syntax.variables p)
+      | None -> false)
+  | Add_store (b, o, x1, x2) -> (
+      match Syntax.find_block p b with
+      | Some blk ->
+          String_set.mem b ctx.dead_blocks
+          && o >= 0
+          && o <= List.length blk.Syntax.instrs
+          && List.mem x1 (Syntax.variables p)
+          && List.mem x2 (Syntax.variables p)
+      | None -> false)
+  | Change_rhs (b, o, x) -> (
+      match Syntax.find_block p b with
+      | Some blk -> (
+          match List.nth_opt blk.Syntax.instrs o with
+          | Some (Syntax.Assign (_, z)) ->
+              List.mem x (Syntax.variables p @ List.map fst ctx.input)
+              && guaranteed_equal ctx x z
+          | Some (Syntax.Add _ | Syntax.Print _) | None -> false)
+      | None -> false)
+
+let insert_at xs o x =
+  let rec go i = function
+    | rest when i = o -> x :: rest
+    | [] -> [ x ] (* unreachable under the precondition *)
+    | y :: rest -> y :: go (i + 1) rest
+  in
+  go 0 xs
+
+let apply ctx t =
+  let p = ctx.program in
+  match t with
+  | Split_block (b, o, f) ->
+      let blk = Option.get (Syntax.find_block p b) in
+      let before = List.filteri (fun i _ -> i < o) blk.Syntax.instrs in
+      let after = List.filteri (fun i _ -> i >= o) blk.Syntax.instrs in
+      let new_block = { Syntax.name = f; instrs = after; term = blk.Syntax.term } in
+      let p = Syntax.replace_block p { blk with Syntax.instrs = before; term = Syntax.Goto f } in
+      let p = Syntax.insert_block_after p ~after:b new_block in
+      { ctx with program = p }
+  | Add_dead_block (b, f1, f2) ->
+      let blk = Option.get (Syntax.find_block p b) in
+      let c = match blk.Syntax.term with Syntax.Goto c -> c | _ -> assert false in
+      let dead = { Syntax.name = f1; instrs = []; term = Syntax.Goto c } in
+      let p =
+        Syntax.replace_block p
+          {
+            blk with
+            Syntax.instrs = blk.Syntax.instrs @ [ Syntax.Assign (f2, Syntax.Bool_lit true) ];
+            term = Syntax.Cond_goto (f2, c, f1);
+          }
+      in
+      let p = Syntax.insert_block_after p ~after:b dead in
+      { ctx with program = p; dead_blocks = String_set.add f1 ctx.dead_blocks }
+  | Add_load (b, o, f, x) ->
+      let blk = Option.get (Syntax.find_block p b) in
+      let instrs = insert_at blk.Syntax.instrs o (Syntax.Assign (f, Syntax.Var x)) in
+      { ctx with program = Syntax.replace_block p { blk with Syntax.instrs = instrs } }
+  | Add_store (b, o, x1, x2) ->
+      let blk = Option.get (Syntax.find_block p b) in
+      let instrs = insert_at blk.Syntax.instrs o (Syntax.Assign (x1, Syntax.Var x2)) in
+      { ctx with program = Syntax.replace_block p { blk with Syntax.instrs = instrs } }
+  | Change_rhs (b, o, x) ->
+      let blk = Option.get (Syntax.find_block p b) in
+      let instrs =
+        List.mapi
+          (fun i instr ->
+            if i = o then
+              match instr with
+              | Syntax.Assign (y, _) -> Syntax.Assign (y, Syntax.Var x)
+              | other -> other
+            else instr)
+          blk.Syntax.instrs
+      in
+      { ctx with program = Syntax.replace_block p { blk with Syntax.instrs = instrs } }
+
+module Lang = struct
+  type nonrec context = context
+  type transformation = t
+
+  let type_id = type_id
+  let precondition = precondition
+  let apply = apply
+end
+
+module Apply = Tbct.Spec.Apply (Lang)

@@ -1,0 +1,60 @@
+(** The five transformation templates of Table 1, instantiating the generic
+    framework ({!Tbct.Spec}) for the basic-blocks language.
+
+    A context is (program, input, facts); the only fact kind is "block [b]
+    is dead".  Preconditions and effects follow Table 1 literally —
+    including the design flaws section 2.3 points out (SplitBlock's
+    block+offset parameters, AddDeadBlock's fused true-variable), because
+    reproducing those flaws is part of reproducing the paper's argument. *)
+
+module String_set : Set.S with type elt = string
+
+type context = {
+  program : Syntax.program;
+  input : Syntax.input;
+  dead_blocks : String_set.t;  (** the fact set: "block b is dead" *)
+}
+
+val initial_context : Syntax.program -> Syntax.input -> context
+
+type t =
+  | Split_block of string * int * string
+      (** [Split_block (b, o, f)]: instructions from offset [o] of [b] move
+          to new block [f]; [b] branches to [f] *)
+  | Add_dead_block of string * string * string
+      (** [Add_dead_block (b, f1, f2)]: new dead block [f1]; fresh variable
+          [f2 := true] guards the branch; records "f1 is dead" *)
+  | Add_load of string * int * string * string
+      (** [Add_load (b, o, f, x)]: insert [f := x] at offset [o], [f] fresh *)
+  | Add_store of string * int * string * string
+      (** [Add_store (b, o, x1, x2)]: insert [x1 := x2] at offset [o];
+          requires the "b is dead" fact *)
+  | Change_rhs of string * int * string
+      (** [Change_rhs (b, o, x)]: replace the right-hand side of the
+          assignment at [b\[o\]] with [x], which must be guaranteed equal *)
+
+val pp : Format.formatter -> t -> unit
+val show : t -> string
+val equal : t -> t -> bool
+
+val type_id : t -> string
+(** The Type component of Definition 2.4 — what deduplication compares. *)
+
+val precondition : context -> t -> bool
+val apply : context -> t -> context
+(** Only call under {!precondition}; preserves the program's printed
+    output (property-tested). *)
+
+(** The {!Tbct.Spec} instantiation and its derived [Apply] operations
+    (Definition 2.5: sequences skip transformations whose preconditions
+    fail). *)
+module Lang : sig
+  type nonrec context = context
+  type transformation = t
+
+  val type_id : transformation -> string
+  val precondition : context -> transformation -> bool
+  val apply : context -> transformation -> context
+end
+
+module Apply : module type of Tbct.Spec.Apply (Lang)

@@ -1,0 +1,1 @@
+lib/compilers/backend.pp.ml: Bug Image Input Interp List Module_ir Opt_util Optimizer Spirv_ir Target Validate

@@ -1,0 +1,1 @@
+lib/compilers/backend.pp.mli: Image Input Module_ir Spirv_ir Target

@@ -1,0 +1,1 @@
+lib/compilers/bug.pp.ml: Block Cfg Func Hashtbl Id Instr List Module_ir Spirv_ir String Ty

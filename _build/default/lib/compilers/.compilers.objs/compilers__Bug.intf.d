@@ -1,0 +1,1 @@
+lib/compilers/bug.pp.mli: Module_ir Spirv_ir

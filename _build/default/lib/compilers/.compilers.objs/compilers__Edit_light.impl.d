@@ -1,0 +1,1 @@
+lib/compilers/edit_light.pp.ml: Block Instr Spirv_ir

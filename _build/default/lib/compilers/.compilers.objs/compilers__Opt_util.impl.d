@@ -1,0 +1,1 @@
+lib/compilers/opt_util.pp.ml: Array Block Constant Func Hashtbl Id Instr List Module_ir Printf Spirv_ir Ty Value

@@ -1,0 +1,1 @@
+lib/compilers/optimizer.pp.ml: List Module_ir Opt_util Passes Ppx_deriving_runtime Spirv_ir

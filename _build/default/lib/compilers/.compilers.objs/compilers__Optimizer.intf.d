@@ -1,0 +1,1 @@
+lib/compilers/optimizer.pp.mli: Format Module_ir Passes Spirv_ir

@@ -1,0 +1,1 @@
+lib/compilers/passes.pp.ml: Block Cfg Constant Edit_light Func Hashtbl Id Instr List Module_ir Ops Opt_util Option Spirv_ir Ty Value

@@ -1,0 +1,1 @@
+lib/compilers/passes.pp.mli: Module_ir Spirv_ir

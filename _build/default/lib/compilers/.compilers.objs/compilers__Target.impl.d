@@ -1,0 +1,1 @@
+lib/compilers/target.pp.ml: List Optimizer Passes String

@@ -1,0 +1,1 @@
+lib/compilers/target.pp.mli: Optimizer Passes

@@ -1,0 +1,22 @@
+(** Running a test case on a target — the "compile and execute" box of
+    Figure 1.
+
+    Order of play: front-end crash predicates on the module as submitted;
+    the target's optimizer pipeline (possibly crashing via injected
+    optimizer bugs); back-end crash predicates on the optimized module;
+    validation of the optimizer's output (the "emits illegal SPIR-V" bug
+    class surfaces here as a crash signature); then, for device targets,
+    the target's miscompilation rewrites are applied and the result executed
+    over the input's fragment grid. *)
+
+open Spirv_ir
+
+type run_result =
+  | Rendered of Image.t  (** device targets: the image produced *)
+  | Compiled_ok          (** tooling targets (spirv-opt): no execution *)
+  | Crashed of string    (** a crash signature *)
+
+val run : Target.t -> Module_ir.t -> Input.t -> run_result
+
+val optimize_reference : Module_ir.t -> Module_ir.t option
+(** Clean [-O] for preparing optimized copies of reference shaders. *)

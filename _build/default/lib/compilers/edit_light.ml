@@ -1,0 +1,10 @@
+(** Tiny block helpers local to the optimizer. *)
+
+open Spirv_ir
+
+let phi_count (b : Block.t) =
+  let rec go n = function
+    | (i : Instr.t) :: rest when Instr.is_phi i -> go (n + 1) rest
+    | _ -> n
+  in
+  go 0 b.Block.instrs

@@ -1,0 +1,122 @@
+(** Shared helpers for the optimizer passes. *)
+
+open Spirv_ir
+
+exception Compiler_crash of string
+(** Raised by injected crash bugs; the signature string is what the harness
+    extracts (section 3.4: "a crash signature associated with the bug"). *)
+
+let crash fmt = Printf.ksprintf (fun s -> raise (Compiler_crash s)) fmt
+
+(** Intern a runtime value as a constant of the given type, creating
+    constituent constants as needed. *)
+let rec intern_value m ty (v : Value.t) =
+  match (Module_ir.find_type m ty, v) with
+  | Some Ty.Bool, Value.VBool b -> Module_ir.intern_constant m ~ty (Constant.Bool b)
+  | Some Ty.Int, Value.VInt i -> Module_ir.intern_constant m ~ty (Constant.Int i)
+  | Some Ty.Float, Value.VFloat f -> Module_ir.intern_constant m ~ty (Constant.Float f)
+  | Some _, Value.VComposite parts ->
+      let m, part_ids =
+        Array.to_list parts
+        |> List.mapi (fun i p -> (i, p))
+        |> List.fold_left
+             (fun (m, acc) (i, p) ->
+               match Module_ir.component_ty m ty i with
+               | Some cty ->
+                   let m, id = intern_value m cty p in
+                   (m, acc @ [ id ])
+               | None -> (m, acc))
+             (m, [])
+      in
+      Module_ir.intern_constant m ~ty (Constant.Composite part_ids)
+  | _ -> invalid_arg "intern_value: type/value mismatch"
+
+(** Map every instruction of every block of every function. *)
+let map_instrs m f =
+  {
+    m with
+    Module_ir.functions =
+      List.map
+        (fun (fn : Func.t) ->
+          {
+            fn with
+            Func.blocks =
+              List.map
+                (fun (b : Block.t) -> { b with Block.instrs = List.map f b.Block.instrs })
+                fn.Func.blocks;
+          })
+        m.Module_ir.functions;
+  }
+
+(** Substitute ids (via an association table) in all operand positions,
+    terminators included. *)
+let substitute_everywhere m table =
+  let s id = match Hashtbl.find_opt table id with Some id' -> id' | None -> id in
+  let subst_instr (i : Instr.t) =
+    let rec resolve id seen =
+      match Hashtbl.find_opt table id with
+      | Some id' when not (List.mem id' seen) -> resolve id' (id :: seen)
+      | _ -> id
+    in
+    ignore resolve;
+    let op =
+      match i.Instr.op with
+      | Instr.Binop (b, x, y) -> Instr.Binop (b, s x, s y)
+      | Instr.Unop (u, x) -> Instr.Unop (u, s x)
+      | Instr.Select (c, t, f) -> Instr.Select (s c, s t, s f)
+      | Instr.CompositeConstruct xs -> Instr.CompositeConstruct (List.map s xs)
+      | Instr.CompositeExtract (c, p) -> Instr.CompositeExtract (s c, p)
+      | Instr.CompositeInsert (o, c, p) -> Instr.CompositeInsert (s o, s c, p)
+      | Instr.Load p -> Instr.Load (s p)
+      | Instr.Store (p, v) -> Instr.Store (s p, s v)
+      | Instr.AccessChain (b, idxs) -> Instr.AccessChain (s b, List.map s idxs)
+      | Instr.FunctionCall (f, args) -> Instr.FunctionCall (f, List.map s args)
+      | Instr.Phi inc -> Instr.Phi (List.map (fun (v, b) -> (s v, b)) inc)
+      | Instr.CopyObject x -> Instr.CopyObject (s x)
+      | (Instr.Variable _ | Instr.Undef | Instr.Nop) as op -> op
+    in
+    { i with Instr.op }
+  in
+  let subst_term = function
+    | Block.BranchConditional (c, t, f) -> Block.BranchConditional (s c, t, f)
+    | Block.ReturnValue v -> Block.ReturnValue (s v)
+    | (Block.Branch _ | Block.Return | Block.Kill | Block.Unreachable) as t -> t
+  in
+  {
+    m with
+    Module_ir.functions =
+      List.map
+        (fun (fn : Func.t) ->
+          {
+            fn with
+            Func.blocks =
+              List.map
+                (fun (b : Block.t) ->
+                  {
+                    b with
+                    Block.instrs = List.map subst_instr b.Block.instrs;
+                    Block.terminator = subst_term b.Block.terminator;
+                  })
+                fn.Func.blocks;
+          })
+        m.Module_ir.functions;
+  }
+
+(** All ids used as operands anywhere in the module (terminator conditions
+    and return values included, branch targets and φ labels excluded). *)
+let used_value_ids m =
+  let used = ref Id.Set.empty in
+  List.iter
+    (fun (fn : Func.t) ->
+      List.iter
+        (fun (b : Block.t) ->
+          List.iter
+            (fun (i : Instr.t) ->
+              List.iter (fun u -> used := Id.Set.add u !used) (Instr.used_ids i))
+            b.Block.instrs;
+          List.iter
+            (fun u -> used := Id.Set.add u !used)
+            (Block.terminator_used_ids b.Block.terminator))
+        fn.Func.blocks)
+    m.Module_ir.functions;
+  !used

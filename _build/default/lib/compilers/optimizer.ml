@@ -1,0 +1,46 @@
+(** Pass pipelines: the [-O]-style standard optimization sequence and the
+    per-target pipelines. *)
+
+open Spirv_ir
+
+type pass_name =
+  | Const_fold
+  | Copy_prop
+  | Dce
+  | Simplify_cfg
+  | Phi_simplify
+  | Cse
+  | Inline
+  | Store_forward
+  | Dse
+[@@deriving show { with_path = false }, eq]
+
+let run_pass flags m = function
+  | Const_fold -> Passes.const_fold flags m
+  | Copy_prop -> Passes.copy_prop m
+  | Dce -> Passes.dce m
+  | Simplify_cfg -> Passes.simplify_cfg flags m
+  | Phi_simplify -> Passes.phi_simplify m
+  | Cse -> Passes.cse m
+  | Inline -> Passes.inline flags m
+  | Store_forward -> Passes.store_forward m
+  | Dse -> Passes.dse m
+
+let run ?(flags = Passes.no_bugs) pipeline m =
+  List.fold_left (run_pass flags) m pipeline
+
+(** The standard [-O] pipeline, run twice like spirv-opt's iterated
+    optimization loop. *)
+let standard =
+  let once =
+    [ Inline; Const_fold; Copy_prop; Simplify_cfg; Phi_simplify; Copy_prop;
+      Store_forward; Copy_prop; Cse; Copy_prop; Dse; Dce ]
+  in
+  once @ once
+
+(** Optimize a module with default (bug-free) flags — the "apply spirv-opt
+    with the -O argument" step of the paper's test pipeline. *)
+let optimize m : (Module_ir.t, string) result =
+  match run standard m with
+  | m' -> Ok m'
+  | exception Opt_util.Compiler_crash signature -> Error signature

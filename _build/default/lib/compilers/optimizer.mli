@@ -1,0 +1,39 @@
+(** Pass pipelines for the compilers under test.
+
+    [standard] is the [-O]-style sequence (run twice, like spirv-opt's
+    iterated optimization loop); each of the nine targets combines a
+    pipeline with a roster of injected bugs ({!Target}). *)
+
+open Spirv_ir
+
+type pass_name =
+  | Const_fold      (** constant folding, incl. composite extraction *)
+  | Copy_prop       (** copy propagation through [OpCopyObject] chains *)
+  | Dce             (** dead pure-instruction elimination, to fixpoint *)
+  | Simplify_cfg
+      (** constant-branch folding, unreachable-block removal,
+          straight-line block merging *)
+  | Phi_simplify    (** single-entry and all-same φs become copies *)
+  | Cse             (** block-local common-subexpression elimination *)
+  | Inline          (** single-block callee inlining (honours DontInline) *)
+  | Store_forward   (** block-local store-to-load forwarding *)
+  | Dse             (** stores to never-read local variables *)
+
+val pp_pass_name : Format.formatter -> pass_name -> unit
+val show_pass_name : pass_name -> string
+val equal_pass_name : pass_name -> pass_name -> bool
+
+val run_pass : Passes.flags -> Module_ir.t -> pass_name -> Module_ir.t
+
+val run : ?flags:Passes.flags -> pass_name list -> Module_ir.t -> Module_ir.t
+(** Run a pipeline.  With the default (bug-free) flags every pass is
+    semantics-preserving; the test suites check this on the corpus, on
+    random modules and on fuzzed variants.
+    @raise Opt_util.Compiler_crash when an enabled injected bug fires. *)
+
+val standard : pass_name list
+(** The [-O] pipeline. *)
+
+val optimize : Module_ir.t -> (Module_ir.t, string) result
+(** [run standard] with clean flags, catching crashes — the "apply spirv-opt
+    with the -O argument" step of the paper's test pipeline. *)

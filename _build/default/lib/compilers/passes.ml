@@ -1,0 +1,617 @@
+(** The optimizer passes (the spirv-opt analog).
+
+    Each pass is semantics-preserving by default; the [flags] record enables
+    the injected optimizer bugs that the spirv-opt / spirv-opt-old targets
+    exhibit.  Pass correctness is covered by the test suite (random modules
+    and fuzzed variants must render identically before and after each
+    pipeline). *)
+
+open Spirv_ir
+
+type flags = {
+  bug_fold_div_crash : bool;
+      (** crash when folding an integer division/modulo by constant zero *)
+  bug_keep_stale_phi_entries : bool;
+      (** when deleting unreachable blocks, forget to prune φ entries that
+          referenced them — emits invalid IR (the "spirv-opt emits illegal
+          SPIR-V" bug class of section 5) *)
+  bug_fold_sub_zero : bool;
+      (** miscompile: fold [x -. 0.0] to [0.0] instead of [x] *)
+  bug_inline_swaps_const_args : bool;
+      (** miscompile: the inliner swaps the first two arguments of a call
+          when both are constants *)
+}
+
+let no_bugs =
+  {
+    bug_fold_div_crash = false;
+    bug_keep_stale_phi_entries = false;
+    bug_fold_sub_zero = false;
+    bug_inline_swaps_const_args = false;
+  }
+
+(* ------------------------------------------------------------------ *)
+(* Constant folding                                                    *)
+
+let constant_of m id =
+  match Module_ir.find_constant m id with
+  | Some _ -> Some (Module_ir.const_value m id)
+  | None -> None
+
+let const_fold flags m =
+  let folded = ref m in
+  let fold_instr (i : Instr.t) =
+    let m = !folded in
+    match (i.Instr.result, i.Instr.ty, i.Instr.op) with
+    | Some r, Some ty, Instr.Binop (op, a, b) -> (
+        match (constant_of m a, constant_of m b) with
+        | Some va, Some vb -> (
+            (if flags.bug_fold_div_crash then
+               match (op, vb) with
+               | (Instr.SDiv | Instr.SMod), Value.VInt 0l ->
+                   Opt_util.crash
+                     "constant folder: integer division by zero (fold_binary_op)"
+               | _ -> ());
+            if flags.bug_fold_sub_zero && op = Instr.FSub && Value.equal vb (Value.VFloat 0.0)
+            then begin
+              (* wrong fold: x - 0.0 ~> 0.0 *)
+              let m', zero = Opt_util.intern_value m ty (Value.VFloat 0.0) in
+              folded := m';
+              Instr.make ~result:r ~ty (Instr.CopyObject zero)
+            end
+            else
+              match Ops.eval_binop op va vb with
+              | v ->
+                  let m', c = Opt_util.intern_value m ty v in
+                  folded := m';
+                  Instr.make ~result:r ~ty (Instr.CopyObject c)
+              | exception Ops.Type_error _ -> i)
+        | _ ->
+            (* identity simplifications on one constant operand *)
+            if flags.bug_fold_sub_zero && op = Instr.FSub
+               && constant_of m b = Some (Value.VFloat 0.0)
+            then begin
+              let m', zero = Opt_util.intern_value m ty (Value.VFloat 0.0) in
+              folded := m';
+              Instr.make ~result:r ~ty (Instr.CopyObject zero)
+            end
+            else i)
+    | Some r, Some ty, Instr.Unop (op, a) -> (
+        match constant_of m a with
+        | Some va -> (
+            match Ops.eval_unop op va with
+            | v ->
+                let m', c = Opt_util.intern_value m ty v in
+                folded := m';
+                Instr.make ~result:r ~ty (Instr.CopyObject c)
+            | exception Ops.Type_error _ -> i)
+        | None -> i)
+    | Some r, Some ty, Instr.Select (c, tv, fv) -> (
+        match constant_of m c with
+        | Some (Value.VBool b) ->
+            Instr.make ~result:r ~ty (Instr.CopyObject (if b then tv else fv))
+        | _ -> i)
+    | Some r, Some ty, Instr.CompositeExtract (src, path) -> (
+        match constant_of m src with
+        | Some v ->
+            let extracted = Value.extract_at_path v path in
+            let m', c = Opt_util.intern_value m ty extracted in
+            folded := m';
+            Instr.make ~result:r ~ty (Instr.CopyObject c)
+        | None -> i)
+    | _ -> i
+  in
+  let m' = Opt_util.map_instrs m fold_instr in
+  (* map_instrs consumed the original module; re-apply on the module that
+     accumulated new constants *)
+  let with_consts = { m' with Module_ir.constants = !folded.Module_ir.constants;
+                              Module_ir.types = !folded.Module_ir.types;
+                              Module_ir.id_bound = !folded.Module_ir.id_bound } in
+  with_consts
+
+(* ------------------------------------------------------------------ *)
+(* Copy propagation                                                    *)
+
+let copy_prop m =
+  let table = Hashtbl.create 32 in
+  List.iter
+    (fun (fn : Func.t) ->
+      List.iter
+        (fun (i : Instr.t) ->
+          match (i.Instr.result, i.Instr.op) with
+          | Some r, Instr.CopyObject src -> Hashtbl.replace table r src
+          | _ -> ())
+        (Func.all_instrs fn))
+    m.Module_ir.functions;
+  (* resolve chains so a -> b -> c collapses to a -> c *)
+  let resolved = Hashtbl.create 32 in
+  Hashtbl.iter
+    (fun r _ ->
+      let rec chase id steps =
+        if steps > 64 then id
+        else
+          match Hashtbl.find_opt table id with
+          | Some next -> chase next (steps + 1)
+          | None -> id
+      in
+      Hashtbl.replace resolved r (chase r 0))
+    table;
+  Opt_util.substitute_everywhere m resolved
+
+(* ------------------------------------------------------------------ *)
+(* Dead code elimination                                               *)
+
+let removable (i : Instr.t) =
+  match i.Instr.op with
+  | Instr.Binop _ | Instr.Unop _ | Instr.Select _ | Instr.CompositeConstruct _
+  | Instr.CompositeExtract _ | Instr.CompositeInsert _ | Instr.AccessChain _
+  | Instr.Phi _ | Instr.CopyObject _ | Instr.Undef | Instr.Nop | Instr.Load _
+  | Instr.Variable _ ->
+      true
+  | Instr.Store _ | Instr.FunctionCall _ -> false
+
+let dce m =
+  let rec iterate m =
+    let used = Opt_util.used_value_ids m in
+    let changed = ref false in
+    let prune_block (b : Block.t) =
+      {
+        b with
+        Block.instrs =
+          List.filter
+            (fun (i : Instr.t) ->
+              match i.Instr.result with
+              | Some r when removable i && not (Id.Set.mem r used) ->
+                  changed := true;
+                  false
+              | _ -> ( match i.Instr.op with
+                       | Instr.Nop -> changed := true; false
+                       | _ -> true))
+            b.Block.instrs;
+      }
+    in
+    let m' =
+      {
+        m with
+        Module_ir.functions =
+          List.map
+            (fun (fn : Func.t) ->
+              { fn with Func.blocks = List.map prune_block fn.Func.blocks })
+            m.Module_ir.functions;
+      }
+    in
+    if !changed then iterate m' else m'
+  in
+  iterate m
+
+(* ------------------------------------------------------------------ *)
+(* CFG simplification                                                  *)
+
+let remove_phi_entries_for ~pred (b : Block.t) =
+  {
+    b with
+    Block.instrs =
+      List.map
+        (fun (i : Instr.t) ->
+          match i.Instr.op with
+          | Instr.Phi inc ->
+              { i with Instr.op = Instr.Phi (List.filter (fun (_, p) -> not (Id.equal p pred)) inc) }
+          | _ -> i)
+        b.Block.instrs;
+  }
+
+let fold_constant_branches flags m (fn : Func.t) =
+  let changed = ref false in
+  let blocks = ref fn.Func.blocks in
+  let update_block label f =
+    blocks := List.map (fun (b : Block.t) -> if Id.equal b.Block.label label then f b else b) !blocks
+  in
+  List.iter
+    (fun (b : Block.t) ->
+      match b.Block.terminator with
+      | Block.BranchConditional (c, t, f) when not (Id.equal t f) -> (
+          match Module_ir.find_constant m c with
+          | Some { Module_ir.cd_value = Constant.Bool cond; _ } ->
+              let taken, untaken = if cond then (t, f) else (f, t) in
+              changed := true;
+              update_block b.Block.label (fun blk ->
+                  { blk with Block.terminator = Block.Branch taken });
+              (* the stale-phi bug forgets to prune the untaken target's
+                 φ entry for this predecessor, emitting invalid IR *)
+              if not flags.bug_keep_stale_phi_entries then
+                update_block untaken (remove_phi_entries_for ~pred:b.Block.label)
+          | _ -> ())
+      | Block.BranchConditional (c, t, f) when Id.equal t f ->
+          ignore c;
+          changed := true;
+          update_block b.Block.label (fun blk ->
+              { blk with Block.terminator = Block.Branch t })
+      | _ -> ())
+    fn.Func.blocks;
+  ({ fn with Func.blocks = !blocks }, !changed)
+
+let remove_unreachable_blocks flags (fn : Func.t) =
+  let cfg = Cfg.of_func fn in
+  let reachable = Cfg.reachable_labels cfg in
+  let is_reachable l = List.mem l reachable in
+  let dropped =
+    List.filter (fun (b : Block.t) -> not (is_reachable b.Block.label)) fn.Func.blocks
+  in
+  if dropped = [] then (fn, false)
+  else begin
+    let dropped_labels = List.map (fun (b : Block.t) -> b.Block.label) dropped in
+    let blocks = List.filter (fun (b : Block.t) -> is_reachable b.Block.label) fn.Func.blocks in
+    let blocks =
+      if flags.bug_keep_stale_phi_entries then blocks
+      else
+        List.map
+          (fun (b : Block.t) ->
+            List.fold_left (fun b pred -> remove_phi_entries_for ~pred b) b dropped_labels)
+          blocks
+    in
+    ({ fn with Func.blocks }, true)
+  end
+
+let merge_straight_line (fn : Func.t) =
+  let cfg = Cfg.of_func fn in
+  (* find b -> c with c's single pred = b, no φs in c, c not entry *)
+  let entry_label = (Func.entry_block fn).Block.label in
+  let candidate =
+    List.find_map
+      (fun (b : Block.t) ->
+        match b.Block.terminator with
+        | Block.Branch c when not (Id.equal c b.Block.label) -> (
+            match Func.find_block fn c with
+            | Some cb
+              when (not (Id.equal c entry_label))
+                   && Cfg.predecessors cfg c = [ b.Block.label ]
+                   && Edit_light.phi_count cb = 0
+                   && not
+                        (List.exists
+                           (fun (i : Instr.t) ->
+                             match i.Instr.op with Instr.Variable _ -> true | _ -> false)
+                           cb.Block.instrs) ->
+                Some (b, cb)
+            | _ -> None)
+        | _ -> None)
+      fn.Func.blocks
+  in
+  match candidate with
+  | None -> (fn, false)
+  | Some (b, cb) ->
+      let merged =
+        {
+          b with
+          Block.instrs = b.Block.instrs @ cb.Block.instrs;
+          Block.terminator = cb.Block.terminator;
+        }
+      in
+      let blocks =
+        List.filter_map
+          (fun (blk : Block.t) ->
+            if Id.equal blk.Block.label cb.Block.label then None
+            else if Id.equal blk.Block.label b.Block.label then Some merged
+            else Some blk)
+          fn.Func.blocks
+      in
+      (* φs in c's successors must rename the pred c -> b *)
+      let rename (blk : Block.t) =
+        {
+          blk with
+          Block.instrs =
+            List.map
+              (fun (i : Instr.t) ->
+                match i.Instr.op with
+                | Instr.Phi inc ->
+                    {
+                      i with
+                      Instr.op =
+                        Instr.Phi
+                          (List.map
+                             (fun (value, p) ->
+                               if Id.equal p cb.Block.label then (value, b.Block.label)
+                               else (value, p))
+                             inc);
+                    }
+                | _ -> i)
+              blk.Block.instrs;
+        }
+      in
+      ({ fn with Func.blocks = List.map rename blocks }, true)
+
+let simplify_cfg flags m =
+  let simplify_fn (fn : Func.t) =
+    let rec fix fn budget =
+      if budget = 0 then fn
+      else begin
+        let fn, c1 = fold_constant_branches flags m fn in
+        let fn, c2 = remove_unreachable_blocks flags fn in
+        let fn, c3 = merge_straight_line fn in
+        if c1 || c2 || c3 then fix fn (budget - 1) else fn
+      end
+    in
+    fix fn 64
+  in
+  { m with Module_ir.functions = List.map simplify_fn m.Module_ir.functions }
+
+(* ------------------------------------------------------------------ *)
+(* φ simplification                                                    *)
+
+let phi_simplify m =
+  Opt_util.map_instrs m (fun (i : Instr.t) ->
+      match (i.Instr.result, i.Instr.ty, i.Instr.op) with
+      | Some r, Some ty, Instr.Phi [ (v, _) ] ->
+          Instr.make ~result:r ~ty (Instr.CopyObject v)
+      | Some r, Some ty, Instr.Phi ((v0, _) :: rest)
+        when List.for_all (fun (v, _) -> Id.equal v v0) rest ->
+          Instr.make ~result:r ~ty (Instr.CopyObject v0)
+      | _ -> i)
+
+(* ------------------------------------------------------------------ *)
+(* Local common subexpression elimination                              *)
+
+let cse m =
+  let cse_block (b : Block.t) =
+    let seen : (string, Id.t) Hashtbl.t = Hashtbl.create 16 in
+    let instrs =
+      List.map
+        (fun (i : Instr.t) ->
+          match (i.Instr.result, i.Instr.ty, i.Instr.op) with
+          | Some r, Some ty, op -> (
+              let hashable =
+                match op with
+                | Instr.Binop _ | Instr.Unop _ | Instr.Select _
+                | Instr.CompositeConstruct _ | Instr.CompositeExtract _
+                | Instr.CompositeInsert _ ->
+                    Some (Instr.show_op op ^ "@" ^ Id.to_string ty)
+                | _ -> None
+              in
+              match hashable with
+              | None -> i
+              | Some key -> (
+                  match Hashtbl.find_opt seen key with
+                  | Some prior -> Instr.make ~result:r ~ty (Instr.CopyObject prior)
+                  | None ->
+                      Hashtbl.replace seen key r;
+                      i))
+          | _ -> i)
+        b.Block.instrs
+    in
+    { b with Block.instrs }
+  in
+  {
+    m with
+    Module_ir.functions =
+      List.map
+        (fun (fn : Func.t) -> { fn with Func.blocks = List.map cse_block fn.Func.blocks })
+        m.Module_ir.functions;
+  }
+
+(* ------------------------------------------------------------------ *)
+(* Local store-to-load forwarding                                      *)
+
+(* Forward [Store (p, v)] to subsequent [Load p] within a block, for direct
+   (non-access-chain) pointers.  Conservatively invalidated by calls, by any
+   store through an access chain, and per-pointer by overwrites. *)
+let store_forward m =
+  let access_chain_bases =
+    List.concat_map
+      (fun (fn : Func.t) ->
+        List.filter_map
+          (fun (i : Instr.t) ->
+            match i.Instr.op with
+            | Instr.AccessChain (base, _) -> Some base
+            | _ -> None)
+          (Func.all_instrs fn))
+      m.Module_ir.functions
+  in
+  let forward_block (b : Block.t) =
+    let known : (Id.t, Id.t) Hashtbl.t = Hashtbl.create 8 in
+    let instrs =
+      List.map
+        (fun (i : Instr.t) ->
+          match (i.Instr.result, i.Instr.ty, i.Instr.op) with
+          | _, _, Instr.Store (p, v) ->
+              if List.mem p access_chain_bases then Hashtbl.reset known
+              else Hashtbl.replace known p v;
+              i
+          | _, _, Instr.FunctionCall _ ->
+              Hashtbl.reset known;
+              i
+          | _, _, Instr.AccessChain _ ->
+              (* a fresh interior pointer: drop everything about its base *)
+              Hashtbl.reset known;
+              i
+          | Some r, Some ty, Instr.Load p -> (
+              match Hashtbl.find_opt known p with
+              | Some v when not (List.mem p access_chain_bases) ->
+                  Instr.make ~result:r ~ty (Instr.CopyObject v)
+              | _ -> i)
+          | _ -> i)
+        b.Block.instrs
+    in
+    { b with Block.instrs }
+  in
+  {
+    m with
+    Module_ir.functions =
+      List.map
+        (fun (fn : Func.t) ->
+          { fn with Func.blocks = List.map forward_block fn.Func.blocks })
+        m.Module_ir.functions;
+  }
+
+(* ------------------------------------------------------------------ *)
+(* Dead store elimination                                              *)
+
+(* Remove stores to function-local variables that are never read: the
+   variable's pointer is used only as the destination of stores. *)
+let dse m =
+  let eliminate_in (fn : Func.t) =
+    let vars =
+      List.filter_map
+        (fun (i : Instr.t) ->
+          match (i.Instr.result, i.Instr.op) with
+          | Some r, Instr.Variable Ty.Function -> Some r
+          | _ -> None)
+        (Func.all_instrs fn)
+    in
+    let read_anywhere v =
+      List.exists
+        (fun (i : Instr.t) ->
+          match i.Instr.op with
+          | Instr.Store (p, value) -> Id.equal value v && not (Id.equal p v) || Id.equal value v
+          | _ -> List.mem v (Instr.used_ids i))
+        (Func.all_instrs fn)
+      || List.exists
+           (fun (b : Block.t) -> List.mem v (Block.terminator_used_ids b.Block.terminator))
+           fn.Func.blocks
+    in
+    let write_only =
+      List.filter
+        (fun v ->
+          List.for_all
+            (fun (i : Instr.t) ->
+              match i.Instr.op with
+              | Instr.Store (p, value) -> Id.equal p v || not (Id.equal value v)
+              | _ -> not (List.mem v (Instr.used_ids i)))
+            (Func.all_instrs fn)
+          && not
+               (List.exists
+                  (fun (b : Block.t) ->
+                    List.mem v (Block.terminator_used_ids b.Block.terminator))
+                  fn.Func.blocks))
+        vars
+    in
+    ignore read_anywhere;
+    {
+      fn with
+      Func.blocks =
+        List.map
+          (fun (b : Block.t) ->
+            {
+              b with
+              Block.instrs =
+                List.filter
+                  (fun (i : Instr.t) ->
+                    match i.Instr.op with
+                    | Instr.Store (p, _) -> not (List.mem p write_only)
+                    | _ -> true)
+                  b.Block.instrs;
+            })
+          fn.Func.blocks;
+    }
+  in
+  { m with Module_ir.functions = List.map eliminate_in m.Module_ir.functions }
+
+(* ------------------------------------------------------------------ *)
+(* Inlining                                                            *)
+
+let inline flags m =
+  let is_inlinable (g : Func.t) =
+    (not (Func.equal_control g.Func.control Func.DontInline))
+    &&
+    match g.Func.blocks with
+    | [ body ] -> (
+        match body.Block.terminator with
+        | Block.ReturnValue _ ->
+            List.for_all
+              (fun (i : Instr.t) ->
+                match i.Instr.op with
+                | Instr.Variable _ | Instr.Phi _ -> false
+                | _ -> true)
+              body.Block.instrs
+        | _ -> false)
+    | _ -> false
+  in
+  let bound = ref m.Module_ir.id_bound in
+  let fresh () =
+    let id = !bound in
+    incr bound;
+    id
+  in
+  let inline_into (fn : Func.t) =
+    let inline_block (b : Block.t) =
+      let instrs =
+        List.concat_map
+          (fun (i : Instr.t) ->
+            match (i.Instr.result, i.Instr.op) with
+            | Some call_id, Instr.FunctionCall (callee, args) -> (
+                match Module_ir.find_function m callee with
+                | Some g when is_inlinable g && not (Id.equal g.Func.id fn.Func.id) -> (
+                    let args =
+                      if
+                        flags.bug_inline_swaps_const_args
+                        && List.length args >= 2
+                        &&
+                        match args with
+                        | a0 :: a1 :: _ ->
+                            Module_ir.find_constant m a0 <> None
+                            && Module_ir.find_constant m a1 <> None
+                            && Module_ir.type_of_id m a0 = Module_ir.type_of_id m a1
+                        | _ -> false
+                      then
+                        match args with
+                        | a0 :: a1 :: rest -> a1 :: a0 :: rest
+                        | _ -> args
+                      else args
+                    in
+                    match g.Func.blocks with
+                    | [ body ] -> (
+                        match body.Block.terminator with
+                        | Block.ReturnValue ret_val ->
+                            let param_map =
+                              List.map2
+                                (fun (p : Func.param) a -> (p.Func.param_id, a))
+                                g.Func.params args
+                            in
+                            let result_map =
+                              List.filter_map
+                                (fun (j : Instr.t) ->
+                                  Option.map (fun r -> (r, fresh ())) j.Instr.result)
+                                body.Block.instrs
+                            in
+                            let map = param_map @ result_map in
+                            let remap id =
+                              match List.assoc_opt id map with Some x -> x | None -> id
+                            in
+                            let body_instrs =
+                              List.map
+                                (fun (j : Instr.t) ->
+                                  let j' =
+                                    Instr.
+                                      {
+                                        result = Option.map remap j.result;
+                                        ty = j.ty;
+                                        op = j.op;
+                                      }
+                                  in
+                                  (* remap operands *)
+                                  List.fold_left
+                                    (fun (acc : Instr.t) (old_id, new_id) ->
+                                      Instr.substitute_uses ~old_id ~new_id acc)
+                                    j' map)
+                                body.Block.instrs
+                            in
+                            let epilogue =
+                              {
+                                Instr.result = Some call_id;
+                                Instr.ty = i.Instr.ty;
+                                Instr.op = Instr.CopyObject (remap ret_val);
+                              }
+                            in
+                            body_instrs @ [ epilogue ]
+                        | _ -> [ i ])
+                    | _ -> [ i ])
+                | _ -> [ i ])
+            | _ -> [ i ])
+          b.Block.instrs
+      in
+      { b with Block.instrs }
+    in
+    { fn with Func.blocks = List.map inline_block fn.Func.blocks }
+  in
+  let m' =
+    { m with Module_ir.functions = List.map inline_into m.Module_ir.functions }
+  in
+  { m' with Module_ir.id_bound = !bound }

@@ -1,0 +1,34 @@
+(** The optimizer passes (the spirv-opt analog).
+
+    Every pass is semantics-preserving with {!no_bugs}; the [flags] record
+    enables the optimizer-hosted injected bugs that the spirv-opt /
+    spirv-opt-old / SwiftShader targets exhibit.  Correctness is covered by
+    the test suite: each pass and the full pipeline preserve rendered images
+    on the corpus, on random generated modules and on fuzzed variants. *)
+
+open Spirv_ir
+
+type flags = {
+  bug_fold_div_crash : bool;
+      (** crash when folding an integer division/modulo by constant zero *)
+  bug_keep_stale_phi_entries : bool;
+      (** constant-branch folding forgets to prune the untaken target's φ
+          entry — emits invalid IR (the "emits illegal SPIR-V" bug class) *)
+  bug_fold_sub_zero : bool;
+      (** miscompile: fold [x -. 0.0] to [0.0] instead of [x] *)
+  bug_inline_swaps_const_args : bool;
+      (** miscompile: the inliner swaps the first two arguments of a call
+          when both are same-typed constants *)
+}
+
+val no_bugs : flags
+
+val const_fold : flags -> Module_ir.t -> Module_ir.t
+val copy_prop : Module_ir.t -> Module_ir.t
+val dce : Module_ir.t -> Module_ir.t
+val simplify_cfg : flags -> Module_ir.t -> Module_ir.t
+val phi_simplify : Module_ir.t -> Module_ir.t
+val cse : Module_ir.t -> Module_ir.t
+val store_forward : Module_ir.t -> Module_ir.t
+val dse : Module_ir.t -> Module_ir.t
+val inline : flags -> Module_ir.t -> Module_ir.t

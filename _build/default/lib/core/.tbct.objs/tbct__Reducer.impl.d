@@ -1,0 +1,1 @@
+lib/core/reducer.ml: Hashtbl List

@@ -1,0 +1,1 @@
+lib/core/rng.ml: Array Hashtbl Int64 List Stdlib

@@ -1,0 +1,55 @@
+module String_set = Set.Make (String)
+
+type 'a config = {
+  types_of : 'a -> String_set.t;
+  ignored : String_set.t;
+}
+
+let effective_types config t = String_set.diff (config.types_of t) config.ignored
+
+let select config tests =
+  (* Pair each test with its filtered type set once; drop signal-free tests. *)
+  let tagged =
+    List.filter_map
+      (fun t ->
+        let tys = effective_types config t in
+        if String_set.is_empty tys then None else Some (t, tys))
+      tests
+  in
+  let max_size =
+    List.fold_left (fun acc (_, tys) -> max acc (String_set.cardinal tys)) 0 tagged
+  in
+  (* Figure 6: while Tests nonempty, find a test with |types| = i (smallest
+     first); select it and discard every test sharing a type with it. *)
+  let rec loop i remaining selected =
+    match remaining with
+    | [] -> List.rev selected
+    | _ when i > max_size -> List.rev selected
+    | _ -> (
+        let found =
+          List.find_opt (fun (_, tys) -> String_set.cardinal tys = i) remaining
+        in
+        match found with
+        | None -> loop (i + 1) remaining selected
+        | Some (t, tys) ->
+            let survivors =
+              List.filter
+                (fun (_, tys') -> String_set.is_empty (String_set.inter tys tys'))
+                remaining
+            in
+            loop i survivors ((t, tys) :: selected))
+  in
+  List.map fst (loop 1 tagged [])
+
+let pairwise_disjoint config tests =
+  let rec check = function
+    | [] -> true
+    | t :: rest ->
+        let tys = effective_types config t in
+        List.for_all
+          (fun t' ->
+            String_set.is_empty (String_set.inter tys (effective_types config t')))
+          rest
+        && check rest
+  in
+  check tests

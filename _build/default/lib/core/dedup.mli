@@ -1,0 +1,32 @@
+(** Heuristic test-case deduplication (Figure 6 of the paper).
+
+    Given a set of {e reduced} test cases, each characterised by the
+    (unordered, duplicate-free) set of transformation types its minimized
+    transformation sequence contains, select a subset to recommend for manual
+    investigation such that no two recommended tests share a transformation
+    type.  Tests with few transformation types are preferred (the algorithm
+    scans candidate set sizes [i = 1, 2, ...]), on the intuition that a
+    smaller type set pins down the bug trigger more precisely. *)
+
+module String_set : Set.S with type elt = string
+
+type 'a config = {
+  types_of : 'a -> String_set.t;
+      (** transformation types of a reduced test *)
+  ignored : String_set.t;
+      (** types excluded before comparison — the paper's section 3.5 list of
+          supporting / enabler transformations (e.g. adding types and
+          constants, SplitBlock, AddFunction, ReplaceIdWithSynonym).  Pass
+          {!String_set.empty} to disable the refinement. *)
+}
+
+val select : 'a config -> 'a list -> 'a list
+(** [select config tests] returns the subset recommended for investigation,
+    in selection order.  Tests whose type set is empty after removing
+    [config.ignored] are never selected (they carry no deduplication signal
+    and would otherwise make the Figure 6 loop diverge); this matches the
+    behaviour of the spirv-fuzz companion script. *)
+
+val pairwise_disjoint : 'a config -> 'a list -> bool
+(** Invariant of {!select}'s output: no two selected tests share a
+    (non-ignored) transformation type.  Exposed for property tests. *)

@@ -1,0 +1,44 @@
+module type LANGUAGE = sig
+  type context
+  type transformation
+
+  val type_id : transformation -> string
+  val precondition : context -> transformation -> bool
+  val apply : context -> transformation -> context
+end
+
+module Apply (L : LANGUAGE) = struct
+  type step = { transformation : L.transformation; applied : bool }
+
+  let step ctx t =
+    if L.precondition ctx t then (L.apply ctx t, true) else (ctx, false)
+
+  let sequence ctx ts =
+    let ctx, rev_steps =
+      List.fold_left
+        (fun (ctx, acc) t ->
+          let ctx, applied = step ctx t in
+          (ctx, { transformation = t; applied } :: acc))
+        (ctx, []) ts
+    in
+    (ctx, List.rev rev_steps)
+
+  let sequence_ctx ctx ts = List.fold_left (fun ctx t -> fst (step ctx t)) ctx ts
+
+  let applied_subsequence ctx ts =
+    let _, steps = sequence ctx ts in
+    List.filter_map
+      (fun s -> if s.applied then Some s.transformation else None)
+      steps
+
+  let check_preserves ~semantics ~equal ctx ts =
+    let reference = semantics ctx in
+    let rec go i ctx = function
+      | [] -> Ok ()
+      | t :: rest ->
+          let ctx, _ = step ctx t in
+          if equal reference (semantics ctx) then go (i + 1) ctx rest
+          else Error i
+    in
+    go 0 ctx ts
+end

@@ -1,0 +1,56 @@
+(** The formal core of transformation-based compiler testing (section 2.2).
+
+    A {e context} is a (program, input, facts) triple such that the program
+    is well-defined on the input (Definition 2.3).  A {e transformation} has
+    a type identifier, a precondition over contexts and an effect that, when
+    the precondition holds, yields a context with identical semantics
+    (Definition 2.4).  Sequences of transformations are applied by skipping
+    those whose preconditions fail (Definition 2.5) — the property that makes
+    delta debugging over subsequences sound.
+
+    The module is a functor over the language of interest; it is instantiated
+    by [Bb_lang] (the paper's "basic blocks" teaching language) and by
+    [Spirv_fuzz] (the SPIR-V-like IR). *)
+
+module type LANGUAGE = sig
+  type context
+  (** program + input + facts *)
+
+  type transformation
+
+  val type_id : transformation -> string
+  (** The [Type] component (Definition 2.4), used for deduplication. *)
+
+  val precondition : context -> transformation -> bool
+
+  val apply : context -> transformation -> context
+  (** Only called when [precondition] holds; must preserve semantics. *)
+end
+
+module Apply (L : LANGUAGE) : sig
+  type step = {
+    transformation : L.transformation;
+    applied : bool;  (** false when the precondition failed and it was skipped *)
+  }
+
+  val sequence : L.context -> L.transformation list -> L.context * step list
+  (** Definition 2.5: fold the sequence over the context, skipping
+      transformations whose preconditions do not hold. *)
+
+  val sequence_ctx : L.context -> L.transformation list -> L.context
+  (** [sequence] without the per-step log. *)
+
+  val applied_subsequence : L.context -> L.transformation list -> L.transformation list
+  (** The transformations that actually applied, in order. *)
+
+  val check_preserves :
+    semantics:(L.context -> 'r) ->
+    equal:('r -> 'r -> bool) ->
+    L.context ->
+    L.transformation list ->
+    (unit, int) result
+  (** Theorem 2.6 test harness: apply the sequence one step at a time and
+      compare semantics after every step against the original context.
+      Returns [Error i] with the index of the first semantics-changing step,
+      if any.  Used by the property-based test suites. *)
+end

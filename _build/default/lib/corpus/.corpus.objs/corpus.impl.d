@@ -1,0 +1,1 @@
+lib/corpus/corpus.ml: Ast Dsl Glsl_like Lazy List Lower Printf Spirv_fuzz Spirv_ir Typecheck

@@ -1,0 +1,1 @@
+lib/corpus/dsl.ml: Ast Glsl_like

@@ -1,0 +1,421 @@
+(** The reference and donor shader corpus.
+
+    Plays the role of the 21 numerically-stable GraphicsFuzz reference
+    shaders and the 43-shader donor set (section 4, "References, donors and
+    test execution").  Every program type-checks, lowers to a valid module,
+    and renders deterministically on the default input. *)
+
+module Dsl = Dsl
+(** Re-exported so downstream code (tests, examples) can write corpus-style
+    programs with the same combinators. *)
+
+open Glsl_like
+open Dsl
+
+(* The uniforms shared by all corpus programs; several values coincide with
+   common literal constants so that ReplaceConstantWithUniform has material
+   to work with. *)
+let uniforms =
+  [
+    (Ast.TFloat, "u_zero");
+    (Ast.TFloat, "u_one");
+    (Ast.TFloat, "u_half");
+    (Ast.TFloat, "u_scale");
+    (Ast.TInt, "u_steps");
+    (Ast.TInt, "u_mode");
+    (Ast.TBool, "u_true");
+    (Ast.TBool, "u_false");
+  ]
+
+let default_input =
+  Spirv_ir.Input.make ~width:8 ~height:8
+    [
+      ("u_zero", Spirv_ir.Value.VFloat 0.0);
+      ("u_one", Spirv_ir.Value.VFloat 1.0);
+      ("u_half", Spirv_ir.Value.VFloat 0.5);
+      ("u_scale", Spirv_ir.Value.VFloat 8.0);
+      ("u_steps", Spirv_ir.Value.VInt 4l);
+      ("u_mode", Spirv_ir.Value.VInt 2l);
+      ("u_true", Spirv_ir.Value.VBool true);
+      ("u_false", Spirv_ir.Value.VBool false);
+    ]
+
+let mk name main = (name, program ~uniforms main)
+let mk_fns name functions main = (name, program ~uniforms ~functions main)
+
+(* 1. horizontal gradient *)
+let gradient = mk "gradient" [ color nx ny (v "u_half") ]
+
+(* 2. checkerboard via integer mod *)
+let checkerboard =
+  mk "checkerboard"
+    [
+      dint "cx" (f2i (v "gl_x"));
+      dint "cy" (f2i (v "gl_y"));
+      dint "parity" (md (add (v "cx") (v "cy")) (il 2));
+      if_ (eq (v "parity") (il 0))
+        [ color (v "u_one") (v "u_one") (v "u_one") ]
+        [ color (v "u_zero") (v "u_zero") (v "u_zero") ];
+    ]
+
+(* 3. bounded loop accumulation *)
+let loop_sum =
+  mk "loop_sum"
+    [
+      dfloat "acc" (fl 0.0);
+      for_ "i" 0 4 [ set "acc" (add (v "acc") (mul nx (fl 0.2))) ];
+      color (v "acc") ny (v "u_half");
+    ]
+
+(* 4. nested conditionals *)
+let nested_if =
+  mk "nested_if"
+    [
+      dfloat "r" (fl 0.1);
+      if_ (gt nx (fl 0.5))
+        [ if_ (gt ny (fl 0.5)) [ set "r" (fl 0.9) ] [ set "r" (fl 0.6) ] ]
+        [ if_ (gt ny (fl 0.5)) [ set "r" (fl 0.4) ] [ set "r" (fl 0.2) ] ];
+      color (v "r") (v "r") (v "r");
+    ]
+
+(* 5. helper function: scaled distance *)
+let helper_distance =
+  mk_fns "helper_distance"
+    [
+      fn "dist2" [ (Ast.TFloat, "a"); (Ast.TFloat, "b") ] ~ret:Ast.TFloat
+        [ ret (add (mul (v "a") (v "a")) (mul (v "b") (v "b"))) ];
+    ]
+    [
+      dfloat "d" (call "dist2" [ sub nx (fl 0.5); sub ny (fl 0.5) ]);
+      if_ (lt (v "d") (fl 0.1))
+        [ color (v "u_one") (v "u_zero") (v "u_zero") ]
+        [ color (v "u_zero") (v "d") (v "u_half") ];
+    ]
+
+(* 6. loop with early saturation via conditional *)
+let saturate =
+  mk "saturate"
+    [
+      dfloat "acc" nx;
+      for_ "i" 0 6
+        [
+          set "acc" (add (v "acc") (fl 0.15));
+          if_ (gt (v "acc") (fl 1.0)) [ set "acc" (fl 1.0) ] [];
+        ];
+      color (v "acc") (sub (fl 1.0) (v "acc")) ny;
+    ]
+
+(* 7. vector construction and extraction *)
+let vector_mix =
+  mk "vector_mix"
+    [
+      decl (Ast.TVec 3) "c" (vec [ nx; ny; v "u_half" ]);
+      dfloat "lum"
+        (dvd (add (add (comp (v "c") 0) (comp (v "c") 1)) (comp (v "c") 2)) (fl 3.0));
+      color (v "lum") (comp (v "c") 0) (comp (v "c") 2);
+    ]
+
+(* 8. integer mode dispatch (uniform-controlled) *)
+let mode_dispatch =
+  mk "mode_dispatch"
+    [
+      dfloat "r" (fl 0.0);
+      if_ (eq (v "u_mode") (il 0)) [ set "r" nx ] [];
+      if_ (eq (v "u_mode") (il 1)) [ set "r" ny ] [];
+      if_ (eq (v "u_mode") (il 2)) [ set "r" (mul nx ny) ] [];
+      if_ (ge (v "u_mode") (il 3)) [ set "r" (v "u_one") ] [];
+      color (v "r") (v "r") (v "u_half");
+    ]
+
+(* 9. two helpers, one calling pattern shared *)
+let two_helpers =
+  mk_fns "two_helpers"
+    [
+      fn "bump" [ (Ast.TFloat, "x") ] ~ret:Ast.TFloat
+        [ ret (mul (v "x") (sub (fl 1.0) (v "x"))) ];
+      fn "avg" [ (Ast.TFloat, "a"); (Ast.TFloat, "b") ] ~ret:Ast.TFloat
+        [ ret (dvd (add (v "a") (v "b")) (fl 2.0)) ];
+    ]
+    [
+      dfloat "bx" (call "bump" [ nx ]);
+      dfloat "by" (call "bump" [ ny ]);
+      color (call "avg" [ v "bx"; v "by" ]) (v "bx") (v "by");
+    ]
+
+(* 10. loop over uniform-bounded steps: staircase *)
+let staircase =
+  mk "staircase"
+    [
+      dfloat "level" (fl 0.0);
+      dint "band" (f2i (mul nx (fl 4.0)));
+      for_ "i" 0 4
+        [ if_ (lt (v "i") (v "band")) [ set "level" (add (v "level") (fl 0.25)) ] [] ];
+      color (v "level") (v "level") ny;
+    ]
+
+(* 11. rings by squared distance bands *)
+let rings =
+  mk "rings"
+    [
+      dfloat "dx" (sub nx (v "u_half"));
+      dfloat "dy" (sub ny (v "u_half"));
+      dfloat "d" (add (mul (v "dx") (v "dx")) (mul (v "dy") (v "dy")));
+      dint "band" (f2i (mul (v "d") (fl 16.0)));
+      dint "p" (md (v "band") (il 2));
+      if_ (eq (v "p") (il 0))
+        [ color (v "u_one") (v "d") (v "u_zero") ]
+        [ color (v "u_zero") (v "d") (v "u_one") ];
+    ]
+
+(* 12. boolean algebra on regions *)
+let regions =
+  mk "regions"
+    [
+      dbool "left" (lt nx (fl 0.5));
+      dbool "top" (lt ny (fl 0.5));
+      dbool "stripe" (eq (md (f2i (v "gl_x")) (il 3)) (il 0));
+      if_ (and_ (v "left") (or_ (v "top") (v "stripe")))
+        [ color (fl 0.8) (fl 0.3) (fl 0.1) ]
+        [ color (fl 0.1) (fl 0.3) (fl 0.8) ];
+    ]
+
+(* 13. nested loops: multiplication table shading *)
+let nested_loops =
+  mk "nested_loops"
+    [
+      dfloat "acc" (fl 0.0);
+      for_ "i" 0 3
+        [ for_ "j" 0 3 [ set "acc" (add (v "acc") (mul (i2f (v "i")) (fl 0.02))) ] ];
+      color (v "acc") (mul (v "acc") nx) (mul (v "acc") ny);
+    ]
+
+(* 14. helper with conditional return paths *)
+let step_helper =
+  mk_fns "step_helper"
+    [
+      fn "step" [ (Ast.TFloat, "edge"); (Ast.TFloat, "x") ] ~ret:Ast.TFloat
+        [ if_ (ge (v "x") (v "edge")) [ ret (fl 1.0) ] [ ret (fl 0.0) ] ];
+    ]
+    [
+      dfloat "s1" (call "step" [ fl 0.25; v "gl_x" ]);
+      dfloat "s2" (call "step" [ fl 0.5; ny ]);
+      color (v "s1") (v "s2") (mul (v "s1") (v "s2"));
+    ]
+
+(* 15. integer bit-ish patterns with division *)
+let int_pattern =
+  mk "int_pattern"
+    [
+      dint "xi" (f2i (v "gl_x"));
+      dint "yi" (f2i (v "gl_y"));
+      dint "q" (dvd (mul (v "xi") (add (v "yi") (il 1))) (il 3));
+      dfloat "shade" (dvd (i2f (md (v "q") (il 5))) (fl 4.0));
+      color (v "shade") (sub (fl 1.0) (v "shade")) (v "u_half");
+    ]
+
+(* 16. chained helper calls *)
+let chained_helpers =
+  mk_fns "chained_helpers"
+    [
+      fn "clamp01" [ (Ast.TFloat, "x") ] ~ret:Ast.TFloat
+        [
+          dfloat "r" (v "x");
+          if_ (lt (v "r") (fl 0.0)) [ set "r" (fl 0.0) ] [];
+          if_ (gt (v "r") (fl 1.0)) [ set "r" (fl 1.0) ] [];
+          ret (v "r");
+        ];
+      fn "tri" [ (Ast.TFloat, "x") ] ~ret:Ast.TFloat
+        [ ret (call "clamp01" [ sub (fl 1.0) (mul (fl 2.0) (v "x")) ]) ];
+    ]
+    [
+      dfloat "a" (call "tri" [ nx ]);
+      dfloat "b" (call "tri" [ ny ]);
+      color (v "a") (v "b") (call "clamp01" [ add (v "a") (v "b") ]);
+    ]
+
+(* 17. accumulating vector via components *)
+let vec_accumulate =
+  mk "vec_accumulate"
+    [
+      decl (Ast.TVec 2) "p" (vec [ nx; ny ]);
+      dfloat "acc" (fl 0.0);
+      for_ "i" 0 3
+        [ set "acc" (add (v "acc") (mul (comp (v "p") 0) (comp (v "p") 1))) ];
+      color (v "acc") (comp (v "p") 0) (comp (v "p") 1);
+    ]
+
+(* 18. diagonal bands with negation *)
+let diagonal =
+  mk "diagonal"
+    [
+      dfloat "d" (sub nx ny);
+      dfloat "ad" (v "d");
+      if_ (lt (v "ad") (fl 0.0)) [ set "ad" (neg (v "ad")) ] [];
+      dint "band" (f2i (mul (v "ad") (fl 6.0)));
+      if_ (eq (md (v "band") (il 2)) (il 0))
+        [ color (v "ad") (v "u_one") (v "u_zero") ]
+        [ color (v "u_one") (v "ad") (v "u_half") ];
+    ]
+
+(* 19. uniform-scaled plasma-like mix *)
+let plasma =
+  mk "plasma"
+    [
+      dfloat "t" (dvd (v "gl_x") (v "u_scale"));
+      dfloat "s" (dvd (v "gl_y") (v "u_scale"));
+      dfloat "w" (mul (v "t") (sub (fl 1.0) (v "s")));
+      dfloat "q" (mul (v "s") (sub (fl 1.0) (v "t")));
+      color (add (v "w") (v "q")) (sub (v "w") (v "q")) (mul (v "w") (v "q"));
+    ]
+
+(* 20. loop with conditional discard-free masking *)
+let masked_sum =
+  mk "masked_sum"
+    [
+      dfloat "acc" (fl 0.0);
+      dint "limit" (v "u_steps");
+      for_ "i" 0 8
+        [
+          if_ (lt (v "i") (v "limit"))
+            [ set "acc" (add (v "acc") (fl 0.1)) ]
+            [ set "acc" (add (v "acc") (fl 0.01)) ];
+        ];
+      color (v "acc") (mul (v "acc") nx) (v "u_half");
+    ]
+
+(* 21. everything combined: helpers + loops + vectors + modes *)
+let kitchen_sink =
+  mk_fns "kitchen_sink"
+    [
+      fn "mixf" [ (Ast.TFloat, "a"); (Ast.TFloat, "b"); (Ast.TFloat, "t") ] ~ret:Ast.TFloat
+        [ ret (add (mul (v "a") (sub (fl 1.0) (v "t"))) (mul (v "b") (v "t"))) ];
+      fn "fold" [ (Ast.TInt, "n"); (Ast.TFloat, "seed") ] ~ret:Ast.TFloat
+        [
+          dfloat "acc" (v "seed");
+          for_ "k" 0 4
+            [ if_ (lt (v "k") (v "n")) [ set "acc" (mul (v "acc") (fl 0.8)) ] [] ];
+          ret (v "acc");
+        ];
+    ]
+    [
+      dfloat "base" (call "fold" [ v "u_steps"; add nx (fl 0.2) ]);
+      decl (Ast.TVec 3) "c"
+        (vec [ v "base"; call "mixf" [ nx; ny; v "u_half" ]; v "u_half" ]);
+      dfloat "r" (comp (v "c") 0);
+      if_ (eq (v "u_mode") (il 2))
+        [ set "r" (call "mixf" [ comp (v "c") 0; comp (v "c") 2; fl 0.25 ]) ]
+        [];
+      color (v "r") (comp (v "c") 1) (comp (v "c") 2);
+    ]
+
+(* 22. matrix transform: a fixed 2x2 shear applied to the fragment position *)
+let matrix_shear =
+  mk "matrix_shear"
+    [
+      decl (Ast.TMat 2) "m"
+        (mat [ vec [ fl 1.0; fl 0.25 ]; vec [ fl 0.5; fl 1.0 ] ]);
+      decl (Ast.TVec 2) "p" (vec [ nx; ny ]);
+      decl (Ast.TVec 2) "q" (matvec (v "m") (v "p"));
+      color (comp (v "q") 0) (comp (v "q") 1) (v "u_half");
+    ]
+
+(* 23. matrix columns drive a banded pattern *)
+let matrix_bands =
+  mk_fns "matrix_bands"
+    [
+      fn "mix2" [ (Ast.TVec 2, "a"); (Ast.TFloat, "t") ] ~ret:Ast.TFloat
+        [
+          ret
+            (add
+               (mul (comp (v "a") 0) (sub (fl 1.0) (v "t")))
+               (mul (comp (v "a") 1) (v "t")));
+        ];
+    ]
+    [
+      decl (Ast.TMat 2) "basis"
+        (mat [ vec [ v "u_one"; v "u_zero" ]; vec [ v "u_half"; v "u_one" ] ]);
+      dfloat "w" (call "mix2" [ col (v "basis") 0; nx ]);
+      dfloat "q" (call "mix2" [ col (v "basis") 1; ny ]);
+      if_ (gt (v "w") (v "q"))
+        [ color (v "w") (v "q") (v "u_zero") ]
+        [ color (v "q") (v "w") (v "u_one") ];
+    ]
+
+let references =
+  [
+    gradient; checkerboard; loop_sum; nested_if; helper_distance; saturate;
+    vector_mix; mode_dispatch; two_helpers; staircase; rings; regions;
+    nested_loops; step_helper; int_pattern; chained_helpers; vec_accumulate;
+    diagonal; plasma; masked_sum; kitchen_sink; matrix_shear; matrix_bands;
+  ]
+
+(* Extra donor-only programs: rich in leaf helper functions for AddFunction. *)
+let donor_extra =
+  [
+    mk_fns "donor_polys"
+      [
+        fn "poly2" [ (Ast.TFloat, "x") ] ~ret:Ast.TFloat
+          [ ret (add (mul (v "x") (v "x")) (mul (fl 0.5) (v "x"))) ];
+        fn "poly3" [ (Ast.TFloat, "x"); (Ast.TFloat, "k") ] ~ret:Ast.TFloat
+          [ ret (add (mul (mul (v "x") (v "x")) (v "x")) (v "k")) ];
+        fn "hat" [ (Ast.TFloat, "x") ] ~ret:Ast.TFloat
+          [
+            dfloat "y" (v "x");
+            if_ (gt (v "y") (fl 0.5)) [ set "y" (sub (fl 1.0) (v "y")) ] [];
+            ret (mul (fl 2.0) (v "y"));
+          ];
+      ]
+      [ color (call "poly2" [ nx ]) (call "hat" [ ny ]) (fl 0.5) ];
+    mk_fns "donor_ints"
+      [
+        fn "gcd_ish" [ (Ast.TInt, "a"); (Ast.TInt, "b") ] ~ret:Ast.TInt
+          [
+            dint "x" (v "a");
+            dint "y" (v "b");
+            for_ "i" 0 6
+              [ if_ (gt (v "y") (il 0))
+                  [ dint "t" (md (v "x") (add (v "y") (il 1))); set "x" (v "y"); set "y" (v "t") ]
+                  [] ];
+            ret (v "x");
+          ];
+        fn "scalei" [ (Ast.TInt, "n") ] ~ret:Ast.TFloat
+          [ ret (dvd (i2f (v "n")) (fl 7.0)) ];
+      ]
+      [
+        dint "g" (call "gcd_ish" [ f2i (v "gl_x"); f2i (v "gl_y") ]);
+        color (call "scalei" [ v "g" ]) nx ny;
+      ];
+    mk_fns "donor_bools"
+      [
+        fn "xor" [ (Ast.TBool, "a"); (Ast.TBool, "b") ] ~ret:Ast.TBool
+          [ ret (or_ (and_ (v "a") (not_ (v "b"))) (and_ (not_ (v "a")) (v "b"))) ];
+        fn "pick" [ (Ast.TBool, "c"); (Ast.TFloat, "x"); (Ast.TFloat, "y") ] ~ret:Ast.TFloat
+          [ if_ (v "c") [ ret (v "x") ] [ ret (v "y") ] ];
+      ]
+      [
+        dbool "a" (lt nx (fl 0.5));
+        dbool "b" (lt ny (fl 0.5));
+        color (call "pick" [ call "xor" [ v "a"; v "b" ]; fl 0.9; fl 0.2 ]) nx ny;
+      ];
+  ]
+
+let donors = references @ donor_extra
+
+(* ------------------------------------------------------------------ *)
+(* Lowered forms                                                       *)
+
+let lower_checked (name, p) =
+  match Typecheck.check p with
+  | Error e -> invalid_arg (Printf.sprintf "corpus program %s: %s" name e)
+  | Ok () -> (name, Lower.lower p)
+
+let lowered_references = lazy (List.map lower_checked references)
+let lowered_donors = lazy (List.map lower_checked donors)
+
+(** The lowered reference set paired with the input — what spirv-fuzz
+    consumes; the paper additionally feeds spirv-opt-optimized copies of
+    each shader, which [Compilers.Optimizer] provides. *)
+let reference_contexts () =
+  List.map
+    (fun (name, m) -> (name, Spirv_fuzz.Context.make m default_input))
+    (Lazy.force lowered_references)

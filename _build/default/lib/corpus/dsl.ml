@@ -1,0 +1,52 @@
+(** Small combinators for writing MiniGLSL corpus programs legibly. *)
+
+open Glsl_like
+
+let fl x = Ast.Float_lit x
+let il n = Ast.Int_lit n
+let bl b = Ast.Bool_lit b
+let v x = Ast.Var x
+
+let add a b = Ast.Binop (Ast.Add, a, b)
+let sub a b = Ast.Binop (Ast.Sub, a, b)
+let mul a b = Ast.Binop (Ast.Mul, a, b)
+let dvd a b = Ast.Binop (Ast.Div, a, b)
+let md a b = Ast.Binop (Ast.Mod, a, b)
+let lt a b = Ast.Binop (Ast.Lt, a, b)
+let le a b = Ast.Binop (Ast.Le, a, b)
+let gt a b = Ast.Binop (Ast.Gt, a, b)
+let ge a b = Ast.Binop (Ast.Ge, a, b)
+let eq a b = Ast.Binop (Ast.Eq, a, b)
+let ne a b = Ast.Binop (Ast.Ne, a, b)
+let and_ a b = Ast.Binop (Ast.And, a, b)
+let or_ a b = Ast.Binop (Ast.Or, a, b)
+let neg a = Ast.Unop (Ast.Neg, a)
+let not_ a = Ast.Unop (Ast.Not, a)
+let i2f a = Ast.Unop (Ast.Int_to_float, a)
+let f2i a = Ast.Unop (Ast.Float_to_int, a)
+let call name args = Ast.Call (name, args)
+let vec parts = Ast.Vec parts
+let mat cols = Ast.Mat cols
+let comp e i = Ast.Component (e, i)
+let col e i = Ast.Column (e, i)
+let matvec m v = Ast.Mat_vec (m, v)
+
+let decl ty x e = Ast.Declare (ty, x, e)
+let dfloat x e = decl Ast.TFloat x e
+let dint x e = decl Ast.TInt x e
+let dbool x e = decl Ast.TBool x e
+let set x e = Ast.Assign (x, e)
+let if_ c t e = Ast.If (c, t, e)
+let for_ i lo hi body = Ast.For (i, lo, hi, body)
+let color r g b = Ast.Set_color (r, g, b)
+let ret e = Ast.Return e
+
+let fn name params ~ret:fn_ret body =
+  { Ast.fn_name = name; Ast.fn_params = params; Ast.fn_ret; Ast.fn_body = body }
+
+let program ?(uniforms = []) ?(functions = []) main =
+  { Ast.uniforms; Ast.functions; Ast.main = main }
+
+(** gl_x and gl_y normalized to roughly [0, 1) on the default 8x8 grid. *)
+let nx = dvd (v "gl_x") (fl 8.0)
+let ny = dvd (v "gl_y") (fl 8.0)

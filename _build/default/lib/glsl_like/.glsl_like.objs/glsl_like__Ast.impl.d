@@ -1,0 +1,1 @@
+lib/glsl_like/ast.pp.ml: List Ppx_deriving_runtime String

@@ -1,0 +1,1 @@
+lib/glsl_like/lower.pp.ml: Ast Builder Id Instr List Module_ir Spirv_ir Ty

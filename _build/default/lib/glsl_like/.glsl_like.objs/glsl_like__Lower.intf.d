@@ -1,0 +1,1 @@
+lib/glsl_like/lower.pp.mli: Ast Spirv_ir

@@ -1,0 +1,1 @@
+lib/glsl_like/pp.pp.ml: Array Ast List Printf String

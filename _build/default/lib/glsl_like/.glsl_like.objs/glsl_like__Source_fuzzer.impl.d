@@ -1,0 +1,1 @@
+lib/glsl_like/source_fuzzer.pp.ml: Ast List Printf Tbct

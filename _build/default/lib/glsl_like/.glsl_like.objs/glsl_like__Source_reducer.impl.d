@@ -1,0 +1,1 @@
+lib/glsl_like/source_reducer.pp.ml: Ast List

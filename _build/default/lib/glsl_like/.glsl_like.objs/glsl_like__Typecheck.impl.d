@@ -1,0 +1,1 @@
+lib/glsl_like/typecheck.pp.ml: Ast List Printf Result String

@@ -1,0 +1,1 @@
+lib/glsl_like/typecheck.pp.mli: Ast

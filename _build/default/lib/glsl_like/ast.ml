@@ -1,0 +1,167 @@
+(** MiniGLSL: the small structured shader language used as the front-end for
+    our glsl-fuzz baseline and as the source of the reference/donor corpus.
+
+    Marker nodes ([Injected], [Wrap_if], [Wrap_loop], [Identity]) carry the
+    syntactic trail that the baseline's hand-crafted reducer uses to revert
+    transformations, mirroring how glsl-fuzz leaves "a trail of syntactic
+    markers in the transformed program" (section 6 of the paper). *)
+
+type ty =
+  | TBool
+  | TInt
+  | TFloat
+  | TVec of int  (** float vector, size 2..4 *)
+  | TMat of int  (** square float matrix, dimension 2..4, column-major *)
+[@@deriving show { with_path = false }, eq]
+
+type binop =
+  | Add | Sub | Mul | Div | Mod
+  | Lt | Le | Gt | Ge | Eq | Ne
+  | And | Or
+[@@deriving show { with_path = false }, eq]
+
+type unop = Neg | Not | Int_to_float | Float_to_int
+[@@deriving show { with_path = false }, eq]
+
+(** Kinds of identity mutation the baseline fuzzer applies to expressions. *)
+type identity_kind =
+  | Plus_zero      (** e + 0 (int) *)
+  | Times_one      (** e * 1 / e * 1.0 *)
+  | Double_not     (** !!e *)
+[@@deriving show { with_path = false }, eq]
+
+type expr =
+  | Bool_lit of bool
+  | Int_lit of int
+  | Float_lit of float
+  | Var of string
+  | Binop of binop * expr * expr
+  | Unop of unop * expr
+  | Call of string * expr list
+  | Vec of expr list               (** vecN constructor from floats *)
+  | Mat of expr list               (** matN constructor from N column vecNs *)
+  | Component of expr * int        (** v.x / v.y / ... *)
+  | Column of expr * int           (** m[i]: column i of a matrix, a vecN *)
+  | Mat_vec of expr * expr         (** m * v: matrix-vector product, a vecN *)
+  | Identity of int * identity_kind * expr
+      (** marker: semantically the inner expression *)
+[@@deriving show { with_path = false }, eq]
+
+type stmt =
+  | Declare of ty * string * expr
+  | Assign of string * expr
+  | If of expr * stmt list * stmt list
+  | For of string * int * int * stmt list
+      (** [For (i, lo, hi, body)]: i from lo inclusive to hi exclusive *)
+  | Set_color of expr * expr * expr  (** write the fragment color (r, g, b) *)
+  | Discard                          (** OpKill *)
+  | Return of expr
+  | Injected of int * stmt list      (** marker: dead code behind a false guard *)
+  | Wrap_if of int * expr * stmt list   (** marker: body behind an always-true guard *)
+  | Wrap_loop of int * string * stmt list  (** marker: body in a 1-iteration loop *)
+[@@deriving show { with_path = false }, eq]
+
+type fn = {
+  fn_name : string;
+  fn_params : (ty * string) list;
+  fn_ret : ty;
+  fn_body : stmt list;  (** must end in [Return] on every path *)
+}
+[@@deriving show { with_path = false }, eq]
+
+type program = {
+  uniforms : (ty * string) list;
+  functions : fn list;
+  main : stmt list;
+}
+[@@deriving show { with_path = false }, eq]
+
+(** Built-in per-fragment float variables bound by the lowering. *)
+let builtin_vars = [ ("gl_x", TFloat); ("gl_y", TFloat) ]
+
+let find_function p name =
+  List.find_opt (fun f -> String.equal f.fn_name name) p.functions
+
+(* ------------------------------------------------------------------ *)
+(* Traversals over markers                                             *)
+
+let rec expr_markers e =
+  match e with
+  | Bool_lit _ | Int_lit _ | Float_lit _ | Var _ -> []
+  | Binop (_, a, b) -> expr_markers a @ expr_markers b
+  | Unop (_, a) -> expr_markers a
+  | Call (_, args) -> List.concat_map expr_markers args
+  | Vec parts -> List.concat_map expr_markers parts
+  | Mat cols -> List.concat_map expr_markers cols
+  | Component (v, _) -> expr_markers v
+  | Column (m, _) -> expr_markers m
+  | Mat_vec (m, v) -> expr_markers m @ expr_markers v
+  | Identity (m, _, inner) -> m :: expr_markers inner
+
+let rec stmt_markers s =
+  match s with
+  | Declare (_, _, e) | Assign (_, e) | Return e -> expr_markers e
+  | If (c, t, f) -> expr_markers c @ stmts_markers t @ stmts_markers f
+  | For (_, _, _, body) -> stmts_markers body
+  | Set_color (r, g, b) -> expr_markers r @ expr_markers g @ expr_markers b
+  | Discard -> []
+  | Injected (m, body) -> m :: stmts_markers body
+  | Wrap_if (m, c, body) -> (m :: expr_markers c) @ stmts_markers body
+  | Wrap_loop (m, _, body) -> m :: stmts_markers body
+
+and stmts_markers ss = List.concat_map stmt_markers ss
+
+let program_markers p =
+  List.concat_map (fun f -> stmts_markers f.fn_body) p.functions @ stmts_markers p.main
+
+(** Revert the transformation identified by [marker]: remove injections,
+    splice wrapped bodies, strip identities. *)
+let rec revert_expr marker e =
+  match e with
+  | Bool_lit _ | Int_lit _ | Float_lit _ | Var _ -> e
+  | Binop (op, a, b) -> Binop (op, revert_expr marker a, revert_expr marker b)
+  | Unop (op, a) -> Unop (op, revert_expr marker a)
+  | Call (f, args) -> Call (f, List.map (revert_expr marker) args)
+  | Vec parts -> Vec (List.map (revert_expr marker) parts)
+  | Mat cols -> Mat (List.map (revert_expr marker) cols)
+  | Component (v, i) -> Component (revert_expr marker v, i)
+  | Column (m, i) -> Column (revert_expr marker m, i)
+  | Mat_vec (m, v) -> Mat_vec (revert_expr marker m, revert_expr marker v)
+  | Identity (m, k, inner) ->
+      let inner = revert_expr marker inner in
+      if m = marker then inner else Identity (m, k, inner)
+
+let rec revert_stmt marker s =
+  match s with
+  | Declare (ty, x, e) -> [ Declare (ty, x, revert_expr marker e) ]
+  | Assign (x, e) -> [ Assign (x, revert_expr marker e) ]
+  | Return e -> [ Return (revert_expr marker e) ]
+  | If (c, t, f) ->
+      [ If (revert_expr marker c, revert_stmts marker t, revert_stmts marker f) ]
+  | For (i, lo, hi, body) -> [ For (i, lo, hi, revert_stmts marker body) ]
+  | Set_color (r, g, b) ->
+      [ Set_color (revert_expr marker r, revert_expr marker g, revert_expr marker b) ]
+  | Discard -> [ Discard ]
+  | Injected (m, body) ->
+      if m = marker then [] else [ Injected (m, revert_stmts marker body) ]
+  | Wrap_if (m, c, body) ->
+      if m = marker then revert_stmts marker body
+      else [ Wrap_if (m, revert_expr marker c, revert_stmts marker body) ]
+  | Wrap_loop (m, i, body) ->
+      if m = marker then revert_stmts marker body
+      else [ Wrap_loop (m, i, revert_stmts marker body) ]
+
+and revert_stmts marker ss = List.concat_map (revert_stmt marker) ss
+
+let revert_program marker p =
+  {
+    p with
+    functions =
+      List.map (fun f -> { f with fn_body = revert_stmts marker f.fn_body }) p.functions;
+    main = revert_stmts marker p.main;
+  }
+
+(** Fully reverted program (all markers removed) — what the program would
+    have been before any baseline transformation. *)
+let strip_all_markers p =
+  List.fold_left (fun p m -> revert_program m p) p (program_markers p)

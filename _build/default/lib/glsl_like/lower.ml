@@ -1,0 +1,405 @@
+(** Lowering MiniGLSL to the SPIR-V-like IR — the glslang analog.
+
+    Deliberately naive, as front-ends are before optimization: every source
+    variable becomes an [OpVariable] allocation, every read a load and every
+    write a store, and fresh ids are drawn in program order.  This is what
+    makes reduction-by-reverting-source-transformations lose precision at
+    the IR level (re-lowering a reverted program shifts every id), the
+    effect quantified in the paper's RQ2 comparison. *)
+
+open Spirv_ir
+
+type env = {
+  b : Builder.t;
+  fb : Builder.fn;
+  vars : (string * Id.t) list;  (** source variable -> pointer id *)
+  fns : (string * Id.t) list;   (** source function -> function id *)
+  output : Id.t option;         (** output color global (main only) *)
+}
+
+let lower_ty b = function
+  | Ast.TBool -> Builder.bool_ty b
+  | Ast.TInt -> Builder.int_ty b
+  | Ast.TFloat -> Builder.float_ty b
+  | Ast.TVec n -> Builder.vector_ty b ~scalar:(Builder.float_ty b) ~size:n
+  | Ast.TMat n ->
+      let column = Builder.vector_ty b ~scalar:(Builder.float_ty b) ~size:n in
+      Builder.matrix_ty b ~column ~count:n
+
+let binop_ir (op : Ast.binop) (ty : Ast.ty) : Instr.binop =
+  match (op, ty) with
+  | Ast.Add, Ast.TInt -> Instr.IAdd
+  | Ast.Sub, Ast.TInt -> Instr.ISub
+  | Ast.Mul, Ast.TInt -> Instr.IMul
+  | Ast.Div, Ast.TInt -> Instr.SDiv
+  | Ast.Mod, Ast.TInt -> Instr.SMod
+  | Ast.Add, Ast.TFloat -> Instr.FAdd
+  | Ast.Sub, Ast.TFloat -> Instr.FSub
+  | Ast.Mul, Ast.TFloat -> Instr.FMul
+  | Ast.Div, Ast.TFloat -> Instr.FDiv
+  | Ast.Lt, Ast.TInt -> Instr.SLessThan
+  | Ast.Le, Ast.TInt -> Instr.SLessThanEqual
+  | Ast.Gt, Ast.TInt -> Instr.SGreaterThan
+  | Ast.Ge, Ast.TInt -> Instr.SGreaterThanEqual
+  | Ast.Eq, Ast.TInt -> Instr.IEqual
+  | Ast.Ne, Ast.TInt -> Instr.INotEqual
+  | Ast.Lt, Ast.TFloat -> Instr.FOrdLessThan
+  | Ast.Le, Ast.TFloat -> Instr.FOrdLessThanEqual
+  | Ast.Gt, Ast.TFloat -> Instr.FOrdGreaterThan
+  | Ast.Ge, Ast.TFloat -> Instr.FOrdGreaterThanEqual
+  | Ast.Eq, Ast.TFloat -> Instr.FOrdEqual
+  | Ast.Ne, Ast.TFloat -> Instr.FOrdNotEqual
+  | Ast.Eq, Ast.TBool -> Instr.IEqual (* unused: equality on bools lowers via select *)
+  | Ast.And, _ -> Instr.LogicalAnd
+  | Ast.Or, _ -> Instr.LogicalOr
+  | _ -> invalid_arg "binop_ir: ill-typed operation (typecheck first)"
+
+(* Infer the MiniGLSL type of an expression; lowering runs after the type
+   checker, so failures are programming errors. *)
+let rec ty_of env (e : Ast.expr) : Ast.ty =
+  match e with
+  | Ast.Bool_lit _ -> Ast.TBool
+  | Ast.Int_lit _ -> Ast.TInt
+  | Ast.Float_lit _ -> Ast.TFloat
+  | Ast.Var x -> (
+      (* the pointer's pointee type determines it *)
+      match List.assoc_opt x env.vars with
+      | Some ptr -> (
+          match Module_ir.find_type (Builder.module_ env.b) (Builder.type_of env.fb ptr) with
+          | Some (Ty.Pointer (_, pointee)) -> (
+              match Module_ir.find_type (Builder.module_ env.b) pointee with
+              | Some Ty.Bool -> Ast.TBool
+              | Some Ty.Int -> Ast.TInt
+              | Some Ty.Float -> Ast.TFloat
+              | Some (Ty.Vector (_, n)) -> Ast.TVec n
+              | Some (Ty.Matrix (_, n)) -> Ast.TMat n
+              | _ -> invalid_arg "ty_of: unsupported variable type")
+          | _ -> invalid_arg ("ty_of: not a pointer for " ^ x))
+      | None -> invalid_arg ("ty_of: unbound " ^ x))
+  | Ast.Binop (op, a, _) -> (
+      match op with
+      | Ast.Lt | Ast.Le | Ast.Gt | Ast.Ge | Ast.Eq | Ast.Ne -> Ast.TBool
+      | Ast.And | Ast.Or -> Ast.TBool
+      | Ast.Add | Ast.Sub | Ast.Mul | Ast.Div | Ast.Mod -> ty_of env a)
+  | Ast.Unop (op, a) -> (
+      match op with
+      | Ast.Neg -> ty_of env a
+      | Ast.Not -> Ast.TBool
+      | Ast.Int_to_float -> Ast.TFloat
+      | Ast.Float_to_int -> Ast.TInt)
+  | Ast.Call (name, _) -> (
+      match List.assoc_opt name env.fns with
+      | Some _ -> (
+          (* look up the source function's return type via the name table
+             kept alongside *)
+          invalid_arg "ty_of: calls resolved via ret_tys")
+      | None -> invalid_arg ("ty_of: unknown function " ^ name))
+  | Ast.Vec parts -> Ast.TVec (List.length parts)
+  | Ast.Mat cols -> Ast.TMat (List.length cols)
+  | Ast.Component _ -> Ast.TFloat
+  | Ast.Column (m, _) -> (
+      match ty_of env m with
+      | Ast.TMat n -> Ast.TVec n
+      | _ -> invalid_arg "ty_of: column of non-matrix")
+  | Ast.Mat_vec (m, _) -> (
+      match ty_of env m with
+      | Ast.TMat n -> Ast.TVec n
+      | _ -> invalid_arg "ty_of: mat_vec of non-matrix")
+  | Ast.Identity (_, _, inner) -> ty_of env inner
+
+(* Return types of source functions, tracked separately so [ty_of] stays
+   total for calls. *)
+type tables = { ret_tys : (string * Ast.ty) list }
+
+let rec ty_of_full tables env e =
+  match e with
+  | Ast.Call (name, _) -> (
+      match List.assoc_opt name tables.ret_tys with
+      | Some t -> t
+      | None -> invalid_arg ("ty_of_full: unknown function " ^ name))
+  | Ast.Binop (op, a, _) -> (
+      match op with
+      | Ast.Lt | Ast.Le | Ast.Gt | Ast.Ge | Ast.Eq | Ast.Ne | Ast.And | Ast.Or -> Ast.TBool
+      | Ast.Add | Ast.Sub | Ast.Mul | Ast.Div | Ast.Mod -> ty_of_full tables env a)
+  | Ast.Unop (Ast.Neg, a) -> ty_of_full tables env a
+  | Ast.Identity (_, _, inner) -> ty_of_full tables env inner
+  | Ast.Column (m, _) -> (
+      match ty_of_full tables env m with
+      | Ast.TMat n -> Ast.TVec n
+      | _ -> invalid_arg "ty_of_full: column of non-matrix")
+  | Ast.Mat_vec (m, _) -> (
+      match ty_of_full tables env m with
+      | Ast.TMat n -> Ast.TVec n
+      | _ -> invalid_arg "ty_of_full: mat_vec of non-matrix")
+  | _ -> ty_of env e
+
+let rec lower_expr tables env (e : Ast.expr) : Id.t =
+  let b = env.b and fb = env.fb in
+  match e with
+  | Ast.Bool_lit v -> Builder.cbool b v
+  | Ast.Int_lit v -> Builder.cint b v
+  | Ast.Float_lit v -> Builder.cfloat b v
+  | Ast.Var x -> (
+      match List.assoc_opt x env.vars with
+      | Some ptr -> Builder.load fb ptr
+      | None -> invalid_arg ("lower_expr: unbound " ^ x))
+  | Ast.Binop (op, a, c) ->
+      let ta = ty_of_full tables env a in
+      let ia = lower_expr tables env a in
+      let ic = lower_expr tables env c in
+      Builder.binop fb (binop_ir op ta) ia ic
+  | Ast.Unop (op, a) -> (
+      let ia = lower_expr tables env a in
+      match (op, ty_of_full tables env a) with
+      | Ast.Neg, Ast.TInt -> Builder.unop fb Instr.SNegate ia
+      | Ast.Neg, _ -> Builder.unop fb Instr.FNegate ia
+      | Ast.Not, _ -> Builder.lnot fb ia
+      | Ast.Int_to_float, _ -> Builder.s_to_f fb ia
+      | Ast.Float_to_int, _ -> Builder.f_to_s fb ia)
+  | Ast.Call (name, args) -> (
+      let arg_ids = List.map (lower_expr tables env) args in
+      match List.assoc_opt name env.fns with
+      | Some fn_id -> Builder.call fb fn_id arg_ids
+      | None -> invalid_arg ("lower_expr: unknown function " ^ name))
+  | Ast.Vec parts ->
+      let ids = List.map (lower_expr tables env) parts in
+      let ty = Builder.vector_ty b ~scalar:(Builder.float_ty b) ~size:(List.length parts) in
+      Builder.composite fb ~ty ids
+  | Ast.Mat cols ->
+      let n = List.length cols in
+      let ids = List.map (lower_expr tables env) cols in
+      let column = Builder.vector_ty b ~scalar:(Builder.float_ty b) ~size:n in
+      let ty = Builder.matrix_ty b ~column ~count:n in
+      Builder.composite fb ~ty ids
+  | Ast.Component (v, i) ->
+      let iv = lower_expr tables env v in
+      Builder.extract fb iv [ i ]
+  | Ast.Column (m, i) ->
+      let im = lower_expr tables env m in
+      Builder.extract fb im [ i ]
+  | Ast.Mat_vec (m, v) ->
+      (* no matrix-multiply instruction in the IR: expand to per-row dot
+         products, extracting columns first (as glslang does) so original
+         programs contain only single-index extractions *)
+      let n = match ty_of_full tables env m with
+        | Ast.TMat n -> n
+        | _ -> invalid_arg "lower: mat_vec"
+      in
+      let im = lower_expr tables env m in
+      let iv = lower_expr tables env v in
+      let columns = List.init n (fun c -> Builder.extract fb im [ c ]) in
+      let v_elems = List.init n (fun c -> Builder.extract fb iv [ c ]) in
+      let rows =
+        List.init n (fun r ->
+            let terms =
+              List.map2
+                (fun col vc ->
+                  let m_cr = Builder.extract fb col [ r ] in
+                  Builder.fmul fb m_cr vc)
+                columns v_elems
+            in
+            match terms with
+            | [] -> invalid_arg "lower: empty matrix"
+            | t0 :: rest -> List.fold_left (Builder.fadd fb) t0 rest)
+      in
+      let ty = Builder.vector_ty b ~scalar:(Builder.float_ty b) ~size:n in
+      Builder.composite fb ~ty rows
+  | Ast.Identity (_, kind, inner) -> (
+      let ii = lower_expr tables env inner in
+      match (kind, ty_of_full tables env inner) with
+      | Ast.Plus_zero, Ast.TInt -> Builder.iadd fb ii (Builder.cint b 0)
+      | Ast.Plus_zero, _ -> Builder.fadd fb ii (Builder.cfloat b 0.0)
+      | Ast.Times_one, Ast.TInt -> Builder.imul fb ii (Builder.cint b 1)
+      | Ast.Times_one, _ -> Builder.fmul fb ii (Builder.cfloat b 1.0)
+      | Ast.Double_not, _ -> Builder.lnot fb (Builder.lnot fb ii))
+
+(* Lower statements.  Returns [true] when the current block has been
+   terminated (Return/Discard), in which case no successor branch must be
+   emitted. *)
+let rec lower_stmts tables env (ss : Ast.stmt list) : env * bool =
+  match ss with
+  | [] -> (env, false)
+  | s :: rest ->
+      let env, terminated = lower_stmt tables env s in
+      if terminated then (env, true) else lower_stmts tables env rest
+
+and lower_stmt tables env (s : Ast.stmt) : env * bool =
+  let b = env.b and fb = env.fb in
+  match s with
+  | Ast.Declare (ty, x, e) ->
+      let v = lower_expr tables env e in
+      let ptr = Builder.hoisted_var fb ~pointee:(lower_ty b ty) in
+      Builder.store fb ptr v;
+      ({ env with vars = (x, ptr) :: env.vars }, false)
+  | Ast.Assign (x, e) -> (
+      let v = lower_expr tables env e in
+      match List.assoc_opt x env.vars with
+      | Some ptr ->
+          Builder.store fb ptr v;
+          (env, false)
+      | None -> invalid_arg ("lower_stmt: unbound " ^ x))
+  | Ast.If (c, t, f) ->
+      let ic = lower_expr tables env c in
+      let l_then = Builder.new_label fb in
+      let l_else = Builder.new_label fb in
+      let l_merge = Builder.new_label fb in
+      Builder.branch_cond fb ic l_then l_else;
+      Builder.start_block fb l_then;
+      let _, term_t = lower_stmts tables env t in
+      if not term_t then Builder.branch fb l_merge;
+      Builder.start_block fb l_else;
+      let _, term_f = lower_stmts tables env f in
+      if not term_f then Builder.branch fb l_merge;
+      if term_t && term_f then
+        (* both arms returned/discarded: no merge block is emitted (it would
+           be unreachable) and this path is terminated *)
+        (env, true)
+      else begin
+        Builder.start_block fb l_merge;
+        (env, false)
+      end
+  | Ast.For (i, lo, hi, body) ->
+      let ptr = Builder.hoisted_var fb ~pointee:(Builder.int_ty b) in
+      Builder.store fb ptr (Builder.cint b lo);
+      let env_body = { env with vars = (i, ptr) :: env.vars } in
+      let l_header = Builder.new_label fb in
+      let l_body = Builder.new_label fb in
+      let l_latch = Builder.new_label fb in
+      let l_exit = Builder.new_label fb in
+      Builder.branch fb l_header;
+      Builder.start_block fb l_header;
+      let iv = Builder.load fb ptr in
+      let cond = Builder.slt fb iv (Builder.cint b hi) in
+      Builder.branch_cond fb cond l_body l_exit;
+      Builder.start_block fb l_body;
+      let _, term = lower_stmts tables env_body body in
+      if not term then Builder.branch fb l_latch;
+      Builder.start_block fb l_latch;
+      let iv' = Builder.load fb ptr in
+      Builder.store fb ptr (Builder.iadd fb iv' (Builder.cint b 1));
+      Builder.branch fb l_header;
+      Builder.start_block fb l_exit;
+      (env, false)
+  | Ast.Set_color (r, g, bl) -> (
+      let ir = lower_expr tables env r in
+      let ig = lower_expr tables env g in
+      let ib = lower_expr tables env bl in
+      let one = Builder.cfloat b 1.0 in
+      let color = Builder.composite fb ~ty:(Builder.vec4f b) [ ir; ig; ib; one ] in
+      match env.output with
+      | Some out ->
+          Builder.store fb out color;
+          (env, false)
+      | None -> invalid_arg "lower_stmt: set_color outside main")
+  | Ast.Discard ->
+      Builder.kill fb;
+      (env, true)
+  | Ast.Return e ->
+      let v = lower_expr tables env e in
+      Builder.ret_value fb v;
+      (env, true)
+  | Ast.Injected (_, body) ->
+      (* dead code behind a guard the compiler cannot see through: compare
+         a uniform-like always-false condition; we use a literal false
+         obfuscated as (0 > 1) so constant folding has work to do *)
+      let cond = Builder.sgt fb (Builder.cint b 0) (Builder.cint b 1) in
+      let l_dead = Builder.new_label fb in
+      let l_merge = Builder.new_label fb in
+      Builder.branch_cond fb cond l_dead l_merge;
+      Builder.start_block fb l_dead;
+      let _, term = lower_stmts tables env body in
+      if not term then Builder.branch fb l_merge;
+      Builder.start_block fb l_merge;
+      (env, false)
+  | Ast.Wrap_if (_, c, body) ->
+      let ic = lower_expr tables env c in
+      let l_then = Builder.new_label fb in
+      let l_merge = Builder.new_label fb in
+      Builder.branch_cond fb ic l_then l_merge;
+      Builder.start_block fb l_then;
+      let _, term = lower_stmts tables env body in
+      if not term then Builder.branch fb l_merge;
+      Builder.start_block fb l_merge;
+      (env, false)
+  | Ast.Wrap_loop (_, i, body) ->
+      lower_stmt tables env (Ast.For (i, 0, 1, body))
+
+let lower_function tables b fns ~uniform_globals (f : Ast.fn) =
+  let ret = lower_ty b f.Ast.fn_ret in
+  let param_tys = List.map (fun (ty, _) -> lower_ty b ty) f.Ast.fn_params in
+  let fb, fn_id, param_ids = Builder.begin_function b ~name:f.Ast.fn_name ~ret ~params:param_tys in
+  let entry = Builder.new_label fb in
+  Builder.start_block fb entry;
+  (* spill parameters into locals so assignments to them work *)
+  let vars =
+    List.map2
+      (fun (ty, name) pid ->
+        let ptr = Builder.hoisted_var fb ~pointee:(lower_ty b ty) in
+        Builder.store fb ptr pid;
+        (name, ptr))
+      f.Ast.fn_params param_ids
+  in
+  (* uniforms are module-scope in GLSL: helpers read them directly from the
+     Uniform-class globals *)
+  let env = { b; fb; vars = vars @ uniform_globals; fns; output = None } in
+  let _, terminated = lower_stmts tables env f.Ast.fn_body in
+  if not terminated then
+    invalid_arg ("lower_function: " ^ f.Ast.fn_name ^ " does not return (typecheck first)");
+  ignore (Builder.end_function fb);
+  fn_id
+
+(** Lower a checked program to a module.  @raise Invalid_argument on
+    ill-typed input — run {!Typecheck.check} first. *)
+let lower (p : Ast.program) : Module_ir.t =
+  let b = Builder.create () in
+  let void_t = Builder.void_ty b in
+  let frag = Builder.frag_coord b in
+  let out = Builder.output_color b in
+  let uniforms =
+    List.map
+      (fun (ty, name) -> (name, Builder.uniform b ~pointee:(lower_ty b ty) ~name))
+      p.Ast.uniforms
+  in
+  let tables =
+    { ret_tys = List.map (fun (f : Ast.fn) -> (f.Ast.fn_name, f.Ast.fn_ret)) p.Ast.functions }
+  in
+  let fns =
+    List.fold_left
+      (fun fns f ->
+        (f.Ast.fn_name, lower_function tables b fns ~uniform_globals:uniforms f) :: fns)
+      [] p.Ast.functions
+  in
+  let fb, main_id, _ = Builder.begin_function b ~name:"main" ~ret:void_t ~params:[] in
+  let entry = Builder.new_label fb in
+  Builder.start_block fb entry;
+  (* bind builtins: gl_x/gl_y from the fragment coordinate *)
+  let fc = Builder.load fb frag in
+  let bind_builtin idx name =
+    let v = Builder.extract fb fc [ idx ] in
+    let ptr = Builder.hoisted_var fb ~pointee:(Builder.float_ty b) in
+    Builder.store fb ptr v;
+    (name, ptr)
+  in
+  let builtin_vars = [ bind_builtin 0 "gl_x"; bind_builtin 1 "gl_y" ] in
+  (* uniforms are spilled into locals too, keeping variable reads uniform *)
+  let uniform_vars =
+    List.map
+      (fun (name, global) ->
+        let v = Builder.load fb global in
+        let pointee =
+          match
+            Module_ir.find_type (Builder.module_ b) (Builder.type_of fb global)
+          with
+          | Some (Ty.Pointer (_, pt)) -> pt
+          | _ -> Builder.float_ty b
+        in
+        let ptr = Builder.hoisted_var fb ~pointee in
+        Builder.store fb ptr v;
+        (name, ptr))
+      uniforms
+  in
+  let env = { b; fb; vars = builtin_vars @ uniform_vars; fns; output = Some out } in
+  let _, terminated = lower_stmts tables env p.Ast.main in
+  if not terminated then Builder.ret fb;
+  ignore (Builder.end_function fb);
+  Builder.finish b ~entry:main_id

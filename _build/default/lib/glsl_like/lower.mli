@@ -1,0 +1,16 @@
+(** Lowering MiniGLSL to the SPIR-V-like IR — the glslang analog.
+
+    Deliberately naive, as front-ends are before optimization: every source
+    variable becomes an [OpVariable] allocation (hoisted to the entry
+    block), every read a load and every write a store, matrix-vector
+    products expand into per-row dot products, and fresh ids are drawn in
+    program order.  That last property is what limits the baseline's
+    reduction quality (RQ2): reverting a source marker and re-lowering
+    shifts every id downstream, so source-level reduction can never reach
+    the tight IR deltas of transformation-sequence reduction. *)
+
+val lower : Ast.program -> Spirv_ir.Module_ir.t
+(** Lower a checked program; the result validates and renders (tested over
+    the whole corpus and all fuzzed variants).
+    @raise Invalid_argument on ill-typed input — run {!Typecheck.check}
+    first. *)

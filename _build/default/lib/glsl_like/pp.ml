@@ -1,0 +1,159 @@
+(** Pretty-printer for MiniGLSL source, in a GLSL-like concrete syntax.
+
+    Marker nodes render as comment-annotated constructs so that fuzzed
+    programs remain readable and source-level deltas (what a glsl-fuzz-style
+    bug report contains) can be eyeballed. *)
+
+let ty_to_string = function
+  | Ast.TBool -> "bool"
+  | Ast.TInt -> "int"
+  | Ast.TFloat -> "float"
+  | Ast.TVec n -> Printf.sprintf "vec%d" n
+  | Ast.TMat n -> Printf.sprintf "mat%d" n
+
+let binop_to_string = function
+  | Ast.Add -> "+"
+  | Ast.Sub -> "-"
+  | Ast.Mul -> "*"
+  | Ast.Div -> "/"
+  | Ast.Mod -> "%"
+  | Ast.Lt -> "<"
+  | Ast.Le -> "<="
+  | Ast.Gt -> ">"
+  | Ast.Ge -> ">="
+  | Ast.Eq -> "=="
+  | Ast.Ne -> "!="
+  | Ast.And -> "&&"
+  | Ast.Or -> "||"
+
+let component_name = function 0 -> "x" | 1 -> "y" | 2 -> "z" | _ -> "w"
+
+let rec expr_to_string (e : Ast.expr) =
+  match e with
+  | Ast.Bool_lit b -> string_of_bool b
+  | Ast.Int_lit i -> string_of_int i
+  | Ast.Float_lit f ->
+      let s = Printf.sprintf "%.12g" f in
+      if String.contains s '.' || String.contains s 'e' || String.contains s 'n'
+      then s
+      else s ^ ".0"
+  | Ast.Var x -> x
+  | Ast.Binop (op, a, b) ->
+      Printf.sprintf "(%s %s %s)" (expr_to_string a) (binop_to_string op)
+        (expr_to_string b)
+  | Ast.Unop (Ast.Neg, a) -> Printf.sprintf "(-%s)" (expr_to_string a)
+  | Ast.Unop (Ast.Not, a) -> Printf.sprintf "(!%s)" (expr_to_string a)
+  | Ast.Unop (Ast.Int_to_float, a) -> Printf.sprintf "float(%s)" (expr_to_string a)
+  | Ast.Unop (Ast.Float_to_int, a) -> Printf.sprintf "int(%s)" (expr_to_string a)
+  | Ast.Call (f, args) ->
+      Printf.sprintf "%s(%s)" f (String.concat ", " (List.map expr_to_string args))
+  | Ast.Vec parts ->
+      Printf.sprintf "vec%d(%s)" (List.length parts)
+        (String.concat ", " (List.map expr_to_string parts))
+  | Ast.Mat cols ->
+      Printf.sprintf "mat%d(%s)" (List.length cols)
+        (String.concat ", " (List.map expr_to_string cols))
+  | Ast.Component (v, i) -> Printf.sprintf "%s.%s" (expr_to_string v) (component_name i)
+  | Ast.Column (m, i) -> Printf.sprintf "%s[%d]" (expr_to_string m) i
+  | Ast.Mat_vec (m, v) ->
+      Printf.sprintf "(%s * %s)" (expr_to_string m) (expr_to_string v)
+  | Ast.Identity (marker, kind, inner) ->
+      let rendered =
+        match kind with
+        | Ast.Plus_zero -> Printf.sprintf "(%s + 0)" (expr_to_string inner)
+        | Ast.Times_one -> Printf.sprintf "(%s * 1)" (expr_to_string inner)
+        | Ast.Double_not -> Printf.sprintf "(!!%s)" (expr_to_string inner)
+      in
+      Printf.sprintf "%s/*id:%d*/" rendered marker
+
+let rec stmt_lines indent (s : Ast.stmt) =
+  let pad = String.make (indent * 2) ' ' in
+  match s with
+  | Ast.Declare (ty, x, e) ->
+      [ Printf.sprintf "%s%s %s = %s;" pad (ty_to_string ty) x (expr_to_string e) ]
+  | Ast.Assign (x, e) -> [ Printf.sprintf "%s%s = %s;" pad x (expr_to_string e) ]
+  | Ast.If (c, t, []) ->
+      (Printf.sprintf "%sif (%s) {" pad (expr_to_string c) :: stmts_lines (indent + 1) t)
+      @ [ pad ^ "}" ]
+  | Ast.If (c, t, f) ->
+      (Printf.sprintf "%sif (%s) {" pad (expr_to_string c) :: stmts_lines (indent + 1) t)
+      @ [ pad ^ "} else {" ]
+      @ stmts_lines (indent + 1) f
+      @ [ pad ^ "}" ]
+  | Ast.For (i, lo, hi, body) ->
+      (Printf.sprintf "%sfor (int %s = %d; %s < %d; %s++) {" pad i lo i hi i
+       :: stmts_lines (indent + 1) body)
+      @ [ pad ^ "}" ]
+  | Ast.Set_color (r, g, b) ->
+      [ Printf.sprintf "%sgl_FragColor = vec4(%s, %s, %s, 1.0);" pad (expr_to_string r)
+          (expr_to_string g) (expr_to_string b) ]
+  | Ast.Discard -> [ pad ^ "discard;" ]
+  | Ast.Return e -> [ Printf.sprintf "%sreturn %s;" pad (expr_to_string e) ]
+  | Ast.Injected (m, body) ->
+      (Printf.sprintf "%sif (false) { /*injected:%d*/" pad m
+       :: stmts_lines (indent + 1) body)
+      @ [ pad ^ "}" ]
+  | Ast.Wrap_if (m, c, body) ->
+      (Printf.sprintf "%sif (%s) { /*wrap:%d*/" pad (expr_to_string c) m
+       :: stmts_lines (indent + 1) body)
+      @ [ pad ^ "}" ]
+  | Ast.Wrap_loop (m, i, body) ->
+      (Printf.sprintf "%sfor (int %s = 0; %s < 1; %s++) { /*loop:%d*/" pad i i i m
+       :: stmts_lines (indent + 1) body)
+      @ [ pad ^ "}" ]
+
+and stmts_lines indent ss = List.concat_map (stmt_lines indent) ss
+
+let fn_lines (f : Ast.fn) =
+  let params =
+    String.concat ", "
+      (List.map (fun (ty, x) -> ty_to_string ty ^ " " ^ x) f.Ast.fn_params)
+  in
+  (Printf.sprintf "%s %s(%s) {" (ty_to_string f.Ast.fn_ret) f.Ast.fn_name params
+   :: stmts_lines 1 f.Ast.fn_body)
+  @ [ "}" ]
+
+let program_to_string (p : Ast.program) =
+  let uniforms =
+    List.map
+      (fun (ty, name) -> Printf.sprintf "uniform %s %s;" (ty_to_string ty) name)
+      p.Ast.uniforms
+  in
+  let fns = List.concat_map (fun f -> fn_lines f @ [ "" ]) p.Ast.functions in
+  let main = ("void main() {" :: stmts_lines 1 p.Ast.main) @ [ "}" ] in
+  String.concat "\n" (uniforms @ [ "" ] @ fns @ main) ^ "\n"
+
+(** Line-level diff between two programs, in the style of {!Spirv_ir.Disasm.diff}. *)
+let diff a b =
+  let la = Array.of_list (String.split_on_char '\n' (program_to_string a)) in
+  let lb = Array.of_list (String.split_on_char '\n' (program_to_string b)) in
+  let n = Array.length la and p = Array.length lb in
+  let dp = Array.make_matrix (n + 1) (p + 1) 0 in
+  for i = n - 1 downto 0 do
+    for j = p - 1 downto 0 do
+      dp.(i).(j) <-
+        (if String.equal la.(i) lb.(j) then 1 + dp.(i + 1).(j + 1)
+         else max dp.(i + 1).(j) dp.(i).(j + 1))
+    done
+  done;
+  let removed = ref [] and added = ref [] in
+  let i = ref 0 and j = ref 0 in
+  while !i < n && !j < p do
+    if String.equal la.(!i) lb.(!j) then begin incr i; incr j end
+    else if dp.(!i + 1).(!j) >= dp.(!i).(!j + 1) then begin
+      removed := la.(!i) :: !removed;
+      incr i
+    end
+    else begin
+      added := lb.(!j) :: !added;
+      incr j
+    end
+  done;
+  while !i < n do removed := la.(!i) :: !removed; incr i done;
+  while !j < p do added := lb.(!j) :: !added; incr j done;
+  (List.rev !removed, List.rev !added)
+
+let diff_to_string a b =
+  let removed, added = diff a b in
+  String.concat "\n"
+    (List.map (fun l -> "- " ^ l) removed @ List.map (fun l -> "+ " ^ l) added)

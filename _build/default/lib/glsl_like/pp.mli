@@ -1,0 +1,15 @@
+(** Pretty-printer for MiniGLSL source, in a GLSL-like concrete syntax.
+    Marker nodes render with comment annotations ([/*wrap:7*/]), so fuzzed
+    programs stay readable and source-level deltas — what a glsl-fuzz-style
+    bug report contains — can be eyeballed. *)
+
+val ty_to_string : Ast.ty -> string
+val expr_to_string : Ast.expr -> string
+val program_to_string : Ast.program -> string
+
+val diff : Ast.program -> Ast.program -> string list * string list
+(** Longest-common-subsequence line diff of the rendered programs:
+    (lines only in the first, lines only in the second). *)
+
+val diff_to_string : Ast.program -> Ast.program -> string
+(** The diff as [-]/[+] lines. *)

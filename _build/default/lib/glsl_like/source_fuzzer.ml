@@ -1,0 +1,186 @@
+(** The glsl-fuzz-style baseline fuzzer: coarse semantics-preserving
+    transformations applied at the {e source} level, before lowering.
+
+    Four transformation families, as in GLFuzz (section 1: "such as wrapping
+    a block of code in a single-iteration loop"):
+    - wrapping consecutive statements in an always-true conditional;
+    - wrapping them in a single-iteration loop;
+    - injecting dead code (guarded by a false condition), optionally with a
+      [discard];
+    - identity mutations on expressions (e + 0, e * 1, !!e).
+
+    Every application leaves a marker in the AST; the hand-crafted reducer
+    ({!Source_reducer}) reverts markers one at a time. *)
+
+type state = {
+  rng : Tbct.Rng.t;
+  mutable next_marker : int;
+  mutable fresh_var : int;
+  mutable applied : int;
+  budget : int;
+}
+
+let marker st =
+  let m = st.next_marker in
+  st.next_marker <- m + 1;
+  st.applied <- st.applied + 1;
+  m
+
+let fresh_var st prefix =
+  let n = st.fresh_var in
+  st.fresh_var <- n + 1;
+  Printf.sprintf "_%s%d" prefix n
+
+let exhausted st = st.applied >= st.budget
+
+(* guards that are true but not literally [true] half the time *)
+let true_guard st =
+  match Tbct.Rng.int st.rng 3 with
+  | 0 -> Ast.Bool_lit true
+  | 1 -> Ast.Binop (Ast.Gt, Ast.Var "u_one", Ast.Var "u_zero")
+  | _ -> Ast.Binop (Ast.Le, Ast.Int_lit 0, Ast.Var "u_steps")
+
+(* a small nugget of dead code over fresh variables *)
+let dead_code st ~in_main =
+  let x = fresh_var st "dead" in
+  let y = fresh_var st "dead" in
+  let base =
+    [
+      Ast.Declare (Ast.TFloat, x, Ast.Float_lit 0.25);
+      Ast.Declare
+        (Ast.TFloat, y, Ast.Binop (Ast.Mul, Ast.Var x, Ast.Binop (Ast.Add, Ast.Var x, Ast.Float_lit 1.5)));
+      Ast.Assign (x, Ast.Binop (Ast.Sub, Ast.Var y, Ast.Var x));
+    ]
+  in
+  if in_main && Tbct.Rng.chance st.rng ~num:1 ~den:3 then base @ [ Ast.Discard ]
+  else base
+
+(* identity mutation on an expression, type-directed *)
+let mutate_expr st (ty_hint : [ `Num | `Bool | `Other ]) e =
+  match ty_hint with
+  | `Num ->
+      let kind = if Tbct.Rng.bool st.rng then Ast.Plus_zero else Ast.Times_one in
+      Ast.Identity (marker st, kind, e)
+  | `Bool -> Ast.Identity (marker st, Ast.Double_not, e)
+  | `Other -> e
+
+(* crude type hints sufficient for choosing identity kinds *)
+let rec hint_of (e : Ast.expr) : [ `Num | `Bool | `Other ] =
+  match e with
+  | Ast.Int_lit _ | Ast.Float_lit _ -> `Num
+  | Ast.Bool_lit _ -> `Bool
+  | Ast.Binop ((Ast.Lt | Ast.Le | Ast.Gt | Ast.Ge | Ast.Eq | Ast.Ne | Ast.And | Ast.Or), _, _) ->
+      `Bool
+  | Ast.Binop (_, _, _) -> `Num
+  | Ast.Unop (Ast.Not, _) -> `Bool
+  | Ast.Unop (_, _) -> `Num
+  | Ast.Component (_, _) -> `Num
+  | Ast.Identity (_, _, inner) -> hint_of inner
+  | Ast.Var _ | Ast.Call _ | Ast.Vec _ | Ast.Mat _ | Ast.Column _ | Ast.Mat_vec _ ->
+      `Other
+
+let rec fuzz_expr st e =
+  if exhausted st then e
+  else begin
+    let e =
+      match e with
+      | Ast.Binop (op, a, b) -> Ast.Binop (op, fuzz_expr st a, fuzz_expr st b)
+      | Ast.Unop (op, a) -> Ast.Unop (op, fuzz_expr st a)
+      | Ast.Call (f, args) -> Ast.Call (f, List.map (fuzz_expr st) args)
+      | Ast.Vec parts -> Ast.Vec (List.map (fuzz_expr st) parts)
+      | Ast.Mat cols -> Ast.Mat (List.map (fuzz_expr st) cols)
+      | Ast.Component (v, i) -> Ast.Component (fuzz_expr st v, i)
+      | Ast.Column (m, i) -> Ast.Column (fuzz_expr st m, i)
+      | Ast.Mat_vec (m, v) -> Ast.Mat_vec (fuzz_expr st m, fuzz_expr st v)
+      | Ast.Identity (m, k, inner) -> Ast.Identity (m, k, fuzz_expr st inner)
+      | (Ast.Bool_lit _ | Ast.Int_lit _ | Ast.Float_lit _ | Ast.Var _) as leaf -> leaf
+    in
+    match hint_of e with
+    | (`Num | `Bool) as h when Tbct.Rng.chance st.rng ~num:1 ~den:8 -> mutate_expr st h e
+    | _ -> e
+  end
+
+let rec fuzz_stmts st ~in_main (ss : Ast.stmt list) =
+  let ss = List.map (fuzz_stmt st ~in_main) ss in
+  if exhausted st then ss
+  else if ss <> [] && Tbct.Rng.chance st.rng ~num:1 ~den:4 then begin
+    (* wrap a random contiguous run of statements, or inject dead code *)
+    let n = List.length ss in
+    let start = Tbct.Rng.int st.rng n in
+    let len = 1 + Tbct.Rng.int st.rng (n - start) in
+    let before = List.filteri (fun i _ -> i < start) ss in
+    let middle = List.filteri (fun i _ -> i >= start && i < start + len) ss in
+    let after = List.filteri (fun i _ -> i >= start + len) ss in
+    (* wrapping is only sound when the wrapped region does not declare
+       variables used later (scoping) and cannot return/discard on any path
+       (a wrapped body may not terminate the enclosing function) *)
+    let declares =
+      List.exists (function Ast.Declare _ -> true | _ -> false) middle
+    in
+    let rec stmt_terminates = function
+      | Ast.Return _ | Ast.Discard -> true
+      | Ast.If (_, t, f) -> stmts_terminate t && stmts_terminate f
+      | Ast.Declare _ | Ast.Assign _ | Ast.For _ | Ast.Set_color _
+      | Ast.Injected _ | Ast.Wrap_if _ | Ast.Wrap_loop _ ->
+          false
+    and stmts_terminate ss = List.exists stmt_terminates ss in
+    let terminates = stmts_terminate middle in
+    match Tbct.Rng.int st.rng 3 with
+    | 0 when not (declares || terminates) ->
+        before @ [ Ast.Wrap_if (marker st, true_guard st, middle) ] @ after
+    | 1 when not (declares || terminates) ->
+        before @ [ Ast.Wrap_loop (marker st, fresh_var st "loop", middle) ] @ after
+    | _ ->
+        let inject = Ast.Injected (marker st, dead_code st ~in_main) in
+        before @ (inject :: middle) @ after
+  end
+  else ss
+
+and fuzz_stmt st ~in_main (s : Ast.stmt) =
+  if exhausted st then s
+  else
+    match s with
+    | Ast.Declare (ty, x, e) -> Ast.Declare (ty, x, fuzz_expr st e)
+    | Ast.Assign (x, e) -> Ast.Assign (x, fuzz_expr st e)
+    | Ast.If (c, t, f) ->
+        Ast.If (fuzz_expr st c, fuzz_stmts st ~in_main t, fuzz_stmts st ~in_main f)
+    | Ast.For (i, lo, hi, body) -> Ast.For (i, lo, hi, fuzz_stmts st ~in_main body)
+    | Ast.Set_color (r, g, b) ->
+        Ast.Set_color (fuzz_expr st r, fuzz_expr st g, fuzz_expr st b)
+    | Ast.Discard -> Ast.Discard
+    | Ast.Return e -> Ast.Return (fuzz_expr st e)
+    | Ast.Injected (m, body) -> Ast.Injected (m, body)
+    | Ast.Wrap_if (m, c, body) -> Ast.Wrap_if (m, c, fuzz_stmts st ~in_main body)
+    | Ast.Wrap_loop (m, i, body) -> Ast.Wrap_loop (m, i, fuzz_stmts st ~in_main body)
+
+type result = {
+  program : Ast.program;
+  applied : int;  (** number of transformations (markers) applied *)
+}
+
+(** Apply several sweeps of source transformations.  [budget] bounds the
+    number of markers introduced. *)
+let fuzz ?(budget = 40) ?(sweeps = 4) ~seed (p : Ast.program) : result =
+  let st =
+    {
+      rng = Tbct.Rng.make seed;
+      next_marker = 1 + List.fold_left max 0 (Ast.program_markers p);
+      fresh_var = 0;
+      applied = 0;
+      budget;
+    }
+  in
+  let run_sweep (p : Ast.program) =
+    {
+      p with
+      Ast.functions =
+        List.map
+          (fun (f : Ast.fn) ->
+            { f with Ast.fn_body = fuzz_stmts st ~in_main:false f.Ast.fn_body })
+          p.Ast.functions;
+      Ast.main = fuzz_stmts st ~in_main:true p.Ast.main;
+    }
+  in
+  let rec go p n = if n = 0 || exhausted st then p else go (run_sweep p) (n - 1) in
+  let program = go p sweeps in
+  { program; applied = st.applied }

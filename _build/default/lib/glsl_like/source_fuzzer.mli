@@ -1,0 +1,18 @@
+(** The glsl-fuzz-style baseline fuzzer: coarse semantics-preserving
+    transformations applied at the {e source} level, before lowering.
+
+    Four transformation families, as in GLFuzz (paper, section 1):
+    wrapping consecutive statements in an always-true conditional; wrapping
+    them in a single-iteration loop; injecting dead code behind a false
+    guard (optionally with a [discard]); and identity mutations on
+    expressions (e + 0, e * 1, !!e).  Every application leaves a marker in
+    the AST for {!Source_reducer} to revert. *)
+
+type result = {
+  program : Ast.program;  (** type-checks and renders like the original *)
+  applied : int;          (** number of transformations (markers) applied *)
+}
+
+val fuzz : ?budget:int -> ?sweeps:int -> seed:int -> Ast.program -> result
+(** Deterministic in the seed.  [budget] caps the number of markers
+    introduced (default 40) over [sweeps] passes (default 4). *)

@@ -1,0 +1,48 @@
+(** The baseline's hand-crafted reducer.
+
+    glsl-fuzz reverts transformations by following the syntactic markers the
+    fuzzer left in the program (section 6).  The reduction loop greedily
+    tries to revert each marker; a revert is kept when the interestingness
+    test (evaluated on the {e re-lowered} program) still passes.  It repeats
+    until no single revert preserves interestingness — the source-level
+    analog of 1-minimality.
+
+    Note what this cannot do (and the paper's RQ2 measures): because the
+    test runs on the re-lowered module, every revert perturbs all ids and
+    offsets downstream, so the final module-level delta against the original
+    lowering is much coarser than spirv-fuzz's transformation-level delta. *)
+
+type stats = {
+  initial_markers : int;
+  kept_markers : int;
+  queries : int;
+}
+
+let reduce ~(is_interesting : Ast.program -> bool) (p : Ast.program) :
+    Ast.program * stats =
+  let queries = ref 0 in
+  let test p =
+    incr queries;
+    is_interesting p
+  in
+  if not (test p) then
+    invalid_arg "Source_reducer.reduce: input program is not interesting";
+  let initial_markers = List.length (Ast.program_markers p) in
+  let rec pass p =
+    let markers = Ast.program_markers p in
+    let p', changed =
+      List.fold_left
+        (fun (p, changed) m ->
+          let candidate = Ast.revert_program m p in
+          if test candidate then (candidate, true) else (p, changed))
+        (p, false) markers
+    in
+    if changed then pass p' else p'
+  in
+  let reduced = pass p in
+  ( reduced,
+    {
+      initial_markers;
+      kept_markers = List.length (Ast.program_markers reduced);
+      queries = !queries;
+    } )

@@ -1,0 +1,17 @@
+(** The baseline's hand-crafted reducer.
+
+    glsl-fuzz reverts transformations by following the syntactic markers the
+    fuzzer left in the program (paper, section 6).  The loop greedily tries
+    to revert each marker, keeping a revert when the interestingness test —
+    evaluated on the {e re-lowered} program — still passes, until no single
+    revert preserves interestingness (source-level 1-minimality). *)
+
+type stats = {
+  initial_markers : int;
+  kept_markers : int;
+  queries : int;  (** interestingness evaluations, each a full re-lower *)
+}
+
+val reduce :
+  is_interesting:(Ast.program -> bool) -> Ast.program -> Ast.program * stats
+(** @raise Invalid_argument when the input program is not interesting. *)

@@ -1,0 +1,240 @@
+(** Type checker for MiniGLSL.
+
+    Enforces the well-formedness rules the lowering relies on: variables
+    declared before use, no shadowing across a scope chain, built-in
+    variables only in [main], [Discard] only as the final statement of a
+    branch, helper functions returning on every path, declaration-before-use
+    of functions (hence no recursion), and [Set_color] only in [main]. *)
+
+type error = string
+
+let ( let* ) r f = Result.bind r f
+let fail fmt = Printf.ksprintf (fun s -> Error s) fmt
+
+type env = {
+  vars : (string * Ast.ty) list;
+  functions : Ast.fn list;  (** functions declared so far *)
+  in_main : bool;
+}
+
+let rec infer_expr env (e : Ast.expr) : (Ast.ty, error) result =
+  match e with
+  | Ast.Bool_lit _ -> Ok Ast.TBool
+  | Ast.Int_lit _ -> Ok Ast.TInt
+  | Ast.Float_lit _ -> Ok Ast.TFloat
+  | Ast.Var x -> (
+      match List.assoc_opt x env.vars with
+      | Some t -> Ok t
+      | None -> fail "unbound variable %s" x)
+  | Ast.Binop (op, a, b) -> (
+      let* ta = infer_expr env a in
+      let* tb = infer_expr env b in
+      if not (Ast.equal_ty ta tb) then fail "binop operand types differ"
+      else
+        match op with
+        | Ast.Add | Ast.Sub | Ast.Mul | Ast.Div -> (
+            match ta with
+            | Ast.TInt | Ast.TFloat -> Ok ta
+            | Ast.TBool | Ast.TVec _ | Ast.TMat _ -> fail "arithmetic on non-numeric")
+        | Ast.Mod -> if ta = Ast.TInt then Ok Ast.TInt else fail "mod on non-int"
+        | Ast.Lt | Ast.Le | Ast.Gt | Ast.Ge -> (
+            match ta with
+            | Ast.TInt | Ast.TFloat -> Ok Ast.TBool
+            | Ast.TBool | Ast.TVec _ | Ast.TMat _ -> fail "comparison on non-numeric")
+        | Ast.Eq | Ast.Ne -> (
+            match ta with
+            | Ast.TInt | Ast.TFloat | Ast.TBool -> Ok Ast.TBool
+            | Ast.TVec _ | Ast.TMat _ -> fail "equality on aggregates")
+        | Ast.And | Ast.Or ->
+            if ta = Ast.TBool then Ok Ast.TBool else fail "logic on non-bool")
+  | Ast.Unop (op, a) -> (
+      let* ta = infer_expr env a in
+      match (op, ta) with
+      | Ast.Neg, (Ast.TInt | Ast.TFloat) -> Ok ta
+      | Ast.Not, Ast.TBool -> Ok Ast.TBool
+      | Ast.Int_to_float, Ast.TInt -> Ok Ast.TFloat
+      | Ast.Float_to_int, Ast.TFloat -> Ok Ast.TInt
+      | _ -> fail "ill-typed unary operation")
+  | Ast.Call (name, args) -> (
+      match List.find_opt (fun (f : Ast.fn) -> String.equal f.Ast.fn_name name) env.functions with
+      | None -> fail "call to undeclared function %s" name
+      | Some f ->
+          if List.length args <> List.length f.Ast.fn_params then
+            fail "call arity mismatch for %s" name
+          else
+            let* () =
+              List.fold_left2
+                (fun acc arg (pty, _) ->
+                  let* () = acc in
+                  let* ta = infer_expr env arg in
+                  if Ast.equal_ty ta pty then Ok () else fail "argument type mismatch")
+                (Ok ()) args f.Ast.fn_params
+            in
+            Ok f.Ast.fn_ret)
+  | Ast.Vec parts ->
+      let n = List.length parts in
+      if n < 2 || n > 4 then fail "vec arity must be 2..4"
+      else
+        let* () =
+          List.fold_left
+            (fun acc p ->
+              let* () = acc in
+              let* t = infer_expr env p in
+              if t = Ast.TFloat then Ok () else fail "vec components must be float")
+            (Ok ()) parts
+        in
+        Ok (Ast.TVec n)
+  | Ast.Mat cols ->
+      let n = List.length cols in
+      if n < 2 || n > 4 then fail "mat dimension must be 2..4"
+      else
+        let* () =
+          List.fold_left
+            (fun acc c ->
+              let* () = acc in
+              let* t = infer_expr env c in
+              if Ast.equal_ty t (Ast.TVec n) then Ok ()
+              else fail "mat columns must be vec%d" n)
+            (Ok ()) cols
+        in
+        Ok (Ast.TMat n)
+  | Ast.Component (v, i) -> (
+      let* tv = infer_expr env v in
+      match tv with
+      | Ast.TVec n when i >= 0 && i < n -> Ok Ast.TFloat
+      | Ast.TVec _ -> fail "component index out of range"
+      | _ -> fail "component access on non-vector")
+  | Ast.Column (m, i) -> (
+      let* tm = infer_expr env m in
+      match tm with
+      | Ast.TMat n when i >= 0 && i < n -> Ok (Ast.TVec n)
+      | Ast.TMat _ -> fail "column index out of range"
+      | _ -> fail "column access on non-matrix")
+  | Ast.Mat_vec (m, v) -> (
+      let* tm = infer_expr env m in
+      let* tv = infer_expr env v in
+      match (tm, tv) with
+      | Ast.TMat n, Ast.TVec n' when n = n' -> Ok (Ast.TVec n)
+      | Ast.TMat _, Ast.TVec _ -> fail "matrix-vector dimension mismatch"
+      | _ -> fail "mat_vec requires a matrix and a vector")
+  | Ast.Identity (_, kind, inner) -> (
+      let* ti = infer_expr env inner in
+      match (kind, ti) with
+      | Ast.Plus_zero, (Ast.TInt | Ast.TFloat) -> Ok ti
+      | Ast.Times_one, (Ast.TInt | Ast.TFloat) -> Ok ti
+      | Ast.Double_not, Ast.TBool -> Ok ti
+      | _ -> fail "identity mutation on incompatible type")
+
+(* Check a statement list; returns the environment extension and whether all
+   paths terminated (via Return or Discard). *)
+let rec check_stmts env ~ret (ss : Ast.stmt list) : (bool, error) result =
+  match ss with
+  | [] -> Ok false
+  | s :: rest -> (
+      let continue_with env' =
+        let* terminated = check_stmt env' ~ret s in
+        if terminated && rest <> [] then fail "unreachable statements after terminator"
+        else if terminated then Ok true
+        else check_stmts env' ~ret rest
+      in
+      match s with
+      | Ast.Declare (ty, x, e) ->
+          if List.mem_assoc x env.vars then fail "redeclaration of %s" x
+          else
+            let* te = infer_expr env e in
+            if Ast.equal_ty te ty then
+              check_stmts { env with vars = (x, ty) :: env.vars } ~ret rest
+            else fail "declaration type mismatch for %s" x
+      | _ -> continue_with env)
+
+and check_stmt env ~ret (s : Ast.stmt) : (bool, error) result =
+  match s with
+  | Ast.Declare _ -> Ok false (* handled in check_stmts *)
+  | Ast.Assign (x, e) -> (
+      match List.assoc_opt x env.vars with
+      | None -> fail "assignment to undeclared variable %s" x
+      | Some tx ->
+          let* te = infer_expr env e in
+          if Ast.equal_ty te tx then Ok false else fail "assignment type mismatch for %s" x)
+  | Ast.If (c, t, f) ->
+      let* tc = infer_expr env c in
+      if tc <> Ast.TBool then fail "if condition must be bool"
+      else
+        let* term_t = check_stmts env ~ret t in
+        let* term_f = check_stmts env ~ret f in
+        Ok (term_t && term_f)
+  | Ast.For (i, lo, hi, body) ->
+      if List.mem_assoc i env.vars then fail "loop variable %s shadows" i
+      else if lo > hi then fail "descending loop bounds"
+      else
+        let env' = { env with vars = (i, Ast.TInt) :: env.vars } in
+        let* term = check_stmts env' ~ret body in
+        if term then fail "loop body may not terminate the shader" else Ok false
+  | Ast.Set_color (r, g, b) ->
+      if not env.in_main then fail "set_color outside main"
+      else
+        let* tr = infer_expr env r in
+        let* tg = infer_expr env g in
+        let* tb = infer_expr env b in
+        if tr = Ast.TFloat && tg = Ast.TFloat && tb = Ast.TFloat then Ok false
+        else fail "set_color arguments must be floats"
+  | Ast.Discard -> if env.in_main then Ok true else fail "discard outside main"
+  | Ast.Return e -> (
+      match ret with
+      | None -> fail "return in main"
+      | Some rty ->
+          let* te = infer_expr env e in
+          if Ast.equal_ty te rty then Ok true else fail "return type mismatch")
+  | Ast.Injected (_, body) ->
+      (* dead code: checked in the same scope, may not fall out of it *)
+      let* _ = check_stmts env ~ret body in
+      Ok false
+  | Ast.Wrap_if (_, c, body) ->
+      let* tc = infer_expr env c in
+      if tc <> Ast.TBool then fail "wrap_if guard must be bool"
+      else
+        let* term = check_stmts env ~ret body in
+        Ok term
+  | Ast.Wrap_loop (i, _, body) ->
+      ignore i;
+      let* term = check_stmts env ~ret body in
+      if term then fail "wrapped loop body may not terminate" else Ok false
+
+let check_function ~uniforms functions (f : Ast.fn) =
+  let env =
+    {
+      vars =
+        List.map (fun (ty, x) -> (x, ty)) f.Ast.fn_params
+        @ List.map (fun (ty, x) -> (x, ty)) uniforms;
+      functions;
+      in_main = false;
+    }
+  in
+  let* terminated = check_stmts env ~ret:(Some f.Ast.fn_ret) f.Ast.fn_body in
+  if terminated then Ok () else fail "function %s may fall off the end" f.Ast.fn_name
+
+let check (p : Ast.program) : (unit, error) result =
+  (* unique names *)
+  let names = List.map (fun (f : Ast.fn) -> f.Ast.fn_name) p.Ast.functions in
+  if List.length (List.sort_uniq String.compare names) <> List.length names then
+    fail "duplicate function names"
+  else
+    (* declaration order: each function may call only earlier ones *)
+    let* _ =
+      List.fold_left
+        (fun acc f ->
+          let* declared = acc in
+          let* () = check_function ~uniforms:p.Ast.uniforms declared f in
+          Ok (declared @ [ f ]))
+        (Ok []) p.Ast.functions
+    in
+    let env =
+      {
+        vars =
+          Ast.builtin_vars @ List.map (fun (ty, x) -> (x, ty)) p.Ast.uniforms;
+        functions = p.Ast.functions;
+        in_main = true;
+      }
+    in
+    let* _ = check_stmts env ~ret:None p.Ast.main in
+    Ok ()

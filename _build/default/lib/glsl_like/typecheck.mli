@@ -1,0 +1,14 @@
+(** Type checker for MiniGLSL.
+
+    Enforces the well-formedness rules the lowering relies on: variables
+    declared before use, no shadowing, uniforms in module scope, built-in
+    per-fragment variables ([gl_x]/[gl_y]) only in [main], [Discard] only as
+    the final statement of a branch, helper functions returning on every
+    path, declaration-before-use of functions (hence no recursion), and
+    [Set_color] only in [main]. *)
+
+type error = string
+
+val check : Ast.program -> (unit, error) result
+(** All corpus programs pass; the lowering may assume a checked program and
+    treats violations as programming errors. *)

@@ -1,0 +1,1 @@
+lib/harness/experiments.ml: Array Builder Cfg Compilers Corpus Func Glsl_like Hashtbl Image Input Lazy List Log Module_ir Option Pipeline Set Signature Spirv_fuzz Spirv_ir Stats String Venn

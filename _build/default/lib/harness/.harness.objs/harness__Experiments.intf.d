@@ -1,0 +1,1 @@
+lib/harness/experiments.mli: Compilers Glsl_like Module_ir Pipeline Spirv_fuzz Spirv_ir Tbct Venn

@@ -1,0 +1,1 @@
+lib/harness/log.ml: Logs

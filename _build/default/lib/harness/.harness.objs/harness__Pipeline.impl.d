@@ -1,0 +1,1 @@
+lib/harness/pipeline.ml: Compilers Corpus Glsl_like Hashtbl Image Input Lazy List Module_ir Option Signature Spirv_fuzz Spirv_ir String

@@ -1,0 +1,1 @@
+lib/harness/signature.ml: Compilers List String

@@ -1,0 +1,1 @@
+lib/harness/venn.ml: Printf Set String

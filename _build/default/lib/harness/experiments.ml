@@ -1,0 +1,653 @@
+(** Experiment drivers for every table and figure of the paper's evaluation
+    (section 4), at a configurable scale.
+
+    The paper ran 10,000 seeds per tool configuration; the default scale
+    here is laptop-sized but preserves the comparisons: the same seeds are
+    split into disjoint groups for the Mann-Whitney U analysis, the same
+    per-target bookkeeping feeds Table 3, Figure 7, the RQ2 reduction-
+    quality medians and the Table 4 deduplication study. *)
+
+open Spirv_ir
+
+type scale = {
+  seeds : int;        (** tests per tool configuration (paper: 10,000) *)
+  groups : int;       (** disjoint groups for MWU (paper: 10) *)
+  max_reductions_per_signature : int;  (** cap (paper: 100 / 20) *)
+}
+
+let default_scale = { seeds = 400; groups = 10; max_reductions_per_signature = 5 }
+
+(* ------------------------------------------------------------------ *)
+(* Campaigns                                                           *)
+
+type hit = {
+  hit_tool : Pipeline.tool;
+  hit_seed : int;
+  hit_ref : string;
+  hit_target : string;
+  hit_detection : Pipeline.detection;
+}
+
+(** All references available to a tool: glsl-fuzz sees the source programs;
+    the spirv tools see the lowered modules plus [-O]-optimized copies
+    (section 4: "We also provided spirv-fuzz with an optimized version of
+    each shader ... We could not provide optimized shaders to glsl-fuzz"). *)
+let spirv_references =
+  lazy
+    (let lowered = Lazy.force Corpus.lowered_references in
+     let optimized =
+       List.filter_map
+         (fun (name, m) ->
+           match Compilers.Optimizer.optimize m with
+           | Ok m' -> Some (name ^ "+opt", m')
+           | Error _ -> None)
+         lowered
+     in
+     lowered @ optimized)
+
+(* a tool's reference list as (name, source program, module) triples; for
+   optimized references the source is the unoptimized one (glsl-fuzz never
+   sees them) *)
+let references_for (tool : Pipeline.tool) =
+  match tool with
+  | Pipeline.Glsl_fuzz_tool ->
+      List.map
+        (fun (name, p) -> (name, p, Glsl_like.Lower.lower p))
+        Corpus.references
+  | Pipeline.Spirv_fuzz_tool | Pipeline.Spirv_fuzz_simple ->
+      let sources = Corpus.references in
+      List.map
+        (fun (name, m) ->
+          let base = try List.hd (String.split_on_char '+' name) with Failure _ -> name in
+          let src =
+            match List.assoc_opt base sources with
+            | Some p -> p
+            | None -> snd (List.hd sources)
+          in
+          (name, src, m))
+        (Lazy.force spirv_references)
+
+(** Run a fuzzing campaign: for each seed, generate one variant from a
+    round-robin reference and test it against every target. *)
+let run_campaign ?(scale = default_scale) ?(targets = Compilers.Target.all) tool :
+    hit list =
+  let refs = Array.of_list (references_for tool) in
+  let hits = ref [] in
+  for seed = 0 to scale.seeds - 1 do
+    let ref_name, ref_source, ref_module = refs.(seed mod Array.length refs) in
+    let generated =
+      Pipeline.generate tool ~ref_source ~ref_module ~seed ~input:Corpus.default_input
+    in
+    List.iter
+      (fun (t : Compilers.Target.t) ->
+        match
+          Pipeline.run_variant t ~ref_name ~original:ref_module
+            ~variant_input:generated.Pipeline.gen_input
+            ~variant:generated.Pipeline.gen_variant Corpus.default_input
+        with
+        | Some detection ->
+            hits :=
+              {
+                hit_tool = tool;
+                hit_seed = seed;
+                hit_ref = ref_name;
+                hit_target = t.Compilers.Target.name;
+                hit_detection = detection;
+              }
+              :: !hits
+        | None -> ())
+      targets;
+    if (seed + 1) mod 50 = 0 then
+      Log.info (fun k ->
+          k "%s: %d/%d seeds, %d detections so far" (Pipeline.tool_name tool)
+            (seed + 1) scale.seeds (List.length !hits))
+  done;
+  List.rev !hits
+
+(* ------------------------------------------------------------------ *)
+(* Table 3: bug-finding ability                                        *)
+
+module String_set = Set.Make (String)
+
+let signatures_of hits ~target =
+  List.fold_left
+    (fun acc h ->
+      if String.equal h.hit_target target then
+        String_set.add h.hit_detection.Pipeline.signature acc
+      else acc)
+    String_set.empty hits
+
+let group_of ~scale seed = seed * scale.groups / scale.seeds
+
+type table3_row = {
+  t3_target : string;
+  t3_total : int array;    (** per tool: distinct signatures over all seeds *)
+  t3_median : float array; (** per tool: median distinct signatures per group *)
+  t3_vs_simple : string;   (** MWU verdict: spirv-fuzz beats spirv-fuzz-simple? *)
+  t3_vs_glsl : string;
+}
+
+let tools = [| Pipeline.Spirv_fuzz_tool; Pipeline.Spirv_fuzz_simple; Pipeline.Glsl_fuzz_tool |]
+
+type table3 = { rows : table3_row list; all_row : table3_row }
+
+let table3 ?(scale = default_scale) ~(hits : hit list array) () : table3 =
+  (* hits.(i) corresponds to tools.(i) *)
+  let per_group_counts tool_idx target =
+    (* distinct signatures within each seed group *)
+    Array.init scale.groups (fun g ->
+        List.fold_left
+          (fun acc h ->
+            if
+              String.equal h.hit_target target
+              && group_of ~scale h.hit_seed = g
+            then String_set.add h.hit_detection.Pipeline.signature acc
+            else acc)
+          String_set.empty hits.(tool_idx)
+        |> String_set.cardinal |> float_of_int)
+  in
+  let row target =
+    let totals =
+      Array.init 3 (fun i -> String_set.cardinal (signatures_of hits.(i) ~target))
+    in
+    let groups = Array.init 3 (fun i -> per_group_counts i target) in
+    let medians = Array.map (fun g -> Stats.median (Array.to_list g)) groups in
+    let mwu_simple =
+      Stats.mann_whitney_u (Array.to_list groups.(0)) (Array.to_list groups.(1))
+    in
+    let mwu_glsl =
+      Stats.mann_whitney_u (Array.to_list groups.(0)) (Array.to_list groups.(2))
+    in
+    {
+      t3_target = target;
+      t3_total = totals;
+      t3_median = medians;
+      t3_vs_simple = Stats.verdict mwu_simple.Stats.confidence_a_greater;
+      t3_vs_glsl = Stats.verdict mwu_glsl.Stats.confidence_a_greater;
+    }
+  in
+  let rows = List.map (fun (t : Compilers.Target.t) -> row t.Compilers.Target.name) Compilers.Target.all in
+  (* the All row: signatures qualified by target, groupwise sums *)
+  let all_row =
+    let totals =
+      Array.init 3 (fun i ->
+          List.fold_left (fun acc r -> acc + r.t3_total.(i)) 0 rows |> fun x -> x)
+    in
+    let per_group tool_idx =
+      Array.init scale.groups (fun g ->
+          List.fold_left
+            (fun acc (t : Compilers.Target.t) ->
+              let s =
+                List.fold_left
+                  (fun acc h ->
+                    if
+                      String.equal h.hit_target t.Compilers.Target.name
+                      && group_of ~scale h.hit_seed = g
+                    then String_set.add h.hit_detection.Pipeline.signature acc
+                    else acc)
+                  String_set.empty hits.(tool_idx)
+              in
+              acc + String_set.cardinal s)
+            0 Compilers.Target.all
+          |> float_of_int)
+    in
+    let groups = Array.init 3 (fun i -> per_group i) in
+    let medians = Array.map (fun g -> Stats.median (Array.to_list g)) groups in
+    let mwu_simple = Stats.mann_whitney_u (Array.to_list groups.(0)) (Array.to_list groups.(1)) in
+    let mwu_glsl = Stats.mann_whitney_u (Array.to_list groups.(0)) (Array.to_list groups.(2)) in
+    {
+      t3_target = "All";
+      t3_total = totals;
+      t3_median = medians;
+      t3_vs_simple = Stats.verdict mwu_simple.Stats.confidence_a_greater;
+      t3_vs_glsl = Stats.verdict mwu_glsl.Stats.confidence_a_greater;
+    }
+  in
+  { rows; all_row }
+
+(* ------------------------------------------------------------------ *)
+(* Figure 7: complementarity                                           *)
+
+let figure7 ~(hits : hit list array) () =
+  let per_target =
+    List.map
+      (fun (t : Compilers.Target.t) ->
+        let name = t.Compilers.Target.name in
+        let set i =
+          signatures_of hits.(i) ~target:name
+          |> String_set.elements |> Venn.String_set.of_list
+        in
+        (name, Venn.partition ~a:(set 0) ~b:(set 1) ~c:(set 2)))
+      Compilers.Target.all
+  in
+  let all =
+    let qualified i =
+      List.fold_left
+        (fun acc h ->
+          Venn.String_set.add
+            (h.hit_target ^ "/" ^ h.hit_detection.Pipeline.signature)
+            acc)
+        Venn.String_set.empty hits.(i)
+    in
+    Venn.partition ~a:(qualified 0) ~b:(qualified 1) ~c:(qualified 2)
+  in
+  (per_target, all)
+
+(* ------------------------------------------------------------------ *)
+(* RQ2: reduction quality                                              *)
+
+type reduction_outcome = {
+  red_tool : Pipeline.tool;
+  red_target : string;
+  red_signature : string;
+  red_delta : int;            (** |instructions(reduced) - instructions(original)| *)
+  red_kept : int;             (** surviving transformations / markers *)
+  red_initial : int;
+}
+
+(* regenerate the variant for a hit and reduce it against its target *)
+let reduce_hit (h : hit) : reduction_outcome option =
+  match Compilers.Target.find h.hit_target with
+  | None -> None
+  | Some t ->
+      let refs = references_for h.hit_tool in
+      let ref_name, ref_source, ref_module =
+        match List.find_opt (fun (n, _, _) -> String.equal n h.hit_ref) refs with
+        | Some r -> r
+        | None -> List.hd refs
+      in
+      let generated =
+        Pipeline.generate h.hit_tool ~ref_source ~ref_module ~seed:h.hit_seed
+          ~input:Corpus.default_input
+      in
+      let is_interesting =
+        Pipeline.interestingness t ~ref_name ~original:ref_module
+          ~detection:h.hit_detection Corpus.default_input
+      in
+      (* the recorded detection must reproduce (it does, deterministically) *)
+      if not (is_interesting generated.Pipeline.gen_variant generated.Pipeline.gen_input)
+      then None
+      else
+        let original_size = Module_ir.instruction_count ref_module in
+        match generated.Pipeline.gen_reduce ~is_interesting with
+        | `Spirv (kept, reduced_ctx) ->
+            let reduced_size =
+              Module_ir.instruction_count reduced_ctx.Spirv_fuzz.Context.m
+            in
+            Some
+              {
+                red_tool = h.hit_tool;
+                red_target = h.hit_target;
+                red_signature = h.hit_detection.Pipeline.signature;
+                red_delta = abs (reduced_size - original_size);
+                red_kept = List.length kept;
+                red_initial = generated.Pipeline.gen_transformation_count;
+              }
+        | `Glsl reduced_program ->
+            let reduced_size =
+              Module_ir.instruction_count (Glsl_like.Lower.lower reduced_program)
+            in
+            Some
+              {
+                red_tool = h.hit_tool;
+                red_target = h.hit_target;
+                red_signature = h.hit_detection.Pipeline.signature;
+                red_delta = abs (reduced_size - original_size);
+                red_kept = List.length (Glsl_like.Ast.program_markers reduced_program);
+                red_initial = generated.Pipeline.gen_transformation_count;
+              }
+
+(* cap hits per (target, signature) before reducing, as the paper does *)
+let cap_hits ~per_signature hits =
+  let seen = Hashtbl.create 32 in
+  List.filter
+    (fun h ->
+      let key = (h.hit_target, h.hit_detection.Pipeline.signature) in
+      let n = Option.value ~default:0 (Hashtbl.find_opt seen key) in
+      if n < per_signature then begin
+        Hashtbl.replace seen key (n + 1);
+        true
+      end
+      else false)
+    hits
+
+type rq2 = {
+  rq2_spirv : reduction_outcome list;
+  rq2_glsl : reduction_outcome list;
+  rq2_median_spirv : float;
+  rq2_median_glsl : float;
+}
+
+let rq2 ?(scale = default_scale) ~(hits : hit list array) () : rq2 =
+  let study_targets =
+    List.map (fun (t : Compilers.Target.t) -> t.Compilers.Target.name)
+      Compilers.Target.reduction_study
+  in
+  let eligible tool_hits =
+    List.filter (fun h -> List.mem h.hit_target study_targets) tool_hits
+    |> cap_hits ~per_signature:scale.max_reductions_per_signature
+  in
+  let reduce_all tool_hits = List.filter_map reduce_hit (eligible tool_hits) in
+  let spirv = reduce_all hits.(0) in
+  let glsl = reduce_all hits.(2) in
+  {
+    rq2_spirv = spirv;
+    rq2_glsl = glsl;
+    rq2_median_spirv = Stats.median (List.map (fun r -> float_of_int r.red_delta) spirv);
+    rq2_median_glsl = Stats.median (List.map (fun r -> float_of_int r.red_delta) glsl);
+  }
+
+(* ------------------------------------------------------------------ *)
+(* Table 4: deduplication effectiveness                                *)
+
+type table4_row = {
+  t4_target : string;
+  t4_tests : int;     (** reduced test cases fed to the dedup algorithm *)
+  t4_sigs : int;      (** distinct underlying bugs these tests trigger *)
+  t4_reports : int;   (** test cases the algorithm recommends *)
+  t4_distinct : int;  (** distinct bugs covered by the recommendations *)
+  t4_dups : int;
+}
+
+(* a reduced spirv-fuzz test with its minimized transformation sequence *)
+type dedup_test = {
+  dd_bug_id : string;
+  dd_transformations : Spirv_fuzz.Transformation.t list;
+}
+
+let table4 ?(scale = default_scale) ?ignored ~(hits : hit list array) () :
+    table4_row list * table4_row =
+  let study =
+    List.map (fun (t : Compilers.Target.t) -> t.Compilers.Target.name)
+      Compilers.Target.dedup_study
+  in
+  (* crash bugs only (reliable signatures), spirv-fuzz tests only *)
+  let crash_hits =
+    List.filter
+      (fun h ->
+        List.mem h.hit_target study
+        && not (Signature.is_miscompilation h.hit_detection.Pipeline.signature))
+      hits.(0)
+    |> cap_hits ~per_signature:scale.max_reductions_per_signature
+  in
+  let reduced_tests =
+    List.filter_map
+      (fun h ->
+        match Compilers.Target.find h.hit_target with
+        | None -> None
+        | Some t -> (
+            let refs = references_for h.hit_tool in
+            let ref_name, ref_source, ref_module =
+              match List.find_opt (fun (n, _, _) -> String.equal n h.hit_ref) refs with
+              | Some r -> r
+              | None -> List.hd refs
+            in
+            let generated =
+              Pipeline.generate h.hit_tool ~ref_source ~ref_module ~seed:h.hit_seed
+                ~input:Corpus.default_input
+            in
+            let is_interesting =
+              Pipeline.interestingness t ~ref_name ~original:ref_module
+                ~detection:h.hit_detection Corpus.default_input
+            in
+            if
+              not (is_interesting generated.Pipeline.gen_variant generated.Pipeline.gen_input)
+            then None
+            else
+              match generated.Pipeline.gen_reduce ~is_interesting with
+              | `Spirv (kept, _) ->
+                  Some
+                    ( h.hit_target,
+                      {
+                        dd_bug_id =
+                          Signature.bug_id_of_signature h.hit_detection.Pipeline.signature;
+                        dd_transformations = kept;
+                      } )
+              | `Glsl _ -> None))
+      crash_hits
+  in
+  let row target =
+    let tests = List.filter_map (fun (t, d) -> if String.equal t target then Some d else None) reduced_tests in
+    let sigs =
+      List.fold_left (fun acc d -> String_set.add d.dd_bug_id acc) String_set.empty tests
+      |> String_set.cardinal
+    in
+    let selected =
+      Spirv_fuzz.Dedup.select ?ignored
+        (List.map
+           (fun d ->
+             { Spirv_fuzz.Dedup.label = d.dd_bug_id;
+               Spirv_fuzz.Dedup.transformations = d.dd_transformations })
+           tests)
+    in
+    let distinct =
+      List.fold_left
+        (fun acc t -> String_set.add t.Spirv_fuzz.Dedup.label acc)
+        String_set.empty selected
+      |> String_set.cardinal
+    in
+    {
+      t4_target = target;
+      t4_tests = List.length tests;
+      t4_sigs = sigs;
+      t4_reports = List.length selected;
+      t4_distinct = distinct;
+      t4_dups = List.length selected - distinct;
+    }
+  in
+  let rows = List.map row study in
+  let total =
+    List.fold_left
+      (fun acc r ->
+        {
+          t4_target = "Total";
+          t4_tests = acc.t4_tests + r.t4_tests;
+          t4_sigs = acc.t4_sigs + r.t4_sigs;
+          t4_reports = acc.t4_reports + r.t4_reports;
+          t4_distinct = acc.t4_distinct + r.t4_distinct;
+          t4_dups = acc.t4_dups + r.t4_dups;
+        })
+      { t4_target = "Total"; t4_tests = 0; t4_sigs = 0; t4_reports = 0; t4_distinct = 0; t4_dups = 0 }
+      rows
+  in
+  (rows, total)
+
+(* ------------------------------------------------------------------ *)
+(* Figure 3: the one-instruction DontInline delta                      *)
+
+type figure3 = {
+  fig3_original_size : int;
+  fig3_variant_size : int;
+  fig3_reduced_size : int;
+  fig3_signature : string;
+  fig3_kept : Spirv_fuzz.Transformation.t list;
+  fig3_delta : string;
+}
+
+(** Reproduce the Figure 3 scenario deterministically: fuzz a reference that
+    has helper functions until SwiftShader's DontInline bug fires, then
+    reduce; the minimized sequence is the single SetFunctionControl and the
+    delta one instruction. *)
+let figure3 () : figure3 option =
+  let _, ref_module =
+    List.find
+      (fun (n, _) -> String.equal n "helper_distance")
+      (Lazy.force Corpus.lowered_references)
+  in
+  let t = Compilers.Target.swiftshader in
+  let input = Corpus.default_input in
+  let rec hunt seed =
+    if seed > 400 then None
+    else begin
+      let ctx = Spirv_fuzz.Context.make ref_module input in
+      let config =
+        {
+          Spirv_fuzz.Fuzzer.default_config with
+          Spirv_fuzz.Fuzzer.donors = List.map snd (Lazy.force Corpus.lowered_donors);
+        }
+      in
+      let result = Spirv_fuzz.Fuzzer.run ~config ~seed ctx in
+      let variant = result.Spirv_fuzz.Fuzzer.final.Spirv_fuzz.Context.m in
+      match Compilers.Backend.run t variant input with
+      | Compilers.Backend.Crashed s
+        when String.equal (Signature.bug_id_of_signature s) "dontinline-call" ->
+          let is_interesting (c : Spirv_fuzz.Context.t) =
+            match Compilers.Backend.run t c.Spirv_fuzz.Context.m input with
+            | Compilers.Backend.Crashed s' -> String.equal s s'
+            | _ -> false
+          in
+          let r =
+            Spirv_fuzz.Reducer.reduce ~original:ctx ~is_interesting
+              result.Spirv_fuzz.Fuzzer.transformations
+          in
+          Some
+            {
+              fig3_original_size = Module_ir.instruction_count ref_module;
+              fig3_variant_size = Module_ir.instruction_count variant;
+              fig3_reduced_size =
+                Module_ir.instruction_count r.Spirv_fuzz.Reducer.reduced.Spirv_fuzz.Context.m;
+              fig3_signature = s;
+              fig3_kept = r.Spirv_fuzz.Reducer.transformations;
+              fig3_delta =
+                Spirv_fuzz.Reducer.delta_listing ~original:ctx r.Spirv_fuzz.Reducer.reduced;
+            }
+      | _ -> hunt (seed + 1)
+    end
+  in
+  hunt 0
+
+(* ------------------------------------------------------------------ *)
+(* Figure 8: the two miscompilation walkthroughs                       *)
+
+type figure8 = {
+  fig8a_images_differ : bool;
+  fig8a_original_ascii : string;
+  fig8a_variant_ascii : string;
+  fig8b_images_differ : bool;
+  fig8b_original_ascii : string;
+  fig8b_variant_ascii : string;
+}
+
+(* Figure 8a: a counted loop whose condition ends up in a φ after
+   PropagateInstructionUp; Mesa's phi-condition bug then mis-branches. *)
+let fig8a_module () =
+  let b = Builder.create () in
+  let void_t = Builder.void_ty b in
+  let int_t = Builder.int_ty b in
+  let frag = Builder.frag_coord b in
+  let out = Builder.output_color b in
+  let fb, main, _ = Builder.begin_function b ~name:"main" ~ret:void_t ~params:[] in
+  let l0 = Builder.new_label fb in
+  let header = Builder.new_label fb in
+  let body = Builder.new_label fb in
+  let exit = Builder.new_label fb in
+  let zero = Builder.cint b 0 in
+  let limit = Builder.cint b 4 in
+  let one = Builder.cint b 1 in
+  Builder.start_block fb l0;
+  let fc = Builder.load fb frag in
+  let x = Builder.extract fb fc [ 0 ] in
+  Builder.branch fb header;
+  Builder.start_block fb header;
+  let i = Builder.phi fb ~ty:int_t [ (zero, l0); (0, body) ] in
+  let acc = Builder.phi fb ~ty:(Builder.float_ty b) [ (Builder.cfloat b 0.0, l0); (0, body) ] in
+  let c = Builder.sle fb i limit in
+  Builder.branch_cond fb c body exit;
+  Builder.start_block fb body;
+  let acc' = Builder.fadd fb acc (Builder.fmul fb x (Builder.cfloat b 0.02)) in
+  let i' = Builder.iadd fb i one in
+  Builder.patch_phi fb ~phi:i ~pred:body ~value:i';
+  Builder.patch_phi fb ~phi:acc ~pred:body ~value:acc';
+  Builder.branch fb header;
+  Builder.start_block fb exit;
+  let onef = Builder.cfloat b 1.0 in
+  let color = Builder.composite fb ~ty:(Builder.vec4f b) [ acc; acc; acc; onef ] in
+  Builder.store fb out color;
+  Builder.ret fb;
+  ignore (Builder.end_function fb);
+  (Builder.finish b ~entry:main, header)
+
+let figure8 () : figure8 =
+  let input = Input.make ~width:8 ~height:8 [] in
+  (* 8a *)
+  let m_a, header = fig8a_module () in
+  let ctx = Spirv_fuzz.Context.make m_a input in
+  let main_fn = (Module_ir.entry_function m_a).Func.id in
+  (* propagate the loop condition computation up into the predecessors,
+     exactly the Figure 8a transformation *)
+  let f = Module_ir.entry_function m_a in
+  let cfg = Cfg.of_func f in
+  let preds = Cfg.predecessors cfg header in
+  let m_tmp, fresh = Module_ir.fresh_many m_a (List.length preds) in
+  let ctx = { ctx with Spirv_fuzz.Context.m = m_tmp } in
+  let t =
+    Spirv_fuzz.Transformation.Propagate_instruction_up
+      { fn = main_fn; block = header; fresh_per_pred = List.combine preds fresh }
+  in
+  let ctx' =
+    if Spirv_fuzz.Rules.precondition ctx t then Spirv_fuzz.Rules.apply ctx t else ctx
+  in
+  let variant_a = ctx'.Spirv_fuzz.Context.m in
+  let mesa = Compilers.Target.mesa in
+  let img_of m =
+    match Compilers.Backend.run mesa m input with
+    | Compilers.Backend.Rendered img -> Some img
+    | _ -> None
+  in
+  let orig_a = img_of m_a and var_a = img_of variant_a in
+  (* 8b: MoveBlockDown on a diamond; Pixel-5's block-order bug mis-branches *)
+  let b = Builder.create () in
+  let void_t = Builder.void_ty b in
+  let frag = Builder.frag_coord b in
+  let out = Builder.output_color b in
+  let fb, main, _ = Builder.begin_function b ~name:"main" ~ret:void_t ~params:[] in
+  let la = Builder.new_label fb in
+  let lb = Builder.new_label fb in
+  let lc = Builder.new_label fb in
+  let ld = Builder.new_label fb in
+  Builder.start_block fb la;
+  let fc = Builder.load fb frag in
+  let x = Builder.extract fb fc [ 0 ] in
+  let c = Builder.flt fb x (Builder.cfloat b 4.0) in
+  Builder.branch_cond fb c lb lc;
+  Builder.start_block fb lb;
+  let vb = Builder.cfloat b 1.0 in
+  Builder.branch fb ld;
+  Builder.start_block fb lc;
+  let vc = Builder.cfloat b 0.25 in
+  let vc2 = Builder.fadd fb vc (Builder.cfloat b 0.0) in
+  Builder.branch fb ld;
+  Builder.start_block fb ld;
+  let phi = Builder.phi fb ~ty:(Builder.float_ty b) [ (vb, lb); (vc2, lc) ] in
+  let onef = Builder.cfloat b 1.0 in
+  let color = Builder.composite fb ~ty:(Builder.vec4f b) [ phi; phi; phi; onef ] in
+  Builder.store fb out color;
+  Builder.ret fb;
+  ignore (Builder.end_function fb);
+  let m_b = Builder.finish b ~entry:main in
+  let ctx_b = Spirv_fuzz.Context.make m_b input in
+  let t_move = Spirv_fuzz.Transformation.Move_block_down { fn = main; block = lb } in
+  let ctx_b' =
+    if Spirv_fuzz.Rules.precondition ctx_b t_move then Spirv_fuzz.Rules.apply ctx_b t_move
+    else ctx_b
+  in
+  let variant_b = ctx_b'.Spirv_fuzz.Context.m in
+  let pixel5 = Compilers.Target.pixel5 in
+  let img_of_p5 m =
+    match Compilers.Backend.run pixel5 m input with
+    | Compilers.Backend.Rendered img -> Some img
+    | _ -> None
+  in
+  let orig_b = img_of_p5 m_b and var_b = img_of_p5 variant_b in
+  let ascii = function Some img -> Image.to_ascii img | None -> "(no image)\n" in
+  let differ a bimg =
+    match (a, bimg) with Some x, Some y -> not (Image.equal x y) | _ -> false
+  in
+  {
+    fig8a_images_differ = differ orig_a var_a;
+    fig8a_original_ascii = ascii orig_a;
+    fig8a_variant_ascii = ascii var_a;
+    fig8b_images_differ = differ orig_b var_b;
+    fig8b_original_ascii = ascii orig_b;
+    fig8b_variant_ascii = ascii var_b;
+  }

@@ -1,0 +1,140 @@
+(** Experiment drivers for every table and figure of the paper's evaluation
+    (section 4), at a configurable scale.
+
+    The paper ran 10,000 seeds per tool configuration; the default scale is
+    laptop-sized but preserves every comparison: seeds split into disjoint
+    groups for the Mann-Whitney U analysis (Table 3), per-target signature
+    sets (Figure 7), reduction-quality medians (RQ2) and the deduplication
+    study (Table 4).  Everything is deterministic in the seeds. *)
+
+open Spirv_ir
+
+type scale = {
+  seeds : int;   (** tests per tool configuration (paper: 10,000) *)
+  groups : int;  (** disjoint groups for MWU (paper: 10) *)
+  max_reductions_per_signature : int;  (** cap (paper: 100 / 20) *)
+}
+
+val default_scale : scale
+
+(** {1 Campaigns} *)
+
+type hit = {
+  hit_tool : Pipeline.tool;
+  hit_seed : int;
+  hit_ref : string;
+  hit_target : string;
+  hit_detection : Pipeline.detection;
+}
+
+val references_for :
+  Pipeline.tool -> (string * Glsl_like.Ast.program * Module_ir.t) list
+(** The references a tool fuzzes: glsl-fuzz sees the source programs; the
+    spirv tools additionally get [-O]-optimized copies, as in the paper. *)
+
+val run_campaign :
+  ?scale:scale -> ?targets:Compilers.Target.t list -> Pipeline.tool -> hit list
+(** For each seed, generate one variant from a round-robin reference and
+    test it against every target (with the optimize-and-retry step). *)
+
+val tools : Pipeline.tool array
+(** The three configurations, in Table 3 column order. *)
+
+(** {1 Table 3} *)
+
+type table3_row = {
+  t3_target : string;
+  t3_total : int array;     (** per tool: distinct signatures over all seeds *)
+  t3_median : float array;  (** per tool: median distinct signatures per group *)
+  t3_vs_simple : string;    (** MWU verdict: beats spirv-fuzz-simple? *)
+  t3_vs_glsl : string;
+}
+
+type table3 = { rows : table3_row list; all_row : table3_row }
+
+val table3 : ?scale:scale -> hits:hit list array -> unit -> table3
+
+(** {1 Figure 7} *)
+
+val figure7 : hits:hit list array -> unit -> (string * Venn.t) list * Venn.t
+(** Per-target Venn partitions plus the all-targets panel (signatures
+    qualified by target). *)
+
+(** {1 RQ2: reduction quality} *)
+
+type reduction_outcome = {
+  red_tool : Pipeline.tool;
+  red_target : string;
+  red_signature : string;
+  red_delta : int;    (** |instructions(reduced) - instructions(original)| *)
+  red_kept : int;     (** surviving transformations / markers *)
+  red_initial : int;
+}
+
+val reduce_hit : hit -> reduction_outcome option
+(** Regenerate the hit's variant deterministically and reduce it against its
+    target; [None] when the detection does not reproduce (does not happen
+    for campaign hits). *)
+
+val cap_hits : per_signature:int -> hit list -> hit list
+(** Keep at most N hits per (target, signature), preserving order — the
+    paper's reduction caps. *)
+
+type rq2 = {
+  rq2_spirv : reduction_outcome list;
+  rq2_glsl : reduction_outcome list;
+  rq2_median_spirv : float;
+  rq2_median_glsl : float;
+}
+
+val rq2 : ?scale:scale -> hits:hit list array -> unit -> rq2
+
+(** {1 Table 4: deduplication} *)
+
+type table4_row = {
+  t4_target : string;
+  t4_tests : int;     (** reduced test cases fed to the algorithm *)
+  t4_sigs : int;      (** distinct underlying bugs those tests trigger *)
+  t4_reports : int;   (** test cases recommended for investigation *)
+  t4_distinct : int;  (** distinct bugs covered by the recommendations *)
+  t4_dups : int;
+}
+
+val table4 :
+  ?scale:scale ->
+  ?ignored:Tbct.Dedup.String_set.t ->
+  hits:hit list array ->
+  unit ->
+  table4_row list * table4_row
+(** Crash bugs only, spirv-fuzz tests only, NVIDIA excluded — the paper's
+    setup.  [?ignored] overrides the section 3.5 ignore list (used by the
+    ablation). *)
+
+(** {1 Deterministic figures} *)
+
+type figure3 = {
+  fig3_original_size : int;
+  fig3_variant_size : int;
+  fig3_reduced_size : int;
+  fig3_signature : string;
+  fig3_kept : Spirv_fuzz.Transformation.t list;
+  fig3_delta : string;
+}
+
+val figure3 : unit -> figure3 option
+(** Hunt for the DontInline SwiftShader crash and reduce it — the Figure 3
+    scenario, ending in a one-line-pair module delta. *)
+
+type figure8 = {
+  fig8a_images_differ : bool;
+  fig8a_original_ascii : string;
+  fig8a_variant_ascii : string;
+  fig8b_images_differ : bool;
+  fig8b_original_ascii : string;
+  fig8b_variant_ascii : string;
+}
+
+val figure8 : unit -> figure8
+(** The two miscompilation walkthroughs: PropagateInstructionUp vs the Mesa
+    phi-condition bug (8a) and MoveBlockDown vs the Pixel-5 layout bug
+    (8b). *)

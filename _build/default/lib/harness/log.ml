@@ -1,0 +1,5 @@
+(** Log source for the experiment harness ("tbct.harness"). *)
+
+let src = Logs.Src.create "tbct.harness" ~doc:"experiment harness events"
+
+include (val Logs.src_log src : Logs.LOG)

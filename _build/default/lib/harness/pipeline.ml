@@ -1,0 +1,167 @@
+(** The gfauto-analog test pipeline (section 3.2).
+
+    A fuzzer configuration turns (reference, seed) into a variant module; the
+    pipeline runs the variant on a target, detects crashes by signature and
+    miscompilations by image comparison against the {e original} program run
+    on the same target, and — when no bug is detected — optimizes the variant
+    with the clean [-O] pipeline and tries again ("If no bug is detected,
+    gfauto applies spirv-opt with the -O argument, then runs the optimized
+    test, again checking to see whether a bug is triggered"). *)
+
+open Spirv_ir
+
+type tool = Spirv_fuzz_tool | Spirv_fuzz_simple | Glsl_fuzz_tool
+
+let tool_name = function
+  | Spirv_fuzz_tool -> "spirv-fuzz"
+  | Spirv_fuzz_simple -> "spirv-fuzz-simple"
+  | Glsl_fuzz_tool -> "glsl-fuzz"
+
+type detection = {
+  signature : Signature.t;
+  via_opt : bool;  (** detected only on the additionally-optimized variant *)
+}
+
+(* cache of the original programs' behaviour per (target, reference) *)
+type baseline = (string * string, Compilers.Backend.run_result) Hashtbl.t
+
+let baseline_cache : baseline = Hashtbl.create 64
+
+let original_result (t : Compilers.Target.t) ~ref_name (m : Module_ir.t) input =
+  let key = (t.Compilers.Target.name, ref_name) in
+  match Hashtbl.find_opt baseline_cache key with
+  | Some r -> r
+  | None ->
+      let r = Compilers.Backend.run t m input in
+      Hashtbl.add baseline_cache key r;
+      r
+
+(** Compare a variant's run against the original's run on the same target.
+    Returns a detection if the variant exposes a bug.  Crashes of the
+    original mask that (target, reference) pair, as in practice. *)
+let compare_runs ~original ~variant : detection option =
+  match (original, variant) with
+  | _, Compilers.Backend.Crashed signature -> Some { signature; via_opt = false }
+  | Compilers.Backend.Rendered img0, Compilers.Backend.Rendered img1 ->
+      if Image.equal img0 img1 then None
+      else Some { signature = Signature.miscompilation; via_opt = false }
+  | (Compilers.Backend.Crashed _ | Compilers.Backend.Compiled_ok),
+    Compilers.Backend.Rendered _ ->
+      None
+  | _, Compilers.Backend.Compiled_ok -> None
+
+(** Run one variant module against one target, including the
+    optimize-and-retry step. *)
+let run_variant (t : Compilers.Target.t) ~ref_name ~(original : Module_ir.t)
+    ?variant_input ~(variant : Module_ir.t) (input : Input.t) : detection option =
+  let variant_input = Option.value ~default:input variant_input in
+  let orig_run = original_result t ~ref_name original input in
+  let var_run = Compilers.Backend.run t variant variant_input in
+  match compare_runs ~original:orig_run ~variant:var_run with
+  | Some d -> Some d
+  | None -> (
+      (* no bug: optimize the variant with the clean -O pipeline and re-run *)
+      match Compilers.Optimizer.optimize variant with
+      | Error _ -> None (* the clean optimizer never crashes in our build *)
+      | Ok optimized_variant -> (
+          let var_run' = Compilers.Backend.run t optimized_variant variant_input in
+          match compare_runs ~original:orig_run ~variant:var_run' with
+          | Some d -> Some { d with via_opt = true }
+          | None -> None))
+
+(* ------------------------------------------------------------------ *)
+(* Variant generation per tool                                         *)
+
+type generated = {
+  gen_variant : Module_ir.t;
+  gen_input : Input.t;
+      (** the variant's input: transformations may extend it in sync with
+          the module (AddUniform), so "execute both programs on their
+          respective inputs" *)
+  (* reduction payload: how to replay/reduce the variant *)
+  gen_reduce :
+    is_interesting:(Module_ir.t -> Input.t -> bool) ->
+    [ `Spirv of Spirv_fuzz.Transformation.t list * Spirv_fuzz.Context.t
+    | `Glsl of Glsl_like.Ast.program ];
+  gen_transformation_count : int;
+}
+
+let donors = lazy (List.map snd (Lazy.force Corpus.lowered_donors))
+
+let fuzz_config ~recommendations =
+  {
+    Spirv_fuzz.Fuzzer.default_config with
+    Spirv_fuzz.Fuzzer.donors = Lazy.force donors;
+    Spirv_fuzz.Fuzzer.use_recommendations = recommendations;
+  }
+
+(** Generate the variant a tool produces for (reference, seed).  For
+    spirv-fuzz the reference is the lowered module; for glsl-fuzz the source
+    program is fuzzed and then lowered. *)
+let generate (tool : tool) ~(ref_source : Glsl_like.Ast.program)
+    ~(ref_module : Module_ir.t) ~seed ~input : generated =
+  match tool with
+  | Spirv_fuzz_tool | Spirv_fuzz_simple ->
+      let ctx = Spirv_fuzz.Context.make ref_module input in
+      let config = fuzz_config ~recommendations:(tool = Spirv_fuzz_tool) in
+      let result = Spirv_fuzz.Fuzzer.run ~config ~seed ctx in
+      {
+        gen_variant = result.Spirv_fuzz.Fuzzer.final.Spirv_fuzz.Context.m;
+        gen_input = result.Spirv_fuzz.Fuzzer.final.Spirv_fuzz.Context.input;
+        gen_transformation_count = List.length result.Spirv_fuzz.Fuzzer.transformations;
+        gen_reduce =
+          (fun ~is_interesting ->
+            let test (c : Spirv_fuzz.Context.t) =
+              is_interesting c.Spirv_fuzz.Context.m c.Spirv_fuzz.Context.input
+            in
+            let r =
+              Spirv_fuzz.Reducer.reduce ~original:ctx ~is_interesting:test
+                result.Spirv_fuzz.Fuzzer.transformations
+            in
+            (* the spirv-reduce analog: shrink surviving AddFunction bodies *)
+            let kept =
+              Spirv_fuzz.Reducer.shrink_add_functions ~original:ctx
+                ~is_interesting:test r.Spirv_fuzz.Reducer.transformations
+            in
+            `Spirv (kept, Spirv_fuzz.Lang.replay ctx kept));
+      }
+  | Glsl_fuzz_tool ->
+      let fuzzed = Glsl_like.Source_fuzzer.fuzz ~seed ref_source in
+      let program = fuzzed.Glsl_like.Source_fuzzer.program in
+      {
+        gen_variant = Glsl_like.Lower.lower program;
+        gen_input = input;
+        gen_transformation_count = fuzzed.Glsl_like.Source_fuzzer.applied;
+        gen_reduce =
+          (fun ~is_interesting ->
+            let test p = is_interesting (Glsl_like.Lower.lower p) input in
+            let reduced, _ = Glsl_like.Source_reducer.reduce ~is_interesting:test program in
+            `Glsl reduced);
+      }
+
+(** Interestingness test for reductions: the variant still produces the same
+    signature on the target (crash signature match, or still-mismatching
+    image for miscompilations) — section 3.4's interestingness tests. *)
+let interestingness (t : Compilers.Target.t) ~ref_name ~(original : Module_ir.t)
+    ~(detection : detection) input (m : Module_ir.t) (m_input : Input.t) : bool =
+  let orig_run = original_result t ~ref_name original input in
+  let with_or_without_opt check =
+    let direct = Compilers.Backend.run t m m_input in
+    if check direct then true
+    else if detection.via_opt then
+      match Compilers.Optimizer.optimize m with
+      | Ok optimized -> check (Compilers.Backend.run t optimized m_input)
+      | Error _ -> false
+    else false
+  in
+  if Signature.is_miscompilation detection.signature then
+    with_or_without_opt (fun run ->
+        match (orig_run, run) with
+        | Compilers.Backend.Rendered img0, Compilers.Backend.Rendered img1 ->
+            not (Image.equal img0 img1)
+        | _ -> false)
+  else
+    with_or_without_opt (fun run ->
+        match run with
+        | Compilers.Backend.Crashed s -> String.equal s detection.signature
+        | _ -> false)

@@ -1,0 +1,31 @@
+(** Bug signatures (section 3.4).
+
+    A bug signature is either the crash signature extracted from a compiler
+    crash, or the single special signature used for all miscompilations
+    ("Because all miscompilations contribute the same bug signature, the
+    results do not provide insight into how many different miscompilations
+    the tools can detect").  *)
+
+type t = string
+
+let miscompilation : t = "miscompilation"
+
+let is_miscompilation s = String.equal s miscompilation
+
+(** Ground-truth bug id behind a signature (for the Table 4 baseline, where
+    "a set of bugs known to be distinct" is required).  Derived signatures
+    (validation failures, device hangs) are canonicalised by prefix. *)
+let bug_id_of_signature (s : t) : string =
+  let has_prefix p = String.length s >= String.length p && String.sub s 0 (String.length p) = p in
+  match
+    List.find_opt
+      (fun (spec : Compilers.Bug.crash_spec) -> String.equal spec.Compilers.Bug.signature s)
+      Compilers.Bug.all_crash_bugs
+  with
+  | Some spec -> spec.Compilers.Bug.bug_id
+  | None ->
+      if has_prefix "optimizer emitted invalid module" then "opt-invalid-output"
+      else if has_prefix "device lost" then "device-lost"
+      else if has_prefix "constant folder: integer division" then "fold-div-crash"
+      else if is_miscompilation s then "miscompilation"
+      else s

@@ -1,0 +1,83 @@
+(** Statistics for the controlled experiments: medians and the
+    Mann-Whitney U test (the paper's reference [1]) with tie correction and
+    normal approximation, used in Table 3 to compare tool configurations. *)
+
+let median xs =
+  match List.sort compare xs with
+  | [] -> nan
+  | sorted ->
+      let n = List.length sorted in
+      if n mod 2 = 1 then List.nth sorted (n / 2)
+      else (List.nth sorted ((n / 2) - 1) +. List.nth sorted (n / 2)) /. 2.0
+
+let mean xs =
+  match xs with
+  | [] -> nan
+  | _ -> List.fold_left ( +. ) 0.0 xs /. float_of_int (List.length xs)
+
+(* standard normal CDF via the complementary error function approximation
+   (Abramowitz & Stegun 7.1.26) *)
+let normal_cdf z =
+  let t = 1.0 /. (1.0 +. (0.2316419 *. Float.abs z)) in
+  let d = 0.3989422804014327 *. exp (-.z *. z /. 2.0) in
+  let poly =
+    t *. (0.319381530 +. t *. (-0.356563782 +. t *. (1.781477937 +. t *. (-1.821255978 +. t *. 1.330274429))))
+  in
+  let p = 1.0 -. (d *. poly) in
+  if z >= 0.0 then p else 1.0 -. p
+
+type mwu_result = {
+  u_statistic : float;
+  z_score : float;
+  (* one-sided confidence that population A is stochastically larger *)
+  confidence_a_greater : float;
+}
+
+(** [mann_whitney_u a b] tests whether the population behind sample [a]
+    tends to produce larger values than the one behind [b].
+    [confidence_a_greater] is the one-sided confidence (0..1); values close
+    to 1 mean "A beats B", close to 0 mean the opposite. *)
+let mann_whitney_u (a : float list) (b : float list) =
+  let na = float_of_int (List.length a) and nb = float_of_int (List.length b) in
+  if a = [] || b = [] then { u_statistic = nan; z_score = nan; confidence_a_greater = nan }
+  else begin
+    (* rank the pooled sample, average ranks for ties *)
+    let pooled =
+      List.map (fun x -> (x, `A)) a @ List.map (fun x -> (x, `B)) b
+      |> List.sort (fun (x, _) (y, _) -> compare x y)
+    in
+    let arr = Array.of_list pooled in
+    let n = Array.length arr in
+    let ranks = Array.make n 0.0 in
+    let i = ref 0 in
+    let tie_correction = ref 0.0 in
+    while !i < n do
+      let j = ref !i in
+      while !j < n - 1 && fst arr.(!j + 1) = fst arr.(!i) do incr j done;
+      let avg_rank = float_of_int (!i + !j + 2) /. 2.0 in
+      for k = !i to !j do ranks.(k) <- avg_rank done;
+      let t = float_of_int (!j - !i + 1) in
+      tie_correction := !tie_correction +. ((t *. t *. t) -. t);
+      i := !j + 1
+    done;
+    let rank_sum_a = ref 0.0 in
+    Array.iteri (fun k (_, side) -> if side = `A then rank_sum_a := !rank_sum_a +. ranks.(k)) arr;
+    let u_a = !rank_sum_a -. (na *. (na +. 1.0) /. 2.0) in
+    let mu = na *. nb /. 2.0 in
+    let n_total = na +. nb in
+    let sigma2 =
+      na *. nb /. 12.0
+      *. (n_total +. 1.0 -. (!tie_correction /. (n_total *. (n_total -. 1.0))))
+    in
+    let sigma = sqrt sigma2 in
+    let z = if sigma = 0.0 then 0.0 else (u_a -. mu) /. sigma in
+    { u_statistic = u_a; z_score = z; confidence_a_greater = normal_cdf z }
+  end
+
+(** Render a confidence as the paper does: "Yes (99.98%)" when A is more
+    likely better, "No (14.99%)" otherwise — the percentage always reports
+    the confidence that A beats B. *)
+let verdict confidence =
+  let pct = confidence *. 100.0 in
+  if confidence >= 0.5 then Printf.sprintf "Yes (%.2f%%)" pct
+  else Printf.sprintf "No (%.2f%%)" pct

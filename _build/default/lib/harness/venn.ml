@@ -1,0 +1,44 @@
+(** Three-set Venn partitions (Figure 7): for each region of the diagram,
+    how many bug signatures were found by exactly that combination of tool
+    configurations. *)
+
+module String_set = Set.Make (String)
+
+type t = {
+  only_a : int;
+  only_b : int;
+  only_c : int;
+  ab : int;  (** in A and B but not C *)
+  ac : int;
+  bc : int;
+  abc : int;
+}
+
+let partition ~(a : String_set.t) ~(b : String_set.t) ~(c : String_set.t) =
+  let universe = String_set.union a (String_set.union b c) in
+  let count p = String_set.cardinal (String_set.filter p universe) in
+  let mem s x = String_set.mem x s in
+  {
+    only_a = count (fun x -> mem a x && (not (mem b x)) && not (mem c x));
+    only_b = count (fun x -> (not (mem a x)) && mem b x && not (mem c x));
+    only_c = count (fun x -> (not (mem a x)) && (not (mem b x)) && mem c x);
+    ab = count (fun x -> mem a x && mem b x && not (mem c x));
+    ac = count (fun x -> mem a x && (not (mem b x)) && mem c x);
+    bc = count (fun x -> (not (mem a x)) && mem b x && mem c x);
+    abc = count (fun x -> mem a x && mem b x && mem c x);
+  }
+
+let total t = t.only_a + t.only_b + t.only_c + t.ab + t.ac + t.bc + t.abc
+
+(** Render in the style of Figure 7's per-target panels. *)
+let to_string ~label_a ~label_b ~label_c t =
+  String.concat "\n"
+    [
+      Printf.sprintf "  %s only: %d" label_a t.only_a;
+      Printf.sprintf "  %s only: %d" label_b t.only_b;
+      Printf.sprintf "  %s only: %d" label_c t.only_c;
+      Printf.sprintf "  %s+%s: %d" label_a label_b t.ab;
+      Printf.sprintf "  %s+%s: %d" label_a label_c t.ac;
+      Printf.sprintf "  %s+%s: %d" label_b label_c t.bc;
+      Printf.sprintf "  all three: %d" t.abc;
+    ]

@@ -1,0 +1,1 @@
+lib/spirv_fuzz/context.pp.ml: Fact_manager Id Input List Module_ir Spirv_ir Ty

@@ -1,0 +1,1 @@
+lib/spirv_fuzz/context.pp.mli: Fact_manager Func Id Input Module_ir Spirv_ir Value

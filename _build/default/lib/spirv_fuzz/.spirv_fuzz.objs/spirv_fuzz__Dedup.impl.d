@@ -1,0 +1,1 @@
+lib/spirv_fuzz/dedup.pp.ml: List Tbct Transformation

@@ -1,0 +1,1 @@
+lib/spirv_fuzz/donor.pp.ml: Block Constant Context Func Id Instr List Module_ir Rules Spirv_ir Transformation Ty

@@ -1,0 +1,1 @@
+lib/spirv_fuzz/edit.pp.ml: Block Bool Constant Func Instr List Module_ir Spirv_ir

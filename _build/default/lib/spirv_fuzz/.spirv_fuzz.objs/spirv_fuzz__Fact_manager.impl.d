@@ -1,0 +1,1 @@
+lib/spirv_fuzz/fact_manager.pp.ml: Id List Ppx_deriving_runtime Spirv_ir

@@ -1,0 +1,1 @@
+lib/spirv_fuzz/fact_manager.pp.mli: Format Id Spirv_ir

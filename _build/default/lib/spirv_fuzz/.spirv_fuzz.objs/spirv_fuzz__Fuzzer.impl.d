@@ -1,0 +1,1 @@
+lib/spirv_fuzz/fuzzer.pp.ml: Context List Log Module_ir Pass Queue Spirv_ir Tbct Transformation

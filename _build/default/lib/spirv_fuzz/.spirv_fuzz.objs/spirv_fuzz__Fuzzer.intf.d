@@ -1,0 +1,1 @@
+lib/spirv_fuzz/fuzzer.pp.mli: Context Module_ir Spirv_ir Transformation

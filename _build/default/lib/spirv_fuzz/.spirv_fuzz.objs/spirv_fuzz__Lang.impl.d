@@ -1,0 +1,1 @@
+lib/spirv_fuzz/lang.pp.ml: Context Rules Tbct Transformation

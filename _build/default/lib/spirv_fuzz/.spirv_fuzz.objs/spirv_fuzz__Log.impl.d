@@ -1,0 +1,1 @@
+lib/spirv_fuzz/log.pp.ml: Logs

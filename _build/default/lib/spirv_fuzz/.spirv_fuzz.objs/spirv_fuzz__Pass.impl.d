@@ -1,0 +1,1 @@
+lib/spirv_fuzz/pass.pp.ml: Block Cfg Constant Context Donor Edit Fact_manager Func Id Instr List Module_ir Option Printf Rules Spirv_ir String Tbct Transformation Ty Value

@@ -1,0 +1,1 @@
+lib/spirv_fuzz/reducer.pp.ml: Block Context Disasm Func Lang List Module_ir Spirv_ir Tbct Transformation Validate

@@ -1,0 +1,1 @@
+lib/spirv_fuzz/reducer.pp.mli: Context Tbct Transformation

@@ -1,0 +1,1 @@
+lib/spirv_fuzz/rules.pp.ml: Analysis Block Bool Cfg Constant Context Edit Fact_manager Func Id Input Instr List Module_ir Option Printf Spirv_ir String Transformation Ty Validate Value

@@ -1,0 +1,1 @@
+lib/spirv_fuzz/transformation.pp.ml: Block Constant Func Id Instr List Ppx_deriving_runtime Spirv_ir Ty Value

@@ -1,0 +1,45 @@
+(** Transformation contexts for the SPIR-V-like IR (Definition 2.3): a
+    module, the input it will be executed on, and the current fact set. *)
+
+open Spirv_ir
+
+type t = {
+  m : Module_ir.t;
+  input : Input.t;
+  facts : Fact_manager.t;
+}
+
+let make m input = { m; input; facts = Fact_manager.empty }
+
+let with_module t m = { t with m }
+
+(** Fresh-id discipline: every id a transformation introduces was drawn from
+    the module's id bound at transformation-construction time, and bounds
+    only grow, so during reduction an id is fresh iff it is at or beyond the
+    current bound (see the design notes in {!Module_ir}).  The extra
+    defined-check is a safety net for hand-written transformations. *)
+let is_fresh t id =
+  id >= t.m.Module_ir.id_bound
+  || not (Id.Set.mem id (Module_ir.defined_ids t.m))
+
+(** Raise the module's id bound to cover ids the transformation consumed. *)
+let claim t ids =
+  let bound =
+    List.fold_left (fun acc id -> max acc (id + 1)) t.m.Module_ir.id_bound ids
+  in
+  { t with m = { t.m with Module_ir.id_bound = bound } }
+
+let entry_function t = Module_ir.entry_function t.m
+
+(** Uniform globals whose runtime value is known from the input, paired with
+    that value — the knowledge ReplaceConstantWithUniform exploits. *)
+let known_uniforms t =
+  List.filter_map
+    (fun (g : Module_ir.global_decl) ->
+      match Module_ir.find_type t.m g.Module_ir.gd_ty with
+      | Some (Ty.Pointer (Ty.Uniform, pointee)) -> (
+          match Input.find_uniform t.input g.Module_ir.gd_name with
+          | Some v -> Some (g.Module_ir.gd_id, pointee, v)
+          | None -> None)
+      | Some _ | None -> None)
+    t.m.Module_ir.globals

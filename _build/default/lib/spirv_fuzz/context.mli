@@ -1,0 +1,39 @@
+(** Transformation contexts for the SPIR-V-like IR: Definition 2.3's
+    (program, input, facts) triples.
+
+    The module must be well-defined with respect to the input (it renders an
+    image within the step budget); transformations preserve that by
+    construction.  Some transformations extend the {e input} in sync with
+    the module (AddUniform, the paper's section 7 extension). *)
+
+open Spirv_ir
+
+type t = {
+  m : Module_ir.t;
+  input : Input.t;
+  facts : Fact_manager.t;
+}
+
+val make : Module_ir.t -> Input.t -> t
+(** A context with no facts. *)
+
+val with_module : t -> Module_ir.t -> t
+
+val is_fresh : t -> Id.t -> bool
+(** Whether an id may be introduced by a transformation.  Because all fresh
+    ids are drawn from the module's monotonically-growing id bound at
+    transformation-construction time, an id is fresh during replay iff it is
+    at or beyond the current bound; the definition check is a safety net for
+    hand-written transformations. *)
+
+val claim : t -> Id.t list -> t
+(** Raise the module's id bound to cover the given ids; called by every
+    transformation's effect on the ids it introduces. *)
+
+val entry_function : t -> Func.t
+
+val known_uniforms : t -> (Id.t * Id.t * Value.t) list
+(** Uniform globals whose runtime value is known from the input, as
+    (global id, pointee type id, value) — the knowledge that
+    ReplaceConstantWithUniform exploits to obfuscate constants the compiler
+    would otherwise fold. *)

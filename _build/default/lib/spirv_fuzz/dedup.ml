@@ -1,0 +1,41 @@
+(** Test-case deduplication for spirv-fuzz (section 3.5): the Figure 6
+    algorithm over reduced transformation sequences, ignoring a fixed list
+    of supporting/enabler transformation types. *)
+
+module String_set = Tbct.Dedup.String_set
+
+(** The ignore list fixed before the controlled experiments: supporting
+    transformations for adding types and constants, SplitBlock and
+    AddFunction (enablers for other transformations), and
+    ReplaceIdWithSynonym (which reaps the benefits of prior transformations
+    but is not interesting in isolation). *)
+let default_ignored =
+  String_set.of_list
+    [
+      "AddType";
+      "AddConstant";
+      "AddGlobalVariable";
+      "AddUniform";
+      "AddLocalVariable";
+      "AddNop";
+      "SplitBlock";
+      "AddFunction";
+      "ReplaceIdWithSynonym";
+    ]
+
+type 'a test_case = {
+  label : 'a;  (** caller-supplied payload (e.g. a seed or file name) *)
+  transformations : Transformation.t list;  (** the minimized sequence *)
+}
+
+let types_of t =
+  List.fold_left
+    (fun acc tr -> String_set.add (Transformation.type_id tr) acc)
+    String_set.empty t.transformations
+
+let config ?(ignored = default_ignored) () =
+  { Tbct.Dedup.types_of; Tbct.Dedup.ignored }
+
+(** Select the subset of reduced test cases to recommend for manual
+    investigation. *)
+let select ?ignored tests = Tbct.Dedup.select (config ?ignored ()) tests

@@ -1,0 +1,25 @@
+(** Test-case deduplication for spirv-fuzz (section 3.5): the Figure 6
+    algorithm over reduced transformation sequences, with the paper's fixed
+    ignore list of supporting/enabler transformation types. *)
+
+module String_set = Tbct.Dedup.String_set
+
+val default_ignored : String_set.t
+(** Types ignored before comparison: supporting transformations for adding
+    types/constants/variables/uniforms, SplitBlock and AddFunction (enablers
+    for other transformations), and ReplaceIdWithSynonym (which reaps the
+    benefits of prior transformations but is not interesting in
+    isolation). *)
+
+type 'a test_case = {
+  label : 'a;  (** caller payload (a seed, a file name, a bug id, ...) *)
+  transformations : Transformation.t list;  (** the minimized sequence *)
+}
+
+val types_of : 'a test_case -> String_set.t
+
+val config : ?ignored:String_set.t -> unit -> 'a test_case Tbct.Dedup.config
+
+val select : ?ignored:String_set.t -> 'a test_case list -> 'a test_case list
+(** The subset to recommend for manual investigation: pairwise disjoint in
+    (non-ignored) transformation types, small type-sets preferred. *)

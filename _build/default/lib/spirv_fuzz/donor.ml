@@ -1,0 +1,173 @@
+(** Donor encoding for AddFunction (section 3.2).
+
+    "Full details of a function are encoded in an AddFunction instance so
+    that the donors are not required during reduction": this module turns a
+    function from a donor module into a self-contained
+    {!Transformation.add_function_payload} whose every id has been remapped
+    to a fresh id of the recipient context. *)
+
+open Spirv_ir
+
+(** Functions of a donor module that are safe to transplant and mark
+    live-safe: value-returning, call-free, kill-free, and never storing
+    outside their own locals.  (The paper instead instruments arbitrary
+    functions with loop limits and access clamping; our donors are total by
+    construction — see DESIGN.md.) *)
+let eligible_functions (donor : Module_ir.t) =
+  List.filter
+    (fun (f : Func.t) ->
+      (not (Id.equal f.Func.id donor.Module_ir.entry))
+      && (match Module_ir.find_type donor f.Func.fn_ty with
+         | Some (Ty.Func (ret, _)) -> (
+             match Module_ir.find_type donor ret with
+             | Some Ty.Void | None -> false
+             | Some _ -> true)
+         | Some _ | None -> false)
+      && List.for_all
+           (fun (b : Block.t) ->
+             (match b.Block.terminator with Block.Kill -> false | _ -> true)
+             && List.for_all
+                  (fun (i : Instr.t) ->
+                    match i.Instr.op with
+                    | Instr.FunctionCall _ -> false
+                    | Instr.Store (ptr, _) ->
+                        List.exists
+                          (fun (j : Instr.t) -> j.Instr.result = Some ptr)
+                          (Func.all_instrs f)
+                    | _ -> true)
+                  b.Block.instrs)
+           f.Func.blocks)
+    donor.Module_ir.functions
+
+(* Type ids transitively required to declare [ty_id] in the donor module,
+   in declaration order. *)
+let required_types donor ty_ids =
+  let needed = ref Id.Set.empty in
+  let rec visit id =
+    if not (Id.Set.mem id !needed) then begin
+      needed := Id.Set.add id !needed;
+      match Module_ir.find_type donor id with
+      | Some (Ty.Vector (c, _)) | Some (Ty.Array (c, _)) | Some (Ty.Matrix (c, _)) ->
+          visit c
+      | Some (Ty.Struct ms) -> List.iter visit ms
+      | Some (Ty.Pointer (_, p)) -> visit p
+      | Some (Ty.Func (r, ps)) ->
+          visit r;
+          List.iter visit ps
+      | Some (Ty.Void | Ty.Bool | Ty.Int | Ty.Float) | None -> ()
+    end
+  in
+  List.iter visit ty_ids;
+  List.filter
+    (fun (d : Module_ir.type_decl) -> Id.Set.mem d.Module_ir.td_id !needed)
+    donor.Module_ir.types
+
+(* Constant decls transitively required for the given ids (non-constant ids
+   are ignored), in declaration order. *)
+let required_constants donor ids =
+  let needed = ref Id.Set.empty in
+  let rec visit id =
+    match Module_ir.find_constant donor id with
+    | None -> ()
+    | Some d ->
+        if not (Id.Set.mem id !needed) then begin
+          needed := Id.Set.add id !needed;
+          match d.Module_ir.cd_value with
+          | Constant.Composite parts -> List.iter visit parts
+          | Constant.Bool _ | Constant.Int _ | Constant.Float _ | Constant.Null -> ()
+        end
+  in
+  List.iter visit ids;
+  List.filter
+    (fun (d : Module_ir.const_decl) -> Id.Set.mem d.Module_ir.cd_id !needed)
+    donor.Module_ir.constants
+
+(** Encode donor function [f] for transplantation into [ctx], drawing every
+    fresh id from the context (and returning the context with its id bound
+    advanced).  Returns [None] when the function references module-level
+    state we do not transplant (globals). *)
+let encode (ctx : Context.t) (donor : Module_ir.t) (f : Func.t) :
+    (Context.t * Transformation.add_function_payload) option =
+  let uses_globals =
+    Func.all_instrs f
+    |> List.exists (fun (i : Instr.t) ->
+           List.exists
+             (fun u -> Module_ir.find_global donor u <> None)
+             (Instr.used_ids i))
+  in
+  if uses_globals then None
+  else begin
+    (* collect everything the function mentions: constants first, because a
+       constant's type may appear nowhere else (e.g. the Bool of a [true]
+       operand whose consumers all produce non-Bool results) *)
+    let const_candidates =
+      List.concat_map (fun (i : Instr.t) -> Instr.used_ids i) (Func.all_instrs f)
+      @ List.concat_map
+          (fun (b : Block.t) -> Block.terminator_used_ids b.Block.terminator)
+          f.Func.blocks
+    in
+    let constants = required_constants donor const_candidates in
+    let ty_ids =
+      (f.Func.fn_ty :: List.map (fun (p : Func.param) -> p.Func.param_ty) f.Func.params)
+      @ List.filter_map (fun (i : Instr.t) -> i.Instr.ty) (Func.all_instrs f)
+      @ List.map (fun (d : Module_ir.const_decl) -> d.Module_ir.cd_ty) constants
+    in
+    let types = required_types donor ty_ids in
+    (* draw fresh ids for every donor id we will introduce *)
+    let donor_ids =
+      List.map (fun (d : Module_ir.type_decl) -> d.Module_ir.td_id) types
+      @ List.map (fun (d : Module_ir.const_decl) -> d.Module_ir.cd_id) constants
+      @ (f.Func.id :: List.map (fun (p : Func.param) -> p.Func.param_id) f.Func.params)
+      @ List.concat_map
+          (fun (b : Block.t) ->
+            b.Block.label
+            :: List.filter_map (fun (i : Instr.t) -> i.Instr.result) b.Block.instrs)
+          f.Func.blocks
+    in
+    let m, fresh = Module_ir.fresh_many ctx.Context.m (List.length donor_ids) in
+    let ctx = { ctx with Context.m = m } in
+    let map = List.combine donor_ids fresh in
+    let remap id = match List.assoc_opt id map with Some id' -> id' | None -> id in
+    let remap_ty = function
+      | Ty.Vector (c, n) -> Ty.Vector (remap c, n)
+      | Ty.Matrix (c, n) -> Ty.Matrix (remap c, n)
+      | Ty.Struct ms -> Ty.Struct (List.map remap ms)
+      | Ty.Array (c, n) -> Ty.Array (remap c, n)
+      | Ty.Pointer (sc, p) -> Ty.Pointer (sc, remap p)
+      | Ty.Func (r, ps) -> Ty.Func (remap r, List.map remap ps)
+      | (Ty.Void | Ty.Bool | Ty.Int | Ty.Float) as s -> s
+    in
+    let payload =
+      {
+        Transformation.af_types =
+          List.map
+            (fun (d : Module_ir.type_decl) -> (remap d.Module_ir.td_id, remap_ty d.Module_ir.td_ty))
+            types;
+        Transformation.af_constants =
+          List.map
+            (fun (d : Module_ir.const_decl) ->
+              let value =
+                match d.Module_ir.cd_value with
+                | Constant.Composite parts -> Constant.Composite (List.map remap parts)
+                | (Constant.Bool _ | Constant.Int _ | Constant.Float _ | Constant.Null) as v -> v
+              in
+              (remap d.Module_ir.cd_id, remap d.Module_ir.cd_ty, value))
+            constants;
+        Transformation.af_function =
+          {
+            Func.id = remap f.Func.id;
+            Func.name = f.Func.name ^ "_donated";
+            Func.fn_ty = remap f.Func.fn_ty;
+            Func.control = f.Func.control;
+            Func.params =
+              List.map
+                (fun (p : Func.param) ->
+                  { Func.param_id = remap p.Func.param_id; Func.param_ty = remap p.Func.param_ty })
+                f.Func.params;
+            Func.blocks = List.map (Rules.remap_block map) f.Func.blocks;
+          };
+        Transformation.af_live_safe = true;
+      }
+    in
+    Some (ctx, payload)
+  end

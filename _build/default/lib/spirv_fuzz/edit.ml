@@ -1,0 +1,132 @@
+(** Small module-editing helpers shared by the transformations. *)
+
+open Spirv_ir
+
+let find_block_in m ~fn ~block =
+  match Module_ir.find_function m fn with
+  | None -> None
+  | Some f -> (
+      match Func.find_block f block with
+      | None -> None
+      | Some b -> Some (f, b))
+
+(** The instruction at [offset] of a block ([None] out of range). *)
+let instr_at (b : Block.t) offset = List.nth_opt b.Block.instrs offset
+
+(** Insert [instr] at position [offset] of [block] in [fn].  The caller has
+    checked that [offset] is within [0 .. length]. *)
+let insert_instr m ~fn ~block ~offset instr =
+  match find_block_in m ~fn ~block with
+  | None -> m
+  | Some (f, b) ->
+      let rec go i = function
+        | rest when i = offset -> instr :: rest
+        | [] -> [ instr ]
+        | x :: rest -> x :: go (i + 1) rest
+      in
+      let b = { b with Block.instrs = go 0 b.Block.instrs } in
+      Module_ir.replace_function m (Func.replace_block f b)
+
+(** Replace the instruction at [offset]. *)
+let replace_instr m ~fn ~block ~offset instr =
+  match find_block_in m ~fn ~block with
+  | None -> m
+  | Some (f, b) ->
+      let instrs =
+        List.mapi (fun i x -> if i = offset then instr else x) b.Block.instrs
+      in
+      Module_ir.replace_function m
+        (Func.replace_block f { b with Block.instrs = instrs })
+
+let update_block m ~fn ~block ~f:update =
+  match find_block_in m ~fn ~block with
+  | None -> m
+  | Some (f, b) -> Module_ir.replace_function m (Func.replace_block f (update b))
+
+let update_block_in_function f ~block ~f:update =
+  match Func.find_block f block with
+  | None -> f
+  | Some b -> Func.replace_block f (update b)
+
+let update_function m ~fn ~f:update =
+  match Module_ir.find_function m fn with
+  | None -> m
+  | Some f -> Module_ir.replace_function m (update f)
+
+(** Number of φ-instructions at the start of a block. *)
+let phi_count (b : Block.t) =
+  let rec go n = function
+    | (i : Instr.t) :: rest when Instr.is_phi i -> go (n + 1) rest
+    | _ -> n
+  in
+  go 0 b.Block.instrs
+
+(** Offsets at which a new non-φ instruction may be inserted: after the φs
+    and at any later position, including after the last instruction. *)
+let valid_insert_offsets (b : Block.t) =
+  let lo = phi_count b and hi = List.length b.Block.instrs in
+  List.init (hi - lo + 1) (fun i -> lo + i)
+
+(** Does an id of type [ty] typecheck as an operand slot?  Used when
+    replacing operands: the replacement must have exactly the same type id
+    as the original operand. *)
+let operand_ty m (f : Func.t) id =
+  match Module_ir.type_of_id m id with
+  | Some t -> Some t
+  | None ->
+      (* params of [f] and locally defined results are covered by
+         [type_of_id]; ids from other functions are not usable here *)
+      ignore f;
+      None
+
+(** Structural intern that prefers an existing declaration and otherwise
+    adds one with the supplied fresh id.  Returns the id actually used. *)
+let intern_type_with m ~fresh ty =
+  match Module_ir.find_type_id m ty with
+  | Some id -> (m, id)
+  | None ->
+      let m =
+        {
+          m with
+          Module_ir.types = m.Module_ir.types @ [ { Module_ir.td_id = fresh; td_ty = ty } ];
+          Module_ir.id_bound = max m.Module_ir.id_bound (fresh + 1);
+        }
+      in
+      (m, fresh)
+
+let intern_constant_with m ~fresh ~ty value =
+  match Module_ir.find_constant_id m ~ty ~value with
+  | Some id -> (m, id)
+  | None ->
+      let m =
+        {
+          m with
+          Module_ir.constants =
+            m.Module_ir.constants @ [ { Module_ir.cd_id = fresh; cd_ty = ty; cd_value = value } ];
+          Module_ir.id_bound = max m.Module_ir.id_bound (fresh + 1);
+        }
+      in
+      (m, fresh)
+
+(** Constant id whose value is boolean [true], if the module has one. *)
+let find_true_constant m =
+  List.find_map
+    (fun (d : Module_ir.const_decl) ->
+      match d.Module_ir.cd_value with
+      | Constant.Bool true -> Some d.Module_ir.cd_id
+      | _ -> None)
+    m.Module_ir.constants
+
+let find_bool_constant m v =
+  List.find_map
+    (fun (d : Module_ir.const_decl) ->
+      match d.Module_ir.cd_value with
+      | Constant.Bool b when Bool.equal b v -> Some d.Module_ir.cd_id
+      | _ -> None)
+    m.Module_ir.constants
+
+(** The value of a constant id, if [id] names a constant. *)
+let constant_value m id =
+  match Module_ir.find_constant m id with
+  | Some _ -> Some (Module_ir.const_value m id)
+  | None -> None

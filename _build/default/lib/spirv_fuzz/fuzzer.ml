@@ -1,0 +1,79 @@
+(** The fuzzer main loop (section 3.2).
+
+    The module and facts are repeatedly modified by running fuzzer passes.
+    After each pass the tool probabilistically decides whether to stop,
+    definitely stopping once the transformation limit is exceeded.  When the
+    recommendations strategy is enabled, the next pass is drawn with uniform
+    probability either at random or from a queue of follow-on passes pushed
+    after each pass run; disabling it yields the "spirv-fuzz-simple"
+    configuration evaluated in section 4.1. *)
+
+open Spirv_ir
+
+type config = {
+  max_transformations : int;   (** hard cap; the paper uses 2000 *)
+  max_passes : int;            (** safety cap on pass executions *)
+  continue_probability : int;  (** percent chance to run another pass *)
+  use_recommendations : bool;
+  donors : Module_ir.t list;
+}
+
+let default_config =
+  {
+    max_transformations = 250;
+    max_passes = 60;
+    continue_probability = 95;
+    use_recommendations = true;
+    donors = [];
+  }
+
+type result = {
+  final : Context.t;
+  transformations : Transformation.t list;
+  passes_run : string list;
+}
+
+let run ?(config = default_config) ~seed (ctx : Context.t) : result =
+  let rng = Tbct.Rng.make seed in
+  let em = { Pass.ctx; Pass.emitted = []; Pass.rng; Pass.donors = config.donors } in
+  let queue : string Queue.t = Queue.create () in
+  let passes_run = ref [] in
+  let rec loop n =
+    if n >= config.max_passes then ()
+    else if List.length em.Pass.emitted >= config.max_transformations then ()
+    else begin
+      let pass =
+        let from_queue =
+          config.use_recommendations
+          && (not (Queue.is_empty queue))
+          && Tbct.Rng.bool rng
+        in
+        if from_queue then
+          match Pass.find (Queue.pop queue) with
+          | Some p -> p
+          | None -> Tbct.Rng.choose rng Pass.all
+        else Tbct.Rng.choose rng Pass.all
+      in
+      let before = List.length em.Pass.emitted in
+      pass.Pass.run em;
+      Log.debug (fun k ->
+          k "pass %s applied %d transformation(s)" pass.Pass.name
+            (List.length em.Pass.emitted - before));
+      passes_run := pass.Pass.name :: !passes_run;
+      if config.use_recommendations then begin
+        let follow = Pass.follow_ons pass.Pass.name in
+        let chosen = List.filter (fun _ -> Tbct.Rng.bool rng) follow in
+        List.iter (fun p -> Queue.push p queue) chosen
+      end;
+      if Tbct.Rng.chance rng ~num:config.continue_probability ~den:100 then loop (n + 1)
+    end
+  in
+  loop 0;
+  Log.info (fun k ->
+      k "seed %d: %d transformations over %d passes" seed
+        (List.length em.Pass.emitted) (List.length !passes_run));
+  {
+    final = em.Pass.ctx;
+    transformations = List.rev em.Pass.emitted;
+    passes_run = List.rev !passes_run;
+  }

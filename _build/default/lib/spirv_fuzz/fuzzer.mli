@@ -1,0 +1,43 @@
+(** The fuzzer main loop (section 3.2 of the paper).
+
+    Starting from a context whose module renders a known image, the fuzzer
+    repeatedly runs {!Pass}es, each sweeping the module for opportunities to
+    apply one kind of {!Transformation} and probabilistically taking some.
+    After each pass the tool decides probabilistically whether to continue,
+    and stops definitely at the transformation cap.
+
+    With {!config.use_recommendations} enabled (the default), the next pass
+    is chosen with uniform probability either at random or from a queue of
+    follow-on passes pushed after each pass run — the "recommendations
+    strategy"; disabling it yields the "spirv-fuzz-simple" configuration
+    that Table 3 compares against. *)
+
+open Spirv_ir
+
+type config = {
+  max_transformations : int;
+      (** hard cap on recorded transformations (the paper's tool stops at
+          2000; the default here is campaign-sized) *)
+  max_passes : int;  (** safety cap on pass executions *)
+  continue_probability : int;
+      (** percent chance of running another pass after each one *)
+  use_recommendations : bool;
+  donors : Module_ir.t list;
+      (** modules whose functions AddFunction may transplant *)
+}
+
+val default_config : config
+
+type result = {
+  final : Context.t;
+      (** the fuzzed variant: module, (possibly extended) input, and facts *)
+  transformations : Transformation.t list;
+      (** the recorded sequence; replaying it from the original context with
+          {!Lang.replay} reproduces [final] exactly *)
+  passes_run : string list;  (** pass names, in execution order *)
+}
+
+val run : ?config:config -> seed:int -> Context.t -> result
+(** [run ~seed ctx] fuzzes deterministically: equal seeds and contexts give
+    equal results.  The variant is guaranteed (and property-tested) to
+    validate and to render the same image as the original. *)

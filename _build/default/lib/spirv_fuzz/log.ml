@@ -1,0 +1,6 @@
+(** Log source for the fuzzer ("tbct.fuzz").  Enable with
+    [Logs.Src.set_level] or the CLI's [--verbose]. *)
+
+let src = Logs.Src.create "tbct.fuzz" ~doc:"spirv-fuzz fuzzer events"
+
+include (val Logs.src_log src : Logs.LOG)

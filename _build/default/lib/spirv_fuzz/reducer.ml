@@ -1,0 +1,95 @@
+(** The spirv-fuzz reducer (section 3.4): delta debugging over the recorded
+    transformation sequence, replaying candidate subsequences from the
+    original context and keeping those that still satisfy the
+    interestingness test. *)
+
+open Spirv_ir
+
+type result = {
+  transformations : Transformation.t list;  (** the 1-minimal subsequence *)
+  reduced : Context.t;  (** original context with the subsequence applied *)
+  stats : Tbct.Reducer.stats;
+}
+
+(** [reduce ~original ~is_interesting ts] requires that the full sequence is
+    interesting (i.e. the variant it produces triggers the bug).  The
+    interestingness test receives the replayed context.
+
+    The instruction-count delta between [original]'s module and
+    [reduced]'s module is the reduction-quality measure of section 4.2. *)
+let reduce ~(original : Context.t) ~is_interesting ts =
+  let test seq = is_interesting (Lang.replay original seq) in
+  let transformations, stats = Tbct.Reducer.reduce ~is_interesting:test ts in
+  { transformations; reduced = Lang.replay original transformations; stats }
+
+(* ------------------------------------------------------------------ *)
+(* The spirv-reduce analog (section 3.4): "After delta debugging, the
+   reducer applies spirv-reduce to any remaining AddFunction
+   transformations in an attempt to simplify their associated functions".
+   AddFunction is the one transformation that is hard to split into smaller
+   transformations, so its donated function bodies are shrunk directly:
+   delta debugging over the body's instructions, testing that the module
+   still validates and the interestingness test still passes. *)
+
+let shrink_function_payload ~original ~is_interesting ~prefix ~suffix
+    (p : Transformation.add_function_payload) =
+  let body_blocks = p.Transformation.af_function.Func.blocks in
+  (* atoms: (block index, instruction index) pairs *)
+  let atoms =
+    List.concat
+      (List.mapi
+         (fun bi (b : Block.t) -> List.mapi (fun ii _ -> (bi, ii)) b.Block.instrs)
+         body_blocks)
+  in
+  let payload_with kept_atoms =
+    let blocks =
+      List.mapi
+        (fun bi (b : Block.t) ->
+          {
+            b with
+            Block.instrs =
+              List.filteri (fun ii _ -> List.mem (bi, ii) kept_atoms) b.Block.instrs;
+          })
+        body_blocks
+    in
+    {
+      p with
+      Transformation.af_function = { p.Transformation.af_function with Func.blocks = blocks };
+    }
+  in
+  let test kept_atoms =
+    let candidate = payload_with kept_atoms in
+    let seq = prefix @ (Transformation.Add_function candidate :: suffix) in
+    let ctx = Lang.replay original seq in
+    Validate.is_valid ctx.Context.m && is_interesting ctx
+  in
+  if not (test atoms) then p (* shrinking unavailable: keep the original *)
+  else
+    let kept, _ = Tbct.Reducer.reduce ~is_interesting:test atoms in
+    payload_with kept
+
+(** Post-process a 1-minimal sequence, shrinking the function bodies of any
+    surviving AddFunction transformations while the test keeps passing. *)
+let shrink_add_functions ~original ~is_interesting (ts : Transformation.t list) =
+  let rec go prefix = function
+    | [] -> List.rev prefix
+    | Transformation.Add_function p :: rest ->
+        let shrunk =
+          shrink_function_payload ~original ~is_interesting
+            ~prefix:(List.rev prefix) ~suffix:rest p
+        in
+        go (Transformation.Add_function shrunk :: prefix) rest
+    | t :: rest -> go (t :: prefix) rest
+  in
+  go [] ts
+
+(** Size delta (in instructions) between the original module and a reduced
+    variant — "the difference between the number of instructions in the
+    original SPIR-V module and the reduced variant SPIR-V module". *)
+let delta_size ~(original : Context.t) (reduced : Context.t) =
+  Module_ir.instruction_count reduced.Context.m
+  - Module_ir.instruction_count original.Context.m
+
+(** The textual delta (for bug reports, cf. Figure 3). *)
+let delta_listing ~(original : Context.t) (reduced : Context.t) =
+  Disasm.diff_to_string original.Context.m reduced.Context.m

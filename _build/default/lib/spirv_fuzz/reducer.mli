@@ -1,0 +1,38 @@
+(** The spirv-fuzz reducer (section 3.4): delta debugging over the recorded
+    transformation sequence, replaying candidate subsequences from the
+    original context and keeping those that still satisfy the
+    interestingness test; then — the spirv-reduce analog — shrinking the
+    function bodies of any surviving AddFunction transformations. *)
+
+
+type result = {
+  transformations : Transformation.t list;  (** the 1-minimal subsequence *)
+  reduced : Context.t;  (** the original context with it applied *)
+  stats : Tbct.Reducer.stats;
+}
+
+val reduce :
+  original:Context.t ->
+  is_interesting:(Context.t -> bool) ->
+  Transformation.t list ->
+  result
+(** The full sequence must be interesting.  Soundness rests on
+    Definition 2.5: skipped preconditions make every subsequence
+    semantics-preserving, so the reducer may try any of them. *)
+
+val shrink_add_functions :
+  original:Context.t ->
+  is_interesting:(Context.t -> bool) ->
+  Transformation.t list ->
+  Transformation.t list
+(** "After delta debugging, the reducer applies spirv-reduce to any
+    remaining AddFunction transformations": delta debugging over each
+    donated function's body instructions, testing validity plus the
+    interestingness test. *)
+
+val delta_size : original:Context.t -> Context.t -> int
+(** Instruction-count difference — the section 4.2 reduction-quality
+    metric. *)
+
+val delta_listing : original:Context.t -> Context.t -> string
+(** The textual module delta a bug report contains (cf. Figure 3). *)

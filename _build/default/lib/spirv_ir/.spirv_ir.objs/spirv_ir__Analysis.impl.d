@@ -1,0 +1,1 @@
+lib/spirv_ir/analysis.pp.ml: Block Cfg Dominance Func Id Instr List Module_ir

@@ -1,0 +1,1 @@
+lib/spirv_ir/asm.pp.ml: Block Buffer Constant Func Id Instr Int32 List Module_ir Printf String Ty

@@ -1,0 +1,1 @@
+lib/spirv_ir/block.pp.ml: Id Instr List Ppx_deriving_runtime

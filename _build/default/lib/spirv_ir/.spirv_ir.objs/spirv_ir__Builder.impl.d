@@ -1,0 +1,1 @@
+lib/spirv_ir/builder.pp.ml: Block Constant Func Hashtbl Id Instr Int32 List Module_ir Option Printf Ty

@@ -1,0 +1,1 @@
+lib/spirv_ir/builder.pp.mli: Block Func Id Instr Module_ir Ty

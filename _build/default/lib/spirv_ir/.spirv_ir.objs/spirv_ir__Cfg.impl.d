@@ -1,0 +1,1 @@
+lib/spirv_ir/cfg.pp.ml: Array Block Func Id List Seq

@@ -1,0 +1,1 @@
+lib/spirv_ir/cfg.pp.mli: Block Func Id

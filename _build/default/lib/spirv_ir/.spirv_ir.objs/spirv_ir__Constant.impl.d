@@ -1,0 +1,1 @@
+lib/spirv_ir/constant.pp.ml: Id List Ppx_deriving_runtime

@@ -1,0 +1,1 @@
+lib/spirv_ir/disasm.pp.ml: Array Block Buffer Constant Format Func Id Instr List Module_ir Printf String Ty

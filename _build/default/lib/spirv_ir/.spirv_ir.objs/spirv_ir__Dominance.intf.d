@@ -1,0 +1,1 @@
+lib/spirv_ir/dominance.pp.mli: Cfg Id

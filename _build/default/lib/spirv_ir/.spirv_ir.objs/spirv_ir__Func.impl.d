@@ -1,0 +1,1 @@
+lib/spirv_ir/func.pp.ml: Block Id Instr List Ppx_deriving_runtime Printf Ty

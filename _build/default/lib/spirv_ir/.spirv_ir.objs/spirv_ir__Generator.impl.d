@@ -1,0 +1,1 @@
+lib/spirv_ir/generator.pp.ml: Builder Id Input Instr List Printf Tbct Value

@@ -1,0 +1,1 @@
+lib/spirv_ir/id.pp.ml: Format Int Map Set

@@ -1,0 +1,1 @@
+lib/spirv_ir/id.pp.mli: Format Map Set

@@ -1,0 +1,1 @@
+lib/spirv_ir/image.pp.ml: Array Buffer Int32 Ppx_deriving_runtime String Value

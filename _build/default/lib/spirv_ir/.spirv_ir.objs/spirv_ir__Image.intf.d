@@ -1,0 +1,1 @@
+lib/spirv_ir/image.pp.mli: Format Value

@@ -1,0 +1,1 @@
+lib/spirv_ir/input.pp.ml: Array Buffer Int32 List Ppx_deriving_runtime Printf String Value

@@ -1,0 +1,1 @@
+lib/spirv_ir/interp.pp.ml: Array Block Func Id Image Input Instr Int32 List Module_ir Ops Printf Ty Value

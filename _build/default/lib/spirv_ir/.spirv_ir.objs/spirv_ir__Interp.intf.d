@@ -1,0 +1,1 @@
+lib/spirv_ir/interp.pp.mli: Id Image Input Module_ir Value

@@ -1,0 +1,1 @@
+lib/spirv_ir/module_ir.pp.ml: Array Block Constant Func Id Instr Int32 List Ppx_deriving_runtime Ty Value

@@ -1,0 +1,1 @@
+lib/spirv_ir/module_ir.pp.mli: Constant Format Func Id Ty Value

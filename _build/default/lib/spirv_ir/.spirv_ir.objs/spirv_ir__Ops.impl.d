@@ -1,0 +1,1 @@
+lib/spirv_ir/ops.pp.ml: Array Float Instr Int32 Printf Value

@@ -1,0 +1,1 @@
+lib/spirv_ir/ops.pp.mli: Instr Value

@@ -1,0 +1,1 @@
+lib/spirv_ir/ty.pp.ml: Id List Ppx_deriving_runtime

@@ -1,0 +1,1 @@
+lib/spirv_ir/validate.pp.ml: Block Cfg Constant Dominance Func Hashtbl Id Instr Int32 List Module_ir Option Printf Ty

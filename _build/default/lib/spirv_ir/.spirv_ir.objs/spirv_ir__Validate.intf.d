@@ -1,0 +1,1 @@
+lib/spirv_ir/validate.pp.mli: Module_ir

@@ -1,0 +1,1 @@
+lib/spirv_ir/value.pp.ml: Array Bool Float Int32 Int64 Ppx_deriving_runtime

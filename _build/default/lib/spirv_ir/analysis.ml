@@ -1,0 +1,131 @@
+(** Availability and use-site analysis over one function.
+
+    Transformations use this to decide whether an id may be referenced at a
+    given program point (the SSA dominance rule), and to enumerate the use
+    sites eligible for id-replacing transformations. *)
+
+type t = {
+  m : Module_ir.t;
+  f : Func.t;
+  cfg : Cfg.t;
+  dom : Dominance.t;
+  def_site : (Id.t * int) Id.Map.t;  (* id -> (block label, instruction index) *)
+  module_level : Id.Set.t;           (* constants, globals, this function's params *)
+}
+
+let make m (f : Func.t) =
+  let cfg = Cfg.of_func f in
+  let dom = Dominance.compute cfg in
+  let def_site =
+    List.fold_left
+      (fun acc (b : Block.t) ->
+        let acc, _ =
+          List.fold_left
+            (fun (acc, idx) (i : Instr.t) ->
+              let acc =
+                match i.Instr.result with
+                | Some r -> Id.Map.add r (b.Block.label, idx) acc
+                | None -> acc
+              in
+              (acc, idx + 1))
+            (acc, 0) b.Block.instrs
+        in
+        acc)
+      Id.Map.empty f.Func.blocks
+  in
+  let module_level =
+    let s = ref Id.Set.empty in
+    List.iter (fun (d : Module_ir.const_decl) -> s := Id.Set.add d.Module_ir.cd_id !s) m.Module_ir.constants;
+    List.iter (fun (d : Module_ir.global_decl) -> s := Id.Set.add d.Module_ir.gd_id !s) m.Module_ir.globals;
+    List.iter (fun (p : Func.param) -> s := Id.Set.add p.Func.param_id !s) f.Func.params;
+    !s
+  in
+  { m; f; cfg; dom; def_site; module_level }
+
+(** May [id] be used by the instruction at position [index] of [block]?
+    ([index] may be one past the last instruction to mean the terminator.)
+    Follows the validator's rule, including its relaxation inside
+    unreachable blocks. *)
+let available_at t ~block ~index id =
+  if Id.Set.mem id t.module_level then true
+  else
+    match Id.Map.find_opt id t.def_site with
+    | None -> false
+    | Some (def_block, def_idx) ->
+        if not (Cfg.is_reachable t.cfg block) then true
+        else if Id.equal def_block block then def_idx < index
+        else Dominance.strictly_dominates t.dom def_block block
+
+let available_at_end t ~block id =
+  available_at t ~block ~index:max_int id
+
+(** Ids of every value available at position [index] of [block] whose type
+    id is [ty] — candidates for id-replacement transformations. *)
+let available_ids_of_type t ~block ~index ~ty =
+  let of_module =
+    List.filter_map
+      (fun (d : Module_ir.const_decl) ->
+        if Id.equal d.Module_ir.cd_ty ty then Some d.Module_ir.cd_id else None)
+      t.m.Module_ir.constants
+    @ List.filter_map
+        (fun (d : Module_ir.global_decl) ->
+          if Id.equal d.Module_ir.gd_ty ty then Some d.Module_ir.gd_id else None)
+        t.m.Module_ir.globals
+    @ List.filter_map
+        (fun (p : Func.param) ->
+          if Id.equal p.Func.param_ty ty then Some p.Func.param_id else None)
+        t.f.Func.params
+  in
+  let of_instrs =
+    List.concat_map
+      (fun (b : Block.t) ->
+        List.filter_map
+          (fun (i : Instr.t) ->
+            match (i.Instr.result, i.Instr.ty) with
+            | Some r, Some rt when Id.equal rt ty -> Some r
+            | _ -> None)
+          b.Block.instrs)
+      t.f.Func.blocks
+  in
+  List.filter (available_at t ~block ~index) (of_module @ of_instrs)
+
+(** A use of an id inside a function, precise enough to parametrize a
+    replacement transformation: [instr_index] is the position within the
+    block's instruction list, or the instruction count to denote the
+    terminator; [operand_index] is the position within {!Instr.used_ids}. *)
+type use_site = {
+  fn : Id.t;
+  block : Id.t;
+  instr_index : int;
+  operand_index : int;
+}
+
+let use_sites_in_function m (f : Func.t) ~of_id =
+  ignore m;
+  List.concat_map
+    (fun (b : Block.t) ->
+      let n = List.length b.Block.instrs in
+      let in_instrs =
+        List.concat
+          (List.mapi
+             (fun idx (i : Instr.t) ->
+               List.concat
+                 (List.mapi
+                    (fun op_idx u ->
+                      if Id.equal u of_id then
+                        [ { fn = f.Func.id; block = b.Block.label; instr_index = idx; operand_index = op_idx } ]
+                      else [])
+                    (Instr.used_ids i)))
+             b.Block.instrs)
+      in
+      let in_term =
+        List.concat
+          (List.mapi
+             (fun op_idx u ->
+               if Id.equal u of_id then
+                 [ { fn = f.Func.id; block = b.Block.label; instr_index = n; operand_index = op_idx } ]
+               else [])
+             (Block.terminator_used_ids b.Block.terminator))
+      in
+      in_instrs @ in_term)
+    f.Func.blocks

@@ -1,0 +1,352 @@
+(** Textual assembler: parses the format produced by {!Disasm}.
+
+    Hand-rolled line-oriented recursive-descent parser.  Comment lines start
+    with [';']; blank lines are ignored.  Errors carry the 1-based line
+    number. *)
+
+type parse_error = { line : int; message : string }
+
+exception Error of parse_error
+
+let error_to_string e = Printf.sprintf "line %d: %s" e.line e.message
+
+let fail line fmt = Printf.ksprintf (fun message -> raise (Error { line; message })) fmt
+
+(* ------------------------------------------------------------------ *)
+(* Tokenization: each line becomes a token list.                       *)
+
+type token =
+  | Tid of Id.t          (* %42 *)
+  | Tint of int          (* literal integer *)
+  | Tfloat of float      (* literal float, incl. hex floats *)
+  | Tword of string      (* opcode or keyword *)
+  | Tstring of string    (* "name" *)
+  | Teq
+
+let tokenize_line lineno s =
+  let n = String.length s in
+  let tokens = ref [] in
+  let i = ref 0 in
+  let push t = tokens := t :: !tokens in
+  while !i < n do
+    let c = s.[!i] in
+    if c = ' ' || c = '\t' then incr i
+    else if c = ';' then i := n (* comment to end of line *)
+    else if c = '=' then begin push Teq; incr i end
+    else if c = '%' then begin
+      let j = ref (!i + 1) in
+      while !j < n && (match s.[!j] with '0' .. '9' -> true | _ -> false) do incr j done;
+      if !j = !i + 1 then fail lineno "bad id";
+      push (Tid (int_of_string (String.sub s (!i + 1) (!j - !i - 1))));
+      i := !j
+    end
+    else if c = '"' then begin
+      let j = ref (!i + 1) in
+      let buf = Buffer.create 8 in
+      let closed = ref false in
+      while (not !closed) && !j < n do
+        if s.[!j] = '\\' && !j + 1 < n then begin
+          Buffer.add_char buf s.[!j + 1];
+          j := !j + 2
+        end
+        else if s.[!j] = '"' then begin closed := true; incr j end
+        else begin
+          Buffer.add_char buf s.[!j];
+          incr j
+        end
+      done;
+      if not !closed then fail lineno "unterminated string";
+      push (Tstring (Buffer.contents buf));
+      i := !j
+    end
+    else begin
+      (* word: letters, digits, '.', '+', '-', 'x', '_' — covers opcode names
+         and numeric literals (decimal, hex float like 0x1.8p+1, -1.5) *)
+      let j = ref !i in
+      let word_char ch =
+        match ch with
+        | 'a' .. 'z' | 'A' .. 'Z' | '0' .. '9' | '.' | '+' | '-' | '_' -> true
+        | _ -> false
+      in
+      while !j < n && word_char s.[!j] do incr j done;
+      if !j = !i then fail lineno "unexpected character %C" c;
+      let w = String.sub s !i (!j - !i) in
+      (match int_of_string_opt w with
+      | Some k -> push (Tint k)
+      | None -> (
+          match float_of_string_opt w with
+          | Some f when String.contains w '.' || String.contains w 'p'
+                        || String.contains w 'n' || String.contains w 'i' ->
+              push (Tfloat f)
+          | _ -> push (Tword w)));
+      i := !j
+    end
+  done;
+  List.rev !tokens
+
+(* ------------------------------------------------------------------ *)
+(* Parsing                                                             *)
+
+type pstate = {
+  mutable id_bound : int;
+  mutable entry : Id.t;
+  mutable types : Module_ir.type_decl list;   (* reversed *)
+  mutable constants : Module_ir.const_decl list;
+  mutable globals : Module_ir.global_decl list;
+  mutable functions : Func.t list;
+  (* function under construction *)
+  mutable cur_fn : (Id.t * Id.t * Func.control * string) option;
+  mutable cur_params : Func.param list;
+  mutable cur_blocks : Block.t list;
+  mutable cur_label : Id.t option;
+  mutable cur_instrs : Instr.t list;
+}
+
+let ids_only lineno toks =
+  List.map
+    (function Tid x -> x | _ -> fail lineno "expected an id operand")
+    toks
+
+let ints_only lineno toks =
+  List.map
+    (function Tint x -> x | _ -> fail lineno "expected a literal integer")
+    toks
+
+let parse_op lineno opname (ty : Id.t) rest : Instr.op =
+  match opname with
+  | "OpSelect" -> (
+      match ids_only lineno rest with
+      | [ c; t; f ] -> Instr.Select (c, t, f)
+      | _ -> fail lineno "OpSelect needs 3 operands")
+  | "OpCompositeConstruct" -> Instr.CompositeConstruct (ids_only lineno rest)
+  | "OpCompositeExtract" -> (
+      match rest with
+      | Tid c :: path -> Instr.CompositeExtract (c, ints_only lineno path)
+      | _ -> fail lineno "OpCompositeExtract needs a source id")
+  | "OpCompositeInsert" -> (
+      match rest with
+      | Tid obj :: Tid c :: path -> Instr.CompositeInsert (obj, c, ints_only lineno path)
+      | _ -> fail lineno "OpCompositeInsert needs two ids")
+  | "OpLoad" -> (
+      match ids_only lineno rest with
+      | [ p ] -> Instr.Load p
+      | _ -> fail lineno "OpLoad needs 1 operand")
+  | "OpAccessChain" -> (
+      match ids_only lineno rest with
+      | base :: idxs when idxs <> [] -> Instr.AccessChain (base, idxs)
+      | _ -> fail lineno "OpAccessChain needs base and indices")
+  | "OpFunctionCall" -> (
+      match ids_only lineno rest with
+      | f :: args -> Instr.FunctionCall (f, args)
+      | _ -> fail lineno "OpFunctionCall needs a callee")
+  | "OpPhi" ->
+      let rec pairs = function
+        | [] -> []
+        | Tid v :: Tid b :: tl -> (v, b) :: pairs tl
+        | _ -> fail lineno "OpPhi needs (value, block) id pairs"
+      in
+      Instr.Phi (pairs rest)
+  | "OpCopyObject" -> (
+      match ids_only lineno rest with
+      | [ x ] -> Instr.CopyObject x
+      | _ -> fail lineno "OpCopyObject needs 1 operand")
+  | "OpVariable" -> (
+      match rest with
+      | [ Tword sc ] -> (
+          match Ty.storage_class_of_string sc with
+          | Some c -> Instr.Variable c
+          | None -> fail lineno "bad storage class %s" sc)
+      | _ -> fail lineno "OpVariable needs a storage class")
+  | "OpUndef" -> Instr.Undef
+  | _ -> (
+      ignore ty;
+      (* binops and unops by name *)
+      match List.find_opt (fun b -> String.equal (Instr.binop_name b) opname) Instr.all_binops with
+      | Some bop -> (
+          match ids_only lineno rest with
+          | [ a; b ] -> Instr.Binop (bop, a, b)
+          | _ -> fail lineno "%s needs 2 operands" opname)
+      | None -> (
+          match List.find_opt (fun u -> String.equal (Instr.unop_name u) opname) Instr.all_unops with
+          | Some uop -> (
+              match ids_only lineno rest with
+              | [ a ] -> Instr.Unop (uop, a)
+              | _ -> fail lineno "%s needs 1 operand" opname)
+          | None -> fail lineno "unknown opcode %s" opname))
+
+let finish_block st lineno term =
+  match st.cur_label with
+  | None -> fail lineno "terminator outside a block"
+  | Some label ->
+      st.cur_blocks <-
+        { Block.label; Block.instrs = List.rev st.cur_instrs; Block.terminator = term }
+        :: st.cur_blocks;
+      st.cur_label <- None;
+      st.cur_instrs <- []
+
+let parse_line st lineno toks =
+  match toks with
+  | [] -> ()
+  | [ Tword "OpIdBound"; Tint n ] -> st.id_bound <- n
+  | [ Tword "OpEntryPoint"; Tid e ] -> st.entry <- e
+  | [ Tword "OpFunctionEnd" ] -> (
+      match st.cur_fn with
+      | None -> fail lineno "OpFunctionEnd outside a function"
+      | Some (id, fn_ty, control, name) ->
+          if st.cur_label <> None then fail lineno "unterminated block at OpFunctionEnd";
+          st.functions <-
+            {
+              Func.id;
+              Func.name;
+              Func.fn_ty;
+              Func.control;
+              Func.params = List.rev st.cur_params;
+              Func.blocks = List.rev st.cur_blocks;
+            }
+            :: st.functions;
+          st.cur_fn <- None;
+          st.cur_params <- [];
+          st.cur_blocks <- [])
+  | Tword "OpStore" :: rest -> (
+      match ids_only lineno rest with
+      | [ p; v ] -> st.cur_instrs <- Instr.make_void (Instr.Store (p, v)) :: st.cur_instrs
+      | _ -> fail lineno "OpStore needs 2 operands")
+  | [ Tword "OpNop" ] -> st.cur_instrs <- Instr.make_void Instr.Nop :: st.cur_instrs
+  | Tword "OpFunctionCall" :: rest -> (
+      (* void call without a result *)
+      match ids_only lineno rest with
+      | f :: args ->
+          st.cur_instrs <-
+            Instr.make_void (Instr.FunctionCall (f, args)) :: st.cur_instrs
+      | _ -> fail lineno "OpFunctionCall needs a callee")
+  | [ Tword "OpBranch"; Tid t ] -> finish_block st lineno (Block.Branch t)
+  | [ Tword "OpBranchConditional"; Tid c; Tid t; Tid f ] ->
+      finish_block st lineno (Block.BranchConditional (c, t, f))
+  | [ Tword "OpReturn" ] -> finish_block st lineno Block.Return
+  | [ Tword "OpReturnValue"; Tid v ] -> finish_block st lineno (Block.ReturnValue v)
+  | [ Tword "OpKill" ] -> finish_block st lineno Block.Kill
+  | [ Tword "OpUnreachable" ] -> finish_block st lineno Block.Unreachable
+  | Tid r :: Teq :: Tword opname :: rest -> (
+      match (opname, rest) with
+      | "OpTypeVoid", [] -> st.types <- { Module_ir.td_id = r; td_ty = Ty.Void } :: st.types
+      | "OpTypeBool", [] -> st.types <- { Module_ir.td_id = r; td_ty = Ty.Bool } :: st.types
+      | "OpTypeInt", [] -> st.types <- { Module_ir.td_id = r; td_ty = Ty.Int } :: st.types
+      | "OpTypeFloat", [] -> st.types <- { Module_ir.td_id = r; td_ty = Ty.Float } :: st.types
+      | "OpTypeVector", [ Tid c; Tint n ] ->
+          st.types <- { Module_ir.td_id = r; td_ty = Ty.Vector (c, n) } :: st.types
+      | "OpTypeMatrix", [ Tid c; Tint n ] ->
+          st.types <- { Module_ir.td_id = r; td_ty = Ty.Matrix (c, n) } :: st.types
+      | "OpTypeStruct", members ->
+          st.types <-
+            { Module_ir.td_id = r; td_ty = Ty.Struct (ids_only lineno members) } :: st.types
+      | "OpTypeArray", [ Tid c; Tint n ] ->
+          st.types <- { Module_ir.td_id = r; td_ty = Ty.Array (c, n) } :: st.types
+      | "OpTypePointer", [ Tword sc; Tid p ] -> (
+          match Ty.storage_class_of_string sc with
+          | Some c ->
+              st.types <- { Module_ir.td_id = r; td_ty = Ty.Pointer (c, p) } :: st.types
+          | None -> fail lineno "bad storage class %s" sc)
+      | "OpTypeFunction", Tid ret :: params ->
+          st.types <-
+            { Module_ir.td_id = r; td_ty = Ty.Func (ret, ids_only lineno params) }
+            :: st.types
+      | "OpConstantTrue", [ Tid ty ] ->
+          st.constants <-
+            { Module_ir.cd_id = r; cd_ty = ty; cd_value = Constant.Bool true } :: st.constants
+      | "OpConstantFalse", [ Tid ty ] ->
+          st.constants <-
+            { Module_ir.cd_id = r; cd_ty = ty; cd_value = Constant.Bool false } :: st.constants
+      | "OpConstant", [ Tid ty; Tint v ] ->
+          st.constants <-
+            { Module_ir.cd_id = r; cd_ty = ty; cd_value = Constant.Int (Int32.of_int v) }
+            :: st.constants
+      | "OpConstantFloat", [ Tid ty; Tfloat v ] ->
+          st.constants <-
+            { Module_ir.cd_id = r; cd_ty = ty; cd_value = Constant.Float v } :: st.constants
+      | "OpConstantFloat", [ Tid ty; Tint v ] ->
+          st.constants <-
+            { Module_ir.cd_id = r; cd_ty = ty; cd_value = Constant.Float (float_of_int v) }
+            :: st.constants
+      | "OpConstantComposite", Tid ty :: parts ->
+          st.constants <-
+            { Module_ir.cd_id = r; cd_ty = ty; cd_value = Constant.Composite (ids_only lineno parts) }
+            :: st.constants
+      | "OpConstantNull", [ Tid ty ] ->
+          st.constants <-
+            { Module_ir.cd_id = r; cd_ty = ty; cd_value = Constant.Null } :: st.constants
+      | "OpGlobalVariable", Tid ty :: Tstring name :: init -> (
+          let gd_init =
+            match init with
+            | [] -> None
+            | [ Tid i ] -> Some i
+            | _ -> fail lineno "bad global initializer"
+          in
+          st.globals <-
+            { Module_ir.gd_id = r; gd_ty = ty; gd_name = name; gd_init } :: st.globals)
+      | "OpFunction", [ Tid fn_ty; Tword control; Tstring name ] -> (
+          if st.cur_fn <> None then fail lineno "nested OpFunction";
+          let ctrl =
+            match control with
+            | "None" -> Func.CNone
+            | "DontInline" -> Func.DontInline
+            | "AlwaysInline" -> Func.AlwaysInline
+            | _ -> fail lineno "bad function control %s" control
+          in
+          st.cur_fn <- Some (r, fn_ty, ctrl, name))
+      | "OpFunctionParameter", [ Tid ty ] ->
+          if st.cur_fn = None then fail lineno "parameter outside a function";
+          st.cur_params <- { Func.param_id = r; Func.param_ty = ty } :: st.cur_params
+      | "OpLabel", [] ->
+          if st.cur_fn = None then fail lineno "label outside a function";
+          if st.cur_label <> None then fail lineno "previous block not terminated";
+          st.cur_label <- Some r;
+          st.cur_instrs <- []
+      | _, (Tid ty :: operands) ->
+          if st.cur_label = None then fail lineno "instruction outside a block";
+          let op = parse_op lineno opname ty operands in
+          st.cur_instrs <- Instr.make ~result:r ~ty op :: st.cur_instrs
+      | _, [] when String.equal opname "OpUndef" ->
+          fail lineno "OpUndef needs a type"
+      | _ -> fail lineno "cannot parse %s" opname)
+  | _ -> fail lineno "cannot parse line"
+
+let of_string text =
+  let st =
+    {
+      id_bound = 0;
+      entry = 0;
+      types = [];
+      constants = [];
+      globals = [];
+      functions = [];
+      cur_fn = None;
+      cur_params = [];
+      cur_blocks = [];
+      cur_label = None;
+      cur_instrs = [];
+    }
+  in
+  let lines = String.split_on_char '\n' text in
+  List.iteri (fun i line -> parse_line st (i + 1) (tokenize_line (i + 1) line)) lines;
+  if st.cur_fn <> None then fail (List.length lines) "missing OpFunctionEnd";
+  let m =
+    {
+      Module_ir.id_bound = st.id_bound;
+      types = List.rev st.types;
+      constants = List.rev st.constants;
+      globals = List.rev st.globals;
+      functions = List.rev st.functions;
+      entry = st.entry;
+    }
+  in
+  let computed_bound =
+    Id.Set.fold max (Module_ir.defined_ids m) 0 + 1
+  in
+  if m.Module_ir.id_bound < computed_bound then
+    { m with Module_ir.id_bound = computed_bound }
+  else m
+
+let of_string_result text =
+  match of_string text with
+  | m -> Ok m
+  | exception Error e -> Error (error_to_string e)

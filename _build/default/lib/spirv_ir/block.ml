@@ -1,0 +1,62 @@
+(** Basic blocks: a label id, a body of instructions (φ-instructions first),
+    and exactly one terminator. *)
+
+type terminator =
+  | Branch of Id.t
+  | BranchConditional of Id.t * Id.t * Id.t  (** condition, true target, false target *)
+  | Return
+  | ReturnValue of Id.t
+  | Kill        (** OpKill: terminate the fragment without producing output *)
+  | Unreachable
+[@@deriving show { with_path = false }, eq]
+
+type t = {
+  label : Id.t;
+  instrs : Instr.t list;
+  terminator : terminator;
+}
+[@@deriving show { with_path = false }, eq]
+
+let successors b =
+  match b.terminator with
+  | Branch t -> [ t ]
+  | BranchConditional (_, t, f) -> if Id.equal t f then [ t ] else [ t; f ]
+  | Return | ReturnValue _ | Kill | Unreachable -> []
+
+let terminator_used_ids = function
+  | Branch _ | Return | Kill | Unreachable -> []
+  | BranchConditional (c, _, _) -> [ c ]
+  | ReturnValue v -> [ v ]
+
+let phis b = List.filter Instr.is_phi b.instrs
+let non_phi_instrs b = List.filter (fun i -> not (Instr.is_phi i)) b.instrs
+
+(** Instructions defined in this block, as (id, instr) pairs. *)
+let definitions b =
+  List.filter_map
+    (fun (i : Instr.t) ->
+      match i.result with Some r -> Some (r, i) | None -> None)
+    b.instrs
+
+let substitute_uses ~old_id ~new_id b =
+  let instrs = List.map (Instr.substitute_uses ~old_id ~new_id) b.instrs in
+  let s x = if Id.equal x old_id then new_id else x in
+  let terminator =
+    match b.terminator with
+    | BranchConditional (c, t, f) -> BranchConditional (s c, t, f)
+    | ReturnValue v -> ReturnValue (s v)
+    | (Branch _ | Return | Kill | Unreachable) as t -> t
+  in
+  { b with instrs; terminator }
+
+(** Redirect branch targets equal to [old_target] to [new_target]; also
+    updates φ predecessor labels. *)
+let redirect_target ~old_target ~new_target b =
+  let s x = if Id.equal x old_target then new_target else x in
+  let terminator =
+    match b.terminator with
+    | Branch t -> Branch (s t)
+    | BranchConditional (c, t, f) -> BranchConditional (c, s t, s f)
+    | (Return | ReturnValue _ | Kill | Unreachable) as t -> t
+  in
+  { b with terminator }

@@ -1,0 +1,357 @@
+(** Imperative construction API for modules.
+
+    The builder interns types and constants on demand, allocates fresh ids,
+    and tracks the type of every id it creates so that convenience
+    instruction emitters ([iadd], [load], ...) can infer result types.
+    Blocks are emitted in the order they are started; the caller is
+    responsible for respecting dominance order (the validator checks it). *)
+
+type t = {
+  mutable m : Module_ir.t;
+  id_types : (Id.t, Id.t) Hashtbl.t;  (* id -> type id, for inference *)
+}
+
+let create () = { m = Module_ir.empty; id_types = Hashtbl.create 64 }
+
+let module_ b = b.m
+
+let finish b ~entry = { b.m with Module_ir.entry }
+
+(* ------------------------------------------------------------------ *)
+(* Types                                                               *)
+
+let intern_ty b ty =
+  let m, id = Module_ir.intern_type b.m ty in
+  b.m <- m;
+  id
+
+let void_ty b = intern_ty b Ty.Void
+let bool_ty b = intern_ty b Ty.Bool
+let int_ty b = intern_ty b Ty.Int
+let float_ty b = intern_ty b Ty.Float
+let vector_ty b ~scalar ~size = intern_ty b (Ty.Vector (scalar, size))
+let matrix_ty b ~column ~count = intern_ty b (Ty.Matrix (column, count))
+let struct_ty b members = intern_ty b (Ty.Struct members)
+let array_ty b ~elem ~len = intern_ty b (Ty.Array (elem, len))
+let pointer_ty b sc pointee = intern_ty b (Ty.Pointer (sc, pointee))
+let fn_ty b ~ret ~params = intern_ty b (Ty.Func (ret, params))
+
+let vec2f b = vector_ty b ~scalar:(float_ty b) ~size:2
+let vec3f b = vector_ty b ~scalar:(float_ty b) ~size:3
+let vec4f b = vector_ty b ~scalar:(float_ty b) ~size:4
+
+(* ------------------------------------------------------------------ *)
+(* Constants                                                           *)
+
+let register b id ty = Hashtbl.replace b.id_types id ty
+
+let intern_const b ~ty value =
+  let m, id = Module_ir.intern_constant b.m ~ty value in
+  b.m <- m;
+  register b id ty;
+  id
+
+let cbool b v = intern_const b ~ty:(bool_ty b) (Constant.Bool v)
+let cint b v = intern_const b ~ty:(int_ty b) (Constant.Int (Int32.of_int v))
+let cfloat b v = intern_const b ~ty:(float_ty b) (Constant.Float v)
+let ccomposite b ~ty parts = intern_const b ~ty (Constant.Composite parts)
+let cnull b ~ty = intern_const b ~ty Constant.Null
+
+let cvec2f b x y = ccomposite b ~ty:(vec2f b) [ cfloat b x; cfloat b y ]
+let cvec4f b x y z w =
+  ccomposite b ~ty:(vec4f b) [ cfloat b x; cfloat b y; cfloat b z; cfloat b w ]
+
+(* ------------------------------------------------------------------ *)
+(* Globals                                                             *)
+
+let global b sc ~pointee ~name ?init () =
+  let ptr = pointer_ty b sc pointee in
+  let m, id = Module_ir.add_global b.m ~ty:ptr ~name ~init in
+  b.m <- m;
+  register b id ptr;
+  id
+
+let uniform b ~pointee ~name = global b Ty.Uniform ~pointee ~name ()
+let frag_coord b = global b Ty.Input ~pointee:(vec2f b) ~name:"gl_FragCoord" ()
+let output_color b = global b Ty.Output ~pointee:(vec4f b) ~name:"_color" ()
+
+(* ------------------------------------------------------------------ *)
+(* Functions                                                           *)
+
+type fn = {
+  builder : t;
+  fn_id : Id.t;
+  fn_name : string;
+  fn_type : Id.t;
+  fn_params : Func.param list;
+  mutable fn_control : Func.control;
+  mutable done_blocks : Block.t list;  (* reversed *)
+  mutable current_label : Id.t option;
+  mutable current_instrs : Instr.t list;  (* reversed *)
+  mutable hoisted : Instr.t list;  (* allocations destined for the entry block, reversed *)
+}
+
+let fresh b =
+  let m, id = Module_ir.fresh b.m in
+  b.m <- m;
+  id
+
+let begin_function b ~name ~ret ~params =
+  let fnty = fn_ty b ~ret ~params in
+  let fn_id = fresh b in
+  register b fn_id fnty;
+  let fn_params =
+    List.map
+      (fun param_ty ->
+        let param_id = fresh b in
+        register b param_id param_ty;
+        { Func.param_id; Func.param_ty })
+      params
+  in
+  let fn =
+    {
+      builder = b;
+      fn_id;
+      fn_name = name;
+      fn_type = fnty;
+      fn_params;
+      fn_control = Func.CNone;
+      done_blocks = [];
+      current_label = None;
+      current_instrs = [];
+      hoisted = [];
+    }
+  in
+  (fn, fn_id, List.map (fun (p : Func.param) -> p.Func.param_id) fn_params)
+
+let set_control fn c = fn.fn_control <- c
+
+let param_ids fn = List.map (fun (p : Func.param) -> p.Func.param_id) fn.fn_params
+
+let new_label fn = fresh fn.builder
+
+let start_block fn label =
+  (match fn.current_label with
+  | Some l ->
+      invalid_arg
+        (Printf.sprintf "Builder.start_block: block %s not terminated" (Id.to_string l))
+  | None -> ());
+  fn.current_label <- Some label;
+  fn.current_instrs <- []
+
+let terminate fn term =
+  match fn.current_label with
+  | None -> invalid_arg "Builder.terminate: no block in progress"
+  | Some label ->
+      let block =
+        { Block.label; Block.instrs = List.rev fn.current_instrs; Block.terminator = term }
+      in
+      fn.done_blocks <- block :: fn.done_blocks;
+      fn.current_label <- None;
+      fn.current_instrs <- []
+
+let push fn i = fn.current_instrs <- i :: fn.current_instrs
+
+let current_label_exn fn =
+  match fn.current_label with
+  | Some l -> l
+  | None -> invalid_arg "Builder.current_label_exn: no block in progress"
+
+(** Rewrite the incoming value for predecessor [pred] of the φ-instruction
+    whose result is [phi].  Needed to close loop back-edges: the latch value
+    does not exist yet when the header φ is emitted. *)
+let patch_phi fn ~phi ~pred ~value =
+  let patch_instr (i : Instr.t) =
+    match (i.Instr.result, i.Instr.op) with
+    | Some r, Instr.Phi incoming when Id.equal r phi ->
+        {
+          i with
+          Instr.op =
+            Instr.Phi
+              (List.map
+                 (fun (v, b) -> if Id.equal b pred then (value, b) else (v, b))
+                 incoming);
+        }
+    | _ -> i
+  in
+  fn.current_instrs <- List.map patch_instr fn.current_instrs;
+  fn.done_blocks <-
+    List.map
+      (fun (b : Block.t) -> { b with Block.instrs = List.map patch_instr b.Block.instrs })
+      fn.done_blocks
+
+let instr fn ~ty op =
+  let r = fresh fn.builder in
+  register fn.builder r ty;
+  push fn (Instr.make ~result:r ~ty op);
+  r
+
+let instr_void fn op = push fn (Instr.make_void op)
+
+let end_function fn =
+  (match fn.current_label with
+  | Some l ->
+      invalid_arg
+        (Printf.sprintf "Builder.end_function: block %s not terminated" (Id.to_string l))
+  | None -> ());
+  let blocks =
+    match List.rev fn.done_blocks with
+    | [] -> []
+    | entry :: rest ->
+        { entry with Block.instrs = List.rev fn.hoisted @ entry.Block.instrs } :: rest
+  in
+  let f =
+    {
+      Func.id = fn.fn_id;
+      Func.name = fn.fn_name;
+      Func.fn_ty = fn.fn_type;
+      Func.control = fn.fn_control;
+      Func.params = fn.fn_params;
+      Func.blocks;
+    }
+  in
+  let b = fn.builder in
+  b.m <- { b.m with Module_ir.functions = b.m.Module_ir.functions @ [ f ] };
+  fn.fn_id
+
+(* ------------------------------------------------------------------ *)
+(* Typed convenience emitters                                          *)
+
+let type_of fn id =
+  match Hashtbl.find_opt fn.builder.id_types id with
+  | Some t -> t
+  | None -> (
+      match Module_ir.type_of_id fn.builder.m id with
+      | Some t -> t
+      | None -> invalid_arg ("Builder.type_of: unknown id " ^ Id.to_string id))
+
+let binop fn op a bv =
+  let b = fn.builder in
+  let is_cmp =
+    match op with
+    | Instr.IEqual | Instr.INotEqual | Instr.SLessThan | Instr.SLessThanEqual
+    | Instr.SGreaterThan | Instr.SGreaterThanEqual | Instr.FOrdEqual
+    | Instr.FOrdNotEqual | Instr.FOrdLessThan | Instr.FOrdLessThanEqual
+    | Instr.FOrdGreaterThan | Instr.FOrdGreaterThanEqual ->
+        true
+    | _ -> false
+  in
+  let ty = if is_cmp then bool_ty b else type_of fn a in
+  instr fn ~ty (Instr.Binop (op, a, bv))
+
+let iadd fn a b = binop fn Instr.IAdd a b
+let isub fn a b = binop fn Instr.ISub a b
+let imul fn a b = binop fn Instr.IMul a b
+let sdiv fn a b = binop fn Instr.SDiv a b
+let smod fn a b = binop fn Instr.SMod a b
+let fadd fn a b = binop fn Instr.FAdd a b
+let fsub fn a b = binop fn Instr.FSub a b
+let fmul fn a b = binop fn Instr.FMul a b
+let fdiv fn a b = binop fn Instr.FDiv a b
+let slt fn a b = binop fn Instr.SLessThan a b
+let sle fn a b = binop fn Instr.SLessThanEqual a b
+let sgt fn a b = binop fn Instr.SGreaterThan a b
+let sge fn a b = binop fn Instr.SGreaterThanEqual a b
+let ieq fn a b = binop fn Instr.IEqual a b
+let ine fn a b = binop fn Instr.INotEqual a b
+let flt fn a b = binop fn Instr.FOrdLessThan a b
+let fle fn a b = binop fn Instr.FOrdLessThanEqual a b
+let fgt fn a b = binop fn Instr.FOrdGreaterThan a b
+let feq fn a b = binop fn Instr.FOrdEqual a b
+let land_ fn a b = binop fn Instr.LogicalAnd a b
+let lor_ fn a b = binop fn Instr.LogicalOr a b
+
+let unop fn op a =
+  let b = fn.builder in
+  let ty =
+    match op with
+    | Instr.ConvertSToF -> float_ty b
+    | Instr.ConvertFToS -> int_ty b
+    | Instr.SNegate | Instr.FNegate | Instr.LogicalNot -> type_of fn a
+  in
+  instr fn ~ty (Instr.Unop (op, a))
+
+let s_to_f fn a = unop fn Instr.ConvertSToF a
+let f_to_s fn a = unop fn Instr.ConvertFToS a
+let lnot fn a = unop fn Instr.LogicalNot a
+
+let select fn c tv fv = instr fn ~ty:(type_of fn tv) (Instr.Select (c, tv, fv))
+
+let composite fn ~ty parts = instr fn ~ty (Instr.CompositeConstruct parts)
+
+let extract fn src path =
+  let b = fn.builder in
+  let src_ty = type_of fn src in
+  match Module_ir.ty_at_path b.m src_ty path with
+  | Some ty -> instr fn ~ty (Instr.CompositeExtract (src, path))
+  | None -> invalid_arg "Builder.extract: invalid path"
+
+let local_var fn ~pointee =
+  let b = fn.builder in
+  let ptr = pointer_ty b Ty.Function pointee in
+  instr fn ~ty:ptr (Instr.Variable Ty.Function)
+
+(** Allocation hoisted to the function's entry block (validators require all
+    [OpVariable]s there); usable from any block under construction. *)
+let hoisted_var fn ~pointee =
+  let b = fn.builder in
+  let ptr = pointer_ty b Ty.Function pointee in
+  let r = fresh b in
+  register b r ptr;
+  fn.hoisted <- Instr.make ~result:r ~ty:ptr (Instr.Variable Ty.Function) :: fn.hoisted;
+  r
+
+let load fn p =
+  let b = fn.builder in
+  match Module_ir.find_type b.m (type_of fn p) with
+  | Some (Ty.Pointer (_, pointee)) -> instr fn ~ty:pointee (Instr.Load p)
+  | Some _ | None -> invalid_arg "Builder.load: not a pointer"
+
+let store fn p v = instr_void fn (Instr.Store (p, v))
+
+let access_chain fn base idxs =
+  let b = fn.builder in
+  match Module_ir.find_type b.m (type_of fn base) with
+  | Some (Ty.Pointer (sc, pointee)) ->
+      let rec walk t = function
+        | [] -> t
+        | idx :: rest -> (
+            match Module_ir.find_type b.m t with
+            | Some (Ty.Struct members) -> (
+                match Module_ir.find_constant b.m idx with
+                | Some { Module_ir.cd_value = Constant.Int k; _ } -> (
+                    match List.nth_opt members (Int32.to_int k) with
+                    | Some mem -> walk mem rest
+                    | None -> invalid_arg "Builder.access_chain: struct index range")
+                | Some _ | None ->
+                    invalid_arg "Builder.access_chain: struct index must be constant")
+            | Some (Ty.Vector (c, _)) | Some (Ty.Array (c, _)) -> walk c rest
+            | Some (Ty.Matrix (col, _)) -> walk col rest
+            | Some _ | None -> invalid_arg "Builder.access_chain: bad base type")
+      in
+      let final = walk pointee idxs in
+      let ptr = pointer_ty b sc final in
+      instr fn ~ty:ptr (Instr.AccessChain (base, idxs))
+  | Some _ | None -> invalid_arg "Builder.access_chain: not a pointer"
+
+let call fn callee args =
+  let b = fn.builder in
+  let callee_ty =
+    match Hashtbl.find_opt b.id_types callee with
+    | Some t -> Some t
+    | None -> Module_ir.type_of_id b.m callee
+  in
+  match Option.bind callee_ty (Module_ir.find_type b.m) with
+  | Some (Ty.Func (ret, _)) -> instr fn ~ty:ret (Instr.FunctionCall (callee, args))
+  | Some _ | None -> invalid_arg "Builder.call: callee is not a function"
+
+let phi fn ~ty incoming = instr fn ~ty (Instr.Phi incoming)
+
+let copy fn x = instr fn ~ty:(type_of fn x) (Instr.CopyObject x)
+
+(* Terminator shortcuts *)
+let branch fn target = terminate fn (Block.Branch target)
+let branch_cond fn c t f = terminate fn (Block.BranchConditional (c, t, f))
+let ret fn = terminate fn Block.Return
+let ret_value fn v = terminate fn (Block.ReturnValue v)
+let kill fn = terminate fn Block.Kill

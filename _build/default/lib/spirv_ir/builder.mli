@@ -1,0 +1,159 @@
+(** Imperative construction API for modules.
+
+    The builder interns types and constants on demand, allocates fresh ids,
+    and tracks the type of every id it creates so that the convenience
+    instruction emitters ([iadd], [load], ...) can infer result types.
+    Blocks are emitted in the order they are started; the caller must
+    respect dominance order (the validator checks it).
+
+    Typical shape:
+    {[
+      let b = Builder.create () in
+      let out = Builder.output_color b in
+      let fb, main, _ = Builder.begin_function b ~name:"main"
+                          ~ret:(Builder.void_ty b) ~params:[] in
+      let l = Builder.new_label fb in
+      Builder.start_block fb l;
+      ...;
+      Builder.ret fb;
+      ignore (Builder.end_function fb);
+      Builder.finish b ~entry:main
+    ]} *)
+
+type t
+
+val create : unit -> t
+
+val module_ : t -> Module_ir.t
+(** The module built so far (functions only appear after
+    {!end_function}). *)
+
+val finish : t -> entry:Id.t -> Module_ir.t
+(** The finished module with its entry point set. *)
+
+(** {1 Types} *)
+
+val intern_ty : t -> Ty.t -> Id.t
+val void_ty : t -> Id.t
+val bool_ty : t -> Id.t
+val int_ty : t -> Id.t
+val float_ty : t -> Id.t
+val vector_ty : t -> scalar:Id.t -> size:int -> Id.t
+val matrix_ty : t -> column:Id.t -> count:int -> Id.t
+val struct_ty : t -> Id.t list -> Id.t
+val array_ty : t -> elem:Id.t -> len:int -> Id.t
+val pointer_ty : t -> Ty.storage_class -> Id.t -> Id.t
+val fn_ty : t -> ret:Id.t -> params:Id.t list -> Id.t
+val vec2f : t -> Id.t
+val vec3f : t -> Id.t
+val vec4f : t -> Id.t
+
+(** {1 Constants} *)
+
+val cbool : t -> bool -> Id.t
+val cint : t -> int -> Id.t
+val cfloat : t -> float -> Id.t
+val ccomposite : t -> ty:Id.t -> Id.t list -> Id.t
+val cnull : t -> ty:Id.t -> Id.t
+val cvec2f : t -> float -> float -> Id.t
+val cvec4f : t -> float -> float -> float -> float -> Id.t
+
+(** {1 Globals} *)
+
+val global :
+  t -> Ty.storage_class -> pointee:Id.t -> name:string -> ?init:Id.t -> unit -> Id.t
+
+val uniform : t -> pointee:Id.t -> name:string -> Id.t
+val frag_coord : t -> Id.t
+(** The per-fragment [Input]-class vec2 named "gl_FragCoord". *)
+
+val output_color : t -> Id.t
+(** The [Output]-class vec4 named "_color" that the interpreter reads as
+    the pixel. *)
+
+(** {1 Functions and blocks} *)
+
+type fn
+(** A function under construction. *)
+
+val begin_function :
+  t -> name:string -> ret:Id.t -> params:Id.t list -> fn * Id.t * Id.t list
+(** Returns the builder handle, the function id, and the parameter ids. *)
+
+val set_control : fn -> Func.control -> unit
+val param_ids : fn -> Id.t list
+val new_label : fn -> Id.t
+val start_block : fn -> Id.t -> unit
+val current_label_exn : fn -> Id.t
+val terminate : fn -> Block.terminator -> unit
+val end_function : fn -> Id.t
+(** Appends the finished function to the module and returns its id.
+    @raise Invalid_argument if a block is still open. *)
+
+(** {1 Raw instruction emission} *)
+
+val instr : fn -> ty:Id.t -> Instr.op -> Id.t
+val instr_void : fn -> Instr.op -> unit
+val type_of : fn -> Id.t -> Id.t
+(** The type id of any id the builder knows.
+    @raise Invalid_argument on unknown ids. *)
+
+val patch_phi : fn -> phi:Id.t -> pred:Id.t -> value:Id.t -> unit
+(** Rewrite the incoming value for predecessor [pred] of an emitted
+    φ-instruction; needed to close loop back-edges, whose latch value does
+    not exist when the header φ is emitted. *)
+
+(** {1 Typed convenience emitters} *)
+
+val binop : fn -> Instr.binop -> Id.t -> Id.t -> Id.t
+val iadd : fn -> Id.t -> Id.t -> Id.t
+val isub : fn -> Id.t -> Id.t -> Id.t
+val imul : fn -> Id.t -> Id.t -> Id.t
+val sdiv : fn -> Id.t -> Id.t -> Id.t
+val smod : fn -> Id.t -> Id.t -> Id.t
+val fadd : fn -> Id.t -> Id.t -> Id.t
+val fsub : fn -> Id.t -> Id.t -> Id.t
+val fmul : fn -> Id.t -> Id.t -> Id.t
+val fdiv : fn -> Id.t -> Id.t -> Id.t
+val slt : fn -> Id.t -> Id.t -> Id.t
+val sle : fn -> Id.t -> Id.t -> Id.t
+val sgt : fn -> Id.t -> Id.t -> Id.t
+val sge : fn -> Id.t -> Id.t -> Id.t
+val ieq : fn -> Id.t -> Id.t -> Id.t
+val ine : fn -> Id.t -> Id.t -> Id.t
+val flt : fn -> Id.t -> Id.t -> Id.t
+val fle : fn -> Id.t -> Id.t -> Id.t
+val fgt : fn -> Id.t -> Id.t -> Id.t
+val feq : fn -> Id.t -> Id.t -> Id.t
+val land_ : fn -> Id.t -> Id.t -> Id.t
+val lor_ : fn -> Id.t -> Id.t -> Id.t
+
+val unop : fn -> Instr.unop -> Id.t -> Id.t
+val s_to_f : fn -> Id.t -> Id.t
+val f_to_s : fn -> Id.t -> Id.t
+val lnot : fn -> Id.t -> Id.t
+
+val select : fn -> Id.t -> Id.t -> Id.t -> Id.t
+val composite : fn -> ty:Id.t -> Id.t list -> Id.t
+val extract : fn -> Id.t -> int list -> Id.t
+val local_var : fn -> pointee:Id.t -> Id.t
+(** An allocation emitted in place; only valid inside the entry block. *)
+
+val hoisted_var : fn -> pointee:Id.t -> Id.t
+(** An allocation hoisted to the function's entry block (where validators
+    require all [OpVariable]s); usable from any block under construction. *)
+
+val load : fn -> Id.t -> Id.t
+val store : fn -> Id.t -> Id.t -> unit
+val access_chain : fn -> Id.t -> Id.t list -> Id.t
+val call : fn -> Id.t -> Id.t list -> Id.t
+val phi : fn -> ty:Id.t -> (Id.t * Id.t) list -> Id.t
+val copy : fn -> Id.t -> Id.t
+
+(** {1 Terminator shortcuts} *)
+
+val branch : fn -> Id.t -> unit
+val branch_cond : fn -> Id.t -> Id.t -> Id.t -> unit
+val ret : fn -> unit
+val ret_value : fn -> Id.t -> unit
+val kill : fn -> unit

@@ -1,0 +1,70 @@
+(** Control-flow-graph queries over a function. *)
+
+type t = {
+  blocks : Block.t array;
+  index_of : int Id.Map.t;       (** block label -> position in [blocks] *)
+  succs : int list array;        (** successor positions *)
+  preds : int list array;        (** predecessor positions *)
+  reachable : bool array;        (** reachable from the entry block *)
+}
+
+let of_func (f : Func.t) =
+  let blocks = Array.of_list f.Func.blocks in
+  let n = Array.length blocks in
+  let index_of =
+    Array.to_seqi blocks
+    |> Seq.fold_left (fun acc (i, b) -> Id.Map.add b.Block.label i acc) Id.Map.empty
+  in
+  let succs =
+    Array.map
+      (fun b ->
+        List.filter_map (fun l -> Id.Map.find_opt l index_of) (Block.successors b))
+      blocks
+  in
+  let preds = Array.make n [] in
+  Array.iteri (fun i ss -> List.iter (fun s -> preds.(s) <- i :: preds.(s)) ss) succs;
+  Array.iteri (fun i ps -> preds.(i) <- List.rev ps) preds;
+  let reachable = Array.make n false in
+  let rec visit i =
+    if not reachable.(i) then begin
+      reachable.(i) <- true;
+      List.iter visit succs.(i)
+    end
+  in
+  if n > 0 then visit 0;
+  { blocks; index_of; succs; preds; reachable }
+
+let block_index cfg label = Id.Map.find_opt label cfg.index_of
+
+let successors cfg label =
+  match block_index cfg label with
+  | None -> []
+  | Some i -> List.map (fun j -> cfg.blocks.(j).Block.label) cfg.succs.(i)
+
+let predecessors cfg label =
+  match block_index cfg label with
+  | None -> []
+  | Some i -> List.map (fun j -> cfg.blocks.(j).Block.label) cfg.preds.(i)
+
+let is_reachable cfg label =
+  match block_index cfg label with None -> false | Some i -> cfg.reachable.(i)
+
+let reachable_labels cfg =
+  Array.to_list cfg.blocks
+  |> List.filteri (fun i _ -> cfg.reachable.(i))
+  |> List.map (fun b -> b.Block.label)
+
+(** Reverse post-order of the reachable subgraph, as positions. *)
+let reverse_postorder cfg =
+  let n = Array.length cfg.blocks in
+  let visited = Array.make n false in
+  let order = ref [] in
+  let rec visit i =
+    if not visited.(i) then begin
+      visited.(i) <- true;
+      List.iter visit cfg.succs.(i);
+      order := i :: !order
+    end
+  in
+  if n > 0 then visit 0;
+  !order

@@ -1,0 +1,13 @@
+(** Module-level constants ([OpConstant*] analogs).
+
+    Composite constants refer to their constituents by id, so the constant
+    table is ordered: a constituent must be declared before any composite
+    using it. *)
+
+type t =
+  | Bool of bool
+  | Int of int32
+  | Float of float
+  | Composite of Id.t list  (** constituent constant ids *)
+  | Null                    (** zero value of the declared type *)
+[@@deriving show { with_path = false }, eq]

@@ -1,0 +1,185 @@
+(** Textual disassembler.
+
+    The output uses SPIR-V assembly conventions ([%id = OpXxx ...]) and is
+    precisely invertible by {!Asm}; floats are printed in hexadecimal float
+    notation so that round-trips are exact.  The module-level delta between
+    an original and a reduced variant (the artifact a bug report contains —
+    Figure 3 of the paper) is computed on these listings. *)
+
+let pp_id fmt id = Format.fprintf fmt "%%%d" id
+
+let string_of_float_exact f = Printf.sprintf "%h" f
+
+let instr_to_string (i : Instr.t) =
+  let b = Buffer.create 32 in
+  let id x = Buffer.add_string b (" " ^ Id.to_string x) in
+  let lit n = Buffer.add_string b (" " ^ string_of_int n) in
+  (match (i.Instr.result, i.Instr.ty) with
+  | Some r, Some t ->
+      Buffer.add_string b (Id.to_string r ^ " = ");
+      let opname =
+        match i.Instr.op with
+        | Instr.Binop (op, _, _) -> Instr.binop_name op
+        | Instr.Unop (op, _) -> Instr.unop_name op
+        | Instr.Select _ -> "OpSelect"
+        | Instr.CompositeConstruct _ -> "OpCompositeConstruct"
+        | Instr.CompositeExtract _ -> "OpCompositeExtract"
+        | Instr.CompositeInsert _ -> "OpCompositeInsert"
+        | Instr.Load _ -> "OpLoad"
+        | Instr.AccessChain _ -> "OpAccessChain"
+        | Instr.FunctionCall _ -> "OpFunctionCall"
+        | Instr.Phi _ -> "OpPhi"
+        | Instr.CopyObject _ -> "OpCopyObject"
+        | Instr.Variable _ -> "OpVariable"
+        | Instr.Undef -> "OpUndef"
+        | Instr.Store _ | Instr.Nop -> "?"
+      in
+      Buffer.add_string b opname;
+      Buffer.add_string b (" " ^ Id.to_string t)
+  | _ ->
+      let opname =
+        match i.Instr.op with
+        | Instr.Store _ -> "OpStore"
+        | Instr.Nop -> "OpNop"
+        | Instr.FunctionCall _ -> "OpFunctionCall"
+        | _ -> "?"
+      in
+      Buffer.add_string b opname);
+  (match i.Instr.op with
+  | Instr.Binop (_, x, y) -> id x; id y
+  | Instr.Unop (_, x) -> id x
+  | Instr.Select (c, t, f) -> id c; id t; id f
+  | Instr.CompositeConstruct parts -> List.iter id parts
+  | Instr.CompositeExtract (c, path) -> id c; List.iter lit path
+  | Instr.CompositeInsert (obj, c, path) -> id obj; id c; List.iter lit path
+  | Instr.Load p -> id p
+  | Instr.Store (p, v) -> id p; id v
+  | Instr.AccessChain (base, idxs) -> id base; List.iter id idxs
+  | Instr.FunctionCall (f, args) -> id f; List.iter id args
+  | Instr.Phi incoming -> List.iter (fun (v, blk) -> id v; id blk) incoming
+  | Instr.CopyObject x -> id x
+  | Instr.Variable sc -> Buffer.add_string b (" " ^ Ty.storage_class_to_string sc)
+  | Instr.Undef | Instr.Nop -> ());
+  Buffer.contents b
+
+let terminator_to_string = function
+  | Block.Branch t -> "OpBranch " ^ Id.to_string t
+  | Block.BranchConditional (c, t, f) ->
+      Printf.sprintf "OpBranchConditional %s %s %s" (Id.to_string c) (Id.to_string t)
+        (Id.to_string f)
+  | Block.Return -> "OpReturn"
+  | Block.ReturnValue v -> "OpReturnValue " ^ Id.to_string v
+  | Block.Kill -> "OpKill"
+  | Block.Unreachable -> "OpUnreachable"
+
+let control_to_string = function
+  | Func.CNone -> "None"
+  | Func.DontInline -> "DontInline"
+  | Func.AlwaysInline -> "AlwaysInline"
+
+let type_decl_to_string (d : Module_ir.type_decl) =
+  let base = Id.to_string d.Module_ir.td_id ^ " = " in
+  base
+  ^
+  match d.Module_ir.td_ty with
+  | Ty.Void -> "OpTypeVoid"
+  | Ty.Bool -> "OpTypeBool"
+  | Ty.Int -> "OpTypeInt"
+  | Ty.Float -> "OpTypeFloat"
+  | Ty.Vector (c, n) -> Printf.sprintf "OpTypeVector %s %d" (Id.to_string c) n
+  | Ty.Matrix (c, n) -> Printf.sprintf "OpTypeMatrix %s %d" (Id.to_string c) n
+  | Ty.Struct members ->
+      "OpTypeStruct" ^ String.concat "" (List.map (fun x -> " " ^ Id.to_string x) members)
+  | Ty.Array (c, n) -> Printf.sprintf "OpTypeArray %s %d" (Id.to_string c) n
+  | Ty.Pointer (sc, p) ->
+      Printf.sprintf "OpTypePointer %s %s" (Ty.storage_class_to_string sc) (Id.to_string p)
+  | Ty.Func (ret, params) ->
+      "OpTypeFunction " ^ Id.to_string ret
+      ^ String.concat "" (List.map (fun x -> " " ^ Id.to_string x) params)
+
+let const_decl_to_string (d : Module_ir.const_decl) =
+  let base = Id.to_string d.Module_ir.cd_id ^ " = " in
+  let ty = Id.to_string d.Module_ir.cd_ty in
+  base
+  ^
+  match d.Module_ir.cd_value with
+  | Constant.Bool true -> "OpConstantTrue " ^ ty
+  | Constant.Bool false -> "OpConstantFalse " ^ ty
+  | Constant.Int i -> Printf.sprintf "OpConstant %s %ld" ty i
+  | Constant.Float f -> Printf.sprintf "OpConstantFloat %s %s" ty (string_of_float_exact f)
+  | Constant.Composite parts ->
+      Printf.sprintf "OpConstantComposite %s%s" ty
+        (String.concat "" (List.map (fun x -> " " ^ Id.to_string x) parts))
+  | Constant.Null -> "OpConstantNull " ^ ty
+
+let global_decl_to_string (d : Module_ir.global_decl) =
+  Printf.sprintf "%s = OpGlobalVariable %s %S%s" (Id.to_string d.Module_ir.gd_id)
+    (Id.to_string d.Module_ir.gd_ty) d.Module_ir.gd_name
+    (match d.Module_ir.gd_init with
+    | Some init -> " " ^ Id.to_string init
+    | None -> "")
+
+let function_to_lines (f : Func.t) =
+  let header =
+    Printf.sprintf "%s = OpFunction %s %s %S" (Id.to_string f.Func.id)
+      (Id.to_string f.Func.fn_ty) (control_to_string f.Func.control) f.Func.name
+  in
+  let params =
+    List.map
+      (fun (p : Func.param) ->
+        Printf.sprintf "%s = OpFunctionParameter %s" (Id.to_string p.Func.param_id)
+          (Id.to_string p.Func.param_ty))
+      f.Func.params
+  in
+  let block_lines (b : Block.t) =
+    (Id.to_string b.Block.label ^ " = OpLabel")
+    :: (List.map instr_to_string b.Block.instrs @ [ terminator_to_string b.Block.terminator ])
+  in
+  (header :: params) @ List.concat_map block_lines f.Func.blocks @ [ "OpFunctionEnd" ]
+
+let to_lines (m : Module_ir.t) =
+  [ Printf.sprintf "OpIdBound %d" m.Module_ir.id_bound;
+    Printf.sprintf "OpEntryPoint %s" (Id.to_string m.Module_ir.entry) ]
+  @ List.map type_decl_to_string m.Module_ir.types
+  @ List.map const_decl_to_string m.Module_ir.constants
+  @ List.map global_decl_to_string m.Module_ir.globals
+  @ List.concat_map function_to_lines m.Module_ir.functions
+
+let to_string m = String.concat "\n" (to_lines m) ^ "\n"
+
+(** Line-level delta between two modules: lines only in [a] (removed) and
+    lines only in [b] (added), via a longest-common-subsequence diff.  The
+    count [distance a b] is the size metric used for reduction quality. *)
+let diff a b =
+  let la = Array.of_list (to_lines a) and lb = Array.of_list (to_lines b) in
+  let n = Array.length la and p = Array.length lb in
+  (* LCS dynamic program *)
+  let dp = Array.make_matrix (n + 1) (p + 1) 0 in
+  for i = n - 1 downto 0 do
+    for j = p - 1 downto 0 do
+      dp.(i).(j) <-
+        (if String.equal la.(i) lb.(j) then 1 + dp.(i + 1).(j + 1)
+         else max dp.(i + 1).(j) dp.(i).(j + 1))
+    done
+  done;
+  let removed = ref [] and added = ref [] in
+  let i = ref 0 and j = ref 0 in
+  while !i < n && !j < p do
+    if String.equal la.(!i) lb.(!j) then begin incr i; incr j end
+    else if dp.(!i + 1).(!j) >= dp.(!i).(!j + 1) then begin
+      removed := la.(!i) :: !removed;
+      incr i
+    end
+    else begin
+      added := lb.(!j) :: !added;
+      incr j
+    end
+  done;
+  while !i < n do removed := la.(!i) :: !removed; incr i done;
+  while !j < p do added := lb.(!j) :: !added; incr j done;
+  (List.rev !removed, List.rev !added)
+
+let diff_to_string a b =
+  let removed, added = diff a b in
+  String.concat "\n"
+    (List.map (fun l -> "- " ^ l) removed @ List.map (fun l -> "+ " ^ l) added)

@@ -1,0 +1,78 @@
+(** Dominator computation (Cooper–Harvey–Kennedy "a simple, fast dominance
+    algorithm": iterative intersection over reverse post-order).
+
+    Only reachable blocks have dominators.  Queries about unreachable blocks
+    return [false]/[None], matching the validator's relaxed treatment of
+    dead code (SPIR-V's dominance rules are vacuous for unreachable
+    blocks). *)
+
+type t = {
+  cfg : Cfg.t;
+  idom : int array;  (** immediate dominator position; -1 if none/unreachable *)
+}
+
+let compute (cfg : Cfg.t) =
+  let n = Array.length cfg.Cfg.blocks in
+  let idom = Array.make n (-1) in
+  if n > 0 then begin
+    let rpo = Cfg.reverse_postorder cfg in
+    let rpo_number = Array.make n (-1) in
+    List.iteri (fun k i -> rpo_number.(i) <- k) rpo;
+    idom.(0) <- 0;
+    let intersect a b =
+      let a = ref a and b = ref b in
+      while !a <> !b do
+        while rpo_number.(!a) > rpo_number.(!b) do a := idom.(!a) done;
+        while rpo_number.(!b) > rpo_number.(!a) do b := idom.(!b) done
+      done;
+      !a
+    in
+    let changed = ref true in
+    while !changed do
+      changed := false;
+      List.iter
+        (fun i ->
+          if i <> 0 then begin
+            let processed_preds =
+              List.filter (fun p -> idom.(p) >= 0) cfg.Cfg.preds.(i)
+            in
+            match processed_preds with
+            | [] -> ()
+            | first :: rest ->
+                let new_idom = List.fold_left intersect first rest in
+                if idom.(i) <> new_idom then begin
+                  idom.(i) <- new_idom;
+                  changed := true
+                end
+          end)
+        rpo
+    done
+  end;
+  { cfg; idom }
+
+let idom t label =
+  match Cfg.block_index t.cfg label with
+  | None -> None
+  | Some i ->
+      if i = 0 || t.idom.(i) < 0 then None
+      else Some t.cfg.Cfg.blocks.(t.idom.(i)).Block.label
+
+(** [dominates t a b]: every path from entry to [b] passes through [a].
+    Reflexive on reachable blocks; false if either block is unreachable. *)
+let dominates t a b =
+  match (Cfg.block_index t.cfg a, Cfg.block_index t.cfg b) with
+  | Some ia, Some ib ->
+      if not (t.cfg.Cfg.reachable.(ia) && t.cfg.Cfg.reachable.(ib)) then false
+      else if ia = ib then true
+      else begin
+        (* walk the idom chain from b towards the entry looking for a *)
+        let rec walk j =
+          if j = ia then true
+          else if j = 0 || t.idom.(j) < 0 || t.idom.(j) = j then false
+          else walk t.idom.(j)
+        in
+        walk ib
+      end
+  | _, _ -> false
+
+let strictly_dominates t a b = (not (Id.equal a b)) && dominates t a b

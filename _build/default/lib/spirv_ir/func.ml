@@ -1,0 +1,98 @@
+(** Functions: parameters, a list of blocks (the entry block first, and every
+    block preceding the blocks it dominates), and a function-control
+    attribute mirroring SPIR-V's [FunctionControl] mask. *)
+
+type control =
+  | CNone
+  | DontInline
+  | AlwaysInline
+[@@deriving show { with_path = false }, eq]
+
+type param = { param_id : Id.t; param_ty : Id.t }
+[@@deriving show { with_path = false }, eq]
+
+type t = {
+  id : Id.t;
+  name : string;              (** for diagnostics and disassembly only *)
+  fn_ty : Id.t;               (** id of a [Ty.Func] declaration *)
+  control : control;
+  params : param list;
+  blocks : Block.t list;
+}
+[@@deriving show { with_path = false }, eq]
+
+let entry_block f =
+  match f.blocks with
+  | [] -> invalid_arg ("Func.entry_block: function with no blocks: " ^ f.name)
+  | b :: _ -> b
+
+let find_block f label =
+  List.find_opt (fun (b : Block.t) -> Id.equal b.label label) f.blocks
+
+let block_exn f label =
+  match find_block f label with
+  | Some b -> b
+  | None ->
+      invalid_arg
+        (Printf.sprintf "Func.block_exn: no block %s in %s" (Id.to_string label)
+           f.name)
+
+let replace_block f (b : Block.t) =
+  {
+    f with
+    blocks =
+      List.map (fun (b' : Block.t) -> if Id.equal b'.label b.label then b else b') f.blocks;
+  }
+
+(** Insert [nb] immediately after the block labelled [after]. *)
+let insert_block_after f ~after (nb : Block.t) =
+  let rec go = function
+    | [] -> [ nb ]
+    | (b : Block.t) :: rest ->
+        if Id.equal b.label after then b :: nb :: rest else b :: go rest
+  in
+  { f with blocks = go f.blocks }
+
+let remove_block f label =
+  { f with blocks = List.filter (fun (b : Block.t) -> not (Id.equal b.label label)) f.blocks }
+
+(** All instructions of the function in block order. *)
+let all_instrs f = List.concat_map (fun (b : Block.t) -> b.instrs) f.blocks
+
+(** (block label, instr) for every instruction. *)
+let instrs_with_blocks f =
+  List.concat_map
+    (fun (b : Block.t) -> List.map (fun i -> (b.label, i)) b.instrs)
+    f.blocks
+
+(** Map from defined id to (block label, instr). *)
+let definition_sites f =
+  List.fold_left
+    (fun acc (b : Block.t) ->
+      List.fold_left
+        (fun acc (i : Instr.t) ->
+          match i.result with
+          | Some r -> Id.Map.add r (b.label, i) acc
+          | None -> acc)
+        acc b.instrs)
+    Id.Map.empty f.blocks
+
+(** Ids of instructions that use [id] anywhere in the function (operands or
+    terminators).  Returns the block labels containing such uses. *)
+let blocks_using f id =
+  List.filter_map
+    (fun (b : Block.t) ->
+      let used_in_instrs =
+        List.exists (fun i -> List.mem id (Instr.used_ids i)) b.instrs
+      in
+      let used_in_term = List.mem id (Block.terminator_used_ids b.terminator) in
+      if used_in_instrs || used_in_term then Some b.label else None)
+    f.blocks
+
+let substitute_uses ~old_id ~new_id f =
+  { f with blocks = List.map (Block.substitute_uses ~old_id ~new_id) f.blocks }
+
+let return_ty_of_fn_ty (types : (Id.t * Ty.t) list) fn_ty =
+  match List.assoc_opt fn_ty types with
+  | Some (Ty.Func (ret, _)) -> Some ret
+  | Some _ | None -> None

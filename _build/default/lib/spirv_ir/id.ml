@@ -1,0 +1,9 @@
+type t = int
+
+let compare = Int.compare
+let equal = Int.equal
+let pp fmt id = Format.fprintf fmt "%%%d" id
+let to_string id = "%" ^ string_of_int id
+
+module Set = Set.Make (Int)
+module Map = Map.Make (Int)

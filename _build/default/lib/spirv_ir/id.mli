@@ -1,0 +1,20 @@
+(** Result ids.
+
+    Every type, constant, global variable, function, block and
+    result-producing instruction in a module is named by a unique positive
+    integer id, exactly as in SPIR-V.  Transformations that need fresh ids
+    receive them explicitly as parameters (rather than allocating on the
+    fly), which is what makes transformation sequences stable under delta
+    debugging (paper, section 3.3, "maximizing independence"). *)
+
+type t = int
+
+val compare : t -> t -> int
+val equal : t -> t -> bool
+val pp : Format.formatter -> t -> unit
+(** Prints in SPIR-V assembly style: [%42]. *)
+
+val to_string : t -> string
+
+module Set : Set.S with type elt = t
+module Map : Map.S with type key = t

@@ -1,0 +1,196 @@
+(** Instructions.
+
+    The instruction set is the Vulkan-fragment-shader subset of SPIR-V that
+    the paper's transformations exercise: integer/float/boolean arithmetic,
+    comparisons, composite construction/extraction, memory access through
+    typed pointers, function calls, [OpPhi] and [OpCopyObject] (the natural
+    carrier for {e synonym} facts). *)
+
+type binop =
+  | IAdd | ISub | IMul | SDiv | SMod
+  | FAdd | FSub | FMul | FDiv
+  | LogicalAnd | LogicalOr
+  | IEqual | INotEqual
+  | SLessThan | SLessThanEqual | SGreaterThan | SGreaterThanEqual
+  | FOrdEqual | FOrdNotEqual
+  | FOrdLessThan | FOrdLessThanEqual | FOrdGreaterThan | FOrdGreaterThanEqual
+[@@deriving show { with_path = false }, eq]
+
+type unop =
+  | SNegate | FNegate | LogicalNot
+  | ConvertSToF | ConvertFToS
+[@@deriving show { with_path = false }, eq]
+
+type op =
+  | Binop of binop * Id.t * Id.t
+  | Unop of unop * Id.t
+  | Select of Id.t * Id.t * Id.t          (** condition, then-value, else-value *)
+  | CompositeConstruct of Id.t list
+  | CompositeExtract of Id.t * int list   (** composite, literal indices *)
+  | CompositeInsert of Id.t * Id.t * int list  (** object, composite, indices *)
+  | Load of Id.t                          (** pointer *)
+  | Store of Id.t * Id.t                  (** pointer, value; no result *)
+  | AccessChain of Id.t * Id.t list       (** base pointer, index ids *)
+  | FunctionCall of Id.t * Id.t list      (** callee function id, arguments *)
+  | Phi of (Id.t * Id.t) list             (** (value id, predecessor block id) *)
+  | CopyObject of Id.t
+  | Variable of Ty.storage_class          (** function-local allocation *)
+  | Undef
+  | Nop
+[@@deriving show { with_path = false }, eq]
+
+type t = {
+  result : Id.t option;  (** [None] for [Store] and [Nop] *)
+  ty : Id.t option;      (** result type id; [None] iff [result] is [None] *)
+  op : op;
+}
+[@@deriving show { with_path = false }, eq]
+
+let make ~result ~ty op = { result = Some result; ty = Some ty; op }
+let make_void op = { result = None; ty = None; op }
+
+let is_phi i = match i.op with Phi _ -> true | _ -> false
+
+let has_side_effect i =
+  match i.op with
+  | Store _ | FunctionCall _ -> true
+  | Variable _ -> true (* removing an allocation changes pointer validity *)
+  | Binop _ | Unop _ | Select _ | CompositeConstruct _ | CompositeExtract _
+  | CompositeInsert _ | Load _ | AccessChain _ | Phi _ | CopyObject _ | Undef
+  | Nop ->
+      false
+
+(** Ids used (read) by an instruction's operands, excluding the result. *)
+let used_ids i =
+  match i.op with
+  | Binop (_, a, b) -> [ a; b ]
+  | Unop (_, a) -> [ a ]
+  | Select (c, t, f) -> [ c; t; f ]
+  | CompositeConstruct xs -> xs
+  | CompositeExtract (c, _) -> [ c ]
+  | CompositeInsert (obj, c, _) -> [ obj; c ]
+  | Load p -> [ p ]
+  | Store (p, v) -> [ p; v ]
+  | AccessChain (base, idxs) -> base :: idxs
+  | FunctionCall (f, args) -> f :: args
+  | Phi incoming -> List.concat_map (fun (v, b) -> [ v; b ]) incoming
+  | CopyObject x -> [ x ]
+  | Variable _ | Undef | Nop -> []
+
+(** Replace every use of [old_id] with [new_id] in operands (not result). *)
+let substitute_uses ~old_id ~new_id i =
+  let s x = if Id.equal x old_id then new_id else x in
+  let op =
+    match i.op with
+    | Binop (b, x, y) -> Binop (b, s x, s y)
+    | Unop (u, x) -> Unop (u, s x)
+    | Select (c, t, f) -> Select (s c, s t, s f)
+    | CompositeConstruct xs -> CompositeConstruct (List.map s xs)
+    | CompositeExtract (c, idxs) -> CompositeExtract (s c, idxs)
+    | CompositeInsert (obj, c, idxs) -> CompositeInsert (s obj, s c, idxs)
+    | Load p -> Load (s p)
+    | Store (p, v) -> Store (s p, s v)
+    | AccessChain (base, idxs) -> AccessChain (s base, List.map s idxs)
+    | FunctionCall (f, args) -> FunctionCall (s f, List.map s args)
+    | Phi incoming -> Phi (List.map (fun (v, b) -> (s v, b)) incoming)
+    | CopyObject x -> CopyObject (s x)
+    | (Variable _ | Undef | Nop) as op -> op
+  in
+  { i with op }
+
+(** Replace the use at position [n] of {!used_ids} with [new_id].  Returns
+    [None] when [n] is out of range or the slot is a φ predecessor label
+    (block labels are not value uses). *)
+let substitute_nth_use ~n ~new_id i =
+  let counter = ref (-1) in
+  let s x =
+    incr counter;
+    if !counter = n then new_id else x
+  in
+  let keep x =
+    incr counter;
+    x
+  in
+  (* substitution must visit operands in [used_ids] order; constructor
+     arguments evaluate right-to-left in OCaml, so sequence explicitly *)
+  let map_in_order f xs =
+    List.rev (List.fold_left (fun acc x -> f x :: acc) [] xs)
+  in
+  let op =
+    match i.op with
+    | Binop (b, x, y) ->
+        let x = s x in
+        let y = s y in
+        Binop (b, x, y)
+    | Unop (u, x) -> Unop (u, s x)
+    | Select (c, t, f) ->
+        let c = s c in
+        let t = s t in
+        let f = s f in
+        Select (c, t, f)
+    | CompositeConstruct xs -> CompositeConstruct (map_in_order s xs)
+    | CompositeExtract (c, idxs) -> CompositeExtract (s c, idxs)
+    | CompositeInsert (obj, c, idxs) ->
+        let obj = s obj in
+        let c = s c in
+        CompositeInsert (obj, c, idxs)
+    | Load p -> Load (s p)
+    | Store (p, v) ->
+        let p = s p in
+        let v = s v in
+        Store (p, v)
+    | AccessChain (base, idxs) ->
+        let base = s base in
+        let idxs = map_in_order s idxs in
+        AccessChain (base, idxs)
+    | FunctionCall (f, args) ->
+        let f = keep f in
+        let args = map_in_order s args in
+        FunctionCall (f, args)
+    | Phi incoming ->
+        Phi
+          (map_in_order
+             (fun (v, b) ->
+               let v = s v in
+               let b = keep b in
+               (v, b))
+             incoming)
+    | CopyObject x -> CopyObject (s x)
+    | (Variable _ | Undef | Nop) as op -> op
+  in
+  (* the callee slot and φ labels are positions in [used_ids] but not
+     replaceable value uses; reject selections landing on them *)
+  let replaceable =
+    match i.op with
+    | FunctionCall _ -> n >= 1
+    | Phi _ -> n mod 2 = 0
+    | _ -> true
+  in
+  if n >= 0 && n < List.length (used_ids i) && replaceable then Some { i with op }
+  else None
+
+let binop_name = function
+  | IAdd -> "OpIAdd" | ISub -> "OpISub" | IMul -> "OpIMul"
+  | SDiv -> "OpSDiv" | SMod -> "OpSMod"
+  | FAdd -> "OpFAdd" | FSub -> "OpFSub" | FMul -> "OpFMul" | FDiv -> "OpFDiv"
+  | LogicalAnd -> "OpLogicalAnd" | LogicalOr -> "OpLogicalOr"
+  | IEqual -> "OpIEqual" | INotEqual -> "OpINotEqual"
+  | SLessThan -> "OpSLessThan" | SLessThanEqual -> "OpSLessThanEqual"
+  | SGreaterThan -> "OpSGreaterThan" | SGreaterThanEqual -> "OpSGreaterThanEqual"
+  | FOrdEqual -> "OpFOrdEqual" | FOrdNotEqual -> "OpFOrdNotEqual"
+  | FOrdLessThan -> "OpFOrdLessThan" | FOrdLessThanEqual -> "OpFOrdLessThanEqual"
+  | FOrdGreaterThan -> "OpFOrdGreaterThan"
+  | FOrdGreaterThanEqual -> "OpFOrdGreaterThanEqual"
+
+let all_binops =
+  [ IAdd; ISub; IMul; SDiv; SMod; FAdd; FSub; FMul; FDiv; LogicalAnd;
+    LogicalOr; IEqual; INotEqual; SLessThan; SLessThanEqual; SGreaterThan;
+    SGreaterThanEqual; FOrdEqual; FOrdNotEqual; FOrdLessThan;
+    FOrdLessThanEqual; FOrdGreaterThan; FOrdGreaterThanEqual ]
+
+let unop_name = function
+  | SNegate -> "OpSNegate" | FNegate -> "OpFNegate"
+  | LogicalNot -> "OpLogicalNot"
+  | ConvertSToF -> "OpConvertSToF" | ConvertFToS -> "OpConvertFToS"
+
+let all_unops = [ SNegate; FNegate; LogicalNot; ConvertSToF; ConvertFToS ]

@@ -1,0 +1,290 @@
+type trap =
+  | Step_limit_exceeded
+  | Missing_uniform of string
+  | Invalid_module of string
+
+let trap_to_string = function
+  | Step_limit_exceeded -> "step limit exceeded"
+  | Missing_uniform u -> "missing uniform: " ^ u
+  | Invalid_module msg -> "invalid module: " ^ msg
+
+type outcome = (Image.pixel, trap) result
+
+exception Trap of trap
+exception Kill_fragment
+
+let invalid fmt = Printf.ksprintf (fun s -> raise (Trap (Invalid_module s))) fmt
+
+(* Runtime bindings: SSA values or pointers into allocated cells. *)
+type rvalue =
+  | Val of Value.t
+  | Ptr of ptr
+
+and ptr = { cell : Value.t ref; path : int list }
+
+type state = {
+  m : Module_ir.t;
+  mutable steps : int;
+  step_limit : int;
+  globals : rvalue Id.Map.t;  (* global id -> Ptr *)
+}
+
+let tick st =
+  st.steps <- st.steps + 1;
+  if st.steps > st.step_limit then raise (Trap Step_limit_exceeded)
+
+let lookup st env id =
+  match Id.Map.find_opt id env with
+  | Some rv -> rv
+  | None -> (
+      match Id.Map.find_opt id st.globals with
+      | Some rv -> rv
+      | None -> (
+          match Module_ir.find_constant st.m id with
+          | Some _ -> Val (Module_ir.const_value st.m id)
+          | None -> invalid "unbound id %s" (Id.to_string id)))
+
+let lookup_val st env id =
+  match lookup st env id with
+  | Val v -> v
+  | Ptr _ -> invalid "id %s is a pointer where a value was expected" (Id.to_string id)
+
+let lookup_ptr st env id =
+  match lookup st env id with
+  | Ptr p -> p
+  | Val _ -> invalid "id %s is a value where a pointer was expected" (Id.to_string id)
+
+let load p = Value.extract_at_path !(p.cell) (List.rev p.path)
+
+let store p v = p.cell := Value.update_at_path !(p.cell) (List.rev p.path) v
+
+let index_of_value = function
+  | Value.VInt i -> Int32.to_int i
+  | Value.VBool _ | Value.VFloat _ | Value.VComposite _ ->
+      raise (Trap (Invalid_module "non-integer index in access chain"))
+
+(* Execute function [f] with arguments bound; returns the return value. *)
+let rec exec_function st (f : Func.t) (args : rvalue list) : Value.t option =
+  let env =
+    try
+      List.fold_left2
+        (fun env (p : Func.param) a -> Id.Map.add p.Func.param_id a env)
+        Id.Map.empty f.Func.params args
+    with Invalid_argument _ ->
+      invalid "arity mismatch calling %s" f.Func.name
+  in
+  let entry = Func.entry_block f in
+  exec_block st f env ~prev:None entry
+
+and exec_block st f env ~prev (b : Block.t) : Value.t option =
+  (* Phis are evaluated simultaneously against the environment at the edge. *)
+  let phi_instrs, rest =
+    let rec split acc = function
+      | (i : Instr.t) :: tl when Instr.is_phi i -> split (i :: acc) tl
+      | tl -> (List.rev acc, tl)
+    in
+    split [] b.Block.instrs
+  in
+  let env =
+    match prev with
+    | None ->
+        if phi_instrs <> [] then invalid "phi in entry block %s" (Id.to_string b.Block.label);
+        env
+    | Some pred_label ->
+        let bindings =
+          List.map
+            (fun (i : Instr.t) ->
+              match (i.Instr.result, i.Instr.op) with
+              | Some r, Instr.Phi incoming -> (
+                  match
+                    List.find_opt (fun (_, blk) -> Id.equal blk pred_label) incoming
+                  with
+                  | Some (v, _) -> (r, lookup st env v)
+                  | None ->
+                      invalid "phi %s lacks an entry for predecessor %s"
+                        (Id.to_string r) (Id.to_string pred_label))
+              | _ -> invalid "malformed phi")
+            phi_instrs
+        in
+        List.fold_left (fun env (r, v) -> Id.Map.add r v env) env bindings
+  in
+  let env = List.fold_left (exec_instr st f) env rest in
+  tick st;
+  match b.Block.terminator with
+  | Block.Branch target ->
+      exec_block st f env ~prev:(Some b.Block.label) (Func.block_exn f target)
+  | Block.BranchConditional (c, t_target, f_target) -> (
+      match lookup_val st env c with
+      | Value.VBool cond ->
+          let target = if cond then t_target else f_target in
+          exec_block st f env ~prev:(Some b.Block.label) (Func.block_exn f target)
+      | _ -> invalid "branch condition %s is not a bool" (Id.to_string c))
+  | Block.Return -> None
+  | Block.ReturnValue v -> Some (lookup_val st env v)
+  | Block.Kill -> raise Kill_fragment
+  | Block.Unreachable -> invalid "executed OpUnreachable in %s" (Id.to_string b.Block.label)
+
+and exec_instr st _f env (i : Instr.t) =
+  tick st;
+  let bind r rv = Id.Map.add r rv env in
+  match (i.Instr.result, i.Instr.op) with
+  | _, Instr.Nop -> env
+  | None, Instr.Store (p, v) ->
+      let ptr = lookup_ptr st env p in
+      store ptr (lookup_val st env v);
+      env
+  | Some r, Instr.Binop (op, a, b) -> (
+      try bind r (Val (Ops.eval_binop op (lookup_val st env a) (lookup_val st env b)))
+      with Ops.Type_error msg -> invalid "%s" msg)
+  | Some r, Instr.Unop (op, a) -> (
+      try bind r (Val (Ops.eval_unop op (lookup_val st env a)))
+      with Ops.Type_error msg -> invalid "%s" msg)
+  | Some r, Instr.Select (c, tv, fv) -> (
+      match lookup_val st env c with
+      | Value.VBool b -> bind r (lookup st env (if b then tv else fv))
+      | _ -> invalid "select condition is not a bool")
+  | Some r, Instr.CompositeConstruct parts ->
+      bind r
+        (Val (Value.VComposite (Array.of_list (List.map (lookup_val st env) parts))))
+  | Some r, Instr.CompositeExtract (c, path) ->
+      bind r (Val (Value.extract_at_path (lookup_val st env c) path))
+  | Some r, Instr.CompositeInsert (obj, c, path) ->
+      bind r
+        (Val
+           (Value.update_at_path (lookup_val st env c) path (lookup_val st env obj)))
+  | Some r, Instr.Load p -> bind r (Val (load (lookup_ptr st env p)))
+  | Some r, Instr.AccessChain (base, idxs) ->
+      let ptr = lookup_ptr st env base in
+      let path =
+        List.map (fun idx -> index_of_value (lookup_val st env idx)) idxs
+      in
+      bind r (Ptr { ptr with path = List.rev_append path ptr.path })
+  | Some r, Instr.FunctionCall (callee, args) -> (
+      let g = match Module_ir.find_function st.m callee with
+        | Some g -> g
+        | None -> invalid "call to unknown function %s" (Id.to_string callee)
+      in
+      let arg_values = List.map (lookup st env) args in
+      match exec_function st g arg_values with
+      | Some v -> bind r (Val v)
+      | None -> bind r (Val (Value.VComposite [||])))
+  | None, Instr.FunctionCall (callee, args) ->
+      let g = match Module_ir.find_function st.m callee with
+        | Some g -> g
+        | None -> invalid "call to unknown function %s" (Id.to_string callee)
+      in
+      let arg_values = List.map (lookup st env) args in
+      ignore (exec_function st g arg_values);
+      env
+  | Some _, Instr.Phi _ -> invalid "phi after non-phi instruction"
+  | Some r, Instr.CopyObject x -> bind r (lookup st env x)
+  | Some r, Instr.Variable Ty.Function -> (
+      match i.Instr.ty with
+      | Some ptr_ty -> (
+          match Module_ir.type_exn st.m ptr_ty with
+          | Ty.Pointer (_, pointee) ->
+              bind r (Ptr { cell = ref (Module_ir.zero_value st.m pointee); path = [] })
+          | _ -> invalid "variable %s has non-pointer type" (Id.to_string r))
+      | None -> invalid "variable without a type")
+  | Some _, Instr.Variable _ -> invalid "function-scope variable with bad storage class"
+  | Some r, Instr.Undef -> (
+      match i.Instr.ty with
+      | Some ty -> bind r (Val (Module_ir.zero_value st.m ty))
+      | None -> invalid "undef without a type")
+  | None, _ -> invalid "instruction missing a result id"
+  | Some _, Instr.Store _ -> invalid "store with a result id"
+
+let make_frag_coord m ~frag_x ~frag_y =
+  ignore m;
+  Value.VComposite
+    [| Value.VFloat (float_of_int frag_x +. 0.5); Value.VFloat (float_of_int frag_y +. 0.5) |]
+
+let allocate_globals m (input : Input.t) ~frag_x ~frag_y =
+  List.fold_left
+    (fun acc (g : Module_ir.global_decl) ->
+      let pointee =
+        match Module_ir.find_type m g.Module_ir.gd_ty with
+        | Some (Ty.Pointer (_, p)) -> p
+        | Some _ | None ->
+            raise (Trap (Invalid_module ("global with non-pointer type: " ^ g.Module_ir.gd_name)))
+      in
+      let storage =
+        match Module_ir.find_type m g.Module_ir.gd_ty with
+        | Some (Ty.Pointer (sc, _)) -> sc
+        | Some _ | None -> Ty.Private
+      in
+      let initial =
+        match storage with
+        | Ty.Uniform -> (
+            match Input.find_uniform input g.Module_ir.gd_name with
+            | Some v -> v
+            | None -> raise (Trap (Missing_uniform g.Module_ir.gd_name)))
+        | Ty.Input -> make_frag_coord m ~frag_x ~frag_y
+        | Ty.Private | Ty.Output | Ty.Function -> (
+            match g.Module_ir.gd_init with
+            | Some c -> Module_ir.const_value m c
+            | None -> Module_ir.zero_value m pointee)
+      in
+      Id.Map.add g.Module_ir.gd_id (Ptr { cell = ref initial; path = [] }) acc)
+    Id.Map.empty m.Module_ir.globals
+
+let default_step_limit = 100_000
+
+let run_fragment ?(step_limit = default_step_limit) m input ~frag_x ~frag_y : outcome =
+  try
+    let globals = allocate_globals m input ~frag_x ~frag_y in
+    let st = { m; steps = 0; step_limit; globals } in
+    let entry = Module_ir.entry_function m in
+    let result =
+      try
+        ignore (exec_function st entry []);
+        let output_global =
+          List.find_opt
+            (fun (g : Module_ir.global_decl) ->
+              match Module_ir.find_type m g.Module_ir.gd_ty with
+              | Some (Ty.Pointer (Ty.Output, _)) -> true
+              | Some _ | None -> false)
+            m.Module_ir.globals
+        in
+        match output_global with
+        | Some g -> (
+            match Id.Map.find_opt g.Module_ir.gd_id globals with
+            | Some (Ptr p) -> Image.Color (load p)
+            | Some (Val _) | None -> raise (Trap (Invalid_module "output not allocated")))
+        | None -> Image.Color (Value.VComposite [||])
+      with Kill_fragment -> Image.Killed
+    in
+    Ok result
+  with Trap t -> Error t
+
+let render ?(step_limit = default_step_limit) m input =
+  let img = Image.create ~width:input.Input.width ~height:input.Input.height in
+  let result = ref (Ok img) in
+  (try
+     for y = 0 to input.Input.height - 1 do
+       for x = 0 to input.Input.width - 1 do
+         match run_fragment ~step_limit m input ~frag_x:x ~frag_y:y with
+         | Ok px -> Image.set img ~x ~y px
+         | Error t ->
+             result := Error t;
+             raise Exit
+       done
+     done
+   with Exit -> ());
+  !result
+
+let run_function ?(step_limit = default_step_limit) m ~fn ~args =
+  try
+    let input = Input.make [] in
+    let globals = allocate_globals m input ~frag_x:0 ~frag_y:0 in
+    let st = { m; steps = 0; step_limit; globals } in
+    let f = Module_ir.function_exn m fn in
+    let result =
+      try exec_function st f (List.map (fun v -> Val v) args)
+      with Kill_fragment -> None
+    in
+    Ok result
+  with Trap t -> Error t
+
+let well_defined ?step_limit m input =
+  match render ?step_limit m input with Ok _ -> true | Error _ -> false

@@ -1,0 +1,112 @@
+(** Total evaluation of scalar/vector operations.
+
+    The reference semantics is deliberately {e total}: integer division and
+    modulo by zero yield 0, float division by zero yields 0.0, and conversion
+    of non-finite floats yields 0.  This removes undefined behaviour from the
+    language by construction, which is what entitles transformation-based
+    testing to skip external UB-analysis tooling (paper, section 1). *)
+
+exception Type_error of string
+
+let type_error fmt = Printf.ksprintf (fun s -> raise (Type_error s)) fmt
+
+let sdiv a b = if Int32.equal b 0l then 0l else Int32.div a b
+let smod a b = if Int32.equal b 0l then 0l else Int32.rem a b
+let fdiv a b = if Float.equal b 0.0 then 0.0 else a /. b
+
+let fsanitize f = if Float.is_finite f then f else 0.0
+
+let int_binop (op : Instr.binop) a b =
+  match op with
+  | Instr.IAdd -> Some (Int32.add a b)
+  | Instr.ISub -> Some (Int32.sub a b)
+  | Instr.IMul -> Some (Int32.mul a b)
+  | Instr.SDiv -> Some (sdiv a b)
+  | Instr.SMod -> Some (smod a b)
+  | _ -> None
+
+let float_binop (op : Instr.binop) a b =
+  match op with
+  | Instr.FAdd -> Some (fsanitize (a +. b))
+  | Instr.FSub -> Some (fsanitize (a -. b))
+  | Instr.FMul -> Some (fsanitize (a *. b))
+  | Instr.FDiv -> Some (fsanitize (fdiv a b))
+  | _ -> None
+
+let int_cmp (op : Instr.binop) a b =
+  let c = Int32.compare a b in
+  match op with
+  | Instr.IEqual -> Some (c = 0)
+  | Instr.INotEqual -> Some (c <> 0)
+  | Instr.SLessThan -> Some (c < 0)
+  | Instr.SLessThanEqual -> Some (c <= 0)
+  | Instr.SGreaterThan -> Some (c > 0)
+  | Instr.SGreaterThanEqual -> Some (c >= 0)
+  | _ -> None
+
+let float_cmp (op : Instr.binop) a b =
+  match op with
+  | Instr.FOrdEqual -> Some (Float.equal a b)
+  | Instr.FOrdNotEqual -> Some (not (Float.equal a b))
+  | Instr.FOrdLessThan -> Some (a < b)
+  | Instr.FOrdLessThanEqual -> Some (a <= b)
+  | Instr.FOrdGreaterThan -> Some (a > b)
+  | Instr.FOrdGreaterThanEqual -> Some (a >= b)
+  | _ -> None
+
+let bool_binop (op : Instr.binop) a b =
+  match op with
+  | Instr.LogicalAnd -> Some (a && b)
+  | Instr.LogicalOr -> Some (a || b)
+  | _ -> None
+
+(** Evaluate a binop on scalar values; vectors are handled componentwise for
+    arithmetic operations by {!eval_binop}. *)
+let scalar_binop op (a : Value.t) (b : Value.t) : Value.t =
+  match (a, b) with
+  | Value.VInt x, Value.VInt y -> (
+      match int_binop op x y with
+      | Some r -> Value.VInt r
+      | None -> (
+          match int_cmp op x y with
+          | Some r -> Value.VBool r
+          | None -> type_error "binop %s on ints" (Instr.binop_name op)))
+  | Value.VFloat x, Value.VFloat y -> (
+      match float_binop op x y with
+      | Some r -> Value.VFloat r
+      | None -> (
+          match float_cmp op x y with
+          | Some r -> Value.VBool r
+          | None -> type_error "binop %s on floats" (Instr.binop_name op)))
+  | Value.VBool x, Value.VBool y -> (
+      match bool_binop op x y with
+      | Some r -> Value.VBool r
+      | None -> type_error "binop %s on bools" (Instr.binop_name op))
+  | _, _ -> type_error "binop %s: operand kind mismatch" (Instr.binop_name op)
+
+let eval_binop op (a : Value.t) (b : Value.t) : Value.t =
+  match (a, b) with
+  | Value.VComposite xs, Value.VComposite ys when Array.length xs = Array.length ys ->
+      Value.VComposite (Array.mapi (fun i x -> scalar_binop op x ys.(i)) xs)
+  | _, _ -> scalar_binop op a b
+
+let eval_unop (op : Instr.unop) (v : Value.t) : Value.t =
+  let scalar v =
+    match (op, v) with
+    | Instr.SNegate, Value.VInt x -> Value.VInt (Int32.neg x)
+    | Instr.FNegate, Value.VFloat x -> Value.VFloat (fsanitize (-.x))
+    | Instr.LogicalNot, Value.VBool b -> Value.VBool (not b)
+    | Instr.ConvertSToF, Value.VInt x -> Value.VFloat (Int32.to_float x)
+    | Instr.ConvertFToS, Value.VFloat x ->
+        let x = fsanitize x in
+        let clamped =
+          if x >= Int32.to_float Int32.max_int then Int32.max_int
+          else if x <= Int32.to_float Int32.min_int then Int32.min_int
+          else Int32.of_float x
+        in
+        Value.VInt clamped
+    | _, _ -> type_error "unop %s: bad operand" (Instr.unop_name op)
+  in
+  match v with
+  | Value.VComposite xs -> Value.VComposite (Array.map scalar xs)
+  | Value.VBool _ | Value.VInt _ | Value.VFloat _ -> scalar v

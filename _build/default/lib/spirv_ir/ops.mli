@@ -1,0 +1,26 @@
+(** Total evaluation of scalar/vector operations.
+
+    The reference semantics is deliberately {e total}: integer division and
+    modulo by zero yield 0, float division by zero yields 0.0, non-finite
+    float results are sanitized to 0.0, and conversions clamp.  This removes
+    undefined behaviour from the language by construction — the property
+    that lets transformation-based testing skip the external UB-analysis
+    tooling that C-level reducers depend on (paper, section 1). *)
+
+exception Type_error of string
+(** Raised on kind mismatches; unreachable for modules that pass
+    {!Validate.check}. *)
+
+val sdiv : int32 -> int32 -> int32
+val smod : int32 -> int32 -> int32
+val fdiv : float -> float -> float
+val fsanitize : float -> float
+(** 0.0 for NaN and infinities, identity otherwise. *)
+
+val eval_binop : Instr.binop -> Value.t -> Value.t -> Value.t
+(** Arithmetic lifts componentwise over equal-length vectors; comparisons
+    and logical operators are scalar. *)
+
+val eval_unop : Instr.unop -> Value.t -> Value.t
+(** Lifts componentwise over vectors; [ConvertFToS] truncates and clamps to
+    the int32 range. *)

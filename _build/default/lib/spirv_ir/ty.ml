@@ -1,0 +1,50 @@
+(** Types.
+
+    A module carries a table of type declarations; aggregate types refer to
+    their component types by id, mirroring SPIR-V's [OpType*] instructions.
+    Scalars are [Bool], 32-bit signed [Int] and [Float] (IEEE double in the
+    reference interpreter; the evaluation never depends on float width). *)
+
+type storage_class =
+  | Function   (** function-local variable *)
+  | Private    (** module-scope mutable variable *)
+  | Uniform    (** read-only shader input, value supplied by the test input *)
+  | Input      (** per-fragment builtin input (e.g. the fragment coordinate) *)
+  | Output     (** fragment output (the color) *)
+[@@deriving show { with_path = false }, eq]
+
+type t =
+  | Void
+  | Bool
+  | Int
+  | Float
+  | Vector of Id.t * int    (** scalar component type id, size 2..4 *)
+  | Matrix of Id.t * int    (** column (vector) type id, column count 2..4 *)
+  | Struct of Id.t list     (** member type ids *)
+  | Array of Id.t * int     (** element type id, length >= 1 *)
+  | Pointer of storage_class * Id.t  (** pointee type id *)
+  | Func of Id.t * Id.t list         (** return type id, parameter type ids *)
+[@@deriving show { with_path = false }, eq]
+
+let is_scalar = function Bool | Int | Float -> true | _ -> false
+
+let is_numeric = function Int | Float -> true | _ -> false
+
+let is_composite = function
+  | Vector _ | Matrix _ | Struct _ | Array _ -> true
+  | Void | Bool | Int | Float | Pointer _ | Func _ -> false
+
+let storage_class_to_string = function
+  | Function -> "Function"
+  | Private -> "Private"
+  | Uniform -> "Uniform"
+  | Input -> "Input"
+  | Output -> "Output"
+
+let storage_class_of_string = function
+  | "Function" -> Some Function
+  | "Private" -> Some Private
+  | "Uniform" -> Some Uniform
+  | "Input" -> Some Input
+  | "Output" -> Some Output
+  | _ -> None

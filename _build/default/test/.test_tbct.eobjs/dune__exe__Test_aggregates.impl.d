@@ -1,0 +1,1 @@
+test/test_aggregates.ml: Alcotest Asm Builder Disasm Image Input Instr Interp Module_ir Spirv_ir Validate Value

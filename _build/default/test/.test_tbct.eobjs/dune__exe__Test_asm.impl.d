@@ -1,0 +1,1 @@
+test/test_asm.ml: Alcotest Asm Builder Compilers Disasm Float Generator Image Input Int64 Interp List Module_ir Printf QCheck QCheck_alcotest Spirv_ir Str String Tbct Ty Validate Value

@@ -1,0 +1,1 @@
+test/test_bb_lang.ml: Alcotest Bb_lang List Option Printf QCheck QCheck_alcotest Tbct

@@ -1,0 +1,1 @@
+test/test_compilers.ml: Alcotest Builder Compilers Corpus Func Generator Id Image Input Interp Lazy List Module_ir Spirv_fuzz Spirv_ir Str String Tbct Validate

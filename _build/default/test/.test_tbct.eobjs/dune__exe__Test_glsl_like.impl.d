@@ -1,0 +1,1 @@
+test/test_glsl_like.ml: Alcotest Block Corpus Func Glsl_like Image Input Interp Lazy List Module_ir Spirv_ir Str String Validate Value

@@ -1,0 +1,1 @@
+test/test_glsl_like.mli:

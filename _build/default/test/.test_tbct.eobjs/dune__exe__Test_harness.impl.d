@@ -1,0 +1,1 @@
+test/test_harness.ml: Alcotest Array Compilers Corpus Float Harness Lazy List QCheck QCheck_alcotest Spirv_ir String

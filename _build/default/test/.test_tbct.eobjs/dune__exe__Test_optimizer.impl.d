@@ -1,0 +1,1 @@
+test/test_optimizer.ml: Alcotest Builder Compilers Constant Corpus Func Id Image Input Instr Interp Lazy List Module_ir Option Spirv_ir Ty Validate Value

@@ -1,0 +1,1 @@
+test/test_spirv_fuzz.ml: Alcotest Asm Block Disasm Func Generator Id Image Interp List Module_ir Printf QCheck QCheck_alcotest Spirv_fuzz Spirv_ir Tbct Ty Validate

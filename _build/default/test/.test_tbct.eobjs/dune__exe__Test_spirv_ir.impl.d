@@ -1,0 +1,1 @@
+test/test_spirv_ir.ml: Alcotest Asm Block Builder Cfg Disasm Dominance Fun Func Generator Image Input Instr Int32 Interp List Module_ir Ops QCheck QCheck_alcotest Spirv_ir String Tbct Validate Value

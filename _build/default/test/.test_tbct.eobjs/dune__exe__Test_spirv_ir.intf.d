@@ -1,0 +1,1 @@
+test/test_spirv_ir.mli:

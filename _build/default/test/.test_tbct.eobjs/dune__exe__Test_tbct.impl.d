@@ -1,0 +1,1 @@
+test/test_tbct.ml: Alcotest Fun Int List Printf QCheck QCheck_alcotest String Tbct

@@ -1,0 +1,1 @@
+test/test_validator.ml: Alcotest Analysis Block Builder Constant Func Id Instr Int32 Interp List Module_ir Ops Option Spirv_ir Str String Ty Validate Value

@@ -1,0 +1,174 @@
+(* Aggregate-type coverage: matrices, structs, arrays and access chains
+   through the builder, validator and interpreter. *)
+
+open Spirv_ir
+
+let wrap_main build =
+  let b = Builder.create () in
+  let void_t = Builder.void_ty b in
+  let out = Builder.output_color b in
+  let fb, main, _ = Builder.begin_function b ~name:"main" ~ret:void_t ~params:[] in
+  let l = Builder.new_label fb in
+  Builder.start_block fb l;
+  let r = build b fb in
+  let one = Builder.cfloat b 1.0 in
+  let color = Builder.composite fb ~ty:(Builder.vec4f b) [ r; one; one; one ] in
+  Builder.store fb out color;
+  Builder.ret fb;
+  ignore (Builder.end_function fb);
+  Builder.finish b ~entry:main
+
+let red_of m =
+  (match Validate.check m with
+  | Ok () -> ()
+  | Error (e :: _) -> Alcotest.failf "invalid: %s" (Validate.error_to_string e)
+  | Error [] -> Alcotest.fail "invalid");
+  match Interp.render m (Input.make ~width:1 ~height:1 []) with
+  | Ok img -> (
+      match Image.get img ~x:0 ~y:0 with
+      | Image.Color (Value.VComposite [| Value.VFloat r; _; _; _ |]) -> r
+      | _ -> Alcotest.fail "pixel shape")
+  | Error t -> Alcotest.failf "trap: %s" (Interp.trap_to_string t)
+
+let test_matrix_construct_extract () =
+  let m =
+    wrap_main (fun b fb ->
+        (* a 2x2 matrix of columns (1,2) and (3,4); extract m[1][0] = 3 *)
+        let col_ty = Builder.vec2f b in
+        let mat_ty = Builder.matrix_ty b ~column:col_ty ~count:2 in
+        let c0 =
+          Builder.composite fb ~ty:col_ty [ Builder.cfloat b 1.0; Builder.cfloat b 2.0 ]
+        in
+        let c1 =
+          Builder.composite fb ~ty:col_ty [ Builder.cfloat b 3.0; Builder.cfloat b 4.0 ]
+        in
+        let mat = Builder.composite fb ~ty:mat_ty [ c0; c1 ] in
+        Builder.extract fb mat [ 1; 0 ])
+  in
+  Alcotest.(check (float 1e-9)) "m[1][0]" 3.0 (red_of m)
+
+let test_matrix_constant () =
+  let m =
+    wrap_main (fun b fb ->
+        let col_ty = Builder.vec2f b in
+        let mat_ty = Builder.matrix_ty b ~column:col_ty ~count:2 in
+        let c0 = Builder.ccomposite b ~ty:col_ty [ Builder.cfloat b 0.5; Builder.cfloat b 0.25 ] in
+        let c1 = Builder.ccomposite b ~ty:col_ty [ Builder.cfloat b 0.125; Builder.cfloat b 0.0625 ] in
+        let mat = Builder.ccomposite b ~ty:mat_ty [ c0; c1 ] in
+        Builder.extract fb mat [ 0; 1 ])
+  in
+  Alcotest.(check (float 1e-9)) "constant matrix element" 0.25 (red_of m)
+
+let test_struct_members () =
+  let m =
+    wrap_main (fun b fb ->
+        let float_t = Builder.float_ty b in
+        let int_t = Builder.int_ty b in
+        let st = Builder.struct_ty b [ float_t; int_t; float_t ] in
+        let s =
+          Builder.composite fb ~ty:st
+            [ Builder.cfloat b 0.125; Builder.cint b 7; Builder.cfloat b 0.625 ]
+        in
+        Builder.extract fb s [ 2 ])
+  in
+  Alcotest.(check (float 1e-9)) "third member" 0.625 (red_of m)
+
+let test_array_access_chain () =
+  let m =
+    wrap_main (fun b fb ->
+        let float_t = Builder.float_ty b in
+        let arr_t = Builder.array_ty b ~elem:float_t ~len:4 in
+        let var = Builder.local_var fb ~pointee:arr_t in
+        (* store 0.25 at index 2 through an access chain, then read it back *)
+        let idx = Builder.cint b 2 in
+        let slot = Builder.access_chain fb var [ idx ] in
+        Builder.store fb slot (Builder.cfloat b 0.25);
+        let slot2 = Builder.access_chain fb var [ idx ] in
+        Builder.load fb slot2)
+  in
+  Alcotest.(check (float 1e-9)) "arr[2]" 0.25 (red_of m)
+
+let test_access_chain_out_of_range_clamps () =
+  (* dynamic index out of range clamps rather than trapping *)
+  let m =
+    wrap_main (fun b fb ->
+        let float_t = Builder.float_ty b in
+        let arr_t = Builder.array_ty b ~elem:float_t ~len:2 in
+        let var = Builder.local_var fb ~pointee:arr_t in
+        let slot_last = Builder.access_chain fb var [ Builder.cint b 1 ] in
+        Builder.store fb slot_last (Builder.cfloat b 0.875);
+        (* index 9 clamps to the last element *)
+        let oob = Builder.access_chain fb var [ Builder.cint b 9 ] in
+        Builder.load fb oob)
+  in
+  Alcotest.(check (float 1e-9)) "clamped read" 0.875 (red_of m)
+
+let test_nested_struct_of_vec () =
+  let m =
+    wrap_main (fun b fb ->
+        let v2 = Builder.vec2f b in
+        let st = Builder.struct_ty b [ v2; Builder.float_ty b ] in
+        let inner =
+          Builder.composite fb ~ty:v2 [ Builder.cfloat b 0.1; Builder.cfloat b 0.9 ]
+        in
+        let s = Builder.composite fb ~ty:st [ inner; Builder.cfloat b 0.5 ] in
+        Builder.extract fb s [ 0; 1 ])
+  in
+  Alcotest.(check (float 1e-9)) "s.v.y" 0.9 (red_of m)
+
+let test_composite_insert () =
+  let m =
+    wrap_main (fun b fb ->
+        let v2 = Builder.vec2f b in
+        let orig =
+          Builder.composite fb ~ty:v2 [ Builder.cfloat b 0.0; Builder.cfloat b 0.5 ]
+        in
+        let updated =
+          Builder.instr fb ~ty:v2
+            (Instr.CompositeInsert (Builder.cfloat b 0.75, orig, [ 0 ]))
+        in
+        Builder.extract fb updated [ 0 ])
+  in
+  Alcotest.(check (float 1e-9)) "inserted" 0.75 (red_of m)
+
+let test_vector_componentwise_arithmetic () =
+  let m =
+    wrap_main (fun b fb ->
+        let v2 = Builder.vec2f b in
+        let a = Builder.composite fb ~ty:v2 [ Builder.cfloat b 0.25; Builder.cfloat b 0.5 ] in
+        let c = Builder.fadd fb a a in
+        Builder.extract fb c [ 1 ])
+  in
+  Alcotest.(check (float 1e-9)) "vec add" 1.0 (red_of m)
+
+let test_matrix_roundtrips_assembler () =
+  let m =
+    wrap_main (fun b fb ->
+        let col_ty = Builder.vec2f b in
+        let mat_ty = Builder.matrix_ty b ~column:col_ty ~count:2 in
+        let c0 = Builder.composite fb ~ty:col_ty [ Builder.cfloat b 1.0; Builder.cfloat b 2.0 ] in
+        let mat = Builder.composite fb ~ty:mat_ty [ c0; c0 ] in
+        Builder.extract fb mat [ 0; 0 ])
+  in
+  let m' = Asm.of_string (Disasm.to_string m) in
+  Alcotest.(check bool) "round trip" true (Module_ir.equal m m')
+
+let () =
+  Alcotest.run "aggregates"
+    [
+      ( "aggregates",
+        [
+          Alcotest.test_case "matrix construct/extract" `Quick test_matrix_construct_extract;
+          Alcotest.test_case "matrix constants" `Quick test_matrix_constant;
+          Alcotest.test_case "struct members" `Quick test_struct_members;
+          Alcotest.test_case "array access chains" `Quick test_array_access_chain;
+          Alcotest.test_case "out-of-range indices clamp" `Quick
+            test_access_chain_out_of_range_clamps;
+          Alcotest.test_case "nested struct of vec" `Quick test_nested_struct_of_vec;
+          Alcotest.test_case "composite insert" `Quick test_composite_insert;
+          Alcotest.test_case "vector componentwise arithmetic" `Quick
+            test_vector_componentwise_arithmetic;
+          Alcotest.test_case "matrices round-trip the assembler" `Quick
+            test_matrix_roundtrips_assembler;
+        ] );
+    ]

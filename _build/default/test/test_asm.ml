@@ -1,0 +1,234 @@
+(* Assembler/disassembler details: exact float round trips, error line
+   numbers, hand-written listings, and pointer-parameter calls through the
+   full build-print-parse-execute cycle. *)
+
+open Spirv_ir
+
+(* ------------------------------------------------------------------ *)
+(* Floats *)
+
+let prop_float_roundtrip =
+  QCheck.Test.make ~name:"hex-float constants round trip exactly" ~count:500
+    QCheck.float (fun f ->
+      let f = if Float.is_nan f then 0.0 else f in
+      let b = Builder.create () in
+      let out = Builder.output_color b in
+      ignore out;
+      let c = Builder.cfloat b f in
+      ignore c;
+      let fb, main, _ =
+        Builder.begin_function b ~name:"main" ~ret:(Builder.void_ty b) ~params:[]
+      in
+      let l = Builder.new_label fb in
+      Builder.start_block fb l;
+      Builder.ret fb;
+      ignore (Builder.end_function fb);
+      let m = Builder.finish b ~entry:main in
+      Module_ir.equal m (Asm.of_string (Disasm.to_string m)))
+
+let test_special_floats () =
+  List.iter
+    (fun f ->
+      let printed = Disasm.string_of_float_exact f in
+      match float_of_string_opt printed with
+      | Some f' ->
+          Alcotest.(check bool)
+            (Printf.sprintf "%s round trips" printed)
+            true
+            (Int64.equal (Int64.bits_of_float f) (Int64.bits_of_float f'))
+      | None -> Alcotest.failf "cannot parse %s" printed)
+    [ 0.0; -0.0; 1.0; -1.5; 0.1; 1e-300; 1e300; Float.min_float; Float.max_float ]
+
+(* ------------------------------------------------------------------ *)
+(* Errors carry line numbers *)
+
+let expect_error_on_line text line =
+  match Asm.of_string text with
+  | _ -> Alcotest.fail "expected a parse error"
+  | exception Asm.Error e ->
+      Alcotest.(check int) "error line" line e.Asm.line
+
+let test_error_line_numbers () =
+  expect_error_on_line "OpIdBound 10\n%1 = OpTypeVoid\nOpReturn\n" 3;
+  (* terminator outside a block *)
+  expect_error_on_line "%1 = OpBogusOpcode %2 %3\n" 1;
+  expect_error_on_line "OpIdBound 10\n\n\n%1 = OpLabel\n" 4
+  (* label outside a function *)
+
+let test_error_to_string () =
+  match Asm.of_string_result "%1 = OpNonsense %2\n" with
+  | Error msg ->
+      Alcotest.(check bool) "mentions line 1" true
+        (try
+           ignore (Str.search_forward (Str.regexp_string "line 1") msg 0);
+           true
+         with Not_found -> false)
+  | Ok _ -> Alcotest.fail "expected error"
+
+(* ------------------------------------------------------------------ *)
+(* A hand-written listing parses and runs *)
+
+let hand_written =
+  {|
+; a minimal shader written by hand: white left half, dark right half
+OpIdBound 100
+OpEntryPoint %20
+%1 = OpTypeVoid
+%2 = OpTypeFloat
+%3 = OpTypeVector %2 2
+%4 = OpTypeVector %2 4
+%5 = OpTypePointer Input %3
+%6 = OpTypePointer Output %4
+%7 = OpTypeFunction %1
+%8 = OpConstantFloat %2 0x1p+2   ; 4.0
+%9 = OpConstantFloat %2 0x1p+0   ; 1.0
+%10 = OpConstantFloat %2 0x1p-3  ; 0.125
+%11 = OpTypeBool
+%12 = OpGlobalVariable %5 "gl_FragCoord"
+%13 = OpGlobalVariable %6 "_color"
+%20 = OpFunction %7 None "main"
+%21 = OpLabel
+%22 = OpLoad %3 %12
+%23 = OpCompositeExtract %2 %22 0
+%24 = OpFOrdLessThan %11 %23 %8
+OpBranchConditional %24 %25 %26
+%25 = OpLabel
+%27 = OpCompositeConstruct %4 %9 %9 %9 %9
+OpStore %13 %27
+OpBranch %28
+%26 = OpLabel
+%29 = OpCompositeConstruct %4 %10 %10 %10 %10
+OpStore %13 %29
+OpBranch %28
+%28 = OpLabel
+OpReturn
+OpFunctionEnd
+|}
+
+let test_hand_written_listing () =
+  let m = Asm.of_string hand_written in
+  (match Validate.check m with
+  | Ok () -> ()
+  | Error (e :: _) -> Alcotest.failf "invalid: %s" (Validate.error_to_string e)
+  | Error [] -> Alcotest.fail "invalid");
+  match Interp.render m (Input.make ~width:8 ~height:1 []) with
+  | Error t -> Alcotest.failf "trap: %s" (Interp.trap_to_string t)
+  | Ok img ->
+      let red x =
+        match Image.get img ~x ~y:0 with
+        | Image.Color (Value.VComposite [| Value.VFloat r; _; _; _ |]) -> r
+        | _ -> Alcotest.fail "pixel"
+      in
+      Alcotest.(check (float 1e-9)) "left white" 1.0 (red 0);
+      Alcotest.(check (float 1e-9)) "right dark" 0.125 (red 7)
+
+let test_comments_and_blank_lines_ignored () =
+  let m1 = Asm.of_string hand_written in
+  let stripped =
+    String.split_on_char '\n' hand_written
+    |> List.map (fun l ->
+           match String.index_opt l ';' with
+           | Some i -> String.sub l 0 i
+           | None -> l)
+    |> List.filter (fun l -> String.trim l <> "")
+    |> String.concat "\n"
+  in
+  let m2 = Asm.of_string stripped in
+  Alcotest.(check bool) "same module" true (Module_ir.equal m1 m2)
+
+(* ------------------------------------------------------------------ *)
+(* Pointer parameters survive the full cycle *)
+
+let test_pointer_parameter_call () =
+  (* helper takes a Function-storage float pointer and writes through it *)
+  let b = Builder.create () in
+  let void_t = Builder.void_ty b in
+  let float_t = Builder.float_ty b in
+  let ptr_t = Builder.pointer_ty b Ty.Function float_t in
+  let out = Builder.output_color b in
+  let fb, writer, params =
+    Builder.begin_function b ~name:"write_through" ~ret:float_t ~params:[ ptr_t ]
+  in
+  let p = List.hd params in
+  let l = Builder.new_label fb in
+  Builder.start_block fb l;
+  Builder.store fb p (Builder.cfloat b 0.75);
+  Builder.ret_value fb (Builder.cfloat b 0.0);
+  ignore (Builder.end_function fb);
+  let fb, main, _ = Builder.begin_function b ~name:"main" ~ret:void_t ~params:[] in
+  let l = Builder.new_label fb in
+  Builder.start_block fb l;
+  let var = Builder.local_var fb ~pointee:float_t in
+  let _ = Builder.call fb writer [ var ] in
+  let v = Builder.load fb var in
+  let one = Builder.cfloat b 1.0 in
+  let color = Builder.composite fb ~ty:(Builder.vec4f b) [ v; one; one; one ] in
+  Builder.store fb out color;
+  Builder.ret fb;
+  ignore (Builder.end_function fb);
+  let m = Builder.finish b ~entry:main in
+  (match Validate.check m with
+  | Ok () -> ()
+  | Error (e :: _) -> Alcotest.failf "invalid: %s" (Validate.error_to_string e)
+  | Error [] -> Alcotest.fail "invalid");
+  (* the write through the pointer parameter must be visible in the caller *)
+  let check_red m expected =
+    match Interp.render m (Input.make ~width:1 ~height:1 []) with
+    | Error t -> Alcotest.failf "trap: %s" (Interp.trap_to_string t)
+    | Ok img -> (
+        match Image.get img ~x:0 ~y:0 with
+        | Image.Color (Value.VComposite [| Value.VFloat r; _; _; _ |]) ->
+            Alcotest.(check (float 1e-9)) "red" expected r
+        | _ -> Alcotest.fail "pixel")
+  in
+  check_red m 0.75;
+  (* and survive an assembler round trip *)
+  check_red (Asm.of_string (Disasm.to_string m)) 0.75
+
+(* ------------------------------------------------------------------ *)
+(* Per-pass semantics on generated modules *)
+
+let prop_each_pass_preserves_on_generated =
+  QCheck.Test.make ~name:"each optimizer pass preserves generated modules" ~count:15
+    QCheck.(int_bound 1_000_000)
+    (fun seed ->
+      let m = Generator.generate (Tbct.Rng.make seed) in
+      let input = Generator.default_input in
+      match Interp.render m input with
+      | Error _ -> false
+      | Ok reference ->
+          List.for_all
+            (fun pass ->
+              let m' = Compilers.Optimizer.run [ pass ] m in
+              Validate.is_valid m'
+              && (match Interp.render m' input with
+                 | Ok img -> Image.equal reference img
+                 | Error _ -> false))
+            Compilers.Optimizer.
+              [ Const_fold; Copy_prop; Dce; Simplify_cfg; Phi_simplify; Cse;
+                Inline; Store_forward; Dse ])
+
+let qcheck tests = List.map QCheck_alcotest.to_alcotest tests
+
+let () =
+  Alcotest.run "asm_and_cycles"
+    [
+      ( "floats",
+        Alcotest.test_case "special floats" `Quick test_special_floats
+        :: qcheck [ prop_float_roundtrip ] );
+      ( "errors",
+        [
+          Alcotest.test_case "line numbers" `Quick test_error_line_numbers;
+          Alcotest.test_case "error rendering" `Quick test_error_to_string;
+        ] );
+      ( "listings",
+        [
+          Alcotest.test_case "hand-written shader" `Quick test_hand_written_listing;
+          Alcotest.test_case "comments and blanks ignored" `Quick
+            test_comments_and_blank_lines_ignored;
+        ] );
+      ( "pointer-params",
+        [ Alcotest.test_case "write through pointer parameter" `Quick
+            test_pointer_parameter_call ] );
+      ("optimizer-property", qcheck [ prop_each_pass_preserves_on_generated ]);
+    ]

@@ -1,0 +1,358 @@
+(* Tests for the basic-blocks teaching language: semantics, the Table 1
+   transformation templates, and the Figure 4/5 walkthrough. *)
+
+let value = Alcotest.testable Bb_lang.Syntax.pp_value Bb_lang.Syntax.equal_value
+
+let run_ok p input =
+  match Bb_lang.Interp.run p input with
+  | Ok out -> out
+  | Error msg -> Alcotest.failf "run failed: %s" msg
+
+(* ------------------------------------------------------------------ *)
+(* Interpreter *)
+
+let test_original_prints_6 () =
+  let out = run_ok Bb_lang.Figures.original Bb_lang.Figures.input in
+  Alcotest.(check (list value)) "prints 6" [ Bb_lang.Syntax.Int 6 ] out
+
+let test_undefined_variable_reads_zero () =
+  let p =
+    {
+      Bb_lang.Syntax.entry = "a";
+      blocks =
+        [ { Bb_lang.Syntax.name = "a"; instrs = [ Bb_lang.Syntax.Print (Bb_lang.Syntax.Var "nope") ]; term = Bb_lang.Syntax.Halt } ];
+    }
+  in
+  Alcotest.(check (list value)) "zero" [ Bb_lang.Syntax.Int 0 ] (run_ok p [])
+
+let test_infinite_loop_not_well_defined () =
+  let p =
+    {
+      Bb_lang.Syntax.entry = "a";
+      blocks = [ { Bb_lang.Syntax.name = "a"; instrs = []; term = Bb_lang.Syntax.Goto "a" } ];
+    }
+  in
+  Alcotest.(check bool) "ill-defined" false (Bb_lang.Interp.well_defined p [])
+
+let test_cond_goto_branches () =
+  let mk cond =
+    {
+      Bb_lang.Syntax.entry = "a";
+      blocks =
+        [
+          {
+            Bb_lang.Syntax.name = "a";
+            instrs = [ Bb_lang.Syntax.Assign ("c", Bb_lang.Syntax.Bool_lit cond) ];
+            term = Bb_lang.Syntax.Cond_goto ("c", "t", "f");
+          };
+          { Bb_lang.Syntax.name = "t"; instrs = [ Bb_lang.Syntax.Print (Bb_lang.Syntax.Int_lit 1) ]; term = Bb_lang.Syntax.Halt };
+          { Bb_lang.Syntax.name = "f"; instrs = [ Bb_lang.Syntax.Print (Bb_lang.Syntax.Int_lit 2) ]; term = Bb_lang.Syntax.Halt };
+        ];
+    }
+  in
+  Alcotest.(check (list value)) "true branch" [ Bb_lang.Syntax.Int 1 ] (run_ok (mk true) []);
+  Alcotest.(check (list value)) "false branch" [ Bb_lang.Syntax.Int 2 ] (run_ok (mk false) [])
+
+(* ------------------------------------------------------------------ *)
+(* Transformations: each Figure 4 step preserves the output *)
+
+let test_each_step_preserves_semantics () =
+  let ctx = Bb_lang.Figures.initial_context () in
+  let semantics (c : Bb_lang.Transform.context) =
+    Bb_lang.Interp.run c.Bb_lang.Transform.program c.Bb_lang.Transform.input
+  in
+  match
+    Bb_lang.Transform.Apply.check_preserves ~semantics ~equal:( = ) ctx
+      Bb_lang.Figures.sequence
+  with
+  | Ok () -> ()
+  | Error i -> Alcotest.failf "transformation %d changed the semantics" (i + 1)
+
+let test_all_preconditions_hold_in_order () =
+  let ctx = Bb_lang.Figures.initial_context () in
+  let _, steps = Bb_lang.Transform.Apply.sequence ctx Bb_lang.Figures.sequence in
+  Alcotest.(check (list bool)) "all applied" [ true; true; true; true; true ]
+    (List.map (fun s -> s.Bb_lang.Transform.Apply.applied) steps)
+
+let test_skipping_enabler_disables_dependents () =
+  (* applying [T1; T3; T4; T5] must apply only T1 and T4 (section 2.1) *)
+  let ctx = Bb_lang.Figures.initial_context () in
+  let seq = Bb_lang.Figures.[ t1; t3; t4; t5 ] in
+  let _, steps = Bb_lang.Transform.Apply.sequence ctx seq in
+  Alcotest.(check (list bool)) "T3, T5 skipped" [ true; false; true; false ]
+    (List.map (fun s -> s.Bb_lang.Transform.Apply.applied) steps)
+
+let test_split_block_effect () =
+  let ctx = Bb_lang.Figures.initial_context () in
+  let ctx = Bb_lang.Transform.Apply.sequence_ctx ctx [ Bb_lang.Figures.t1 ] in
+  let p = ctx.Bb_lang.Transform.program in
+  Alcotest.(check int) "two blocks" 2 (List.length p.Bb_lang.Syntax.blocks);
+  match Bb_lang.Syntax.find_block p "a" with
+  | Some a ->
+      Alcotest.(check int) "one instruction left in a" 1 (List.length a.Bb_lang.Syntax.instrs);
+      Alcotest.(check bool) "a branches to b" true (a.Bb_lang.Syntax.term = Bb_lang.Syntax.Goto "b")
+  | None -> Alcotest.fail "block a missing"
+
+let test_add_dead_block_records_fact () =
+  let ctx = Bb_lang.Figures.initial_context () in
+  let ctx =
+    Bb_lang.Transform.Apply.sequence_ctx ctx Bb_lang.Figures.[ t1; t2 ]
+  in
+  Alcotest.(check bool) "fact recorded" true
+    (Bb_lang.Transform.String_set.mem "c" ctx.Bb_lang.Transform.dead_blocks)
+
+let test_add_store_requires_dead_fact () =
+  let ctx = Bb_lang.Figures.initial_context () in
+  (* T3 without T2: precondition must fail *)
+  let ctx1 = Bb_lang.Transform.Apply.sequence_ctx ctx [ Bb_lang.Figures.t1 ] in
+  Alcotest.(check bool) "T3 blocked without the fact" false
+    (Bb_lang.Transform.precondition ctx1 Bb_lang.Figures.t3)
+
+let test_change_rhs_requires_equality () =
+  let ctx = Bb_lang.Figures.initial_context () in
+  let ctx = Bb_lang.Transform.Apply.sequence_ctx ctx Bb_lang.Figures.[ t1; t2 ] in
+  (* u := true at a[1]; i = Int 1, not true, so ChangeRHS(a,1,i) must fail *)
+  Alcotest.(check bool) "wrong input variable rejected" false
+    (Bb_lang.Transform.precondition ctx (Bb_lang.Transform.Change_rhs ("a", 1, "i")));
+  Alcotest.(check bool) "k accepted" true
+    (Bb_lang.Transform.precondition ctx Bb_lang.Figures.t5)
+
+let test_fresh_name_collision_rejected () =
+  let ctx = Bb_lang.Figures.initial_context () in
+  (* "s" is an existing variable: not fresh *)
+  Alcotest.(check bool) "existing name not fresh" false
+    (Bb_lang.Transform.precondition ctx (Bb_lang.Transform.Split_block ("a", 1, "s")))
+
+(* ------------------------------------------------------------------ *)
+(* The Figure 5 walkthrough: buggy compiler + reducer *)
+
+let exhibits seq =
+  let ctx =
+    Bb_lang.Transform.Apply.sequence_ctx (Bb_lang.Figures.initial_context ()) seq
+  in
+  Bb_lang.Compiler.exhibits_bug ~impl:Bb_lang.Compiler.run_buggy ctx
+
+let test_full_sequence_triggers_bug () =
+  Alcotest.(check bool) "T1..T5 triggers" true (exhibits Bb_lang.Figures.sequence)
+
+let test_original_does_not_trigger () =
+  Alcotest.(check bool) "empty sequence fine" false (exhibits [])
+
+let test_correct_compiler_never_caught () =
+  let ctx =
+    Bb_lang.Transform.Apply.sequence_ctx
+      (Bb_lang.Figures.initial_context ())
+      Bb_lang.Figures.sequence
+  in
+  Alcotest.(check bool) "correct impl agrees" false
+    (Bb_lang.Compiler.exhibits_bug ~impl:Bb_lang.Compiler.run_correct ctx)
+
+let test_reduction_finds_figure5_sequence () =
+  let reduced, _ = Tbct.Reducer.reduce ~is_interesting:exhibits Bb_lang.Figures.sequence in
+  Alcotest.(check (list string)) "minimized = [T1; T2; T5]"
+    (List.map Bb_lang.Transform.type_id Bb_lang.Figures.minimized)
+    (List.map Bb_lang.Transform.type_id reduced);
+  Alcotest.(check bool) "exact transformations" true
+    (reduced = Bb_lang.Figures.minimized)
+
+let test_minimized_intermediate_programs () =
+  (* Figure 5: P0..P2 do not trigger, P3 does *)
+  let prefixes = [ []; [ Bb_lang.Figures.t1 ]; Bb_lang.Figures.[ t1; t2 ]; Bb_lang.Figures.minimized ] in
+  let results = List.map exhibits prefixes in
+  Alcotest.(check (list bool)) "ticks and cross" [ false; false; false; true ] results
+
+(* ------------------------------------------------------------------ *)
+(* Randomized: transformations never change semantics *)
+
+let random_transformation rng ctx =
+  let p = ctx.Bb_lang.Transform.program in
+  let blocks = Bb_lang.Syntax.block_names p in
+  let vars = Bb_lang.Syntax.variables p in
+  let fresh prefix = Printf.sprintf "%s%d" prefix (Tbct.Rng.int rng 100000) in
+  let b = Tbct.Rng.choose rng blocks in
+  let block = Option.get (Bb_lang.Syntax.find_block p b) in
+  let o = Tbct.Rng.int rng (List.length block.Bb_lang.Syntax.instrs + 1) in
+  match Tbct.Rng.int rng 5 with
+  | 0 -> Bb_lang.Transform.Split_block (b, o, fresh "blk")
+  | 1 -> Bb_lang.Transform.Add_dead_block (b, fresh "dead", fresh "guard")
+  | 2 -> Bb_lang.Transform.Add_load (b, o, fresh "v", Tbct.Rng.choose rng ("s" :: vars))
+  | 3 ->
+      let v = match vars with [] -> "s" | _ -> Tbct.Rng.choose rng vars in
+      Bb_lang.Transform.Add_store (b, o, v, v)
+  | _ -> Bb_lang.Transform.Change_rhs (b, o, Tbct.Rng.choose rng [ "i"; "j"; "k" ])
+
+let prop_random_sequences_preserve_semantics =
+  QCheck.Test.make ~name:"random transformation sequences preserve output" ~count:100
+    QCheck.(int_bound 1_000_000)
+    (fun seed ->
+      let rng = Tbct.Rng.make seed in
+      let ctx0 = Bb_lang.Figures.initial_context () in
+      let expected = Bb_lang.Interp.run Bb_lang.Figures.original Bb_lang.Figures.input in
+      let rec go ctx n =
+        if n = 0 then true
+        else begin
+          let t = random_transformation rng ctx in
+          let ctx =
+            if Bb_lang.Transform.precondition ctx t then Bb_lang.Transform.apply ctx t
+            else ctx
+          in
+          let actual =
+            Bb_lang.Interp.run ctx.Bb_lang.Transform.program ctx.Bb_lang.Transform.input
+          in
+          actual = expected && go ctx (n - 1)
+        end
+      in
+      go ctx0 30)
+
+(* ------------------------------------------------------------------ *)
+(* The bb_lang fuzzer *)
+
+let test_bb_fuzzer_preserves_output () =
+  let ctx0 = Bb_lang.Figures.initial_context () in
+  let expected = Bb_lang.Interp.run Bb_lang.Figures.original Bb_lang.Figures.input in
+  for seed = 1 to 20 do
+    let r = Bb_lang.Fuzzer.run ~seed ctx0 in
+    let actual =
+      Bb_lang.Interp.run r.Bb_lang.Fuzzer.final.Bb_lang.Transform.program
+        r.Bb_lang.Fuzzer.final.Bb_lang.Transform.input
+    in
+    if actual <> expected then Alcotest.failf "seed %d changed the output" seed
+  done
+
+let test_bb_fuzzer_replay () =
+  let ctx0 = Bb_lang.Figures.initial_context () in
+  for seed = 1 to 10 do
+    let r = Bb_lang.Fuzzer.run ~seed ctx0 in
+    let replayed =
+      Bb_lang.Transform.Apply.sequence_ctx ctx0 r.Bb_lang.Fuzzer.transformations
+    in
+    if
+      not
+        (Bb_lang.Syntax.equal_program
+           replayed.Bb_lang.Transform.program
+           r.Bb_lang.Fuzzer.final.Bb_lang.Transform.program)
+    then Alcotest.failf "seed %d: replay diverged" seed
+  done
+
+let test_bb_fuzzer_emits () =
+  let ctx0 = Bb_lang.Figures.initial_context () in
+  let r = Bb_lang.Fuzzer.run ~seed:5 ctx0 in
+  Alcotest.(check bool) "applied several" true
+    (List.length r.Bb_lang.Fuzzer.transformations >= 5)
+
+(* ------------------------------------------------------------------ *)
+(* The section 2.1 "weekend of fuzzing" walkthrough: two distinct bugs,
+   many reduced tests, Figure 6 picks one representative per bug. *)
+
+let weekend_dedup () =
+  let ctx0 = Bb_lang.Figures.initial_context () in
+  let impls =
+    [ ("lowering", Bb_lang.Compiler.run_buggy);
+      ("scheduler", Bb_lang.Compiler.run_buggy_scheduler) ]
+  in
+  (* fuzz many seeds; for each bug-triggering variant, reduce it and record
+     the minimized transformation-type set with its ground-truth bug *)
+  let reduced_tests = ref [] in
+  for seed = 1 to 120 do
+    let r = Bb_lang.Fuzzer.run ~seed ctx0 in
+    List.iter
+      (fun (bug_name, impl) ->
+        let exhibits seq =
+          let ctx = Bb_lang.Transform.Apply.sequence_ctx ctx0 seq in
+          Bb_lang.Compiler.exhibits_bug ~impl ctx
+        in
+        if exhibits r.Bb_lang.Fuzzer.transformations then begin
+          let kept, _ =
+            Tbct.Reducer.reduce ~is_interesting:exhibits r.Bb_lang.Fuzzer.transformations
+          in
+          reduced_tests := (bug_name, kept) :: !reduced_tests
+        end)
+      impls
+  done;
+  !reduced_tests
+
+let test_weekend_dedup () =
+  let tests = weekend_dedup () in
+  let bugs_present =
+    List.sort_uniq compare (List.map fst tests)
+  in
+  (* both bugs must actually be triggered by the fuzzer at this scale *)
+  Alcotest.(check (list string)) "both bugs found" [ "lowering"; "scheduler" ] bugs_present;
+  (* Figure 6 over the reduced transformation-type sets *)
+  let config =
+    {
+      Tbct.Dedup.types_of =
+        (fun (_, kept) ->
+          List.fold_left
+            (fun acc t -> Tbct.Dedup.String_set.add (Bb_lang.Transform.type_id t) acc)
+            Tbct.Dedup.String_set.empty kept);
+      Tbct.Dedup.ignored = Tbct.Dedup.String_set.empty;
+    }
+  in
+  let selected = Tbct.Dedup.select config tests in
+  Alcotest.(check bool) "selection is small" true
+    (List.length selected <= 4 && List.length selected >= 1);
+  Alcotest.(check bool) "pairwise disjoint" true
+    (Tbct.Dedup.pairwise_disjoint config selected);
+  (* the selected tests cover at least one of the two distinct bugs, and the
+     duplicate rate stays low (at most one duplicate pair here) *)
+  let distinct = List.sort_uniq compare (List.map fst selected) in
+  Alcotest.(check bool) "low duplicate rate" true
+    (List.length selected - List.length distinct <= 1)
+
+(* ------------------------------------------------------------------ *)
+
+let qcheck tests = List.map QCheck_alcotest.to_alcotest tests
+
+let () =
+  Alcotest.run "bb_lang"
+    [
+      ( "interp",
+        [
+          Alcotest.test_case "Figure 4 original prints 6" `Quick test_original_prints_6;
+          Alcotest.test_case "undefined variable reads zero" `Quick
+            test_undefined_variable_reads_zero;
+          Alcotest.test_case "infinite loop not well-defined" `Quick
+            test_infinite_loop_not_well_defined;
+          Alcotest.test_case "conditional branches" `Quick test_cond_goto_branches;
+        ] );
+      ( "transform",
+        [
+          Alcotest.test_case "each Figure 4 step preserves output" `Quick
+            test_each_step_preserves_semantics;
+          Alcotest.test_case "all preconditions hold in order" `Quick
+            test_all_preconditions_hold_in_order;
+          Alcotest.test_case "skipping an enabler disables dependents" `Quick
+            test_skipping_enabler_disables_dependents;
+          Alcotest.test_case "SplitBlock effect" `Quick test_split_block_effect;
+          Alcotest.test_case "AddDeadBlock records the fact" `Quick
+            test_add_dead_block_records_fact;
+          Alcotest.test_case "AddStore requires the dead fact" `Quick
+            test_add_store_requires_dead_fact;
+          Alcotest.test_case "ChangeRHS requires guaranteed equality" `Quick
+            test_change_rhs_requires_equality;
+          Alcotest.test_case "fresh-name collisions rejected" `Quick
+            test_fresh_name_collision_rejected;
+        ]
+        @ qcheck [ prop_random_sequences_preserve_semantics ] );
+      ( "fuzzer",
+        [
+          Alcotest.test_case "preserves output" `Quick test_bb_fuzzer_preserves_output;
+          Alcotest.test_case "replay reproduces" `Quick test_bb_fuzzer_replay;
+          Alcotest.test_case "emits transformations" `Quick test_bb_fuzzer_emits;
+          Alcotest.test_case "weekend-of-fuzzing dedup (section 2.1)" `Slow
+            test_weekend_dedup;
+        ] );
+      ( "figure5",
+        [
+          Alcotest.test_case "full sequence triggers the bug" `Quick
+            test_full_sequence_triggers_bug;
+          Alcotest.test_case "original does not trigger" `Quick test_original_does_not_trigger;
+          Alcotest.test_case "correct compiler never caught" `Quick
+            test_correct_compiler_never_caught;
+          Alcotest.test_case "reduction finds [T1; T2; T5]" `Quick
+            test_reduction_finds_figure5_sequence;
+          Alcotest.test_case "intermediate programs P0..P3" `Quick
+            test_minimized_intermediate_programs;
+        ] );
+    ]

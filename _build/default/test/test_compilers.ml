@@ -1,0 +1,294 @@
+(* Tests for the compilers-under-test library: the optimizer passes must be
+   semantics-preserving with bug flags off, and the injected bugs must fire
+   on the shapes they target (and not on the clean corpus). *)
+
+open Spirv_ir
+
+let default_input = Corpus.default_input
+
+let render_exn name m input =
+  match Interp.render m input with
+  | Ok img -> img
+  | Error t -> Alcotest.failf "%s: render failed: %s" name (Interp.trap_to_string t)
+
+let check_valid name m =
+  match Validate.check m with
+  | Ok () -> ()
+  | Error (e :: _) -> Alcotest.failf "%s: %s" name (Validate.error_to_string e)
+  | Error [] -> Alcotest.failf "%s: invalid" name
+
+(* ------------------------------------------------------------------ *)
+(* Pass correctness on the corpus *)
+
+let passes_to_check =
+  [
+    ("const_fold", [ Compilers.Optimizer.Const_fold ]);
+    ("copy_prop", [ Compilers.Optimizer.Copy_prop ]);
+    ("dce", [ Compilers.Optimizer.Dce ]);
+    ("simplify_cfg", [ Compilers.Optimizer.Simplify_cfg ]);
+    ("phi_simplify", [ Compilers.Optimizer.Phi_simplify ]);
+    ("cse", [ Compilers.Optimizer.Cse ]);
+    ("inline", [ Compilers.Optimizer.Inline ]);
+    ("standard -O", Compilers.Optimizer.standard);
+  ]
+
+let test_pass_preserves (pass_name, pipeline) () =
+  List.iter
+    (fun (name, m) ->
+      let reference = render_exn name m default_input in
+      let optimized = Compilers.Optimizer.run pipeline m in
+      check_valid (name ^ " after " ^ pass_name) optimized;
+      let image = render_exn (name ^ " optimized") optimized default_input in
+      if not (Image.equal reference image) then
+        Alcotest.failf "%s changed the image of %s" pass_name name)
+    (Lazy.force Corpus.lowered_references)
+
+(* the same property on fuzzed variants, where dead blocks, φs, kills and
+   inlined calls abound *)
+let test_standard_pipeline_on_fuzzed_variants () =
+  for seed = 1 to 10 do
+    let m = Generator.generate (Tbct.Rng.make seed) in
+    let ctx = Spirv_fuzz.Context.make m Generator.default_input in
+    let result = Spirv_fuzz.Fuzzer.run ~seed:(seed * 13 + 1) ctx in
+    let variant = result.Spirv_fuzz.Fuzzer.final.Spirv_fuzz.Context.m in
+    let variant_input = result.Spirv_fuzz.Fuzzer.final.Spirv_fuzz.Context.input in
+    let reference = render_exn "variant" variant variant_input in
+    let optimized = Compilers.Optimizer.run Compilers.Optimizer.standard variant in
+    check_valid "optimized variant" optimized;
+    let image = render_exn "optimized variant" optimized variant_input in
+    if not (Image.equal reference image) then
+      Alcotest.failf "standard pipeline changed a fuzzed variant (seed %d)" seed
+  done
+
+let test_optimizer_shrinks_modules () =
+  (* optimization should usually remove the naive load/store traffic *)
+  let shrunk = ref 0 and total = ref 0 in
+  List.iter
+    (fun (_, m) ->
+      incr total;
+      let optimized = Compilers.Optimizer.run Compilers.Optimizer.standard m in
+      if Module_ir.instruction_count optimized < Module_ir.instruction_count m then incr shrunk)
+    (Lazy.force Corpus.lowered_references);
+  Alcotest.(check bool) "most modules shrink" true (!shrunk * 2 > !total)
+
+(* ------------------------------------------------------------------ *)
+(* Bug triggers *)
+
+let clean_target =
+  {
+    Compilers.Target.name = "clean";
+    version = "-";
+    gpu = Compilers.Target.Software;
+    pipeline = Compilers.Optimizer.standard;
+    opt_flags = Compilers.Passes.no_bugs;
+    crash_bug_ids = [];
+    miscompile_bug_ids = [];
+    executes = true;
+  }
+
+let test_clean_target_agrees_with_reference () =
+  List.iter
+    (fun (name, m) ->
+      match Compilers.Backend.run clean_target m default_input with
+      | Compilers.Backend.Rendered img ->
+          let reference = render_exn name m default_input in
+          if not (Image.equal reference img) then
+            Alcotest.failf "clean target disagrees on %s" name
+      | Compilers.Backend.Compiled_ok -> Alcotest.fail "expected rendering"
+      | Compilers.Backend.Crashed s -> Alcotest.failf "clean target crashed: %s" s)
+    (Lazy.force Corpus.lowered_references)
+
+let test_no_crash_bug_fires_on_corpus () =
+  List.iter
+    (fun (name, m) ->
+      let optimized = Compilers.Optimizer.run Compilers.Optimizer.standard m in
+      List.iter
+        (fun (spec : Compilers.Bug.crash_spec) ->
+          let subject =
+            match spec.Compilers.Bug.phase with
+            | Compilers.Bug.Before_opt -> m
+            | Compilers.Bug.After_opt -> optimized
+          in
+          if spec.Compilers.Bug.trigger subject then
+            Alcotest.failf "bug %s fires on clean corpus program %s"
+              spec.Compilers.Bug.bug_id name)
+        Compilers.Bug.all_crash_bugs)
+    (Lazy.force Corpus.lowered_references)
+
+let test_dontinline_trigger () =
+  (* Figure 3 scenario: set DontInline on a called function *)
+  let name, m = List.nth (Lazy.force Corpus.lowered_references) 4 (* helper_distance *) in
+  ignore name;
+  Alcotest.(check bool) "clean module does not trigger" false
+    (Compilers.Bug.has_dontinline_call m);
+  let with_attr =
+    {
+      m with
+      Module_ir.functions =
+        List.map
+          (fun (f : Func.t) ->
+            if not (Id.equal f.Func.id m.Module_ir.entry) then
+              { f with Func.control = Func.DontInline }
+            else f)
+          m.Module_ir.functions;
+    }
+  in
+  Alcotest.(check bool) "DontInline + call triggers" true
+    (Compilers.Bug.has_dontinline_call with_attr);
+  match Compilers.Backend.run Compilers.Target.swiftshader with_attr default_input with
+  | Compilers.Backend.Crashed s ->
+      Alcotest.(check bool) "signature mentions noinline" true
+        (String.length s > 0
+        &&
+        let re = Str.regexp_string "noinline" in
+        (try ignore (Str.search_forward re s 0); true with Not_found -> false))
+  | _ -> Alcotest.fail "SwiftShader should crash on the DontInline variant"
+
+let test_div_zero_fold_crash () =
+  (* build a module folding 1/0 *)
+  let b = Builder.create () in
+  let void_t = Builder.void_ty b in
+  let out = Builder.output_color b in
+  let fb, main, _ = Builder.begin_function b ~name:"main" ~ret:void_t ~params:[] in
+  let l = Builder.new_label fb in
+  Builder.start_block fb l;
+  let q = Builder.sdiv fb (Builder.cint b 1) (Builder.cint b 0) in
+  let qf = Builder.s_to_f fb q in
+  let one = Builder.cfloat b 1.0 in
+  let color = Builder.composite fb ~ty:(Builder.vec4f b) [ qf; one; one; one ] in
+  Builder.store fb out color;
+  Builder.ret fb;
+  ignore (Builder.end_function fb);
+  let m = Builder.finish b ~entry:main in
+  (* clean optimizer folds it fine *)
+  (match Compilers.Optimizer.optimize m with
+  | Ok _ -> ()
+  | Error s -> Alcotest.failf "clean optimizer crashed: %s" s);
+  (* spirv-opt target has the div-by-zero folding crash *)
+  match Compilers.Backend.run Compilers.Target.spirv_opt m (Input.make []) with
+  | Compilers.Backend.Crashed s ->
+      Alcotest.(check bool) "mentions division" true
+        (try ignore (Str.search_forward (Str.regexp_string "division") s 0); true
+         with Not_found -> false)
+  | _ -> Alcotest.fail "spirv-opt target should crash"
+
+let test_stale_phi_bug_emits_invalid () =
+  (* a diamond with a φ, one arm statically dead: with the stale-phi bug the
+     optimizer forgets to prune the φ entry of the removed arm *)
+  let b = Builder.create () in
+  let void_t = Builder.void_ty b in
+  let out = Builder.output_color b in
+  let fb, main, _ = Builder.begin_function b ~name:"main" ~ret:void_t ~params:[] in
+  let l0 = Builder.new_label fb in
+  let lt = Builder.new_label fb in
+  let lf = Builder.new_label fb in
+  let lm = Builder.new_label fb in
+  let cond = Builder.cbool b true in
+  Builder.start_block fb l0;
+  Builder.branch_cond fb cond lt lf;
+  Builder.start_block fb lt;
+  let vt = Builder.fadd fb (Builder.cfloat b 0.25) (Builder.cfloat b 0.25) in
+  (* arms must fold to different constants or φ-simplification masks the bug *)
+  Builder.branch fb lm;
+  Builder.start_block fb lf;
+  let vf = Builder.fadd fb (Builder.cfloat b 0.5) (Builder.cfloat b 0.25) in
+  Builder.branch fb lm;
+  Builder.start_block fb lm;
+  let phi = Builder.phi fb ~ty:(Builder.float_ty b) [ (vt, lt); (vf, lf) ] in
+  let one = Builder.cfloat b 1.0 in
+  let color = Builder.composite fb ~ty:(Builder.vec4f b) [ phi; one; one; one ] in
+  Builder.store fb out color;
+  Builder.ret fb;
+  ignore (Builder.end_function fb);
+  let m = Builder.finish b ~entry:main in
+  check_valid "diamond" m;
+  (* clean pipeline: still valid *)
+  let clean = Compilers.Optimizer.run Compilers.Optimizer.standard m in
+  check_valid "clean optimized diamond" clean;
+  (* buggy flags: phi entry for the removed arm survives -> invalid *)
+  match Compilers.Backend.run Compilers.Target.spirv_opt_old m (Input.make []) with
+  | Compilers.Backend.Crashed s ->
+      Alcotest.(check bool) "flagged as invalid output" true
+        (try ignore (Str.search_forward (Str.regexp_string "invalid") s 0); true
+         with Not_found -> false)
+  | Compilers.Backend.Compiled_ok -> Alcotest.fail "expected invalid-module signature"
+  | Compilers.Backend.Rendered _ -> Alcotest.fail "tooling target rendered?"
+
+let test_miscompile_rewrites_change_something () =
+  (* each rewrite must be identity on the clean corpus... *)
+  List.iter
+    (fun (spec : Compilers.Bug.miscompile_spec) ->
+      List.iter
+        (fun (name, m) ->
+          let optimized = Compilers.Optimizer.run Compilers.Optimizer.standard m in
+          let corrupted = spec.Compilers.Bug.rewrite optimized in
+          let i1 = render_exn name optimized default_input in
+          let i2 = render_exn name corrupted default_input in
+          (* allowed to differ only for mc-extract-high / mc-block-order,
+             which genuinely affect some reference shapes *)
+          if
+            (not (Image.equal i1 i2))
+            && List.mem spec.Compilers.Bug.mc_bug_id [ "mc-phi-cond"; "mc-phi-positional" ]
+          then
+            Alcotest.failf "%s corrupts clean corpus program %s"
+              spec.Compilers.Bug.mc_bug_id name)
+        (Lazy.force Corpus.lowered_references))
+    Compilers.Bug.all_miscompile_bugs
+
+let test_targets_well_formed () =
+  List.iter
+    (fun (t : Compilers.Target.t) ->
+      List.iter
+        (fun id ->
+          if Compilers.Bug.find_crash_bug id = None then
+            Alcotest.failf "target %s references unknown bug %s" t.Compilers.Target.name id)
+        t.Compilers.Target.crash_bug_ids;
+      List.iter
+        (fun id ->
+          if Compilers.Bug.find_miscompile_bug id = None then
+            Alcotest.failf "target %s references unknown miscompile %s"
+              t.Compilers.Target.name id)
+        t.Compilers.Target.miscompile_bug_ids)
+    Compilers.Target.all
+
+let test_table2_inventory () =
+  Alcotest.(check int) "nine targets" 9 (List.length Compilers.Target.all);
+  Alcotest.(check bool) "reduction study has 4 targets" true
+    (List.length Compilers.Target.reduction_study = 4);
+  Alcotest.(check int) "dedup study excludes NVIDIA" 8
+    (List.length Compilers.Target.dedup_study)
+
+let () =
+  Alcotest.run "compilers"
+    [
+      ( "passes",
+        List.map
+          (fun (name, pipeline) ->
+            Alcotest.test_case (name ^ " preserves semantics") `Quick
+              (test_pass_preserves (name, pipeline)))
+          passes_to_check
+        @ [
+            Alcotest.test_case "standard pipeline on fuzzed variants" `Slow
+              test_standard_pipeline_on_fuzzed_variants;
+            Alcotest.test_case "optimizer shrinks modules" `Quick
+              test_optimizer_shrinks_modules;
+          ] );
+      ( "bugs",
+        [
+          Alcotest.test_case "clean target agrees with reference" `Quick
+            test_clean_target_agrees_with_reference;
+          Alcotest.test_case "no crash bug fires on corpus" `Quick
+            test_no_crash_bug_fires_on_corpus;
+          Alcotest.test_case "DontInline trigger (Figure 3)" `Quick test_dontinline_trigger;
+          Alcotest.test_case "div-by-zero folding crash" `Quick test_div_zero_fold_crash;
+          Alcotest.test_case "stale-phi bug emits invalid modules" `Quick
+            test_stale_phi_bug_emits_invalid;
+          Alcotest.test_case "miscompile rewrites inert on clean phi-free corpus" `Quick
+            test_miscompile_rewrites_change_something;
+        ] );
+      ( "targets",
+        [
+          Alcotest.test_case "rosters reference known bugs" `Quick test_targets_well_formed;
+          Alcotest.test_case "Table 2 inventory" `Quick test_table2_inventory;
+        ] );
+    ]

@@ -1,0 +1,355 @@
+(* Tests for the MiniGLSL baseline: type checker, lowering, source fuzzer
+   and hand-crafted reducer. *)
+
+open Spirv_ir
+
+let default_input = Corpus.default_input
+
+let render_exn name m input =
+  match Interp.render m input with
+  | Ok img -> img
+  | Error t -> Alcotest.failf "%s: render failed: %s" name (Interp.trap_to_string t)
+
+(* ------------------------------------------------------------------ *)
+(* Typechecker *)
+
+let test_corpus_typechecks () =
+  List.iter
+    (fun (name, p) ->
+      match Glsl_like.Typecheck.check p with
+      | Ok () -> ()
+      | Error e -> Alcotest.failf "%s: %s" name e)
+    Corpus.donors
+
+let check_rejects name p =
+  match Glsl_like.Typecheck.check p with
+  | Ok () -> Alcotest.failf "%s should be rejected" name
+  | Error _ -> ()
+
+let test_rejects_unbound_variable () =
+  check_rejects "unbound"
+    (Corpus.Dsl.program [ Corpus.Dsl.color (Corpus.Dsl.v "nope") (Corpus.Dsl.fl 0.0) (Corpus.Dsl.fl 0.0) ])
+
+let test_rejects_type_mismatch () =
+  check_rejects "bool + int"
+    (Corpus.Dsl.program
+       [
+         Corpus.Dsl.dfloat "x" (Corpus.Dsl.add (Corpus.Dsl.bl true) (Corpus.Dsl.il 1));
+         Corpus.Dsl.color (Corpus.Dsl.fl 0.0) (Corpus.Dsl.fl 0.0) (Corpus.Dsl.fl 0.0);
+       ])
+
+let test_rejects_return_in_main () =
+  check_rejects "return in main" (Corpus.Dsl.program [ Corpus.Dsl.ret (Corpus.Dsl.fl 1.0) ])
+
+let test_rejects_missing_return () =
+  check_rejects "missing return"
+    (Corpus.Dsl.program
+       ~functions:
+         [ Corpus.Dsl.fn "f" [ (Glsl_like.Ast.TFloat, "x") ] ~ret:Glsl_like.Ast.TFloat
+             [ Corpus.Dsl.dfloat "y" (Corpus.Dsl.v "x") ] ]
+       [ Corpus.Dsl.color (Corpus.Dsl.fl 0.0) (Corpus.Dsl.fl 0.0) (Corpus.Dsl.fl 0.0) ])
+
+let test_rejects_statements_after_discard () =
+  check_rejects "stmts after discard"
+    (Corpus.Dsl.program
+       [ Glsl_like.Ast.Discard; Corpus.Dsl.color (Corpus.Dsl.fl 0.0) (Corpus.Dsl.fl 0.0) (Corpus.Dsl.fl 0.0) ])
+
+(* ------------------------------------------------------------------ *)
+(* Lowering *)
+
+let test_lowered_corpus_valid () =
+  List.iter
+    (fun (name, m) ->
+      match Validate.check m with
+      | Ok () -> ()
+      | Error (e :: _) -> Alcotest.failf "%s: %s" name (Validate.error_to_string e)
+      | Error [] -> Alcotest.failf "%s invalid" name)
+    (Lazy.force Corpus.lowered_donors)
+
+let test_lowered_corpus_well_defined () =
+  List.iter
+    (fun (name, m) -> ignore (render_exn name m default_input))
+    (Lazy.force Corpus.lowered_donors)
+
+let test_lowering_semantics_spot_check () =
+  (* checkerboard: pixel (0,0) has parity 0 -> white; (1,0) parity 1 -> black *)
+  let _, m =
+    List.find (fun (n, _) -> String.equal n "checkerboard") (Lazy.force Corpus.lowered_references)
+  in
+  let img = render_exn "checkerboard" m default_input in
+  let red_of = function
+    | Image.Color (Value.VComposite [| Value.VFloat r; _; _; _ |]) -> r
+    | _ -> Alcotest.fail "pixel shape"
+  in
+  Alcotest.(check (float 1e-9)) "white" 1.0 (red_of (Image.get img ~x:0 ~y:0));
+  Alcotest.(check (float 1e-9)) "black" 0.0 (red_of (Image.get img ~x:1 ~y:0))
+
+let test_discard_lowers_to_kill () =
+  let p =
+    Corpus.Dsl.program
+      [
+        Corpus.Dsl.if_
+          (Corpus.Dsl.lt (Corpus.Dsl.v "gl_x") (Corpus.Dsl.fl 4.0))
+          [ Glsl_like.Ast.Discard ] [];
+        Corpus.Dsl.color (Corpus.Dsl.fl 1.0) (Corpus.Dsl.fl 1.0) (Corpus.Dsl.fl 1.0);
+      ]
+  in
+  (match Glsl_like.Typecheck.check p with
+  | Ok () -> ()
+  | Error e -> Alcotest.failf "typecheck: %s" e);
+  let m = Glsl_like.Lower.lower p in
+  let img = render_exn "discard" m (Input.make ~width:8 ~height:1 []) in
+  Alcotest.(check bool) "left killed" true (Image.get img ~x:0 ~y:0 = Image.Killed);
+  Alcotest.(check bool) "right drawn" true (Image.get img ~x:7 ~y:0 <> Image.Killed)
+
+let test_matrix_lowering_semantics () =
+  (* shear matrix [[1, .25],[.5, 1]] applied to (1, 2): columns are
+     (1,.25) and (.5,1), so m*v = (1*1 + .5*2, .25*1 + 1*2) = (2, 2.25) *)
+  let p =
+    Corpus.Dsl.program
+      [
+        Corpus.Dsl.decl (Glsl_like.Ast.TMat 2) "m"
+          (Corpus.Dsl.mat
+             [ Corpus.Dsl.vec [ Corpus.Dsl.fl 1.0; Corpus.Dsl.fl 0.25 ];
+               Corpus.Dsl.vec [ Corpus.Dsl.fl 0.5; Corpus.Dsl.fl 1.0 ] ]);
+        Corpus.Dsl.decl (Glsl_like.Ast.TVec 2) "p"
+          (Corpus.Dsl.vec [ Corpus.Dsl.fl 1.0; Corpus.Dsl.fl 2.0 ]);
+        Corpus.Dsl.decl (Glsl_like.Ast.TVec 2) "q"
+          (Corpus.Dsl.matvec (Corpus.Dsl.v "m") (Corpus.Dsl.v "p"));
+        Corpus.Dsl.color
+          (Corpus.Dsl.comp (Corpus.Dsl.v "q") 0)
+          (Corpus.Dsl.comp (Corpus.Dsl.v "q") 1)
+          (Corpus.Dsl.comp (Corpus.Dsl.col (Corpus.Dsl.v "m") 1) 0);
+      ]
+  in
+  (match Glsl_like.Typecheck.check p with
+  | Ok () -> ()
+  | Error e -> Alcotest.failf "typecheck: %s" e);
+  let m = Glsl_like.Lower.lower p in
+  match Interp.render m (Input.make ~width:1 ~height:1 []) with
+  | Error t -> Alcotest.failf "trap: %s" (Interp.trap_to_string t)
+  | Ok img -> (
+      match Image.get img ~x:0 ~y:0 with
+      | Image.Color (Value.VComposite [| Value.VFloat r; Value.VFloat g; Value.VFloat b; _ |]) ->
+          Alcotest.(check (float 1e-9)) "(m*p).x" 2.0 r;
+          Alcotest.(check (float 1e-9)) "(m*p).y" 2.25 g;
+          Alcotest.(check (float 1e-9)) "m[1][0]" 0.5 b
+      | _ -> Alcotest.fail "pixel shape")
+
+let test_matrix_type_errors () =
+  let reject name p =
+    match Glsl_like.Typecheck.check p with
+    | Ok () -> Alcotest.failf "%s should be rejected" name
+    | Error _ -> ()
+  in
+  reject "mat of wrong-size columns"
+    (Corpus.Dsl.program
+       [
+         Corpus.Dsl.decl (Glsl_like.Ast.TMat 2) "m"
+           (Corpus.Dsl.mat
+              [ Corpus.Dsl.vec [ Corpus.Dsl.fl 1.0; Corpus.Dsl.fl 0.0; Corpus.Dsl.fl 0.0 ];
+                Corpus.Dsl.vec [ Corpus.Dsl.fl 0.0; Corpus.Dsl.fl 1.0; Corpus.Dsl.fl 0.0 ] ]);
+         Corpus.Dsl.color (Corpus.Dsl.fl 0.0) (Corpus.Dsl.fl 0.0) (Corpus.Dsl.fl 0.0);
+       ]);
+  reject "mat_vec dimension mismatch"
+    (Corpus.Dsl.program
+       [
+         Corpus.Dsl.decl (Glsl_like.Ast.TMat 2) "m"
+           (Corpus.Dsl.mat
+              [ Corpus.Dsl.vec [ Corpus.Dsl.fl 1.0; Corpus.Dsl.fl 0.0 ];
+                Corpus.Dsl.vec [ Corpus.Dsl.fl 0.0; Corpus.Dsl.fl 1.0 ] ]);
+         Corpus.Dsl.decl (Glsl_like.Ast.TVec 3) "p"
+           (Corpus.Dsl.vec [ Corpus.Dsl.fl 1.0; Corpus.Dsl.fl 2.0; Corpus.Dsl.fl 3.0 ]);
+         Corpus.Dsl.decl (Glsl_like.Ast.TVec 2) "q"
+           (Corpus.Dsl.matvec (Corpus.Dsl.v "m") (Corpus.Dsl.v "p"));
+         Corpus.Dsl.color (Corpus.Dsl.fl 0.0) (Corpus.Dsl.fl 0.0) (Corpus.Dsl.fl 0.0);
+       ]);
+  reject "column index out of range"
+    (Corpus.Dsl.program
+       [
+         Corpus.Dsl.decl (Glsl_like.Ast.TMat 2) "m"
+           (Corpus.Dsl.mat
+              [ Corpus.Dsl.vec [ Corpus.Dsl.fl 1.0; Corpus.Dsl.fl 0.0 ];
+                Corpus.Dsl.vec [ Corpus.Dsl.fl 0.0; Corpus.Dsl.fl 1.0 ] ]);
+         Corpus.Dsl.dfloat "x" (Corpus.Dsl.comp (Corpus.Dsl.col (Corpus.Dsl.v "m") 5) 0);
+         Corpus.Dsl.color (Corpus.Dsl.fl 0.0) (Corpus.Dsl.fl 0.0) (Corpus.Dsl.fl 0.0);
+       ])
+
+(* ------------------------------------------------------------------ *)
+(* Source fuzzer *)
+
+let fuzz_all_references seed =
+  List.filter_map
+    (fun (name, p) ->
+      let r = Glsl_like.Source_fuzzer.fuzz ~seed p in
+      if r.Glsl_like.Source_fuzzer.applied = 0 then None
+      else Some (name, p, r.Glsl_like.Source_fuzzer.program))
+    Corpus.references
+
+let test_fuzzed_programs_typecheck () =
+  List.iter
+    (fun (name, _, fuzzed) ->
+      match Glsl_like.Typecheck.check fuzzed with
+      | Ok () -> ()
+      | Error e -> Alcotest.failf "fuzzed %s: %s" name e)
+    (fuzz_all_references 7)
+
+let test_fuzzed_programs_preserve_semantics () =
+  List.iter
+    (fun (name, original, fuzzed) ->
+      let m0 = Glsl_like.Lower.lower original in
+      let m1 = Glsl_like.Lower.lower fuzzed in
+      let i0 = render_exn name m0 default_input in
+      let i1 = render_exn (name ^ " fuzzed") m1 default_input in
+      if not (Image.equal i0 i1) then
+        Alcotest.failf "source fuzzing changed the image of %s" name)
+    (fuzz_all_references 11)
+
+let test_fuzzing_is_deterministic () =
+  let p = snd (List.hd Corpus.references) in
+  let a = (Glsl_like.Source_fuzzer.fuzz ~seed:3 p).Glsl_like.Source_fuzzer.program in
+  let b = (Glsl_like.Source_fuzzer.fuzz ~seed:3 p).Glsl_like.Source_fuzzer.program in
+  Alcotest.(check bool) "deterministic" true (Glsl_like.Ast.equal_program a b)
+
+let test_strip_all_markers_recovers_original () =
+  List.iter
+    (fun (name, original, fuzzed) ->
+      let stripped = Glsl_like.Ast.strip_all_markers fuzzed in
+      if not (Glsl_like.Ast.equal_program stripped original) then
+        Alcotest.failf "stripping markers of %s does not recover the original" name)
+    (fuzz_all_references 13)
+
+(* ------------------------------------------------------------------ *)
+(* Pretty-printer *)
+
+let test_pp_renders_corpus () =
+  List.iter
+    (fun (name, p) ->
+      let text = Glsl_like.Pp.program_to_string p in
+      if String.length text < 40 then Alcotest.failf "%s prints too little" name;
+      (* main must be present *)
+      (try ignore (Str.search_forward (Str.regexp_string "void main()") text 0)
+       with Not_found -> Alcotest.failf "%s lacks main" name))
+    Corpus.references
+
+let test_pp_markers_visible () =
+  let _, _, fuzzed =
+    match fuzz_all_references 19 with
+    | x :: _ -> x
+    | [] -> Alcotest.fail "no fuzzed programs"
+  in
+  let text = Glsl_like.Pp.program_to_string fuzzed in
+  let has re = try ignore (Str.search_forward (Str.regexp re) text 0); true with Not_found -> false in
+  Alcotest.(check bool) "some marker comment present" true
+    (has "/\\*\\(id\\|wrap\\|loop\\|injected\\):[0-9]+\\*/")
+
+let test_pp_diff_empty_on_equal () =
+  let p = snd (List.hd Corpus.references) in
+  let removed, added = Glsl_like.Pp.diff p p in
+  Alcotest.(check int) "no removals" 0 (List.length removed);
+  Alcotest.(check int) "no additions" 0 (List.length added)
+
+let test_pp_diff_localizes_change () =
+  let p = snd (List.hd Corpus.references) in
+  let fuzzed = (Glsl_like.Source_fuzzer.fuzz ~seed:19 p).Glsl_like.Source_fuzzer.program in
+  if Glsl_like.Ast.program_markers fuzzed = [] then ()
+  else begin
+    let removed, added = Glsl_like.Pp.diff p fuzzed in
+    Alcotest.(check bool) "diff is non-empty" true (removed <> [] || added <> [])
+  end
+
+(* ------------------------------------------------------------------ *)
+(* Hand-crafted reducer *)
+
+let test_reducer_reverts_all_when_uninteresting () =
+  (* interestingness that ignores the program: everything reverts *)
+  let _, p, fuzzed =
+    match fuzz_all_references 17 with
+    | x :: _ -> x
+    | [] -> Alcotest.fail "no fuzzed programs"
+  in
+  let reduced, stats =
+    Glsl_like.Source_reducer.reduce ~is_interesting:(fun _ -> true) fuzzed
+  in
+  Alcotest.(check int) "no markers kept" 0 stats.Glsl_like.Source_reducer.kept_markers;
+  Alcotest.(check bool) "recovered original" true (Glsl_like.Ast.equal_program reduced p)
+
+let test_reducer_keeps_needed_marker () =
+  (* interestingness: the lowered module contains an OpKill -- only the
+     dead-code injections carrying a discard matter *)
+  let has_kill p =
+    let m = Glsl_like.Lower.lower p in
+    List.exists
+      (fun (f : Func.t) ->
+        List.exists (fun (b : Block.t) -> b.Block.terminator = Block.Kill) f.Func.blocks)
+      m.Module_ir.functions
+  in
+  let candidates =
+    List.concat_map
+      (fun seed ->
+        List.filter_map
+          (fun (_, _, fuzzed) -> if has_kill fuzzed then Some fuzzed else None)
+          (fuzz_all_references seed))
+      [ 1; 2; 3; 4; 5 ]
+  in
+  match candidates with
+  | [] -> Alcotest.fail "no fuzzed program acquired a discard"
+  | fuzzed :: _ ->
+      let reduced, stats = Glsl_like.Source_reducer.reduce ~is_interesting:has_kill fuzzed in
+      Alcotest.(check bool) "still interesting" true (has_kill reduced);
+      Alcotest.(check bool) "some markers reverted" true
+        (stats.Glsl_like.Source_reducer.kept_markers
+        <= stats.Glsl_like.Source_reducer.initial_markers);
+      (* 1-minimality at source level *)
+      List.iter
+        (fun m ->
+          Alcotest.(check bool) "reverting any kept marker breaks it" false
+            (has_kill (Glsl_like.Ast.revert_program m reduced)))
+        (Glsl_like.Ast.program_markers reduced)
+
+let () =
+  Alcotest.run "glsl_like"
+    [
+      ( "typecheck",
+        [
+          Alcotest.test_case "corpus typechecks" `Quick test_corpus_typechecks;
+          Alcotest.test_case "rejects unbound variable" `Quick test_rejects_unbound_variable;
+          Alcotest.test_case "rejects type mismatch" `Quick test_rejects_type_mismatch;
+          Alcotest.test_case "rejects return in main" `Quick test_rejects_return_in_main;
+          Alcotest.test_case "rejects missing return" `Quick test_rejects_missing_return;
+          Alcotest.test_case "rejects stmts after discard" `Quick
+            test_rejects_statements_after_discard;
+        ] );
+      ( "lower",
+        [
+          Alcotest.test_case "corpus lowers to valid modules" `Quick test_lowered_corpus_valid;
+          Alcotest.test_case "corpus renders" `Quick test_lowered_corpus_well_defined;
+          Alcotest.test_case "checkerboard spot check" `Quick test_lowering_semantics_spot_check;
+          Alcotest.test_case "discard lowers to OpKill" `Quick test_discard_lowers_to_kill;
+          Alcotest.test_case "matrix lowering semantics" `Quick test_matrix_lowering_semantics;
+          Alcotest.test_case "matrix type errors" `Quick test_matrix_type_errors;
+        ] );
+      ( "source_fuzzer",
+        [
+          Alcotest.test_case "fuzzed programs typecheck" `Quick test_fuzzed_programs_typecheck;
+          Alcotest.test_case "fuzzing preserves semantics" `Quick
+            test_fuzzed_programs_preserve_semantics;
+          Alcotest.test_case "fuzzing is deterministic" `Quick test_fuzzing_is_deterministic;
+          Alcotest.test_case "stripping markers recovers the original" `Quick
+            test_strip_all_markers_recovers_original;
+        ] );
+      ( "pp",
+        [
+          Alcotest.test_case "renders the corpus" `Quick test_pp_renders_corpus;
+          Alcotest.test_case "markers visible" `Quick test_pp_markers_visible;
+          Alcotest.test_case "diff empty on equal" `Quick test_pp_diff_empty_on_equal;
+          Alcotest.test_case "diff localizes changes" `Quick test_pp_diff_localizes_change;
+        ] );
+      ( "source_reducer",
+        [
+          Alcotest.test_case "reverts everything when uninteresting" `Quick
+            test_reducer_reverts_all_when_uninteresting;
+          Alcotest.test_case "keeps the needed marker (1-minimal)" `Quick
+            test_reducer_keeps_needed_marker;
+        ] );
+    ]

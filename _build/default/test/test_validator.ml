@@ -1,0 +1,413 @@
+(* Systematic validator tests: one crafted invalid module per rule, checking
+   that the right class of error is reported — plus interpreter semantics
+   checks for every operator. *)
+
+open Spirv_ir
+
+(* Build a minimal valid module and then break it with [mutate]. *)
+let base () =
+  let b = Builder.create () in
+  let void_t = Builder.void_ty b in
+  let out = Builder.output_color b in
+  let fb, main, _ = Builder.begin_function b ~name:"main" ~ret:void_t ~params:[] in
+  let l = Builder.new_label fb in
+  Builder.start_block fb l;
+  let one = Builder.cfloat b 1.0 in
+  let half = Builder.cfloat b 0.5 in
+  let v = Builder.fadd fb one half in
+  let color = Builder.composite fb ~ty:(Builder.vec4f b) [ v; one; half; one ] in
+  Builder.store fb out color;
+  Builder.ret fb;
+  ignore (Builder.end_function fb);
+  Builder.finish b ~entry:main
+
+let expect_error ~substring name mutate =
+  let m = mutate (base ()) in
+  match Validate.check m with
+  | Ok () -> Alcotest.failf "%s: expected a validation error" name
+  | Error errors ->
+      let rendered = String.concat "\n" (List.map Validate.error_to_string errors) in
+      let found =
+        try
+          ignore (Str.search_forward (Str.regexp_string substring) rendered 0);
+          true
+        with Not_found -> false
+      in
+      if not found then
+        Alcotest.failf "%s: errors do not mention %S:\n%s" name substring rendered
+
+let map_main m f =
+  {
+    m with
+    Module_ir.functions =
+      List.map
+        (fun (fn : Func.t) ->
+          if Id.equal fn.Func.id m.Module_ir.entry then f fn else fn)
+        m.Module_ir.functions;
+  }
+
+let map_entry_block m f =
+  map_main m (fun fn ->
+      match fn.Func.blocks with
+      | b :: rest -> { fn with Func.blocks = f b :: rest }
+      | [] -> fn)
+
+let test_bad_vector_size () =
+  expect_error ~substring:"out of range" "vector size 5" (fun m ->
+      let float_id = Option.get (Module_ir.find_type_id m Ty.Float) in
+      {
+        m with
+        Module_ir.types =
+          m.Module_ir.types
+          @ [ { Module_ir.td_id = m.Module_ir.id_bound; td_ty = Ty.Vector (float_id, 5) } ];
+        Module_ir.id_bound = m.Module_ir.id_bound + 1;
+      })
+
+let test_vector_of_vector () =
+  expect_error ~substring:"must be a scalar" "vector of vector" (fun m ->
+      let float_id = Option.get (Module_ir.find_type_id m Ty.Float) in
+      let vec = Option.get (Module_ir.find_type_id m (Ty.Vector (float_id, 4))) in
+      {
+        m with
+        Module_ir.types =
+          m.Module_ir.types
+          @ [ { Module_ir.td_id = m.Module_ir.id_bound; td_ty = Ty.Vector (vec, 2) } ];
+        Module_ir.id_bound = m.Module_ir.id_bound + 1;
+      })
+
+let test_forward_type_reference () =
+  expect_error ~substring:"not declared earlier" "forward type reference" (fun m ->
+      (* an array referencing a type id declared after it *)
+      let a = m.Module_ir.id_bound and b = m.Module_ir.id_bound + 1 in
+      {
+        m with
+        Module_ir.types =
+          m.Module_ir.types
+          @ [
+              { Module_ir.td_id = a; td_ty = Ty.Array (b, 2) };
+              { Module_ir.td_id = b; td_ty = Ty.Int };
+            ];
+        Module_ir.id_bound = b + 1;
+      })
+
+let test_composite_constant_arity () =
+  expect_error ~substring:"arity" "composite constant arity" (fun m ->
+      let float_id = Option.get (Module_ir.find_type_id m Ty.Float) in
+      let vec4 = Option.get (Module_ir.find_type_id m (Ty.Vector (float_id, 4))) in
+      let one =
+        Option.get (Module_ir.find_constant_id m ~ty:float_id ~value:(Constant.Float 1.0))
+      in
+      {
+        m with
+        Module_ir.constants =
+          m.Module_ir.constants
+          @ [
+              {
+                Module_ir.cd_id = m.Module_ir.id_bound;
+                cd_ty = vec4;
+                cd_value = Constant.Composite [ one ];
+              };
+            ];
+        Module_ir.id_bound = m.Module_ir.id_bound + 1;
+      })
+
+let test_global_non_pointer () =
+  expect_error ~substring:"must be a pointer" "global with value type" (fun m ->
+      let float_id = Option.get (Module_ir.find_type_id m Ty.Float) in
+      {
+        m with
+        Module_ir.globals =
+          m.Module_ir.globals
+          @ [ { Module_ir.gd_id = m.Module_ir.id_bound; gd_ty = float_id; gd_name = "bad"; gd_init = None } ];
+        Module_ir.id_bound = m.Module_ir.id_bound + 1;
+      })
+
+let test_entry_with_params () =
+  expect_error ~substring:"no parameters" "entry with parameters" (fun m ->
+      map_main m (fun fn ->
+          {
+            fn with
+            Func.params = [ { Func.param_id = m.Module_ir.id_bound + 5; Func.param_ty = 1 } ];
+          }))
+
+let test_branch_to_unknown_block () =
+  expect_error ~substring:"unknown block" "dangling branch" (fun m ->
+      map_entry_block m (fun b -> { b with Block.terminator = Block.Branch 99999 }))
+
+let test_branch_to_entry () =
+  expect_error ~substring:"entry block" "branch to entry" (fun m ->
+      map_entry_block m (fun b -> { b with Block.terminator = Block.Branch b.Block.label }))
+
+let test_return_value_from_void () =
+  expect_error ~substring:"return" "return value from void fn" (fun m ->
+      let v =
+        (* any defined float id *)
+        let f = Module_ir.entry_function m in
+        Option.get (List.hd (Func.entry_block f).Block.instrs).Instr.result
+      in
+      map_entry_block m (fun b -> { b with Block.terminator = Block.ReturnValue v }))
+
+let test_store_missing_value_type () =
+  expect_error ~substring:"store value type mismatch" "ill-typed store" (fun m ->
+      let f = Module_ir.entry_function m in
+      let bad_value =
+        (* store a bool-typed... base has no bool; use the vec4 color's
+           first scalar constant 1.0 stored into vec4 pointer *)
+        Option.get
+          (Module_ir.find_constant_id m
+             ~ty:(Option.get (Module_ir.find_type_id m Ty.Float))
+             ~value:(Constant.Float 1.0))
+      in
+      let out = (List.hd m.Module_ir.globals).Module_ir.gd_id in
+      ignore f;
+      map_entry_block m (fun b ->
+          {
+            b with
+            Block.instrs =
+              List.map
+                (fun (i : Instr.t) ->
+                  match i.Instr.op with
+                  | Instr.Store (p, _) when Id.equal p out ->
+                      { i with Instr.op = Instr.Store (p, bad_value) }
+                  | _ -> i)
+                b.Block.instrs;
+          }))
+
+let test_phi_in_entry_block () =
+  expect_error ~substring:"phi in entry block" "phi in entry" (fun m ->
+      let float_id = Option.get (Module_ir.find_type_id m Ty.Float) in
+      let one =
+        Option.get (Module_ir.find_constant_id m ~ty:float_id ~value:(Constant.Float 1.0))
+      in
+      map_entry_block m (fun b ->
+          {
+            b with
+            Block.instrs =
+              Instr.make ~result:m.Module_ir.id_bound ~ty:float_id
+                (Instr.Phi [ (one, b.Block.label) ])
+              :: b.Block.instrs;
+          }))
+
+let test_duplicate_block_labels () =
+  expect_error ~substring:"duplicate" "duplicate labels" (fun m ->
+      map_main m (fun fn ->
+          match fn.Func.blocks with
+          | b :: rest ->
+              {
+                fn with
+                Func.blocks =
+                  { b with Block.terminator = Block.Branch b.Block.label } :: b :: rest;
+              }
+          | [] -> fn))
+
+let test_unknown_callee () =
+  expect_error ~substring:"unknown function" "dangling call" (fun m ->
+      let float_id = Option.get (Module_ir.find_type_id m Ty.Float) in
+      map_entry_block m (fun b ->
+          {
+            b with
+            Block.instrs =
+              b.Block.instrs
+              @ [
+                  Instr.make ~result:m.Module_ir.id_bound ~ty:float_id
+                    (Instr.FunctionCall (4242, []));
+                ];
+          }))
+
+let test_block_order_violation () =
+  (* build a two-block function and put the dominated block first *)
+  let b = Builder.create () in
+  let void_t = Builder.void_ty b in
+  let out = Builder.output_color b in
+  let fb, main, _ = Builder.begin_function b ~name:"main" ~ret:void_t ~params:[] in
+  let l0 = Builder.new_label fb in
+  let l1 = Builder.new_label fb in
+  Builder.start_block fb l0;
+  Builder.branch fb l1;
+  Builder.start_block fb l1;
+  let one = Builder.cfloat b 1.0 in
+  let color = Builder.composite fb ~ty:(Builder.vec4f b) [ one; one; one; one ] in
+  Builder.store fb out color;
+  Builder.ret fb;
+  ignore (Builder.end_function fb);
+  let m = Builder.finish b ~entry:main in
+  Alcotest.(check bool) "in order valid" true (Validate.is_valid m);
+  (* swapping puts l1 (dominated) before l0, and also gives the entry block
+     a predecessor: both errors *)
+  let m_bad =
+    {
+      m with
+      Module_ir.functions =
+        List.map
+          (fun (fn : Func.t) ->
+            { fn with Func.blocks = List.rev fn.Func.blocks })
+          m.Module_ir.functions;
+    }
+  in
+  Alcotest.(check bool) "reversed invalid" false (Validate.is_valid m_bad)
+
+(* ------------------------------------------------------------------ *)
+(* Operator semantics (every binop/unop through the interpreter) *)
+
+let eval_binop_fn op a bv =
+  (* build a module computing op(a, b) and evaluate via run_function *)
+  let b = Builder.create () in
+  let void_t = Builder.void_ty b in
+  let out = Builder.output_color b in
+  let arg_ty v = match v with
+    | Value.VInt _ -> Builder.int_ty b
+    | Value.VFloat _ -> Builder.float_ty b
+    | Value.VBool _ -> Builder.bool_ty b
+    | Value.VComposite _ -> Builder.vec2f b
+  in
+  let fb, fn, params =
+    Builder.begin_function b ~name:"f"
+      ~ret:(let r = Ops.eval_binop op a bv in arg_ty r)
+      ~params:[ arg_ty a; arg_ty bv ]
+  in
+  let pa, pb = match params with [ x; y ] -> (x, y) | _ -> assert false in
+  let l = Builder.new_label fb in
+  Builder.start_block fb l;
+  let r = Builder.binop fb op pa pb in
+  Builder.ret_value fb r;
+  ignore (Builder.end_function fb);
+  let fb, main, _ = Builder.begin_function b ~name:"main" ~ret:void_t ~params:[] in
+  let l = Builder.new_label fb in
+  Builder.start_block fb l;
+  let one = Builder.cfloat b 1.0 in
+  let color = Builder.composite fb ~ty:(Builder.vec4f b) [ one; one; one; one ] in
+  Builder.store fb out color;
+  Builder.ret fb;
+  ignore (Builder.end_function fb);
+  let m = Builder.finish b ~entry:main in
+  match Interp.run_function m ~fn ~args:[ a; bv ] with
+  | Ok (Some v) -> v
+  | Ok None -> Alcotest.fail "void result"
+  | Error t -> Alcotest.failf "trap: %s" (Interp.trap_to_string t)
+
+let vi i = Value.VInt (Int32.of_int i)
+let vf f = Value.VFloat f
+let vb x = Value.VBool x
+
+let check_value name expected actual =
+  Alcotest.(check bool) name true (Value.equal expected actual)
+
+let test_integer_ops () =
+  check_value "add" (vi 7) (eval_binop_fn Instr.IAdd (vi 3) (vi 4));
+  check_value "sub" (vi (-1)) (eval_binop_fn Instr.ISub (vi 3) (vi 4));
+  check_value "mul" (vi 12) (eval_binop_fn Instr.IMul (vi 3) (vi 4));
+  check_value "div" (vi 2) (eval_binop_fn Instr.SDiv (vi 9) (vi 4));
+  check_value "div by zero is 0" (vi 0) (eval_binop_fn Instr.SDiv (vi 9) (vi 0));
+  check_value "mod" (vi 1) (eval_binop_fn Instr.SMod (vi 9) (vi 4));
+  check_value "mod by zero is 0" (vi 0) (eval_binop_fn Instr.SMod (vi 9) (vi 0));
+  check_value "neg mod truncates" (vi (-1)) (eval_binop_fn Instr.SMod (vi (-9)) (vi 4));
+  check_value "overflow wraps" (vi (-2147483648))
+    (eval_binop_fn Instr.IAdd (vi 2147483647) (vi 1))
+
+let test_integer_comparisons () =
+  check_value "lt" (vb true) (eval_binop_fn Instr.SLessThan (vi 1) (vi 2));
+  check_value "le eq" (vb true) (eval_binop_fn Instr.SLessThanEqual (vi 2) (vi 2));
+  check_value "gt" (vb false) (eval_binop_fn Instr.SGreaterThan (vi 1) (vi 2));
+  check_value "ge" (vb false) (eval_binop_fn Instr.SGreaterThanEqual (vi 1) (vi 2));
+  check_value "eq" (vb false) (eval_binop_fn Instr.IEqual (vi 1) (vi 2));
+  check_value "ne" (vb true) (eval_binop_fn Instr.INotEqual (vi 1) (vi 2))
+
+let test_float_ops () =
+  check_value "fadd" (vf 3.5) (eval_binop_fn Instr.FAdd (vf 1.25) (vf 2.25));
+  check_value "fsub" (vf (-1.0)) (eval_binop_fn Instr.FSub (vf 1.0) (vf 2.0));
+  check_value "fmul" (vf 2.5) (eval_binop_fn Instr.FMul (vf 1.25) (vf 2.0));
+  check_value "fdiv" (vf 0.625) (eval_binop_fn Instr.FDiv (vf 1.25) (vf 2.0));
+  check_value "fdiv by zero is 0" (vf 0.0) (eval_binop_fn Instr.FDiv (vf 1.25) (vf 0.0));
+  check_value "flt" (vb true) (eval_binop_fn Instr.FOrdLessThan (vf 1.0) (vf 2.0));
+  check_value "fge" (vb false) (eval_binop_fn Instr.FOrdGreaterThanEqual (vf 1.0) (vf 2.0));
+  check_value "feq" (vb true) (eval_binop_fn Instr.FOrdEqual (vf 1.0) (vf 1.0))
+
+let test_bool_ops () =
+  check_value "and" (vb false) (eval_binop_fn Instr.LogicalAnd (vb true) (vb false));
+  check_value "or" (vb true) (eval_binop_fn Instr.LogicalOr (vb true) (vb false))
+
+let test_unops () =
+  check_value "snegate" (Value.VInt (-3l)) (Ops.eval_unop Instr.SNegate (vi 3));
+  check_value "fnegate" (vf (-1.5)) (Ops.eval_unop Instr.FNegate (vf 1.5));
+  check_value "not" (vb false) (Ops.eval_unop Instr.LogicalNot (vb true));
+  check_value "s2f" (vf 3.0) (Ops.eval_unop Instr.ConvertSToF (vi 3));
+  check_value "f2s truncates" (vi 3) (Ops.eval_unop Instr.ConvertFToS (vf 3.9));
+  check_value "f2s negative truncates" (vi (-3)) (Ops.eval_unop Instr.ConvertFToS (vf (-3.9)))
+
+(* ------------------------------------------------------------------ *)
+(* Analysis availability *)
+
+let test_availability () =
+  let b = Builder.create () in
+  let void_t = Builder.void_ty b in
+  let out = Builder.output_color b in
+  let fb, main, _ = Builder.begin_function b ~name:"main" ~ret:void_t ~params:[] in
+  let l0 = Builder.new_label fb in
+  let lt = Builder.new_label fb in
+  let le = Builder.new_label fb in
+  let lm = Builder.new_label fb in
+  Builder.start_block fb l0;
+  let one = Builder.cfloat b 1.0 in
+  let v0 = Builder.fadd fb one one in
+  let c = Builder.flt fb v0 one in
+  Builder.branch_cond fb c lt le;
+  Builder.start_block fb lt;
+  let v1 = Builder.fadd fb v0 one in
+  Builder.branch fb lm;
+  Builder.start_block fb le;
+  Builder.branch fb lm;
+  Builder.start_block fb lm;
+  let phi = Builder.phi fb ~ty:(Builder.float_ty b) [ (v1, lt); (v0, le) ] in
+  let color = Builder.composite fb ~ty:(Builder.vec4f b) [ phi; one; one; one ] in
+  Builder.store fb out color;
+  Builder.ret fb;
+  ignore (Builder.end_function fb);
+  let m = Builder.finish b ~entry:main in
+  let f = Module_ir.entry_function m in
+  let a = Analysis.make m f in
+  (* v0 (entry) is available everywhere *)
+  Alcotest.(check bool) "v0 at lm" true (Analysis.available_at_end a ~block:lm v0);
+  (* v1 (then-arm) is not available in the merge block *)
+  Alcotest.(check bool) "v1 not at lm" false (Analysis.available_at a ~block:lm ~index:1 v1);
+  (* v1 is available at the end of its own block *)
+  Alcotest.(check bool) "v1 at lt end" true (Analysis.available_at_end a ~block:lt v1);
+  (* constants are available everywhere *)
+  Alcotest.(check bool) "const everywhere" true (Analysis.available_at a ~block:le ~index:0 one);
+  (* candidates of float type at the merge include v0 but not v1 *)
+  let float_id = Option.get (Module_ir.find_type_id m Ty.Float) in
+  let cands = Analysis.available_ids_of_type a ~block:lm ~index:1 ~ty:float_id in
+  Alcotest.(check bool) "v0 candidate" true (List.mem v0 cands);
+  Alcotest.(check bool) "v1 not candidate" false (List.mem v1 cands)
+
+let () =
+  Alcotest.run "validator_and_ops"
+    [
+      ( "validator-negative",
+        [
+          Alcotest.test_case "vector size out of range" `Quick test_bad_vector_size;
+          Alcotest.test_case "vector of vector" `Quick test_vector_of_vector;
+          Alcotest.test_case "forward type reference" `Quick test_forward_type_reference;
+          Alcotest.test_case "composite constant arity" `Quick test_composite_constant_arity;
+          Alcotest.test_case "global with non-pointer type" `Quick test_global_non_pointer;
+          Alcotest.test_case "entry point with parameters" `Quick test_entry_with_params;
+          Alcotest.test_case "branch to unknown block" `Quick test_branch_to_unknown_block;
+          Alcotest.test_case "branch to entry block" `Quick test_branch_to_entry;
+          Alcotest.test_case "return value from void function" `Quick
+            test_return_value_from_void;
+          Alcotest.test_case "ill-typed store" `Quick test_store_missing_value_type;
+          Alcotest.test_case "phi in entry block" `Quick test_phi_in_entry_block;
+          Alcotest.test_case "duplicate block labels" `Quick test_duplicate_block_labels;
+          Alcotest.test_case "call to unknown function" `Quick test_unknown_callee;
+          Alcotest.test_case "block order violation" `Quick test_block_order_violation;
+        ] );
+      ( "operators",
+        [
+          Alcotest.test_case "integer arithmetic" `Quick test_integer_ops;
+          Alcotest.test_case "integer comparisons" `Quick test_integer_comparisons;
+          Alcotest.test_case "float arithmetic" `Quick test_float_ops;
+          Alcotest.test_case "boolean operators" `Quick test_bool_ops;
+          Alcotest.test_case "unary operators" `Quick test_unops;
+        ] );
+      ( "analysis",
+        [ Alcotest.test_case "availability" `Quick test_availability ] );
+    ]
