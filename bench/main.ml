@@ -56,12 +56,12 @@ let print_figures_4_5 () =
 
 let tool_labels = [| "spirv-fuzz"; "spirv-fuzz-simple"; "glsl-fuzz" |]
 
-let run_campaigns ~scale =
+let run_campaigns ~scale ~engine =
   let t0 = Unix.gettimeofday () in
   let hits =
     Array.map
       (fun tool ->
-        let h = Harness.Experiments.run_campaign ~scale tool in
+        let h = Harness.Experiments.run_campaign ~scale ~engine tool in
         Printf.printf "  campaign %-18s %4d detections\n%!"
           (Harness.Pipeline.tool_name tool) (List.length h);
         h)
@@ -109,9 +109,9 @@ let print_figure7 ~hits =
 (* ------------------------------------------------------------------ *)
 (* RQ2 / Table 4                                                       *)
 
-let print_rq2 ~scale ~hits =
+let print_rq2 ~scale ~engine ~hits =
   section "RQ2 (section 4.2): reduction quality";
-  let r = Harness.Experiments.rq2 ~scale ~hits () in
+  let r = Harness.Experiments.rq2 ~scale ~engine ~hits () in
   Printf.printf "reductions run: spirv-fuzz %d, glsl-fuzz %d\n"
     (List.length r.Harness.Experiments.rq2_spirv)
     (List.length r.Harness.Experiments.rq2_glsl);
@@ -132,9 +132,9 @@ let print_rq2 ~scale ~hits =
     (kept r.Harness.Experiments.rq2_spirv) (initial r.Harness.Experiments.rq2_spirv)
     (kept r.Harness.Experiments.rq2_glsl) (initial r.Harness.Experiments.rq2_glsl)
 
-let print_table4 ~scale ~hits =
+let print_table4 ~scale ~engine ~hits =
   section "Table 4: deduplication effectiveness (crash bugs, spirv-fuzz tests)";
-  let rows, total = Harness.Experiments.table4 ~scale ~hits () in
+  let rows, total = Harness.Experiments.table4 ~scale ~engine ~hits () in
   Printf.printf "%-14s %6s %6s %8s %9s %6s\n" "Target" "Tests" "Sigs" "Reports"
     "Distinct" "Dups";
   List.iter
@@ -184,10 +184,10 @@ let print_figure8 () =
 (* ------------------------------------------------------------------ *)
 (* Ablations                                                           *)
 
-let print_ablations ~scale ~hits =
+let print_ablations ~scale ~engine ~hits =
   section "Ablation: dedup ignore-list (section 3.5) on vs off";
   let totals ?ignored () =
-    let _, total = Harness.Experiments.table4 ~scale ?ignored ~hits () in
+    let _, total = Harness.Experiments.table4 ~scale ?ignored ~engine ~hits () in
     total
   in
   let on = totals () in
@@ -259,6 +259,64 @@ let print_ablations ~scale ~hits =
     r.Harness.Experiments.t3_vs_simple
 
 (* ------------------------------------------------------------------ *)
+(* Engine: run cache and domain-parallel campaigns                     *)
+
+let engine_perf () =
+  section "Engine: content-addressed run cache & domain-parallel campaigns";
+  let scale =
+    { Harness.Experiments.default_scale with Harness.Experiments.seeds = 80 }
+  in
+  let tool = Harness.Pipeline.Spirv_fuzz_tool in
+  let timed f =
+    let t0 = Unix.gettimeofday () in
+    let r = f () in
+    (r, Unix.gettimeofday () -. t0)
+  in
+  (* cold sequential run *)
+  let cold_engine = Harness.Engine.create () in
+  let seq_hits, seq_time =
+    timed (fun () -> Harness.Experiments.run_campaign ~scale ~engine:cold_engine tool)
+  in
+  let cold = Harness.Engine.stats cold_engine in
+  Printf.printf "sequential campaign (%d seeds): %.2fs, %d detections\n"
+    scale.Harness.Experiments.seeds seq_time (List.length seq_hits);
+  Printf.printf "  %s\n" (Harness.Engine.stats_to_string cold);
+  Printf.printf "  runs executed: %d, runs saved by caching: %d (%.1f%% hit rate)\n"
+    cold.Harness.Engine.runs_executed cold.Harness.Engine.runs_saved
+    (100.0 *. cold.Harness.Engine.hit_rate);
+  (* warm rerun on the same engine: the whole campaign is served from cache *)
+  let warm_hits, warm_time =
+    timed (fun () -> Harness.Experiments.run_campaign ~scale ~engine:cold_engine tool)
+  in
+  let warm = Harness.Engine.stats cold_engine in
+  Printf.printf
+    "warm rerun (same engine): %.2fs (%.1fx speedup), hits identical: %b, \
+     %d additional runs executed\n"
+    warm_time
+    (seq_time /. Float.max 1e-9 warm_time)
+    (warm_hits = seq_hits)
+    (warm.Harness.Engine.runs_executed - cold.Harness.Engine.runs_executed);
+  (* domain-parallel cold runs: bit-identical hit lists, wall-clock speedup *)
+  List.iter
+    (fun domains ->
+      let engine = Harness.Engine.create () in
+      let par_hits, par_time =
+        timed (fun () ->
+            Harness.Experiments.run_campaign ~scale ~domains ~engine tool)
+      in
+      Printf.printf
+        "%d-domain campaign: %.2fs (%.2fx vs sequential), hits identical to \
+         sequential: %b\n"
+        domains par_time
+        (seq_time /. Float.max 1e-9 par_time)
+        (par_hits = seq_hits))
+    [ 2; 4 ];
+  Printf.printf
+    "(campaign speedup is bounded by the cores available to this container: \
+     %d recommended domains)\n"
+    (Domain.recommended_domain_count ())
+
+(* ------------------------------------------------------------------ *)
 (* Bechamel micro-benchmarks                                           *)
 
 let perf_suite () =
@@ -327,12 +385,18 @@ let () =
   print_figure8 ();
   if not !skip_campaign then begin
     section (Printf.sprintf "Campaigns (%d seeds per tool configuration)" !seeds);
-    let hits = run_campaigns ~scale in
+    let engine = Harness.Engine.create () in
+    let hits = run_campaigns ~scale ~engine in
     print_table3 ~scale ~hits;
     print_figure7 ~hits;
-    print_rq2 ~scale ~hits;
-    print_table4 ~scale ~hits;
-    if !ablate then print_ablations ~scale ~hits
+    print_rq2 ~scale ~engine ~hits;
+    print_table4 ~scale ~engine ~hits;
+    if !ablate then print_ablations ~scale ~engine ~hits;
+    Printf.printf "\n%s\n"
+      (Harness.Engine.stats_to_string (Harness.Engine.stats engine))
   end;
-  if !perf then perf_suite ();
+  if !perf then begin
+    engine_perf ();
+    perf_suite ()
+  end;
   print_newline ()

@@ -211,13 +211,14 @@ let hunt_cmd =
     let m = or_die (load ~path ~corpus) in
     let t = or_die (find_target target) in
     let input = Corpus.default_input in
+    let engine = Harness.Engine.create () in
     let config =
       {
         Spirv_fuzz.Fuzzer.default_config with
         Spirv_fuzz.Fuzzer.donors = List.map snd (Lazy.force Corpus.lowered_donors);
       }
     in
-    let original_run = Compilers.Backend.run t m input in
+    let original_run = Harness.Engine.run engine t m input in
     let exception Found of int * Spirv_fuzz.Fuzzer.result * string in
     (try
        for seed = 0 to seeds - 1 do
@@ -225,8 +226,8 @@ let hunt_cmd =
          let result = Spirv_fuzz.Fuzzer.run ~config ~seed ctx in
          match
            ( original_run,
-             Compilers.Backend.run t result.Spirv_fuzz.Fuzzer.final.Spirv_fuzz.Context.m
-               input )
+             Harness.Engine.run engine t
+               result.Spirv_fuzz.Fuzzer.final.Spirv_fuzz.Context.m input )
          with
          | _, Compilers.Backend.Crashed s -> raise (Found (seed, result, s))
          | Compilers.Backend.Rendered i0, Compilers.Backend.Rendered i1
@@ -239,7 +240,7 @@ let hunt_cmd =
        Printf.printf "seed %d triggers: %s\n" seed signature;
        let ctx = Spirv_fuzz.Context.make m input in
        let is_interesting (c : Spirv_fuzz.Context.t) =
-         match (original_run, Compilers.Backend.run t c.Spirv_fuzz.Context.m input) with
+         match (original_run, Harness.Engine.run engine t c.Spirv_fuzz.Context.m input) with
          | _, Compilers.Backend.Crashed s -> String.equal s signature
          | Compilers.Backend.Rendered i0, Compilers.Backend.Rendered i1 ->
              String.equal signature "miscompilation" && not (Spirv_ir.Image.equal i0 i1)
@@ -257,7 +258,8 @@ let hunt_cmd =
          (fun tr -> Printf.printf "  %s\n" (Spirv_fuzz.Transformation.type_id tr))
          r.Spirv_fuzz.Reducer.transformations;
        Printf.printf "delta between original and reduced variant:\n%s\n"
-         (Spirv_fuzz.Reducer.delta_listing ~original:ctx r.Spirv_fuzz.Reducer.reduced))
+         (Spirv_fuzz.Reducer.delta_listing ~original:ctx r.Spirv_fuzz.Reducer.reduced));
+    print_endline (Harness.Engine.stats_to_string (Harness.Engine.stats engine))
   in
   Cmd.v
     (Cmd.info "hunt"
@@ -275,7 +277,17 @@ let campaign_cmd =
     Arg.(value & opt string "spirv-fuzz"
          & info [ "tool" ] ~doc:"spirv-fuzz | spirv-fuzz-simple | glsl-fuzz")
   in
-  let run seeds tool =
+  let domains_arg =
+    Arg.(value & opt int 1
+         & info [ "domains" ] ~docv:"N"
+             ~doc:"Parallel domains to run the campaign on (hit list is \
+                   identical to the sequential one).")
+  in
+  let stats_arg =
+    Arg.(value & flag
+         & info [ "stats" ] ~doc:"Print engine cache/instrumentation stats.")
+  in
+  let run seeds tool domains stats =
     let tool =
       match tool with
       | "spirv-fuzz" -> Harness.Pipeline.Spirv_fuzz_tool
@@ -286,8 +298,11 @@ let campaign_cmd =
           exit 1
     in
     let scale = { Harness.Experiments.default_scale with Harness.Experiments.seeds = seeds } in
-    let hits = Harness.Experiments.run_campaign ~scale tool in
+    let engine = Harness.Engine.create () in
+    let hits = Harness.Experiments.run_campaign ~scale ~domains ~engine tool in
     Printf.printf "%d detections from %d seeds\n" (List.length hits) seeds;
+    if stats then
+      print_endline (Harness.Engine.stats_to_string (Harness.Engine.stats engine));
     let tally = Hashtbl.create 16 in
     List.iter
       (fun (h : Harness.Experiments.hit) ->
@@ -303,7 +318,7 @@ let campaign_cmd =
   in
   Cmd.v
     (Cmd.info "campaign" ~doc:"Run a fuzzing campaign over all targets.")
-    Term.(const run $ seeds_arg $ tool_arg)
+    Term.(const run $ seeds_arg $ tool_arg $ domains_arg $ stats_arg)
 
 (* ------------------------------------------------------------------ *)
 (* dedup: fuzz, reduce the crashes, run the Figure 6 selection            *)
@@ -326,7 +341,10 @@ let dedup_cmd =
     in
     Printf.printf "fuzzing %d seeds against every target...
 %!" seeds;
-    let hits = Harness.Experiments.run_campaign ~scale Harness.Pipeline.Spirv_fuzz_tool in
+    let engine = Harness.Engine.create () in
+    let hits =
+      Harness.Experiments.run_campaign ~scale ~engine Harness.Pipeline.Spirv_fuzz_tool
+    in
     let crashes =
       List.filter
         (fun (h : Harness.Experiments.hit) ->
@@ -338,7 +356,9 @@ let dedup_cmd =
     Printf.printf "%d detections (%d crashes); reducing and deduplicating...
 %!"
       (List.length hits) (List.length crashes);
-    let rows, total = Harness.Experiments.table4 ~scale ~hits:[| hits; []; [] |] () in
+    let rows, total =
+      Harness.Experiments.table4 ~scale ~engine ~hits:[| hits; []; [] |] ()
+    in
     Printf.printf "%-14s %6s %6s %8s %9s %6s
 " "Target" "Tests" "Sigs" "Reports"
       "Distinct" "Dups";
@@ -350,7 +370,8 @@ let dedup_cmd =
             r.Harness.Experiments.t4_tests r.Harness.Experiments.t4_sigs
             r.Harness.Experiments.t4_reports r.Harness.Experiments.t4_distinct
             r.Harness.Experiments.t4_dups)
-      (rows @ [ total ])
+      (rows @ [ total ]);
+    print_endline (Harness.Engine.stats_to_string (Harness.Engine.stats engine))
   in
   Cmd.v
     (Cmd.info "dedup"

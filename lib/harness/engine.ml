@@ -1,0 +1,132 @@
+(** The execution engine (see the interface for the full story): a
+    mutex-guarded, content-addressed memo table over
+    {!Compilers.Backend.run}, the baseline cache, counters and per-stage
+    wall-clock accounting.  One engine may be shared across domains. *)
+
+open Spirv_ir
+
+type t = {
+  lock : Mutex.t;
+  memo : (string * string * string, Compilers.Backend.run_result) Hashtbl.t;
+      (* (target name, module digest, input digest) -> result *)
+  baselines : (string * string, Compilers.Backend.run_result) Hashtbl.t;
+      (* (target name, reference name) -> result *)
+  stage_wall : (string, float) Hashtbl.t;
+  mutable runs_executed : int;
+  mutable cache_hits : int;
+  mutable baseline_hits : int;
+}
+
+type stats = {
+  runs_executed : int;
+  cache_hits : int;
+  baseline_hits : int;
+  runs_saved : int;
+  hit_rate : float;
+  execute_wall : float;
+  stages : (string * float) list;
+}
+
+let create () =
+  {
+    lock = Mutex.create ();
+    memo = Hashtbl.create 256;
+    baselines = Hashtbl.create 64;
+    stage_wall = Hashtbl.create 8;
+    runs_executed = 0;
+    cache_hits = 0;
+    baseline_hits = 0;
+  }
+
+let locked e f =
+  Mutex.lock e.lock;
+  Fun.protect ~finally:(fun () -> Mutex.unlock e.lock) f
+
+let add_stage_locked e stage dt =
+  Hashtbl.replace e.stage_wall stage
+    (dt +. Option.value ~default:0.0 (Hashtbl.find_opt e.stage_wall stage))
+
+let execute_stage = "execute"
+
+(* The mutex is released while the backend runs: two domains missing on the
+   same key may both execute, but [Backend.run] is deterministic, so the
+   duplicate [replace] is harmless and the table stays consistent. *)
+let run e (t : Compilers.Target.t) (m : Module_ir.t) (input : Input.t) :
+    Compilers.Backend.run_result =
+  let key = (t.Compilers.Target.name, Digest.of_module m, Digest.of_input input) in
+  let cached = locked e (fun () -> Hashtbl.find_opt e.memo key) in
+  match cached with
+  | Some r ->
+      locked e (fun () -> e.cache_hits <- e.cache_hits + 1);
+      r
+  | None ->
+      let t0 = Unix.gettimeofday () in
+      let r = Compilers.Backend.run t m input in
+      let dt = Unix.gettimeofday () -. t0 in
+      locked e (fun () ->
+          Hashtbl.replace e.memo key r;
+          e.runs_executed <- e.runs_executed + 1;
+          add_stage_locked e execute_stage dt);
+      r
+
+let baseline e (t : Compilers.Target.t) ~ref_name (m : Module_ir.t)
+    (input : Input.t) : Compilers.Backend.run_result =
+  let key = (t.Compilers.Target.name, ref_name) in
+  let cached = locked e (fun () -> Hashtbl.find_opt e.baselines key) in
+  match cached with
+  | Some r ->
+      locked e (fun () -> e.baseline_hits <- e.baseline_hits + 1);
+      r
+  | None ->
+      let r = run e t m input in
+      locked e (fun () -> Hashtbl.replace e.baselines key r);
+      r
+
+let timed e ~stage f =
+  let t0 = Unix.gettimeofday () in
+  Fun.protect
+    ~finally:(fun () ->
+      let dt = Unix.gettimeofday () -. t0 in
+      locked e (fun () -> add_stage_locked e stage dt))
+    f
+
+let stats e : stats =
+  locked e (fun () ->
+      let runs_saved = e.cache_hits + e.baseline_hits in
+      let looked_up = runs_saved + e.runs_executed in
+      {
+        runs_executed = e.runs_executed;
+        cache_hits = e.cache_hits;
+        baseline_hits = e.baseline_hits;
+        runs_saved;
+        hit_rate =
+          (if looked_up = 0 then 0.0
+           else float_of_int runs_saved /. float_of_int looked_up);
+        execute_wall =
+          Option.value ~default:0.0 (Hashtbl.find_opt e.stage_wall execute_stage);
+        stages =
+          Hashtbl.fold (fun k v acc -> (k, v) :: acc) e.stage_wall []
+          |> List.sort (fun (a, _) (b, _) -> String.compare a b);
+      })
+
+let reset e =
+  locked e (fun () ->
+      Hashtbl.reset e.memo;
+      Hashtbl.reset e.baselines;
+      Hashtbl.reset e.stage_wall;
+      e.runs_executed <- 0;
+      e.cache_hits <- 0;
+      e.baseline_hits <- 0)
+
+let pp_stats fmt (s : stats) =
+  Format.fprintf fmt
+    "engine: %d runs executed, %d saved by caching (%d memo + %d baseline, \
+     %.1f%% hit rate)"
+    s.runs_executed s.runs_saved s.cache_hits s.baseline_hits
+    (100.0 *. s.hit_rate);
+  if s.stages <> [] then begin
+    Format.fprintf fmt "@\nstage wall-clock:";
+    List.iter (fun (k, v) -> Format.fprintf fmt "@\n  %-10s %8.3fs" k v) s.stages
+  end
+
+let stats_to_string s = Format.asprintf "%a" pp_stats s

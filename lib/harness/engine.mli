@@ -1,0 +1,69 @@
+(** The execution engine: every compile-and-execute of the harness flows
+    through an explicit [Engine.t] instead of calling
+    {!Compilers.Backend.run} directly.
+
+    The engine holds a content-addressed memo table mapping
+    [(target, module digest, input digest)] to the backend's run result,
+    plus the baseline cache for original-program runs (keyed by
+    [(target, reference name)], formerly a global in [Pipeline]).  Both
+    stores are guarded by a mutex, so one engine may be shared by several
+    OCaml 5 domains — the domain-parallel campaigns of {!Experiments} do
+    exactly that.
+
+    Memoization is sound because {!Compilers.Backend.run} is a
+    deterministic function of its arguments (see DESIGN.md, "The Engine
+    layer"): a cached result is bit-identical to a recomputed one, so the
+    §3.4 interestingness tests — and therefore the set of transformations
+    delta debugging keeps — cannot be affected by cache hits.
+
+    The engine also keeps per-stage wall-clock accounting: {!run} bills
+    backend executions to the ["execute"] stage, and callers wrap other
+    phases (generation, optimization, reduction) with {!timed}. *)
+
+open Spirv_ir
+
+type t
+
+type stats = {
+  runs_executed : int;  (** backend executions actually performed *)
+  cache_hits : int;     (** content-addressed memo hits *)
+  baseline_hits : int;  (** baseline (target, reference) cache hits *)
+  runs_saved : int;     (** [cache_hits + baseline_hits] *)
+  hit_rate : float;     (** [runs_saved / (runs_saved + runs_executed)] *)
+  execute_wall : float; (** seconds spent inside the backend *)
+  stages : (string * float) list;
+      (** cumulative wall-clock per stage, sorted by stage name;
+          ["execute"] is maintained by {!run}, others by {!timed} *)
+}
+
+val create : unit -> t
+(** A fresh engine with empty caches and zeroed counters. *)
+
+val run : t -> Compilers.Target.t -> Module_ir.t -> Input.t ->
+  Compilers.Backend.run_result
+(** Content-addressed [Backend.run]: returns the memoized result when the
+    [(target, module, input)] triple has been executed before, otherwise
+    executes, records the result and bills the ["execute"] stage.  The
+    mutex is not held during execution, so concurrent misses proceed in
+    parallel. *)
+
+val baseline : t -> Compilers.Target.t -> ref_name:string ->
+  Module_ir.t -> Input.t -> Compilers.Backend.run_result
+(** The original program's behaviour on a target, cached per
+    [(target, reference name)] — the replacement for the old global
+    baseline cache.  Misses fall through to {!run}, so baselines also
+    populate the content-addressed store. *)
+
+val timed : t -> stage:string -> (unit -> 'a) -> 'a
+(** Run a thunk and add its wall-clock time to the named stage. *)
+
+val stats : t -> stats
+(** A consistent snapshot of the engine's counters. *)
+
+val reset : t -> unit
+(** Clear both caches and zero every counter and stage clock. *)
+
+val pp_stats : Format.formatter -> stats -> unit
+(** One-paragraph human-readable rendering of {!stats}. *)
+
+val stats_to_string : stats -> string

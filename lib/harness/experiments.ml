@@ -68,25 +68,34 @@ let references_for (tool : Pipeline.tool) =
         (Lazy.force spirv_references)
 
 (** Run a fuzzing campaign: for each seed, generate one variant from a
-    round-robin reference and test it against every target. *)
-let run_campaign ?(scale = default_scale) ?(targets = Compilers.Target.all) tool :
-    hit list =
+    round-robin reference and test it against every target.
+
+    With [~domains:n] (n > 1) the seed range is split into [n] contiguous
+    chunks, one OCaml 5 domain per chunk, all sharing the (mutex-guarded)
+    engine; the per-chunk hit lists are concatenated in chunk order, so the
+    result is bit-identical to the sequential run — every seed is processed
+    by exactly one domain, and within a seed targets are visited in list
+    order, exactly as sequentially. *)
+let run_campaign ?(scale = default_scale) ?(targets = Compilers.Target.all)
+    ?(domains = 1) ?engine tool : hit list =
+  let engine = match engine with Some e -> e | None -> Engine.create () in
   let refs = Array.of_list (references_for tool) in
-  let hits = ref [] in
-  for seed = 0 to scale.seeds - 1 do
+  let hits_for_seed seed =
     let ref_name, ref_source, ref_module = refs.(seed mod Array.length refs) in
     let generated =
-      Pipeline.generate tool ~ref_source ~ref_module ~seed ~input:Corpus.default_input
+      Engine.timed engine ~stage:"generate" (fun () ->
+          Pipeline.generate tool ~ref_source ~ref_module ~seed
+            ~input:Corpus.default_input)
     in
-    List.iter
+    List.filter_map
       (fun (t : Compilers.Target.t) ->
         match
-          Pipeline.run_variant t ~ref_name ~original:ref_module
+          Pipeline.run_variant engine t ~ref_name ~original:ref_module
             ~variant_input:generated.Pipeline.gen_input
             ~variant:generated.Pipeline.gen_variant Corpus.default_input
         with
         | Some detection ->
-            hits :=
+            Some
               {
                 hit_tool = tool;
                 hit_seed = seed;
@@ -94,15 +103,36 @@ let run_campaign ?(scale = default_scale) ?(targets = Compilers.Target.all) tool
                 hit_target = t.Compilers.Target.name;
                 hit_detection = detection;
               }
-              :: !hits
-        | None -> ())
-      targets;
-    if (seed + 1) mod 50 = 0 then
-      Log.info (fun k ->
-          k "%s: %d/%d seeds, %d detections so far" (Pipeline.tool_name tool)
-            (seed + 1) scale.seeds (List.length !hits))
-  done;
-  List.rev !hits
+        | None -> None)
+      targets
+  in
+  (* seeds [lo, hi): sequential, ascending — the canonical order *)
+  let run_range lo hi =
+    let hits = ref [] in
+    for seed = lo to hi - 1 do
+      hits := List.rev_append (hits_for_seed seed) !hits;
+      if (seed + 1) mod 50 = 0 then
+        Log.info (fun k ->
+            k "%s: seed %d (of %d), %d detections in this chunk"
+              (Pipeline.tool_name tool) (seed + 1) scale.seeds
+              (List.length !hits))
+    done;
+    List.rev !hits
+  in
+  let domains = max 1 (min domains scale.seeds) in
+  if domains = 1 then run_range 0 scale.seeds
+  else begin
+    (* lowering the corpus is lazy and lazies must not be forced
+       concurrently; do it once before spawning *)
+    Pipeline.warmup ();
+    let chunk = (scale.seeds + domains - 1) / domains in
+    let workers =
+      List.init domains (fun i ->
+          let lo = i * chunk and hi = min scale.seeds ((i + 1) * chunk) in
+          Domain.spawn (fun () -> run_range lo hi))
+    in
+    List.concat_map Domain.join workers
+  end
 
 (* ------------------------------------------------------------------ *)
 (* Table 3: bug-finding ability                                        *)
@@ -245,8 +275,11 @@ type reduction_outcome = {
   red_initial : int;
 }
 
-(* regenerate the variant for a hit and reduce it against its target *)
-let reduce_hit (h : hit) : reduction_outcome option =
+(* regenerate the variant for a hit and reduce it against its target; the
+   engine memoizes the repeated prefix replays of ddmin's interestingness
+   queries, so reduction no longer pays one full compile-and-execute per
+   query *)
+let reduce_hit (engine : Engine.t) (h : hit) : reduction_outcome option =
   match Compilers.Target.find h.hit_target with
   | None -> None
   | Some t ->
@@ -257,11 +290,12 @@ let reduce_hit (h : hit) : reduction_outcome option =
         | None -> List.hd refs
       in
       let generated =
-        Pipeline.generate h.hit_tool ~ref_source ~ref_module ~seed:h.hit_seed
-          ~input:Corpus.default_input
+        Engine.timed engine ~stage:"generate" (fun () ->
+            Pipeline.generate h.hit_tool ~ref_source ~ref_module ~seed:h.hit_seed
+              ~input:Corpus.default_input)
       in
       let is_interesting =
-        Pipeline.interestingness t ~ref_name ~original:ref_module
+        Pipeline.interestingness engine t ~ref_name ~original:ref_module
           ~detection:h.hit_detection Corpus.default_input
       in
       (* the recorded detection must reproduce (it does, deterministically) *)
@@ -318,7 +352,8 @@ type rq2 = {
   rq2_median_glsl : float;
 }
 
-let rq2 ?(scale = default_scale) ~(hits : hit list array) () : rq2 =
+let rq2 ?(scale = default_scale) ?engine ~(hits : hit list array) () : rq2 =
+  let engine = match engine with Some e -> e | None -> Engine.create () in
   let study_targets =
     List.map (fun (t : Compilers.Target.t) -> t.Compilers.Target.name)
       Compilers.Target.reduction_study
@@ -327,7 +362,9 @@ let rq2 ?(scale = default_scale) ~(hits : hit list array) () : rq2 =
     List.filter (fun h -> List.mem h.hit_target study_targets) tool_hits
     |> cap_hits ~per_signature:scale.max_reductions_per_signature
   in
-  let reduce_all tool_hits = List.filter_map reduce_hit (eligible tool_hits) in
+  let reduce_all tool_hits =
+    List.filter_map (reduce_hit engine) (eligible tool_hits)
+  in
   let spirv = reduce_all hits.(0) in
   let glsl = reduce_all hits.(2) in
   {
@@ -355,8 +392,9 @@ type dedup_test = {
   dd_transformations : Spirv_fuzz.Transformation.t list;
 }
 
-let table4 ?(scale = default_scale) ?ignored ~(hits : hit list array) () :
+let table4 ?(scale = default_scale) ?ignored ?engine ~(hits : hit list array) () :
     table4_row list * table4_row =
+  let engine = match engine with Some e -> e | None -> Engine.create () in
   let study =
     List.map (fun (t : Compilers.Target.t) -> t.Compilers.Target.name)
       Compilers.Target.dedup_study
@@ -383,11 +421,12 @@ let table4 ?(scale = default_scale) ?ignored ~(hits : hit list array) () :
               | None -> List.hd refs
             in
             let generated =
-              Pipeline.generate h.hit_tool ~ref_source ~ref_module ~seed:h.hit_seed
-                ~input:Corpus.default_input
+              Engine.timed engine ~stage:"generate" (fun () ->
+                  Pipeline.generate h.hit_tool ~ref_source ~ref_module
+                    ~seed:h.hit_seed ~input:Corpus.default_input)
             in
             let is_interesting =
-              Pipeline.interestingness t ~ref_name ~original:ref_module
+              Pipeline.interestingness engine t ~ref_name ~original:ref_module
                 ~detection:h.hit_detection Corpus.default_input
             in
             if
@@ -476,6 +515,7 @@ let figure3 () : figure3 option =
   in
   let t = Compilers.Target.swiftshader in
   let input = Corpus.default_input in
+  let engine = Engine.create () in
   let rec hunt seed =
     if seed > 400 then None
     else begin
@@ -488,11 +528,11 @@ let figure3 () : figure3 option =
       in
       let result = Spirv_fuzz.Fuzzer.run ~config ~seed ctx in
       let variant = result.Spirv_fuzz.Fuzzer.final.Spirv_fuzz.Context.m in
-      match Compilers.Backend.run t variant input with
+      match Engine.run engine t variant input with
       | Compilers.Backend.Crashed s
         when String.equal (Signature.bug_id_of_signature s) "dontinline-call" ->
           let is_interesting (c : Spirv_fuzz.Context.t) =
-            match Compilers.Backend.run t c.Spirv_fuzz.Context.m input with
+            match Engine.run engine t c.Spirv_fuzz.Context.m input with
             | Compilers.Backend.Crashed s' -> String.equal s s'
             | _ -> false
           in

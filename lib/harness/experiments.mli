@@ -33,9 +33,18 @@ val references_for :
     spirv tools additionally get [-O]-optimized copies, as in the paper. *)
 
 val run_campaign :
-  ?scale:scale -> ?targets:Compilers.Target.t list -> Pipeline.tool -> hit list
+  ?scale:scale ->
+  ?targets:Compilers.Target.t list ->
+  ?domains:int ->
+  ?engine:Engine.t ->
+  Pipeline.tool ->
+  hit list
 (** For each seed, generate one variant from a round-robin reference and
-    test it against every target (with the optimize-and-retry step). *)
+    test it against every target (with the optimize-and-retry step).  Every
+    execution flows through the engine ([?engine] defaults to a fresh one).
+    [?domains] (default 1) splits the seed range into contiguous chunks run
+    on parallel OCaml domains sharing the engine; the merged hit list is
+    guaranteed identical to the sequential one. *)
 
 val tools : Pipeline.tool array
 (** The three configurations, in Table 3 column order. *)
@@ -71,10 +80,11 @@ type reduction_outcome = {
   red_initial : int;
 }
 
-val reduce_hit : hit -> reduction_outcome option
+val reduce_hit : Engine.t -> hit -> reduction_outcome option
 (** Regenerate the hit's variant deterministically and reduce it against its
     target; [None] when the detection does not reproduce (does not happen
-    for campaign hits). *)
+    for campaign hits).  The engine's content-addressed cache absorbs the
+    repeated prefix replays of the ddmin interestingness queries. *)
 
 val cap_hits : per_signature:int -> hit list -> hit list
 (** Keep at most N hits per (target, signature), preserving order — the
@@ -87,7 +97,7 @@ type rq2 = {
   rq2_median_glsl : float;
 }
 
-val rq2 : ?scale:scale -> hits:hit list array -> unit -> rq2
+val rq2 : ?scale:scale -> ?engine:Engine.t -> hits:hit list array -> unit -> rq2
 
 (** {1 Table 4: deduplication} *)
 
@@ -103,6 +113,7 @@ type table4_row = {
 val table4 :
   ?scale:scale ->
   ?ignored:Tbct.Dedup.String_set.t ->
+  ?engine:Engine.t ->
   hits:hit list array ->
   unit ->
   table4_row list * table4_row

@@ -22,19 +22,9 @@ type detection = {
   via_opt : bool;  (** detected only on the additionally-optimized variant *)
 }
 
-(* cache of the original programs' behaviour per (target, reference) *)
-type baseline = (string * string, Compilers.Backend.run_result) Hashtbl.t
-
-let baseline_cache : baseline = Hashtbl.create 64
-
-let original_result (t : Compilers.Target.t) ~ref_name (m : Module_ir.t) input =
-  let key = (t.Compilers.Target.name, ref_name) in
-  match Hashtbl.find_opt baseline_cache key with
-  | Some r -> r
-  | None ->
-      let r = Compilers.Backend.run t m input in
-      Hashtbl.add baseline_cache key r;
-      r
+(* Every compile-and-execute below flows through an explicit [Engine.t]
+   (content-addressed run cache + baseline cache + instrumentation); there
+   is deliberately no module-level mutable state in this file. *)
 
 (** Compare a variant's run against the original's run on the same target.
     Returns a detection if the variant exposes a bug.  Crashes of the
@@ -51,20 +41,23 @@ let compare_runs ~original ~variant : detection option =
   | _, Compilers.Backend.Compiled_ok -> None
 
 (** Run one variant module against one target, including the
-    optimize-and-retry step. *)
-let run_variant (t : Compilers.Target.t) ~ref_name ~(original : Module_ir.t)
-    ?variant_input ~(variant : Module_ir.t) (input : Input.t) : detection option =
+    optimize-and-retry step.  All executions go through [engine]. *)
+let run_variant (engine : Engine.t) (t : Compilers.Target.t) ~ref_name
+    ~(original : Module_ir.t) ?variant_input ~(variant : Module_ir.t)
+    (input : Input.t) : detection option =
   let variant_input = Option.value ~default:input variant_input in
-  let orig_run = original_result t ~ref_name original input in
-  let var_run = Compilers.Backend.run t variant variant_input in
+  let orig_run = Engine.baseline engine t ~ref_name original input in
+  let var_run = Engine.run engine t variant variant_input in
   match compare_runs ~original:orig_run ~variant:var_run with
   | Some d -> Some d
   | None -> (
       (* no bug: optimize the variant with the clean -O pipeline and re-run *)
-      match Compilers.Optimizer.optimize variant with
+      match Engine.timed engine ~stage:"optimize" (fun () ->
+          Compilers.Optimizer.optimize variant)
+      with
       | Error _ -> None (* the clean optimizer never crashes in our build *)
       | Ok optimized_variant -> (
-          let var_run' = Compilers.Backend.run t optimized_variant variant_input in
+          let var_run' = Engine.run engine t optimized_variant variant_input in
           match compare_runs ~original:orig_run ~variant:var_run' with
           | Some d -> Some { d with via_opt = true }
           | None -> None))
@@ -87,6 +80,12 @@ type generated = {
 }
 
 let donors = lazy (List.map snd (Lazy.force Corpus.lowered_donors))
+
+(** Force the lazily-lowered corpus before spawning domains: concurrently
+    forcing a shared lazy from two domains raises [Lazy.Undefined]. *)
+let warmup () =
+  ignore (Lazy.force donors);
+  ignore (Lazy.force Corpus.lowered_references)
 
 let fuzz_config ~recommendations =
   {
@@ -142,15 +141,18 @@ let generate (tool : tool) ~(ref_source : Glsl_like.Ast.program)
 (** Interestingness test for reductions: the variant still produces the same
     signature on the target (crash signature match, or still-mismatching
     image for miscompilations) — section 3.4's interestingness tests. *)
-let interestingness (t : Compilers.Target.t) ~ref_name ~(original : Module_ir.t)
-    ~(detection : detection) input (m : Module_ir.t) (m_input : Input.t) : bool =
-  let orig_run = original_result t ~ref_name original input in
+let interestingness (engine : Engine.t) (t : Compilers.Target.t) ~ref_name
+    ~(original : Module_ir.t) ~(detection : detection) input (m : Module_ir.t)
+    (m_input : Input.t) : bool =
+  let orig_run = Engine.baseline engine t ~ref_name original input in
   let with_or_without_opt check =
-    let direct = Compilers.Backend.run t m m_input in
+    let direct = Engine.run engine t m m_input in
     if check direct then true
     else if detection.via_opt then
-      match Compilers.Optimizer.optimize m with
-      | Ok optimized -> check (Compilers.Backend.run t optimized m_input)
+      match Engine.timed engine ~stage:"optimize" (fun () ->
+          Compilers.Optimizer.optimize m)
+      with
+      | Ok optimized -> check (Engine.run engine t optimized m_input)
       | Error _ -> false
     else false
   in

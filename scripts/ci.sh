@@ -1,0 +1,23 @@
+#!/bin/sh
+# Minimal CI gate: build, run the tier-1 test suite, and enforce the
+# engine-layer invariant that no module-level mutable run cache sneaks back
+# into the harness (all compile-and-execute must flow through Engine.t).
+set -eu
+cd "$(dirname "$0")/.."
+
+dune build
+dune runtest
+
+# formatting gate: only enforced when an .ocamlformat file is present
+# (dune build @fmt fails loudly without one)
+if [ -f .ocamlformat ]; then
+  dune build @fmt
+fi
+
+if grep -rn "baseline_cache" lib/harness; then
+  echo "CI: found a module-level baseline_cache in lib/harness —" \
+       "runs must flow through Engine.t" >&2
+  exit 1
+fi
+
+echo "CI: build + tests + engine-invariant checks passed"

@@ -1,0 +1,156 @@
+(* Tests for the execution engine: content digests, the content-addressed
+   run cache, and domain-parallel campaigns.
+
+   The load-bearing properties are (a) memoization is invisible — cached
+   and uncached campaigns produce identical hit lists — and (b) the
+   domain-parallel campaign merge is bit-identical to the sequential
+   order. *)
+
+let scale = { Harness.Experiments.default_scale with Harness.Experiments.seeds = 30 }
+let tool = Harness.Pipeline.Spirv_fuzz_tool
+
+(* the sequential, fresh-engine baseline every other campaign is compared to *)
+let baseline_hits = lazy (Harness.Experiments.run_campaign ~scale tool)
+
+let check_same_hits msg expected actual =
+  Alcotest.(check int) (msg ^ ": count") (List.length expected) (List.length actual);
+  Alcotest.(check bool) (msg ^ ": identical hits in identical order") true
+    (expected = actual)
+
+(* ------------------------------------------------------------------ *)
+(* Digests *)
+
+let test_digest_asm_roundtrip () =
+  List.iter
+    (fun (name, m) ->
+      let d = Spirv_ir.Digest.of_module m in
+      match Spirv_ir.Asm.of_string_result (Spirv_ir.Disasm.to_string m) with
+      | Error e -> Alcotest.failf "%s does not re-assemble: %s" name e
+      | Ok m' ->
+          Alcotest.(check string)
+            (name ^ ": digest stable across disasm/asm round trip") d
+            (Spirv_ir.Digest.of_module m'))
+    (Lazy.force Corpus.lowered_references)
+
+let test_digest_distinguishes_modules () =
+  let refs = Lazy.force Corpus.lowered_references in
+  let digests = List.map (fun (_, m) -> Spirv_ir.Digest.of_module m) refs in
+  Alcotest.(check int) "corpus references all digest differently"
+    (List.length refs)
+    (List.length (List.sort_uniq String.compare digests))
+
+let test_digest_input () =
+  let i1 = Spirv_ir.Input.make ~width:8 ~height:8 [] in
+  let i2 = Spirv_ir.Input.make ~width:8 ~height:8 [] in
+  let i3 = Spirv_ir.Input.make ~width:4 ~height:8 [] in
+  Alcotest.(check string) "equal inputs digest equally"
+    (Spirv_ir.Digest.of_input i1) (Spirv_ir.Digest.of_input i2);
+  Alcotest.(check bool) "different grids digest differently" false
+    (String.equal (Spirv_ir.Digest.of_input i1) (Spirv_ir.Digest.of_input i3))
+
+(* ------------------------------------------------------------------ *)
+(* Engine cache semantics *)
+
+let test_engine_memoizes () =
+  let engine = Harness.Engine.create () in
+  let m = List.assoc "gradient" (Lazy.force Corpus.lowered_references) in
+  let t = Compilers.Target.swiftshader in
+  let r1 = Harness.Engine.run engine t m Corpus.default_input in
+  let r2 = Harness.Engine.run engine t m Corpus.default_input in
+  Alcotest.(check bool) "memoized result identical" true (r1 = r2);
+  let s = Harness.Engine.stats engine in
+  Alcotest.(check int) "one execution" 1 s.Harness.Engine.runs_executed;
+  Alcotest.(check int) "one memo hit" 1 s.Harness.Engine.cache_hits;
+  Harness.Engine.reset engine;
+  let s' = Harness.Engine.stats engine in
+  Alcotest.(check int) "reset clears counters" 0 s'.Harness.Engine.runs_executed
+
+let test_cached_campaign_identical () =
+  let expected = Lazy.force baseline_hits in
+  let engine = Harness.Engine.create () in
+  let cold = Harness.Experiments.run_campaign ~scale ~engine tool in
+  check_same_hits "cold shared-engine campaign" expected cold;
+  let after_cold = Harness.Engine.stats engine in
+  Alcotest.(check bool) "campaign saves runs via the baseline cache" true
+    (after_cold.Harness.Engine.runs_saved > 0);
+  (* rerun on the warm engine: served from cache, still identical *)
+  let warm = Harness.Experiments.run_campaign ~scale ~engine tool in
+  check_same_hits "warm-cache campaign" expected warm;
+  let after_warm = Harness.Engine.stats engine in
+  Alcotest.(check bool) "warm rerun hits the content-addressed memo" true
+    (after_warm.Harness.Engine.cache_hits > after_cold.Harness.Engine.cache_hits);
+  Alcotest.(check int) "warm rerun executes nothing new"
+    after_cold.Harness.Engine.runs_executed
+    after_warm.Harness.Engine.runs_executed
+
+let test_reduction_hits_cache () =
+  match
+    List.find_opt
+      (fun (h : Harness.Experiments.hit) ->
+        not
+          (Harness.Signature.is_miscompilation
+             h.Harness.Experiments.hit_detection.Harness.Pipeline.signature))
+      (Lazy.force baseline_hits)
+  with
+  | None -> Alcotest.fail "no crash hit in the campaign"
+  | Some h -> (
+      let engine = Harness.Engine.create () in
+      match Harness.Experiments.reduce_hit engine h with
+      | None -> Alcotest.fail "hit did not reproduce"
+      | Some _ ->
+          let s = Harness.Engine.stats engine in
+          Alcotest.(check bool)
+            "ddmin's replayed prefixes hit the content-addressed cache" true
+            (s.Harness.Engine.cache_hits > 0);
+          Alcotest.(check bool) "baseline cache used during reduction" true
+            (s.Harness.Engine.baseline_hits > 0))
+
+(* ------------------------------------------------------------------ *)
+(* Domain-parallel campaigns *)
+
+let test_parallel_campaign domains () =
+  let expected = Lazy.force baseline_hits in
+  let par = Harness.Experiments.run_campaign ~scale ~domains tool in
+  check_same_hits (Printf.sprintf "%d-domain campaign" domains) expected par
+
+let test_parallel_shared_engine () =
+  (* domains share one mutex-guarded engine and the merge stays canonical *)
+  let expected = Lazy.force baseline_hits in
+  let engine = Harness.Engine.create () in
+  let par = Harness.Experiments.run_campaign ~scale ~domains:3 ~engine tool in
+  check_same_hits "3-domain shared-engine campaign" expected par;
+  let s = Harness.Engine.stats engine in
+  Alcotest.(check bool) "parallel campaign executed runs" true
+    (s.Harness.Engine.runs_executed > 0)
+
+(* ------------------------------------------------------------------ *)
+
+let () =
+  Alcotest.run "engine"
+    [
+      ( "digest",
+        [
+          Alcotest.test_case "stable across disasm/asm round trip" `Quick
+            test_digest_asm_roundtrip;
+          Alcotest.test_case "distinguishes corpus modules" `Quick
+            test_digest_distinguishes_modules;
+          Alcotest.test_case "input digests" `Quick test_digest_input;
+        ] );
+      ( "cache",
+        [
+          Alcotest.test_case "memoizes backend runs" `Quick test_engine_memoizes;
+          Alcotest.test_case "cached campaign identical to uncached" `Slow
+            test_cached_campaign_identical;
+          Alcotest.test_case "reduction hits the cache" `Slow
+            test_reduction_hits_cache;
+        ] );
+      ( "parallel",
+        [
+          Alcotest.test_case "2 domains = sequential" `Slow
+            (test_parallel_campaign 2);
+          Alcotest.test_case "4 domains = sequential" `Slow
+            (test_parallel_campaign 4);
+          Alcotest.test_case "shared engine across domains" `Slow
+            test_parallel_shared_engine;
+        ] );
+    ]

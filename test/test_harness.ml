@@ -109,8 +109,8 @@ let test_pipeline_detects_crash () =
   let original = List.assoc "helper_distance" (Lazy.force Corpus.lowered_references) in
   let variant = dontinline_variant () in
   match
-    Harness.Pipeline.run_variant swiftshader ~ref_name:"helper_distance" ~original ~variant
-      Corpus.default_input
+    Harness.Pipeline.run_variant (Harness.Engine.create ()) swiftshader
+      ~ref_name:"helper_distance" ~original ~variant Corpus.default_input
   with
   | Some d ->
       Alcotest.(check string) "bug id" "dontinline-call"
@@ -120,24 +120,25 @@ let test_pipeline_detects_crash () =
 let test_pipeline_no_detection_on_identity () =
   let original = List.assoc "gradient" (Lazy.force Corpus.lowered_references) in
   match
-    Harness.Pipeline.run_variant swiftshader ~ref_name:"gradient" ~original
-      ~variant:original Corpus.default_input
+    Harness.Pipeline.run_variant (Harness.Engine.create ()) swiftshader
+      ~ref_name:"gradient" ~original ~variant:original Corpus.default_input
   with
   | None -> ()
   | Some d -> Alcotest.failf "spurious detection: %s" d.Harness.Pipeline.signature
 
 let test_interestingness_reproduces () =
+  let engine = Harness.Engine.create () in
   let original = List.assoc "helper_distance" (Lazy.force Corpus.lowered_references) in
   let variant = dontinline_variant () in
   match
-    Harness.Pipeline.run_variant swiftshader ~ref_name:"helper_distance" ~original ~variant
-      Corpus.default_input
+    Harness.Pipeline.run_variant engine swiftshader ~ref_name:"helper_distance"
+      ~original ~variant Corpus.default_input
   with
   | None -> Alcotest.fail "no detection"
   | Some detection ->
       let test =
-        Harness.Pipeline.interestingness swiftshader ~ref_name:"helper_distance" ~original
-          ~detection Corpus.default_input
+        Harness.Pipeline.interestingness engine swiftshader
+          ~ref_name:"helper_distance" ~original ~detection Corpus.default_input
       in
       Alcotest.(check bool) "variant interesting" true
         (test variant Corpus.default_input);
@@ -177,7 +178,7 @@ let test_reduce_miscompilation_hit () =
   with
   | None -> () (* no miscompilation at this small scale: acceptable *)
   | Some h -> (
-      match Harness.Experiments.reduce_hit h with
+      match Harness.Experiments.reduce_hit (Harness.Engine.create ()) h with
       | None -> Alcotest.fail "miscompilation did not reproduce under reduction"
       | Some outcome ->
           Alcotest.(check string) "signature" "miscompilation"
@@ -196,7 +197,7 @@ let test_reduce_hit_reproduces () =
   with
   | None -> Alcotest.fail "no crash hit in the small campaign"
   | Some h -> (
-      match Harness.Experiments.reduce_hit h with
+      match Harness.Experiments.reduce_hit (Harness.Engine.create ()) h with
       | None -> Alcotest.fail "reduction did not reproduce the detection"
       | Some outcome ->
           Alcotest.(check bool) "kept <= initial" true
