@@ -317,6 +317,57 @@ let engine_perf () =
     (Domain.recommended_domain_count ())
 
 (* ------------------------------------------------------------------ *)
+(* Static-analysis oracle: lint and contract-check overhead            *)
+
+let oracle_perf () =
+  section "Static-analysis oracle: lint & transformation-contract overhead";
+  let scale =
+    { Harness.Experiments.default_scale with Harness.Experiments.seeds = 80 }
+  in
+  let tool = Harness.Pipeline.Spirv_fuzz_tool in
+  let stage_time stats name =
+    Option.value ~default:0.0 (List.assoc_opt name stats.Harness.Engine.stages)
+  in
+  (* lint sweep over the corpus, billed to its own engine stage *)
+  let engine = Harness.Engine.create () in
+  let modules = Lazy.force Corpus.lowered_references in
+  let findings =
+    Harness.Engine.timed engine ~stage:"lint" (fun () ->
+        List.fold_left
+          (fun acc (_, m) -> acc + List.length (Spirv_ir.Lint.check_module m))
+          0 modules)
+  in
+  let lint_stats = Harness.Engine.stats engine in
+  Printf.printf "lint sweep: %d modules, %d findings in %.3fs\n"
+    (List.length modules) findings
+    (stage_time lint_stats "lint");
+  (* paired campaigns: identical seeds with and without the contract
+     checker; the stage rename keeps the two generation clocks separate *)
+  let plain_engine = Harness.Engine.create () in
+  let plain_hits =
+    Harness.Experiments.run_campaign ~scale ~engine:plain_engine tool
+  in
+  let checked_engine = Harness.Engine.create () in
+  let checked_hits =
+    Harness.Experiments.run_campaign ~scale ~engine:checked_engine
+      ~check_contracts:true tool
+  in
+  let plain_t = stage_time (Harness.Engine.stats plain_engine) "generate" in
+  let checked_t =
+    stage_time (Harness.Engine.stats checked_engine) "generate+contract-check"
+  in
+  Printf.printf
+    "generation (%d seeds): %.3fs plain, %.3fs with contract checks \
+     (%.2fx overhead), hits identical: %b\n"
+    scale.Harness.Experiments.seeds plain_t checked_t
+    (checked_t /. Float.max 1e-9 plain_t)
+    (plain_hits = checked_hits);
+  Printf.printf "  plain   %s\n"
+    (Harness.Engine.stats_to_string (Harness.Engine.stats plain_engine));
+  Printf.printf "  checked %s\n"
+    (Harness.Engine.stats_to_string (Harness.Engine.stats checked_engine))
+
+(* ------------------------------------------------------------------ *)
 (* Bechamel micro-benchmarks                                           *)
 
 let perf_suite () =
@@ -333,6 +384,8 @@ let perf_suite () =
           ignore (Compilers.Optimizer.run Compilers.Optimizer.standard ref_module)));
       Test.make ~name:"validator: full check" (Staged.stage (fun () ->
           ignore (Spirv_ir.Validate.is_valid ref_module)));
+      Test.make ~name:"lint: full module" (Staged.stage (fun () ->
+          ignore (Spirv_ir.Lint.check_module ref_module)));
       Test.make ~name:"fuzzer: one campaign seed" (Staged.stage (fun () ->
           ignore (Spirv_fuzz.Fuzzer.run ~seed:1 ctx)));
       Test.make ~name:"replay: recorded sequence" (Staged.stage (fun () ->
@@ -397,6 +450,7 @@ let () =
   end;
   if !perf then begin
     engine_perf ();
+    oracle_perf ();
     perf_suite ()
   end;
   print_newline ()

@@ -73,6 +73,22 @@ let input_of_spec = function
   | None -> Ok Corpus.default_input
   | Some spec -> Spirv_ir.Input.of_string spec
 
+let check_contracts_arg =
+  Arg.(value & flag
+       & info [ "check-contracts" ]
+           ~doc:"Debug mode: after every applied transformation, assert the \
+                 paper's contract (precondition held, module validates, no \
+                 new lint errors, image unchanged).  Never changes which \
+                 variants are generated.")
+
+(* a contract breach is a bug in this tool, not in the module under test:
+   surface it loudly with its own exit code *)
+let or_contract_violation f =
+  try f ()
+  with Spirv_fuzz.Contract.Violation v ->
+    prerr_endline (Spirv_fuzz.Contract.violation_to_string v);
+    exit 2
+
 let find_target name =
   match Compilers.Target.find name with
   | Some t -> Ok t
@@ -94,6 +110,58 @@ let validate_cmd =
   in
   Cmd.v (Cmd.info "validate" ~doc:"Validate a module (the spirv-val analog).")
     Term.(const (fun p c -> Stdlib.exit (run p c)) $ file_arg $ corpus_arg)
+
+let lint_cmd =
+  let all_arg =
+    Arg.(value & flag
+         & info [ "all" ]
+             ~doc:"Lint every corpus reference and donor — the modules the \
+                   examples and campaigns build on.")
+  in
+  let run path corpus all =
+    let mods =
+      if all then begin
+        (* donors repeat the references; keep the first of each name *)
+        let seen = Hashtbl.create 16 in
+        List.filter
+          (fun (name, _) ->
+            if Hashtbl.mem seen name then false
+            else begin
+              Hashtbl.add seen name ();
+              true
+            end)
+          (Lazy.force Corpus.lowered_references @ Lazy.force Corpus.lowered_donors)
+      end
+      else
+        let name =
+          match (path, corpus) with
+          | Some p, _ -> p
+          | None, Some c -> c
+          | None, None -> "<module>"
+        in
+        [ (name, or_die (load ~path ~corpus)) ]
+    in
+    let errors = ref 0 and warnings = ref 0 in
+    List.iter
+      (fun (name, m) ->
+        List.iter
+          (fun (f : Spirv_ir.Lint.finding) ->
+            (match f.Spirv_ir.Lint.severity with
+            | Spirv_ir.Lint.Error -> incr errors
+            | Spirv_ir.Lint.Warning -> incr warnings);
+            Printf.printf "%s: %s\n" name (Spirv_ir.Lint.to_string f))
+          (Spirv_ir.Lint.check_module m))
+      mods;
+    Printf.printf "linted %d module(s): %d error(s), %d warning(s)\n"
+      (List.length mods) !errors !warnings;
+    if !errors > 0 then 1 else 0
+  in
+  Cmd.v
+    (Cmd.info "lint"
+       ~doc:"Run the IR lint suite (dead blocks/results, phi mismatches, \
+             undominated uses, write-only locals, block order) over a module \
+             or the whole corpus.  Exits non-zero on error-severity findings.")
+    Term.(const (fun p c a -> Stdlib.exit (run p c a)) $ file_arg $ corpus_arg $ all_arg)
 
 let disasm_cmd =
   let run path corpus =
@@ -163,7 +231,7 @@ let fuzz_cmd =
          & info [ "max-transformations" ] ~docv:"N"
              ~doc:"Cap on recorded transformations (0 = default).")
   in
-  let run path corpus seed out cap =
+  let run path corpus seed out cap check_contracts =
     let m = or_die (load ~path ~corpus) in
     let ctx = Spirv_fuzz.Context.make m Corpus.default_input in
     let config =
@@ -171,11 +239,12 @@ let fuzz_cmd =
         {
           Spirv_fuzz.Fuzzer.default_config with
           Spirv_fuzz.Fuzzer.donors = List.map snd (Lazy.force Corpus.lowered_donors);
+          Spirv_fuzz.Fuzzer.check_contracts = check_contracts;
         }
       in
       if cap > 0 then { base with Spirv_fuzz.Fuzzer.max_transformations = cap } else base
     in
-    let result = Spirv_fuzz.Fuzzer.run ~config ~seed ctx in
+    let result = or_contract_violation (fun () -> Spirv_fuzz.Fuzzer.run ~config ~seed ctx) in
     let variant = result.Spirv_fuzz.Fuzzer.final.Spirv_fuzz.Context.m in
     Printf.printf "applied %d transformations over %d passes; %d -> %d instructions\n"
       (List.length result.Spirv_fuzz.Fuzzer.transformations)
@@ -198,7 +267,8 @@ let fuzz_cmd =
   Cmd.v
     (Cmd.info "fuzz"
        ~doc:"Apply random semantics-preserving transformations to a module.")
-    Term.(const run $ file_arg $ corpus_arg $ seed_arg $ out_arg $ count_arg)
+    Term.(const run $ file_arg $ corpus_arg $ seed_arg $ out_arg $ count_arg
+          $ check_contracts_arg)
 
 (* ------------------------------------------------------------------ *)
 (* hunt: fuzz against a target until a bug is found, then reduce       *)
@@ -287,7 +357,7 @@ let campaign_cmd =
     Arg.(value & flag
          & info [ "stats" ] ~doc:"Print engine cache/instrumentation stats.")
   in
-  let run seeds tool domains stats =
+  let run seeds tool domains stats check_contracts =
     let tool =
       match tool with
       | "spirv-fuzz" -> Harness.Pipeline.Spirv_fuzz_tool
@@ -299,7 +369,11 @@ let campaign_cmd =
     in
     let scale = { Harness.Experiments.default_scale with Harness.Experiments.seeds = seeds } in
     let engine = Harness.Engine.create () in
-    let hits = Harness.Experiments.run_campaign ~scale ~domains ~engine tool in
+    let hits =
+      or_contract_violation (fun () ->
+          Harness.Experiments.run_campaign ~scale ~domains ~engine
+            ~check_contracts tool)
+    in
     Printf.printf "%d detections from %d seeds\n" (List.length hits) seeds;
     if stats then
       print_endline (Harness.Engine.stats_to_string (Harness.Engine.stats engine));
@@ -318,7 +392,8 @@ let campaign_cmd =
   in
   Cmd.v
     (Cmd.info "campaign" ~doc:"Run a fuzzing campaign over all targets.")
-    Term.(const run $ seeds_arg $ tool_arg $ domains_arg $ stats_arg)
+    Term.(const run $ seeds_arg $ tool_arg $ domains_arg $ stats_arg
+          $ check_contracts_arg)
 
 (* ------------------------------------------------------------------ *)
 (* dedup: fuzz, reduce the crashes, run the Figure 6 selection            *)
@@ -396,6 +471,6 @@ let () =
     (Cmd.eval ~argv
        (Cmd.group info
           [
-            validate_cmd; disasm_cmd; render_cmd; run_cmd; targets_cmd; fuzz_cmd;
+            validate_cmd; lint_cmd; disasm_cmd; render_cmd; run_cmd; targets_cmd; fuzz_cmd;
             hunt_cmd; campaign_cmd; dedup_cmd;
           ]))

@@ -29,6 +29,27 @@ let run_pass flags m = function
 let run ?(flags = Passes.no_bugs) pipeline m =
   List.fold_left (run_pass flags) m pipeline
 
+(* Debug-mode pipeline: after every pass, re-validate the module and lint
+   it through the same shared Dataflow analyses the fuzzer's contract
+   checker uses, reporting the first offending pass.  A pass that produces
+   an invalid or lint-dirty module is a compiler bug even when no backend
+   happens to miscompile the result. *)
+let run_checked ?(flags = Passes.no_bugs) pipeline m =
+  List.fold_left
+    (fun acc pass ->
+      match acc with
+      | Error _ as e -> e
+      | Ok m -> (
+          let m' = run_pass flags m pass in
+          match Validate.check m' with
+          | Error (e :: _) ->
+              Error (pass, "validate: " ^ Validate.error_to_string e)
+          | Ok () | Error [] -> (
+              match Lint.errors (Lint.check_module m') with
+              | fd :: _ -> Error (pass, "lint: " ^ Lint.to_string fd)
+              | [] -> Ok m')))
+    (Ok m) pipeline
+
 (** The standard [-O] pipeline, run twice like spirv-opt's iterated
     optimization loop. *)
 let standard =

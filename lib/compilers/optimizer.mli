@@ -31,6 +31,17 @@ val run : ?flags:Passes.flags -> pass_name list -> Module_ir.t -> Module_ir.t
     random modules and on fuzzed variants.
     @raise Opt_util.Compiler_crash when an enabled injected bug fires. *)
 
+val run_checked :
+  ?flags:Passes.flags ->
+  pass_name list ->
+  Module_ir.t ->
+  (Module_ir.t, pass_name * string) result
+(** Debug-mode pipeline: after every pass, re-validate the module and run
+    the {!Spirv_ir.Lint} error rules — both built on the shared
+    {!Spirv_ir.Dataflow} analyses — and report the first pass whose output
+    is invalid or lint-dirty.  With clean flags this always returns [Ok];
+    with an injected bug enabled it names the offending pass (tested). *)
+
 val standard : pass_name list
 (** The [-O] pipeline. *)
 

@@ -448,42 +448,9 @@ let store_forward m =
    variable's pointer is used only as the destination of stores. *)
 let dse m =
   let eliminate_in (fn : Func.t) =
-    let vars =
-      List.filter_map
-        (fun (i : Instr.t) ->
-          match (i.Instr.result, i.Instr.op) with
-          | Some r, Instr.Variable Ty.Function -> Some r
-          | _ -> None)
-        (Func.all_instrs fn)
-    in
-    let read_anywhere v =
-      List.exists
-        (fun (i : Instr.t) ->
-          match i.Instr.op with
-          | Instr.Store (p, value) -> Id.equal value v && not (Id.equal p v) || Id.equal value v
-          | _ -> List.mem v (Instr.used_ids i))
-        (Func.all_instrs fn)
-      || List.exists
-           (fun (b : Block.t) -> List.mem v (Block.terminator_used_ids b.Block.terminator))
-           fn.Func.blocks
-    in
-    let write_only =
-      List.filter
-        (fun v ->
-          List.for_all
-            (fun (i : Instr.t) ->
-              match i.Instr.op with
-              | Instr.Store (p, value) -> Id.equal p v || not (Id.equal value v)
-              | _ -> not (List.mem v (Instr.used_ids i)))
-            (Func.all_instrs fn)
-          && not
-               (List.exists
-                  (fun (b : Block.t) ->
-                    List.mem v (Block.terminator_used_ids b.Block.terminator))
-                  fn.Func.blocks))
-        vars
-    in
-    ignore read_anywhere;
+    (* the shared store-only-locals analysis: locals whose every use is as
+       a store destination *)
+    let write_only = Id.Set.elements (Dataflow.write_only_locals fn) in
     {
       fn with
       Func.blocks =

@@ -77,14 +77,18 @@ let references_for (tool : Pipeline.tool) =
     by exactly one domain, and within a seed targets are visited in list
     order, exactly as sequentially. *)
 let run_campaign ?(scale = default_scale) ?(targets = Compilers.Target.all)
-    ?(domains = 1) ?engine tool : hit list =
+    ?(domains = 1) ?engine ?(check_contracts = false) tool : hit list =
   let engine = match engine with Some e -> e | None -> Engine.create () in
   let refs = Array.of_list (references_for tool) in
   let hits_for_seed seed =
     let ref_name, ref_source, ref_module = refs.(seed mod Array.length refs) in
+    (* contract checking is billed as its own stage: generation runs under
+       "generate" as always, and the checker's extra work is the delta the
+       bench's oracle section reports *)
+    let stage = if check_contracts then "generate+contract-check" else "generate" in
     let generated =
-      Engine.timed engine ~stage:"generate" (fun () ->
-          Pipeline.generate tool ~ref_source ~ref_module ~seed
+      Engine.timed engine ~stage (fun () ->
+          Pipeline.generate ~check_contracts tool ~ref_source ~ref_module ~seed
             ~input:Corpus.default_input)
     in
     List.filter_map

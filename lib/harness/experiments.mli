@@ -37,6 +37,7 @@ val run_campaign :
   ?targets:Compilers.Target.t list ->
   ?domains:int ->
   ?engine:Engine.t ->
+  ?check_contracts:bool ->
   Pipeline.tool ->
   hit list
 (** For each seed, generate one variant from a round-robin reference and
@@ -44,7 +45,12 @@ val run_campaign :
     execution flows through the engine ([?engine] defaults to a fresh one).
     [?domains] (default 1) splits the seed range into contiguous chunks run
     on parallel OCaml domains sharing the engine; the merged hit list is
-    guaranteed identical to the sequential one. *)
+    guaranteed identical to the sequential one.  [?check_contracts]
+    (default false) runs the {!Spirv_fuzz.Contract} checker after every
+    applied transformation — hits are unchanged (the checker consumes no
+    randomness); a contract breach raises {!Spirv_fuzz.Contract.Violation}.
+    Generation is then billed to the engine stage
+    ["generate+contract-check"] instead of ["generate"]. *)
 
 val tools : Pipeline.tool array
 (** The three configurations, in Table 3 column order. *)

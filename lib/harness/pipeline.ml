@@ -87,22 +87,29 @@ let warmup () =
   ignore (Lazy.force donors);
   ignore (Lazy.force Corpus.lowered_references)
 
-let fuzz_config ~recommendations =
+let fuzz_config ?(check_contracts = false) ~recommendations () =
   {
     Spirv_fuzz.Fuzzer.default_config with
     Spirv_fuzz.Fuzzer.donors = Lazy.force donors;
     Spirv_fuzz.Fuzzer.use_recommendations = recommendations;
+    Spirv_fuzz.Fuzzer.check_contracts = check_contracts;
   }
 
 (** Generate the variant a tool produces for (reference, seed).  For
     spirv-fuzz the reference is the lowered module; for glsl-fuzz the source
-    program is fuzzed and then lowered. *)
-let generate (tool : tool) ~(ref_source : Glsl_like.Ast.program)
-    ~(ref_module : Module_ir.t) ~seed ~input : generated =
+    program is fuzzed and then lowered.  [check_contracts] (spirv tools
+    only) runs the {!Spirv_fuzz.Contract} checker after every applied
+    transformation; it never changes which variant is generated. *)
+let generate ?(check_contracts = false) (tool : tool)
+    ~(ref_source : Glsl_like.Ast.program) ~(ref_module : Module_ir.t) ~seed
+    ~input : generated =
   match tool with
   | Spirv_fuzz_tool | Spirv_fuzz_simple ->
       let ctx = Spirv_fuzz.Context.make ref_module input in
-      let config = fuzz_config ~recommendations:(tool = Spirv_fuzz_tool) in
+      let config =
+        fuzz_config ~check_contracts
+          ~recommendations:(tool = Spirv_fuzz_tool) ()
+      in
       let result = Spirv_fuzz.Fuzzer.run ~config ~seed ctx in
       {
         gen_variant = result.Spirv_fuzz.Fuzzer.final.Spirv_fuzz.Context.m;

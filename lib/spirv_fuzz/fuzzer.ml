@@ -16,6 +16,7 @@ type config = {
   continue_probability : int;  (** percent chance to run another pass *)
   use_recommendations : bool;
   donors : Module_ir.t list;
+  check_contracts : bool;      (** debug mode: {!Contract} after every emit *)
 }
 
 let default_config =
@@ -25,6 +26,7 @@ let default_config =
     continue_probability = 95;
     use_recommendations = true;
     donors = [];
+    check_contracts = false;
   }
 
 type result = {
@@ -35,7 +37,13 @@ type result = {
 
 let run ?(config = default_config) ~seed (ctx : Context.t) : result =
   let rng = Tbct.Rng.make seed in
-  let em = { Pass.ctx; Pass.emitted = []; Pass.rng; Pass.donors = config.donors } in
+  (* the checker is created before any RNG draw and never consumes one, so
+     seeds produce the same transformation stream with checking on or off *)
+  let contracts = if config.check_contracts then Some (Contract.create ctx) else None in
+  let em =
+    { Pass.ctx; Pass.emitted = []; Pass.rng; Pass.donors = config.donors;
+      Pass.contracts }
+  in
   let queue : string Queue.t = Queue.create () in
   let passes_run = ref [] in
   let rec loop n =

@@ -24,6 +24,11 @@ type config = {
   use_recommendations : bool;
   donors : Module_ir.t list;
       (** modules whose functions AddFunction may transplant *)
+  check_contracts : bool;
+      (** debug mode: run the {!Contract} checker after every applied
+          transformation.  Never changes the recorded stream — the checker
+          consumes no randomness (property-tested) — it only turns a
+          contract breach into a loud {!Contract.Violation}. *)
 }
 
 val default_config : config

@@ -14,11 +14,19 @@ type emitter = {
   mutable emitted : Transformation.t list;  (* reversed *)
   rng : Tbct.Rng.t;
   donors : Module_ir.t list;
+  contracts : Contract.t option;
+      (* debug mode: check the transformation contract after every emit.
+         The checker consumes no randomness, so the recorded stream is
+         identical with or without it. *)
 }
 
 let emit em t =
   if Rules.precondition em.ctx t then begin
+    let before = em.ctx in
     em.ctx <- Rules.apply em.ctx t;
+    (match em.contracts with
+    | Some checker -> Contract.check checker ~before t ~after:em.ctx
+    | None -> ());
     em.emitted <- t :: em.emitted;
     true
   end

@@ -1,4 +1,5 @@
-(** Availability and use-site analysis over one function.
+(** Availability and use-site analysis over one function — the
+    transformation layer's façade over the shared {!Dataflow} analyses.
 
     Transformations use this to decide whether an id may be referenced at a
     given program point (the SSA dominance rule), and to enumerate the use
@@ -7,57 +8,19 @@
 type t = {
   m : Module_ir.t;
   f : Func.t;
-  cfg : Cfg.t;
-  dom : Dominance.t;
-  def_site : (Id.t * int) Id.Map.t;  (* id -> (block label, instruction index) *)
-  module_level : Id.Set.t;           (* constants, globals, this function's params *)
+  av : Dataflow.Availability.t;
 }
 
-let make m (f : Func.t) =
-  let cfg = Cfg.of_func f in
-  let dom = Dominance.compute cfg in
-  let def_site =
-    List.fold_left
-      (fun acc (b : Block.t) ->
-        let acc, _ =
-          List.fold_left
-            (fun (acc, idx) (i : Instr.t) ->
-              let acc =
-                match i.Instr.result with
-                | Some r -> Id.Map.add r (b.Block.label, idx) acc
-                | None -> acc
-              in
-              (acc, idx + 1))
-            (acc, 0) b.Block.instrs
-        in
-        acc)
-      Id.Map.empty f.Func.blocks
-  in
-  let module_level =
-    let s = ref Id.Set.empty in
-    List.iter (fun (d : Module_ir.const_decl) -> s := Id.Set.add d.Module_ir.cd_id !s) m.Module_ir.constants;
-    List.iter (fun (d : Module_ir.global_decl) -> s := Id.Set.add d.Module_ir.gd_id !s) m.Module_ir.globals;
-    List.iter (fun (p : Func.param) -> s := Id.Set.add p.Func.param_id !s) f.Func.params;
-    !s
-  in
-  { m; f; cfg; dom; def_site; module_level }
+let make m (f : Func.t) = { m; f; av = Dataflow.Availability.make m f }
 
-(** May [id] be used by the instruction at position [index] of [block]?
-    ([index] may be one past the last instruction to mean the terminator.)
-    Follows the validator's rule, including its relaxation inside
-    unreachable blocks. *)
+let cfg t = Dataflow.Availability.cfg t.av
+let dominance t = Dataflow.Availability.dominance t.av
+
 let available_at t ~block ~index id =
-  if Id.Set.mem id t.module_level then true
-  else
-    match Id.Map.find_opt id t.def_site with
-    | None -> false
-    | Some (def_block, def_idx) ->
-        if not (Cfg.is_reachable t.cfg block) then true
-        else if Id.equal def_block block then def_idx < index
-        else Dominance.strictly_dominates t.dom def_block block
+  Dataflow.Availability.available_at t.av ~block ~index id
 
 let available_at_end t ~block id =
-  available_at t ~block ~index:max_int id
+  Dataflow.Availability.available_at_end t.av ~block id
 
 (** Ids of every value available at position [index] of [block] whose type
     id is [ty] — candidates for id-replacement transformations. *)

@@ -1,0 +1,446 @@
+(** Generic worklist dataflow over {!Cfg}, and the standard analyses built
+    on it.
+
+    The engine is parameterized by a join-semilattice (bottom, join, equal)
+    and a per-block transfer function; direction selects whether states
+    propagate along or against control-flow edges.  Everything downstream —
+    the validator, the lint suite, the optimizer's checked pipelines and the
+    transformation preconditions — consumes these shared analyses instead of
+    re-deriving def-use facts privately. *)
+
+type direction = Forward | Backward
+
+type 'a lattice = {
+  bottom : 'a;  (* must be the identity of [join] *)
+  equal : 'a -> 'a -> bool;
+  join : 'a -> 'a -> 'a;
+}
+
+type 'a solution = {
+  block_in : 'a array;   (* state at block entry, per Cfg position *)
+  block_out : 'a array;  (* state at block exit, per Cfg position *)
+}
+
+let solve (cfg : Cfg.t) direction lat ~boundary ~transfer =
+  let n = Array.length cfg.Cfg.blocks in
+  let block_in = Array.make n lat.bottom in
+  let block_out = Array.make n lat.bottom in
+  if n > 0 then begin
+    (* Seed the worklist with every block (unreachable ones included, so
+       their facts exist too), in an order that converges quickly: reverse
+       post-order along the direction of propagation. *)
+    let rpo = Cfg.reverse_postorder cfg in
+    let unreachable =
+      List.filter (fun i -> not cfg.Cfg.reachable.(i)) (List.init n Fun.id)
+    in
+    let order =
+      match direction with
+      | Forward -> rpo @ unreachable
+      | Backward -> List.rev rpo @ unreachable
+    in
+    let queue = Queue.create () in
+    let queued = Array.make n false in
+    let enqueue i =
+      if not queued.(i) then begin
+        queued.(i) <- true;
+        Queue.add i queue
+      end
+    in
+    List.iter enqueue order;
+    (* under the chosen direction: the edges states flow in from, the blocks
+       to revisit when a state changes, and which side of the solution each
+       plays *)
+    let sources, dependents, src_state =
+      match direction with
+      | Forward -> (cfg.Cfg.preds, cfg.Cfg.succs, block_out)
+      | Backward -> (cfg.Cfg.succs, cfg.Cfg.preds, block_in)
+    in
+    let at_boundary i =
+      match direction with
+      | Forward -> i = 0
+      | Backward -> cfg.Cfg.succs.(i) = []
+    in
+    while not (Queue.is_empty queue) do
+      let i = Queue.pop queue in
+      queued.(i) <- false;
+      let incoming =
+        let base = if at_boundary i then boundary else lat.bottom in
+        List.fold_left (fun acc j -> lat.join acc src_state.(j)) base sources.(i)
+      in
+      let out = transfer i incoming in
+      let changed =
+        match direction with
+        | Forward ->
+            block_in.(i) <- incoming;
+            not (lat.equal out block_out.(i)) && (block_out.(i) <- out; true)
+        | Backward ->
+            block_out.(i) <- incoming;
+            not (lat.equal out block_in.(i)) && (block_in.(i) <- out; true)
+      in
+      if changed then List.iter enqueue dependents.(i)
+    done
+  end;
+  { block_in; block_out }
+
+let id_set_lattice =
+  { bottom = Id.Set.empty; equal = Id.Set.equal; join = Id.Set.union }
+
+(* result ids defined by a block's instructions *)
+let block_defs (b : Block.t) =
+  List.fold_left
+    (fun s (i : Instr.t) ->
+      match i.Instr.result with Some r -> Id.Set.add r s | None -> s)
+    Id.Set.empty b.Block.instrs
+
+let all_defs (f : Func.t) =
+  List.fold_left
+    (fun s b -> Id.Set.union s (block_defs b))
+    Id.Set.empty f.Func.blocks
+
+let position_exn cfg label =
+  match Cfg.block_index cfg label with
+  | Some i -> i
+  | None -> invalid_arg ("Dataflow: no block " ^ Id.to_string label)
+
+(* ------------------------------------------------------------------ *)
+(* Reaching definitions                                                *)
+
+module Reaching_defs = struct
+  type t = { cfg : Cfg.t; sol : Id.Set.t solution }
+
+  (* SSA never redefines an id, so there are no kills: a definition reaches
+     every point some path leads to from its block. *)
+  let compute (f : Func.t) =
+    let cfg = Cfg.of_func f in
+    let defs = Array.map block_defs cfg.Cfg.blocks in
+    let sol =
+      solve cfg Forward id_set_lattice ~boundary:Id.Set.empty
+        ~transfer:(fun i s -> Id.Set.union s defs.(i))
+    in
+    { cfg; sol }
+
+  let at_entry t label = t.sol.block_in.(position_exn t.cfg label)
+  let at_exit t label = t.sol.block_out.(position_exn t.cfg label)
+end
+
+(* ------------------------------------------------------------------ *)
+(* Liveness                                                            *)
+
+module Liveness = struct
+  type t = {
+    cfg : Cfg.t;
+    sol : Id.Set.t solution;
+    phi_uses_from : Id.Set.t array;  (* values feeding successor φs, per pred *)
+  }
+
+  (* φ semantics: a φ's value operands are uses at the end of the matching
+     predecessor, not in the φ's own block; its block-label operands are not
+     value uses at all. *)
+  let instr_uses (i : Instr.t) =
+    match i.Instr.op with Instr.Phi _ -> [] | _ -> Instr.used_ids i
+
+  let transfer_block (b : Block.t) ~live_out =
+    let live =
+      List.fold_left
+        (fun s u -> Id.Set.add u s)
+        live_out
+        (Block.terminator_used_ids b.Block.terminator)
+    in
+    List.fold_left
+      (fun live (i : Instr.t) ->
+        let live =
+          match i.Instr.result with
+          | Some r -> Id.Set.remove r live
+          | None -> live
+        in
+        List.fold_left (fun s u -> Id.Set.add u s) live (instr_uses i))
+      live
+      (List.rev b.Block.instrs)
+
+  let compute (f : Func.t) =
+    let cfg = Cfg.of_func f in
+    let n = Array.length cfg.Cfg.blocks in
+    let phi_uses_from = Array.make n Id.Set.empty in
+    Array.iteri
+      (fun p succs ->
+        List.iter
+          (fun s ->
+            let sb = cfg.Cfg.blocks.(s) in
+            List.iter
+              (fun (i : Instr.t) ->
+                match i.Instr.op with
+                | Instr.Phi incoming ->
+                    List.iter
+                      (fun (v, pred) ->
+                        if Id.equal pred cfg.Cfg.blocks.(p).Block.label then
+                          phi_uses_from.(p) <- Id.Set.add v phi_uses_from.(p))
+                      incoming
+                | _ -> ())
+              sb.Block.instrs)
+          succs)
+      cfg.Cfg.succs;
+    let sol =
+      solve cfg Backward id_set_lattice ~boundary:Id.Set.empty
+        ~transfer:(fun i out ->
+          transfer_block cfg.Cfg.blocks.(i)
+            ~live_out:(Id.Set.union out phi_uses_from.(i)))
+    in
+    { cfg; sol; phi_uses_from }
+
+  let live_in t label = t.sol.block_in.(position_exn t.cfg label)
+
+  (* live across the outgoing edges, successor-φ uses included *)
+  let live_out t label =
+    let i = position_exn t.cfg label in
+    Id.Set.union t.sol.block_out.(i) t.phi_uses_from.(i)
+end
+
+(* ------------------------------------------------------------------ *)
+(* Availability (the SSA dominance rule)                               *)
+
+module Availability = struct
+  type t = {
+    m : Module_ir.t;
+    f : Func.t;
+    cfg : Cfg.t;
+    dom : Dominance.t;
+    def_site : (Id.t * int) Id.Map.t;  (* id -> (block label, instr index) *)
+    module_level : Id.Set.t;  (* constants, globals, this function's params *)
+    must_in : Id.Set.t solution Lazy.t;  (* intersection formulation *)
+  }
+
+  let make m (f : Func.t) =
+    let cfg = Cfg.of_func f in
+    let dom = Dominance.compute cfg in
+    let def_site =
+      List.fold_left
+        (fun acc (b : Block.t) ->
+          let acc, _ =
+            List.fold_left
+              (fun (acc, idx) (i : Instr.t) ->
+                let acc =
+                  match i.Instr.result with
+                  | Some r -> Id.Map.add r (b.Block.label, idx) acc
+                  | None -> acc
+                in
+                (acc, idx + 1))
+              (acc, 0) b.Block.instrs
+          in
+          acc)
+        Id.Map.empty f.Func.blocks
+    in
+    let module_level =
+      let s = ref Id.Set.empty in
+      List.iter
+        (fun (d : Module_ir.const_decl) -> s := Id.Set.add d.Module_ir.cd_id !s)
+        m.Module_ir.constants;
+      List.iter
+        (fun (d : Module_ir.global_decl) -> s := Id.Set.add d.Module_ir.gd_id !s)
+        m.Module_ir.globals;
+      List.iter
+        (fun (p : Func.param) -> s := Id.Set.add p.Func.param_id !s)
+        f.Func.params;
+      !s
+    in
+    let must_in =
+      lazy
+        (let universe = all_defs f in
+         let defs = Array.map block_defs cfg.Cfg.blocks in
+         (* must-analysis: join is intersection, so the join identity
+            ("nothing known yet") is the full universe *)
+         let lat =
+           { bottom = universe; equal = Id.Set.equal; join = Id.Set.inter }
+         in
+         solve cfg Forward lat ~boundary:Id.Set.empty ~transfer:(fun i s ->
+             Id.Set.union s defs.(i)))
+    in
+    { m; f; cfg; dom; def_site; module_level; must_in }
+
+  let module_of t = t.m
+  let func t = t.f
+  let cfg t = t.cfg
+  let dominance t = t.dom
+  let def_site t id = Id.Map.find_opt id t.def_site
+  let is_module_level t id = Id.Set.mem id t.module_level
+
+  (* The validator's rule, including its relaxation inside unreachable
+     blocks: uses there only need the id defined somewhere in the
+     function. *)
+  let available_at t ~block ~index id =
+    if Id.Set.mem id t.module_level then true
+    else
+      match Id.Map.find_opt id t.def_site with
+      | None -> false
+      | Some (def_block, def_idx) ->
+          if not (Cfg.is_reachable t.cfg block) then true
+          else if Id.equal def_block block then def_idx < index
+          else Dominance.strictly_dominates t.dom def_block block
+
+  let available_at_end t ~block id = available_at t ~block ~index:max_int id
+
+  (* ids guaranteed defined on every path from entry to [block]'s entry —
+     the worklist formulation of availability; on a valid module it agrees
+     with the dominance rule at block entry (property-tested). *)
+  let must_defined_at_entry t ~block =
+    (Lazy.force t.must_in).block_in.(position_exn t.cfg block)
+end
+
+(* ------------------------------------------------------------------ *)
+(* Constant / uniform-value propagation                                *)
+
+module Constprop = struct
+  type t = { values : Value.t Id.Map.t }
+
+  (* The environment maps ids to values known constant on all paths.  The
+     lattice element is an [option]: [None] is "unvisited" (the join
+     identity, top), so unreachable blocks contribute nothing. *)
+  let join_env a b =
+    match (a, b) with
+    | None, x | x, None -> x
+    | Some a, Some b ->
+        Some
+          (Id.Map.merge
+             (fun _ va vb ->
+               match (va, vb) with
+               | Some x, Some y when Value.equal x y -> Some x
+               | _ -> None)
+             a b)
+
+  let equal_env a b = Option.equal (Id.Map.equal Value.equal) a b
+
+  let rec extract_path v path =
+    match (path, v) with
+    | [], _ -> Some v
+    | i :: rest, Value.VComposite xs when i >= 0 && i < Array.length xs ->
+        extract_path xs.(i) rest
+    | _ -> None
+
+  let eval_op m input env (i : Instr.t) =
+    let lookup x = Id.Map.find_opt x env in
+    match i.Instr.op with
+    | Instr.CopyObject x -> lookup x
+    | Instr.Binop (op, a, b) -> (
+        match (lookup a, lookup b) with
+        | Some va, Some vb -> (
+            try Some (Ops.eval_binop op va vb) with _ -> None)
+        | _ -> None)
+    | Instr.Unop (op, a) -> (
+        match lookup a with
+        | Some va -> ( try Some (Ops.eval_unop op va) with _ -> None)
+        | None -> None)
+    | Instr.Select (c, t, f) -> (
+        match lookup c with
+        | Some (Value.VBool true) -> lookup t
+        | Some (Value.VBool false) -> lookup f
+        | _ -> None)
+    | Instr.CompositeConstruct xs ->
+        let vs = List.map lookup xs in
+        if List.for_all Option.is_some vs then
+          Some (Value.VComposite (Array.of_list (List.map Option.get vs)))
+        else None
+    | Instr.CompositeExtract (c, path) -> (
+        match lookup c with
+        | Some v -> extract_path v path
+        | None -> None)
+    | Instr.Phi incoming -> (
+        (* conservative: the joined entry environment already requires each
+           incoming value to be the same constant on every predecessor *)
+        match incoming with
+        | [] -> None
+        | (v0, _) :: rest -> (
+            match lookup v0 with
+            | Some c
+              when List.for_all
+                     (fun (v, _) ->
+                       match lookup v with
+                       | Some c' -> Value.equal c c'
+                       | None -> false)
+                     rest ->
+                Some c
+            | _ -> None))
+    | Instr.Load p -> (
+        (* uniform propagation: loading an unwritten Uniform-class global
+           yields the input's value for it *)
+        match (input, Module_ir.find_global m p) with
+        | Some input, Some g -> (
+            match Module_ir.find_type m g.Module_ir.gd_ty with
+            | Some (Ty.Pointer (Ty.Uniform, _)) ->
+                Input.find_uniform input g.Module_ir.gd_name
+            | _ -> None)
+        | _ -> None)
+    | Instr.CompositeInsert _ | Instr.Store _ | Instr.AccessChain _
+    | Instr.FunctionCall _ | Instr.Variable _ | Instr.Undef | Instr.Nop ->
+        None
+
+  let transfer_block m input (b : Block.t) env =
+    List.fold_left
+      (fun env (i : Instr.t) ->
+        match i.Instr.result with
+        | None -> env
+        | Some r -> (
+            match eval_op m input env i with
+            | Some v -> Id.Map.add r v env
+            | None -> env))
+      env b.Block.instrs
+
+  let compute ?input m (f : Func.t) =
+    let cfg = Cfg.of_func f in
+    let initial =
+      List.fold_left
+        (fun acc (d : Module_ir.const_decl) ->
+          match Module_ir.const_value m d.Module_ir.cd_id with
+          | v -> Id.Map.add d.Module_ir.cd_id v acc
+          | exception _ -> acc)
+        Id.Map.empty m.Module_ir.constants
+    in
+    let lat = { bottom = None; equal = equal_env; join = join_env } in
+    let transfer i env =
+      Option.map (transfer_block m input cfg.Cfg.blocks.(i)) env
+    in
+    let sol = solve cfg Forward lat ~boundary:(Some initial) ~transfer in
+    (* collect the fixpoint bindings: SSA defines each id once, so the
+       per-block environments never disagree on instruction results *)
+    let values =
+      Array.fold_left
+        (fun acc env ->
+          match env with
+          | None -> acc
+          | Some env -> Id.Map.union (fun _ a _ -> Some a) env acc)
+        initial sol.block_out
+    in
+    { values }
+
+  let value_of t id = Id.Map.find_opt id t.values
+  let known t = Id.Map.bindings t.values
+end
+
+(* ------------------------------------------------------------------ *)
+(* Store-only locals                                                   *)
+
+(* Function-local variables whose every use is as a store destination (or
+   that are never used at all): their stores can never be observed.  Shared
+   by the optimizer's dead-store elimination and the lint suite. *)
+let write_only_locals (f : Func.t) =
+  let locals =
+    List.fold_left
+      (fun s (i : Instr.t) ->
+        match (i.Instr.result, i.Instr.op) with
+        | Some r, Instr.Variable Ty.Function -> Id.Set.add r s
+        | _ -> s)
+      Id.Set.empty (Func.all_instrs f)
+  in
+  let used = ref Id.Set.empty in
+  List.iter
+    (fun (b : Block.t) ->
+      List.iter
+        (fun (i : Instr.t) ->
+          match i.Instr.op with
+          | Instr.Store (_, v) -> used := Id.Set.add v !used
+          | _ ->
+              List.iter (fun u -> used := Id.Set.add u !used) (Instr.used_ids i))
+        b.Block.instrs;
+      List.iter
+        (fun u -> used := Id.Set.add u !used)
+        (Block.terminator_used_ids b.Block.terminator))
+    f.Func.blocks;
+  Id.Set.filter (fun v -> not (Id.Set.mem v !used)) locals

@@ -1,0 +1,128 @@
+(** Generic worklist dataflow over {!Cfg}, and the standard analyses built
+    on it: reaching definitions, liveness, dominance-aware availability and
+    constant/uniform-value propagation.
+
+    These are the {e shared} def-use analyses: the validator, the lint
+    suite ({!Lint}), the optimizer's checked pipelines and the
+    transformation layer (via {!Analysis}) all consume them rather than
+    re-deriving definition sites or dominance privately — CI greps enforce
+    this. *)
+
+(** {1 The engine} *)
+
+type direction = Forward | Backward
+
+type 'a lattice = {
+  bottom : 'a;
+      (** least element; must be the identity of [join] (for must-analyses
+          whose join is intersection, this is the {e universe}) *)
+  equal : 'a -> 'a -> bool;
+  join : 'a -> 'a -> 'a;
+}
+
+type 'a solution = {
+  block_in : 'a array;   (** state at block entry, indexed by Cfg position *)
+  block_out : 'a array;  (** state at block exit, indexed by Cfg position *)
+}
+
+val solve :
+  Cfg.t ->
+  direction ->
+  'a lattice ->
+  boundary:'a ->
+  transfer:(int -> 'a -> 'a) ->
+  'a solution
+(** Iterate [transfer] (given a block's Cfg position and its incoming
+    state) to a fixpoint over the worklist, seeding reachable blocks in
+    reverse post-order along the propagation direction.  [boundary] is the
+    state at the entry block (forward) or at exit blocks (backward).
+    Unreachable blocks are solved too, over whatever edges they have; a
+    predecessor-less non-entry block sees [bottom].  Termination requires
+    the usual monotone-transfer / finite-height conditions. *)
+
+(** {1 Analyses} *)
+
+module Reaching_defs : sig
+  type t
+
+  val compute : Func.t -> t
+
+  val at_entry : t -> Id.t -> Id.Set.t
+  (** Definitions reaching the labelled block's entry ({e may} along some
+      path; SSA has no kills).  @raise Invalid_argument on unknown labels. *)
+
+  val at_exit : t -> Id.t -> Id.Set.t
+end
+
+module Liveness : sig
+  type t
+
+  val compute : Func.t -> t
+
+  val live_in : t -> Id.t -> Id.Set.t
+  (** Ids live at the labelled block's entry.  φ-instructions follow SSA
+      convention: their value operands are uses at the end of the matching
+      predecessor, not in the φ's own block. *)
+
+  val live_out : t -> Id.t -> Id.Set.t
+  (** Ids live across the block's outgoing edges, successor-φ uses
+      included. *)
+end
+
+(** Dominance-aware def-use availability — {e the} shared answer to "may
+    this id be referenced at this program point?", consumed by the
+    validator, the lint suite and (via {!Analysis}) the transformation
+    preconditions. *)
+module Availability : sig
+  type t
+
+  val make : Module_ir.t -> Func.t -> t
+
+  val module_of : t -> Module_ir.t
+  val func : t -> Func.t
+  val cfg : t -> Cfg.t
+  val dominance : t -> Dominance.t
+
+  val def_site : t -> Id.t -> (Id.t * int) option
+  (** (block label, instruction index) of the id's definition, if it is
+      defined by an instruction of this function. *)
+
+  val is_module_level : t -> Id.t -> bool
+  (** Constants, globals, or this function's parameters. *)
+
+  val available_at : t -> block:Id.t -> index:int -> Id.t -> bool
+  (** May [id] be used by the instruction at position [index] of [block]?
+      ([index] may be one past the last instruction to mean the
+      terminator.)  The SSA dominance rule, with the validator's relaxation
+      inside unreachable blocks: uses there only need the id defined
+      somewhere in the function. *)
+
+  val available_at_end : t -> block:Id.t -> Id.t -> bool
+
+  val must_defined_at_entry : t -> block:Id.t -> Id.Set.t
+  (** The worklist (intersection-join) formulation: ids defined on {e
+      every} path from entry.  On valid modules it agrees with
+      [available_at] at block entries; exposed for cross-checking. *)
+end
+
+(** Constant and uniform-value propagation: ids whose value is the same
+    constant on every path, seeded from the module's constant table and —
+    when an input is supplied — from loads of Uniform-class globals. *)
+module Constprop : sig
+  type t
+
+  val compute : ?input:Input.t -> Module_ir.t -> Func.t -> t
+
+  val value_of : t -> Id.t -> Value.t option
+  (** The id's propagated constant, if any.  φs whose incoming values agree
+      on all predecessors propagate; definitions in unreachable blocks do
+      not. *)
+
+  val known : t -> (Id.t * Value.t) list
+end
+
+val write_only_locals : Func.t -> Id.Set.t
+(** Function-local variables whose every use is as a store destination (or
+    that are never used at all) — their stores can never be observed.
+    Shared by the optimizer's dead-store elimination and the lint rule
+    [store-never-read]. *)

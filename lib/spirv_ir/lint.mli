@@ -1,0 +1,53 @@
+(** IR lint: structured diagnostics over the shared {!Dataflow} analyses.
+
+    Complements {!Validate}: hard IR breaks surface as [Error] findings
+    (the transformation-contract checker asks "did this transformation
+    introduce new errors?"), legal-but-suspect hygiene issues as
+    [Warning]s.  Rules:
+
+    - [dead-block] (warning): block unreachable from the entry block
+    - [dead-result] (warning): side-effect-free instruction whose result is
+      never used (liveness-based)
+    - [phi-arg-mismatch] (error): φ incoming entries duplicate or fail to
+      match the block's predecessors
+    - [undominated-use] (error): an operand, φ value or terminator use not
+      dominated by its definition
+    - [store-never-read] (warning): function-local variable whose stores
+      can never be observed
+    - [block-order] (error): a block appears after a block it strictly
+      dominates (non-canonical layout)
+
+    Lint never raises on malformed input, so it can run on modules the
+    validator rejects. *)
+
+type severity = Error | Warning
+
+val pp_severity : Format.formatter -> severity -> unit
+val show_severity : severity -> string
+val equal_severity : severity -> severity -> bool
+val severity_to_string : severity -> string
+
+type finding = {
+  rule : string;  (** stable rule id, e.g. ["undominated-use"] *)
+  severity : severity;
+  fn : Id.t option;     (** containing function, if any *)
+  block : Id.t option;  (** containing block, if any *)
+  message : string;
+}
+
+val pp_finding : Format.formatter -> finding -> unit
+val show_finding : finding -> string
+val equal_finding : finding -> finding -> bool
+
+val to_string : finding -> string
+(** One line: [severity[rule] fn/block: message]. *)
+
+val check_function : Module_ir.t -> Func.t -> finding list
+val check_module : Module_ir.t -> finding list
+(** Findings in source order (function order, then rule/block order within
+    a function). *)
+
+val errors : finding list -> finding list
+(** The [Error]-severity findings only. *)
+
+val error_count : finding list -> int

@@ -4,11 +4,11 @@ let error_to_string e = Printf.sprintf "%s: %s" e.where e.message
 
 type ctx = {
   m : Module_ir.t;
-  mutable errors : error list;  (* reversed *)
+  errors : error Queue.t;  (* appended in source order *)
 }
 
 let err ctx where fmt =
-  Printf.ksprintf (fun message -> ctx.errors <- { where; message } :: ctx.errors) fmt
+  Printf.ksprintf (fun message -> Queue.add { where; message } ctx.errors) fmt
 
 (* ------------------------------------------------------------------ *)
 (* Ids                                                                 *)
@@ -563,8 +563,12 @@ let check_function ctx (f : Func.t) =
   match f.Func.blocks with
   | [] -> err ctx fname "function has no blocks"
   | entry_b :: _ ->
-      let cfg = Cfg.of_func f in
-      let dom = Dominance.compute cfg in
+      (* the shared analyses: control-flow graph, dominator tree and
+         definition sites all come from Dataflow.Availability (via
+         Analysis), never re-derived here *)
+      let an = Analysis.make m f in
+      let cfg = Analysis.cfg an in
+      let dom = Analysis.dominance an in
       (* entry block must have no predecessors *)
       if Cfg.predecessors cfg entry_b.Block.label <> [] then
         err ctx fname "entry block has predecessors";
@@ -619,33 +623,10 @@ let check_function ctx (f : Func.t) =
                 | Some g -> Some g.Module_ir.gd_ty
                 | None -> None))
       in
-      (* definition sites for availability checking *)
-      let def_site = Hashtbl.create 64 in
-      List.iter
-        (fun (b : Block.t) ->
-          List.iteri
-            (fun idx (i : Instr.t) ->
-              match i.Instr.result with
-              | Some r -> Hashtbl.replace def_site r (b.Block.label, idx)
-              | None -> ())
-            b.Block.instrs)
-        f.Func.blocks;
-      let is_module_level id =
-        Module_ir.find_constant m id <> None
-        || Module_ir.find_global m id <> None
-        || List.exists (fun (p : Func.param) -> Id.equal p.Func.param_id id) f.Func.params
-      in
+      (* availability (definition sites + the dominance rule, with its
+         relaxation in unreachable code) is the shared analysis *)
       let available ~in_block ~at_index id =
-        if is_module_level id then true
-        else
-          match Hashtbl.find_opt def_site id with
-          | None -> false
-          | Some (def_block, def_idx) ->
-              if not (Cfg.is_reachable cfg in_block) then true
-                (* dominance is vacuous in unreachable code: require only
-                   that the id is defined somewhere in this function *)
-              else if Id.equal def_block in_block then def_idx < at_index
-              else Dominance.strictly_dominates dom def_block in_block
+        Analysis.available_at an ~block:in_block ~index:at_index id
       in
       (* per-block checks *)
       List.iteri
@@ -756,7 +737,7 @@ let check_function ctx (f : Func.t) =
         f.Func.blocks
 
 let check m =
-  let ctx = { m; errors = [] } in
+  let ctx = { m; errors = Queue.create () } in
   check_ids ctx;
   check_types ctx;
   check_constants ctx;
@@ -764,7 +745,11 @@ let check m =
   check_entry ctx;
   check_call_graph ctx;
   List.iter (check_function ctx) m.Module_ir.functions;
-  match List.rev ctx.errors with [] -> Ok () | errors -> Error errors
+  (* the queue is appended in check order, so errors come out in source
+     order by construction (regression-tested) *)
+  match List.of_seq (Queue.to_seq ctx.errors) with
+  | [] -> Ok ()
+  | errors -> Error errors
 
 let is_valid m = match check m with Ok () -> true | Error _ -> false
 

@@ -20,4 +20,29 @@ if grep -rn "baseline_cache" lib/harness; then
   exit 1
 fi
 
-echo "CI: build + tests + engine-invariant checks passed"
+# shared-analysis invariant: dominance/def-use facts are derived once, in
+# Spirv_ir.Dataflow; the validator, lint and Analysis consume them rather
+# than building their own CFG or dominator tree
+if grep -n "Dominance\.compute" lib/spirv_ir/*.ml lib/compilers/*.ml \
+     lib/spirv_fuzz/*.ml | grep -v "^lib/spirv_ir/dataflow\.ml:" \
+     | grep -v "^lib/spirv_ir/dominance\.ml:"; then
+  echo "CI: Dominance.compute called outside Spirv_ir.Dataflow —" \
+       "consume the shared Availability analysis instead" >&2
+  exit 1
+fi
+for f in lib/spirv_ir/validate.ml lib/spirv_ir/lint.ml lib/spirv_ir/analysis.ml; do
+  if grep -n "Cfg\.of_func" "$f"; then
+    echo "CI: $f derives its own CFG — consume Dataflow.Availability" >&2
+    exit 1
+  fi
+done
+
+# lint gate: every shipped corpus module must be free of lint errors
+# (warnings are allowed; the exit code is 1 only on errors)
+./_build/default/bin/tbct_cli.exe lint --all
+
+# contract-checked campaign smoke: a short run with the transformation
+# contract checker on; any breach raises a Violation (exit code 2)
+./_build/default/bin/tbct_cli.exe campaign --seeds 20 --check-contracts
+
+echo "CI: build + tests + lint + contract-smoke + invariant checks passed"

@@ -1,0 +1,599 @@
+(* Tests for the shared dataflow engine (Spirv_ir.Dataflow), its analyses
+   (reaching definitions, liveness, availability, constant propagation) and
+   the lint suite built on them. *)
+
+open Spirv_ir
+
+let mem = Id.Set.mem
+
+let main_fn (m : Module_ir.t) : Func.t =
+  List.find
+    (fun (f : Func.t) -> Id.equal f.Func.id m.Module_ir.entry)
+    m.Module_ir.functions
+
+let map_main m f =
+  {
+    m with
+    Module_ir.functions =
+      List.map
+        (fun (fn : Func.t) ->
+          if Id.equal fn.Func.id m.Module_ir.entry then f fn else fn)
+        m.Module_ir.functions;
+  }
+
+(* ------------------------------------------------------------------ *)
+(* Crafted CFGs                                                        *)
+
+(* entry l0 (defines v0) branches to lt (vt) / le (ve), joining in lm with
+   a phi p — the classic diamond. *)
+let diamond () =
+  let b = Builder.create () in
+  let void_t = Builder.void_ty b in
+  let out = Builder.output_color b in
+  let fb, main, _ =
+    Builder.begin_function b ~name:"main" ~ret:void_t ~params:[]
+  in
+  let l0 = Builder.new_label fb in
+  let lt = Builder.new_label fb in
+  let le = Builder.new_label fb in
+  let lm = Builder.new_label fb in
+  Builder.start_block fb l0;
+  let c = Builder.cbool b true in
+  let one = Builder.cfloat b 1.0 in
+  let half = Builder.cfloat b 0.5 in
+  let v0 = Builder.fadd fb one half in
+  Builder.branch_cond fb c lt le;
+  Builder.start_block fb lt;
+  let vt = Builder.fadd fb v0 one in
+  Builder.branch fb lm;
+  Builder.start_block fb le;
+  let ve = Builder.fmul fb v0 half in
+  Builder.branch fb lm;
+  Builder.start_block fb lm;
+  let p = Builder.phi fb ~ty:(Builder.float_ty b) [ (vt, lt); (ve, le) ] in
+  let color = Builder.composite fb ~ty:(Builder.vec4f b) [ p; p; p; p ] in
+  Builder.store fb out color;
+  Builder.ret fb;
+  ignore (Builder.end_function fb);
+  let m = Builder.finish b ~entry:main in
+  (m, (l0, lt, le, lm), (v0, vt, ve, p))
+
+(* l0 -> lh (phi i, i < 10?) -> lb (i2 = i + 1, back-edge) | lx (return) *)
+let loop () =
+  let b = Builder.create () in
+  let void_t = Builder.void_ty b in
+  let out = Builder.output_color b in
+  let fb, main, _ =
+    Builder.begin_function b ~name:"main" ~ret:void_t ~params:[]
+  in
+  let l0 = Builder.new_label fb in
+  let lh = Builder.new_label fb in
+  let lb = Builder.new_label fb in
+  let lx = Builder.new_label fb in
+  let zero = Builder.cint b 0 in
+  let one = Builder.cint b 1 in
+  let ten = Builder.cint b 10 in
+  let onef = Builder.cfloat b 1.0 in
+  Builder.start_block fb l0;
+  Builder.branch fb lh;
+  Builder.start_block fb lh;
+  let i = Builder.phi fb ~ty:(Builder.int_ty b) [ (zero, l0); (zero, lb) ] in
+  let cond = Builder.slt fb i ten in
+  Builder.branch_cond fb cond lb lx;
+  Builder.start_block fb lb;
+  let i2 = Builder.iadd fb i one in
+  Builder.branch fb lh;
+  Builder.patch_phi fb ~phi:i ~pred:lb ~value:i2;
+  Builder.start_block fb lx;
+  let color =
+    Builder.composite fb ~ty:(Builder.vec4f b) [ onef; onef; onef; onef ]
+  in
+  Builder.store fb out color;
+  Builder.ret fb;
+  ignore (Builder.end_function fb);
+  let m = Builder.finish b ~entry:main in
+  (m, (l0, lh, lb, lx), (i, i2, zero))
+
+(* ------------------------------------------------------------------ *)
+(* Reaching definitions                                                *)
+
+let test_reaching_defs () =
+  let m, (l0, lt, le, lm), (v0, vt, ve, p) = diamond () in
+  let rd = Dataflow.Reaching_defs.compute (main_fn m) in
+  let at_entry = Dataflow.Reaching_defs.at_entry rd in
+  let at_exit = Dataflow.Reaching_defs.at_exit rd in
+  Alcotest.(check bool) "nothing reaches entry" true (Id.Set.is_empty (at_entry l0));
+  Alcotest.(check bool) "v0 reaches then" true (mem v0 (at_entry lt));
+  Alcotest.(check bool) "v0 reaches else" true (mem v0 (at_entry le));
+  Alcotest.(check bool) "vt not in else" false (mem vt (at_entry le));
+  Alcotest.(check bool) "vt may-reach merge" true (mem vt (at_entry lm));
+  Alcotest.(check bool) "ve may-reach merge" true (mem ve (at_entry lm));
+  Alcotest.(check bool) "phi def at merge exit" true (mem p (at_exit lm));
+  (* around a loop, the body def reaches the header entry via the back-edge *)
+  let m, (_, lh, lb, _), (i, i2, _) = loop () in
+  let rd = Dataflow.Reaching_defs.compute (main_fn m) in
+  Alcotest.(check bool) "i2 reaches header via back-edge" true
+    (mem i2 (Dataflow.Reaching_defs.at_entry rd lh));
+  Alcotest.(check bool) "phi def reaches body" true
+    (mem i (Dataflow.Reaching_defs.at_entry rd lb))
+
+(* ------------------------------------------------------------------ *)
+(* Liveness                                                            *)
+
+let test_liveness () =
+  let m, (l0, lh, lb, lx), (i, i2, zero) = loop () in
+  let lv = Dataflow.Liveness.compute (main_fn m) in
+  let live_in = Dataflow.Liveness.live_in lv in
+  let live_out = Dataflow.Liveness.live_out lv in
+  (* the phi's value operands are uses at the end of the matching
+     predecessor, not in the phi's own block *)
+  Alcotest.(check bool) "i2 live out of latch (phi use)" true (mem i2 (live_out lb));
+  Alcotest.(check bool) "zero live out of entry (phi use)" true (mem zero (live_out l0));
+  Alcotest.(check bool) "phi result not live into its own block" false
+    (mem i (live_in lh));
+  Alcotest.(check bool) "i live into body" true (mem i (live_in lb));
+  Alcotest.(check bool) "i live across header exit" true (mem i (live_out lh));
+  Alcotest.(check bool) "i2 not live at entry" false (mem i2 (live_in l0));
+  Alcotest.(check bool) "loop counter dead after exit" false (mem i (live_in lx))
+
+(* ------------------------------------------------------------------ *)
+(* Availability                                                        *)
+
+let test_availability () =
+  let m, (_, lh, lb, lx), (i, i2, zero) = loop () in
+  let av = Dataflow.Availability.make m (main_fn m) in
+  let at ~block ~index id = Dataflow.Availability.available_at av ~block ~index id in
+  Alcotest.(check bool) "phi def available in dominated body" true
+    (at ~block:lb ~index:0 i);
+  Alcotest.(check bool) "body def not available in header" false
+    (at ~block:lh ~index:1 i2);
+  Alcotest.(check bool) "body def available at body end" true
+    (Dataflow.Availability.available_at_end av ~block:lb i2);
+  Alcotest.(check bool) "constants always available" true
+    (at ~block:lh ~index:0 zero);
+  Alcotest.(check bool) "module-level id recognized" true
+    (Dataflow.Availability.is_module_level av zero);
+  (match Dataflow.Availability.def_site av i2 with
+  | Some (blk, _) -> Alcotest.(check bool) "i2 defined in body" true (Id.equal blk lb)
+  | None -> Alcotest.fail "i2 has no def site");
+  (* the intersection-join (must-defined) formulation *)
+  let must = Dataflow.Availability.must_defined_at_entry av in
+  Alcotest.(check bool) "i must-defined at exit" true (mem i (must ~block:lx));
+  Alcotest.(check bool) "i2 not must-defined at header" false
+    (mem i2 (must ~block:lh))
+
+(* Uses inside unreachable blocks only need the id defined somewhere — the
+   validator's relaxation. *)
+let test_unreachable_relaxation () =
+  let m, (_, lt, _, _), (_, vt, _, _) = diamond () in
+  let dead_label = m.Module_ir.id_bound in
+  let dead =
+    { Block.label = dead_label; instrs = []; terminator = Block.Return }
+  in
+  let m =
+    map_main
+      { m with Module_ir.id_bound = m.Module_ir.id_bound + 1 }
+      (fun fn -> { fn with Func.blocks = fn.Func.blocks @ [ dead ] })
+  in
+  let av = Dataflow.Availability.make m (main_fn m) in
+  Alcotest.(check bool) "defined-somewhere id usable in dead block" true
+    (Dataflow.Availability.available_at av ~block:dead_label ~index:0 vt);
+  Alcotest.(check bool) "undefined id still rejected in dead block" false
+    (Dataflow.Availability.available_at av ~block:dead_label ~index:0 99999);
+  Alcotest.(check bool) "normal dominance untouched: vt defined in lt" true
+    (Dataflow.Availability.available_at_end av ~block:lt vt)
+
+(* An entry block that loops to itself is invalid per the validator, but
+   every analysis must still terminate on it. *)
+let test_entry_self_loop () =
+  let m, _, _ = diamond () in
+  let fn = main_fn m in
+  let fn_ty = fn.Func.fn_ty in
+  let lbl = m.Module_ir.id_bound in
+  let res = m.Module_ir.id_bound + 1 in
+  let float_id = Option.get (Module_ir.find_type_id m Ty.Float) in
+  let cfloat_one =
+    List.find_map
+      (fun (c : Module_ir.const_decl) ->
+        match c.Module_ir.cd_value with
+        | Constant.Float f when f = 1.0 -> Some c.Module_ir.cd_id
+        | _ -> None)
+      m.Module_ir.constants
+    |> Option.get
+  in
+  let blk =
+    {
+      Block.label = lbl;
+      instrs =
+        [
+          {
+            Instr.result = Some res;
+            ty = Some float_id;
+            op = Instr.Binop (Instr.FAdd, cfloat_one, cfloat_one);
+          };
+        ];
+      terminator = Block.Branch lbl;
+    }
+  in
+  let selfloop =
+    {
+      Func.id = m.Module_ir.id_bound + 2;
+      name = "selfloop";
+      fn_ty;
+      control = Func.CNone;
+      params = [];
+      blocks = [ blk ];
+    }
+  in
+  let m =
+    {
+      m with
+      Module_ir.functions = m.Module_ir.functions @ [ selfloop ];
+      Module_ir.id_bound = m.Module_ir.id_bound + 3;
+    }
+  in
+  (* all of these must reach a fixpoint rather than spin *)
+  let rd = Dataflow.Reaching_defs.compute selfloop in
+  Alcotest.(check bool) "self-loop def flows around the back-edge" true
+    (mem res (Dataflow.Reaching_defs.at_entry rd lbl));
+  let lv = Dataflow.Liveness.compute selfloop in
+  Alcotest.(check bool) "nothing live out of a returnless loop" false
+    (mem res (Dataflow.Liveness.live_out lv lbl));
+  let av = Dataflow.Availability.make m selfloop in
+  Alcotest.(check bool) "own def not available at block entry" false
+    (Dataflow.Availability.available_at av ~block:lbl ~index:0 res);
+  ignore (Dataflow.Availability.must_defined_at_entry av ~block:lbl);
+  ignore (Dataflow.Constprop.compute m selfloop)
+
+(* ------------------------------------------------------------------ *)
+(* Constant propagation                                                *)
+
+let test_constprop () =
+  let b = Builder.create () in
+  let void_t = Builder.void_ty b in
+  let out = Builder.output_color b in
+  let float_t = Builder.float_ty b in
+  let u = Builder.uniform b ~pointee:float_t ~name:"u" in
+  let fb, main, _ =
+    Builder.begin_function b ~name:"main" ~ret:void_t ~params:[]
+  in
+  let l0 = Builder.new_label fb in
+  let lt = Builder.new_label fb in
+  let le = Builder.new_label fb in
+  let lm = Builder.new_label fb in
+  let c = Builder.cbool b true in
+  let one = Builder.cfloat b 1.0 in
+  let half = Builder.cfloat b 0.5 in
+  let two = Builder.cint b 2 in
+  let three = Builder.cint b 3 in
+  Builder.start_block fb l0;
+  let folded = Builder.iadd fb two three in
+  let uval = Builder.load fb u in
+  Builder.branch_cond fb c lt le;
+  Builder.start_block fb lt;
+  Builder.branch fb lm;
+  Builder.start_block fb le;
+  Builder.branch fb lm;
+  Builder.start_block fb lm;
+  let p_same = Builder.phi fb ~ty:float_t [ (one, lt); (one, le) ] in
+  let p_diff = Builder.phi fb ~ty:float_t [ (one, lt); (half, le) ] in
+  let through = Builder.fadd fb p_same p_diff in
+  let color =
+    Builder.composite fb ~ty:(Builder.vec4f b) [ through; uval; p_same; p_diff ]
+  in
+  Builder.store fb out color;
+  Builder.ret fb;
+  ignore (Builder.end_function fb);
+  let m = Builder.finish b ~entry:main in
+  let fn = main_fn m in
+  let cp = Dataflow.Constprop.compute m fn in
+  let check_val ?(cp = cp) name id expected =
+    match (Dataflow.Constprop.value_of cp id, expected) with
+    | Some v, Some e ->
+        Alcotest.(check bool) name true (Value.equal v e)
+    | None, None -> ()
+    | got, _ ->
+        Alcotest.failf "%s: got %s" name
+          (match got with Some v -> Value.show v | None -> "none")
+  in
+  check_val "binop folds" folded (Some (Value.VInt 5l));
+  check_val "agreeing phi propagates" p_same (Some (Value.VFloat 1.0));
+  check_val "disagreeing phi does not" p_diff None;
+  check_val "uniform unknown without input" uval None;
+  let input = Input.make [ ("u", Value.VFloat 2.5) ] in
+  let cp' = Dataflow.Constprop.compute ~input m fn in
+  check_val ~cp:cp' "uniform load picks up the input" uval
+    (Some (Value.VFloat 2.5));
+  Alcotest.(check bool) "known lists the fold" true
+    (List.exists (fun (id, _) -> Id.equal id folded) (Dataflow.Constprop.known cp'))
+
+(* ------------------------------------------------------------------ *)
+(* Write-only locals                                                   *)
+
+let write_only_module () =
+  let b = Builder.create () in
+  let void_t = Builder.void_ty b in
+  let out = Builder.output_color b in
+  let float_t = Builder.float_ty b in
+  let fb, main, _ =
+    Builder.begin_function b ~name:"main" ~ret:void_t ~params:[]
+  in
+  let l = Builder.new_label fb in
+  Builder.start_block fb l;
+  let one = Builder.cfloat b 1.0 in
+  let w = Builder.local_var fb ~pointee:float_t in
+  let r = Builder.local_var fb ~pointee:float_t in
+  Builder.store fb w one;
+  Builder.store fb r one;
+  let v = Builder.load fb r in
+  let color = Builder.composite fb ~ty:(Builder.vec4f b) [ v; v; v; v ] in
+  Builder.store fb out color;
+  Builder.ret fb;
+  ignore (Builder.end_function fb);
+  (Builder.finish b ~entry:main, w, r)
+
+let test_write_only_locals () =
+  let m, w, r = write_only_module () in
+  let wo = Dataflow.write_only_locals (main_fn m) in
+  Alcotest.(check bool) "stored-only local detected" true (mem w wo);
+  Alcotest.(check bool) "loaded local kept" false (mem r wo)
+
+(* ------------------------------------------------------------------ *)
+(* Lint rules, one golden module per rule                              *)
+
+let has_rule rule findings =
+  List.exists (fun (f : Lint.finding) -> String.equal f.Lint.rule rule) findings
+
+let severity_of rule findings =
+  (List.find (fun (f : Lint.finding) -> String.equal f.Lint.rule rule) findings)
+    .Lint.severity
+
+let test_lint_clean_baseline () =
+  let m, _, _ = diamond () in
+  Alcotest.(check (list string)) "diamond lints clean" []
+    (List.map Lint.to_string (Lint.check_module m))
+
+let test_lint_dead_block () =
+  let m, _, _ = diamond () in
+  let dead =
+    { Block.label = m.Module_ir.id_bound; instrs = []; terminator = Block.Return }
+  in
+  let m =
+    map_main
+      { m with Module_ir.id_bound = m.Module_ir.id_bound + 1 }
+      (fun fn -> { fn with Func.blocks = fn.Func.blocks @ [ dead ] })
+  in
+  let fs = Lint.check_module m in
+  Alcotest.(check bool) "dead-block reported" true (has_rule "dead-block" fs);
+  Alcotest.(check bool) "as a warning" true
+    (Lint.equal_severity (severity_of "dead-block" fs) Lint.Warning);
+  Alcotest.(check int) "no errors" 0 (Lint.error_count fs)
+
+let test_lint_dead_result () =
+  let m, (l0, _, _, _), (_, _, _, _) = diamond () in
+  let float_id = Option.get (Module_ir.find_type_id m Ty.Float) in
+  let unused = m.Module_ir.id_bound in
+  let m =
+    map_main
+      { m with Module_ir.id_bound = m.Module_ir.id_bound + 1 }
+      (fun fn ->
+        Func.replace_block fn
+          (let b = Func.block_exn fn l0 in
+           {
+             b with
+             Block.instrs =
+               b.Block.instrs
+               @ [
+                   (match (List.rev b.Block.instrs : Instr.t list) with
+                   | last :: _ ->
+                       {
+                         Instr.result = Some unused;
+                         ty = Some float_id;
+                         op =
+                           Instr.Binop
+                             ( Instr.FAdd,
+                               Option.get last.Instr.result,
+                               Option.get last.Instr.result );
+                       }
+                   | [] -> assert false);
+                 ];
+           }))
+  in
+  let fs = Lint.check_module m in
+  Alcotest.(check bool) "dead-result reported" true (has_rule "dead-result" fs);
+  Alcotest.(check bool) "as a warning" true
+    (Lint.equal_severity (severity_of "dead-result" fs) Lint.Warning)
+
+let test_lint_phi_arg_mismatch () =
+  let m, (_, lt, _, lm), (_, vt, _, p) = diamond () in
+  let m =
+    map_main m (fun fn ->
+        Func.replace_block fn
+          (let b = Func.block_exn fn lm in
+           {
+             b with
+             Block.instrs =
+               List.map
+                 (fun (i : Instr.t) ->
+                   if i.Instr.result = Some p then
+                     { i with Instr.op = Instr.Phi [ (vt, lt) ] }
+                   else i)
+                 b.Block.instrs;
+           }))
+  in
+  let fs = Lint.check_module m in
+  Alcotest.(check bool) "phi-arg-mismatch reported" true
+    (has_rule "phi-arg-mismatch" fs);
+  Alcotest.(check bool) "as an error" true
+    (Lint.equal_severity (severity_of "phi-arg-mismatch" fs) Lint.Error)
+
+let test_lint_undominated_use () =
+  let m, (_, _, le, _), (_, vt, _, _) = diamond () in
+  let float_id = Option.get (Module_ir.find_type_id m Ty.Float) in
+  let fresh = m.Module_ir.id_bound in
+  let m =
+    map_main
+      { m with Module_ir.id_bound = m.Module_ir.id_bound + 1 }
+      (fun fn ->
+        Func.replace_block fn
+          (let b = Func.block_exn fn le in
+           {
+             b with
+             Block.instrs =
+               b.Block.instrs
+               @ [
+                   {
+                     Instr.result = Some fresh;
+                     ty = Some float_id;
+                     (* vt is defined in the sibling branch: no dominance *)
+                     op = Instr.Binop (Instr.FAdd, vt, vt);
+                   };
+                 ];
+           }))
+  in
+  let fs = Lint.check_module m in
+  Alcotest.(check bool) "undominated-use reported" true
+    (has_rule "undominated-use" fs);
+  Alcotest.(check bool) "as an error" true
+    (Lint.equal_severity (severity_of "undominated-use" fs) Lint.Error);
+  Alcotest.(check bool) "the validator rejects it too" true
+    (Result.is_error (Validate.check m))
+
+let test_lint_store_never_read () =
+  let m, _, _ = write_only_module () in
+  let fs = Lint.check_module m in
+  Alcotest.(check bool) "store-never-read reported" true
+    (has_rule "store-never-read" fs);
+  Alcotest.(check bool) "as a warning" true
+    (Lint.equal_severity (severity_of "store-never-read" fs) Lint.Warning)
+
+let test_lint_block_order () =
+  (* chain l0 -> l1 -> l2, then list l2 before l1: l1 strictly dominates l2,
+     so the layout is non-canonical *)
+  let b = Builder.create () in
+  let void_t = Builder.void_ty b in
+  let out = Builder.output_color b in
+  let fb, main, _ =
+    Builder.begin_function b ~name:"main" ~ret:void_t ~params:[]
+  in
+  let l0 = Builder.new_label fb in
+  let l1 = Builder.new_label fb in
+  let l2 = Builder.new_label fb in
+  let one = Builder.cfloat b 1.0 in
+  Builder.start_block fb l0;
+  Builder.branch fb l1;
+  Builder.start_block fb l1;
+  let v = Builder.fadd fb one one in
+  Builder.branch fb l2;
+  Builder.start_block fb l2;
+  let color = Builder.composite fb ~ty:(Builder.vec4f b) [ v; v; v; v ] in
+  Builder.store fb out color;
+  Builder.ret fb;
+  ignore (Builder.end_function fb);
+  let m = Builder.finish b ~entry:main in
+  Alcotest.(check int) "canonical order is clean" 0
+    (Lint.error_count (Lint.check_module m));
+  let m =
+    map_main m (fun fn ->
+        let blk = Func.block_exn fn in
+        { fn with Func.blocks = [ blk l0; blk l2; blk l1 ] })
+  in
+  let fs = Lint.check_module m in
+  Alcotest.(check bool) "block-order reported" true (has_rule "block-order" fs);
+  Alcotest.(check bool) "as an error" true
+    (Lint.equal_severity (severity_of "block-order" fs) Lint.Error)
+
+(* ------------------------------------------------------------------ *)
+(* Corpus-wide properties                                              *)
+
+let test_lint_clean_on_corpus () =
+  List.iter
+    (fun (name, m) ->
+      match Lint.errors (Lint.check_module m) with
+      | [] -> ()
+      | f :: _ ->
+          Alcotest.failf "reference %s has lint errors: %s" name
+            (Lint.to_string f))
+    (Lazy.force Corpus.lowered_references)
+
+(* On valid modules, the dominance answer and the intersection-join
+   (must-defined) worklist answer agree at every reachable block entry. *)
+let test_must_defined_agrees_with_dominance () =
+  List.iter
+    (fun (name, (m : Module_ir.t)) ->
+      List.iter
+        (fun (fn : Func.t) ->
+          if fn.Func.blocks <> [] then begin
+            let av = Dataflow.Availability.make m fn in
+            let cfg = Dataflow.Availability.cfg av in
+            let defined =
+              List.concat_map
+                (fun (b : Block.t) ->
+                  List.filter_map
+                    (fun (i : Instr.t) -> i.Instr.result)
+                    b.Block.instrs)
+                fn.Func.blocks
+            in
+            List.iter
+              (fun (b : Block.t) ->
+                if Cfg.is_reachable cfg b.Block.label then begin
+                  let must =
+                    Dataflow.Availability.must_defined_at_entry av
+                      ~block:b.Block.label
+                  in
+                  List.iter
+                    (fun id ->
+                      let dom =
+                        Dataflow.Availability.available_at av
+                          ~block:b.Block.label ~index:0 id
+                      in
+                      if dom <> mem id must then
+                        Alcotest.failf
+                          "%s/%s: dominance and must-defined disagree on %s \
+                           at %s"
+                          name fn.Func.name (Id.to_string id)
+                          (Id.to_string b.Block.label))
+                    defined
+                end)
+              fn.Func.blocks
+          end)
+        m.Module_ir.functions)
+    (Lazy.force Corpus.lowered_references)
+
+(* ------------------------------------------------------------------ *)
+
+let () =
+  Alcotest.run "dataflow_and_lint"
+    [
+      ( "dataflow",
+        [
+          Alcotest.test_case "reaching definitions" `Quick test_reaching_defs;
+          Alcotest.test_case "liveness with loop phi" `Quick test_liveness;
+          Alcotest.test_case "availability" `Quick test_availability;
+          Alcotest.test_case "unreachable-block relaxation" `Quick
+            test_unreachable_relaxation;
+          Alcotest.test_case "entry self-loop terminates" `Quick
+            test_entry_self_loop;
+          Alcotest.test_case "constant propagation" `Quick test_constprop;
+          Alcotest.test_case "write-only locals" `Quick test_write_only_locals;
+        ] );
+      ( "lint",
+        [
+          Alcotest.test_case "clean baseline" `Quick test_lint_clean_baseline;
+          Alcotest.test_case "dead-block" `Quick test_lint_dead_block;
+          Alcotest.test_case "dead-result" `Quick test_lint_dead_result;
+          Alcotest.test_case "phi-arg-mismatch" `Quick
+            test_lint_phi_arg_mismatch;
+          Alcotest.test_case "undominated-use" `Quick test_lint_undominated_use;
+          Alcotest.test_case "store-never-read" `Quick
+            test_lint_store_never_read;
+          Alcotest.test_case "block-order" `Quick test_lint_block_order;
+        ] );
+      ( "corpus",
+        [
+          Alcotest.test_case "references lint clean" `Quick
+            test_lint_clean_on_corpus;
+          Alcotest.test_case "must-defined agrees with dominance" `Quick
+            test_must_defined_agrees_with_dominance;
+        ] );
+    ]

@@ -340,6 +340,72 @@ let test_optimizer_idempotent_on_corpus () =
         Alcotest.failf "%s grows on re-optimization" name)
     (Lazy.force Corpus.lowered_references)
 
+(* ------------------------------------------------------------------ *)
+(* Checked pipelines: validate + lint as a post-pass oracle             *)
+
+let test_run_checked_clean () =
+  List.iter
+    (fun (name, m) ->
+      match Compilers.Optimizer.run_checked Compilers.Optimizer.standard m with
+      | Ok m' ->
+          let plain = Compilers.Optimizer.run Compilers.Optimizer.standard m in
+          Alcotest.(check bool)
+            (name ^ ": checked run produces the same module") true
+            (Module_ir.equal m' plain)
+      | Error (pass, detail) ->
+          Alcotest.failf "%s: clean pipeline flagged at %s: %s" name
+            (Compilers.Optimizer.show_pass_name pass)
+            detail)
+    (Lazy.force Corpus.lowered_references)
+
+(* the stale-phi optimizer bug leaves a phi entry for a deleted block; the
+   checked pipeline must catch it at the offending pass *)
+let test_run_checked_catches_stale_phi () =
+  let b = Builder.create () in
+  let void_t = Builder.void_ty b in
+  let out = Builder.output_color b in
+  let fb, main, _ = Builder.begin_function b ~name:"main" ~ret:void_t ~params:[] in
+  let l0 = Builder.new_label fb in
+  let lt = Builder.new_label fb in
+  let le = Builder.new_label fb in
+  let lm = Builder.new_label fb in
+  Builder.start_block fb l0;
+  let c = Builder.cbool b true in
+  let one = Builder.cfloat b 1.0 in
+  let half = Builder.cfloat b 0.5 in
+  Builder.branch_cond fb c lt le;
+  Builder.start_block fb lt;
+  let vt = Builder.fadd fb one half in
+  Builder.branch fb lm;
+  Builder.start_block fb le;
+  let ve = Builder.fmul fb one half in
+  Builder.branch fb lm;
+  Builder.start_block fb lm;
+  let p = Builder.phi fb ~ty:(Builder.float_ty b) [ (vt, lt); (ve, le) ] in
+  let color = Builder.composite fb ~ty:(Builder.vec4f b) [ p; p; p; p ] in
+  Builder.store fb out color;
+  Builder.ret fb;
+  ignore (Builder.end_function fb);
+  let m = Builder.finish b ~entry:main in
+  let buggy =
+    { Compilers.Passes.no_bugs with Compilers.Passes.bug_keep_stale_phi_entries = true }
+  in
+  (match
+     Compilers.Optimizer.run_checked ~flags:buggy
+       [ Compilers.Optimizer.Simplify_cfg ] m
+   with
+  | Ok _ -> Alcotest.fail "stale-phi bug not caught"
+  | Error (pass, _) ->
+      Alcotest.(check bool) "flagged at simplify_cfg" true
+        (Compilers.Optimizer.equal_pass_name pass Compilers.Optimizer.Simplify_cfg));
+  (* the same pipeline without the bug passes the checks *)
+  match Compilers.Optimizer.run_checked [ Compilers.Optimizer.Simplify_cfg ] m with
+  | Ok _ -> ()
+  | Error (pass, detail) ->
+      Alcotest.failf "clean simplify_cfg flagged: %s: %s"
+        (Compilers.Optimizer.show_pass_name pass)
+        detail
+
 let () =
   Alcotest.run "optimizer"
     [
@@ -361,5 +427,8 @@ let () =
           Alcotest.test_case "store forwarding blocked by calls" `Quick
             test_store_forward_blocked_by_call;
           Alcotest.test_case "idempotent on corpus" `Quick test_optimizer_idempotent_on_corpus;
+          Alcotest.test_case "run_checked clean on corpus" `Quick test_run_checked_clean;
+          Alcotest.test_case "run_checked catches stale-phi bug" `Quick
+            test_run_checked_catches_stale_phi;
         ] );
     ]

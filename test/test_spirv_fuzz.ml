@@ -79,6 +79,7 @@ let exercise_pass pass_name seed =
           Spirv_fuzz.Pass.emitted = [];
           Spirv_fuzz.Pass.rng = Tbct.Rng.make (seed * 3 + 1);
           Spirv_fuzz.Pass.donors;
+          Spirv_fuzz.Pass.contracts = None;
         }
       in
       (* enablers so data-dependent passes have something to chew on *)
@@ -336,6 +337,97 @@ let test_dedup_conflicting_types () =
 
 (* ------------------------------------------------------------------ *)
 
+(* ------------------------------------------------------------------ *)
+(* Contract checker (debug mode) *)
+
+(* a full fuzz run with contract checking on: every applied transformation
+   passes precondition/validate/lint/image checks *)
+let test_contracts_pass_on_fuzz () =
+  let config =
+    { Spirv_fuzz.Fuzzer.default_config with Spirv_fuzz.Fuzzer.check_contracts = true }
+  in
+  let total = ref 0 in
+  for seed = 1 to 5 do
+    let _, result = fuzz_once ~config seed in
+    total := !total + List.length result.Spirv_fuzz.Fuzzer.transformations
+  done;
+  Alcotest.(check bool) "some transformations applied" true (!total > 0)
+
+(* the checker consumes no randomness: the recorded stream is bit-identical
+   with checking on or off *)
+let prop_contracts_do_not_disturb_rng =
+  QCheck.Test.make ~name:"contract checking never changes the stream" ~count:15
+    QCheck.(int_bound 1_000_000)
+    (fun seed ->
+      let on =
+        { Spirv_fuzz.Fuzzer.default_config with Spirv_fuzz.Fuzzer.check_contracts = true }
+      in
+      let _, plain = fuzz_once seed in
+      let _, checked = fuzz_once ~config:on seed in
+      plain.Spirv_fuzz.Fuzzer.transformations
+      = checked.Spirv_fuzz.Fuzzer.transformations
+      && Module_ir.equal plain.Spirv_fuzz.Fuzzer.final.Spirv_fuzz.Context.m
+           checked.Spirv_fuzz.Fuzzer.final.Spirv_fuzz.Context.m)
+
+(* inject a transformation whose precondition is deliberately violated
+   (Add_type for an already-declared type) and apply it anyway: the checker
+   must flag the precondition stage *)
+let test_contracts_catch_bad_transformation () =
+  let ctx = gen_ctx 3 in
+  let bad =
+    Spirv_fuzz.Transformation.Add_type
+      { fresh = ctx.Spirv_fuzz.Context.m.Module_ir.id_bound; ty = Ty.Float }
+  in
+  Alcotest.(check bool) "precondition is indeed false" false
+    (Spirv_fuzz.Rules.precondition ctx bad);
+  let after = Spirv_fuzz.Rules.apply ctx bad in
+  let checker = Spirv_fuzz.Contract.create ctx in
+  match Spirv_fuzz.Contract.check checker ~before:ctx bad ~after with
+  | () -> Alcotest.fail "violated precondition not caught"
+  | exception Spirv_fuzz.Contract.Violation v ->
+      Alcotest.(check string) "stage" "precondition" v.Spirv_fuzz.Contract.v_stage;
+      Alcotest.(check string) "culprit" "AddType"
+        v.Spirv_fuzz.Contract.v_transformation
+
+(* a transformation that silently breaks the module (a use that its
+   definition does not dominate) is caught by the validate stage *)
+let test_contracts_catch_invalid_module () =
+  let ctx = gen_ctx 4 in
+  let checker = Spirv_fuzz.Contract.create ctx in
+  let m = ctx.Spirv_fuzz.Context.m in
+  let nop =
+    Spirv_fuzz.Transformation.Add_constant
+      {
+        fresh = m.Module_ir.id_bound;
+        ty = Option.get (Module_ir.find_type_id m Ty.Float);
+        value = Constant.Float 1234.5;
+      }
+  in
+  Alcotest.(check bool) "harmless precondition holds" true
+    (Spirv_fuzz.Rules.precondition ctx nop);
+  (* pretend the transformation was applied but hand the checker a broken
+     module: entry function retyped to a dangling type id *)
+  let broken =
+    {
+      m with
+      Module_ir.constants =
+        m.Module_ir.constants
+        @ [
+            {
+              Module_ir.cd_id = m.Module_ir.id_bound;
+              cd_ty = 99999;
+              cd_value = Constant.Float 1234.5;
+            };
+          ];
+      Module_ir.id_bound = m.Module_ir.id_bound + 1;
+    }
+  in
+  let after = { ctx with Spirv_fuzz.Context.m = broken } in
+  match Spirv_fuzz.Contract.check checker ~before:ctx nop ~after with
+  | () -> Alcotest.fail "invalid module not caught"
+  | exception Spirv_fuzz.Contract.Violation v ->
+      Alcotest.(check string) "stage" "validate" v.Spirv_fuzz.Contract.v_stage
+
 let qcheck tests = List.map QCheck_alcotest.to_alcotest tests
 
 let pass_tests =
@@ -371,6 +463,16 @@ let () =
               prop_subsequences_preserve_semantics;
               prop_variants_roundtrip_assembler;
             ] );
+      ( "contracts",
+        [
+          Alcotest.test_case "checked fuzz run passes" `Quick
+            test_contracts_pass_on_fuzz;
+          Alcotest.test_case "violated precondition caught" `Quick
+            test_contracts_catch_bad_transformation;
+          Alcotest.test_case "invalid module caught" `Quick
+            test_contracts_catch_invalid_module;
+        ]
+        @ qcheck [ prop_contracts_do_not_disturb_rng ] );
       ( "reducer",
         [
           Alcotest.test_case "finds the kill culprit chain" `Quick

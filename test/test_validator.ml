@@ -379,6 +379,47 @@ let test_availability () =
   Alcotest.(check bool) "v0 candidate" true (List.mem v0 cands);
   Alcotest.(check bool) "v1 not candidate" false (List.mem v1 cands)
 
+(* Two deliberate errors in different sections of the module: the reported
+   list must follow source order (types before function bodies) — errors are
+   appended to a queue in check order, and this pins that down. *)
+let test_error_source_order () =
+  let m = base () in
+  let float_id = Option.get (Module_ir.find_type_id m Ty.Float) in
+  let bad_ty =
+    { Module_ir.td_id = m.Module_ir.id_bound; td_ty = Ty.Vector (float_id, 5) }
+  in
+  let m =
+    map_entry_block
+      {
+        m with
+        Module_ir.types = m.Module_ir.types @ [ bad_ty ];
+        Module_ir.id_bound = m.Module_ir.id_bound + 1;
+      }
+      (fun b -> { b with Block.terminator = Block.ReturnValue 9999 })
+  in
+  match Validate.check m with
+  | Ok () -> Alcotest.fail "expected two validation errors"
+  | Error errors ->
+      let messages = List.map Validate.error_to_string errors in
+      let index_of sub =
+        let rec go i = function
+          | [] -> Alcotest.failf "no error mentioning %S in:\n%s" sub
+                    (String.concat "\n" messages)
+          | msg :: rest ->
+              (try
+                 ignore (Str.search_forward (Str.regexp_string sub) msg 0);
+                 i
+               with Not_found -> go (i + 1) rest)
+        in
+        go 0 messages
+      in
+      let type_err = index_of "out of range" in
+      let fn_err = index_of "%9999" in
+      Alcotest.(check bool)
+        (Printf.sprintf "type error (#%d) precedes function error (#%d)"
+           type_err fn_err)
+        true (type_err < fn_err)
+
 let () =
   Alcotest.run "validator_and_ops"
     [
@@ -399,6 +440,8 @@ let () =
           Alcotest.test_case "duplicate block labels" `Quick test_duplicate_block_labels;
           Alcotest.test_case "call to unknown function" `Quick test_unknown_callee;
           Alcotest.test_case "block order violation" `Quick test_block_order_violation;
+          Alcotest.test_case "errors come out in source order" `Quick
+            test_error_source_order;
         ] );
       ( "operators",
         [
