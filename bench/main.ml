@@ -317,6 +317,80 @@ let engine_perf () =
     (Domain.recommended_domain_count ())
 
 (* ------------------------------------------------------------------ *)
+(* Persistent store: cold vs warm campaigns through the disk cache     *)
+
+let rec rm_rf path =
+  match (Unix.lstat path).Unix.st_kind with
+  | Unix.S_DIR ->
+      Array.iter (fun e -> rm_rf (Filename.concat path e)) (Sys.readdir path);
+      Unix.rmdir path
+  | _ -> Sys.remove path
+  | exception Unix.Unix_error (Unix.ENOENT, _, _) -> ()
+
+let store_perf () =
+  section "Persistent store: cold vs warm campaigns (disk run cache)";
+  let scale =
+    { Harness.Experiments.default_scale with Harness.Experiments.seeds = 80 }
+  in
+  let tool = Harness.Pipeline.Spirv_fuzz_tool in
+  let dir =
+    Filename.concat
+      (Filename.get_temp_dir_name ())
+      (Printf.sprintf "tbct-bench-store-%d" (Unix.getpid ()))
+  in
+  rm_rf dir;
+  let timed f =
+    let t0 = Unix.gettimeofday () in
+    let r = f () in
+    (r, Unix.gettimeofday () -. t0)
+  in
+  Fun.protect
+    ~finally:(fun () -> rm_rf dir)
+    (fun () ->
+      (* cold: empty store, every run executed and written through *)
+      let cold_engine =
+        Harness.Engine.create ~store:(Harness.Persist.open_cas ~dir ()) ()
+      in
+      let cold_hits, cold_time =
+        timed (fun () ->
+            Harness.Experiments.run_campaign ~scale ~engine:cold_engine tool)
+      in
+      let cold = Harness.Engine.stats cold_engine in
+      Printf.printf
+        "cold campaign (%d seeds, empty store): %.2fs, %d detections, \
+         %d runs executed, %d objects written\n"
+        scale.Harness.Experiments.seeds cold_time (List.length cold_hits)
+        cold.Harness.Engine.runs_executed cold.Harness.Engine.store_writes;
+      (* warm: a NEW engine (cold memory) against the populated store — the
+         speedup is purely the disk cache *)
+      let warm_engine =
+        Harness.Engine.create ~store:(Harness.Persist.open_cas ~dir ()) ()
+      in
+      let warm_hits, warm_time =
+        timed (fun () ->
+            Harness.Experiments.run_campaign ~scale ~engine:warm_engine tool)
+      in
+      let warm = Harness.Engine.stats warm_engine in
+      Printf.printf
+        "warm campaign (fresh engine, same store): %.2fs (%.1fx speedup), \
+         hits identical: %b\n"
+        warm_time
+        (cold_time /. Float.max 1e-9 warm_time)
+        (warm_hits = cold_hits);
+      Printf.printf
+        "  %d runs executed, %d served from disk, %d from memory \
+         (%.1f%% hit rate)\n"
+        warm.Harness.Engine.runs_executed warm.Harness.Engine.store_hits
+        (warm.Harness.Engine.cache_hits + warm.Harness.Engine.baseline_hits)
+        (100.0 *. warm.Harness.Engine.hit_rate);
+      (match Harness.Engine.cas warm_engine with
+      | Some cas ->
+          let s = Tbct_store.Cas.stats cas in
+          Printf.printf "  cas: %d object(s), %d bytes on disk\n"
+            s.Tbct_store.Cas.objects s.Tbct_store.Cas.bytes
+      | None -> ()))
+
+(* ------------------------------------------------------------------ *)
 (* Static-analysis oracle: lint and contract-check overhead            *)
 
 let oracle_perf () =
@@ -450,6 +524,7 @@ let () =
   end;
   if !perf then begin
     engine_perf ();
+    store_perf ();
     oracle_perf ();
     perf_suite ()
   end;

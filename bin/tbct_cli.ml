@@ -357,26 +357,91 @@ let campaign_cmd =
     Arg.(value & flag
          & info [ "stats" ] ~doc:"Print engine cache/instrumentation stats.")
   in
-  let run seeds tool domains stats check_contracts =
+  let store_arg =
+    Arg.(value & opt (some string) None
+         & info [ "store" ] ~docv:"DIR"
+             ~doc:"Persist the campaign in $(docv): content-addressed run \
+                   cache (read/write-through) plus a checksummed journal of \
+                   completed seeds.")
+  in
+  let resume_arg =
+    Arg.(value & flag
+         & info [ "resume" ]
+             ~doc:"Resume a killed campaign from the store's journal: \
+                   recorded seeds are spliced in without re-execution and \
+                   the hit list is bit-identical to an uninterrupted run. \
+                   Requires $(b,--store).")
+  in
+  let fsync_arg =
+    Arg.(value & flag
+         & info [ "fsync" ]
+             ~doc:"fsync every store write and journal record (survives \
+                   power loss, not just process death).")
+  in
+  let hits_out_arg =
+    Arg.(value & opt (some string) None
+         & info [ "hits-out" ] ~docv:"FILE"
+             ~doc:"Write the hit list to $(docv), one line per hit — \
+                   byte-comparable across runs.")
+  in
+  let run seeds tool domains stats check_contracts store resume fsync hits_out =
     let tool =
-      match tool with
-      | "spirv-fuzz" -> Harness.Pipeline.Spirv_fuzz_tool
-      | "spirv-fuzz-simple" -> Harness.Pipeline.Spirv_fuzz_simple
-      | "glsl-fuzz" -> Harness.Pipeline.Glsl_fuzz_tool
-      | other ->
-          prerr_endline ("unknown tool " ^ other);
+      match Harness.Pipeline.tool_of_name tool with
+      | Some t -> t
+      | None ->
+          prerr_endline ("unknown tool " ^ tool);
           exit 1
     in
     let scale = { Harness.Experiments.default_scale with Harness.Experiments.seeds = seeds } in
-    let engine = Harness.Engine.create () in
-    let hits =
-      or_contract_violation (fun () ->
-          Harness.Experiments.run_campaign ~scale ~domains ~engine
-            ~check_contracts tool)
+    let engine, hits =
+      match store with
+      | None ->
+          if resume then begin
+            prerr_endline "error: --resume requires --store DIR";
+            exit 1
+          end;
+          let engine = Harness.Engine.create () in
+          let hits =
+            or_contract_violation (fun () ->
+                Harness.Experiments.run_campaign ~scale ~domains ~engine
+                  ~check_contracts tool)
+          in
+          (engine, hits)
+      | Some dir ->
+          let cas = Harness.Persist.open_cas ~fsync ~dir () in
+          let engine = Harness.Engine.create ~store:cas () in
+          let outcome =
+            or_contract_violation (fun () ->
+                Harness.Persist.run_campaign ~scale ~domains ~engine
+                  ~check_contracts ~resume ~fsync ~dir tool)
+          in
+          let o = or_die outcome in
+          if resume then
+            Printf.printf "resume: %d seed(s) replayed from the journal%s, %d executed\n"
+              o.Harness.Persist.seeds_skipped
+              (if o.Harness.Persist.journal_dropped then
+                 " (torn trailing record discarded)"
+               else "")
+              o.Harness.Persist.seeds_run;
+          (engine, o.Harness.Persist.hits)
     in
     Printf.printf "%d detections from %d seeds\n" (List.length hits) seeds;
     if stats then
       print_endline (Harness.Engine.stats_to_string (Harness.Engine.stats engine));
+    (match hits_out with
+    | None -> ()
+    | Some path ->
+        let oc = open_out_bin path in
+        List.iter
+          (fun (h : Harness.Experiments.hit) ->
+            Printf.fprintf oc "%d\t%s\t%s\t%S\t%s\n" h.Harness.Experiments.hit_seed
+              h.Harness.Experiments.hit_ref h.Harness.Experiments.hit_target
+              h.Harness.Experiments.hit_detection.Harness.Pipeline.signature
+              (if h.Harness.Experiments.hit_detection.Harness.Pipeline.via_opt
+               then "opt" else "direct"))
+          hits;
+        close_out oc;
+        Printf.printf "hit list written to %s\n" path);
     let tally = Hashtbl.create 16 in
     List.iter
       (fun (h : Harness.Experiments.hit) ->
@@ -393,7 +458,91 @@ let campaign_cmd =
   Cmd.v
     (Cmd.info "campaign" ~doc:"Run a fuzzing campaign over all targets.")
     Term.(const run $ seeds_arg $ tool_arg $ domains_arg $ stats_arg
-          $ check_contracts_arg)
+          $ check_contracts_arg $ store_arg $ resume_arg $ fsync_arg
+          $ hits_out_arg)
+
+(* ------------------------------------------------------------------ *)
+(* store: inspect and maintain a campaign store directory               *)
+
+let store_cmd =
+  let dir_arg =
+    Arg.(required & pos 0 (some string) None
+         & info [] ~docv:"DIR" ~doc:"The campaign store directory.")
+  in
+  let stats_cmd =
+    let run dir =
+      let cas = Harness.Persist.open_cas ~dir () in
+      let s = Tbct_store.Cas.stats cas in
+      Printf.printf "cas: %d object(s), %d bytes in %s\n"
+        s.Tbct_store.Cas.objects s.Tbct_store.Cas.bytes
+        (Tbct_store.Cas.root cas);
+      let replay = Tbct_store.Journal.replay ~path:(Harness.Persist.journal_path dir) in
+      Printf.printf "journal: %d valid record(s)%s\n"
+        (List.length replay.Tbct_store.Journal.records)
+        (if replay.Tbct_store.Journal.dropped then
+           " + a torn trailing record (killed campaign; resumable)"
+         else "");
+      let bank = Tbct_store.Bugbank.load ~dir:(Harness.Persist.bugbank_dir dir) in
+      Printf.printf "bugbank: %d signature(s)\n" (Tbct_store.Bugbank.size bank)
+    in
+    Cmd.v
+      (Cmd.info "stats"
+         ~doc:"Report the store's cache size, journal state and bug bank.")
+      Term.(const run $ dir_arg)
+  in
+  let gc_cmd =
+    let max_bytes_arg =
+      Arg.(required & opt (some int) None
+           & info [ "max-bytes" ] ~docv:"N"
+               ~doc:"Evict least-recently-used objects until the cache holds \
+                     at most $(docv) bytes.")
+    in
+    let run dir max_bytes =
+      let cas = Harness.Persist.open_cas ~dir () in
+      let evicted = Tbct_store.Cas.gc cas ~max_bytes in
+      let s = Tbct_store.Cas.stats cas in
+      Printf.printf "evicted %d object(s); %d object(s), %d bytes remain\n"
+        evicted s.Tbct_store.Cas.objects s.Tbct_store.Cas.bytes;
+      if s.Tbct_store.Cas.bytes > max_bytes then begin
+        prerr_endline "error: cache still exceeds the size bound after gc";
+        exit 1
+      end
+    in
+    Cmd.v
+      (Cmd.info "gc"
+         ~doc:"Enforce a size bound on the run cache (LRU eviction; recency \
+               survives restarts via file mtimes).")
+      Term.(const run $ dir_arg $ max_bytes_arg)
+  in
+  let export_cmd =
+    let out_arg =
+      Arg.(value & opt (some string) None & info [ "o"; "output" ] ~docv:"FILE"
+           ~doc:"Write here instead of stdout.")
+    in
+    let run dir out =
+      let bank = Tbct_store.Bugbank.load ~dir:(Harness.Persist.bugbank_dir dir) in
+      let dump = Tbct_store.Bugbank.to_string bank in
+      match out with
+      | None -> print_string dump
+      | Some path ->
+          let oc = open_out_bin path in
+          output_string oc dump;
+          close_out oc;
+          Printf.printf "%d signature(s) exported to %s\n"
+            (Tbct_store.Bugbank.size bank) path
+    in
+    Cmd.v
+      (Cmd.info "export"
+         ~doc:"Dump the bug bank in its portable mergeable form (feed it to \
+               another machine's bank directory as bugbank.txt, or merge \
+               banks by concatenating exports through dedup --bank).")
+      Term.(const run $ dir_arg $ out_arg)
+  in
+  Cmd.group
+    (Cmd.info "store"
+       ~doc:"Inspect and maintain a campaign store directory (run cache, \
+             journal, bug bank).")
+    [ stats_cmd; gc_cmd; export_cmd ]
 
 (* ------------------------------------------------------------------ *)
 (* dedup: fuzz, reduce the crashes, run the Figure 6 selection            *)
@@ -406,7 +555,15 @@ let dedup_cmd =
     Arg.(value & opt int 3
          & info [ "cap" ] ~docv:"N" ~doc:"Reductions per crash signature.")
   in
-  let run seeds cap =
+  let bank_arg =
+    Arg.(value & opt (some string) None
+         & info [ "bank" ] ~docv:"DIR"
+             ~doc:"Record the reduced tests' signatures in $(docv)'s \
+                   persistent bug bank and report newly-seen vs \
+                   already-known bugs.  Exit code 3 means every signature \
+                   was already banked (no new bugs).")
+  in
+  let run seeds cap bank =
     let scale =
       {
         Harness.Experiments.default_scale with
@@ -431,8 +588,10 @@ let dedup_cmd =
     Printf.printf "%d detections (%d crashes); reducing and deduplicating...
 %!"
       (List.length hits) (List.length crashes);
+    (* reduce each capped crash hit once; table4 and the bug bank share it *)
+    let tests = Harness.Experiments.reduced_crash_tests ~scale ~engine ~hits () in
     let rows, total =
-      Harness.Experiments.table4 ~scale ~engine ~hits:[| hits; []; [] |] ()
+      Harness.Experiments.table4 ~scale ~engine ~tests ~hits:[| hits; []; [] |] ()
     in
     Printf.printf "%-14s %6s %6s %8s %9s %6s
 " "Target" "Tests" "Sigs" "Reports"
@@ -446,13 +605,50 @@ let dedup_cmd =
             r.Harness.Experiments.t4_reports r.Harness.Experiments.t4_distinct
             r.Harness.Experiments.t4_dups)
       (rows @ [ total ]);
-    print_endline (Harness.Engine.stats_to_string (Harness.Engine.stats engine))
+    print_endline (Harness.Engine.stats_to_string (Harness.Engine.stats engine));
+    match bank with
+    | None -> 0
+    | Some dir ->
+        let bank =
+          Tbct_store.Bugbank.load ~dir:(Harness.Persist.bugbank_dir dir)
+        in
+        let fresh = ref 0 and known = ref 0 in
+        List.iter
+          (fun (target, (d : Harness.Experiments.dedup_test)) ->
+            (* the bank's signature: the reduced sequence's non-ignored
+               transformation types, exactly what Figure 6 compares *)
+            let types =
+              Spirv_fuzz.Dedup.String_set.elements
+                (Spirv_fuzz.Dedup.String_set.diff
+                   (Spirv_fuzz.Dedup.types_of
+                      {
+                        Spirv_fuzz.Dedup.label = d.Harness.Experiments.dd_bug_id;
+                        Spirv_fuzz.Dedup.transformations =
+                          d.Harness.Experiments.dd_transformations;
+                      })
+                   Spirv_fuzz.Dedup.default_ignored)
+            in
+            match
+              Tbct_store.Bugbank.record bank ~target
+                ~bug_id:d.Harness.Experiments.dd_bug_id ~types
+            with
+            | `New -> incr fresh
+            | `Known -> incr known)
+          tests;
+        Tbct_store.Bugbank.save bank;
+        Printf.printf
+          "bug bank %s: %d newly-banked signature(s), %d test(s) matched \
+           already-known signatures; %d signature(s) banked in total\n"
+          dir !fresh !known (Tbct_store.Bugbank.size bank);
+        if !fresh > 0 then 0 else 3
   in
   Cmd.v
     (Cmd.info "dedup"
        ~doc:
-         "Fuzz, reduce every crash, and recommend a deduplicated subset for           investigation (the Figure 6 algorithm).")
-    Term.(const run $ seeds_arg $ cap_arg)
+         "Fuzz, reduce every crash, and recommend a deduplicated subset for           investigation (the Figure 6 algorithm).  With $(b,--bank), also \
+          record signatures in a cross-campaign bug bank.")
+    Term.(const (fun s c b -> Stdlib.exit (run s c b)) $ seeds_arg $ cap_arg
+          $ bank_arg)
 
 (* --verbose works on every subcommand: it is stripped from argv before
    dispatch and turns on debug logging for the tbct.* sources *)
@@ -472,5 +668,5 @@ let () =
        (Cmd.group info
           [
             validate_cmd; lint_cmd; disasm_cmd; render_cmd; run_cmd; targets_cmd; fuzz_cmd;
-            hunt_cmd; campaign_cmd; dedup_cmd;
+            hunt_cmd; campaign_cmd; dedup_cmd; store_cmd;
           ]))

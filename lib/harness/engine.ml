@@ -1,42 +1,75 @@
 (** The execution engine (see the interface for the full story): a
     mutex-guarded, content-addressed memo table over
-    {!Compilers.Backend.run}, the baseline cache, counters and per-stage
-    wall-clock accounting.  One engine may be shared across domains. *)
+    {!Compilers.Backend.run} with a bounded LRU eviction policy, an
+    optional persistent {!Tbct_store.Cas} backend (read-through /
+    write-through), the baseline cache, the memoized clean [-O] step,
+    counters and per-stage wall-clock accounting.  One engine may be
+    shared across domains. *)
 
 open Spirv_ir
+module Lru = Tbct_store.Lru
+module Cas = Tbct_store.Cas
+module Run_codec = Tbct_store.Run_codec
+
+let default_memo_capacity = 65536
 
 type t = {
   lock : Mutex.t;
-  memo : (string * string * string, Compilers.Backend.run_result) Hashtbl.t;
+  mutable memo :
+    (string * string * string, Compilers.Backend.run_result) Lru.t;
       (* (target name, module digest, input digest) -> result *)
+  mutable opt_memo : (string, Module_ir.t) Lru.t;
+      (* module digest -> clean -O optimized module *)
+  memo_capacity : int;
   baselines : (string * string, Compilers.Backend.run_result) Hashtbl.t;
       (* (target name, reference name) -> result *)
+  store : Cas.t option;
   stage_wall : (string, float) Hashtbl.t;
   mutable runs_executed : int;
   mutable cache_hits : int;
   mutable baseline_hits : int;
+  mutable opt_runs : int;
+  mutable opt_hits : int;
+  mutable store_hits : int;
+  mutable store_writes : int;
 }
 
 type stats = {
   runs_executed : int;
   cache_hits : int;
   baseline_hits : int;
+  opt_runs : int;
+  opt_hits : int;
+  store_hits : int;
+  store_writes : int;
+  memo_entries : int;
+  memo_capacity : int;
+  memo_evictions : int;
   runs_saved : int;
   hit_rate : float;
   execute_wall : float;
   stages : (string * float) list;
 }
 
-let create () =
+let create ?store ?(memo_capacity = default_memo_capacity) () =
   {
     lock = Mutex.create ();
-    memo = Hashtbl.create 256;
+    memo = Lru.create ~capacity:memo_capacity;
+    opt_memo = Lru.create ~capacity:memo_capacity;
+    memo_capacity;
     baselines = Hashtbl.create 64;
+    store;
     stage_wall = Hashtbl.create 8;
     runs_executed = 0;
     cache_hits = 0;
     baseline_hits = 0;
+    opt_runs = 0;
+    opt_hits = 0;
+    store_hits = 0;
+    store_writes = 0;
   }
+
+let cas e = e.store
 
 let locked e f =
   Mutex.lock e.lock;
@@ -47,27 +80,58 @@ let add_stage_locked e stage dt =
     (dt +. Option.value ~default:0.0 (Hashtbl.find_opt e.stage_wall stage))
 
 let execute_stage = "execute"
+let optimize_stage = "optimize"
+
+(* disk keys: the namespaced cache key digested into a CAS key *)
+let run_store_key (target, mdigest, idigest) =
+  Cas.key_of_string (Printf.sprintf "run:%s:%s:%s" target mdigest idigest)
+
+let opt_store_key mdigest = Cas.key_of_string ("opt:" ^ mdigest)
 
 (* The mutex is released while the backend runs: two domains missing on the
    same key may both execute, but [Backend.run] is deterministic, so the
-   duplicate [replace] is harmless and the table stays consistent. *)
+   duplicate insertion is harmless and the table stays consistent.  With a
+   disk store the lookup order is memory -> disk -> execute; results read
+   from or computed past the disk layer are promoted into memory, and fresh
+   executions are written through (decode failures on corrupt objects are
+   treated as misses and overwritten). *)
 let run e (t : Compilers.Target.t) (m : Module_ir.t) (input : Input.t) :
     Compilers.Backend.run_result =
   let key = (t.Compilers.Target.name, Digest.of_module m, Digest.of_input input) in
-  let cached = locked e (fun () -> Hashtbl.find_opt e.memo key) in
+  let cached = locked e (fun () -> Lru.find e.memo key) in
   match cached with
   | Some r ->
       locked e (fun () -> e.cache_hits <- e.cache_hits + 1);
       r
-  | None ->
-      let t0 = Unix.gettimeofday () in
-      let r = Compilers.Backend.run t m input in
-      let dt = Unix.gettimeofday () -. t0 in
-      locked e (fun () ->
-          Hashtbl.replace e.memo key r;
-          e.runs_executed <- e.runs_executed + 1;
-          add_stage_locked e execute_stage dt);
-      r
+  | None -> (
+      let from_disk =
+        match e.store with
+        | None -> None
+        | Some cas ->
+            Option.bind
+              (Cas.get cas ~key:(run_store_key key))
+              Run_codec.decode_run
+      in
+      match from_disk with
+      | Some r ->
+          locked e (fun () ->
+              Lru.set e.memo key r;
+              e.store_hits <- e.store_hits + 1);
+          r
+      | None ->
+          let t0 = Unix.gettimeofday () in
+          let r = Compilers.Backend.run t m input in
+          let dt = Unix.gettimeofday () -. t0 in
+          locked e (fun () ->
+              Lru.set e.memo key r;
+              e.runs_executed <- e.runs_executed + 1;
+              add_stage_locked e execute_stage dt);
+          (match e.store with
+          | None -> ()
+          | Some cas ->
+              Cas.put cas ~key:(run_store_key key) (Run_codec.encode_run r);
+              locked e (fun () -> e.store_writes <- e.store_writes + 1));
+          r)
 
 let baseline e (t : Compilers.Target.t) ~ref_name (m : Module_ir.t)
     (input : Input.t) : Compilers.Backend.run_result =
@@ -82,6 +146,53 @@ let baseline e (t : Compilers.Target.t) ~ref_name (m : Module_ir.t)
       locked e (fun () -> Hashtbl.replace e.baselines key r);
       r
 
+(** The memoized clean [-O] step (a ROADMAP item): digest -> optimized
+    module, through memory and then the disk store.  Only the actual
+    optimizer work is billed to the ["optimize"] stage, so the stage clock
+    keeps measuring real optimization time.  Errors are not cached (the
+    clean pipeline never fails in this build). *)
+let optimize e (m : Module_ir.t) : (Module_ir.t, string) result =
+  let d = Digest.of_module m in
+  let cached = locked e (fun () -> Lru.find e.opt_memo d) in
+  match cached with
+  | Some m' ->
+      locked e (fun () -> e.opt_hits <- e.opt_hits + 1);
+      Ok m'
+  | None -> (
+      let from_disk =
+        match e.store with
+        | None -> None
+        | Some cas ->
+            Option.bind
+              (Cas.get cas ~key:(opt_store_key d))
+              Run_codec.decode_module
+      in
+      match from_disk with
+      | Some m' ->
+          (* counted under [opt_hits]: [store_hits] tracks run results only,
+             so [runs_saved]/[hit_rate] keep meaning backend executions *)
+          locked e (fun () ->
+              Lru.set e.opt_memo d m';
+              e.opt_hits <- e.opt_hits + 1);
+          Ok m'
+      | None -> (
+          let t0 = Unix.gettimeofday () in
+          let r = Compilers.Optimizer.optimize m in
+          let dt = Unix.gettimeofday () -. t0 in
+          locked e (fun () ->
+              e.opt_runs <- e.opt_runs + 1;
+              add_stage_locked e optimize_stage dt);
+          match r with
+          | Ok m' ->
+              locked e (fun () -> Lru.set e.opt_memo d m');
+              (match e.store with
+              | None -> ()
+              | Some cas ->
+                  Cas.put cas ~key:(opt_store_key d) (Run_codec.encode_module m');
+                  locked e (fun () -> e.store_writes <- e.store_writes + 1));
+              Ok m'
+          | Error _ as err -> err))
+
 let timed e ~stage f =
   let t0 = Unix.gettimeofday () in
   Fun.protect
@@ -92,12 +203,19 @@ let timed e ~stage f =
 
 let stats e : stats =
   locked e (fun () ->
-      let runs_saved = e.cache_hits + e.baseline_hits in
+      let runs_saved = e.cache_hits + e.baseline_hits + e.store_hits in
       let looked_up = runs_saved + e.runs_executed in
       {
         runs_executed = e.runs_executed;
         cache_hits = e.cache_hits;
         baseline_hits = e.baseline_hits;
+        opt_runs = e.opt_runs;
+        opt_hits = e.opt_hits;
+        store_hits = e.store_hits;
+        store_writes = e.store_writes;
+        memo_entries = Lru.length e.memo + Lru.length e.opt_memo;
+        memo_capacity = e.memo_capacity;
+        memo_evictions = Lru.evictions e.memo + Lru.evictions e.opt_memo;
         runs_saved;
         hit_rate =
           (if looked_up = 0 then 0.0
@@ -111,19 +229,29 @@ let stats e : stats =
 
 let reset e =
   locked e (fun () ->
-      Hashtbl.reset e.memo;
+      e.memo <- Lru.create ~capacity:e.memo_capacity;
+      e.opt_memo <- Lru.create ~capacity:e.memo_capacity;
       Hashtbl.reset e.baselines;
       Hashtbl.reset e.stage_wall;
       e.runs_executed <- 0;
       e.cache_hits <- 0;
-      e.baseline_hits <- 0)
+      e.baseline_hits <- 0;
+      e.opt_runs <- 0;
+      e.opt_hits <- 0;
+      e.store_hits <- 0;
+      e.store_writes <- 0)
 
 let pp_stats fmt (s : stats) =
   Format.fprintf fmt
-    "engine: %d runs executed, %d saved by caching (%d memo + %d baseline, \
-     %.1f%% hit rate)"
-    s.runs_executed s.runs_saved s.cache_hits s.baseline_hits
+    "engine: %d runs executed, %d saved by caching (%d memo + %d baseline + \
+     %d store, %.1f%% hit rate)"
+    s.runs_executed s.runs_saved s.cache_hits s.baseline_hits s.store_hits
     (100.0 *. s.hit_rate);
+  Format.fprintf fmt
+    "@\noptimize: %d executed, %d memo hits; memo tables: %d entries (cap \
+     %d), %d evictions; store: %d hits, %d writes"
+    s.opt_runs s.opt_hits s.memo_entries s.memo_capacity s.memo_evictions
+    s.store_hits s.store_writes;
   if s.stages <> [] then begin
     Format.fprintf fmt "@\nstage wall-clock:";
     List.iter (fun (k, v) -> Format.fprintf fmt "@\n  %-10s %8.3fs" k v) s.stages

@@ -5,54 +5,87 @@
     The engine holds a content-addressed memo table mapping
     [(target, module digest, input digest)] to the backend's run result,
     plus the baseline cache for original-program runs (keyed by
-    [(target, reference name)], formerly a global in [Pipeline]).  Both
-    stores are guarded by a mutex, so one engine may be shared by several
-    OCaml 5 domains — the domain-parallel campaigns of {!Experiments} do
-    exactly that.
+    [(target, reference name)]) and a memo table for the clean [-O]
+    optimization step (module digest -> optimized module).  All stores are
+    guarded by a mutex, so one engine may be shared by several OCaml 5
+    domains — the domain-parallel campaigns of {!Experiments} do exactly
+    that.
 
-    Memoization is sound because {!Compilers.Backend.run} is a
-    deterministic function of its arguments (see DESIGN.md, "The Engine
-    layer"): a cached result is bit-identical to a recomputed one, so the
-    §3.4 interestingness tests — and therefore the set of transformations
-    delta debugging keeps — cannot be affected by cache hits.
+    The in-memory tables are bounded: {!create}'s [memo_capacity] caps the
+    entry count and least-recently-used entries are evicted past it
+    (surfaced as [memo_evictions] in {!stats}), so a long-running service
+    no longer grows without bound.
+
+    With [?store] the engine becomes durable: misses read through to a
+    {!Tbct_store.Cas} on disk, and fresh results are written through, so a
+    later campaign — or the same one resumed after a crash — replays
+    previously-executed variants at disk-read cost.  Corrupt store objects
+    decode to [None] and are treated as misses.
+
+    Memoization (memory or disk) is sound because {!Compilers.Backend.run}
+    is a deterministic function of its arguments and the codecs are exact
+    (see DESIGN.md §5 and §7): a cached result is structurally identical to
+    a recomputed one, so the §3.4 interestingness tests — and therefore the
+    set of transformations delta debugging keeps — cannot be affected by
+    cache hits.
 
     The engine also keeps per-stage wall-clock accounting: {!run} bills
-    backend executions to the ["execute"] stage, and callers wrap other
-    phases (generation, optimization, reduction) with {!timed}. *)
+    backend executions to the ["execute"] stage, {!optimize} bills actual
+    optimizer work to ["optimize"], and callers wrap other phases with
+    {!timed}. *)
 
 open Spirv_ir
 
 type t
 
 type stats = {
-  runs_executed : int;  (** backend executions actually performed *)
-  cache_hits : int;     (** content-addressed memo hits *)
-  baseline_hits : int;  (** baseline (target, reference) cache hits *)
-  runs_saved : int;     (** [cache_hits + baseline_hits] *)
-  hit_rate : float;     (** [runs_saved / (runs_saved + runs_executed)] *)
-  execute_wall : float; (** seconds spent inside the backend *)
+  runs_executed : int;   (** backend executions actually performed *)
+  cache_hits : int;      (** in-memory content-addressed memo hits *)
+  baseline_hits : int;   (** baseline (target, reference) cache hits *)
+  opt_runs : int;        (** clean [-O] optimizations actually performed *)
+  opt_hits : int;        (** optimize-step hits (memory or disk) *)
+  store_hits : int;      (** run results served from the disk store *)
+  store_writes : int;    (** objects written through to the disk store *)
+  memo_entries : int;    (** current entries across both memo tables *)
+  memo_capacity : int;   (** the per-table LRU entry cap *)
+  memo_evictions : int;  (** entries evicted by the LRU bound *)
+  runs_saved : int;      (** [cache_hits + baseline_hits + store_hits] *)
+  hit_rate : float;      (** [runs_saved / (runs_saved + runs_executed)] *)
+  execute_wall : float;  (** seconds spent inside the backend *)
   stages : (string * float) list;
       (** cumulative wall-clock per stage, sorted by stage name;
-          ["execute"] is maintained by {!run}, others by {!timed} *)
+          ["execute"] is maintained by {!run}, ["optimize"] by
+          {!optimize}, others by {!timed} *)
 }
 
-val create : unit -> t
-(** A fresh engine with empty caches and zeroed counters. *)
+val default_memo_capacity : int
+
+val create : ?store:Tbct_store.Cas.t -> ?memo_capacity:int -> unit -> t
+(** A fresh engine with empty caches and zeroed counters.  [store] makes
+    the run cache and the optimize cache read-through/write-through to the
+    given on-disk CAS; [memo_capacity] (default
+    {!default_memo_capacity}) bounds each in-memory table. *)
+
+val cas : t -> Tbct_store.Cas.t option
+(** The disk store this engine is backed by, if any. *)
 
 val run : t -> Compilers.Target.t -> Module_ir.t -> Input.t ->
   Compilers.Backend.run_result
-(** Content-addressed [Backend.run]: returns the memoized result when the
-    [(target, module, input)] triple has been executed before, otherwise
-    executes, records the result and bills the ["execute"] stage.  The
-    mutex is not held during execution, so concurrent misses proceed in
-    parallel. *)
+(** Content-addressed [Backend.run]: memory memo, then the disk store,
+    then execute-and-record (billing the ["execute"] stage).  The mutex is
+    not held during execution, so concurrent misses proceed in parallel. *)
 
 val baseline : t -> Compilers.Target.t -> ref_name:string ->
   Module_ir.t -> Input.t -> Compilers.Backend.run_result
 (** The original program's behaviour on a target, cached per
-    [(target, reference name)] — the replacement for the old global
-    baseline cache.  Misses fall through to {!run}, so baselines also
-    populate the content-addressed store. *)
+    [(target, reference name)].  Misses fall through to {!run}, so
+    baselines also populate the content-addressed store. *)
+
+val optimize : t -> Module_ir.t -> (Module_ir.t, string) result
+(** The clean [-O] pipeline, memoized by module digest through the same
+    memory/disk path as runs — closing the ROADMAP item.  Only actual
+    optimizer work is billed to the ["optimize"] stage; errors are not
+    cached. *)
 
 val timed : t -> stage:string -> (unit -> 'a) -> 'a
 (** Run a thunk and add its wall-clock time to the named stage. *)
@@ -61,9 +94,10 @@ val stats : t -> stats
 (** A consistent snapshot of the engine's counters. *)
 
 val reset : t -> unit
-(** Clear both caches and zero every counter and stage clock. *)
+(** Clear every cache and zero every counter and stage clock.  The disk
+    store (if any) is left untouched. *)
 
 val pp_stats : Format.formatter -> stats -> unit
-(** One-paragraph human-readable rendering of {!stats}. *)
+(** Human-readable rendering of {!stats}. *)
 
 val stats_to_string : stats -> string

@@ -75,9 +75,18 @@ let references_for (tool : Pipeline.tool) =
     engine; the per-chunk hit lists are concatenated in chunk order, so the
     result is bit-identical to the sequential run — every seed is processed
     by exactly one domain, and within a seed targets are visited in list
-    order, exactly as sequentially. *)
+    order, exactly as sequentially.
+
+    [?skip] and [?on_seed] are the persistence hooks {!Persist} plugs a
+    campaign journal into: a seed for which [skip seed] returns hits is not
+    re-executed (its recorded hits are spliced into the list unchanged, so
+    a resumed campaign reproduces the uninterrupted hit list bit for bit),
+    and every freshly computed seed is reported to [on_seed] — possibly
+    from a worker domain, so the hook must be thread-safe. *)
 let run_campaign ?(scale = default_scale) ?(targets = Compilers.Target.all)
-    ?(domains = 1) ?engine ?(check_contracts = false) tool : hit list =
+    ?(domains = 1) ?engine ?(check_contracts = false)
+    ?(skip = fun (_ : int) -> (None : hit list option))
+    ?(on_seed = fun (_ : int) (_ : hit list) -> ()) tool : hit list =
   let engine = match engine with Some e -> e | None -> Engine.create () in
   let refs = Array.of_list (references_for tool) in
   let hits_for_seed seed =
@@ -114,7 +123,15 @@ let run_campaign ?(scale = default_scale) ?(targets = Compilers.Target.all)
   let run_range lo hi =
     let hits = ref [] in
     for seed = lo to hi - 1 do
-      hits := List.rev_append (hits_for_seed seed) !hits;
+      let seed_hits =
+        match skip seed with
+        | Some recorded -> recorded
+        | None ->
+            let computed = hits_for_seed seed in
+            on_seed seed computed;
+            computed
+      in
+      hits := List.rev_append seed_hits !hits;
       if (seed + 1) mod 50 = 0 then
         Log.info (fun k ->
             k "%s: seed %d (of %d), %d detections in this chunk"
@@ -396,8 +413,11 @@ type dedup_test = {
   dd_transformations : Spirv_fuzz.Transformation.t list;
 }
 
-let table4 ?(scale = default_scale) ?ignored ?engine ~(hits : hit list array) () :
-    table4_row list * table4_row =
+(** Reduce every capped crash hit of the dedup study down to its minimized
+    transformation sequence — the input of Table 4, [tbct dedup] and the
+    cross-campaign bug bank. *)
+let reduced_crash_tests ?(scale = default_scale) ?engine ~(hits : hit list) () :
+    (string * dedup_test) list =
   let engine = match engine with Some e -> e | None -> Engine.create () in
   let study =
     List.map (fun (t : Compilers.Target.t) -> t.Compilers.Target.name)
@@ -409,45 +429,55 @@ let table4 ?(scale = default_scale) ?ignored ?engine ~(hits : hit list array) ()
       (fun h ->
         List.mem h.hit_target study
         && not (Signature.is_miscompilation h.hit_detection.Pipeline.signature))
-      hits.(0)
+      hits
     |> cap_hits ~per_signature:scale.max_reductions_per_signature
   in
+  List.filter_map
+    (fun h ->
+      match Compilers.Target.find h.hit_target with
+      | None -> None
+      | Some t -> (
+          let refs = references_for h.hit_tool in
+          let ref_name, ref_source, ref_module =
+            match List.find_opt (fun (n, _, _) -> String.equal n h.hit_ref) refs with
+            | Some r -> r
+            | None -> List.hd refs
+          in
+          let generated =
+            Engine.timed engine ~stage:"generate" (fun () ->
+                Pipeline.generate h.hit_tool ~ref_source ~ref_module
+                  ~seed:h.hit_seed ~input:Corpus.default_input)
+          in
+          let is_interesting =
+            Pipeline.interestingness engine t ~ref_name ~original:ref_module
+              ~detection:h.hit_detection Corpus.default_input
+          in
+          if
+            not (is_interesting generated.Pipeline.gen_variant generated.Pipeline.gen_input)
+          then None
+          else
+            match generated.Pipeline.gen_reduce ~is_interesting with
+            | `Spirv (kept, _) ->
+                Some
+                  ( h.hit_target,
+                    {
+                      dd_bug_id =
+                        Signature.bug_id_of_signature h.hit_detection.Pipeline.signature;
+                      dd_transformations = kept;
+                    } )
+            | `Glsl _ -> None))
+    crash_hits
+
+let table4 ?(scale = default_scale) ?ignored ?engine ?tests
+    ~(hits : hit list array) () : table4_row list * table4_row =
+  let study =
+    List.map (fun (t : Compilers.Target.t) -> t.Compilers.Target.name)
+      Compilers.Target.dedup_study
+  in
   let reduced_tests =
-    List.filter_map
-      (fun h ->
-        match Compilers.Target.find h.hit_target with
-        | None -> None
-        | Some t -> (
-            let refs = references_for h.hit_tool in
-            let ref_name, ref_source, ref_module =
-              match List.find_opt (fun (n, _, _) -> String.equal n h.hit_ref) refs with
-              | Some r -> r
-              | None -> List.hd refs
-            in
-            let generated =
-              Engine.timed engine ~stage:"generate" (fun () ->
-                  Pipeline.generate h.hit_tool ~ref_source ~ref_module
-                    ~seed:h.hit_seed ~input:Corpus.default_input)
-            in
-            let is_interesting =
-              Pipeline.interestingness engine t ~ref_name ~original:ref_module
-                ~detection:h.hit_detection Corpus.default_input
-            in
-            if
-              not (is_interesting generated.Pipeline.gen_variant generated.Pipeline.gen_input)
-            then None
-            else
-              match generated.Pipeline.gen_reduce ~is_interesting with
-              | `Spirv (kept, _) ->
-                  Some
-                    ( h.hit_target,
-                      {
-                        dd_bug_id =
-                          Signature.bug_id_of_signature h.hit_detection.Pipeline.signature;
-                        dd_transformations = kept;
-                      } )
-              | `Glsl _ -> None))
-      crash_hits
+    match tests with
+    | Some tests -> tests
+    | None -> reduced_crash_tests ~scale ?engine ~hits:hits.(0) ()
   in
   let row target =
     let tests = List.filter_map (fun (t, d) -> if String.equal t target then Some d else None) reduced_tests in

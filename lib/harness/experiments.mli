@@ -38,6 +38,8 @@ val run_campaign :
   ?domains:int ->
   ?engine:Engine.t ->
   ?check_contracts:bool ->
+  ?skip:(int -> hit list option) ->
+  ?on_seed:(int -> hit list -> unit) ->
   Pipeline.tool ->
   hit list
 (** For each seed, generate one variant from a round-robin reference and
@@ -50,7 +52,14 @@ val run_campaign :
     applied transformation — hits are unchanged (the checker consumes no
     randomness); a contract breach raises {!Spirv_fuzz.Contract.Violation}.
     Generation is then billed to the engine stage
-    ["generate+contract-check"] instead of ["generate"]. *)
+    ["generate+contract-check"] instead of ["generate"].
+
+    [?skip] and [?on_seed] are the campaign-journal hooks (see {!Persist}):
+    a seed with recorded hits is spliced in without re-execution, and every
+    freshly computed seed is reported (from its worker domain — the hook
+    must be thread-safe).  The returned list is always in canonical
+    (seed-ascending) order, whatever mix of recorded and fresh seeds
+    produced it. *)
 
 val tools : Pipeline.tool array
 (** The three configurations, in Table 3 column order. *)
@@ -107,6 +116,21 @@ val rq2 : ?scale:scale -> ?engine:Engine.t -> hits:hit list array -> unit -> rq2
 
 (** {1 Table 4: deduplication} *)
 
+type dedup_test = {
+  dd_bug_id : string;  (** ground-truth bug the reduced test triggers *)
+  dd_transformations : Spirv_fuzz.Transformation.t list;
+      (** the minimized transformation sequence — the dedup signature's raw
+          material *)
+}
+
+val reduced_crash_tests :
+  ?scale:scale -> ?engine:Engine.t -> hits:hit list -> unit ->
+  (string * dedup_test) list
+(** Reduce every capped crash hit of the dedup study (spirv-fuzz tests,
+    crash bugs, NVIDIA excluded) to its minimized transformation sequence,
+    tagged with its target.  This is the input of {!table4} and of the
+    cross-campaign bug bank ([tbct dedup --bank]). *)
+
 type table4_row = {
   t4_target : string;
   t4_tests : int;     (** reduced test cases fed to the algorithm *)
@@ -120,12 +144,14 @@ val table4 :
   ?scale:scale ->
   ?ignored:Tbct.Dedup.String_set.t ->
   ?engine:Engine.t ->
+  ?tests:(string * dedup_test) list ->
   hits:hit list array ->
   unit ->
   table4_row list * table4_row
 (** Crash bugs only, spirv-fuzz tests only, NVIDIA excluded — the paper's
     setup.  [?ignored] overrides the section 3.5 ignore list (used by the
-    ablation). *)
+    ablation); [?tests] supplies precomputed {!reduced_crash_tests} so a
+    caller that also feeds the bug bank reduces each hit only once. *)
 
 (** {1 Deterministic figures} *)
 

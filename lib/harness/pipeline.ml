@@ -17,6 +17,12 @@ let tool_name = function
   | Spirv_fuzz_simple -> "spirv-fuzz-simple"
   | Glsl_fuzz_tool -> "glsl-fuzz"
 
+let tool_of_name = function
+  | "spirv-fuzz" -> Some Spirv_fuzz_tool
+  | "spirv-fuzz-simple" -> Some Spirv_fuzz_simple
+  | "glsl-fuzz" -> Some Glsl_fuzz_tool
+  | _ -> None
+
 type detection = {
   signature : Signature.t;
   via_opt : bool;  (** detected only on the additionally-optimized variant *)
@@ -51,10 +57,9 @@ let run_variant (engine : Engine.t) (t : Compilers.Target.t) ~ref_name
   match compare_runs ~original:orig_run ~variant:var_run with
   | Some d -> Some d
   | None -> (
-      (* no bug: optimize the variant with the clean -O pipeline and re-run *)
-      match Engine.timed engine ~stage:"optimize" (fun () ->
-          Compilers.Optimizer.optimize variant)
-      with
+      (* no bug: optimize the variant with the (engine-memoized) clean -O
+         pipeline and re-run *)
+      match Engine.optimize engine variant with
       | Error _ -> None (* the clean optimizer never crashes in our build *)
       | Ok optimized_variant -> (
           let var_run' = Engine.run engine t optimized_variant variant_input in
@@ -156,9 +161,7 @@ let interestingness (engine : Engine.t) (t : Compilers.Target.t) ~ref_name
     let direct = Engine.run engine t m m_input in
     if check direct then true
     else if detection.via_opt then
-      match Engine.timed engine ~stage:"optimize" (fun () ->
-          Compilers.Optimizer.optimize m)
-      with
+      match Engine.optimize engine m with
       | Ok optimized -> check (Engine.run engine t optimized m_input)
       | Error _ -> false
     else false

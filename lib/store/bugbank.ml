@@ -1,0 +1,135 @@
+(** The cross-campaign bug bank (see the interface). *)
+
+type entry = {
+  key : string;
+  target : string;
+  bug_id : string;
+  types : string list;
+  mutable count : int;
+}
+
+type t = {
+  dir : string;
+  lock : Mutex.t;
+  entries : (string, entry) Hashtbl.t;
+  mutable dirty : bool;
+}
+
+let file_of_dir dir = Filename.concat dir "bugbank.txt"
+let magic = "tbct-bugbank 1"
+
+let signature_key ~target ~types =
+  let types = List.sort_uniq String.compare types in
+  target ^ "|" ^ String.concat "+" types
+
+(* ------------------------------------------------------------------ *)
+(* Serialization: one header line, then one tab-separated line per entry
+   with %S-quoted fields (signatures and type ids never contain raw tabs
+   once quoted). *)
+
+let entry_to_line e =
+  Printf.sprintf "%d\t%S\t%S\t%S" e.count e.target e.bug_id
+    (String.concat "," e.types)
+
+let unquote s = try Some (Scanf.sscanf s "%S%!" Fun.id) with _ -> None
+
+let entry_of_line line =
+  match String.split_on_char '\t' line with
+  | [ count; target; bug_id; types ] -> (
+      match
+        (int_of_string_opt count, unquote target, unquote bug_id, unquote types)
+      with
+      | Some count, Some target, Some bug_id, Some types ->
+          let types =
+            if String.equal types "" then []
+            else String.split_on_char ',' types
+          in
+          Some
+            {
+              key = signature_key ~target ~types;
+              target;
+              bug_id;
+              types;
+              count;
+            }
+      | _ -> None)
+  | _ -> None
+
+let to_string t =
+  let b = Buffer.create 256 in
+  Buffer.add_string b (magic ^ "\n");
+  Hashtbl.fold (fun _ e acc -> e :: acc) t.entries []
+  |> List.sort (fun a b -> String.compare a.key b.key)
+  |> List.iter (fun e -> Buffer.add_string b (entry_to_line e ^ "\n"));
+  Buffer.contents b
+
+(* ------------------------------------------------------------------ *)
+
+let load ~dir =
+  let t =
+    { dir; lock = Mutex.create (); entries = Hashtbl.create 64; dirty = false }
+  in
+  (match Fsio.read_file (file_of_dir dir) with
+  | None -> ()
+  | Some text ->
+      List.iteri
+        (fun i line ->
+          if i > 0 && line <> "" then
+            match entry_of_line line with
+            | Some e -> Hashtbl.replace t.entries e.key e
+            | None -> () (* skip corrupt lines; the rest of the bank survives *))
+        (String.split_on_char '\n' text));
+  t
+
+let locked t f =
+  Mutex.lock t.lock;
+  Fun.protect ~finally:(fun () -> Mutex.unlock t.lock) f
+
+let record t ~target ~bug_id ~types =
+  let types = List.sort_uniq String.compare types in
+  let key = signature_key ~target ~types in
+  locked t (fun () ->
+      t.dirty <- true;
+      match Hashtbl.find_opt t.entries key with
+      | Some e ->
+          e.count <- e.count + 1;
+          `Known
+      | None ->
+          Hashtbl.replace t.entries key { key; target; bug_id; types; count = 1 };
+          `New)
+
+let mem t ~target ~types =
+  locked t (fun () ->
+      Hashtbl.mem t.entries (signature_key ~target ~types))
+
+let size t = locked t (fun () -> Hashtbl.length t.entries)
+
+let entries t =
+  locked t (fun () ->
+      Hashtbl.fold (fun _ e acc -> e :: acc) t.entries []
+      |> List.sort (fun a b -> String.compare a.key b.key))
+
+let import t text =
+  let fresh = ref 0 in
+  List.iteri
+    (fun i line ->
+      if i > 0 && line <> "" then
+        match entry_of_line line with
+        | Some e ->
+            locked t (fun () ->
+                t.dirty <- true;
+                match Hashtbl.find_opt t.entries e.key with
+                | Some mine -> mine.count <- mine.count + e.count
+                | None ->
+                    Hashtbl.replace t.entries e.key e;
+                    incr fresh)
+        | None -> ())
+    (String.split_on_char '\n' text);
+  !fresh
+
+let save ?(fsync = false) t =
+  locked t (fun () ->
+      if t.dirty then begin
+        Fsio.write_atomic ~fsync ~path:(file_of_dir t.dir) (to_string t);
+        t.dirty <- false
+      end)

@@ -1,0 +1,48 @@
+(** A persistent bank of reduced bugs, keyed by transformation-type
+    signature — the cross-campaign half of the paper's deduplication story.
+
+    Each reduced spirv-fuzz test is characterised by the set of
+    (non-ignored) transformation types in its minimized sequence; the bank
+    remembers every [(target, type-set)] signature ever seen, so [tbct
+    dedup --bank DIR] can report which of today's bugs are {e new} versus
+    already banked by an earlier campaign — possibly on another machine:
+    the bank file is plain text and mergeable via {!import}.
+
+    Saving rewrites the whole bank atomically (tmp+rename); the format is
+    line-oriented with quoted fields, and corrupt lines are skipped on
+    load so a damaged bank degrades to a smaller one rather than failing. *)
+
+type entry = {
+  key : string;            (** [target ^ "|" ^ sorted types joined by "+"] *)
+  target : string;
+  bug_id : string;         (** ground-truth id of the first recorded test *)
+  types : string list;     (** sorted, duplicate-free transformation types *)
+  mutable count : int;     (** tests recorded under this signature *)
+}
+
+type t
+
+val load : dir:string -> t
+(** Load [dir/bugbank.txt]; a missing file yields an empty bank bound to
+    [dir]. *)
+
+val signature_key : target:string -> types:string list -> string
+
+val record :
+  t -> target:string -> bug_id:string -> types:string list -> [ `New | `Known ]
+(** Record one reduced test; [`New] iff its signature was not yet banked. *)
+
+val mem : t -> target:string -> types:string list -> bool
+val size : t -> int
+val entries : t -> entry list  (** sorted by key *)
+
+val to_string : t -> string
+(** Portable serialization (what {!save} writes and [tbct store export]
+    emits). *)
+
+val import : t -> string -> int
+(** Merge a {!to_string} dump from another bank; returns the number of
+    signatures that were new to this bank. *)
+
+val save : ?fsync:bool -> t -> unit
+(** Atomically rewrite [dir/bugbank.txt] if anything changed. *)

@@ -1,0 +1,92 @@
+(** The append-only, checksummed campaign journal (see the interface).
+
+    One record per line: [<md5-hex-of-payload> <payload>].  Replay accepts
+    the longest valid prefix and discards everything from the first
+    truncated or corrupted record on — exactly the records a killed writer
+    may have left half-written.  Payloads are restricted to single lines;
+    callers encode structured data (the harness quotes fields with
+    [%S]). *)
+
+type t = {
+  path : string;
+  fd : Unix.file_descr;
+  fsync : bool;
+  lock : Mutex.t;
+  mutable appended : int;
+}
+
+let checksum payload = Stdlib.Digest.to_hex (Stdlib.Digest.string payload)
+
+let open_append ?(fsync = false) ~path () =
+  Fsio.ensure_dir (Filename.dirname path);
+  let fd =
+    Unix.openfile path [ Unix.O_WRONLY; Unix.O_CREAT; Unix.O_APPEND ] 0o644
+  in
+  { path; fd; fsync; lock = Mutex.create (); appended = 0 }
+
+let append t payload =
+  if String.contains payload '\n' then
+    invalid_arg "Journal.append: payload must be a single line";
+  let line = checksum payload ^ " " ^ payload ^ "\n" in
+  Mutex.lock t.lock;
+  Fun.protect
+    ~finally:(fun () -> Mutex.unlock t.lock)
+    (fun () ->
+      (* a single write(2) of the whole line: appends from concurrent
+         domains interleave at record granularity, never within one *)
+      let n = String.length line in
+      let written = ref 0 in
+      while !written < n do
+        written :=
+          !written + Unix.write_substring t.fd line !written (n - !written)
+      done;
+      if t.fsync then Unix.fsync t.fd;
+      t.appended <- t.appended + 1)
+
+let appended t = t.appended
+
+let close t = try Unix.close t.fd with Unix.Unix_error _ -> ()
+
+(* ------------------------------------------------------------------ *)
+(* Replay *)
+
+type replay = {
+  records : string list;  (** valid payloads, in append order *)
+  dropped : bool;  (** a truncated/corrupted suffix was discarded *)
+  valid_bytes : int;  (** byte length of the valid prefix *)
+}
+
+let parse_line line =
+  (* "<32 hex> <payload>" *)
+  if String.length line < 33 || line.[32] <> ' ' then None
+  else
+    let sum = String.sub line 0 32 in
+    let payload = String.sub line 33 (String.length line - 33) in
+    if String.equal sum (checksum payload) then Some payload else None
+
+let replay ~path : replay =
+  match Fsio.read_file path with
+  | None -> { records = []; dropped = false; valid_bytes = 0 }
+  | Some text ->
+      let n = String.length text in
+      let rec go acc pos =
+        if pos >= n then { records = List.rev acc; dropped = false; valid_bytes = pos }
+        else
+          match String.index_from_opt text pos '\n' with
+          | None ->
+              (* no trailing newline: the writer died mid-record *)
+              { records = List.rev acc; dropped = true; valid_bytes = pos }
+          | Some nl -> (
+              match parse_line (String.sub text pos (nl - pos)) with
+              | Some payload -> go (payload :: acc) (nl + 1)
+              | None ->
+                  (* first bad record: discard it and everything after —
+                     append-only means nothing beyond it can be trusted *)
+                  { records = List.rev acc; dropped = true; valid_bytes = pos })
+      in
+      go [] 0
+
+let truncate ~path ~bytes =
+  (* drop a torn suffix before re-opening for append, so fresh records are
+     not glued onto a half-written line *)
+  if Sys.file_exists path then Unix.truncate path bytes

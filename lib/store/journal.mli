@@ -1,0 +1,39 @@
+(** An append-only, checksummed journal: the campaign's crash-recovery log.
+
+    Each {!append} writes one self-checking record ([md5 payload] per
+    line) with a single [write(2)], so records from concurrent domains
+    interleave only at record granularity.  {!replay} returns the longest
+    valid prefix of records, dropping a truncated or corrupted suffix —
+    the state a campaign killed at an arbitrary point leaves behind.
+    Payloads must be single lines; callers quote structured fields. *)
+
+type t
+
+val open_append : ?fsync:bool -> path:string -> unit -> t
+(** Open [path] for appending, creating it (and parent directories) if
+    missing.  With [fsync] every record is forced to disk before {!append}
+    returns. *)
+
+val append : t -> string -> unit
+(** Append one record.  Thread-safe.  @raise Invalid_argument if the
+    payload contains a newline. *)
+
+val appended : t -> int
+(** Records appended through this handle. *)
+
+val close : t -> unit
+
+type replay = {
+  records : string list;  (** valid payloads, in append order *)
+  dropped : bool;         (** true if a bad suffix was discarded *)
+  valid_bytes : int;      (** byte length of the valid prefix *)
+}
+
+val replay : path:string -> replay
+(** Read the longest valid prefix of the journal at [path] (missing file =
+    empty journal). *)
+
+val truncate : path:string -> bytes:int -> unit
+(** Cut the journal down to [bytes] (its replay's [valid_bytes]) — a
+    resuming writer must do this before {!open_append}, or its first record
+    is glued onto the torn half-written line and lost to the next replay. *)

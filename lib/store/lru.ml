@@ -1,0 +1,105 @@
+(** A capacity-bounded LRU map: Hashtbl for lookup, intrusive doubly-linked
+    list for recency order.  All operations are O(1); eviction removes the
+    least-recently-used binding and bumps a counter.
+
+    This is the explicit eviction policy behind both the engine's in-memory
+    memo tables (previously unbounded — a long-running service would grow
+    without limit) and the bookkeeping of {!Cas}.  Not thread-safe: callers
+    (the engine, the CAS) already serialize access under their own mutex. *)
+
+type ('k, 'v) node = {
+  key : 'k;
+  mutable value : 'v;
+  mutable prev : ('k, 'v) node option;  (** towards MRU *)
+  mutable next : ('k, 'v) node option;  (** towards LRU *)
+}
+
+type ('k, 'v) t = {
+  capacity : int;
+  table : ('k, ('k, 'v) node) Hashtbl.t;
+  mutable head : ('k, 'v) node option;  (** most recently used *)
+  mutable tail : ('k, 'v) node option;  (** least recently used *)
+  mutable evictions : int;
+}
+
+let create ~capacity =
+  if capacity <= 0 then invalid_arg "Lru.create: capacity must be positive";
+  {
+    capacity;
+    table = Hashtbl.create (min capacity 1024);
+    head = None;
+    tail = None;
+    evictions = 0;
+  }
+
+let capacity t = t.capacity
+let length t = Hashtbl.length t.table
+let evictions t = t.evictions
+let mem t k = Hashtbl.mem t.table k
+
+let unlink t node =
+  (match node.prev with
+  | Some p -> p.next <- node.next
+  | None -> t.head <- node.next);
+  (match node.next with
+  | Some n -> n.prev <- node.prev
+  | None -> t.tail <- node.prev);
+  node.prev <- None;
+  node.next <- None
+
+let push_front t node =
+  node.next <- t.head;
+  node.prev <- None;
+  (match t.head with Some h -> h.prev <- Some node | None -> t.tail <- Some node);
+  t.head <- Some node
+
+let find t k =
+  match Hashtbl.find_opt t.table k with
+  | None -> None
+  | Some node ->
+      unlink t node;
+      push_front t node;
+      Some node.value
+
+let remove t k =
+  match Hashtbl.find_opt t.table k with
+  | None -> ()
+  | Some node ->
+      unlink t node;
+      Hashtbl.remove t.table k
+
+let evict_lru t =
+  match t.tail with
+  | None -> None
+  | Some node ->
+      unlink t node;
+      Hashtbl.remove t.table node.key;
+      t.evictions <- t.evictions + 1;
+      Some (node.key, node.value)
+
+let set t k v =
+  (match Hashtbl.find_opt t.table k with
+  | Some node ->
+      node.value <- v;
+      unlink t node;
+      push_front t node
+  | None ->
+      let node = { key = k; value = v; prev = None; next = None } in
+      Hashtbl.replace t.table k node;
+      push_front t node);
+  while Hashtbl.length t.table > t.capacity do
+    ignore (evict_lru t)
+  done
+
+let clear t =
+  Hashtbl.reset t.table;
+  t.head <- None;
+  t.tail <- None
+
+(** Keys from most- to least-recently used (for tests). *)
+let keys_mru_first t =
+  let rec go acc = function
+    | None -> List.rev acc
+    | Some node -> go (node.key :: acc) node.next
+  in
+  go [] t.head

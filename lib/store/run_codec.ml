@@ -1,0 +1,163 @@
+(** Textual codecs for the artifacts the store persists: backend run
+    results (images, crash signatures) and optimized modules.
+
+    The encoding must round-trip {e exactly} — a disk-cached run result is
+    substituted for a recomputed one inside §3.4 interestingness tests, so
+    any lossiness would change what ddmin keeps.  Floats are therefore
+    printed in hexadecimal notation ([%h], precisely invertible by
+    [float_of_string]), mirroring what {!Spirv_ir.Disasm} does for module
+    listings; modules themselves reuse the Disasm/Asm pair, whose exact
+    invertibility the digest layer already depends on. *)
+
+open Spirv_ir
+
+(* ------------------------------------------------------------------ *)
+(* Values and pixels *)
+
+let rec encode_value buf (v : Value.t) =
+  match v with
+  | Value.VBool b -> Buffer.add_string buf (if b then "b1" else "b0")
+  | Value.VInt i ->
+      Buffer.add_char buf 'i';
+      Buffer.add_string buf (Int32.to_string i)
+  | Value.VFloat f ->
+      Buffer.add_char buf 'f';
+      Buffer.add_string buf (Printf.sprintf "%h" f)
+  | Value.VComposite elems ->
+      Buffer.add_char buf '(';
+      Array.iteri
+        (fun i e ->
+          if i > 0 then Buffer.add_char buf ';';
+          encode_value buf e)
+        elems;
+      Buffer.add_char buf ')'
+
+exception Bad of string
+
+(* recursive-descent parser over (string, cursor); scalars end at ';', ')'
+   or end of input *)
+let rec parse_value s pos =
+  let n = String.length s in
+  if !pos >= n then raise (Bad "value: unexpected end");
+  match s.[!pos] with
+  | '(' ->
+      incr pos;
+      let elems = ref [] in
+      if !pos < n && s.[!pos] = ')' then incr pos
+      else begin
+        let continue = ref true in
+        while !continue do
+          elems := parse_value s pos :: !elems;
+          if !pos >= n then raise (Bad "composite: unexpected end")
+          else if s.[!pos] = ';' then incr pos
+          else if s.[!pos] = ')' then begin
+            incr pos;
+            continue := false
+          end
+          else raise (Bad "composite: expected ';' or ')'")
+        done
+      end;
+      Value.VComposite (Array.of_list (List.rev !elems))
+  | ('b' | 'i' | 'f') as tag ->
+      incr pos;
+      let start = !pos in
+      while !pos < n && s.[!pos] <> ';' && s.[!pos] <> ')' do
+        incr pos
+      done;
+      let tok = String.sub s start (!pos - start) in
+      (match tag with
+      | 'b' ->
+          if String.equal tok "1" then Value.VBool true
+          else if String.equal tok "0" then Value.VBool false
+          else raise (Bad ("bool: " ^ tok))
+      | 'i' -> (
+          match Int32.of_string_opt tok with
+          | Some i -> Value.VInt i
+          | None -> raise (Bad ("int: " ^ tok)))
+      | _ -> (
+          match float_of_string_opt tok with
+          | Some f -> Value.VFloat f
+          | None -> raise (Bad ("float: " ^ tok))))
+  | c -> raise (Bad (Printf.sprintf "value: unexpected %C" c))
+
+let value_to_string v =
+  let buf = Buffer.create 32 in
+  encode_value buf v;
+  Buffer.contents buf
+
+let value_of_string s =
+  let pos = ref 0 in
+  match parse_value s pos with
+  | v when !pos = String.length s -> Some v
+  | _ -> None
+  | exception Bad _ -> None
+
+(* ------------------------------------------------------------------ *)
+(* Run results *)
+
+let encode_run (r : Compilers.Backend.run_result) : string =
+  match r with
+  | Compilers.Backend.Compiled_ok -> "ok"
+  | Compilers.Backend.Crashed s -> Printf.sprintf "crash %S" s
+  | Compilers.Backend.Rendered img ->
+      let buf = Buffer.create (64 * img.Image.width * img.Image.height) in
+      Buffer.add_string buf
+        (Printf.sprintf "image %d %d\n" img.Image.width img.Image.height);
+      Array.iter
+        (fun (p : Image.pixel) ->
+          (match p with
+          | Image.Killed -> Buffer.add_char buf 'K'
+          | Image.Color v ->
+              Buffer.add_string buf "C ";
+              encode_value buf v);
+          Buffer.add_char buf '\n')
+        img.Image.pixels;
+      Buffer.contents buf
+
+let decode_run (s : string) : Compilers.Backend.run_result option =
+  if String.equal s "ok" then Some Compilers.Backend.Compiled_ok
+  else if String.length s >= 6 && String.equal (String.sub s 0 6) "crash " then
+    match Scanf.sscanf (String.sub s 6 (String.length s - 6)) "%S%!" Fun.id with
+    | sig_ -> Some (Compilers.Backend.Crashed sig_)
+    | exception _ -> None
+  else
+    match String.split_on_char '\n' s with
+    | header :: rest -> (
+        match Scanf.sscanf header "image %d %d%!" (fun w h -> (w, h)) with
+        | exception _ -> None
+        | w, h when w > 0 && h > 0 -> (
+            let pixels =
+              List.filter_map
+                (fun line ->
+                  if String.equal line "" then None
+                  else if String.equal line "K" then Some (Some Image.Killed)
+                  else if String.length line > 2 && line.[0] = 'C' && line.[1] = ' '
+                  then
+                    match
+                      value_of_string (String.sub line 2 (String.length line - 2))
+                    with
+                    | Some v -> Some (Some (Image.Color v))
+                    | None -> Some None
+                  else Some None)
+                rest
+            in
+            if List.exists (fun p -> p = None) pixels then None
+            else
+              let pixels =
+                Array.of_list (List.filter_map Fun.id pixels)
+              in
+              if Array.length pixels <> w * h then None
+              else
+                Some
+                  (Compilers.Backend.Rendered
+                     { Image.width = w; Image.height = h; Image.pixels }))
+        | _ -> None)
+    | [] -> None
+
+(* ------------------------------------------------------------------ *)
+(* Modules *)
+
+let encode_module (m : Module_ir.t) : string = Disasm.to_string m
+
+let decode_module (s : string) : Module_ir.t option =
+  match Asm.of_string_result s with Ok m -> Some m | Error _ -> None

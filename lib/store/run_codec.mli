@@ -1,0 +1,22 @@
+(** Exact textual codecs for store artifacts.
+
+    Round-tripping is lossless by construction (floats in hexadecimal
+    notation, modules via the invertible Disasm/Asm pair): a decoded run
+    result is structurally equal to the encoded one, which is what lets
+    the engine substitute disk-cached results inside interestingness tests
+    without affecting what ddmin keeps (DESIGN.md §7). *)
+
+open Spirv_ir
+
+val encode_run : Compilers.Backend.run_result -> string
+val decode_run : string -> Compilers.Backend.run_result option
+(** [None] on a corrupt or truncated object — callers treat that as a
+    cache miss and recompute. *)
+
+val encode_module : Module_ir.t -> string
+val decode_module : string -> Module_ir.t option
+
+val value_to_string : Value.t -> string
+(** Exposed for property tests. *)
+
+val value_of_string : string -> Value.t option

@@ -45,4 +45,34 @@ done
 # contract checker on; any breach raises a Violation (exit code 2)
 ./_build/default/bin/tbct_cli.exe campaign --seeds 20 --check-contracts
 
-echo "CI: build + tests + lint + contract-smoke + invariant checks passed"
+# store invariant: all harness file I/O flows through Tbct_store (the CAS,
+# journal and bug bank); no harness module opens files itself
+if grep -n "open_in\|open_out\|Unix\.openfile" lib/harness/*.ml; then
+  echo "CI: direct file I/O in lib/harness — persistence must flow" \
+       "through Tbct_store" >&2
+  exit 1
+fi
+
+# store smoke: campaign into a store, kill it by truncating the journal,
+# resume, and require the bit-identical hit list the journal promises
+STORE=$(mktemp -d)
+trap 'rm -rf "$STORE"' EXIT
+./_build/default/bin/tbct_cli.exe campaign --seeds 20 --store "$STORE" \
+    --hits-out "$STORE/hits-full.txt" > /dev/null
+J="$STORE/journal.log"
+SZ=$(wc -c < "$J")
+dd if="$J" of="$J.cut" bs=1 count=$((SZ * 3 / 5)) 2> /dev/null
+mv "$J.cut" "$J"
+./_build/default/bin/tbct_cli.exe campaign --seeds 20 --store "$STORE" \
+    --resume --hits-out "$STORE/hits-resumed.txt" > /dev/null
+if ! cmp -s "$STORE/hits-full.txt" "$STORE/hits-resumed.txt"; then
+  echo "CI: resumed campaign hit list differs from the uninterrupted one" >&2
+  exit 1
+fi
+
+# store gc: the size bound must hold afterwards (the command self-checks
+# and exits non-zero if the cache still exceeds the bound)
+./_build/default/bin/tbct_cli.exe store gc "$STORE" --max-bytes 65536 > /dev/null
+./_build/default/bin/tbct_cli.exe store stats "$STORE" > /dev/null
+
+echo "CI: build + tests + lint + contract-smoke + store-smoke + invariant checks passed"

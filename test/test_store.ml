@@ -1,0 +1,540 @@
+(* Tests for the persistent campaign store: the content-addressed object
+   store, the checksummed journal with crash recovery, the bug bank, the
+   exact run-result codecs, and the engine's disk-backed / LRU-bounded
+   caches.
+
+   The load-bearing properties are (a) every codec round-trips exactly, so
+   disk-cached results cannot change what ddmin keeps; (b) a campaign
+   killed mid-journal and resumed produces a hit list bit-identical to the
+   uninterrupted run; and (c) cache eviction — in memory and on disk —
+   never changes results, only what gets recomputed. *)
+
+module Cas = Tbct_store.Cas
+module Journal = Tbct_store.Journal
+module Bugbank = Tbct_store.Bugbank
+module Run_codec = Tbct_store.Run_codec
+
+let fresh_dir =
+  let counter = ref 0 in
+  fun () ->
+    incr counter;
+    let dir =
+      Filename.concat
+        (Filename.get_temp_dir_name ())
+        (Printf.sprintf "tbct-test-store-%d-%d" (Unix.getpid ()) !counter)
+    in
+    let rec rm path =
+      match (Unix.lstat path).Unix.st_kind with
+      | Unix.S_DIR ->
+          Array.iter (fun e -> rm (Filename.concat path e)) (Sys.readdir path);
+          Unix.rmdir path
+      | _ -> Sys.remove path
+      | exception Unix.Unix_error (Unix.ENOENT, _, _) -> ()
+    in
+    rm dir;
+    dir
+
+(* ------------------------------------------------------------------ *)
+(* Codecs: exact round trips *)
+
+(* no NaN: round-tripping loses the payload bits and Value.equal compares
+   float bits exactly *)
+let value_gen =
+  let open QCheck.Gen in
+  let base =
+    oneof
+      [
+        map (fun b -> Spirv_ir.Value.VBool b) bool;
+        map (fun i -> Spirv_ir.Value.VInt (Int32.of_int i)) int;
+        map
+          (fun f -> Spirv_ir.Value.VFloat (if Float.is_nan f then 0.0 else f))
+          float;
+      ]
+  in
+  sized (fun n ->
+      fix
+        (fun self n ->
+          if n <= 0 then base
+          else
+            frequency
+              [
+                (3, base);
+                ( 1,
+                  map
+                    (fun vs -> Spirv_ir.Value.VComposite (Array.of_list vs))
+                    (list_size (int_range 0 4) (self (n / 2))) );
+              ])
+        (min n 8))
+
+let value_arb = QCheck.make ~print:Run_codec.value_to_string value_gen
+
+let qcheck_value_roundtrip =
+  QCheck.Test.make ~name:"value codec round-trips exactly" ~count:500 value_arb
+    (fun v ->
+      match Run_codec.value_of_string (Run_codec.value_to_string v) with
+      | Some v' -> Spirv_ir.Value.equal v v'
+      | None -> false)
+
+let run_result_gen =
+  let open QCheck.Gen in
+  let image =
+    int_range 1 5 >>= fun width ->
+    int_range 1 5 >>= fun height ->
+    list_repeat (width * height)
+      (oneof
+         [
+           return Spirv_ir.Image.Killed;
+           map (fun v -> Spirv_ir.Image.Color v) value_gen;
+         ])
+    >|= fun pixels ->
+    let img = Spirv_ir.Image.create ~width ~height in
+    List.iteri (fun i p -> img.Spirv_ir.Image.pixels.(i) <- p) pixels;
+    img
+  in
+  oneof
+    [
+      return Compilers.Backend.Compiled_ok;
+      map (fun s -> Compilers.Backend.Crashed s) (string_size (int_range 0 40));
+      map (fun img -> Compilers.Backend.Rendered img) image;
+    ]
+
+let qcheck_run_roundtrip =
+  QCheck.Test.make ~name:"run-result codec round-trips exactly" ~count:200
+    (QCheck.make run_result_gen) (fun r ->
+      (* exclude newline-bearing crash signatures? no: the codec must quote *)
+      match Run_codec.decode_run (Run_codec.encode_run r) with
+      | Some r' -> r = r'
+      | None -> false)
+
+let test_run_codec_rejects_corruption () =
+  let r =
+    Compilers.Backend.Rendered
+      (let img = Spirv_ir.Image.create ~width:2 ~height:2 in
+       img.Spirv_ir.Image.pixels.(0) <-
+         Spirv_ir.Image.Color (Spirv_ir.Value.VFloat 0.5);
+       img)
+  in
+  let enc = Run_codec.encode_run r in
+  Alcotest.(check bool) "truncated object decodes to None" true
+    (Run_codec.decode_run (String.sub enc 0 (String.length enc / 2)) = None);
+  Alcotest.(check bool) "garbage decodes to None" true
+    (Run_codec.decode_run "not a run result" = None)
+
+let test_module_codec_roundtrip () =
+  List.iter
+    (fun (name, m) ->
+      match Run_codec.decode_module (Run_codec.encode_module m) with
+      | None -> Alcotest.failf "%s: module codec failed to decode" name
+      | Some m' ->
+          Alcotest.(check string)
+            (name ^ ": digest stable across module codec")
+            (Spirv_ir.Digest.of_module m)
+            (Spirv_ir.Digest.of_module m'))
+    (Lazy.force Corpus.lowered_references)
+
+(* ------------------------------------------------------------------ *)
+(* Cas *)
+
+let qcheck_cas_roundtrip =
+  let dir = lazy (fresh_dir ()) in
+  QCheck.Test.make ~name:"cas put/get round-trips arbitrary bytes" ~count:100
+    QCheck.(string)
+    (fun data ->
+      let cas = Cas.open_ ~root:(Lazy.force dir) () in
+      let key = Cas.key_of_string data in
+      Cas.put cas ~key data;
+      Cas.get cas ~key = Some data)
+
+let test_cas_basics () =
+  let root = fresh_dir () in
+  let cas = Cas.open_ ~root () in
+  let key = Cas.key_of_string "hello" in
+  Alcotest.(check bool) "miss before put" true (Cas.get cas ~key = None);
+  Cas.put cas ~key "payload";
+  Alcotest.(check bool) "mem after put" true (Cas.mem cas ~key);
+  Alcotest.(check bool) "hit after put" true (Cas.get cas ~key = Some "payload");
+  (* a different handle on the same root sees the object (persistence) *)
+  let cas2 = Cas.open_ ~root () in
+  Alcotest.(check bool) "visible to a fresh handle" true
+    (Cas.get cas2 ~key = Some "payload");
+  let s = Cas.stats cas2 in
+  Alcotest.(check int) "fresh handle indexed the object" 1 s.Cas.objects;
+  Alcotest.(check int) "bytes accounted" (String.length "payload") s.Cas.bytes
+
+let test_cas_size_bound_on_put () =
+  let root = fresh_dir () in
+  (* each object is 10 bytes; bound at 35 keeps at most 3 *)
+  let cas = Cas.open_ ~max_bytes:35 ~root () in
+  for i = 0 to 9 do
+    Cas.put cas ~key:(Cas.key_of_string (string_of_int i)) (Printf.sprintf "%010d" i)
+  done;
+  let s = Cas.stats cas in
+  Alcotest.(check bool) "size bound respected" true (s.Cas.bytes <= 35);
+  Alcotest.(check bool) "evictions counted" true (s.Cas.evictions > 0);
+  (* the most recent object must have survived *)
+  Alcotest.(check bool) "most recent object survives" true
+    (Cas.mem cas ~key:(Cas.key_of_string "9"))
+
+let test_cas_gc_lru_order () =
+  let root = fresh_dir () in
+  let cas = Cas.open_ ~root () in
+  let key i = Cas.key_of_string (string_of_int i) in
+  for i = 0 to 4 do
+    Cas.put cas ~key:(key i) (Printf.sprintf "%04d" i)
+  done;
+  (* touch 0 and 1 so 2 becomes the least recently used *)
+  ignore (Cas.get cas ~key:(key 0));
+  ignore (Cas.get cas ~key:(key 1));
+  let evicted = Cas.gc ~max_bytes:16 cas in
+  Alcotest.(check int) "gc evicted exactly one object" 1 evicted;
+  Alcotest.(check bool) "LRU object evicted" false (Cas.mem cas ~key:(key 2));
+  Alcotest.(check bool) "recently-used objects kept" true
+    (Cas.mem cas ~key:(key 0) && Cas.mem cas ~key:(key 1))
+
+let test_cas_concurrent_domains () =
+  let root = fresh_dir () in
+  let cas = Cas.open_ ~root () in
+  let writer d () =
+    for i = 0 to 49 do
+      (* half the keys are shared between domains, half are private *)
+      let name =
+        if i mod 2 = 0 then Printf.sprintf "shared-%d" i
+        else Printf.sprintf "private-%d-%d" d i
+      in
+      Cas.put cas ~key:(Cas.key_of_string name) name;
+      ignore (Cas.get cas ~key:(Cas.key_of_string name))
+    done
+  in
+  let domains = List.init 4 (fun d -> Domain.spawn (writer d)) in
+  List.iter Domain.join domains;
+  for d = 0 to 3 do
+    for i = 0 to 49 do
+      let name =
+        if i mod 2 = 0 then Printf.sprintf "shared-%d" i
+        else Printf.sprintf "private-%d-%d" d i
+      in
+      Alcotest.(check bool)
+        (name ^ " readable after concurrent writes")
+        true
+        (Cas.get cas ~key:(Cas.key_of_string name) = Some name)
+    done
+  done
+
+(* ------------------------------------------------------------------ *)
+(* Journal *)
+
+let read_file path =
+  let ic = open_in_bin path in
+  let s = really_input_string ic (in_channel_length ic) in
+  close_in ic;
+  s
+
+let write_file path s =
+  let oc = open_out_bin path in
+  output_string oc s;
+  close_out oc
+
+let with_journal records =
+  let dir = fresh_dir () in
+  let path = Filename.concat dir "j.log" in
+  let j = Journal.open_append ~path () in
+  List.iter (Journal.append j) records;
+  Journal.close j;
+  path
+
+let test_journal_roundtrip () =
+  let records = [ "alpha"; "beta with spaces"; "gamma\tand tab" ] in
+  let path = with_journal records in
+  let r = Journal.replay ~path in
+  Alcotest.(check (list string)) "all records replayed" records r.Journal.records;
+  Alcotest.(check bool) "nothing dropped" false r.Journal.dropped
+
+let test_journal_rejects_newline () =
+  let path = Filename.concat (fresh_dir ()) "j.log" in
+  let j = Journal.open_append ~path () in
+  Alcotest.check_raises "newline payload rejected"
+    (Invalid_argument "Journal.append: payload must be a single line")
+    (fun () -> Journal.append j "two\nlines");
+  Journal.close j
+
+let test_journal_truncated_tail () =
+  let records = [ "one"; "two"; "three" ] in
+  let path = with_journal records in
+  let text = read_file path in
+  (* cut into the middle of the last record: a killed writer *)
+  write_file path (String.sub text 0 (String.length text - 5));
+  let r = Journal.replay ~path in
+  Alcotest.(check (list string)) "valid prefix survives" [ "one"; "two" ]
+    r.Journal.records;
+  Alcotest.(check bool) "truncation detected" true r.Journal.dropped
+
+let test_journal_corrupted_tail () =
+  let records = [ "one"; "two"; "three" ] in
+  let path = with_journal records in
+  let text = read_file path in
+  (* flip a payload byte in the last record: checksum must catch it *)
+  let b = Bytes.of_string text in
+  Bytes.set b (Bytes.length b - 2) '!';
+  write_file path (Bytes.to_string b);
+  let r = Journal.replay ~path in
+  Alcotest.(check (list string)) "valid prefix survives" [ "one"; "two" ]
+    r.Journal.records;
+  Alcotest.(check bool) "corruption detected" true r.Journal.dropped
+
+let test_journal_truncate_then_append () =
+  let path = with_journal [ "one"; "two"; "three" ] in
+  let text = read_file path in
+  write_file path (String.sub text 0 (String.length text - 5));
+  let r = Journal.replay ~path in
+  (* the resume protocol: cut the torn suffix, then append *)
+  Journal.truncate ~path ~bytes:r.Journal.valid_bytes;
+  let j = Journal.open_append ~path () in
+  Journal.append j "four";
+  Journal.close j;
+  let r' = Journal.replay ~path in
+  Alcotest.(check (list string)) "appended record readable after recovery"
+    [ "one"; "two"; "four" ] r'.Journal.records;
+  Alcotest.(check bool) "journal healed" false r'.Journal.dropped
+
+(* ------------------------------------------------------------------ *)
+(* Bug bank *)
+
+let test_bugbank_record_and_reload () =
+  let dir = fresh_dir () in
+  let bank = Bugbank.load ~dir in
+  let types = [ "AddDeadBlock"; "DontInline" ] in
+  Alcotest.(check bool) "first record is new" true
+    (Bugbank.record bank ~target:"SwiftShader" ~bug_id:"b1" ~types = `New);
+  Alcotest.(check bool) "same signature is known" true
+    (Bugbank.record bank ~target:"SwiftShader" ~bug_id:"b1-again" ~types = `Known);
+  Alcotest.(check bool) "same types on another target are new" true
+    (Bugbank.record bank ~target:"Mesa" ~bug_id:"b1" ~types = `New);
+  Bugbank.save bank;
+  let bank' = Bugbank.load ~dir in
+  Alcotest.(check int) "reloaded size" 2 (Bugbank.size bank');
+  Alcotest.(check bool) "reloaded bank knows the signature" true
+    (Bugbank.mem bank' ~target:"SwiftShader" ~types);
+  (* type order must not matter *)
+  Alcotest.(check bool) "signature is order-insensitive" true
+    (Bugbank.mem bank' ~target:"SwiftShader"
+       ~types:[ "DontInline"; "AddDeadBlock" ])
+
+let test_bugbank_import_and_corruption () =
+  let dir_a = fresh_dir () and dir_b = fresh_dir () in
+  let a = Bugbank.load ~dir:dir_a in
+  ignore (Bugbank.record a ~target:"Mesa" ~bug_id:"m1" ~types:[ "MoveBlockDown" ]);
+  ignore (Bugbank.record a ~target:"Mesa" ~bug_id:"m2" ~types:[]);
+  let b = Bugbank.load ~dir:dir_b in
+  ignore (Bugbank.record b ~target:"Mesa" ~bug_id:"m1" ~types:[ "MoveBlockDown" ]);
+  Alcotest.(check int) "import merges only the new signature" 1
+    (Bugbank.import b (Bugbank.to_string a));
+  Alcotest.(check int) "merged size" 2 (Bugbank.size b);
+  (* a corrupt line degrades to a smaller bank, not a failure *)
+  Bugbank.save b;
+  let path = Filename.concat dir_b "bugbank.txt" in
+  write_file path (read_file path ^ "garbage line without tabs\n");
+  Alcotest.(check int) "corrupt line skipped on load" 2
+    (Bugbank.size (Bugbank.load ~dir:dir_b))
+
+(* ------------------------------------------------------------------ *)
+(* Engine: bounded memo tables and the disk store backend *)
+
+let gradient = lazy (List.assoc "gradient" (Lazy.force Corpus.lowered_references))
+
+let test_engine_memo_eviction () =
+  (* a tiny cap forces evictions; results must be unaffected *)
+  let engine = Harness.Engine.create ~memo_capacity:2 () in
+  let input = Corpus.default_input in
+  let refs = Lazy.force Corpus.lowered_references in
+  let t = Compilers.Target.swiftshader in
+  let first = List.map (fun (_, m) -> Harness.Engine.run engine t m input) refs in
+  let again = List.map (fun (_, m) -> Harness.Engine.run engine t m input) refs in
+  Alcotest.(check bool) "evicted entries recompute to identical results" true
+    (first = again);
+  let s = Harness.Engine.stats engine in
+  Alcotest.(check bool) "entry count bounded by capacity" true
+    (s.Harness.Engine.memo_entries <= 2 * s.Harness.Engine.memo_capacity);
+  Alcotest.(check int) "capacity reported" 2 s.Harness.Engine.memo_capacity;
+  Alcotest.(check bool) "evictions counted" true
+    (s.Harness.Engine.memo_evictions > 0)
+
+let test_engine_optimize_memoized () =
+  let engine = Harness.Engine.create () in
+  let m = Lazy.force gradient in
+  let o1 = Harness.Engine.optimize engine m in
+  let o2 = Harness.Engine.optimize engine m in
+  Alcotest.(check bool) "memoized optimize returns the same module" true
+    (o1 = o2);
+  let s = Harness.Engine.stats engine in
+  Alcotest.(check int) "optimizer ran once" 1 s.Harness.Engine.opt_runs;
+  Alcotest.(check int) "second call served from memo" 1 s.Harness.Engine.opt_hits
+
+let test_engine_store_shares_runs_and_opts () =
+  let dir = fresh_dir () in
+  let m = Lazy.force gradient in
+  let input = Corpus.default_input in
+  let t = Compilers.Target.swiftshader in
+  (* first engine executes and writes through *)
+  let e1 = Harness.Engine.create ~store:(Harness.Persist.open_cas ~dir ()) () in
+  let r1 = Harness.Engine.run e1 t m input in
+  let o1 = Harness.Engine.optimize e1 m in
+  let s1 = Harness.Engine.stats e1 in
+  Alcotest.(check bool) "cold engine wrote through" true
+    (s1.Harness.Engine.store_writes > 0);
+  (* second engine has cold memory but a warm disk store *)
+  let e2 = Harness.Engine.create ~store:(Harness.Persist.open_cas ~dir ()) () in
+  let r2 = Harness.Engine.run e2 t m input in
+  let o2 = Harness.Engine.optimize e2 m in
+  let s2 = Harness.Engine.stats e2 in
+  Alcotest.(check bool) "run served from disk, not executed" true
+    (s2.Harness.Engine.runs_executed = 0 && s2.Harness.Engine.store_hits = 1);
+  Alcotest.(check bool) "optimize served from disk, not run" true
+    (s2.Harness.Engine.opt_runs = 0 && s2.Harness.Engine.opt_hits = 1);
+  Alcotest.(check bool) "disk-served results identical" true
+    (r1 = r2 && o1 = o2)
+
+(* ------------------------------------------------------------------ *)
+(* Campaign persistence: kill and resume *)
+
+let scale = { Harness.Experiments.default_scale with Harness.Experiments.seeds = 14 }
+let tool = Harness.Pipeline.Spirv_fuzz_tool
+let baseline_hits = lazy (Harness.Experiments.run_campaign ~scale tool)
+
+let outcome_or_fail = function
+  | Ok (o : Harness.Persist.outcome) -> o
+  | Error e -> Alcotest.failf "campaign failed: %s" e
+
+let run_persisted ?resume dir =
+  outcome_or_fail (Harness.Persist.run_campaign ~scale ?resume ~dir tool)
+
+let kill_journal ~keep_fraction dir =
+  let path = Harness.Persist.journal_path dir in
+  let text = read_file path in
+  let keep = String.length text * keep_fraction / 100 in
+  write_file path (String.sub text 0 keep)
+
+let test_campaign_store_matches_plain () =
+  let dir = fresh_dir () in
+  let o = run_persisted dir in
+  Alcotest.(check bool) "persisted campaign matches the plain one" true
+    (o.Harness.Persist.hits = Lazy.force baseline_hits);
+  Alcotest.(check int) "nothing skipped on a fresh run" 0
+    o.Harness.Persist.seeds_skipped
+
+let test_campaign_resume_after_truncation () =
+  let dir = fresh_dir () in
+  let o0 = run_persisted dir in
+  kill_journal ~keep_fraction:60 dir;
+  let o1 = run_persisted ~resume:true dir in
+  Alcotest.(check bool) "kill detected" true o1.Harness.Persist.journal_dropped;
+  Alcotest.(check bool) "some seeds replayed, some re-run" true
+    (o1.Harness.Persist.seeds_skipped > 0 && o1.Harness.Persist.seeds_run > 0);
+  Alcotest.(check bool) "resumed hit list is bit-identical" true
+    (o1.Harness.Persist.hits = o0.Harness.Persist.hits);
+  (* the journal must have healed: a second resume recomputes nothing *)
+  let o2 = run_persisted ~resume:true dir in
+  Alcotest.(check int) "second resume runs no seeds" 0
+    o2.Harness.Persist.seeds_run;
+  Alcotest.(check bool) "second resume still bit-identical" true
+    (o2.Harness.Persist.hits = o0.Harness.Persist.hits)
+
+let test_campaign_resume_after_corruption () =
+  let dir = fresh_dir () in
+  let o0 = run_persisted dir in
+  (* flip a byte inside the final record instead of truncating *)
+  let path = Harness.Persist.journal_path dir in
+  let b = Bytes.of_string (read_file path) in
+  Bytes.set b (Bytes.length b - 3) '#';
+  write_file path (Bytes.to_string b);
+  let o1 = run_persisted ~resume:true dir in
+  Alcotest.(check bool) "corruption detected" true
+    o1.Harness.Persist.journal_dropped;
+  Alcotest.(check bool) "resumed hit list is bit-identical" true
+    (o1.Harness.Persist.hits = o0.Harness.Persist.hits)
+
+let test_campaign_resume_refuses_other_tool () =
+  let dir = fresh_dir () in
+  ignore (run_persisted dir);
+  match
+    Harness.Persist.run_campaign ~scale ~resume:true ~dir
+      Harness.Pipeline.Glsl_fuzz_tool
+  with
+  | Ok _ -> Alcotest.fail "resume with a different tool must be refused"
+  | Error e ->
+      let contains hay needle =
+        let n = String.length needle in
+        let rec go i =
+          i + n <= String.length hay
+          && (String.equal (String.sub hay i n) needle || go (i + 1))
+        in
+        go 0
+      in
+      Alcotest.(check bool) "error names the journal's tool" true
+        (contains e "spirv-fuzz")
+
+(* ------------------------------------------------------------------ *)
+
+let qcheck tests = List.map QCheck_alcotest.to_alcotest tests
+
+let () =
+  Alcotest.run "store"
+    [
+      ( "codec",
+        qcheck [ qcheck_value_roundtrip; qcheck_run_roundtrip ]
+        @ [
+            Alcotest.test_case "corruption rejected" `Quick
+              test_run_codec_rejects_corruption;
+            Alcotest.test_case "module round trip" `Quick
+              test_module_codec_roundtrip;
+          ] );
+      ( "cas",
+        qcheck [ qcheck_cas_roundtrip ]
+        @ [
+            Alcotest.test_case "basics & persistence" `Quick test_cas_basics;
+            Alcotest.test_case "size bound on put" `Quick
+              test_cas_size_bound_on_put;
+            Alcotest.test_case "gc evicts LRU first" `Quick
+              test_cas_gc_lru_order;
+            Alcotest.test_case "concurrent domain writers" `Quick
+              test_cas_concurrent_domains;
+          ] );
+      ( "journal",
+        [
+          Alcotest.test_case "round trip" `Quick test_journal_roundtrip;
+          Alcotest.test_case "newline rejected" `Quick
+            test_journal_rejects_newline;
+          Alcotest.test_case "truncated tail dropped" `Quick
+            test_journal_truncated_tail;
+          Alcotest.test_case "corrupted tail dropped" `Quick
+            test_journal_corrupted_tail;
+          Alcotest.test_case "truncate then append heals" `Quick
+            test_journal_truncate_then_append;
+        ] );
+      ( "bugbank",
+        [
+          Alcotest.test_case "record & reload" `Quick
+            test_bugbank_record_and_reload;
+          Alcotest.test_case "import & corruption" `Quick
+            test_bugbank_import_and_corruption;
+        ] );
+      ( "engine",
+        [
+          Alcotest.test_case "memo eviction is invisible" `Quick
+            test_engine_memo_eviction;
+          Alcotest.test_case "optimize memoized" `Quick
+            test_engine_optimize_memoized;
+          Alcotest.test_case "disk store shared across engines" `Quick
+            test_engine_store_shares_runs_and_opts;
+        ] );
+      ( "resume",
+        [
+          Alcotest.test_case "store-backed campaign = plain" `Slow
+            test_campaign_store_matches_plain;
+          Alcotest.test_case "kill (truncated) + resume" `Slow
+            test_campaign_resume_after_truncation;
+          Alcotest.test_case "kill (corrupted) + resume" `Slow
+            test_campaign_resume_after_corruption;
+          Alcotest.test_case "resume refuses another tool" `Quick
+            test_campaign_resume_refuses_other_tool;
+        ] );
+    ]
