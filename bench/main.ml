@@ -442,6 +442,94 @@ let oracle_perf () =
     (Harness.Engine.stats_to_string (Harness.Engine.stats checked_engine))
 
 (* ------------------------------------------------------------------ *)
+(* Translation validation: overhead, memoization, signature granularity *)
+
+let tv_perf () =
+  section "Translation validation: overhead, memoization & blame granularity";
+  let scale =
+    { Harness.Experiments.default_scale with Harness.Experiments.seeds = 60 }
+  in
+  let tool = Harness.Pipeline.Spirv_fuzz_tool in
+  let timed f =
+    let t0 = Unix.gettimeofday () in
+    let r = f () in
+    (r, Unix.gettimeofday () -. t0)
+  in
+  (* overhead: identical seeds with and without the TV oracle *)
+  let plain_engine = Harness.Engine.create () in
+  let _plain_hits, plain_time =
+    timed (fun () ->
+        Harness.Experiments.run_campaign ~scale ~engine:plain_engine tool)
+  in
+  let tv_engine = Harness.Engine.create () in
+  let tv_hits, tv_time =
+    timed (fun () ->
+        Harness.Experiments.run_campaign ~scale ~engine:tv_engine ~tv:true tool)
+  in
+  let tv_stats = Harness.Engine.stats tv_engine in
+  Printf.printf
+    "campaign (%d seeds): %.2fs without TV, %.2fs with (%.2fx overhead)\n"
+    scale.Harness.Experiments.seeds plain_time tv_time
+    (tv_time /. Float.max 1e-9 plain_time);
+  Printf.printf "  %d TV checks, %d memoized (engine digest fast-path + LRU)\n"
+    tv_stats.Harness.Engine.tv_checks tv_stats.Harness.Engine.tv_hits;
+  (* signature granularity: how the single "miscompilation" bucket splits *)
+  let module SS = Set.Make (String) in
+  let miscompile_sigs =
+    List.fold_left
+      (fun acc (h : Harness.Experiments.hit) ->
+        let s = h.Harness.Experiments.hit_detection.Harness.Pipeline.signature in
+        if Harness.Signature.is_miscompilation s then SS.add s acc else acc)
+      SS.empty tv_hits
+  in
+  Printf.printf
+    "  miscompilation signatures with TV blame: %d distinct bucket(s)%s\n"
+    (SS.cardinal miscompile_sigs)
+    (if SS.is_empty miscompile_sigs then ""
+     else " — " ^ String.concat ", " (SS.elements miscompile_sigs));
+  (* memoization through the store: a fresh engine on a populated CAS
+     serves warm TV verdicts from disk *)
+  let dir =
+    Filename.concat
+      (Filename.get_temp_dir_name ())
+      (Printf.sprintf "tbct-bench-tv-%d" (Unix.getpid ()))
+  in
+  rm_rf dir;
+  Fun.protect
+    ~finally:(fun () -> rm_rf dir)
+    (fun () ->
+      let cold_engine =
+        Harness.Engine.create ~store:(Harness.Persist.open_cas ~dir ()) ()
+      in
+      let cold_hits, cold_time =
+        timed (fun () ->
+            Harness.Experiments.run_campaign ~scale ~engine:cold_engine
+              ~tv:true tool)
+      in
+      let warm_engine =
+        Harness.Engine.create ~store:(Harness.Persist.open_cas ~dir ()) ()
+      in
+      let warm_hits, warm_time =
+        timed (fun () ->
+            Harness.Experiments.run_campaign ~scale ~engine:warm_engine
+              ~tv:true tool)
+      in
+      let warm = Harness.Engine.stats warm_engine in
+      Printf.printf
+        "cold TV campaign (empty store): %.2fs; warm (fresh engine, same \
+         store): %.2fs (%.1fx), hits identical: %b\n"
+        cold_time warm_time
+        (cold_time /. Float.max 1e-9 warm_time)
+        (warm_hits = cold_hits);
+      Printf.printf
+        "  warm engine: %d TV checks, %d served without re-validating \
+         (%.1f%% — digest fast-path, memory LRU or disk CAS)\n"
+        warm.Harness.Engine.tv_checks warm.Harness.Engine.tv_hits
+        (100.0
+        *. float_of_int warm.Harness.Engine.tv_hits
+        /. float_of_int (max 1 warm.Harness.Engine.tv_checks)))
+
+(* ------------------------------------------------------------------ *)
 (* Bechamel micro-benchmarks                                           *)
 
 let perf_suite () =
@@ -526,6 +614,7 @@ let () =
     engine_perf ();
     store_perf ();
     oracle_perf ();
+    tv_perf ();
     perf_suite ()
   end;
   print_newline ()

@@ -94,6 +94,31 @@ let find_target name =
   | Some t -> Ok t
   | None -> Error ("unknown target " ^ name)
 
+(* minimal JSON string quoting for the --json output modes (no JSON library
+   in the build): escapes the two JSON metacharacters and control bytes *)
+let json_string s =
+  let buf = Buffer.create (String.length s + 2) in
+  Buffer.add_char buf '"';
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '\n' -> Buffer.add_string buf "\\n"
+      | '\t' -> Buffer.add_string buf "\\t"
+      | '\r' -> Buffer.add_string buf "\\r"
+      | c when Char.code c < 0x20 ->
+          Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.add_char buf '"';
+  Buffer.contents buf
+
+let json_arg =
+  Arg.(value & flag
+       & info [ "json" ]
+           ~doc:"Machine-readable output: one JSON object per line.")
+
 (* ------------------------------------------------------------------ *)
 (* disasm / validate / run                                             *)
 
@@ -118,7 +143,7 @@ let lint_cmd =
              ~doc:"Lint every corpus reference and donor — the modules the \
                    examples and campaigns build on.")
   in
-  let run path corpus all =
+  let run path corpus all json =
     let mods =
       if all then begin
         (* donors repeat the references; keep the first of each name *)
@@ -146,22 +171,136 @@ let lint_cmd =
       (fun (name, m) ->
         List.iter
           (fun (f : Spirv_ir.Lint.finding) ->
-            (match f.Spirv_ir.Lint.severity with
-            | Spirv_ir.Lint.Error -> incr errors
-            | Spirv_ir.Lint.Warning -> incr warnings);
-            Printf.printf "%s: %s\n" name (Spirv_ir.Lint.to_string f))
+            let severity =
+              match f.Spirv_ir.Lint.severity with
+              | Spirv_ir.Lint.Error ->
+                  incr errors;
+                  "error"
+              | Spirv_ir.Lint.Warning ->
+                  incr warnings;
+                  "warning"
+            in
+            if json then
+              Printf.printf
+                "{\"module\":%s,\"severity\":%s,\"rule\":%s,\"finding\":%s}\n"
+                (json_string name) (json_string severity)
+                (json_string f.Spirv_ir.Lint.rule)
+                (json_string (Spirv_ir.Lint.to_string f))
+            else Printf.printf "%s: %s\n" name (Spirv_ir.Lint.to_string f))
           (Spirv_ir.Lint.check_module m))
       mods;
-    Printf.printf "linted %d module(s): %d error(s), %d warning(s)\n"
-      (List.length mods) !errors !warnings;
+    if not json then
+      Printf.printf "linted %d module(s): %d error(s), %d warning(s)\n"
+        (List.length mods) !errors !warnings;
     if !errors > 0 then 1 else 0
   in
   Cmd.v
     (Cmd.info "lint"
        ~doc:"Run the IR lint suite (dead blocks/results, phi mismatches, \
              undominated uses, write-only locals, block order) over a module \
-             or the whole corpus.  Exits non-zero on error-severity findings.")
-    Term.(const (fun p c a -> Stdlib.exit (run p c a)) $ file_arg $ corpus_arg $ all_arg)
+             or the whole corpus.  Exits non-zero on error-severity findings. \
+             With $(b,--json), one JSON object per finding per line.")
+    Term.(const (fun p c a j -> Stdlib.exit (run p c a j)) $ file_arg
+          $ corpus_arg $ all_arg $ json_arg)
+
+let tv_cmd =
+  let all_arg =
+    Arg.(value & flag
+         & info [ "all" ]
+             ~doc:"Validate every corpus reference instead of one module.")
+  in
+  let run path corpus all target json =
+    let t = or_die (find_target target) in
+    let mods =
+      if all then Lazy.force Corpus.lowered_references
+      else
+        let name =
+          match (path, corpus) with
+          | Some p, _ -> p
+          | None, Some c -> c
+          | None, None -> "<module>"
+        in
+        [ (name, or_die (load ~path ~corpus)) ]
+    in
+    let mismatches = ref 0 and abstentions = ref 0 in
+    let report name (p : Compilers.Optimizer.pass_name)
+        (v : Compilers.Tv.verdict) =
+      let pass = Compilers.Optimizer.show_pass_name p in
+      if json then begin
+        let base =
+          Printf.sprintf "{\"module\":%s,\"target\":%s,\"pass\":%s"
+            (json_string name) (json_string t.Compilers.Target.name)
+            (json_string pass)
+        in
+        match v with
+        | Compilers.Tv.Equivalent ->
+            Printf.printf "%s,\"verdict\":\"equivalent\"}\n" base
+        | Compilers.Tv.Mismatch w ->
+            Printf.printf
+              "%s,\"verdict\":\"mismatch\",\"slot\":%s,\"before\":%s,\"after\":%s}\n"
+              base
+              (json_string w.Compilers.Tv.w_slot)
+              (json_string w.Compilers.Tv.w_before)
+              (json_string w.Compilers.Tv.w_after)
+        | Compilers.Tv.Abstained reason ->
+            Printf.printf "%s,\"verdict\":\"abstained\",\"reason\":%s}\n" base
+              (json_string reason)
+      end
+      else
+        match v with
+        | Compilers.Tv.Equivalent -> ()
+        | Compilers.Tv.Mismatch w ->
+            Printf.printf "%s: MISMATCH in %s (%s slot):\n  before: %s\n  after:  %s\n"
+              name pass w.Compilers.Tv.w_slot w.Compilers.Tv.w_before
+              w.Compilers.Tv.w_after
+        | Compilers.Tv.Abstained reason ->
+            Printf.printf "%s: %s abstained: %s\n" name pass reason
+    in
+    List.iter
+      (fun (name, m) ->
+        match
+          Compilers.Optimizer.run_tv ~flags:t.Compilers.Target.opt_flags
+            t.Compilers.Target.pipeline m
+        with
+        | Error signature ->
+            if json then
+              Printf.printf
+                "{\"module\":%s,\"target\":%s,\"verdict\":\"crash\",\"signature\":%s}\n"
+                (json_string name) (json_string t.Compilers.Target.name)
+                (json_string signature)
+            else Printf.printf "%s: optimizer crashed: %s\n" name signature
+        | Ok report_ ->
+            List.iter
+              (fun (p, v) ->
+                (match v with
+                | Compilers.Tv.Mismatch _ -> incr mismatches
+                | Compilers.Tv.Abstained _ -> incr abstentions
+                | Compilers.Tv.Equivalent -> ());
+                report name p v)
+              report_.Compilers.Optimizer.tv_steps;
+            match report_.Compilers.Optimizer.tv_guilty with
+            | Some p when not json ->
+                Printf.printf "%s: guilty pass: %s\n" name
+                  (Compilers.Optimizer.show_pass_name p)
+            | _ -> ())
+      mods;
+    if not json then
+      Printf.printf
+        "validated %d module(s) against %s's pipeline: %d mismatch(es), %d \
+         abstention(s)\n"
+        (List.length mods) t.Compilers.Target.name !mismatches !abstentions;
+    if !mismatches > 0 then 1 else 0
+  in
+  Cmd.v
+    (Cmd.info "tv"
+       ~doc:"Translation-validate an optimizer pipeline on a module: run \
+             every pass of the target's pipeline (with its injected-bug \
+             flags) and check each before/after pair for symbolic \
+             equivalence, naming the guilty pass of any mismatch.  Exits \
+             non-zero on mismatch; abstentions are reported but never \
+             treated as bugs.  With $(b,--json), one JSON verdict per line.")
+    Term.(const (fun p c a t j -> Stdlib.exit (run p c a t j)) $ file_arg
+          $ corpus_arg $ all_arg $ target_arg $ json_arg)
 
 let disasm_cmd =
   let run path corpus =
@@ -384,7 +523,17 @@ let campaign_cmd =
              ~doc:"Write the hit list to $(docv), one line per hit — \
                    byte-comparable across runs.")
   in
-  let run seeds tool domains stats check_contracts store resume fsync hits_out =
+  let tv_arg =
+    Arg.(value & flag
+         & info [ "tv" ]
+             ~doc:"Run the translation validator as a second oracle on \
+                   every variant: miscompilation signatures are refined to \
+                   per-pass buckets (miscompile:TARGET:PASS) and optimizer \
+                   miscompilations are caught even on targets that cannot \
+                   render.")
+  in
+  let run seeds tool domains stats check_contracts tv store resume fsync
+      hits_out =
     let tool =
       match Harness.Pipeline.tool_of_name tool with
       | Some t -> t
@@ -404,7 +553,7 @@ let campaign_cmd =
           let hits =
             or_contract_violation (fun () ->
                 Harness.Experiments.run_campaign ~scale ~domains ~engine
-                  ~check_contracts tool)
+                  ~check_contracts ~tv tool)
           in
           (engine, hits)
       | Some dir ->
@@ -413,16 +562,22 @@ let campaign_cmd =
           let outcome =
             or_contract_violation (fun () ->
                 Harness.Persist.run_campaign ~scale ~domains ~engine
-                  ~check_contracts ~resume ~fsync ~dir tool)
+                  ~check_contracts ~tv ~resume ~fsync ~dir tool)
           in
           let o = or_die outcome in
-          if resume then
+          if resume then begin
             Printf.printf "resume: %d seed(s) replayed from the journal%s, %d executed\n"
               o.Harness.Persist.seeds_skipped
               (if o.Harness.Persist.journal_dropped then
                  " (torn trailing record discarded)"
                else "")
               o.Harness.Persist.seeds_run;
+            match o.Harness.Persist.extended_from with
+            | Some n ->
+                Printf.printf "resume: extended the campaign from %d to %d seeds\n"
+                  n seeds
+            | None -> ()
+          end;
           (engine, o.Harness.Persist.hits)
     in
     Printf.printf "%d detections from %d seeds\n" (List.length hits) seeds;
@@ -458,7 +613,7 @@ let campaign_cmd =
   Cmd.v
     (Cmd.info "campaign" ~doc:"Run a fuzzing campaign over all targets.")
     Term.(const run $ seeds_arg $ tool_arg $ domains_arg $ stats_arg
-          $ check_contracts_arg $ store_arg $ resume_arg $ fsync_arg
+          $ check_contracts_arg $ tv_arg $ store_arg $ resume_arg $ fsync_arg
           $ hits_out_arg)
 
 (* ------------------------------------------------------------------ *)
@@ -667,6 +822,6 @@ let () =
     (Cmd.eval ~argv
        (Cmd.group info
           [
-            validate_cmd; lint_cmd; disasm_cmd; render_cmd; run_cmd; targets_cmd; fuzz_cmd;
-            hunt_cmd; campaign_cmd; dedup_cmd; store_cmd;
+            validate_cmd; lint_cmd; tv_cmd; disasm_cmd; render_cmd; run_cmd; targets_cmd;
+            fuzz_cmd; hunt_cmd; campaign_cmd; dedup_cmd; store_cmd;
           ]))

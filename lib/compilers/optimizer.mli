@@ -35,12 +35,33 @@ val run_checked :
   ?flags:Passes.flags ->
   pass_name list ->
   Module_ir.t ->
-  (Module_ir.t, pass_name * string) result
+  (Module_ir.t, (pass_name * string) list) result
 (** Debug-mode pipeline: after every pass, re-validate the module and run
     the {!Spirv_ir.Lint} error rules — both built on the shared
-    {!Spirv_ir.Dataflow} analyses — and report the first pass whose output
-    is invalid or lint-dirty.  With clean flags this always returns [Ok];
-    with an injected bug enabled it names the offending pass (tested). *)
+    {!Spirv_ir.Dataflow} analyses — and report {e every} pass whose output
+    is invalid or lint-dirty (the pipeline keeps going on the offending
+    module; the head of the list is the original culprit).  A pass that
+    crashes outright ends the run with a ["crash: ..."] entry.  With clean
+    flags this always returns [Ok]; with an injected bug enabled it names
+    the offending pass (tested). *)
+
+type tv_report = {
+  tv_module : Module_ir.t;  (** the pipeline's final output *)
+  tv_steps : (pass_name * Tv.verdict) list;  (** one verdict per pass run *)
+  tv_guilty : pass_name option;  (** the first pass with a [Mismatch] *)
+}
+
+val run_tv :
+  ?flags:Passes.flags ->
+  ?check:(Module_ir.t -> Module_ir.t -> Tv.verdict) ->
+  pass_name list ->
+  Module_ir.t ->
+  (tv_report, string) result
+(** Translation-validated pipeline: run every pass and validate each
+    before/after pair with [check] (default {!Tv.check_pass}; the harness
+    engine passes its digest-memoized variant), naming the guilty pass of
+    the first mismatch.  [Error] carries a crash signature when an
+    injected crash bug fires mid-pipeline. *)
 
 val standard : pass_name list
 (** The [-O] pipeline. *)

@@ -1,0 +1,47 @@
+open Spirv_ir
+
+type witness = { w_slot : string; w_before : string; w_after : string }
+[@@deriving show { with_path = false }, eq]
+
+type verdict = Equivalent | Mismatch of witness | Abstained of string
+[@@deriving show { with_path = false }, eq]
+
+let check_pass (before : Module_ir.t) (after : Module_ir.t) : verdict =
+  (* One shared context: hash-consing makes cross-module semantic equality
+     a node-id comparison. *)
+  let ctx = Symval.create () in
+  try
+    let s1 = Symval.summarize ctx before in
+    let s2 = Symval.summarize ctx after in
+    if not (Symval.equal_node s1.Symval.s_kill s2.Symval.s_kill) then
+      Mismatch
+        {
+          w_slot = "kill";
+          w_before = Symval.to_string s1.Symval.s_kill;
+          w_after = Symval.to_string s2.Symval.s_kill;
+        }
+    else if Symval.is_const_true s1.Symval.s_kill then
+      (* every fragment is killed on both sides: the output cell is never
+         observed *)
+      Equivalent
+    else if not (Symval.equal_node s1.Symval.s_out s2.Symval.s_out) then
+      Mismatch
+        {
+          w_slot = "output";
+          w_before = Symval.to_string s1.Symval.s_out;
+          w_after = Symval.to_string s2.Symval.s_out;
+        }
+    else Equivalent
+  with
+  | Symval.Abstain reason -> Abstained reason
+  | exn ->
+      (* soundness over completeness: an internal error is an abstention,
+         never a finding *)
+      Abstained ("internal: " ^ Printexc.to_string exn)
+
+let verdict_to_string = function
+  | Equivalent -> "equivalent"
+  | Mismatch w ->
+      Printf.sprintf "mismatch at %s: before %s, after %s" w.w_slot w.w_before
+        w.w_after
+  | Abstained r -> "abstained: " ^ r

@@ -1,0 +1,40 @@
+(** Translation validation: prove one optimizer pass semantics-preserving
+    by comparing symbolic module summaries ({!Spirv_ir.Symval}).
+
+    The validator is an {e input-independent} second miscompilation oracle:
+    where the paper's dynamic oracle renders a fragment grid and diffs
+    images (missing any miscompile that only manifests off the sampled
+    grid), [check_pass] compares what the two modules compute on {e every}
+    input — and, run between passes ({!Optimizer.run_tv}), it names the
+    guilty pass, refining the paper's single shared miscompilation
+    signature into per-pass buckets.
+
+    Abstention discipline: [Abstained] means the analysis could not decide
+    (a data-dependent loop, a dynamic index, an exhausted budget) and must
+    {e never} be reported as a bug.  Only [Mismatch] is a finding. *)
+
+open Spirv_ir
+
+type witness = {
+  w_slot : string;  (** the first diverging slot: ["kill"] or ["output"] *)
+  w_before : string;  (** pretty-printed symbolic value before the pass *)
+  w_after : string;
+}
+[@@deriving show { with_path = false }, eq]
+
+type verdict =
+  | Equivalent
+  | Mismatch of witness
+  | Abstained of string
+[@@deriving show { with_path = false }, eq]
+
+val check_pass : Module_ir.t -> Module_ir.t -> verdict
+(** [check_pass before after] summarizes both modules in one shared
+    hash-consing context and compares the kill conditions, then (when the
+    fragment is not provably always killed) the output values.  Any
+    internal error or analysis limit yields [Abstained], never a false
+    [Mismatch]. *)
+
+val verdict_to_string : verdict -> string
+(** One-line rendering: ["equivalent"], ["mismatch at <slot>: ..."] or
+    ["abstained: <reason>"]. *)

@@ -20,6 +20,8 @@ type t = {
       (* (target name, module digest, input digest) -> result *)
   mutable opt_memo : (string, Module_ir.t) Lru.t;
       (* module digest -> clean -O optimized module *)
+  mutable tv_memo : (string * string, Compilers.Tv.verdict) Lru.t;
+      (* (before digest, after digest) -> translation-validation verdict *)
   memo_capacity : int;
   baselines : (string * string, Compilers.Backend.run_result) Hashtbl.t;
       (* (target name, reference name) -> result *)
@@ -32,6 +34,8 @@ type t = {
   mutable opt_hits : int;
   mutable store_hits : int;
   mutable store_writes : int;
+  mutable tv_checks : int;
+  mutable tv_hits : int;
 }
 
 type stats = {
@@ -42,6 +46,8 @@ type stats = {
   opt_hits : int;
   store_hits : int;
   store_writes : int;
+  tv_checks : int;
+  tv_hits : int;
   memo_entries : int;
   memo_capacity : int;
   memo_evictions : int;
@@ -56,6 +62,7 @@ let create ?store ?(memo_capacity = default_memo_capacity) () =
     lock = Mutex.create ();
     memo = Lru.create ~capacity:memo_capacity;
     opt_memo = Lru.create ~capacity:memo_capacity;
+    tv_memo = Lru.create ~capacity:memo_capacity;
     memo_capacity;
     baselines = Hashtbl.create 64;
     store;
@@ -67,6 +74,8 @@ let create ?store ?(memo_capacity = default_memo_capacity) () =
     opt_hits = 0;
     store_hits = 0;
     store_writes = 0;
+    tv_checks = 0;
+    tv_hits = 0;
   }
 
 let cas e = e.store
@@ -81,12 +90,14 @@ let add_stage_locked e stage dt =
 
 let execute_stage = "execute"
 let optimize_stage = "optimize"
+let tv_stage = "tv"
 
 (* disk keys: the namespaced cache key digested into a CAS key *)
 let run_store_key (target, mdigest, idigest) =
   Cas.key_of_string (Printf.sprintf "run:%s:%s:%s" target mdigest idigest)
 
 let opt_store_key mdigest = Cas.key_of_string ("opt:" ^ mdigest)
+let tv_store_key (d1, d2) = Cas.key_of_string (Printf.sprintf "tv:%s:%s" d1 d2)
 
 (* The mutex is released while the backend runs: two domains missing on the
    same key may both execute, but [Backend.run] is deterministic, so the
@@ -193,6 +204,58 @@ let optimize e (m : Module_ir.t) : (Module_ir.t, string) result =
               Ok m'
           | Error _ as err -> err))
 
+(** Memoized translation validation, keyed by the (before, after) module
+    digest pair through memory and then the disk store.  Verdict soundness
+    under memoization: {!Compilers.Tv.check_pass} is a deterministic
+    function of the two modules, the codec round-trips exactly, and
+    content-addressing makes the digest pair a faithful key — so a cached
+    verdict is the verdict.  Equal digests short-circuit to [Equivalent]
+    (a pass that changed nothing proved itself). *)
+let tv_check e ~(before : Module_ir.t) ~(after : Module_ir.t) :
+    Compilers.Tv.verdict =
+  let d1 = Digest.of_module before in
+  let d2 = Digest.of_module after in
+  locked e (fun () -> e.tv_checks <- e.tv_checks + 1);
+  if String.equal d1 d2 then begin
+    locked e (fun () -> e.tv_hits <- e.tv_hits + 1);
+    Compilers.Tv.Equivalent
+  end
+  else
+    let key = (d1, d2) in
+    let cached = locked e (fun () -> Lru.find e.tv_memo key) in
+    match cached with
+    | Some v ->
+        locked e (fun () -> e.tv_hits <- e.tv_hits + 1);
+        v
+    | None -> (
+        let from_disk =
+          match e.store with
+          | None -> None
+          | Some cas ->
+              Option.bind
+                (Cas.get cas ~key:(tv_store_key key))
+                Run_codec.decode_verdict
+        in
+        match from_disk with
+        | Some v ->
+            locked e (fun () ->
+                Lru.set e.tv_memo key v;
+                e.tv_hits <- e.tv_hits + 1);
+            v
+        | None ->
+            let t0 = Unix.gettimeofday () in
+            let v = Compilers.Tv.check_pass before after in
+            let dt = Unix.gettimeofday () -. t0 in
+            locked e (fun () ->
+                Lru.set e.tv_memo key v;
+                add_stage_locked e tv_stage dt);
+            (match e.store with
+            | None -> ()
+            | Some cas ->
+                Cas.put cas ~key:(tv_store_key key) (Run_codec.encode_verdict v);
+                locked e (fun () -> e.store_writes <- e.store_writes + 1));
+            v)
+
 let timed e ~stage f =
   let t0 = Unix.gettimeofday () in
   Fun.protect
@@ -213,9 +276,14 @@ let stats e : stats =
         opt_hits = e.opt_hits;
         store_hits = e.store_hits;
         store_writes = e.store_writes;
-        memo_entries = Lru.length e.memo + Lru.length e.opt_memo;
+        tv_checks = e.tv_checks;
+        tv_hits = e.tv_hits;
+        memo_entries =
+          Lru.length e.memo + Lru.length e.opt_memo + Lru.length e.tv_memo;
         memo_capacity = e.memo_capacity;
-        memo_evictions = Lru.evictions e.memo + Lru.evictions e.opt_memo;
+        memo_evictions =
+          Lru.evictions e.memo + Lru.evictions e.opt_memo
+          + Lru.evictions e.tv_memo;
         runs_saved;
         hit_rate =
           (if looked_up = 0 then 0.0
@@ -231,6 +299,7 @@ let reset e =
   locked e (fun () ->
       e.memo <- Lru.create ~capacity:e.memo_capacity;
       e.opt_memo <- Lru.create ~capacity:e.memo_capacity;
+      e.tv_memo <- Lru.create ~capacity:e.memo_capacity;
       Hashtbl.reset e.baselines;
       Hashtbl.reset e.stage_wall;
       e.runs_executed <- 0;
@@ -239,7 +308,9 @@ let reset e =
       e.opt_runs <- 0;
       e.opt_hits <- 0;
       e.store_hits <- 0;
-      e.store_writes <- 0)
+      e.store_writes <- 0;
+      e.tv_checks <- 0;
+      e.tv_hits <- 0)
 
 let pp_stats fmt (s : stats) =
   Format.fprintf fmt
@@ -252,6 +323,10 @@ let pp_stats fmt (s : stats) =
      %d), %d evictions; store: %d hits, %d writes"
     s.opt_runs s.opt_hits s.memo_entries s.memo_capacity s.memo_evictions
     s.store_hits s.store_writes;
+  if s.tv_checks > 0 then
+    Format.fprintf fmt "@\ntv: %d checks, %d memoized (%.1f%% hit rate)"
+      s.tv_checks s.tv_hits
+      (100.0 *. float_of_int s.tv_hits /. float_of_int s.tv_checks);
   if s.stages <> [] then begin
     Format.fprintf fmt "@\nstage wall-clock:";
     List.iter (fun (k, v) -> Format.fprintf fmt "@\n  %-10s %8.3fs" k v) s.stages

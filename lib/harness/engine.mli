@@ -46,7 +46,9 @@ type stats = {
   opt_hits : int;        (** optimize-step hits (memory or disk) *)
   store_hits : int;      (** run results served from the disk store *)
   store_writes : int;    (** objects written through to the disk store *)
-  memo_entries : int;    (** current entries across both memo tables *)
+  tv_checks : int;       (** translation-validation checks requested *)
+  tv_hits : int;         (** TV verdicts served without re-validating *)
+  memo_entries : int;    (** current entries across the memo tables *)
   memo_capacity : int;   (** the per-table LRU entry cap *)
   memo_evictions : int;  (** entries evicted by the LRU bound *)
   runs_saved : int;      (** [cache_hits + baseline_hits + store_hits] *)
@@ -86,6 +88,16 @@ val optimize : t -> Module_ir.t -> (Module_ir.t, string) result
     memory/disk path as runs — closing the ROADMAP item.  Only actual
     optimizer work is billed to the ["optimize"] stage; errors are not
     cached. *)
+
+val tv_check : t -> before:Module_ir.t -> after:Module_ir.t ->
+  Compilers.Tv.verdict
+(** Translation validation ({!Compilers.Tv.check_pass}), memoized by the
+    [(digest before, digest after)] pair: equal digests short-circuit to
+    [Equivalent], then the in-memory LRU, then the disk store (if any),
+    then symbolic validation billed to the ["tv"] stage and written
+    through.  Sound for the same reason run memoization is: [check_pass]
+    is a deterministic function of the two modules and the verdict codec
+    is exact. *)
 
 val timed : t -> stage:string -> (unit -> 'a) -> 'a
 (** Run a thunk and add its wall-clock time to the named stage. *)

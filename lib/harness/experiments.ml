@@ -84,7 +84,7 @@ let references_for (tool : Pipeline.tool) =
     and every freshly computed seed is reported to [on_seed] — possibly
     from a worker domain, so the hook must be thread-safe. *)
 let run_campaign ?(scale = default_scale) ?(targets = Compilers.Target.all)
-    ?(domains = 1) ?engine ?(check_contracts = false)
+    ?(domains = 1) ?engine ?(check_contracts = false) ?(tv = false)
     ?(skip = fun (_ : int) -> (None : hit list option))
     ?(on_seed = fun (_ : int) (_ : hit list) -> ()) tool : hit list =
   let engine = match engine with Some e -> e | None -> Engine.create () in
@@ -103,7 +103,7 @@ let run_campaign ?(scale = default_scale) ?(targets = Compilers.Target.all)
     List.filter_map
       (fun (t : Compilers.Target.t) ->
         match
-          Pipeline.run_variant engine t ~ref_name ~original:ref_module
+          Pipeline.run_variant ~tv engine t ~ref_name ~original:ref_module
             ~variant_input:generated.Pipeline.gen_input
             ~variant:generated.Pipeline.gen_variant Corpus.default_input
         with

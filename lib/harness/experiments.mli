@@ -38,6 +38,7 @@ val run_campaign :
   ?domains:int ->
   ?engine:Engine.t ->
   ?check_contracts:bool ->
+  ?tv:bool ->
   ?skip:(int -> hit list option) ->
   ?on_seed:(int -> hit list -> unit) ->
   Pipeline.tool ->
@@ -52,7 +53,11 @@ val run_campaign :
     applied transformation — hits are unchanged (the checker consumes no
     randomness); a contract breach raises {!Spirv_fuzz.Contract.Violation}.
     Generation is then billed to the engine stage
-    ["generate+contract-check"] instead of ["generate"].
+    ["generate+contract-check"] instead of ["generate"].  [?tv] (default
+    false) runs the translation validator as a second oracle on every
+    variant (see {!Pipeline.run_variant}), refining miscompilation
+    signatures to per-pass buckets and detecting optimizer miscompilations
+    on targets that cannot render.
 
     [?skip] and [?on_seed] are the campaign-journal hooks (see {!Persist}):
     a seed with recorded hits is spliced in without re-execution, and every

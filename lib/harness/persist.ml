@@ -38,6 +38,22 @@ let encode_header ~tool ~targets ~(scale : Experiments.scale) =
 
 let unquote s = try Some (Scanf.sscanf s "%S%!" Fun.id) with _ -> None
 
+(* A scale record re-states the campaign's seed count when a resume extends
+   it past the header's figure (seeds 0..N -> 0..M).  Decoders that predate
+   the record shape skip it like any other unparseable-but-checksummed
+   record, so extended journals stay readable everywhere. *)
+let scale_tag = "scale"
+
+let encode_scale_record seeds =
+  String.concat "\t" [ scale_tag; header_version; string_of_int seeds ]
+
+let decode_scale_record record =
+  match String.split_on_char '\t' record with
+  | [ tag; version; seeds ]
+    when String.equal tag scale_tag && String.equal version header_version ->
+      int_of_string_opt seeds
+  | _ -> None
+
 type header = { h_tool : Pipeline.tool; h_targets : string list; h_seeds : int }
 
 let decode_header record =
@@ -111,6 +127,9 @@ type campaign = {
   completed : (int, Experiments.hit list) Hashtbl.t;
   recovered_seeds : int;
   journal_dropped : bool;
+  prior_seeds : int option;
+      (** the seed count the resumed journal was recorded at (header, or
+          the last scale record); [None] for a fresh campaign *)
 }
 
 let open_campaign ?(resume = false) ?(fsync = false) ~dir ~tool ~targets
@@ -130,6 +149,7 @@ let open_campaign ?(resume = false) ?(fsync = false) ~dir ~tool ~targets
         completed;
         recovered_seeds = 0;
         journal_dropped = false;
+        prior_seeds = None;
       }
   in
   if not resume then fresh ()
@@ -158,17 +178,29 @@ let open_campaign ?(resume = false) ?(fsync = false) ~dir ~tool ~targets
                    (String.concat "," h.h_targets)
                    (String.concat "," target_names))
             else begin
+              (* the journal's recorded extent: the header's seed count,
+                 superseded by any later scale record *)
+              let recorded_seeds = ref h.h_seeds in
               List.iter
                 (fun record ->
                   match decode_seed_record ~tool record with
                   | Some (seed, hits) -> Hashtbl.replace completed seed hits
-                  | None -> () (* checksummed but unparseable: recompute *))
+                  | None -> (
+                      match decode_scale_record record with
+                      | Some n -> recorded_seeds := n
+                      | None -> () (* checksummed but unparseable: recompute *)))
                 seed_records;
               (* cut off the torn suffix before appending, or the first new
                  record is glued onto the half-written line and lost *)
               if replay.Journal.dropped then
                 Journal.truncate ~path ~bytes:replay.Journal.valid_bytes;
               let journal = Journal.open_append ~fsync ~path () in
+              (* resuming at a different scale (extending a finished
+                 campaign 0..N to 0..M, or shrinking): re-state the extent
+                 so the journal self-describes what it now covers *)
+              if scale.Experiments.seeds <> !recorded_seeds then
+                Journal.append journal
+                  (encode_scale_record scale.Experiments.seeds);
               Ok
                 {
                   dir;
@@ -176,6 +208,7 @@ let open_campaign ?(resume = false) ?(fsync = false) ~dir ~tool ~targets
                   completed;
                   recovered_seeds = Hashtbl.length completed;
                   journal_dropped = replay.Journal.dropped;
+                  prior_seeds = Some !recorded_seeds;
                 }
             end)
 
@@ -198,10 +231,13 @@ type outcome = {
   journal_dropped : bool;
       (** the journal ended in a truncated/corrupted record (the crash
           signature of a killed campaign) that was discarded *)
+  extended_from : int option;
+      (** [Some n]: the resumed journal was recorded at [n] seeds and this
+          invocation grew the campaign past it *)
 }
 
 let run_campaign ?(scale = Experiments.default_scale)
-    ?(targets = Compilers.Target.all) ?domains ?engine ?check_contracts
+    ?(targets = Compilers.Target.all) ?domains ?engine ?check_contracts ?tv
     ?(resume = false) ?(fsync = false) ~dir tool : (outcome, string) result =
   match open_campaign ~resume ~fsync ~dir ~tool ~targets ~scale () with
   | Error _ as e -> e
@@ -220,7 +256,7 @@ let run_campaign ?(scale = Experiments.default_scale)
           in
           let hits =
             Experiments.run_campaign ~scale ~targets ?domains ?engine
-              ?check_contracts ~skip:skip_hook ~on_seed:(on_seed c) tool
+              ?check_contracts ?tv ~skip:skip_hook ~on_seed:(on_seed c) tool
           in
           let seeds_skipped = Atomic.get skipped in
           Ok
@@ -229,4 +265,8 @@ let run_campaign ?(scale = Experiments.default_scale)
               seeds_skipped;
               seeds_run = scale.Experiments.seeds - seeds_skipped;
               journal_dropped = c.journal_dropped;
+              extended_from =
+                (match c.prior_seeds with
+                | Some n when n < scale.Experiments.seeds -> Some n
+                | _ -> None);
             })

@@ -45,6 +45,9 @@ type campaign = {
   recovered_seeds : int;
   journal_dropped : bool;
       (** the journal ended in a truncated/corrupted record *)
+  prior_seeds : int option;
+      (** the seed count the resumed journal was recorded at (its header,
+          or its last scale record); [None] for a fresh campaign *)
 }
 
 val open_campaign :
@@ -58,7 +61,15 @@ val open_campaign :
   (campaign, string) result
 (** Without [resume], any existing journal is discarded and a fresh one is
     started (header record included).  With [resume], the valid prefix is
-    replayed into [completed]; mismatched tool/targets are an error. *)
+    replayed into [completed]; mismatched tool/targets are an error.
+
+    Resuming at a {e different} seed count is not an error but an
+    extension (or shrink): the journal header records the scale it was
+    started at, and a resume whose scale differs appends a scale record
+    re-stating the new extent.  Extending a finished campaign from [N] to
+    [M] seeds therefore replays seeds [0..N-1] from the journal, computes
+    only [N..M-1], and returns a hit list bit-identical to a fresh
+    [M]-seed run (tested). *)
 
 val skip : campaign -> int -> Experiments.hit list option
 (** The [?skip] hook for {!Experiments.run_campaign}. *)
@@ -75,6 +86,9 @@ type outcome = {
   seeds_skipped : int;  (** seeds served from the journal *)
   seeds_run : int;      (** seeds executed by this invocation *)
   journal_dropped : bool;
+  extended_from : int option;
+      (** [Some n]: a resume grew the campaign past the [n] seeds the
+          journal had recorded *)
 }
 
 val run_campaign :
@@ -83,6 +97,7 @@ val run_campaign :
   ?domains:int ->
   ?engine:Engine.t ->
   ?check_contracts:bool ->
+  ?tv:bool ->
   ?resume:bool ->
   ?fsync:bool ->
   dir:string ->

@@ -46,26 +46,73 @@ let compare_runs ~original ~variant : detection option =
       None
   | _, Compilers.Backend.Compiled_ok -> None
 
+(** Translation-validate the target's own optimizer pipeline (with the
+    target's injected-bug flags) on a module, via the engine's memoized
+    checker.  [Some signature] when some pass provably miscompiles — the
+    pass-granular ["miscompile:<target>:<pass>"] bucket; [None] when every
+    step is [Equivalent] or [Abstained] (abstention is never reported as a
+    bug, DESIGN.md §8) or when a pass crashes (the crash signature is the
+    dynamic oracle's business). *)
+let tv_signature (engine : Engine.t) (t : Compilers.Target.t)
+    (m : Module_ir.t) : Signature.t option =
+  match
+    Compilers.Optimizer.run_tv ~flags:t.Compilers.Target.opt_flags
+      ~check:(fun before after -> Engine.tv_check engine ~before ~after)
+      t.Compilers.Target.pipeline m
+  with
+  | Error _ -> None
+  | Ok report -> (
+      match report.Compilers.Optimizer.tv_guilty with
+      | Some p -> Some (Signature.miscompile ~target:t ~pass:(Some p))
+      | None -> None)
+
 (** Run one variant module against one target, including the
-    optimize-and-retry step.  All executions go through [engine]. *)
-let run_variant (engine : Engine.t) (t : Compilers.Target.t) ~ref_name
-    ~(original : Module_ir.t) ?variant_input ~(variant : Module_ir.t)
-    (input : Input.t) : detection option =
+    optimize-and-retry step.  All executions go through [engine].
+
+    With [~tv:true] the translation validator runs alongside the image
+    oracle: a dynamically-detected miscompilation is refined to a
+    pass-granular signature (or blamed on the backend when the optimizer
+    validates clean), and a TV mismatch with {e no} dynamic symptom is
+    reported as a detection in its own right — which is how
+    miscompilations become visible on [executes = false] targets. *)
+let run_variant ?(tv = false) (engine : Engine.t) (t : Compilers.Target.t)
+    ~ref_name ~(original : Module_ir.t) ?variant_input
+    ~(variant : Module_ir.t) (input : Input.t) : detection option =
   let variant_input = Option.value ~default:input variant_input in
+  let refine (d : detection) (m : Module_ir.t) : detection =
+    if tv && Signature.is_miscompilation d.signature then
+      match tv_signature engine t m with
+      | Some s -> { d with signature = s }
+      | None ->
+          { d with signature = Signature.miscompile ~target:t ~pass:None }
+    else d
+  in
   let orig_run = Engine.baseline engine t ~ref_name original input in
   let var_run = Engine.run engine t variant variant_input in
   match compare_runs ~original:orig_run ~variant:var_run with
-  | Some d -> Some d
+  | Some d -> Some (refine d variant)
   | None -> (
-      (* no bug: optimize the variant with the (engine-memoized) clean -O
-         pipeline and re-run *)
-      match Engine.optimize engine variant with
-      | Error _ -> None (* the clean optimizer never crashes in our build *)
-      | Ok optimized_variant -> (
-          let var_run' = Engine.run engine t optimized_variant variant_input in
-          match compare_runs ~original:orig_run ~variant:var_run' with
-          | Some d -> Some { d with via_opt = true }
-          | None -> None))
+      match (if tv then tv_signature engine t variant else None) with
+      | Some signature -> Some { signature; via_opt = false }
+      | None -> (
+          (* no bug: optimize the variant with the (engine-memoized) clean
+             -O pipeline and re-run *)
+          match Engine.optimize engine variant with
+          | Error _ ->
+              None (* the clean optimizer never crashes in our build *)
+          | Ok optimized_variant -> (
+              let var_run' =
+                Engine.run engine t optimized_variant variant_input
+              in
+              match compare_runs ~original:orig_run ~variant:var_run' with
+              | Some d -> Some { (refine d optimized_variant) with via_opt = true }
+              | None -> (
+                  match
+                    (if tv then tv_signature engine t optimized_variant
+                     else None)
+                  with
+                  | Some signature -> Some { signature; via_opt = true }
+                  | None -> None))))
 
 (* ------------------------------------------------------------------ *)
 (* Variant generation per tool                                         *)
@@ -152,7 +199,13 @@ let generate ?(check_contracts = false) (tool : tool)
 
 (** Interestingness test for reductions: the variant still produces the same
     signature on the target (crash signature match, or still-mismatching
-    image for miscompilations) — section 3.4's interestingness tests. *)
+    image for miscompilations) — section 3.4's interestingness tests.
+
+    For a pass-blamed TV signature the test re-validates instead of
+    re-rendering: the candidate is interesting iff the translation
+    validator still blames the {e same} pass.  That keeps the reduced test
+    case tied to the optimizer bug it witnesses, and it is completely
+    input-independent. *)
 let interestingness (engine : Engine.t) (t : Compilers.Target.t) ~ref_name
     ~(original : Module_ir.t) ~(detection : detection) input (m : Module_ir.t)
     (m_input : Input.t) : bool =
@@ -166,7 +219,19 @@ let interestingness (engine : Engine.t) (t : Compilers.Target.t) ~ref_name
       | Error _ -> false
     else false
   in
-  if Signature.is_miscompilation detection.signature then
+  if Option.is_some (Signature.blamed_pass detection.signature) then
+    let same_blame candidate =
+      match tv_signature engine t candidate with
+      | Some s -> String.equal s detection.signature
+      | None -> false
+    in
+    same_blame m
+    || (detection.via_opt
+       &&
+       match Engine.optimize engine m with
+       | Ok optimized -> same_blame optimized
+       | Error _ -> false)
+  else if Signature.is_miscompilation detection.signature then
     with_or_without_opt (fun run ->
         match (orig_run, run) with
         | Compilers.Backend.Rendered img0, Compilers.Backend.Rendered img1 ->

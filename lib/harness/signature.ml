@@ -10,13 +10,45 @@ type t = string
 
 let miscompilation : t = "miscompilation"
 
-let is_miscompilation s = String.equal s miscompilation
+let has_prefix p s =
+  String.length s >= String.length p && String.sub s 0 (String.length p) = p
+
+(** Pass-granular miscompilation signature, the refinement the translation
+    validator makes possible: where the paper lumps every miscompilation
+    under one signature, a TV [Mismatch] names the guilty pass, so
+    miscompilations on the same target split into per-pass buckets
+    ["miscompile:<target>:<pass>"].  [pass = None] means the optimizer was
+    validated clean and the blame lies downstream (["...:backend"]). *)
+let miscompile ~(target : Compilers.Target.t)
+    ~(pass : Compilers.Optimizer.pass_name option) : t =
+  let where =
+    match pass with
+    | Some p -> Compilers.Optimizer.show_pass_name p
+    | None -> "backend"
+  in
+  Printf.sprintf "miscompile:%s:%s" target.Compilers.Target.name where
+
+let is_miscompilation s =
+  String.equal s miscompilation || has_prefix "miscompile:" s
+
+(** The pass name of a pass-granular TV signature, or [None] for the
+    [":backend"] fallback and every non-TV signature.  Pass-blamed
+    signatures are reproducible without executing anything — the
+    interestingness test can re-validate instead of re-rendering. *)
+let blamed_pass (s : t) : string option =
+  if not (has_prefix "miscompile:" s) then None
+  else
+    match String.rindex_opt s ':' with
+    | None -> None
+    | Some i ->
+        let p = String.sub s (i + 1) (String.length s - i - 1) in
+        if String.equal p "backend" then None else Some p
 
 (** Ground-truth bug id behind a signature (for the Table 4 baseline, where
     "a set of bugs known to be distinct" is required).  Derived signatures
     (validation failures, device hangs) are canonicalised by prefix. *)
 let bug_id_of_signature (s : t) : string =
-  let has_prefix p = String.length s >= String.length p && String.sub s 0 (String.length p) = p in
+  let has_prefix p = has_prefix p s in
   match
     List.find_opt
       (fun (spec : Compilers.Bug.crash_spec) -> String.equal spec.Compilers.Bug.signature s)
@@ -27,5 +59,8 @@ let bug_id_of_signature (s : t) : string =
       if has_prefix "optimizer emitted invalid module" then "opt-invalid-output"
       else if has_prefix "device lost" then "device-lost"
       else if has_prefix "constant folder: integer division" then "fold-div-crash"
-      else if is_miscompilation s then "miscompilation"
+      else if is_miscompilation s then
+        (* every pass-granular miscompile:<target>:<pass> bucket is the same
+           ground-truth phenomenon for the Table 4 baseline *)
+        "miscompilation"
       else s

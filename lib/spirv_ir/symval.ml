@@ -1,0 +1,610 @@
+(* Hash-consed symbolic value graphs and the module summarizer behind the
+   translation validator.  The evaluator mirrors Interp's total reference
+   semantics construct for construct (same clamping, same φ-on-the-edge
+   discipline, same lookup order env → globals → constants); wherever it
+   cannot, it raises Abstain instead of approximating. *)
+
+exception Abstain of string
+
+let abstain fmt = Printf.ksprintf (fun s -> raise (Abstain s)) fmt
+
+type desc =
+  | Const of Value.t
+  | Source of string  (** uniform / fragment-coordinate input, by name *)
+  | Dead
+      (** the value of a path that produces no value: a killed fragment's
+          result, a void return.  Absorbed by [select] merges — a killed
+          arm's values are unobservable. *)
+  | App of string * node list  (** operator tag + normalized operands *)
+  | Extract of node * int list
+  | Insert of node * node * int list  (** inserted value, base, path *)
+
+and node = { nid : int; desc : desc }
+
+type ctx = {
+  tbl : (string, node) Hashtbl.t;
+  mutable next_id : int;
+  mutable visits : int;
+  mutable local_serial : int;
+  max_visits : int;
+  max_nodes : int;
+}
+
+let create ?(max_visits = 20_000) ?(max_nodes = 200_000) () =
+  {
+    tbl = Hashtbl.create 1024;
+    next_id = 0;
+    visits = 0;
+    local_serial = 0;
+    max_visits;
+    max_nodes;
+  }
+
+let node_count ctx = ctx.next_id
+
+(* Interning keys use the float's bit pattern, matching Value.equal's
+   bit-level comparison (so -0.0 and 0.0 intern to distinct constants,
+   exactly as the image diff distinguishes them). *)
+let rec value_key = function
+  | Value.VBool b -> if b then "T" else "F"
+  | Value.VInt i -> "i" ^ Int32.to_string i
+  | Value.VFloat f -> "f" ^ Int64.to_string (Int64.bits_of_float f)
+  | Value.VComposite xs ->
+      let parts = Array.to_list (Array.map value_key xs) in
+      "(" ^ String.concat "," parts ^ ")"
+
+let path_key path = String.concat "." (List.map string_of_int path)
+
+let desc_key = function
+  | Const v -> "c:" ^ value_key v
+  | Source s -> "s:" ^ s
+  | Dead -> "d"
+  | App (tag, args) ->
+      "a:" ^ tag ^ ":"
+      ^ String.concat "," (List.map (fun n -> string_of_int n.nid) args)
+  | Extract (base, path) -> "x:" ^ string_of_int base.nid ^ ":" ^ path_key path
+  | Insert (v, base, path) ->
+      "n:" ^ string_of_int v.nid ^ ":" ^ string_of_int base.nid ^ ":"
+      ^ path_key path
+
+let mk ctx desc =
+  let key = desc_key desc in
+  match Hashtbl.find_opt ctx.tbl key with
+  | Some n -> n
+  | None ->
+      if ctx.next_id >= ctx.max_nodes then
+        abstain "node budget exhausted (%d nodes)" ctx.max_nodes;
+      let n = { nid = ctx.next_id; desc } in
+      ctx.next_id <- ctx.next_id + 1;
+      Hashtbl.add ctx.tbl key n;
+      n
+
+let const ctx v = mk ctx (Const v)
+let source ctx s = mk ctx (Source s)
+let dead ctx = mk ctx Dead
+let cbool ctx b = const ctx (Value.VBool b)
+let equal_node a b = a.nid = b.nid
+
+let is_const_true n =
+  match n.desc with Const (Value.VBool true) -> true | _ -> false
+
+let is_dead n = match n.desc with Dead -> true | _ -> false
+
+(* ------------------------------------------------------------------ *)
+(* Smart constructors: every algebraic normalization lives here, so a
+   canonical form is canonical no matter which pass produced it.        *)
+
+let commutative = function
+  | Instr.IAdd | Instr.IMul | Instr.FAdd | Instr.FMul | Instr.LogicalAnd
+  | Instr.LogicalOr | Instr.IEqual | Instr.INotEqual | Instr.FOrdEqual
+  | Instr.FOrdNotEqual ->
+      true
+  | Instr.ISub | Instr.SDiv | Instr.SMod | Instr.FSub | Instr.FDiv
+  | Instr.SLessThan | Instr.SLessThanEqual | Instr.SGreaterThan
+  | Instr.SGreaterThanEqual | Instr.FOrdLessThan | Instr.FOrdLessThanEqual
+  | Instr.FOrdGreaterThan | Instr.FOrdGreaterThanEqual ->
+      false
+
+let binop ctx op a b =
+  match (a.desc, b.desc) with
+  | Const va, Const vb -> (
+      try const ctx (Ops.eval_binop op va vb)
+      with Ops.Type_error msg -> abstain "constant fold: %s" msg)
+  | _ -> (
+      (* Boolean identity/absorption/idempotence: the kill flag is
+         composed with LogicalOr across calls, so these folds keep it in
+         the same canonical form on both sides of a pass. *)
+      let folded =
+        match (op, a.desc, b.desc) with
+        | Instr.LogicalAnd, Const (Value.VBool true), _ -> Some b
+        | Instr.LogicalAnd, _, Const (Value.VBool true) -> Some a
+        | Instr.LogicalAnd, Const (Value.VBool false), _
+        | Instr.LogicalAnd, _, Const (Value.VBool false) ->
+            Some (cbool ctx false)
+        | Instr.LogicalOr, Const (Value.VBool false), _ -> Some b
+        | Instr.LogicalOr, _, Const (Value.VBool false) -> Some a
+        | Instr.LogicalOr, Const (Value.VBool true), _
+        | Instr.LogicalOr, _, Const (Value.VBool true) ->
+            Some (cbool ctx true)
+        | (Instr.LogicalAnd | Instr.LogicalOr), _, _ when a.nid = b.nid ->
+            Some a
+        | _ -> None
+      in
+      match folded with
+      | Some n -> n
+      | None ->
+          let a, b = if commutative op && b.nid < a.nid then (b, a) else (a, b) in
+          mk ctx (App (Instr.binop_name op, [ a; b ])))
+
+let unop ctx op a =
+  match a.desc with
+  | Const v -> (
+      try const ctx (Ops.eval_unop op v)
+      with Ops.Type_error msg -> abstain "constant fold: %s" msg)
+  | _ -> mk ctx (App (Instr.unop_name op, [ a ]))
+
+let ite ctx c a b =
+  match c.desc with
+  | Const (Value.VBool cond) -> if cond then a else b
+  | Const _ -> abstain "select condition is not a bool"
+  | _ ->
+      if a.nid = b.nid then a
+      else if is_dead a then b
+      else if is_dead b then a
+      else mk ctx (App ("select", [ c; a; b ]))
+
+let construct ctx args =
+  let rec all_const acc = function
+    | [] -> Some (List.rev acc)
+    | { desc = Const v; _ } :: tl -> all_const (v :: acc) tl
+    | _ -> None
+  in
+  match all_const [] args with
+  | Some vs -> const ctx (Value.VComposite (Array.of_list vs))
+  | None -> mk ctx (App ("construct", args))
+
+let clamp_index len i = if i < 0 then 0 else if i >= len then len - 1 else i
+
+let rec extract ctx n path =
+  match path with
+  | [] -> n
+  | i :: rest -> (
+      match n.desc with
+      | Const v -> const ctx (Value.extract_at_path v (i :: rest))
+      | App ("construct", args) ->
+          let len = List.length args in
+          if len = 0 then n
+          else extract ctx (List.nth args (clamp_index len i)) rest
+      | Extract (base, p) -> mk ctx (Extract (base, p @ (i :: rest)))
+      | _ -> mk ctx (Extract (n, i :: rest)))
+
+(* Functional update at a path, mirroring Value.update_at_path (clamped
+   indices, no-op below scalars).  Constant composites decompose into
+   construct nodes so that partial stores normalize to the same form
+   whether or not a pass folded the surrounding constants. *)
+let rec sym_update ctx base path v =
+  match path with
+  | [] -> v
+  | i :: rest -> (
+      match base.desc with
+      | Const (Value.VBool _ | Value.VInt _ | Value.VFloat _) -> base
+      | Const (Value.VComposite elems) ->
+          let args = List.map (const ctx) (Array.to_list elems) in
+          update_parts ctx args i rest v
+      | App ("construct", args) -> update_parts ctx args i rest v
+      | _ -> mk ctx (Insert (v, base, i :: rest)))
+
+and update_parts ctx args i rest v =
+  let len = List.length args in
+  if len = 0 then construct ctx args
+  else
+    let i = clamp_index len i in
+    construct ctx
+      (List.mapi (fun j x -> if j = i then sym_update ctx x rest v else x) args)
+
+(* ------------------------------------------------------------------ *)
+(* Pretty-printing for mismatch witnesses.                             *)
+
+let rec value_str = function
+  | Value.VBool b -> string_of_bool b
+  | Value.VInt i -> Int32.to_string i
+  | Value.VFloat f -> Printf.sprintf "%g" f
+  | Value.VComposite xs ->
+      let parts = Array.to_list (Array.map value_str xs) in
+      "{" ^ String.concat "," parts ^ "}"
+
+let to_string n =
+  let buf = Buffer.create 64 in
+  let rec go depth n =
+    if depth > 6 then Buffer.add_string buf "..."
+    else
+      match n.desc with
+      | Const v -> Buffer.add_string buf (value_str v)
+      | Source s -> Buffer.add_string buf ("<" ^ s ^ ">")
+      | Dead -> Buffer.add_string buf "_|_"
+      | App (tag, args) ->
+          Buffer.add_string buf tag;
+          Buffer.add_char buf '(';
+          List.iteri
+            (fun i a ->
+              if i > 0 then Buffer.add_char buf ',';
+              go (depth + 1) a)
+            args;
+          Buffer.add_char buf ')'
+      | Extract (base, path) ->
+          Buffer.add_string buf ("extract[" ^ path_key path ^ "](");
+          go (depth + 1) base;
+          Buffer.add_char buf ')'
+      | Insert (v, base, path) ->
+          Buffer.add_string buf ("insert[" ^ path_key path ^ "](");
+          go (depth + 1) v;
+          Buffer.add_string buf " into ";
+          go (depth + 1) base;
+          Buffer.add_char buf ')'
+  in
+  go 0 n;
+  Buffer.contents buf
+
+(* ------------------------------------------------------------------ *)
+(* The symbolic evaluator.                                             *)
+
+(* Memory roots: a global variable or one function-local allocation site
+   instance.  Roots never appear inside nodes — only as keys of the
+   symbolic store — so their serials need not align across modules. *)
+module Root = struct
+  type t = Rglobal of Id.t | Rlocal of int
+
+  let compare = Stdlib.compare
+end
+
+module RootMap = Map.Make (Root)
+
+type sptr = { base : Root.t; rpath : int list (* reversed, as in Interp *) }
+type rv = Rnode of node | Rptr of sptr
+
+(* Everything observable at a function exit: the composed kill condition,
+   the return value (Dead for void / killed paths) and the store. *)
+type fexit = { x_kill : node; x_ret : node; x_mem : node RootMap.t }
+
+type menv = {
+  m : Module_ir.t;
+  avail : (Id.t, Dataflow.Availability.t) Hashtbl.t;
+  globals : rv Id.Map.t;
+}
+
+let availability_for me (f : Func.t) =
+  match Hashtbl.find_opt me.avail f.Func.id with
+  | Some a -> a
+  | None ->
+      let a = Dataflow.Availability.make me.m f in
+      Hashtbl.add me.avail f.Func.id a;
+      a
+
+let lookup ctx me env id =
+  match Id.Map.find_opt id env with
+  | Some rv -> rv
+  | None -> (
+      match Id.Map.find_opt id me.globals with
+      | Some rv -> rv
+      | None -> (
+          match Module_ir.find_constant me.m id with
+          | Some _ -> Rnode (const ctx (Module_ir.const_value me.m id))
+          | None -> abstain "unbound id %s" (Id.to_string id)))
+
+let lookup_val ctx me env id =
+  match lookup ctx me env id with
+  | Rnode n -> n
+  | Rptr _ -> abstain "id %s is a pointer where a value was expected" (Id.to_string id)
+
+let lookup_ptr ctx me env id =
+  match lookup ctx me env id with
+  | Rptr p -> p
+  | Rnode _ -> abstain "id %s is a value where a pointer was expected" (Id.to_string id)
+
+let mem_find mem base =
+  match RootMap.find_opt base mem with
+  | Some n -> n
+  | None -> abstain "load from an unallocated root"
+
+let max_call_depth = 64
+
+let rec eval_function ctx me ~depth (f : Func.t) (args : rv list) mem : fexit =
+  if depth > max_call_depth then abstain "call depth exceeded in %s" f.Func.name;
+  let env =
+    try
+      List.fold_left2
+        (fun env (p : Func.param) a -> Id.Map.add p.Func.param_id a env)
+        Id.Map.empty f.Func.params args
+    with Invalid_argument _ -> abstain "arity mismatch calling %s" f.Func.name
+  in
+  eval_block ctx me ~depth f env ~pred:None mem (Func.entry_block f)
+
+and eval_block ctx me ~depth f env ~pred mem (b : Block.t) : fexit =
+  ctx.visits <- ctx.visits + 1;
+  if ctx.visits > ctx.max_visits then
+    abstain "evaluation budget exhausted (%d block visits)" ctx.max_visits;
+  let phi_instrs, rest =
+    let rec split acc = function
+      | (i : Instr.t) :: tl when Instr.is_phi i -> split (i :: acc) tl
+      | tl -> (List.rev acc, tl)
+    in
+    split [] b.Block.instrs
+  in
+  (* φs are evaluated simultaneously against the edge environment. *)
+  let env =
+    match pred with
+    | None ->
+        if phi_instrs <> [] then
+          abstain "phi in entry block %s" (Id.to_string b.Block.label);
+        env
+    | Some pred_label ->
+        let bindings =
+          List.map
+            (fun (i : Instr.t) ->
+              match (i.Instr.result, i.Instr.op) with
+              | Some r, Instr.Phi incoming -> (
+                  match
+                    List.find_opt
+                      (fun (_, blk) -> Id.equal blk pred_label)
+                      incoming
+                  with
+                  | Some (v, _) -> (r, lookup ctx me env v)
+                  | None ->
+                      abstain "phi %s lacks an entry for predecessor %s"
+                        (Id.to_string r) (Id.to_string pred_label))
+              | _ -> abstain "malformed phi")
+            phi_instrs
+        in
+        List.fold_left (fun env (r, v) -> Id.Map.add r v env) env bindings
+  in
+  eval_instrs ctx me ~depth f env mem b rest
+
+and eval_instrs ctx me ~depth f env mem b = function
+  | [] -> eval_terminator ctx me ~depth f env mem b
+  | (i : Instr.t) :: tl -> (
+      let continue_with env mem = eval_instrs ctx me ~depth f env mem b tl in
+      let bind r rv = Id.Map.add r rv env in
+      match (i.Instr.result, i.Instr.op) with
+      | _, Instr.Nop -> continue_with env mem
+      | None, Instr.Store (p, v) ->
+          let ptr = lookup_ptr ctx me env p in
+          let cur = mem_find mem ptr.base in
+          let updated =
+            sym_update ctx cur (List.rev ptr.rpath) (lookup_val ctx me env v)
+          in
+          continue_with env (RootMap.add ptr.base updated mem)
+      | Some r, Instr.Binop (op, a, c) ->
+          continue_with
+            (bind r
+               (Rnode
+                  (binop ctx op (lookup_val ctx me env a)
+                     (lookup_val ctx me env c))))
+            mem
+      | Some r, Instr.Unop (op, a) ->
+          continue_with
+            (bind r (Rnode (unop ctx op (lookup_val ctx me env a))))
+            mem
+      | Some r, Instr.Select (c, tv, fv) -> (
+          let cn = lookup_val ctx me env c in
+          match cn.desc with
+          | Const (Value.VBool cond) ->
+              continue_with
+                (bind r (lookup ctx me env (if cond then tv else fv)))
+                mem
+          | Const _ -> abstain "select condition is not a bool"
+          | _ -> (
+              match (lookup ctx me env tv, lookup ctx me env fv) with
+              | Rnode tn, Rnode fn ->
+                  continue_with (bind r (Rnode (ite ctx cn tn fn))) mem
+              | _ -> abstain "pointer select on a symbolic condition"))
+      | Some r, Instr.CompositeConstruct parts ->
+          continue_with
+            (bind r
+               (Rnode (construct ctx (List.map (lookup_val ctx me env) parts))))
+            mem
+      | Some r, Instr.CompositeExtract (c, path) ->
+          continue_with
+            (bind r (Rnode (extract ctx (lookup_val ctx me env c) path)))
+            mem
+      | Some r, Instr.CompositeInsert (obj, c, path) ->
+          continue_with
+            (bind r
+               (Rnode
+                  (sym_update ctx
+                     (lookup_val ctx me env c)
+                     path
+                     (lookup_val ctx me env obj))))
+            mem
+      | Some r, Instr.Load p ->
+          let ptr = lookup_ptr ctx me env p in
+          let cur = mem_find mem ptr.base in
+          continue_with
+            (bind r (Rnode (extract ctx cur (List.rev ptr.rpath))))
+            mem
+      | Some r, Instr.AccessChain (base, idxs) ->
+          let ptr = lookup_ptr ctx me env base in
+          let path =
+            List.map
+              (fun idx ->
+                match (lookup_val ctx me env idx).desc with
+                | Const (Value.VInt i) -> Int32.to_int i
+                | Const _ -> abstain "non-integer index in access chain"
+                | _ -> abstain "dynamic access-chain index")
+              idxs
+          in
+          continue_with
+            (bind r (Rptr { ptr with rpath = List.rev_append path ptr.rpath }))
+            mem
+      | res, Instr.FunctionCall (callee, args) -> (
+          let g =
+            match Module_ir.find_function me.m callee with
+            | Some g -> g
+            | None -> abstain "call to unknown function %s" (Id.to_string callee)
+          in
+          let arg_values = List.map (lookup ctx me env) args in
+          let sub = eval_function ctx me ~depth:(depth + 1) g arg_values mem in
+          if is_const_true sub.x_kill then
+            (* the callee always kills: the rest of this function never
+               executes *)
+            { x_kill = sub.x_kill; x_ret = dead ctx; x_mem = sub.x_mem }
+          else
+            let env =
+              match res with
+              | Some r ->
+                  let ret =
+                    if is_dead sub.x_ret then const ctx (Value.VComposite [||])
+                    else sub.x_ret
+                  in
+                  bind r (Rnode ret)
+              | None -> env
+            in
+            let rest = eval_instrs ctx me ~depth f env sub.x_mem b tl in
+            match rest with
+            | { x_kill; x_ret; x_mem } ->
+                {
+                  x_kill = binop ctx Instr.LogicalOr sub.x_kill x_kill;
+                  x_ret;
+                  x_mem;
+                })
+      | Some _, Instr.Phi _ -> abstain "phi after non-phi instruction"
+      | Some r, Instr.CopyObject x ->
+          continue_with (bind r (lookup ctx me env x)) mem
+      | Some r, Instr.Variable Ty.Function -> (
+          match i.Instr.ty with
+          | Some ptr_ty -> (
+              match Module_ir.find_type me.m ptr_ty with
+              | Some (Ty.Pointer (_, pointee)) ->
+                  let serial = ctx.local_serial in
+                  ctx.local_serial <- serial + 1;
+                  let root = Root.Rlocal serial in
+                  let mem =
+                    RootMap.add root
+                      (const ctx (Module_ir.zero_value me.m pointee))
+                      mem
+                  in
+                  continue_with (bind r (Rptr { base = root; rpath = [] })) mem
+              | Some _ | None ->
+                  abstain "variable %s has non-pointer type" (Id.to_string r))
+          | None -> abstain "variable without a type")
+      | Some _, Instr.Variable _ ->
+          abstain "function-scope variable with bad storage class"
+      | Some r, Instr.Undef -> (
+          match i.Instr.ty with
+          | Some ty ->
+              continue_with
+                (bind r (Rnode (const ctx (Module_ir.zero_value me.m ty))))
+                mem
+          | None -> abstain "undef without a type")
+      | None, _ -> abstain "instruction missing a result id"
+      | Some _, Instr.Store _ -> abstain "store with a result id")
+
+and eval_terminator ctx me ~depth f env mem (b : Block.t) : fexit =
+  let follow target =
+    eval_block ctx me ~depth f env ~pred:(Some b.Block.label) mem
+      (Func.block_exn f target)
+  in
+  match b.Block.terminator with
+  | Block.Return -> { x_kill = cbool ctx false; x_ret = dead ctx; x_mem = mem }
+  | Block.ReturnValue v ->
+      { x_kill = cbool ctx false; x_ret = lookup_val ctx me env v; x_mem = mem }
+  | Block.Kill -> { x_kill = cbool ctx true; x_ret = dead ctx; x_mem = mem }
+  | Block.Unreachable ->
+      abstain "reached OpUnreachable in %s" (Id.to_string b.Block.label)
+  | Block.Branch target -> follow target
+  | Block.BranchConditional (c, t, fl) -> (
+      if Id.equal t fl then follow t
+      else
+        let cn = lookup_val ctx me env c in
+        match cn.desc with
+        | Const (Value.VBool cond) ->
+            (* concrete edge: this is what unrolls counted loops *)
+            follow (if cond then t else fl)
+        | Const _ -> abstain "branch condition is not a bool"
+        | _ ->
+            let dom = Dataflow.Availability.dominance (availability_for me f) in
+            if
+              Dominance.dominates dom t b.Block.label
+              || Dominance.dominates dom fl b.Block.label
+            then
+              abstain "data-dependent back edge in %s at %s" f.Func.name
+                (Id.to_string b.Block.label)
+            else
+              (* fork: both arms run to function exit, then merge *)
+              let t_exit = follow t in
+              let f_exit = follow fl in
+              merge_exits ctx cn t_exit f_exit)
+
+and merge_exits ctx cn t_exit f_exit =
+  (* A killed arm's values are unobservable: substituting Dead lets the
+     select absorb them, so "store; kill" and "kill" summarize alike. *)
+  let t_killed = is_const_true t_exit.x_kill in
+  let f_killed = is_const_true f_exit.x_kill in
+  let masked killed n = if killed then dead ctx else n in
+  let x_kill = ite ctx cn t_exit.x_kill f_exit.x_kill in
+  let x_ret =
+    ite ctx cn (masked t_killed t_exit.x_ret) (masked f_killed f_exit.x_ret)
+  in
+  let x_mem =
+    RootMap.merge
+      (fun _root a b ->
+        match (a, b) with
+        | Some a, Some b ->
+            Some (ite ctx cn (masked t_killed a) (masked f_killed b))
+        | Some a, None -> Some a
+        | None, Some b -> Some b
+        | None, None -> None)
+      t_exit.x_mem f_exit.x_mem
+  in
+  { x_kill; x_ret; x_mem }
+
+(* ------------------------------------------------------------------ *)
+(* Whole-module summaries.                                             *)
+
+type summary = { s_kill : node; s_out : node }
+
+let init_globals ctx (m : Module_ir.t) =
+  List.fold_left
+    (fun (gmap, mem) (g : Module_ir.global_decl) ->
+      let sc, pointee =
+        match Module_ir.find_type m g.Module_ir.gd_ty with
+        | Some (Ty.Pointer (sc, p)) -> (sc, p)
+        | Some _ | None ->
+            abstain "global %s has a non-pointer type" g.Module_ir.gd_name
+      in
+      let initial =
+        match sc with
+        | Ty.Uniform -> source ctx ("uniform:" ^ g.Module_ir.gd_name)
+        | Ty.Input -> source ctx "frag-coord"
+        | Ty.Private | Ty.Output | Ty.Function -> (
+            match g.Module_ir.gd_init with
+            | Some c -> const ctx (Module_ir.const_value m c)
+            | None -> const ctx (Module_ir.zero_value m pointee))
+      in
+      ( Id.Map.add g.Module_ir.gd_id
+          (Rptr { base = Root.Rglobal g.Module_ir.gd_id; rpath = [] })
+          gmap,
+        RootMap.add (Root.Rglobal g.Module_ir.gd_id) initial mem ))
+    (Id.Map.empty, RootMap.empty) m.Module_ir.globals
+
+let summarize ctx (m : Module_ir.t) =
+  let globals, mem = init_globals ctx m in
+  let me = { m; avail = Hashtbl.create 8; globals } in
+  let entry = Module_ir.entry_function m in
+  let ex = eval_function ctx me ~depth:0 entry [] mem in
+  let s_out =
+    let output_global =
+      List.find_opt
+        (fun (g : Module_ir.global_decl) ->
+          match Module_ir.find_type m g.Module_ir.gd_ty with
+          | Some (Ty.Pointer (Ty.Output, _)) -> true
+          | Some _ | None -> false)
+        m.Module_ir.globals
+    in
+    match output_global with
+    | Some g -> (
+        match RootMap.find_opt (Root.Rglobal g.Module_ir.gd_id) ex.x_mem with
+        | Some n -> n
+        | None -> abstain "output global missing from the store summary")
+    | None -> const ctx (Value.VComposite [||])
+  in
+  { s_kill = ex.x_kill; s_out }

@@ -1,0 +1,61 @@
+(** Symbolic values: a hash-consed, normalized expression DAG over one
+    module's SSA value graph, and a symbolic evaluator that canonicalizes a
+    whole module into a {e summary} — the symbolic kill condition and the
+    symbolic value left in the output global.
+
+    Two modules with equal summaries (node identity — hash-consing makes
+    semantic equality after normalization a pointer comparison) render the
+    same image on {e every} input, so the translation validator ({!Tv} in
+    the compilers library) can compare a pass's input and output without
+    picking a fragment grid.  The evaluator is {e path-sensitive}: constant
+    branch conditions are followed concretely (which unrolls the
+    generator's counted loops exactly), symbolic conditions fork both arms
+    to function exit and merge them with [select] nodes.
+
+    Soundness discipline: whenever the evaluator cannot prove what a
+    construct denotes — a data-dependent back edge, a dynamic access-chain
+    index, a pointer-valued select on a symbolic condition, an exhausted
+    budget — it raises {!Abstain} rather than guessing.  Callers must
+    never report an abstention as a bug.
+
+    Reachability and dominance come from the shared
+    {!Dataflow.Availability} analysis (CI greps enforce that this module
+    neither rebuilds a CFG nor calls [Dominance.compute] itself). *)
+
+exception Abstain of string
+(** The construct named in the payload is beyond the analysis. *)
+
+type node
+(** A hash-consed symbolic value.  Within one {!ctx}, structural equality
+    after normalization coincides with {!equal_node}. *)
+
+type ctx
+(** Hash-consing arena and evaluation budgets.  Summaries are only
+    comparable when built in the {e same} context. *)
+
+val create : ?max_visits:int -> ?max_nodes:int -> unit -> ctx
+(** [max_visits] bounds block visits across all [summarize] calls on the
+    context (loop unrolling and branch forking both consume it);
+    [max_nodes] bounds distinct DAG nodes.  Exhaustion raises {!Abstain}. *)
+
+val node_count : ctx -> int
+(** Distinct nodes interned so far — a measure of summary sharing. *)
+
+type summary = {
+  s_kill : node;  (** symbolic "fragment was killed" condition *)
+  s_out : node;   (** final symbolic value of the first Output global *)
+}
+
+val summarize : ctx -> Module_ir.t -> summary
+(** Evaluate the entry function against symbolic inputs (uniforms and the
+    fragment coordinate become opaque sources, exactly one per name, so
+    they meet across modules).
+    @raise Abstain when any reached construct is beyond the analysis. *)
+
+val equal_node : node -> node -> bool
+(** Semantic equality of two nodes from the same context. *)
+
+val is_const_true : node -> bool
+
+val to_string : node -> string
+(** Depth-limited rendering for mismatch witnesses. *)

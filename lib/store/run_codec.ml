@@ -155,6 +155,44 @@ let decode_run (s : string) : Compilers.Backend.run_result option =
     | [] -> None
 
 (* ------------------------------------------------------------------ *)
+(* Translation-validation verdicts *)
+
+let encode_verdict (v : Compilers.Tv.verdict) : string =
+  match v with
+  | Compilers.Tv.Equivalent -> "equivalent"
+  | Compilers.Tv.Mismatch w ->
+      Printf.sprintf "mismatch %S %S %S" w.Compilers.Tv.w_slot
+        w.Compilers.Tv.w_before w.Compilers.Tv.w_after
+  | Compilers.Tv.Abstained r -> Printf.sprintf "abstained %S" r
+
+let decode_verdict (s : string) : Compilers.Tv.verdict option =
+  if String.equal s "equivalent" then Some Compilers.Tv.Equivalent
+  else if String.length s >= 9 && String.equal (String.sub s 0 9) "mismatch " then
+    match
+      Scanf.sscanf
+        (String.sub s 9 (String.length s - 9))
+        "%S %S %S%!"
+        (fun slot before after -> (slot, before, after))
+    with
+    | slot, before, after ->
+        Some
+          (Compilers.Tv.Mismatch
+             {
+               Compilers.Tv.w_slot = slot;
+               Compilers.Tv.w_before = before;
+               Compilers.Tv.w_after = after;
+             })
+    | exception _ -> None
+  else if String.length s >= 10 && String.equal (String.sub s 0 10) "abstained "
+  then
+    match
+      Scanf.sscanf (String.sub s 10 (String.length s - 10)) "%S%!" Fun.id
+    with
+    | r -> Some (Compilers.Tv.Abstained r)
+    | exception _ -> None
+  else None
+
+(* ------------------------------------------------------------------ *)
 (* Modules *)
 
 let encode_module (m : Module_ir.t) : string = Disasm.to_string m

@@ -16,6 +16,11 @@ val decode_run : string -> Compilers.Backend.run_result option
 val encode_module : Module_ir.t -> string
 val decode_module : string -> Module_ir.t option
 
+val encode_verdict : Compilers.Tv.verdict -> string
+val decode_verdict : string -> Compilers.Tv.verdict option
+(** Translation-validation verdicts, persisted by the engine keyed on the
+    (before, after) module digest pair. *)
+
 val value_to_string : Value.t -> string
 (** Exposed for property tests. *)
 

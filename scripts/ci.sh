@@ -30,16 +30,33 @@ if grep -n "Dominance\.compute" lib/spirv_ir/*.ml lib/compilers/*.ml \
        "consume the shared Availability analysis instead" >&2
   exit 1
 fi
-for f in lib/spirv_ir/validate.ml lib/spirv_ir/lint.ml lib/spirv_ir/analysis.ml; do
+for f in lib/spirv_ir/validate.ml lib/spirv_ir/lint.ml lib/spirv_ir/analysis.ml \
+         lib/spirv_ir/symval.ml; do
   if grep -n "Cfg\.of_func" "$f"; then
     echo "CI: $f derives its own CFG — consume Dataflow.Availability" >&2
     exit 1
   fi
 done
 
+# the symbolic evaluator must build on the shared dataflow layer (its
+# dominance facts gate the back-edge abstention), not roll its own
+if ! grep -q "Dataflow\.Availability" lib/spirv_ir/symval.ml; then
+  echo "CI: Symval no longer consumes Spirv_ir.Dataflow.Availability —" \
+       "the translation validator must build on the shared analyses" >&2
+  exit 1
+fi
+
 # lint gate: every shipped corpus module must be free of lint errors
 # (warnings are allowed; the exit code is 1 only on errors)
 ./_build/default/bin/tbct_cli.exe lint --all
+
+# translation-validation gate: every corpus module must validate cleanly
+# through every target's pipeline — zero Mismatch verdicts (exit 1 on any);
+# abstentions are allowed but never count as bugs
+for target in AMD-LLPC Mesa Mesa-Old NVIDIA Pixel-5 Pixel-4 spirv-opt \
+              spirv-opt-old SwiftShader; do
+  ./_build/default/bin/tbct_cli.exe tv --all --target "$target" > /dev/null
+done
 
 # contract-checked campaign smoke: a short run with the transformation
 # contract checker on; any breach raises a Violation (exit code 2)

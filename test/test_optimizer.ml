@@ -352,10 +352,11 @@ let test_run_checked_clean () =
           Alcotest.(check bool)
             (name ^ ": checked run produces the same module") true
             (Module_ir.equal m' plain)
-      | Error (pass, detail) ->
+      | Error ((pass, detail) :: _) ->
           Alcotest.failf "%s: clean pipeline flagged at %s: %s" name
             (Compilers.Optimizer.show_pass_name pass)
-            detail)
+            detail
+      | Error [] -> Alcotest.failf "%s: empty failure list" name)
     (Lazy.force Corpus.lowered_references)
 
 (* the stale-phi optimizer bug leaves a phi entry for a deleted block; the
@@ -395,13 +396,15 @@ let test_run_checked_catches_stale_phi () =
        [ Compilers.Optimizer.Simplify_cfg ] m
    with
   | Ok _ -> Alcotest.fail "stale-phi bug not caught"
-  | Error (pass, _) ->
+  | Error [] -> Alcotest.fail "empty failure list"
+  | Error ((pass, _) :: _) ->
       Alcotest.(check bool) "flagged at simplify_cfg" true
         (Compilers.Optimizer.equal_pass_name pass Compilers.Optimizer.Simplify_cfg));
   (* the same pipeline without the bug passes the checks *)
   match Compilers.Optimizer.run_checked [ Compilers.Optimizer.Simplify_cfg ] m with
   | Ok _ -> ()
-  | Error (pass, detail) ->
+  | Error [] -> Alcotest.fail "empty failure list"
+  | Error ((pass, detail) :: _) ->
       Alcotest.failf "clean simplify_cfg flagged: %s: %s"
         (Compilers.Optimizer.show_pass_name pass)
         detail

@@ -132,6 +132,39 @@ let test_module_codec_roundtrip () =
             (Spirv_ir.Digest.of_module m'))
     (Lazy.force Corpus.lowered_references)
 
+let test_verdict_codec_roundtrip () =
+  let verdicts =
+    [
+      Compilers.Tv.Equivalent;
+      Compilers.Tv.Mismatch
+        {
+          Compilers.Tv.w_slot = "output";
+          w_before = "construct(OpFSub(x,0),1)";
+          w_after = "{0,1}";
+        };
+      Compilers.Tv.Mismatch
+        { Compilers.Tv.w_slot = "kill"; w_before = "false"; w_after = "\"\t\n" };
+      Compilers.Tv.Abstained "data-dependent back edge";
+      Compilers.Tv.Abstained "";
+    ]
+  in
+  List.iter
+    (fun v ->
+      match Run_codec.decode_verdict (Run_codec.encode_verdict v) with
+      | Some v' ->
+          Alcotest.(check bool)
+            ("verdict round-trips: " ^ Compilers.Tv.verdict_to_string v)
+            true
+            (Compilers.Tv.equal_verdict v v')
+      | None ->
+          Alcotest.failf "verdict failed to decode: %s"
+            (Compilers.Tv.verdict_to_string v))
+    verdicts;
+  Alcotest.(check bool) "garbage decodes to None" true
+    (Run_codec.decode_verdict "not a verdict" = None);
+  Alcotest.(check bool) "truncated mismatch decodes to None" true
+    (Run_codec.decode_verdict "mismatch \"output\" \"a\"" = None)
+
 (* ------------------------------------------------------------------ *)
 (* Cas *)
 
@@ -393,6 +426,40 @@ let test_engine_store_shares_runs_and_opts () =
   Alcotest.(check bool) "disk-served results identical" true
     (r1 = r2 && o1 = o2)
 
+let test_engine_tv_memoized () =
+  let dir = fresh_dir () in
+  let m = Lazy.force gradient in
+  let m' =
+    match Compilers.Optimizer.optimize m with
+    | Ok m' -> m'
+    | Error e -> Alcotest.failf "optimize failed: %s" e
+  in
+  let e1 = Harness.Engine.create ~store:(Harness.Persist.open_cas ~dir ()) () in
+  let v1 = Harness.Engine.tv_check e1 ~before:m ~after:m' in
+  let v2 = Harness.Engine.tv_check e1 ~before:m ~after:m' in
+  Alcotest.(check bool) "memoized verdict identical" true
+    (Compilers.Tv.equal_verdict v1 v2);
+  let s1 = Harness.Engine.stats e1 in
+  Alcotest.(check int) "two checks requested" 2 s1.Harness.Engine.tv_checks;
+  Alcotest.(check int) "second served from the memory memo" 1
+    s1.Harness.Engine.tv_hits;
+  (* identical digests short-circuit without validating *)
+  let v_same = Harness.Engine.tv_check e1 ~before:m ~after:m in
+  Alcotest.(check bool) "equal digests are trivially Equivalent" true
+    (Compilers.Tv.equal_verdict v_same Compilers.Tv.Equivalent);
+  Alcotest.(check int) "fast path counted as a hit" 2
+    (Harness.Engine.stats e1).Harness.Engine.tv_hits;
+  (* a fresh engine on the same store serves the verdict from disk *)
+  let e2 = Harness.Engine.create ~store:(Harness.Persist.open_cas ~dir ()) () in
+  let v3 = Harness.Engine.tv_check e2 ~before:m ~after:m' in
+  Alcotest.(check bool) "disk-served verdict identical" true
+    (Compilers.Tv.equal_verdict v1 v3);
+  let s2 = Harness.Engine.stats e2 in
+  Alcotest.(check int) "warm engine served the verdict from the CAS" 1
+    s2.Harness.Engine.tv_hits;
+  Alcotest.(check bool) "no symbolic validation billed on the warm engine" true
+    (List.assoc_opt "tv" s2.Harness.Engine.stages = None)
+
 (* ------------------------------------------------------------------ *)
 (* Campaign persistence: kill and resume *)
 
@@ -452,6 +519,47 @@ let test_campaign_resume_after_corruption () =
   Alcotest.(check bool) "resumed hit list is bit-identical" true
     (o1.Harness.Persist.hits = o0.Harness.Persist.hits)
 
+(* extending a finished campaign: resume at a larger scale replays the
+   recorded seeds and computes only the new ones, bit-identically to a
+   fresh run at the larger scale *)
+let test_campaign_resume_extends () =
+  let small = { scale with Harness.Experiments.seeds = 6 } in
+  let dir = fresh_dir () in
+  let o0 =
+    outcome_or_fail (Harness.Persist.run_campaign ~scale:small ~dir tool)
+  in
+  Alcotest.(check (option int)) "fresh campaign is not an extension" None
+    o0.Harness.Persist.extended_from;
+  (* grow 0..5 to 0..13 *)
+  let o1 =
+    outcome_or_fail
+      (Harness.Persist.run_campaign ~scale ~resume:true ~dir tool)
+  in
+  Alcotest.(check (option int)) "extension recorded" (Some 6)
+    o1.Harness.Persist.extended_from;
+  Alcotest.(check int) "all recorded seeds replayed" 6
+    o1.Harness.Persist.seeds_skipped;
+  Alcotest.(check int) "only the new seeds executed" 8
+    o1.Harness.Persist.seeds_run;
+  let fresh =
+    outcome_or_fail
+      (Harness.Persist.run_campaign ~scale ~dir:(fresh_dir ()) tool)
+  in
+  Alcotest.(check bool) "extended hit list bit-identical to a fresh run" true
+    (o1.Harness.Persist.hits = fresh.Harness.Persist.hits);
+  (* the journal now self-describes the new extent: a further resume at the
+     same scale recomputes nothing and is no longer an extension *)
+  let o2 =
+    outcome_or_fail
+      (Harness.Persist.run_campaign ~scale ~resume:true ~dir tool)
+  in
+  Alcotest.(check int) "nothing re-run after the extension" 0
+    o2.Harness.Persist.seeds_run;
+  Alcotest.(check (option int)) "same scale is not an extension" None
+    o2.Harness.Persist.extended_from;
+  Alcotest.(check bool) "still bit-identical" true
+    (o2.Harness.Persist.hits = fresh.Harness.Persist.hits)
+
 let test_campaign_resume_refuses_other_tool () =
   let dir = fresh_dir () in
   ignore (run_persisted dir);
@@ -486,6 +594,8 @@ let () =
               test_run_codec_rejects_corruption;
             Alcotest.test_case "module round trip" `Quick
               test_module_codec_roundtrip;
+            Alcotest.test_case "verdict round trip" `Quick
+              test_verdict_codec_roundtrip;
           ] );
       ( "cas",
         qcheck [ qcheck_cas_roundtrip ]
@@ -525,6 +635,8 @@ let () =
             test_engine_optimize_memoized;
           Alcotest.test_case "disk store shared across engines" `Quick
             test_engine_store_shares_runs_and_opts;
+          Alcotest.test_case "tv verdicts memoized (memory + disk)" `Quick
+            test_engine_tv_memoized;
         ] );
       ( "resume",
         [
@@ -536,5 +648,7 @@ let () =
             test_campaign_resume_after_corruption;
           Alcotest.test_case "resume refuses another tool" `Quick
             test_campaign_resume_refuses_other_tool;
+          Alcotest.test_case "resume extends a finished campaign" `Slow
+            test_campaign_resume_extends;
         ] );
     ]

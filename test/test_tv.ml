@@ -1,0 +1,435 @@
+(* Tests for the translation validator (Symval + Tv + Optimizer.run_tv):
+   zero false positives on clean-flag runs over the corpus and fuzzed
+   variants, correct per-pass blame for the TV-visible injected
+   miscompilation bugs, and per-target attribution of every optimizer-hosted
+   bug to its documented pass. *)
+
+open Spirv_ir
+
+let std = Compilers.Optimizer.standard
+let clean = Compilers.Passes.no_bugs
+
+let pass_t =
+  Alcotest.testable Compilers.Optimizer.pp_pass_name
+    Compilers.Optimizer.equal_pass_name
+
+(* ------------------------------------------------------------------ *)
+(* Trigger modules: the smallest shapes each injected optimizer bug
+   fires on *)
+
+let mk_module build =
+  let b = Builder.create () in
+  let void_t = Builder.void_ty b in
+  let out = Builder.output_color b in
+  let fb, main, _ = Builder.begin_function b ~name:"main" ~ret:void_t ~params:[] in
+  let l = Builder.new_label fb in
+  Builder.start_block fb l;
+  let result = build b fb in
+  let one = Builder.cfloat b 1.0 in
+  let color = Builder.composite fb ~ty:(Builder.vec4f b) [ result; one; one; one ] in
+  Builder.store fb out color;
+  Builder.ret fb;
+  ignore (Builder.end_function fb);
+  let m = Builder.finish b ~entry:main in
+  (match Validate.check m with
+  | Ok () -> ()
+  | Error (e :: _) ->
+      Alcotest.failf "crafted module invalid: %s" (Validate.error_to_string e)
+  | Error [] -> Alcotest.fail "invalid");
+  m
+
+(* a dynamic x - 0.0: bug_fold_sub_zero rewrites it to 0.0 *)
+let sub_zero_trigger () =
+  mk_module (fun b fb ->
+      let frag = Builder.load fb (Builder.frag_coord b) in
+      let x = Builder.extract fb frag [ 0 ] in
+      Builder.fsub fb x (Builder.cfloat b 0.0))
+
+(* a call with two same-typed constant arguments:
+   bug_inline_swaps_const_args swaps them while inlining *)
+let inline_swap_trigger () =
+  let b = Builder.create () in
+  let void_t = Builder.void_ty b in
+  let float_t = Builder.float_ty b in
+  let out = Builder.output_color b in
+  let hb, h, params =
+    Builder.begin_function b ~name:"h" ~ret:float_t ~params:[ float_t; float_t ]
+  in
+  let lh = Builder.new_label hb in
+  Builder.start_block hb lh;
+  (match params with
+  | [ p0; p1 ] -> Builder.ret_value hb (Builder.fsub hb p0 p1)
+  | _ -> assert false);
+  ignore (Builder.end_function hb);
+  let fb, main, _ = Builder.begin_function b ~name:"main" ~ret:void_t ~params:[] in
+  let l0 = Builder.new_label fb in
+  Builder.start_block fb l0;
+  let v = Builder.call fb h [ Builder.cfloat b 0.25; Builder.cfloat b 0.75 ] in
+  let one = Builder.cfloat b 1.0 in
+  let color = Builder.composite fb ~ty:(Builder.vec4f b) [ v; one; one; one ] in
+  Builder.store fb out color;
+  Builder.ret fb;
+  ignore (Builder.end_function fb);
+  let m = Builder.finish b ~entry:main in
+  (match Validate.check m with
+  | Ok () -> ()
+  | Error _ -> Alcotest.fail "inline-swap trigger invalid");
+  m
+
+(* an integer division by constant zero: bug_fold_div_crash crashes on it;
+   the clean folder's total semantics folds it to 0 *)
+let div_zero_trigger () =
+  mk_module (fun b fb ->
+      let q = Builder.sdiv fb (Builder.cint b 7) (Builder.cint b 0) in
+      let c = Builder.ieq fb q (Builder.cint b 1) in
+      Builder.select fb c (Builder.cfloat b 0.0) (Builder.cfloat b 1.0))
+
+(* a constant branch into a join φ: bug_keep_stale_phi_entries leaves the
+   untaken predecessor's φ entry behind — invalid IR *)
+let stale_phi_trigger () =
+  let b = Builder.create () in
+  let void_t = Builder.void_ty b in
+  let out = Builder.output_color b in
+  let fb, main, _ = Builder.begin_function b ~name:"main" ~ret:void_t ~params:[] in
+  let l0 = Builder.new_label fb in
+  let lt = Builder.new_label fb in
+  let le = Builder.new_label fb in
+  let lm = Builder.new_label fb in
+  Builder.start_block fb l0;
+  let c = Builder.cbool b true in
+  let one = Builder.cfloat b 1.0 in
+  let half = Builder.cfloat b 0.5 in
+  Builder.branch_cond fb c lt le;
+  Builder.start_block fb lt;
+  let vt = Builder.fadd fb one half in
+  Builder.branch fb lm;
+  Builder.start_block fb le;
+  let ve = Builder.fmul fb one half in
+  Builder.branch fb lm;
+  Builder.start_block fb lm;
+  let p = Builder.phi fb ~ty:(Builder.float_ty b) [ (vt, lt); (ve, le) ] in
+  let color = Builder.composite fb ~ty:(Builder.vec4f b) [ p; p; p; p ] in
+  Builder.store fb out color;
+  Builder.ret fb;
+  ignore (Builder.end_function fb);
+  Builder.finish b ~entry:main
+
+(* ------------------------------------------------------------------ *)
+(* Clean-flag runs: zero Mismatch (and, today, zero abstentions) *)
+
+let assert_clean ?(allow_abstain = false) name
+    (report : Compilers.Optimizer.tv_report) =
+  (match report.Compilers.Optimizer.tv_guilty with
+  | None -> ()
+  | Some p ->
+      Alcotest.failf "%s: clean pipeline blamed %s" name
+        (Compilers.Optimizer.show_pass_name p));
+  List.iter
+    (fun (p, v) ->
+      match v with
+      | Compilers.Tv.Mismatch w ->
+          Alcotest.failf "%s: false positive in %s: %s vs %s" name
+            (Compilers.Optimizer.show_pass_name p)
+            w.Compilers.Tv.w_before w.Compilers.Tv.w_after
+      | Compilers.Tv.Abstained r ->
+          (* abstention is always sound — but the corpus and generator
+             shapes are all within Symval's fragment, so for those a new
+             abstention is a precision regression worth failing loudly on.
+             Fuzzed variants may blow the evaluation budget legitimately. *)
+          if not allow_abstain then
+            Alcotest.failf "%s: %s abstained: %s" name
+              (Compilers.Optimizer.show_pass_name p)
+              r
+      | Compilers.Tv.Equivalent -> ())
+    report.Compilers.Optimizer.tv_steps
+
+let test_corpus_clean () =
+  List.iter
+    (fun (name, m) ->
+      match Compilers.Optimizer.run_tv std m with
+      | Ok report -> assert_clean name report
+      | Error e -> Alcotest.failf "%s: clean pipeline crashed: %s" name e)
+    (Lazy.force Corpus.lowered_references)
+
+(* the acceptance bar: >= 100 fuzzed/generated variants, zero Mismatch *)
+let test_generated_clean () =
+  for seed = 0 to 109 do
+    let m = Generator.generate (Tbct.Rng.make seed) in
+    match Compilers.Optimizer.run_tv std m with
+    | Ok report -> assert_clean (Printf.sprintf "generated seed %d" seed) report
+    | Error e -> Alcotest.failf "seed %d: clean pipeline crashed: %s" seed e
+  done
+
+let test_fuzzed_clean () =
+  for seed = 1 to 8 do
+    let m = Generator.generate (Tbct.Rng.make seed) in
+    let ctx = Spirv_fuzz.Context.make m Generator.default_input in
+    let result = Spirv_fuzz.Fuzzer.run ~seed:(seed * 13 + 1) ctx in
+    let variant = result.Spirv_fuzz.Fuzzer.final.Spirv_fuzz.Context.m in
+    match Compilers.Optimizer.run_tv std variant with
+    | Ok report ->
+        assert_clean ~allow_abstain:true
+          (Printf.sprintf "fuzzed seed %d" seed)
+          report
+    | Error e -> Alcotest.failf "fuzzed seed %d: crashed: %s" seed e
+  done
+
+(* ------------------------------------------------------------------ *)
+(* Blame: each TV-visible injected miscompilation is pinned on its pass *)
+
+let guilty_of name flags pipeline m =
+  match Compilers.Optimizer.run_tv ~flags pipeline m with
+  | Error e -> Alcotest.failf "%s: pipeline crashed: %s" name e
+  | Ok report -> report.Compilers.Optimizer.tv_guilty
+
+let test_blames_const_fold () =
+  let m = sub_zero_trigger () in
+  let buggy = { clean with Compilers.Passes.bug_fold_sub_zero = true } in
+  (match guilty_of "sub-zero" buggy std m with
+  | Some p -> Alcotest.check pass_t "guilty pass" Compilers.Optimizer.Const_fold p
+  | None -> Alcotest.fail "fold_sub_zero miscompilation not detected");
+  (* the same module with clean flags validates *)
+  Alcotest.(check bool) "clean run not blamed" true
+    (guilty_of "sub-zero clean" clean std m = None)
+
+let test_blames_inline () =
+  let m = inline_swap_trigger () in
+  let buggy = { clean with Compilers.Passes.bug_inline_swaps_const_args = true } in
+  (match guilty_of "inline-swap" buggy std m with
+  | Some p -> Alcotest.check pass_t "guilty pass" Compilers.Optimizer.Inline p
+  | None -> Alcotest.fail "inline_swaps_const_args miscompilation not detected");
+  Alcotest.(check bool) "clean run not blamed" true
+    (guilty_of "inline-swap clean" clean std m = None)
+
+(* every mismatch witness names a slot and both symbolic values *)
+let test_witness_shape () =
+  let m = sub_zero_trigger () in
+  let buggy = { clean with Compilers.Passes.bug_fold_sub_zero = true } in
+  match Compilers.Optimizer.run_tv ~flags:buggy std m with
+  | Error e -> Alcotest.failf "crashed: %s" e
+  | Ok report -> (
+      match
+        List.find_opt
+          (fun (_, v) -> match v with Compilers.Tv.Mismatch _ -> true | _ -> false)
+          report.Compilers.Optimizer.tv_steps
+      with
+      | Some (_, Compilers.Tv.Mismatch w) ->
+          Alcotest.(check string) "slot" "output" w.Compilers.Tv.w_slot;
+          Alcotest.(check bool) "witness values differ" false
+            (String.equal w.Compilers.Tv.w_before w.Compilers.Tv.w_after)
+      | _ -> Alcotest.fail "no mismatch step recorded")
+
+(* ------------------------------------------------------------------ *)
+(* Satellite: every target's optimizer-hosted bugs attribute to the
+   documented pass (and bug-free targets validate everything clean) *)
+
+let test_target_attribution () =
+  List.iter
+    (fun (t : Compilers.Target.t) ->
+      let name = t.Compilers.Target.name in
+      let flags = t.Compilers.Target.opt_flags in
+      let pipeline = t.Compilers.Target.pipeline in
+      (* bug_fold_sub_zero -> Const_fold (documented in Passes) *)
+      if flags.Compilers.Passes.bug_fold_sub_zero then
+        (match guilty_of name flags pipeline (sub_zero_trigger ()) with
+        | Some p -> Alcotest.check pass_t (name ^ ": sub-zero blame") Compilers.Optimizer.Const_fold p
+        | None -> Alcotest.failf "%s: fold_sub_zero not blamed" name);
+      (* bug_inline_swaps_const_args -> Inline *)
+      if flags.Compilers.Passes.bug_inline_swaps_const_args then
+        (match guilty_of name flags pipeline (inline_swap_trigger ()) with
+        | Some p -> Alcotest.check pass_t (name ^ ": inline blame") Compilers.Optimizer.Inline p
+        | None -> Alcotest.failf "%s: inline_swaps_const_args not blamed" name);
+      (* bug_fold_div_crash -> a crash attributed to Const_fold *)
+      if flags.Compilers.Passes.bug_fold_div_crash then
+        (match
+           Compilers.Optimizer.run_checked ~flags pipeline (div_zero_trigger ())
+         with
+        | Ok _ -> Alcotest.failf "%s: fold_div_crash did not fire" name
+        | Error [] -> Alcotest.failf "%s: empty failure list" name
+        | Error ((p, detail) :: _) ->
+            Alcotest.check pass_t (name ^ ": div-crash blame") Compilers.Optimizer.Const_fold p;
+            Alcotest.(check bool) (name ^ ": crash entry") true
+              (String.length detail >= 6 && String.sub detail 0 6 = "crash:"));
+      (* bug_keep_stale_phi_entries -> invalid IR out of Simplify_cfg *)
+      if flags.Compilers.Passes.bug_keep_stale_phi_entries then
+        (match
+           Compilers.Optimizer.run_checked ~flags
+             [ Compilers.Optimizer.Simplify_cfg ]
+             (stale_phi_trigger ())
+         with
+        | Ok _ -> Alcotest.failf "%s: stale-phi bug not caught" name
+        | Error [] -> Alcotest.failf "%s: empty failure list" name
+        | Error ((p, _) :: _) ->
+            Alcotest.check pass_t (name ^ ": stale-phi blame") Compilers.Optimizer.Simplify_cfg p);
+      (* bug-free optimizers validate both triggers clean: no false blame *)
+      if
+        flags = clean
+      then begin
+        Alcotest.(check bool) (name ^ ": sub-zero clean") true
+          (guilty_of name flags pipeline (sub_zero_trigger ()) = None);
+        Alcotest.(check bool) (name ^ ": inline clean") true
+          (guilty_of name flags pipeline (inline_swap_trigger ()) = None)
+      end)
+    Compilers.Target.all
+
+(* ------------------------------------------------------------------ *)
+(* Satellite: run_checked reports every failing pass, not the first *)
+
+let test_run_checked_reports_all_failures () =
+  let m = stale_phi_trigger () in
+  let buggy = { clean with Compilers.Passes.bug_keep_stale_phi_entries = true } in
+  match
+    Compilers.Optimizer.run_checked ~flags:buggy
+      [ Compilers.Optimizer.Simplify_cfg; Compilers.Optimizer.Dce ]
+      m
+  with
+  | Ok _ -> Alcotest.fail "stale-phi bug not caught"
+  | Error failures ->
+      Alcotest.(check bool) "more than one failing pass" true
+        (List.length failures >= 2);
+      (match failures with
+      | (p, _) :: _ ->
+          Alcotest.check pass_t "original culprit first" Compilers.Optimizer.Simplify_cfg p
+      | [] -> Alcotest.fail "empty");
+      (* every recorded pass is from the pipeline, in order *)
+      Alcotest.(check (list pass_t)) "downstream passes also flagged"
+        [ Compilers.Optimizer.Simplify_cfg; Compilers.Optimizer.Dce ]
+        (List.map fst failures)
+
+(* ------------------------------------------------------------------ *)
+(* TV-aware harness: the pipeline refines miscompilation signatures *)
+
+let test_pipeline_tv_detects_on_non_executing_target () =
+  (* a tooling-style target that cannot render but hosts the inline bug:
+     only the TV oracle can see the miscompilation *)
+  let t =
+    {
+      Compilers.Target.name = "tv-tooling";
+      version = "-";
+      gpu = Compilers.Target.Tooling;
+      pipeline = std;
+      opt_flags = { clean with Compilers.Passes.bug_inline_swaps_const_args = true };
+      crash_bug_ids = [];
+      miscompile_bug_ids = [];
+      executes = false;
+    }
+  in
+  let m = inline_swap_trigger () in
+  let engine = Harness.Engine.create () in
+  (match
+     Harness.Pipeline.run_variant ~tv:true engine t ~ref_name:"trigger"
+       ~original:m ~variant:m Corpus.default_input
+   with
+  | Some d ->
+      Alcotest.(check string) "pass-granular signature"
+        "miscompile:tv-tooling:Inline" d.Harness.Pipeline.signature;
+      Alcotest.(check bool) "is a miscompilation" true
+        (Harness.Signature.is_miscompilation d.Harness.Pipeline.signature);
+      Alcotest.(check (option string)) "blamed pass" (Some "Inline")
+        (Harness.Signature.blamed_pass d.Harness.Pipeline.signature)
+  | None -> Alcotest.fail "TV oracle missed the miscompilation");
+  (* without TV the non-executing target reports nothing *)
+  Alcotest.(check bool) "invisible without TV" true
+    (Harness.Pipeline.run_variant engine t ~ref_name:"trigger" ~original:m
+       ~variant:m Corpus.default_input
+    = None);
+  (* the TV interestingness test holds on the very module that witnessed it *)
+  let detection =
+    { Harness.Pipeline.signature = "miscompile:tv-tooling:Inline"; via_opt = false }
+  in
+  Alcotest.(check bool) "interesting on the witness" true
+    (Harness.Pipeline.interestingness engine t ~ref_name:"trigger" ~original:m
+       ~detection Corpus.default_input m Corpus.default_input);
+  Alcotest.(check bool) "not interesting on a clean module" false
+    (Harness.Pipeline.interestingness engine t ~ref_name:"trigger" ~original:m
+       ~detection Corpus.default_input (sub_zero_trigger ()) Corpus.default_input)
+
+let test_signature_helpers () =
+  let t = List.hd Compilers.Target.all in
+  let s =
+    Harness.Signature.miscompile ~target:t
+      ~pass:(Some Compilers.Optimizer.Const_fold)
+  in
+  Alcotest.(check string) "pass signature"
+    ("miscompile:" ^ t.Compilers.Target.name ^ ":Const_fold") s;
+  Alcotest.(check bool) "prefix-aware is_miscompilation" true
+    (Harness.Signature.is_miscompilation s);
+  Alcotest.(check bool) "legacy signature still recognised" true
+    (Harness.Signature.is_miscompilation Harness.Signature.miscompilation);
+  Alcotest.(check string) "ground-truth bug id" "miscompilation"
+    (Harness.Signature.bug_id_of_signature s);
+  let backend = Harness.Signature.miscompile ~target:t ~pass:None in
+  Alcotest.(check (option string)) "backend blame has no pass" None
+    (Harness.Signature.blamed_pass backend);
+  Alcotest.(check (option string)) "pass blame extracted" (Some "Const_fold")
+    (Harness.Signature.blamed_pass s)
+
+(* ------------------------------------------------------------------ *)
+(* QCheck: soundness on the adversarial corner — check_pass never
+   mismatches when the two modules are Interp-equivalent on the grid *)
+
+let tv_soundness_prop seed =
+  let m = Generator.generate (Tbct.Rng.make seed) in
+  let input = Generator.default_input in
+  let _final =
+    List.fold_left
+      (fun before p ->
+        let after = Compilers.Optimizer.run_pass clean before p in
+        (match Compilers.Tv.check_pass before after with
+        | Compilers.Tv.Mismatch w ->
+            (* only a genuine semantic divergence excuses a mismatch; a
+               clean pass is Interp-equivalent, so this is a false
+               positive *)
+            let equivalent =
+              match (Interp.render before input, Interp.render after input) with
+              | Ok a, Ok b -> Image.equal a b
+              | _ -> false
+            in
+            if equivalent then
+              QCheck.Test.fail_reportf
+                "seed %d: false positive in %s (%s slot): %s vs %s" seed
+                (Compilers.Optimizer.show_pass_name p)
+                w.Compilers.Tv.w_slot w.Compilers.Tv.w_before
+                w.Compilers.Tv.w_after
+        | Compilers.Tv.Equivalent | Compilers.Tv.Abstained _ ->
+            (* abstention is always allowed; only Mismatch needs excusing *)
+            ());
+        after)
+      m std
+  in
+  true
+
+let qcheck_tv_sound =
+  QCheck.Test.make ~count:40 ~name:"check_pass sound vs Interp on clean passes"
+    QCheck.(int_bound 1_000_000)
+    tv_soundness_prop
+
+(* ------------------------------------------------------------------ *)
+
+let () =
+  Alcotest.run "tv"
+    [
+      ( "clean",
+        [
+          Alcotest.test_case "corpus validates through -O" `Quick test_corpus_clean;
+          Alcotest.test_case "110 generated modules validate" `Slow test_generated_clean;
+          Alcotest.test_case "fuzzed variants validate" `Slow test_fuzzed_clean;
+        ] );
+      ( "blame",
+        [
+          Alcotest.test_case "fold_sub_zero blamed on Const_fold" `Quick test_blames_const_fold;
+          Alcotest.test_case "inline swap blamed on Inline" `Quick test_blames_inline;
+          Alcotest.test_case "mismatch witness names slot and values" `Quick test_witness_shape;
+          Alcotest.test_case "every target's bugs attribute to the documented pass" `Quick
+            test_target_attribution;
+          Alcotest.test_case "run_checked reports all failing passes" `Quick
+            test_run_checked_reports_all_failures;
+        ] );
+      ( "harness",
+        [
+          Alcotest.test_case "TV oracle detects on non-executing targets" `Quick
+            test_pipeline_tv_detects_on_non_executing_target;
+          Alcotest.test_case "signature refinement helpers" `Quick test_signature_helpers;
+        ] );
+      ("soundness", [ QCheck_alcotest.to_alcotest qcheck_tv_sound ]);
+    ]
