@@ -317,6 +317,82 @@ let engine_perf () =
     (Domain.recommended_domain_count ())
 
 (* ------------------------------------------------------------------ *)
+(* Pool scaling: campaign + reduction through the work-stealing pool   *)
+
+let pool_perf () =
+  section "Pool scaling: campaign + parallel reduction (work-stealing pool)";
+  let scale =
+    { Harness.Experiments.default_scale with Harness.Experiments.seeds = 80 }
+  in
+  let tool = Harness.Pipeline.Spirv_fuzz_tool in
+  let timed f =
+    let t0 = Unix.gettimeofday () in
+    let r = f () in
+    (r, Unix.gettimeofday () -. t0)
+  in
+  let study_targets =
+    List.map (fun (t : Compilers.Target.t) -> t.Compilers.Target.name)
+      Compilers.Target.reduction_study
+  in
+  let reducible hits =
+    List.filter
+      (fun (h : Harness.Experiments.hit) ->
+        List.mem h.Harness.Experiments.hit_target study_targets)
+      hits
+    |> Harness.Experiments.cap_hits
+         ~per_signature:scale.Harness.Experiments.max_reductions_per_signature
+  in
+  (* sequential baseline: fresh engine, campaign then per-hit reduction *)
+  let seq_engine = Harness.Engine.create () in
+  let seq_hits, seq_campaign =
+    timed (fun () -> Harness.Experiments.run_campaign ~scale ~engine:seq_engine tool)
+  in
+  let seq_outcomes, seq_reduce =
+    timed (fun () ->
+        Harness.Experiments.reduce_hits seq_engine (reducible seq_hits))
+  in
+  Printf.printf
+    "sequential: campaign %.2fs (%d detections), reduction %.2fs (%d hits reduced)\n"
+    seq_campaign (List.length seq_hits) seq_reduce
+    (List.length (List.filter_map Fun.id seq_outcomes));
+  List.iter
+    (fun workers ->
+      (* fresh engine per worker count so every configuration pays the
+         same cold-cache cost; one pool serves both phases *)
+      let engine = Harness.Engine.create () in
+      Harness.Pool.with_pool ~workers (fun pool ->
+          let hits, campaign_t =
+            timed (fun () ->
+                Harness.Experiments.run_campaign ~scale ~pool ~engine tool)
+          in
+          let outcomes, reduce_t =
+            timed (fun () ->
+                Harness.Experiments.reduce_hits ~pool engine (reducible hits))
+          in
+          Printf.printf
+            "%d worker(s): campaign %.2fs (%.2fx), reduction %.2fs (%.2fx), \
+             campaign+reduction identical to sequential: %b\n"
+            workers campaign_t
+            (seq_campaign /. Float.max 1e-9 campaign_t)
+            reduce_t
+            (seq_reduce /. Float.max 1e-9 reduce_t)
+            (hits = seq_hits && outcomes = seq_outcomes);
+          Printf.printf "  %s\n" (Harness.Pool.stats_to_string pool);
+          let s = Harness.Engine.stats engine in
+          match s.Harness.Engine.per_domain_runs with
+          | [] | [ _ ] -> ()
+          | per_domain ->
+              Printf.printf "  runs per domain:%s\n"
+                (String.concat ""
+                   (List.map (fun (d, n) -> Printf.sprintf " d%d:%d" d n)
+                      per_domain))))
+    [ 1; 2; 4; 8 ];
+  Printf.printf
+    "(speedup is bounded by the cores available to this container: %d \
+     recommended domains)\n"
+    (Domain.recommended_domain_count ())
+
+(* ------------------------------------------------------------------ *)
 (* Persistent store: cold vs warm campaigns through the disk cache     *)
 
 let rec rm_rf path =
@@ -612,6 +688,7 @@ let () =
   end;
   if !perf then begin
     engine_perf ();
+    pool_perf ();
     store_perf ();
     oracle_perf ();
     tv_perf ();

@@ -416,7 +416,14 @@ let hunt_cmd =
   let seeds_arg =
     Arg.(value & opt int 200 & info [ "seeds" ] ~docv:"N" ~doc:"Seeds to try.")
   in
-  let run path corpus target seeds =
+  let domains_arg =
+    Arg.(value & opt int 1
+         & info [ "domains" ] ~docv:"N"
+             ~doc:"Scan seeds on N parallel domains (block-wise; the seed \
+                   reported is the smallest triggering one, identical to \
+                   the sequential scan).")
+  in
+  let run path corpus target seeds domains =
     let m = or_die (load ~path ~corpus) in
     let t = or_die (find_target target) in
     let input = Corpus.default_input in
@@ -428,24 +435,53 @@ let hunt_cmd =
       }
     in
     let original_run = Harness.Engine.run engine t m input in
-    let exception Found of int * Spirv_fuzz.Fuzzer.result * string in
-    (try
-       for seed = 0 to seeds - 1 do
-         let ctx = Spirv_fuzz.Context.make m input in
-         let result = Spirv_fuzz.Fuzzer.run ~config ~seed ctx in
-         match
-           ( original_run,
-             Harness.Engine.run engine t
-               result.Spirv_fuzz.Fuzzer.final.Spirv_fuzz.Context.m input )
-         with
-         | _, Compilers.Backend.Crashed s -> raise (Found (seed, result, s))
-         | Compilers.Backend.Rendered i0, Compilers.Backend.Rendered i1
-           when not (Spirv_ir.Image.equal i0 i1) ->
-             raise (Found (seed, result, "miscompilation"))
-         | _ -> ()
-       done;
-       Printf.printf "no bug found on %s in %d seeds\n" target seeds
-     with Found (seed, result, signature) ->
+    let try_seed seed =
+      let ctx = Spirv_fuzz.Context.make m input in
+      let result = Spirv_fuzz.Fuzzer.run ~config ~seed ctx in
+      match
+        ( original_run,
+          Harness.Engine.run engine t
+            result.Spirv_fuzz.Fuzzer.final.Spirv_fuzz.Context.m input )
+      with
+      | _, Compilers.Backend.Crashed s -> Some (seed, result, s)
+      | Compilers.Backend.Rendered i0, Compilers.Backend.Rendered i1
+        when not (Spirv_ir.Image.equal i0 i1) ->
+          Some (seed, result, "miscompilation")
+      | _ -> None
+    in
+    let workers = max 1 (min domains seeds) in
+    let found =
+      if workers = 1 then begin
+        (* sequential scan with early exit at the first triggering seed *)
+        let rec go seed =
+          if seed >= seeds then None
+          else match try_seed seed with Some f -> Some f | None -> go (seed + 1)
+        in
+        go 0
+      end
+      else
+        (* block-wise parallel scan: each round tests the next [block]
+           seeds across the pool and picks the first hit in task (= seed)
+           order, so the answer is the smallest triggering seed — the same
+           one the sequential scan reports — while still stopping within
+           one block of it *)
+        Harness.Pool.with_pool ~workers (fun pool ->
+            let block = workers * 4 in
+            let rec scan lo =
+              if lo >= seeds then None
+              else begin
+                let n = min block (seeds - lo) in
+                let results = Harness.Pool.map pool n (fun i -> try_seed (lo + i)) in
+                match Array.find_map Fun.id results with
+                | Some f -> Some f
+                | None -> scan (lo + n)
+              end
+            in
+            scan 0)
+    in
+    (match found with
+     | None -> Printf.printf "no bug found on %s in %d seeds\n" target seeds
+     | Some (seed, result, signature) ->
        Printf.printf "seed %d triggers: %s\n" seed signature;
        let ctx = Spirv_fuzz.Context.make m input in
        let is_interesting (c : Spirv_fuzz.Context.t) =
@@ -473,7 +509,8 @@ let hunt_cmd =
   Cmd.v
     (Cmd.info "hunt"
        ~doc:"Fuzz a module against a target until a bug appears, then reduce it.")
-    Term.(const run $ file_arg $ corpus_arg $ target_arg $ seeds_arg)
+    Term.(const run $ file_arg $ corpus_arg $ target_arg $ seeds_arg
+          $ domains_arg)
 
 (* ------------------------------------------------------------------ *)
 (* campaign                                                            *)
@@ -718,7 +755,22 @@ let dedup_cmd =
                    already-known bugs.  Exit code 3 means every signature \
                    was already banked (no new bugs).")
   in
-  let run seeds cap bank =
+  let domains_arg =
+    Arg.(value & opt int 1
+         & info [ "domains" ] ~docv:"N"
+             ~doc:"Run both phases — the campaign and the per-hit \
+                   reductions — on N parallel domains sharing one \
+                   work-stealing pool; hits and reduced tests are identical \
+                   to the sequential run.")
+  in
+  let tests_out_arg =
+    Arg.(value & opt (some string) None
+         & info [ "tests-out" ] ~docv:"FILE"
+             ~doc:"Write the reduced tests to $(docv), one line per test \
+                   (target, bug id, minimized transformation types) — \
+                   byte-comparable across runs and domain counts.")
+  in
+  let run seeds cap domains bank tests_out =
     let scale =
       {
         Harness.Experiments.default_scale with
@@ -729,8 +781,12 @@ let dedup_cmd =
     Printf.printf "fuzzing %d seeds against every target...
 %!" seeds;
     let engine = Harness.Engine.create () in
+    (* one pool serves both phases: campaign seeds, then per-hit reductions *)
+    let workers = max 1 (min domains seeds) in
+    Harness.Pool.with_pool ~workers @@ fun pool ->
     let hits =
-      Harness.Experiments.run_campaign ~scale ~engine Harness.Pipeline.Spirv_fuzz_tool
+      Harness.Experiments.run_campaign ~scale ~engine ~pool
+        Harness.Pipeline.Spirv_fuzz_tool
     in
     let crashes =
       List.filter
@@ -744,7 +800,23 @@ let dedup_cmd =
 %!"
       (List.length hits) (List.length crashes);
     (* reduce each capped crash hit once; table4 and the bug bank share it *)
-    let tests = Harness.Experiments.reduced_crash_tests ~scale ~engine ~hits () in
+    let tests =
+      Harness.Experiments.reduced_crash_tests ~scale ~engine ~pool ~hits ()
+    in
+    (match tests_out with
+    | None -> ()
+    | Some path ->
+        let oc = open_out_bin path in
+        List.iter
+          (fun (target, (d : Harness.Experiments.dedup_test)) ->
+            Printf.fprintf oc "%s\t%s\t%s\n" target
+              d.Harness.Experiments.dd_bug_id
+              (String.concat ","
+                 (List.map Spirv_fuzz.Transformation.type_id
+                    d.Harness.Experiments.dd_transformations)))
+          tests;
+        close_out oc;
+        Printf.printf "reduced tests written to %s\n" path);
     let rows, total =
       Harness.Experiments.table4 ~scale ~engine ~tests ~hits:[| hits; []; [] |] ()
     in
@@ -802,8 +874,8 @@ let dedup_cmd =
        ~doc:
          "Fuzz, reduce every crash, and recommend a deduplicated subset for           investigation (the Figure 6 algorithm).  With $(b,--bank), also \
           record signatures in a cross-campaign bug bank.")
-    Term.(const (fun s c b -> Stdlib.exit (run s c b)) $ seeds_arg $ cap_arg
-          $ bank_arg)
+    Term.(const (fun s c d b t -> Stdlib.exit (run s c d b t)) $ seeds_arg
+          $ cap_arg $ domains_arg $ bank_arg $ tests_out_arg)
 
 (* --verbose works on every subcommand: it is stripped from argv before
    dispatch and turns on debug logging for the tbct.* sources *)

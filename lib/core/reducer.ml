@@ -42,24 +42,27 @@ let reduce_linear ~is_interesting xs =
   in
   if not (test xs) then
     invalid_arg "Reducer.reduce: input sequence is not interesting";
-  let rec sweep xs =
+  let n0 = List.length xs in
+  (* [n] is threaded through the sweep (decremented on each removal) so the
+     loop bound costs O(1) per step instead of a full List.length traversal *)
+  let rec sweep n xs =
     let removed = ref false in
-    let rec go i xs =
-      if i >= List.length xs then xs
+    let rec go i n xs =
+      if i >= n then (n, xs)
       else begin
         let candidate = List.filteri (fun j _ -> j <> i) xs in
         if test candidate then begin
           removed := true;
-          go i candidate
+          go i (n - 1) candidate
         end
-        else go (i + 1) xs
+        else go (i + 1) n xs
       end
     in
-    let xs = go 0 xs in
-    if !removed then sweep xs else xs
+    let n, xs = go 0 n xs in
+    if !removed then sweep n xs else (n, xs)
   in
-  let result = sweep xs in
-  (result, { queries = !queries; kept = List.length result; initial = List.length xs })
+  let kept, result = sweep n0 xs in
+  (result, { queries = !queries; kept; initial = n0 })
 
 let reduce ~is_interesting xs =
   let queries = ref 0 in

@@ -27,6 +27,9 @@ type t = {
       (* (target name, reference name) -> result *)
   store : Cas.t option;
   stage_wall : (string, float) Hashtbl.t;
+  domain_runs : (int, int) Hashtbl.t;
+      (* domain id -> backend executions performed by that domain; shows
+         how evenly the pool's workers shared the execute load *)
   mutable runs_executed : int;
   mutable cache_hits : int;
   mutable baseline_hits : int;
@@ -55,6 +58,7 @@ type stats = {
   hit_rate : float;
   execute_wall : float;
   stages : (string * float) list;
+  per_domain_runs : (int * int) list;
 }
 
 let create ?store ?(memo_capacity = default_memo_capacity) () =
@@ -67,6 +71,7 @@ let create ?store ?(memo_capacity = default_memo_capacity) () =
     baselines = Hashtbl.create 64;
     store;
     stage_wall = Hashtbl.create 8;
+    domain_runs = Hashtbl.create 8;
     runs_executed = 0;
     cache_hits = 0;
     baseline_hits = 0;
@@ -133,9 +138,12 @@ let run e (t : Compilers.Target.t) (m : Module_ir.t) (input : Input.t) :
           let t0 = Unix.gettimeofday () in
           let r = Compilers.Backend.run t m input in
           let dt = Unix.gettimeofday () -. t0 in
+          let did = (Domain.self () :> int) in
           locked e (fun () ->
               Lru.set e.memo key r;
               e.runs_executed <- e.runs_executed + 1;
+              Hashtbl.replace e.domain_runs did
+                (1 + Option.value ~default:0 (Hashtbl.find_opt e.domain_runs did));
               add_stage_locked e execute_stage dt);
           (match e.store with
           | None -> ()
@@ -293,6 +301,9 @@ let stats e : stats =
         stages =
           Hashtbl.fold (fun k v acc -> (k, v) :: acc) e.stage_wall []
           |> List.sort (fun (a, _) (b, _) -> String.compare a b);
+        per_domain_runs =
+          Hashtbl.fold (fun k v acc -> (k, v) :: acc) e.domain_runs []
+          |> List.sort (fun (a, _) (b, _) -> compare a b);
       })
 
 let reset e =
@@ -302,6 +313,7 @@ let reset e =
       e.tv_memo <- Lru.create ~capacity:e.memo_capacity;
       Hashtbl.reset e.baselines;
       Hashtbl.reset e.stage_wall;
+      Hashtbl.reset e.domain_runs;
       e.runs_executed <- 0;
       e.cache_hits <- 0;
       e.baseline_hits <- 0;
@@ -330,6 +342,13 @@ let pp_stats fmt (s : stats) =
   if s.stages <> [] then begin
     Format.fprintf fmt "@\nstage wall-clock:";
     List.iter (fun (k, v) -> Format.fprintf fmt "@\n  %-10s %8.3fs" k v) s.stages
-  end
+  end;
+  (match s.per_domain_runs with
+  | [] | [ _ ] -> ()  (* single-domain runs need no breakdown *)
+  | per_domain ->
+      Format.fprintf fmt "@\nruns per domain:";
+      List.iter
+        (fun (d, n) -> Format.fprintf fmt " d%d:%d" d n)
+        per_domain)
 
 let stats_to_string s = Format.asprintf "%a" pp_stats s

@@ -58,6 +58,11 @@ type stats = {
       (** cumulative wall-clock per stage, sorted by stage name;
           ["execute"] is maintained by {!run}, ["optimize"] by
           {!optimize}, others by {!timed} *)
+  per_domain_runs : (int * int) list;
+      (** backend executions per OCaml domain id, sorted by id — how
+          evenly a {!Pool}'s workers shared the execute load; summed it
+          equals [runs_executed].  A single entry means a sequential
+          run. *)
 }
 
 val default_memo_capacity : int

@@ -70,12 +70,15 @@ let references_for (tool : Pipeline.tool) =
 (** Run a fuzzing campaign: for each seed, generate one variant from a
     round-robin reference and test it against every target.
 
-    With [~domains:n] (n > 1) the seed range is split into [n] contiguous
-    chunks, one OCaml 5 domain per chunk, all sharing the (mutex-guarded)
-    engine; the per-chunk hit lists are concatenated in chunk order, so the
-    result is bit-identical to the sequential run — every seed is processed
-    by exactly one domain, and within a seed targets are visited in list
-    order, exactly as sequentially.
+    Parallelism goes through {!Pool}: one task per seed, so a seed whose
+    targets happen to be slow no longer stalls a whole static chunk —
+    idle workers steal the remaining seeds instead.  [?pool] reuses a
+    caller-owned pool (the CLI shares one pool between the campaign and
+    the reduction phase); otherwise [?domains] sizes a temporary pool,
+    clamped to the seed count so more domains than seeds never spawn
+    idle workers.  Hits are merged in seed order whatever worker ran
+    which seed, so the result is bit-identical to the sequential run at
+    any worker count.
 
     [?skip] and [?on_seed] are the persistence hooks {!Persist} plugs a
     campaign journal into: a seed for which [skip seed] returns hits is not
@@ -84,7 +87,7 @@ let references_for (tool : Pipeline.tool) =
     and every freshly computed seed is reported to [on_seed] — possibly
     from a worker domain, so the hook must be thread-safe. *)
 let run_campaign ?(scale = default_scale) ?(targets = Compilers.Target.all)
-    ?(domains = 1) ?engine ?(check_contracts = false) ?(tv = false)
+    ?(domains = 1) ?pool ?engine ?(check_contracts = false) ?(tv = false)
     ?(skip = fun (_ : int) -> (None : hit list option))
     ?(on_seed = fun (_ : int) (_ : hit list) -> ()) tool : hit list =
   let engine = match engine with Some e -> e | None -> Engine.create () in
@@ -119,41 +122,54 @@ let run_campaign ?(scale = default_scale) ?(targets = Compilers.Target.all)
         | None -> None)
       targets
   in
-  (* seeds [lo, hi): sequential, ascending — the canonical order *)
-  let run_range lo hi =
-    let hits = ref [] in
-    for seed = lo to hi - 1 do
-      let seed_hits =
-        match skip seed with
-        | Some recorded -> recorded
-        | None ->
-            let computed = hits_for_seed seed in
-            on_seed seed computed;
-            computed
-      in
-      hits := List.rev_append seed_hits !hits;
-      if (seed + 1) mod 50 = 0 then
-        Log.info (fun k ->
-            k "%s: seed %d (of %d), %d detections in this chunk"
-              (Pipeline.tool_name tool) (seed + 1) scale.seeds
-              (List.length !hits))
-    done;
-    List.rev !hits
-  in
-  let domains = max 1 (min domains scale.seeds) in
-  if domains = 1 then run_range 0 scale.seeds
-  else begin
-    (* lowering the corpus is lazy and lazies must not be forced
-       concurrently; do it once before spawning *)
-    Pipeline.warmup ();
-    let chunk = (scale.seeds + domains - 1) / domains in
-    let workers =
-      List.init domains (fun i ->
-          let lo = i * chunk and hi = min scale.seeds ((i + 1) * chunk) in
-          Domain.spawn (fun () -> run_range lo hi))
+  let total = scale.seeds in
+  let run_in pool =
+    if Pool.workers pool > 1 then begin
+      (* lowering the corpus is lazy and lazies must not be forced
+         concurrently; do it once before the workers start *)
+      Pipeline.warmup ();
+      ignore (Lazy.force spirv_references)
+    end;
+    (* honest progress: a global completion count plus per-worker seed and
+       detection counters, so the log never phrases one worker's tally as
+       the whole campaign's *)
+    let done_seeds = Atomic.make 0 in
+    let nworkers = Pool.workers pool in
+    let worker_seeds = Array.init nworkers (fun _ -> Atomic.make 0) in
+    let worker_hits = Array.init nworkers (fun _ -> Atomic.make 0) in
+    let seed_hits =
+      Pool.map_worker pool total (fun ~worker seed ->
+          let hits =
+            match skip seed with
+            | Some recorded -> recorded
+            | None ->
+                let computed = hits_for_seed seed in
+                on_seed seed computed;
+                computed
+          in
+          Atomic.incr worker_seeds.(worker);
+          ignore
+            (Atomic.fetch_and_add worker_hits.(worker) (List.length hits));
+          let completed = 1 + Atomic.fetch_and_add done_seeds 1 in
+          if completed mod 50 = 0 then
+            Log.info (fun k ->
+                k "%s: %d of %d seeds done; worker %d has run %d seed(s), %d detection(s)"
+                  (Pipeline.tool_name tool) completed total worker
+                  (Atomic.get worker_seeds.(worker))
+                  (Atomic.get worker_hits.(worker)));
+          hits)
     in
-    List.concat_map Domain.join workers
-  end
+    (* seed-ordered merge: slot [i] is seed [i]'s hits whatever worker ran
+       it, so the concatenation is the sequential hit list bit for bit *)
+    List.concat (Array.to_list seed_hits)
+  in
+  match pool with
+  | Some pool -> run_in pool
+  | None ->
+      (* clamp: more workers than seeds would only spawn domains with
+         nothing to do *)
+      let workers = max 1 (min domains total) in
+      Pool.with_pool ~workers run_in
 
 (* ------------------------------------------------------------------ *)
 (* Table 3: bug-finding ability                                        *)
@@ -366,6 +382,24 @@ let cap_hits ~per_signature hits =
       else false)
     hits
 
+(** Reduce a list of independent hits, one pool task per hit, against the
+    shared (mutex-guarded) engine: ddmin's interestingness replays go
+    through the same memo/CAS/TV layers from any worker, and since the
+    backend is deterministic a memo hit returns exactly what a fresh run
+    would, so outcome [i] is hit [i]'s outcome bit for bit at any worker
+    count.  Slots where the hit no longer reproduces (or its target is
+    unknown) are [None], mirroring the sequential [List.filter_map]. *)
+let reduce_hits ?pool (engine : Engine.t) (hits : hit list) :
+    reduction_outcome option list =
+  match pool with
+  | None -> List.map (reduce_hit engine) hits
+  | Some pool ->
+      if Pool.workers pool > 1 then begin
+        Pipeline.warmup ();
+        ignore (Lazy.force spirv_references)
+      end;
+      Pool.map_list pool (reduce_hit engine) hits
+
 type rq2 = {
   rq2_spirv : reduction_outcome list;
   rq2_glsl : reduction_outcome list;
@@ -373,7 +407,7 @@ type rq2 = {
   rq2_median_glsl : float;
 }
 
-let rq2 ?(scale = default_scale) ?engine ~(hits : hit list array) () : rq2 =
+let rq2 ?(scale = default_scale) ?engine ?pool ~(hits : hit list array) () : rq2 =
   let engine = match engine with Some e -> e | None -> Engine.create () in
   let study_targets =
     List.map (fun (t : Compilers.Target.t) -> t.Compilers.Target.name)
@@ -384,7 +418,7 @@ let rq2 ?(scale = default_scale) ?engine ~(hits : hit list array) () : rq2 =
     |> cap_hits ~per_signature:scale.max_reductions_per_signature
   in
   let reduce_all tool_hits =
-    List.filter_map (reduce_hit engine) (eligible tool_hits)
+    List.filter_map Fun.id (reduce_hits ?pool engine (eligible tool_hits))
   in
   let spirv = reduce_all hits.(0) in
   let glsl = reduce_all hits.(2) in
@@ -413,11 +447,49 @@ type dedup_test = {
   dd_transformations : Spirv_fuzz.Transformation.t list;
 }
 
+(* reduce one crash hit to its minimized transformation sequence (the
+   per-task body of [reduced_crash_tests]; safe to run from any pool
+   worker against the shared engine) *)
+let reduce_crash_hit (engine : Engine.t) (h : hit) : (string * dedup_test) option =
+  match Compilers.Target.find h.hit_target with
+  | None -> None
+  | Some t -> (
+      let refs = references_for h.hit_tool in
+      let ref_name, ref_source, ref_module =
+        match List.find_opt (fun (n, _, _) -> String.equal n h.hit_ref) refs with
+        | Some r -> r
+        | None -> List.hd refs
+      in
+      let generated =
+        Engine.timed engine ~stage:"generate" (fun () ->
+            Pipeline.generate h.hit_tool ~ref_source ~ref_module
+              ~seed:h.hit_seed ~input:Corpus.default_input)
+      in
+      let is_interesting =
+        Pipeline.interestingness engine t ~ref_name ~original:ref_module
+          ~detection:h.hit_detection Corpus.default_input
+      in
+      if
+        not (is_interesting generated.Pipeline.gen_variant generated.Pipeline.gen_input)
+      then None
+      else
+        match generated.Pipeline.gen_reduce ~is_interesting with
+        | `Spirv (kept, _) ->
+            Some
+              ( h.hit_target,
+                {
+                  dd_bug_id =
+                    Signature.bug_id_of_signature h.hit_detection.Pipeline.signature;
+                  dd_transformations = kept;
+                } )
+        | `Glsl _ -> None)
+
 (** Reduce every capped crash hit of the dedup study down to its minimized
     transformation sequence — the input of Table 4, [tbct dedup] and the
-    cross-campaign bug bank. *)
-let reduced_crash_tests ?(scale = default_scale) ?engine ~(hits : hit list) () :
-    (string * dedup_test) list =
+    cross-campaign bug bank.  With [?pool], hits reduce concurrently (one
+    task per hit, hit-ordered merge, same list as sequential). *)
+let reduced_crash_tests ?(scale = default_scale) ?engine ?pool
+    ~(hits : hit list) () : (string * dedup_test) list =
   let engine = match engine with Some e -> e | None -> Engine.create () in
   let study =
     List.map (fun (t : Compilers.Target.t) -> t.Compilers.Target.name)
@@ -432,43 +504,17 @@ let reduced_crash_tests ?(scale = default_scale) ?engine ~(hits : hit list) () :
       hits
     |> cap_hits ~per_signature:scale.max_reductions_per_signature
   in
-  List.filter_map
-    (fun h ->
-      match Compilers.Target.find h.hit_target with
-      | None -> None
-      | Some t -> (
-          let refs = references_for h.hit_tool in
-          let ref_name, ref_source, ref_module =
-            match List.find_opt (fun (n, _, _) -> String.equal n h.hit_ref) refs with
-            | Some r -> r
-            | None -> List.hd refs
-          in
-          let generated =
-            Engine.timed engine ~stage:"generate" (fun () ->
-                Pipeline.generate h.hit_tool ~ref_source ~ref_module
-                  ~seed:h.hit_seed ~input:Corpus.default_input)
-          in
-          let is_interesting =
-            Pipeline.interestingness engine t ~ref_name ~original:ref_module
-              ~detection:h.hit_detection Corpus.default_input
-          in
-          if
-            not (is_interesting generated.Pipeline.gen_variant generated.Pipeline.gen_input)
-          then None
-          else
-            match generated.Pipeline.gen_reduce ~is_interesting with
-            | `Spirv (kept, _) ->
-                Some
-                  ( h.hit_target,
-                    {
-                      dd_bug_id =
-                        Signature.bug_id_of_signature h.hit_detection.Pipeline.signature;
-                      dd_transformations = kept;
-                    } )
-            | `Glsl _ -> None))
-    crash_hits
+  match pool with
+  | None -> List.filter_map (reduce_crash_hit engine) crash_hits
+  | Some pool ->
+      if Pool.workers pool > 1 then begin
+        Pipeline.warmup ();
+        ignore (Lazy.force spirv_references)
+      end;
+      Pool.map_list pool (reduce_crash_hit engine) crash_hits
+      |> List.filter_map Fun.id
 
-let table4 ?(scale = default_scale) ?ignored ?engine ?tests
+let table4 ?(scale = default_scale) ?ignored ?engine ?pool ?tests
     ~(hits : hit list array) () : table4_row list * table4_row =
   let study =
     List.map (fun (t : Compilers.Target.t) -> t.Compilers.Target.name)
@@ -477,7 +523,7 @@ let table4 ?(scale = default_scale) ?ignored ?engine ?tests
   let reduced_tests =
     match tests with
     | Some tests -> tests
-    | None -> reduced_crash_tests ~scale ?engine ~hits:hits.(0) ()
+    | None -> reduced_crash_tests ~scale ?engine ?pool ~hits:hits.(0) ()
   in
   let row target =
     let tests = List.filter_map (fun (t, d) -> if String.equal t target then Some d else None) reduced_tests in

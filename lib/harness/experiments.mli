@@ -36,6 +36,7 @@ val run_campaign :
   ?scale:scale ->
   ?targets:Compilers.Target.t list ->
   ?domains:int ->
+  ?pool:Pool.t ->
   ?engine:Engine.t ->
   ?check_contracts:bool ->
   ?tv:bool ->
@@ -46,9 +47,13 @@ val run_campaign :
 (** For each seed, generate one variant from a round-robin reference and
     test it against every target (with the optimize-and-retry step).  Every
     execution flows through the engine ([?engine] defaults to a fresh one).
-    [?domains] (default 1) splits the seed range into contiguous chunks run
-    on parallel OCaml domains sharing the engine; the merged hit list is
-    guaranteed identical to the sequential one.  [?check_contracts]
+    Parallelism goes through {!Pool}, one task per seed: [?pool] reuses a
+    caller-owned pool (so one pool serves campaign and reduction);
+    otherwise [?domains] (default 1) sizes a temporary pool, clamped to
+    the seed count so more domains than seeds never spawn idle workers.
+    All workers share the engine; hits are merged in seed order, so the
+    hit list is guaranteed identical to the sequential one at any worker
+    count.  [?check_contracts]
     (default false) runs the {!Spirv_fuzz.Contract} checker after every
     applied transformation — hits are unchanged (the checker consumes no
     randomness); a contract breach raises {!Spirv_fuzz.Contract.Violation}.
@@ -110,6 +115,14 @@ val cap_hits : per_signature:int -> hit list -> hit list
 (** Keep at most N hits per (target, signature), preserving order — the
     paper's reduction caps. *)
 
+val reduce_hits :
+  ?pool:Pool.t -> Engine.t -> hit list -> reduction_outcome option list
+(** {!reduce_hit} over a list of independent hits — with [?pool], one pool
+    task per hit, all against the shared engine (ddmin's interestingness
+    replays hit the same memo/CAS/TV layers from any worker).  Outcomes
+    come back in hit order, so the list is identical to the sequential
+    [List.map] at any worker count. *)
+
 type rq2 = {
   rq2_spirv : reduction_outcome list;
   rq2_glsl : reduction_outcome list;
@@ -117,7 +130,9 @@ type rq2 = {
   rq2_median_glsl : float;
 }
 
-val rq2 : ?scale:scale -> ?engine:Engine.t -> hits:hit list array -> unit -> rq2
+val rq2 :
+  ?scale:scale -> ?engine:Engine.t -> ?pool:Pool.t -> hits:hit list array ->
+  unit -> rq2
 
 (** {1 Table 4: deduplication} *)
 
@@ -129,12 +144,13 @@ type dedup_test = {
 }
 
 val reduced_crash_tests :
-  ?scale:scale -> ?engine:Engine.t -> hits:hit list -> unit ->
-  (string * dedup_test) list
+  ?scale:scale -> ?engine:Engine.t -> ?pool:Pool.t -> hits:hit list ->
+  unit -> (string * dedup_test) list
 (** Reduce every capped crash hit of the dedup study (spirv-fuzz tests,
     crash bugs, NVIDIA excluded) to its minimized transformation sequence,
-    tagged with its target.  This is the input of {!table4} and of the
-    cross-campaign bug bank ([tbct dedup --bank]). *)
+    tagged with its target.  With [?pool] the hits reduce concurrently,
+    merged in hit order (same list as sequential).  This is the input of
+    {!table4} and of the cross-campaign bug bank ([tbct dedup --bank]). *)
 
 type table4_row = {
   t4_target : string;
@@ -149,6 +165,7 @@ val table4 :
   ?scale:scale ->
   ?ignored:Tbct.Dedup.String_set.t ->
   ?engine:Engine.t ->
+  ?pool:Pool.t ->
   ?tests:(string * dedup_test) list ->
   hits:hit list array ->
   unit ->

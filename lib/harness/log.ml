@@ -1,5 +1,26 @@
-(** Log source for the experiment harness ("tbct.harness"). *)
+(** Log source for the experiment harness ("tbct.harness").
+
+    Messages are emitted whole-line-atomically: the message is rendered to
+    a string off-lock, then handed to the [Logs] reporter as one ["%s"]
+    under a single mutex, so lines from concurrent pool workers can never
+    interleave mid-line.  The wrappers keep the usual
+    [Log.info (fun k -> k fmt ...)] calling convention. *)
 
 let src = Logs.Src.create "tbct.harness" ~doc:"experiment harness events"
 
-include (val Logs.src_log src : Logs.LOG)
+let emit_lock = Mutex.create ()
+
+let emit level f =
+  f (fun fmt ->
+      Format.kasprintf
+        (fun line ->
+          Mutex.lock emit_lock;
+          Fun.protect
+            ~finally:(fun () -> Mutex.unlock emit_lock)
+            (fun () -> Logs.msg ~src level (fun m -> m "%s" line)))
+        fmt)
+
+let debug f = emit Logs.Debug f
+let info f = emit Logs.Info f
+let warn f = emit Logs.Warning f
+let err f = emit Logs.Error f

@@ -221,6 +221,9 @@ let on_seed c seed hits =
 
 let close c = Journal.close c.journal
 
+(* alias: [run_campaign]'s ?on_seed parameter shadows the hook above *)
+let on_seed_journal = on_seed
+
 (* ------------------------------------------------------------------ *)
 (* The one-call wrapper the CLI and tests use *)
 
@@ -237,11 +240,16 @@ type outcome = {
 }
 
 let run_campaign ?(scale = Experiments.default_scale)
-    ?(targets = Compilers.Target.all) ?domains ?engine ?check_contracts ?tv
-    ?(resume = false) ?(fsync = false) ~dir tool : (outcome, string) result =
+    ?(targets = Compilers.Target.all) ?domains ?pool ?engine ?check_contracts
+    ?tv ?(resume = false) ?(fsync = false)
+    ?(on_seed = fun (_ : int) (_ : Experiments.hit list) -> ()) ~dir tool :
+    (outcome, string) result =
   match open_campaign ~resume ~fsync ~dir ~tool ~targets ~scale () with
   | Error _ as e -> e
   | Ok c ->
+      (* the journal fd is closed (flushing the fsync-when-asked tail) even
+         when a worker — or the user's on_seed hook — raises mid-campaign;
+         everything appended before the raise stays replayable *)
       Fun.protect
         ~finally:(fun () -> close c)
         (fun () ->
@@ -254,9 +262,15 @@ let run_campaign ?(scale = Experiments.default_scale)
                 Some hits
             | None -> None
           in
+          (* journal first, user hook second: a raising user hook still
+             leaves the seed it saw recorded *)
+          let seed_hook seed hits =
+            on_seed_journal c seed hits;
+            on_seed seed hits
+          in
           let hits =
-            Experiments.run_campaign ~scale ~targets ?domains ?engine
-              ?check_contracts ?tv ~skip:skip_hook ~on_seed:(on_seed c) tool
+            Experiments.run_campaign ~scale ~targets ?domains ?pool ?engine
+              ?check_contracts ?tv ~skip:skip_hook ~on_seed:seed_hook tool
           in
           let seeds_skipped = Atomic.get skipped in
           Ok

@@ -95,15 +95,27 @@ val run_campaign :
   ?scale:Experiments.scale ->
   ?targets:Compilers.Target.t list ->
   ?domains:int ->
+  ?pool:Pool.t ->
   ?engine:Engine.t ->
   ?check_contracts:bool ->
   ?tv:bool ->
   ?resume:bool ->
   ?fsync:bool ->
+  ?on_seed:(int -> Experiments.hit list -> unit) ->
   dir:string ->
   Pipeline.tool ->
   (outcome, string) result
 (** Open (or resume) the campaign journal in [dir], run the campaign with
     the journal hooks plugged in, close the journal.  The hit list is
     bit-identical to an uninterrupted {!Experiments.run_campaign} at the
-    same scale. *)
+    same scale.
+
+    [?domains]/[?pool] parallelize exactly as in
+    {!Experiments.run_campaign}.  [?on_seed] is an extra user hook called
+    after each fresh seed's journal record is appended (so a raising hook
+    loses nothing already recorded); like the journal hook it may run on
+    any worker domain and must be thread-safe.
+
+    The journal fd is closed — via [Fun.protect] — even when a worker or
+    the user hook raises mid-campaign, so an aborted run always leaves a
+    replayable journal behind for [~resume:true]. *)

@@ -1,0 +1,250 @@
+(** Work-stealing domain pool (see the interface for the full story).
+
+    Layout: a batch of [n] tasks is split into [min workers n] contiguous
+    id blocks, one per deque.  A deque is two indices into its block —
+    [lo] (the owner pops here, ascending) and [hi] (thieves decrement
+    here) — under its own mutex, so the steal path contends on one deque,
+    never on the pool.  Completion is an atomic count; the last finished
+    task broadcasts the caller awake.  Worker domains park between
+    batches on [work] and are handed batches by generation number, so a
+    straggler from batch [g] can never re-enter [g] once [g+1] starts. *)
+
+type deque = {
+  d_lock : Mutex.t;
+  mutable d_lo : int;  (* owner pops here: ascending task ids *)
+  mutable d_hi : int;  (* thieves steal here: descending task ids *)
+}
+
+type batch = {
+  b_gen : int;
+  b_total : int;
+  b_run : worker:int -> int -> unit;  (* never raises (wrapped by map) *)
+  b_deques : deque array;
+  b_completed : int Atomic.t;
+}
+
+type t = {
+  nworkers : int;
+  lock : Mutex.t;
+  work : Condition.t;      (* workers park here between batches *)
+  finished : Condition.t;  (* the caller parks here awaiting the batch *)
+  mutable batch : batch option;
+  mutable gen : int;
+  mutable shutting_down : bool;
+  mutable domains : unit Domain.t list;
+  tasks_run : int Atomic.t array;
+  steals : int Atomic.t array;
+}
+
+type worker_stats = { ws_tasks : int; ws_steals : int }
+
+let workers t = t.nworkers
+
+let pop_own d =
+  Mutex.lock d.d_lock;
+  let r =
+    if d.d_lo < d.d_hi then begin
+      let id = d.d_lo in
+      d.d_lo <- d.d_lo + 1;
+      Some id
+    end
+    else None
+  in
+  Mutex.unlock d.d_lock;
+  r
+
+let steal_from d =
+  Mutex.lock d.d_lock;
+  let r =
+    if d.d_lo < d.d_hi then begin
+      d.d_hi <- d.d_hi - 1;
+      Some d.d_hi
+    end
+    else None
+  in
+  Mutex.unlock d.d_lock;
+  r
+
+(* Participate in [b] as worker [w] until no task is left anywhere: own
+   deque front-to-back first, then one-task steals from the other deques'
+   backs, victims scanned round-robin starting at the right neighbour. *)
+let work_batch t w (b : batch) =
+  let n = Array.length b.b_deques in
+  let run id =
+    b.b_run ~worker:w id;
+    Atomic.incr t.tasks_run.(w);
+    if 1 + Atomic.fetch_and_add b.b_completed 1 = b.b_total then begin
+      (* last task of the batch: the caller may be parked on [finished];
+         take the lock so the broadcast cannot race its predicate check *)
+      Mutex.lock t.lock;
+      Condition.broadcast t.finished;
+      Mutex.unlock t.lock
+    end
+  in
+  let rec steal_sweep k =
+    if k >= n - 1 then None
+    else
+      match steal_from b.b_deques.((w + 1 + k) mod n) with
+      | Some id ->
+          Atomic.incr t.steals.(w);
+          Some id
+      | None -> steal_sweep (k + 1)
+  in
+  let rec drain () =
+    match pop_own b.b_deques.(w) with
+    | Some id ->
+        run id;
+        drain ()
+    | None -> (
+        match steal_sweep 0 with
+        | Some id ->
+            run id;
+            drain ()
+        | None -> ())
+  in
+  drain ()
+
+let rec worker_loop t w last_gen =
+  Mutex.lock t.lock;
+  let rec await () =
+    if t.shutting_down then None
+    else
+      match t.batch with
+      | Some b when b.b_gen > last_gen -> Some b
+      | _ ->
+          Condition.wait t.work t.lock;
+          await ()
+  in
+  let next = await () in
+  Mutex.unlock t.lock;
+  match next with
+  | None -> ()
+  | Some b ->
+      work_batch t w b;
+      worker_loop t w b.b_gen
+
+let create ~workers () =
+  let nworkers = max 1 workers in
+  let t =
+    {
+      nworkers;
+      lock = Mutex.create ();
+      work = Condition.create ();
+      finished = Condition.create ();
+      batch = None;
+      gen = 0;
+      shutting_down = false;
+      domains = [];
+      tasks_run = Array.init nworkers (fun _ -> Atomic.make 0);
+      steals = Array.init nworkers (fun _ -> Atomic.make 0);
+    }
+  in
+  t.domains <-
+    List.init (nworkers - 1) (fun i ->
+        Domain.spawn (fun () -> worker_loop t (i + 1) 0));
+  t
+
+let map_worker t total f =
+  if total = 0 then [||]
+  else begin
+    let results = Array.make total None in
+    (* first failure by task id, whatever order tasks actually raise in *)
+    let fail_lock = Mutex.create () in
+    let failure = ref None in
+    let b_run ~worker id =
+      match f ~worker id with
+      | v -> results.(id) <- Some v
+      | exception e ->
+          let bt = Printexc.get_raw_backtrace () in
+          Mutex.lock fail_lock;
+          (match !failure with
+          | Some (id0, _, _) when id0 <= id -> ()
+          | _ -> failure := Some (id, e, bt));
+          Mutex.unlock fail_lock
+    in
+    (* contiguous blocks over the occupied deques; a batch smaller than
+       the pool leaves the surplus workers with empty deques (they go
+       straight to stealing) rather than refusing to run *)
+    let occupied = min t.nworkers total in
+    let base = total / occupied and rem = total mod occupied in
+    let deques =
+      Array.init t.nworkers (fun i ->
+          if i >= occupied then
+            { d_lock = Mutex.create (); d_lo = 0; d_hi = 0 }
+          else
+            let lo = (i * base) + min i rem in
+            let hi = lo + base + (if i < rem then 1 else 0) in
+            { d_lock = Mutex.create (); d_lo = lo; d_hi = hi })
+    in
+    Mutex.lock t.lock;
+    (match t.batch with
+    | Some _ ->
+        Mutex.unlock t.lock;
+        invalid_arg "Pool.map: a batch is already running on this pool"
+    | None -> ());
+    if t.shutting_down then begin
+      Mutex.unlock t.lock;
+      invalid_arg "Pool.map: the pool has been shut down"
+    end;
+    t.gen <- t.gen + 1;
+    let b =
+      {
+        b_gen = t.gen;
+        b_total = total;
+        b_run;
+        b_deques = deques;
+        b_completed = Atomic.make 0;
+      }
+    in
+    t.batch <- Some b;
+    Condition.broadcast t.work;
+    Mutex.unlock t.lock;
+    (* the caller is worker 0 *)
+    work_batch t 0 b;
+    Mutex.lock t.lock;
+    while Atomic.get b.b_completed < total do
+      Condition.wait t.finished t.lock
+    done;
+    t.batch <- None;
+    Mutex.unlock t.lock;
+    match !failure with
+    | Some (_, e, bt) -> Printexc.raise_with_backtrace e bt
+    | None ->
+        Array.map (function Some v -> v | None -> assert false) results
+  end
+
+let map t total f = map_worker t total (fun ~worker:_ id -> f id)
+
+let map_list t f xs =
+  let arr = Array.of_list xs in
+  Array.to_list (map t (Array.length arr) (fun i -> f arr.(i)))
+
+let stats t =
+  Array.init t.nworkers (fun i ->
+      {
+        ws_tasks = Atomic.get t.tasks_run.(i);
+        ws_steals = Atomic.get t.steals.(i);
+      })
+
+let stats_to_string t =
+  let per_worker =
+    Array.to_list (stats t)
+    |> List.mapi (fun i s -> Printf.sprintf "w%d:%d(%d)" i s.ws_tasks s.ws_steals)
+  in
+  Printf.sprintf "pool: %d worker(s), tasks(steals) %s" t.nworkers
+    (String.concat " " per_worker)
+
+let shutdown t =
+  Mutex.lock t.lock;
+  if t.shutting_down then Mutex.unlock t.lock
+  else begin
+    t.shutting_down <- true;
+    Condition.broadcast t.work;
+    Mutex.unlock t.lock;
+    List.iter Domain.join t.domains;
+    t.domains <- []
+  end
+
+let with_pool ~workers f =
+  let t = create ~workers () in
+  Fun.protect ~finally:(fun () -> shutdown t) (fun () -> f t)

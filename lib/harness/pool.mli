@@ -1,0 +1,88 @@
+(** A reusable work-stealing domain pool with a deterministic merge.
+
+    The pool closes the oldest ROADMAP item: instead of the hand-rolled
+    static [Domain.spawn] chunking the campaign used to do, callers submit
+    a batch of [n] independent tasks identified by ids [0..n-1] and get
+    back an array where slot [i] holds task [i]'s result — whatever worker
+    happened to run it.  Scheduling is work stealing:
+
+    - every worker owns a deque, seeded with a contiguous block of task
+      ids so a balanced batch runs without any cross-worker traffic;
+    - a worker pops its own deque from the front (ascending ids — the
+      canonical order, which keeps cache-warm prefixes together);
+    - a worker whose deque is empty steals from the {e back} of a
+      victim's deque, scanning victims round-robin from its right
+      neighbour.  Each deque is guarded by its own mutex (mutex-striped:
+      contention is per-deque, not pool-global), and a steal moves
+      exactly one task, so tail latency from one slow task no longer
+      idles every other worker the way static chunking did.
+
+    Determinism: results are keyed by task id, never by worker or
+    completion order, so for pure (or commutatively-effectful) tasks the
+    result of {!map} is bit-identical at any worker count — the property
+    the campaign's hit lists and the reducer's outcome lists are CI-gated
+    on.
+
+    Worker 0 is the {e calling} domain: [create ~workers:n] spawns only
+    [n - 1] domains, and a 1-worker pool runs every batch inline with no
+    domain spawned at all.  Workers persist across batches (that is the
+    "reusable" part: one pool serves the campaign phase and then the
+    reduction phase), parked on a condition variable between batches.
+
+    Exceptions: a raising task never wedges the pool.  The batch is
+    drained to the end, the exception of the {e smallest} raising task id
+    is re-raised in the caller (deterministic at any worker count), and
+    the pool remains usable for further batches.
+
+    One batch at a time: {!map} from two domains concurrently, or from
+    inside a task of the same pool, is a programming error
+    ([Invalid_argument]). *)
+
+type t
+
+val create : workers:int -> unit -> t
+(** A pool of [max 1 workers] workers.  Worker 0 is the calling domain;
+    [workers - 1] domains are spawned eagerly and parked.  Callers sizing
+    a pool for a known task count should clamp — [workers] beyond the
+    number of pending tasks only park idle domains (see
+    {!Experiments.run_campaign}). *)
+
+val workers : t -> int
+(** The worker count (including the calling domain). *)
+
+val map : t -> int -> (int -> 'a) -> 'a array
+(** [map pool n f] evaluates [f i] for every [i] in [0..n-1] across the
+    pool's workers and returns [[| f 0; ...; f (n-1) |]] — slot [i] is
+    task [i]'s result regardless of which worker ran it or when.  Blocks
+    until the whole batch is done.  If any task raised, the exception of
+    the smallest raising id is re-raised (with its backtrace) after the
+    batch drains.  [map pool 0 f] is [[||]]. *)
+
+val map_worker : t -> int -> (worker:int -> int -> 'a) -> 'a array
+(** {!map}, with each task told which worker ([0..workers-1]) is running
+    it — for per-worker accounting such as the campaign's honest progress
+    counters.  Results are still keyed by task id only. *)
+
+val map_list : t -> ('a -> 'b) -> 'a list -> 'b list
+(** [map_list pool f xs]: {!map} over a list, preserving order. *)
+
+type worker_stats = {
+  ws_tasks : int;   (** tasks this worker executed (own + stolen) *)
+  ws_steals : int;  (** tasks it stole from other workers' deques *)
+}
+
+val stats : t -> worker_stats array
+(** Per-worker counters, cumulative since {!create}; slot [i] is worker
+    [i] (worker 0 = the calling domain). *)
+
+val stats_to_string : t -> string
+(** One line per the whole pool: worker count plus each worker's
+    [tasks(steals)]. *)
+
+val shutdown : t -> unit
+(** Park-then-join every spawned domain.  Idempotent; the pool must not
+    be used afterwards. *)
+
+val with_pool : workers:int -> (t -> 'a) -> 'a
+(** [with_pool ~workers f]: {!create}, run [f], always {!shutdown} —
+    even when [f] raises. *)

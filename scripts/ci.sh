@@ -92,4 +92,24 @@ fi
 ./_build/default/bin/tbct_cli.exe store gc "$STORE" --max-bytes 65536 > /dev/null
 ./_build/default/bin/tbct_cli.exe store stats "$STORE" > /dev/null
 
-echo "CI: build + tests + lint + contract-smoke + store-smoke + invariant checks passed"
+# pool determinism gate: a parallel campaign's hit list and a parallel
+# dedup run's reduced tests must be byte-identical to the sequential ones
+# at any worker count (the Pool's task-id-ordered merge contract)
+./_build/default/bin/tbct_cli.exe campaign --seeds 40 --domains 1 \
+    --hits-out "$STORE/hits-seq.txt" > /dev/null
+./_build/default/bin/tbct_cli.exe campaign --seeds 40 --domains 4 \
+    --hits-out "$STORE/hits-par.txt" > /dev/null
+if ! cmp -s "$STORE/hits-seq.txt" "$STORE/hits-par.txt"; then
+  echo "CI: 4-domain campaign hit list differs from the sequential one" >&2
+  exit 1
+fi
+./_build/default/bin/tbct_cli.exe dedup --seeds 40 --domains 1 \
+    --tests-out "$STORE/tests-seq.txt" > /dev/null
+./_build/default/bin/tbct_cli.exe dedup --seeds 40 --domains 4 \
+    --tests-out "$STORE/tests-par.txt" > /dev/null
+if ! cmp -s "$STORE/tests-seq.txt" "$STORE/tests-par.txt"; then
+  echo "CI: 4-domain parallel reduction differs from the sequential one" >&2
+  exit 1
+fi
+
+echo "CI: build + tests + lint + contract-smoke + store-smoke + pool-determinism + invariant checks passed"

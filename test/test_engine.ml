@@ -121,7 +121,74 @@ let test_parallel_shared_engine () =
   check_same_hits "3-domain shared-engine campaign" expected par;
   let s = Harness.Engine.stats engine in
   Alcotest.(check bool) "parallel campaign executed runs" true
-    (s.Harness.Engine.runs_executed > 0)
+    (s.Harness.Engine.runs_executed > 0);
+  (* per-domain accounting: the breakdown partitions runs_executed, and a
+     3-worker pool really did spread executions over several domains *)
+  Alcotest.(check int) "per-domain runs sum to runs_executed"
+    s.Harness.Engine.runs_executed
+    (List.fold_left (fun acc (_, n) -> acc + n) 0
+       s.Harness.Engine.per_domain_runs);
+  Alcotest.(check bool) "more than one domain executed runs" true
+    (List.length s.Harness.Engine.per_domain_runs > 1)
+
+let test_domains_exceed_seeds () =
+  (* regression: --domains beyond the seed count used to spawn domains
+     with empty ranges; the pool clamp must keep the hit list identical *)
+  let small = { scale with Harness.Experiments.seeds = 5 } in
+  let expected = Harness.Experiments.run_campaign ~scale:small tool in
+  let par = Harness.Experiments.run_campaign ~scale:small ~domains:16 tool in
+  check_same_hits "16 domains over 5 seeds" expected par
+
+let test_caller_pool_both_phases () =
+  (* one caller-owned pool serving campaign then reduction, as the CLI
+     does; both phases must match their sequential runs *)
+  let expected = Lazy.force baseline_hits in
+  let seq_engine = Harness.Engine.create () in
+  let eligible =
+    Harness.Experiments.cap_hits
+      ~per_signature:scale.Harness.Experiments.max_reductions_per_signature
+      expected
+  in
+  let seq_outcomes = Harness.Experiments.reduce_hits seq_engine eligible in
+  Harness.Pool.with_pool ~workers:4 (fun pool ->
+      let engine = Harness.Engine.create () in
+      let hits = Harness.Experiments.run_campaign ~scale ~pool ~engine tool in
+      check_same_hits "campaign through a caller-owned pool" expected hits;
+      let outcomes = Harness.Experiments.reduce_hits ~pool engine eligible in
+      Alcotest.(check bool)
+        "parallel reduction outcomes identical to sequential" true
+        (outcomes = seq_outcomes));
+  Alcotest.(check bool) "reduction outcomes non-trivial" true
+    (List.exists Option.is_some seq_outcomes)
+
+let test_parallel_reduce_hits workers () =
+  let hits = Lazy.force baseline_hits in
+  let eligible =
+    Harness.Experiments.cap_hits
+      ~per_signature:scale.Harness.Experiments.max_reductions_per_signature
+      hits
+  in
+  let seq = Harness.Experiments.reduce_hits (Harness.Engine.create ()) eligible in
+  Harness.Pool.with_pool ~workers (fun pool ->
+      let par =
+        Harness.Experiments.reduce_hits ~pool (Harness.Engine.create ()) eligible
+      in
+      Alcotest.(check bool)
+        (Printf.sprintf "%d-worker reduce_hits identical to sequential" workers)
+        true (par = seq))
+
+exception Hook_failure
+
+let test_raising_on_seed_propagates () =
+  (* a raising on_seed hook must surface from the parallel campaign (the
+     pool drains, then re-raises) rather than deadlocking or vanishing *)
+  match
+    Harness.Experiments.run_campaign ~scale ~domains:3
+      ~on_seed:(fun seed _ -> if seed = 7 then raise Hook_failure)
+      tool
+  with
+  | _ -> Alcotest.fail "raising on_seed did not propagate"
+  | exception Hook_failure -> ()
 
 (* ------------------------------------------------------------------ *)
 
@@ -148,9 +215,23 @@ let () =
         [
           Alcotest.test_case "2 domains = sequential" `Slow
             (test_parallel_campaign 2);
+          Alcotest.test_case "3 domains = sequential" `Slow
+            (test_parallel_campaign 3);
           Alcotest.test_case "4 domains = sequential" `Slow
             (test_parallel_campaign 4);
+          Alcotest.test_case "8 domains = sequential" `Slow
+            (test_parallel_campaign 8);
           Alcotest.test_case "shared engine across domains" `Slow
             test_parallel_shared_engine;
+          Alcotest.test_case "domains > seeds (clamped)" `Slow
+            test_domains_exceed_seeds;
+          Alcotest.test_case "one pool, both phases" `Slow
+            test_caller_pool_both_phases;
+          Alcotest.test_case "2-worker reduction = sequential" `Slow
+            (test_parallel_reduce_hits 2);
+          Alcotest.test_case "4-worker reduction = sequential" `Slow
+            (test_parallel_reduce_hits 4);
+          Alcotest.test_case "raising on_seed propagates" `Slow
+            test_raising_on_seed_propagates;
         ] );
     ]

@@ -1,0 +1,156 @@
+(* Tests for the work-stealing domain pool: deterministic task-id-ordered
+   results at any worker count, workers > tasks, empty batches, exception
+   propagation (smallest raising id, pool survives), reuse across batches
+   and the with_pool cleanup contract. *)
+
+let squares n = Array.init n (fun i -> i * i)
+
+let test_map_identity workers () =
+  Harness.Pool.with_pool ~workers (fun pool ->
+      Alcotest.(check int) "worker count" (max 1 workers)
+        (Harness.Pool.workers pool);
+      let results = Harness.Pool.map pool 100 (fun i -> i * i) in
+      Alcotest.(check bool)
+        (Printf.sprintf "%d-worker map keyed by task id" workers)
+        true
+        (results = squares 100))
+
+let test_workers_exceed_tasks () =
+  (* more workers than tasks: surplus deques start empty and steal; every
+     slot still holds its own task's result *)
+  Harness.Pool.with_pool ~workers:8 (fun pool ->
+      let results = Harness.Pool.map pool 3 (fun i -> i * i) in
+      Alcotest.(check bool) "8 workers over 3 tasks" true (results = squares 3))
+
+let test_empty_and_singleton () =
+  Harness.Pool.with_pool ~workers:4 (fun pool ->
+      Alcotest.(check int) "empty batch" 0
+        (Array.length (Harness.Pool.map pool 0 (fun i -> i)));
+      let one = Harness.Pool.map pool 1 (fun i -> i + 41) in
+      Alcotest.(check bool) "singleton batch" true (one = [| 41 |]))
+
+let test_map_worker_labels () =
+  Harness.Pool.with_pool ~workers:4 (fun pool ->
+      let seen = Array.make 64 (-1) in
+      let results =
+        Harness.Pool.map_worker pool 64 (fun ~worker id ->
+            seen.(id) <- worker;
+            id)
+      in
+      Alcotest.(check bool) "results keyed by id" true
+        (results = Array.init 64 Fun.id);
+      Array.iter
+        (fun w ->
+          Alcotest.(check bool) "worker label in range" true (w >= 0 && w < 4))
+        seen)
+
+let test_map_list_order () =
+  Harness.Pool.with_pool ~workers:3 (fun pool ->
+      let xs = List.init 50 (fun i -> 50 - i) in
+      Alcotest.(check (list int)) "map_list preserves order"
+        (List.map (fun x -> x * 2) xs)
+        (Harness.Pool.map_list pool (fun x -> x * 2) xs))
+
+exception Boom of int
+
+let test_exception_propagates workers () =
+  Harness.Pool.with_pool ~workers (fun pool ->
+      (* several tasks raise; the pool must re-raise the smallest raising
+         id whatever order the workers hit them in, and must not deadlock *)
+      (match
+         Harness.Pool.map pool 40 (fun i ->
+             if i mod 10 = 7 then raise (Boom i) else i)
+       with
+      | _ -> Alcotest.fail "a raising batch returned normally"
+      | exception Boom i ->
+          Alcotest.(check int)
+            (Printf.sprintf "%d workers: smallest raising id wins" workers)
+            7 i);
+      (* the same pool stays usable for further batches *)
+      let results = Harness.Pool.map pool 20 (fun i -> i + 1) in
+      Alcotest.(check bool) "pool reusable after a raising batch" true
+        (results = Array.init 20 (fun i -> i + 1)))
+
+let test_reuse_across_batches () =
+  Harness.Pool.with_pool ~workers:4 (fun pool ->
+      for n = 1 to 30 do
+        let results = Harness.Pool.map pool n (fun i -> i * n) in
+        Alcotest.(check bool)
+          (Printf.sprintf "batch of %d" n)
+          true
+          (results = Array.init n (fun i -> i * n))
+      done)
+
+let test_stats_account_every_task () =
+  Harness.Pool.with_pool ~workers:4 (fun pool ->
+      ignore (Harness.Pool.map pool 100 Fun.id);
+      ignore (Harness.Pool.map pool 28 Fun.id);
+      let stats = Harness.Pool.stats pool in
+      Alcotest.(check int) "one stats slot per worker" 4 (Array.length stats);
+      let total =
+        Array.fold_left
+          (fun acc s -> acc + s.Harness.Pool.ws_tasks)
+          0 stats
+      in
+      Alcotest.(check int) "every task accounted to exactly one worker" 128
+        total;
+      Alcotest.(check bool) "stats render" true
+        (String.length (Harness.Pool.stats_to_string pool) > 0))
+
+let test_shutdown_idempotent () =
+  let pool = Harness.Pool.create ~workers:3 () in
+  let results = Harness.Pool.map pool 10 Fun.id in
+  Alcotest.(check bool) "batch before shutdown" true
+    (results = Array.init 10 Fun.id);
+  Harness.Pool.shutdown pool;
+  Harness.Pool.shutdown pool (* second shutdown is a no-op, not a hang *)
+
+let test_with_pool_cleans_up_on_raise () =
+  match
+    Harness.Pool.with_pool ~workers:3 (fun pool ->
+        ignore (Harness.Pool.map pool 5 Fun.id);
+        failwith "caller-side failure")
+  with
+  | () -> Alcotest.fail "with_pool swallowed the exception"
+  | exception Failure msg ->
+      Alcotest.(check string) "caller exception surfaces" "caller-side failure"
+        msg
+
+let () =
+  Alcotest.run "pool"
+    [
+      ( "determinism",
+        [
+          Alcotest.test_case "1 worker" `Quick (test_map_identity 1);
+          Alcotest.test_case "2 workers" `Quick (test_map_identity 2);
+          Alcotest.test_case "3 workers" `Quick (test_map_identity 3);
+          Alcotest.test_case "4 workers" `Quick (test_map_identity 4);
+          Alcotest.test_case "8 workers" `Quick (test_map_identity 8);
+          Alcotest.test_case "workers > tasks" `Quick test_workers_exceed_tasks;
+          Alcotest.test_case "empty and singleton batches" `Quick
+            test_empty_and_singleton;
+          Alcotest.test_case "map_worker labels" `Quick test_map_worker_labels;
+          Alcotest.test_case "map_list preserves order" `Quick
+            test_map_list_order;
+        ] );
+      ( "exceptions",
+        [
+          Alcotest.test_case "propagates, 1 worker" `Quick
+            (test_exception_propagates 1);
+          Alcotest.test_case "propagates, 4 workers" `Quick
+            (test_exception_propagates 4);
+          Alcotest.test_case "propagates, 8 workers" `Quick
+            (test_exception_propagates 8);
+        ] );
+      ( "lifecycle",
+        [
+          Alcotest.test_case "reusable across batches" `Quick
+            test_reuse_across_batches;
+          Alcotest.test_case "stats account every task" `Quick
+            test_stats_account_every_task;
+          Alcotest.test_case "shutdown idempotent" `Quick
+            test_shutdown_idempotent;
+          Alcotest.test_case "with_pool cleans up on raise" `Quick
+            test_with_pool_cleans_up_on_raise;
+        ] );
+    ]

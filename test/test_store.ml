@@ -560,6 +560,34 @@ let test_campaign_resume_extends () =
   Alcotest.(check bool) "still bit-identical" true
     (o2.Harness.Persist.hits = fresh.Harness.Persist.hits)
 
+exception Hook_blew_up
+
+(* a user on_seed hook that raises mid-campaign: the exception must
+   propagate, the journal fd must still be closed (Fun.protect), and the
+   seeds journaled before the raise must resume into a bit-identical run *)
+let test_campaign_raising_hook_leaves_replayable_journal () =
+  let dir = fresh_dir () in
+  (match
+     Harness.Persist.run_campaign ~scale ~domains:3
+       ~on_seed:(fun seed _ -> if seed >= 7 then raise Hook_blew_up)
+       ~dir tool
+   with
+  | Ok _ -> Alcotest.fail "raising on_seed hook did not propagate"
+  | Error e -> Alcotest.failf "campaign refused instead of raising: %s" e
+  | exception Hook_blew_up -> ());
+  (* the journal left behind replays cleanly and a resume completes the
+     campaign bit-identically to an uninterrupted run *)
+  let replay =
+    Tbct_store.Journal.replay ~path:(Harness.Persist.journal_path dir)
+  in
+  Alcotest.(check bool) "aborted journal has a valid prefix" true
+    (List.length replay.Tbct_store.Journal.records > 1);
+  let o = run_persisted ~resume:true dir in
+  Alcotest.(check bool) "seeds recorded before the raise were replayed" true
+    (o.Harness.Persist.seeds_skipped > 0);
+  Alcotest.(check bool) "resumed hit list bit-identical to uninterrupted" true
+    (o.Harness.Persist.hits = Lazy.force baseline_hits)
+
 let test_campaign_resume_refuses_other_tool () =
   let dir = fresh_dir () in
   ignore (run_persisted dir);
@@ -646,6 +674,8 @@ let () =
             test_campaign_resume_after_truncation;
           Alcotest.test_case "kill (corrupted) + resume" `Slow
             test_campaign_resume_after_corruption;
+          Alcotest.test_case "raising on_seed leaves a replayable journal"
+            `Slow test_campaign_raising_hook_leaves_replayable_journal;
           Alcotest.test_case "resume refuses another tool" `Quick
             test_campaign_resume_refuses_other_tool;
           Alcotest.test_case "resume extends a finished campaign" `Slow

@@ -130,8 +130,14 @@ let test_reduce_linear_agrees_with_chunked () =
   let xs = List.init 25 Fun.id in
   let is_interesting ys = List.mem 7 ys && List.mem 19 ys in
   let r1, _ = Tbct.Reducer.reduce ~is_interesting xs in
-  let r2, _ = Tbct.Reducer.reduce_linear ~is_interesting xs in
-  check_list "same minimal result" r1 r2
+  let r2, s2 = Tbct.Reducer.reduce_linear ~is_interesting xs in
+  check_list "same minimal result" r1 r2;
+  (* the sweep threads the length instead of recomputing it; the stats it
+     reports must still be the true sizes *)
+  Alcotest.(check int) "linear stats: initial" (List.length xs)
+    s2.Tbct.Reducer.initial;
+  Alcotest.(check int) "linear stats: kept" (List.length r2)
+    s2.Tbct.Reducer.kept
 
 let prop_linear_one_minimal =
   QCheck.Test.make ~name:"linear reducer result is 1-minimal" ~count:50
