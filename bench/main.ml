@@ -606,6 +606,85 @@ let tv_perf () =
         /. float_of_int (max 1 warm.Harness.Engine.tv_checks)))
 
 (* ------------------------------------------------------------------ *)
+(* Registry: weighted scheduling and per-type counters                 *)
+
+let registry_perf () =
+  section "Registry: weighted scheduling & per-type counters";
+  let scale =
+    { Harness.Experiments.default_scale with Harness.Experiments.seeds = 30 }
+  in
+  let tool = Harness.Pipeline.Spirv_fuzz_tool in
+  let timed f =
+    let t0 = Unix.gettimeofday () in
+    let r = f () in
+    (r, Unix.gettimeofday () -. t0)
+  in
+  let measure weights =
+    let engine = Harness.Engine.create () in
+    let hits, wall =
+      timed (fun () ->
+          Harness.Experiments.run_campaign ~scale ~engine ~weights tool)
+    in
+    (hits, wall, (Harness.Engine.stats engine).Harness.Engine.counters)
+  in
+  let prefixed prefix counters =
+    List.filter_map
+      (fun (k, v) ->
+        let n = String.length prefix in
+        if String.length k > n && String.equal (String.sub k 0 n) prefix then
+          Some (String.sub k n (String.length k - n), v)
+        else None)
+      counters
+  in
+  let total counters = List.fold_left (fun acc (_, v) -> acc + v) 0 counters in
+  let report label (hits, wall, counters) =
+    let proposed = prefixed "proposed/" counters in
+    let applied = prefixed "applied/" counters in
+    Printf.printf
+      "%s campaign (%d seeds): %.2fs, %d detections; %d proposed, %d applied \
+       across %d transformation types\n"
+      label scale.Harness.Experiments.seeds wall (List.length hits)
+      (total proposed) (total applied) (List.length proposed);
+    let top =
+      List.sort (fun (_, a) (_, b) -> compare b a) applied |> fun l ->
+      List.filteri (fun i _ -> i < 6) l
+    in
+    List.iter (fun (k, v) -> Printf.printf "  applied %-34s %6d\n" k v) top
+  in
+  let uniform = measure [] in
+  report "uniform" uniform;
+  let weighting =
+    [ (Spirv_fuzz.Registry.Control_flow, 4); (Spirv_fuzz.Registry.Data, 2) ]
+  in
+  let weighted = measure weighting in
+  report "weighted (control_flow=4,data=2)" weighted;
+  (* persist the section machine-readably so CI can smoke-check it *)
+  let json_counters counters =
+    String.concat ","
+      (List.map (fun (k, v) -> Printf.sprintf "{\"type\":\"%s\",\"n\":%d}" k v)
+         counters)
+  in
+  let json_config name (hits, wall, counters) =
+    Printf.sprintf
+      "\"%s\":{\"wall_s\":%.3f,\"detections\":%d,\"proposed_total\":%d,\
+       \"applied_total\":%d,\"proposed\":[%s],\"applied\":[%s]}"
+      name wall (List.length hits)
+      (total (prefixed "proposed/" counters))
+      (total (prefixed "applied/" counters))
+      (json_counters (prefixed "proposed/" counters))
+      (json_counters (prefixed "applied/" counters))
+  in
+  let oc = open_out "BENCH_PR6.json" in
+  Printf.fprintf oc
+    "{\"seeds\":%d,\"registry_entries\":%d,%s,%s}\n"
+    scale.Harness.Experiments.seeds
+    (List.length Spirv_fuzz.Registry.all)
+    (json_config "uniform" uniform)
+    (json_config "weighted_cf4_data2" weighted);
+  close_out oc;
+  Printf.printf "registry perf section written to BENCH_PR6.json\n"
+
+(* ------------------------------------------------------------------ *)
 (* Bechamel micro-benchmarks                                           *)
 
 let perf_suite () =
@@ -626,6 +705,16 @@ let perf_suite () =
           ignore (Spirv_ir.Lint.check_module ref_module)));
       Test.make ~name:"fuzzer: one campaign seed" (Staged.stage (fun () ->
           ignore (Spirv_fuzz.Fuzzer.run ~seed:1 ctx)));
+      Test.make ~name:"fuzzer: weighted pass draw" (Staged.stage (fun () ->
+          let config =
+            {
+              Spirv_fuzz.Fuzzer.default_config with
+              Spirv_fuzz.Fuzzer.weights =
+                [ (Spirv_fuzz.Registry.Control_flow, 4);
+                  (Spirv_fuzz.Registry.Data, 2) ];
+            }
+          in
+          ignore (Spirv_fuzz.Fuzzer.run ~config ~seed:1 ctx)));
       Test.make ~name:"replay: recorded sequence" (Staged.stage (fun () ->
           let r = Lazy.force fuzz_result in
           ignore (Spirv_fuzz.Lang.replay ctx r.Spirv_fuzz.Fuzzer.transformations)));
@@ -657,18 +746,27 @@ let perf_suite () =
 let () =
   let seeds = ref Harness.Experiments.default_scale.Harness.Experiments.seeds in
   let perf = ref false in
+  let perf_smoke = ref false in
   let ablate = ref false in
   let skip_campaign = ref false in
   Arg.parse
     [
       ("--seeds", Arg.Set_int seeds, "tests per tool configuration (default 150)");
       ("--perf", Arg.Set perf, "also run the Bechamel micro-benchmarks");
+      ( "--perf-smoke",
+        Arg.Set perf_smoke,
+        "only the quick registry perf section (writes BENCH_PR6.json)" );
       ("--ablate", Arg.Set ablate, "also run the design ablations");
       ("--quick", Arg.Unit (fun () -> seeds := 60), "small quick run");
       ("--no-campaign", Arg.Set skip_campaign, "only the deterministic figures");
     ]
     (fun _ -> ())
     "bench: regenerate the paper's tables and figures";
+  if !perf_smoke then begin
+    registry_perf ();
+    print_newline ();
+    exit 0
+  end;
   let scale = { Harness.Experiments.default_scale with Harness.Experiments.seeds = !seeds } in
   print_table2 ();
   print_figures_4_5 ();
@@ -692,6 +790,7 @@ let () =
     store_perf ();
     oracle_perf ();
     tv_perf ();
+    registry_perf ();
     perf_suite ()
   end;
   print_newline ()

@@ -358,6 +358,149 @@ let targets_cmd =
     Term.(const run $ const ())
 
 (* ------------------------------------------------------------------ *)
+(* transformations: the registry as a user-facing catalogue            *)
+
+let transformations_cmd =
+  let check_arg =
+    Arg.(value & flag
+         & info [ "check" ]
+             ~doc:"Registry completeness gate: verify that every \
+                   transformation type id has exactly one registry entry \
+                   and vice versa; non-zero exit on any mismatch.")
+  in
+  let seeds_arg =
+    Arg.(value & opt int 0
+         & info [ "seeds" ] ~docv:"N"
+             ~doc:"Fuzz N corpus seeds and append per-type \
+                   proposed/applied counters to the listing — the quick \
+                   way to see how $(b,--weights) shifts sampling.")
+  in
+  let weights_arg =
+    Arg.(value & opt (some string) None
+         & info [ "weights" ] ~docv:"FAMILY=N,..."
+             ~doc:"Per-family sampling-weight multipliers used by \
+                   $(b,--seeds) (same syntax as campaign --weights).")
+  in
+  let run json check seeds weights =
+    let weights =
+      match weights with
+      | None -> []
+      | Some s -> (
+          match Spirv_fuzz.Registry.parse_weights s with
+          | Ok w -> w
+          | Error msg ->
+              prerr_endline ("error: --weights: " ^ msg);
+              exit 1)
+    in
+    if check then begin
+      let catalogue = Spirv_fuzz.Transformation.catalogue in
+      let entries =
+        List.map
+          (fun (e : Spirv_fuzz.Registry.entry) -> e.Spirv_fuzz.Registry.type_id)
+          Spirv_fuzz.Registry.all
+      in
+      let missing =
+        List.filter (fun id -> not (List.mem id entries)) catalogue
+      in
+      let extra =
+        List.filter (fun id -> not (List.mem id catalogue)) entries
+      in
+      let dupes =
+        List.filter
+          (fun id -> List.length (List.filter (String.equal id) entries) > 1)
+          entries
+      in
+      if missing = [] && extra = [] && dupes = [] then begin
+        Printf.printf "registry complete: %d transformation types, %d entries\n"
+          (List.length catalogue) (List.length entries);
+        0
+      end
+      else begin
+        List.iter (fun id -> Printf.printf "missing registry entry: %s\n" id) missing;
+        List.iter (fun id -> Printf.printf "entry without transformation type: %s\n" id) extra;
+        List.iter (fun id -> Printf.printf "duplicate registry entry: %s\n" id) dupes;
+        1
+      end
+    end
+    else begin
+      let counters = Hashtbl.create 64 in
+      if seeds > 0 then begin
+        let refs = Lazy.force Corpus.lowered_references in
+        let donors = List.map snd (Lazy.force Corpus.lowered_donors) in
+        for seed = 0 to seeds - 1 do
+          let _, m = List.nth refs (seed mod List.length refs) in
+          let ctx = Spirv_fuzz.Context.make m Corpus.default_input in
+          let config =
+            {
+              Spirv_fuzz.Fuzzer.default_config with
+              Spirv_fuzz.Fuzzer.donors = donors;
+              Spirv_fuzz.Fuzzer.weights = weights;
+            }
+          in
+          let result = Spirv_fuzz.Fuzzer.run ~config ~seed ctx in
+          List.iter
+            (fun (ty, proposed, applied) ->
+              let p0, a0 =
+                Option.value ~default:(0, 0) (Hashtbl.find_opt counters ty)
+              in
+              Hashtbl.replace counters ty (p0 + proposed, a0 + applied))
+            result.Spirv_fuzz.Fuzzer.counters
+        done
+      end;
+      let tally ty = Option.value ~default:(0, 0) (Hashtbl.find_opt counters ty) in
+      if json then
+        List.iter
+          (fun (e : Spirv_fuzz.Registry.entry) ->
+            let proposed, applied = tally e.Spirv_fuzz.Registry.type_id in
+            Printf.printf
+              "{\"type_id\":%s,\"family\":%s,\"pass\":%s,\
+               \"image_preserving\":%b,\"dedup_relevant\":%b,\"weight\":%d%s}\n"
+              (json_string e.Spirv_fuzz.Registry.type_id)
+              (json_string
+                 (Spirv_fuzz.Registry.family_to_string e.Spirv_fuzz.Registry.family))
+              (match e.Spirv_fuzz.Registry.pass with
+              | Some p -> json_string p
+              | None -> "null")
+              e.Spirv_fuzz.Registry.image_preserving
+              e.Spirv_fuzz.Registry.dedup_relevant
+              e.Spirv_fuzz.Registry.weight
+              (if seeds > 0 then
+                 Printf.sprintf ",\"proposed\":%d,\"applied\":%d" proposed applied
+               else ""))
+          Spirv_fuzz.Registry.all
+      else begin
+        Printf.printf "%-34s %-12s %-28s %-6s %-6s %6s%s\n" "Type" "Family"
+          "Pass" "Image" "Dedup" "Weight"
+          (if seeds > 0 then Printf.sprintf " %9s %9s" "Proposed" "Applied"
+           else "");
+        List.iter
+          (fun (e : Spirv_fuzz.Registry.entry) ->
+            let proposed, applied = tally e.Spirv_fuzz.Registry.type_id in
+            Printf.printf "%-34s %-12s %-28s %-6s %-6s %6d%s\n"
+              e.Spirv_fuzz.Registry.type_id
+              (Spirv_fuzz.Registry.family_to_string e.Spirv_fuzz.Registry.family)
+              (Option.value ~default:"-" e.Spirv_fuzz.Registry.pass)
+              (if e.Spirv_fuzz.Registry.image_preserving then "yes" else "no")
+              (if e.Spirv_fuzz.Registry.dedup_relevant then "yes" else "no")
+              e.Spirv_fuzz.Registry.weight
+              (if seeds > 0 then Printf.sprintf " %9d %9d" proposed applied
+               else ""))
+          Spirv_fuzz.Registry.all
+      end;
+      0
+    end
+  in
+  Cmd.v
+    (Cmd.info "transformations"
+       ~doc:
+         "List the transformation registry: every transformation type with \
+          its family, proposing pass, contract flags and sampling weight — \
+          the single table that drives the passes, the contract checker, \
+          deduplication and campaign scheduling.")
+    Term.(const (fun j c s w -> Stdlib.exit (run j c s w)) $ json_arg
+          $ check_arg $ seeds_arg $ weights_arg)
+
+(* ------------------------------------------------------------------ *)
 (* fuzz                                                                *)
 
 let fuzz_cmd =
@@ -569,14 +712,33 @@ let campaign_cmd =
                    miscompilations are caught even on targets that cannot \
                    render.")
   in
-  let run seeds tool domains stats check_contracts tv store resume fsync
-      hits_out =
+  let weights_arg =
+    Arg.(value & opt (some string) None
+         & info [ "weights" ] ~docv:"FAMILY=N,..."
+             ~doc:"Rescale the fuzzer's per-family sampling weights, e.g. \
+                   $(b,control_flow=5,data=2) (families: tbct \
+                   transformations).  Omitted families keep weight 1; a \
+                   family weighted 0 is never drawn.  The default is the \
+                   uniform draw, bit-identical to earlier releases.")
+  in
+  let run seeds tool domains stats check_contracts tv weights store resume
+      fsync hits_out =
     let tool =
       match Harness.Pipeline.tool_of_name tool with
       | Some t -> t
       | None ->
           prerr_endline ("unknown tool " ^ tool);
           exit 1
+    in
+    let weights =
+      match weights with
+      | None -> []
+      | Some s -> (
+          match Spirv_fuzz.Registry.parse_weights s with
+          | Ok w -> w
+          | Error msg ->
+              prerr_endline ("error: --weights: " ^ msg);
+              exit 1)
     in
     let scale = { Harness.Experiments.default_scale with Harness.Experiments.seeds = seeds } in
     let engine, hits =
@@ -590,7 +752,7 @@ let campaign_cmd =
           let hits =
             or_contract_violation (fun () ->
                 Harness.Experiments.run_campaign ~scale ~domains ~engine
-                  ~check_contracts ~tv tool)
+                  ~check_contracts ~tv ~weights tool)
           in
           (engine, hits)
       | Some dir ->
@@ -599,7 +761,7 @@ let campaign_cmd =
           let outcome =
             or_contract_violation (fun () ->
                 Harness.Persist.run_campaign ~scale ~domains ~engine
-                  ~check_contracts ~tv ~resume ~fsync ~dir tool)
+                  ~check_contracts ~tv ~weights ~resume ~fsync ~dir tool)
           in
           let o = or_die outcome in
           if resume then begin
@@ -650,8 +812,8 @@ let campaign_cmd =
   Cmd.v
     (Cmd.info "campaign" ~doc:"Run a fuzzing campaign over all targets.")
     Term.(const run $ seeds_arg $ tool_arg $ domains_arg $ stats_arg
-          $ check_contracts_arg $ tv_arg $ store_arg $ resume_arg $ fsync_arg
-          $ hits_out_arg)
+          $ check_contracts_arg $ tv_arg $ weights_arg $ store_arg
+          $ resume_arg $ fsync_arg $ hits_out_arg)
 
 (* ------------------------------------------------------------------ *)
 (* store: inspect and maintain a campaign store directory               *)
@@ -770,7 +932,42 @@ let dedup_cmd =
                    (target, bug id, minimized transformation types) — \
                    byte-comparable across runs and domain counts.")
   in
-  let run seeds cap domains bank tests_out =
+  let emit_arg =
+    Arg.(value & opt (some string) None
+         & info [ "emit-dir" ] ~docv:"DIR"
+             ~doc:"Write each reduced test's minimized module to \
+                   $(docv)/TARGET__BUGID.spvasm — including tests recalled \
+                   from the bank without re-reducing.")
+  in
+  (* the bank's CAS record for one reduced test: the ordered type-id list
+     on the first line, the encoded minimized module after it *)
+  let banked_key ~target ~bug_id =
+    Tbct_store.Cas.key_of_string ("reduced:" ^ target ^ ":" ^ bug_id)
+  in
+  let encode_banked (d : Harness.Experiments.dedup_test) =
+    String.concat "," d.Harness.Experiments.dd_types
+    ^ "\n"
+    ^ Tbct_store.Run_codec.encode_module d.Harness.Experiments.dd_module
+  in
+  let decode_banked ~bug_id blob : Harness.Experiments.dedup_test option =
+    match String.index_opt blob '\n' with
+    | None -> None
+    | Some i -> (
+        let types_line = String.sub blob 0 i in
+        let rest = String.sub blob (i + 1) (String.length blob - i - 1) in
+        match Tbct_store.Run_codec.decode_module rest with
+        | None -> None
+        | Some m ->
+            Some
+              {
+                Harness.Experiments.dd_bug_id = bug_id;
+                Harness.Experiments.dd_types =
+                  (if String.equal types_line "" then []
+                   else String.split_on_char ',' types_line);
+                Harness.Experiments.dd_module = m;
+              })
+  in
+  let run seeds cap domains bank tests_out emit_dir =
     let scale =
       {
         Harness.Experiments.default_scale with
@@ -799,10 +996,32 @@ let dedup_cmd =
     Printf.printf "%d detections (%d crashes); reducing and deduplicating...
 %!"
       (List.length hits) (List.length crashes);
+    (* the bank's CAS holds previously-minimized modules: a hit whose
+       (target, bug id) is already spilled is recalled instead of
+       re-reduced (the hook is thread-safe: the CAS takes its own lock) *)
+    let bank_cas =
+      Option.map (fun dir -> Harness.Persist.open_cas ~dir ()) bank
+    in
+    let recalled = Atomic.make 0 in
+    let known =
+      Option.map
+        (fun cas ~target ~bug_id ->
+          match Tbct_store.Cas.get cas ~key:(banked_key ~target ~bug_id) with
+          | None -> None
+          | Some blob ->
+              let d = decode_banked ~bug_id blob in
+              if Option.is_some d then Atomic.incr recalled;
+              d)
+        bank_cas
+    in
     (* reduce each capped crash hit once; table4 and the bug bank share it *)
     let tests =
-      Harness.Experiments.reduced_crash_tests ~scale ~engine ~pool ~hits ()
+      Harness.Experiments.reduced_crash_tests ~scale ~engine ~pool ?known
+        ~hits ()
     in
+    if Atomic.get recalled > 0 then
+      Printf.printf "bank: %d reduced test(s) recalled without re-reducing\n"
+        (Atomic.get recalled);
     (match tests_out with
     | None -> ()
     | Some path ->
@@ -811,12 +1030,37 @@ let dedup_cmd =
           (fun (target, (d : Harness.Experiments.dedup_test)) ->
             Printf.fprintf oc "%s\t%s\t%s\n" target
               d.Harness.Experiments.dd_bug_id
-              (String.concat ","
-                 (List.map Spirv_fuzz.Transformation.type_id
-                    d.Harness.Experiments.dd_transformations)))
+              (String.concat "," d.Harness.Experiments.dd_types))
           tests;
         close_out oc;
         Printf.printf "reduced tests written to %s\n" path);
+    (match emit_dir with
+    | None -> ()
+    | Some dir ->
+        if not (Sys.file_exists dir) then Sys.mkdir dir 0o755;
+        let sanitize s =
+          String.map
+            (fun c ->
+              match c with
+              | 'a' .. 'z' | 'A' .. 'Z' | '0' .. '9' | '-' | '_' | '.' -> c
+              | _ -> '_')
+            s
+        in
+        List.iter
+          (fun (target, (d : Harness.Experiments.dedup_test)) ->
+            let path =
+              Filename.concat dir
+                (sanitize target ^ "__"
+                ^ sanitize d.Harness.Experiments.dd_bug_id
+                ^ ".spvasm")
+            in
+            let oc = open_out_bin path in
+            output_string oc
+              (Spirv_ir.Disasm.to_string d.Harness.Experiments.dd_module);
+            close_out oc)
+          tests;
+        Printf.printf "%d minimized module(s) written to %s\n"
+          (List.length tests) dir);
     let rows, total =
       Harness.Experiments.table4 ~scale ~engine ~tests ~hits:[| hits; []; [] |] ()
     in
@@ -833,13 +1077,13 @@ let dedup_cmd =
             r.Harness.Experiments.t4_dups)
       (rows @ [ total ]);
     print_endline (Harness.Engine.stats_to_string (Harness.Engine.stats engine));
-    match bank with
-    | None -> 0
-    | Some dir ->
+    match (bank, bank_cas) with
+    | None, _ | _, None -> 0
+    | Some dir, Some cas ->
         let bank =
           Tbct_store.Bugbank.load ~dir:(Harness.Persist.bugbank_dir dir)
         in
-        let fresh = ref 0 and known = ref 0 in
+        let fresh = ref 0 and known = ref 0 and spilled = ref 0 in
         List.iter
           (fun (target, (d : Harness.Experiments.dedup_test)) ->
             (* the bank's signature: the reduced sequence's non-ignored
@@ -847,14 +1091,19 @@ let dedup_cmd =
             let types =
               Spirv_fuzz.Dedup.String_set.elements
                 (Spirv_fuzz.Dedup.String_set.diff
-                   (Spirv_fuzz.Dedup.types_of
-                      {
-                        Spirv_fuzz.Dedup.label = d.Harness.Experiments.dd_bug_id;
-                        Spirv_fuzz.Dedup.transformations =
-                          d.Harness.Experiments.dd_transformations;
-                      })
+                   (Spirv_fuzz.Dedup.String_set.of_list
+                      d.Harness.Experiments.dd_types)
                    Spirv_fuzz.Dedup.default_ignored)
             in
+            (* spill the minimized module so the next campaign re-emits
+               this test case instead of re-reducing it *)
+            let key =
+              banked_key ~target ~bug_id:d.Harness.Experiments.dd_bug_id
+            in
+            if not (Tbct_store.Cas.mem cas ~key) then begin
+              Tbct_store.Cas.put cas ~key (encode_banked d);
+              incr spilled
+            end;
             match
               Tbct_store.Bugbank.record bank ~target
                 ~bug_id:d.Harness.Experiments.dd_bug_id ~types
@@ -865,17 +1114,20 @@ let dedup_cmd =
         Tbct_store.Bugbank.save bank;
         Printf.printf
           "bug bank %s: %d newly-banked signature(s), %d test(s) matched \
-           already-known signatures; %d signature(s) banked in total\n"
-          dir !fresh !known (Tbct_store.Bugbank.size bank);
+           already-known signatures; %d reduced module(s) spilled to the \
+           store; %d signature(s) banked in total\n"
+          dir !fresh !known !spilled (Tbct_store.Bugbank.size bank);
         if !fresh > 0 then 0 else 3
   in
   Cmd.v
     (Cmd.info "dedup"
        ~doc:
          "Fuzz, reduce every crash, and recommend a deduplicated subset for           investigation (the Figure 6 algorithm).  With $(b,--bank), also \
-          record signatures in a cross-campaign bug bank.")
-    Term.(const (fun s c d b t -> Stdlib.exit (run s c d b t)) $ seeds_arg
-          $ cap_arg $ domains_arg $ bank_arg $ tests_out_arg)
+          record signatures in a cross-campaign bug bank, spill each \
+          minimized module into the store's CAS, and recall already-banked \
+          test cases without re-reducing them.")
+    Term.(const (fun s c d b t e -> Stdlib.exit (run s c d b t e)) $ seeds_arg
+          $ cap_arg $ domains_arg $ bank_arg $ tests_out_arg $ emit_arg)
 
 (* --verbose works on every subcommand: it is stripped from argv before
    dispatch and turns on debug logging for the tbct.* sources *)
@@ -895,5 +1147,6 @@ let () =
        (Cmd.group info
           [
             validate_cmd; lint_cmd; tv_cmd; disasm_cmd; render_cmd; run_cmd; targets_cmd;
-            fuzz_cmd; hunt_cmd; campaign_cmd; dedup_cmd; store_cmd;
+            transformations_cmd; fuzz_cmd; hunt_cmd; campaign_cmd; dedup_cmd;
+            store_cmd;
           ]))

@@ -30,6 +30,9 @@ type t = {
   domain_runs : (int, int) Hashtbl.t;
       (* domain id -> backend executions performed by that domain; shows
          how evenly the pool's workers shared the execute load *)
+  named_counters : (string, int) Hashtbl.t;
+      (* caller-defined tallies, e.g. per-transformation-type
+         proposed/applied counts bumped by campaign drivers *)
   mutable runs_executed : int;
   mutable cache_hits : int;
   mutable baseline_hits : int;
@@ -59,6 +62,7 @@ type stats = {
   execute_wall : float;
   stages : (string * float) list;
   per_domain_runs : (int * int) list;
+  counters : (string * int) list;
 }
 
 let create ?store ?(memo_capacity = default_memo_capacity) () =
@@ -72,6 +76,7 @@ let create ?store ?(memo_capacity = default_memo_capacity) () =
     store;
     stage_wall = Hashtbl.create 8;
     domain_runs = Hashtbl.create 8;
+    named_counters = Hashtbl.create 64;
     runs_executed = 0;
     cache_hits = 0;
     baseline_hits = 0;
@@ -84,6 +89,12 @@ let create ?store ?(memo_capacity = default_memo_capacity) () =
   }
 
 let cas e = e.store
+
+let bump_counter e name n =
+  Mutex.lock e.lock;
+  Hashtbl.replace e.named_counters name
+    (n + Option.value ~default:0 (Hashtbl.find_opt e.named_counters name));
+  Mutex.unlock e.lock
 
 let locked e f =
   Mutex.lock e.lock;
@@ -304,6 +315,9 @@ let stats e : stats =
         per_domain_runs =
           Hashtbl.fold (fun k v acc -> (k, v) :: acc) e.domain_runs []
           |> List.sort (fun (a, _) (b, _) -> compare a b);
+        counters =
+          Hashtbl.fold (fun k v acc -> (k, v) :: acc) e.named_counters []
+          |> List.sort (fun (a, _) (b, _) -> String.compare a b);
       })
 
 let reset e =
@@ -314,6 +328,7 @@ let reset e =
       Hashtbl.reset e.baselines;
       Hashtbl.reset e.stage_wall;
       Hashtbl.reset e.domain_runs;
+      Hashtbl.reset e.named_counters;
       e.runs_executed <- 0;
       e.cache_hits <- 0;
       e.baseline_hits <- 0;
@@ -349,6 +364,10 @@ let pp_stats fmt (s : stats) =
       Format.fprintf fmt "@\nruns per domain:";
       List.iter
         (fun (d, n) -> Format.fprintf fmt " d%d:%d" d n)
-        per_domain)
+        per_domain);
+  if s.counters <> [] then begin
+    Format.fprintf fmt "@\ncounters:";
+    List.iter (fun (k, v) -> Format.fprintf fmt "@\n  %-40s %8d" k v) s.counters
+  end
 
 let stats_to_string s = Format.asprintf "%a" pp_stats s

@@ -63,6 +63,10 @@ type stats = {
           evenly a {!Pool}'s workers shared the execute load; summed it
           equals [runs_executed].  A single entry means a sequential
           run. *)
+  counters : (string * int) list;
+      (** caller-defined named tallies ({!bump_counter}), sorted by name —
+          e.g. the per-transformation-type [proposed/*] and [applied/*]
+          counts campaign drivers accumulate from fuzzer results *)
 }
 
 val default_memo_capacity : int
@@ -106,6 +110,10 @@ val tv_check : t -> before:Module_ir.t -> after:Module_ir.t ->
 
 val timed : t -> stage:string -> (unit -> 'a) -> 'a
 (** Run a thunk and add its wall-clock time to the named stage. *)
+
+val bump_counter : t -> string -> int -> unit
+(** [bump_counter e name n] adds [n] to the named tally (creating it at 0).
+    Mutex-guarded, so domains may bump concurrently. *)
 
 val stats : t -> stats
 (** A consistent snapshot of the engine's counters. *)

@@ -88,7 +88,7 @@ let references_for (tool : Pipeline.tool) =
     from a worker domain, so the hook must be thread-safe. *)
 let run_campaign ?(scale = default_scale) ?(targets = Compilers.Target.all)
     ?(domains = 1) ?pool ?engine ?(check_contracts = false) ?(tv = false)
-    ?(skip = fun (_ : int) -> (None : hit list option))
+    ?(weights = []) ?(skip = fun (_ : int) -> (None : hit list option))
     ?(on_seed = fun (_ : int) (_ : hit list) -> ()) tool : hit list =
   let engine = match engine with Some e -> e | None -> Engine.create () in
   let refs = Array.of_list (references_for tool) in
@@ -100,9 +100,18 @@ let run_campaign ?(scale = default_scale) ?(targets = Compilers.Target.all)
     let stage = if check_contracts then "generate+contract-check" else "generate" in
     let generated =
       Engine.timed engine ~stage (fun () ->
-          Pipeline.generate ~check_contracts tool ~ref_source ~ref_module ~seed
-            ~input:Corpus.default_input)
+          Pipeline.generate ~check_contracts ~weights tool ~ref_source
+            ~ref_module ~seed ~input:Corpus.default_input)
     in
+    (* per-transformation-type tallies roll up into the engine so
+       [--stats] can report the campaign-wide catalogue activity *)
+    List.iter
+      (fun (type_id, proposed, applied) ->
+        if proposed > 0 then
+          Engine.bump_counter engine ("proposed/" ^ type_id) proposed;
+        if applied > 0 then
+          Engine.bump_counter engine ("applied/" ^ type_id) applied)
+      generated.Pipeline.gen_counters;
     List.filter_map
       (fun (t : Compilers.Target.t) ->
         match
@@ -441,54 +450,70 @@ type table4_row = {
   t4_dups : int;
 }
 
-(* a reduced spirv-fuzz test with its minimized transformation sequence *)
+(* a reduced spirv-fuzz test: the minimized sequence's transformation type
+   ids (ordered, duplicates preserved — all Figure 6 consumes) plus the
+   minimized module itself, so callers (the CLI's bug bank) can persist the
+   test case and recall it without replaying the reduction *)
 type dedup_test = {
   dd_bug_id : string;
-  dd_transformations : Spirv_fuzz.Transformation.t list;
+  dd_types : string list;
+  dd_module : Module_ir.t;
 }
 
 (* reduce one crash hit to its minimized transformation sequence (the
    per-task body of [reduced_crash_tests]; safe to run from any pool
-   worker against the shared engine) *)
-let reduce_crash_hit (engine : Engine.t) (h : hit) : (string * dedup_test) option =
+   worker against the shared engine).  [known] is the bug-bank shortcut: a
+   test recalled for this (target, bug id) is reused verbatim instead of
+   regenerating and re-reducing the hit. *)
+let reduce_crash_hit ?(known = fun ~target:_ ~bug_id:_ -> None)
+    (engine : Engine.t) (h : hit) : (string * dedup_test) option =
   match Compilers.Target.find h.hit_target with
   | None -> None
   | Some t -> (
-      let refs = references_for h.hit_tool in
-      let ref_name, ref_source, ref_module =
-        match List.find_opt (fun (n, _, _) -> String.equal n h.hit_ref) refs with
-        | Some r -> r
-        | None -> List.hd refs
+      let bug_id =
+        Signature.bug_id_of_signature h.hit_detection.Pipeline.signature
       in
-      let generated =
-        Engine.timed engine ~stage:"generate" (fun () ->
-            Pipeline.generate h.hit_tool ~ref_source ~ref_module
-              ~seed:h.hit_seed ~input:Corpus.default_input)
-      in
-      let is_interesting =
-        Pipeline.interestingness engine t ~ref_name ~original:ref_module
-          ~detection:h.hit_detection Corpus.default_input
-      in
-      if
-        not (is_interesting generated.Pipeline.gen_variant generated.Pipeline.gen_input)
-      then None
-      else
-        match generated.Pipeline.gen_reduce ~is_interesting with
-        | `Spirv (kept, _) ->
-            Some
-              ( h.hit_target,
-                {
-                  dd_bug_id =
-                    Signature.bug_id_of_signature h.hit_detection.Pipeline.signature;
-                  dd_transformations = kept;
-                } )
-        | `Glsl _ -> None)
+      match known ~target:h.hit_target ~bug_id with
+      | Some (d : dedup_test) -> Some (h.hit_target, d)
+      | None -> (
+          let refs = references_for h.hit_tool in
+          let ref_name, ref_source, ref_module =
+            match List.find_opt (fun (n, _, _) -> String.equal n h.hit_ref) refs with
+            | Some r -> r
+            | None -> List.hd refs
+          in
+          let generated =
+            Engine.timed engine ~stage:"generate" (fun () ->
+                Pipeline.generate h.hit_tool ~ref_source ~ref_module
+                  ~seed:h.hit_seed ~input:Corpus.default_input)
+          in
+          let is_interesting =
+            Pipeline.interestingness engine t ~ref_name ~original:ref_module
+              ~detection:h.hit_detection Corpus.default_input
+          in
+          if
+            not (is_interesting generated.Pipeline.gen_variant generated.Pipeline.gen_input)
+          then None
+          else
+            match generated.Pipeline.gen_reduce ~is_interesting with
+            | `Spirv (kept, reduced_ctx) ->
+                Some
+                  ( h.hit_target,
+                    {
+                      dd_bug_id = bug_id;
+                      dd_types =
+                        List.map Spirv_fuzz.Transformation.type_id kept;
+                      dd_module = reduced_ctx.Spirv_fuzz.Context.m;
+                    } )
+            | `Glsl _ -> None))
 
 (** Reduce every capped crash hit of the dedup study down to its minimized
     transformation sequence — the input of Table 4, [tbct dedup] and the
     cross-campaign bug bank.  With [?pool], hits reduce concurrently (one
-    task per hit, hit-ordered merge, same list as sequential). *)
-let reduced_crash_tests ?(scale = default_scale) ?engine ?pool
+    task per hit, hit-ordered merge, same list as sequential).  [?known]
+    short-circuits hits whose (target, bug id) already has a banked
+    reduced test. *)
+let reduced_crash_tests ?(scale = default_scale) ?engine ?pool ?known
     ~(hits : hit list) () : (string * dedup_test) list =
   let engine = match engine with Some e -> e | None -> Engine.create () in
   let study =
@@ -505,13 +530,13 @@ let reduced_crash_tests ?(scale = default_scale) ?engine ?pool
     |> cap_hits ~per_signature:scale.max_reductions_per_signature
   in
   match pool with
-  | None -> List.filter_map (reduce_crash_hit engine) crash_hits
+  | None -> List.filter_map (reduce_crash_hit ?known engine) crash_hits
   | Some pool ->
       if Pool.workers pool > 1 then begin
         Pipeline.warmup ();
         ignore (Lazy.force spirv_references)
       end;
-      Pool.map_list pool (reduce_crash_hit engine) crash_hits
+      Pool.map_list pool (reduce_crash_hit ?known engine) crash_hits
       |> List.filter_map Fun.id
 
 let table4 ?(scale = default_scale) ?ignored ?engine ?pool ?tests
@@ -532,16 +557,22 @@ let table4 ?(scale = default_scale) ?ignored ?engine ?pool ?tests
       |> String_set.cardinal
     in
     let selected =
-      Spirv_fuzz.Dedup.select ?ignored
-        (List.map
-           (fun d ->
-             { Spirv_fuzz.Dedup.label = d.dd_bug_id;
-               Spirv_fuzz.Dedup.transformations = d.dd_transformations })
-           tests)
+      (* Figure 6 over the recorded type-id lists directly: reduced tests
+         recalled from the bug bank carry no transformation payloads *)
+      Tbct.Dedup.select
+        {
+          Tbct.Dedup.types_of =
+            (fun d -> Tbct.Dedup.String_set.of_list d.dd_types);
+          Tbct.Dedup.ignored =
+            (match ignored with
+            | Some s -> s
+            | None -> Spirv_fuzz.Dedup.default_ignored);
+        }
+        tests
     in
     let distinct =
       List.fold_left
-        (fun acc t -> String_set.add t.Spirv_fuzz.Dedup.label acc)
+        (fun acc d -> String_set.add d.dd_bug_id acc)
         String_set.empty selected
       |> String_set.cardinal
     in
@@ -705,7 +736,7 @@ let figure8 () : figure8 =
       { fn = main_fn; block = header; fresh_per_pred = List.combine preds fresh }
   in
   let ctx' =
-    if Spirv_fuzz.Rules.precondition ctx t then Spirv_fuzz.Rules.apply ctx t else ctx
+    if Spirv_fuzz.Registry.precondition ctx t then Spirv_fuzz.Registry.apply ctx t else ctx
   in
   let variant_a = ctx'.Spirv_fuzz.Context.m in
   let mesa = Compilers.Target.mesa in
@@ -748,7 +779,7 @@ let figure8 () : figure8 =
   let ctx_b = Spirv_fuzz.Context.make m_b input in
   let t_move = Spirv_fuzz.Transformation.Move_block_down { fn = main; block = lb } in
   let ctx_b' =
-    if Spirv_fuzz.Rules.precondition ctx_b t_move then Spirv_fuzz.Rules.apply ctx_b t_move
+    if Spirv_fuzz.Registry.precondition ctx_b t_move then Spirv_fuzz.Registry.apply ctx_b t_move
     else ctx_b
   in
   let variant_b = ctx_b'.Spirv_fuzz.Context.m in

@@ -40,6 +40,7 @@ val run_campaign :
   ?engine:Engine.t ->
   ?check_contracts:bool ->
   ?tv:bool ->
+  ?weights:(Spirv_fuzz.Registry.family * int) list ->
   ?skip:(int -> hit list option) ->
   ?on_seed:(int -> hit list -> unit) ->
   Pipeline.tool ->
@@ -63,6 +64,13 @@ val run_campaign :
     variant (see {!Pipeline.run_variant}), refining miscompilation
     signatures to per-pass buckets and detecting optimizer miscompilations
     on targets that cannot render.
+
+    [?weights] (default [[]]) rescales the fuzzer's per-family sampling
+    weights ({!Spirv_fuzz.Registry.parse_weights} parses the CLI syntax);
+    the default keeps the historical uniform draw bit for bit.  Per-type
+    proposed/applied tallies from every generated variant are rolled into
+    the engine's named counters (["proposed/<TypeId>"],
+    ["applied/<TypeId>"]), surfaced by {!Engine.stats}.
 
     [?skip] and [?on_seed] are the campaign-journal hooks (see {!Persist}):
     a seed with recorded hits is spliced in without re-execution, and every
@@ -138,19 +146,28 @@ val rq2 :
 
 type dedup_test = {
   dd_bug_id : string;  (** ground-truth bug the reduced test triggers *)
-  dd_transformations : Spirv_fuzz.Transformation.t list;
-      (** the minimized transformation sequence — the dedup signature's raw
-          material *)
+  dd_types : string list;
+      (** the minimized sequence's transformation type ids, in sequence
+          order with duplicates preserved — the dedup signature's raw
+          material (all the Figure 6 algorithm consumes) *)
+  dd_module : Module_ir.t;
+      (** the minimized module itself, so the bug bank can persist the
+          reduced test case and later re-emit it without re-reducing *)
 }
 
 val reduced_crash_tests :
-  ?scale:scale -> ?engine:Engine.t -> ?pool:Pool.t -> hits:hit list ->
+  ?scale:scale -> ?engine:Engine.t -> ?pool:Pool.t ->
+  ?known:(target:string -> bug_id:string -> dedup_test option) ->
+  hits:hit list ->
   unit -> (string * dedup_test) list
 (** Reduce every capped crash hit of the dedup study (spirv-fuzz tests,
     crash bugs, NVIDIA excluded) to its minimized transformation sequence,
     tagged with its target.  With [?pool] the hits reduce concurrently,
-    merged in hit order (same list as sequential).  This is the input of
-    {!table4} and of the cross-campaign bug bank ([tbct dedup --bank]). *)
+    merged in hit order (same list as sequential).  [?known] is the
+    bug-bank shortcut: a hit whose (target, bug id) it recalls reuses the
+    banked reduced test verbatim instead of regenerating and re-reducing
+    (thread-safe if a pool is supplied).  This is the input of {!table4}
+    and of the cross-campaign bug bank ([tbct dedup --bank]). *)
 
 type table4_row = {
   t4_target : string;

@@ -241,7 +241,7 @@ type outcome = {
 
 let run_campaign ?(scale = Experiments.default_scale)
     ?(targets = Compilers.Target.all) ?domains ?pool ?engine ?check_contracts
-    ?tv ?(resume = false) ?(fsync = false)
+    ?tv ?weights ?(resume = false) ?(fsync = false)
     ?(on_seed = fun (_ : int) (_ : Experiments.hit list) -> ()) ~dir tool :
     (outcome, string) result =
   match open_campaign ~resume ~fsync ~dir ~tool ~targets ~scale () with
@@ -270,7 +270,8 @@ let run_campaign ?(scale = Experiments.default_scale)
           in
           let hits =
             Experiments.run_campaign ~scale ~targets ?domains ?pool ?engine
-              ?check_contracts ?tv ~skip:skip_hook ~on_seed:seed_hook tool
+              ?check_contracts ?tv ?weights ~skip:skip_hook
+              ~on_seed:seed_hook tool
           in
           let seeds_skipped = Atomic.get skipped in
           Ok

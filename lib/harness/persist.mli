@@ -99,6 +99,7 @@ val run_campaign :
   ?engine:Engine.t ->
   ?check_contracts:bool ->
   ?tv:bool ->
+  ?weights:(Spirv_fuzz.Registry.family * int) list ->
   ?resume:bool ->
   ?fsync:bool ->
   ?on_seed:(int -> Experiments.hit list -> unit) ->

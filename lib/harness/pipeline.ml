@@ -129,6 +129,9 @@ type generated = {
     [ `Spirv of Spirv_fuzz.Transformation.t list * Spirv_fuzz.Context.t
     | `Glsl of Glsl_like.Ast.program ];
   gen_transformation_count : int;
+  gen_counters : (string * int * int) list;
+      (** per-transformation-type (type_id, proposed, applied) tallies from
+          the fuzzer's emitter; empty for the glsl-fuzz tool *)
 }
 
 let donors = lazy (List.map snd (Lazy.force Corpus.lowered_donors))
@@ -139,12 +142,14 @@ let warmup () =
   ignore (Lazy.force donors);
   ignore (Lazy.force Corpus.lowered_references)
 
-let fuzz_config ?(check_contracts = false) ~recommendations () =
+let fuzz_config ?(check_contracts = false) ?(weights = []) ~recommendations ()
+    =
   {
     Spirv_fuzz.Fuzzer.default_config with
     Spirv_fuzz.Fuzzer.donors = Lazy.force donors;
     Spirv_fuzz.Fuzzer.use_recommendations = recommendations;
     Spirv_fuzz.Fuzzer.check_contracts = check_contracts;
+    Spirv_fuzz.Fuzzer.weights = weights;
   }
 
 (** Generate the variant a tool produces for (reference, seed).  For
@@ -152,14 +157,14 @@ let fuzz_config ?(check_contracts = false) ~recommendations () =
     program is fuzzed and then lowered.  [check_contracts] (spirv tools
     only) runs the {!Spirv_fuzz.Contract} checker after every applied
     transformation; it never changes which variant is generated. *)
-let generate ?(check_contracts = false) (tool : tool)
+let generate ?(check_contracts = false) ?(weights = []) (tool : tool)
     ~(ref_source : Glsl_like.Ast.program) ~(ref_module : Module_ir.t) ~seed
     ~input : generated =
   match tool with
   | Spirv_fuzz_tool | Spirv_fuzz_simple ->
       let ctx = Spirv_fuzz.Context.make ref_module input in
       let config =
-        fuzz_config ~check_contracts
+        fuzz_config ~check_contracts ~weights
           ~recommendations:(tool = Spirv_fuzz_tool) ()
       in
       let result = Spirv_fuzz.Fuzzer.run ~config ~seed ctx in
@@ -167,6 +172,7 @@ let generate ?(check_contracts = false) (tool : tool)
         gen_variant = result.Spirv_fuzz.Fuzzer.final.Spirv_fuzz.Context.m;
         gen_input = result.Spirv_fuzz.Fuzzer.final.Spirv_fuzz.Context.input;
         gen_transformation_count = List.length result.Spirv_fuzz.Fuzzer.transformations;
+        gen_counters = result.Spirv_fuzz.Fuzzer.counters;
         gen_reduce =
           (fun ~is_interesting ->
             let test (c : Spirv_fuzz.Context.t) =
@@ -190,6 +196,7 @@ let generate ?(check_contracts = false) (tool : tool)
         gen_variant = Glsl_like.Lower.lower program;
         gen_input = input;
         gen_transformation_count = fuzzed.Glsl_like.Source_fuzzer.applied;
+        gen_counters = [];
         gen_reduce =
           (fun ~is_interesting ->
             let test p = is_interesting (Glsl_like.Lower.lower p) input in

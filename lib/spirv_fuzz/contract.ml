@@ -59,10 +59,10 @@ let create (ctx : Context.t) =
 
 let checked t = t.checked
 
-(** Every catalogued transformation type is semantics-preserving (the
-    image-preservation contract of Definition 2.4); a future
-    non-preserving type would opt out here. *)
-let image_preserving (_ : Transformation.t) = true
+(** Whether a transformation promises image preservation, read from its
+    {!Registry} entry (today every catalogued type does; a future
+    non-preserving type would opt out in its registry record). *)
+let image_preserving = Registry.image_preserving
 
 let check t ~(before : Context.t) (tr : Transformation.t)
     ~(after : Context.t) =
@@ -74,7 +74,7 @@ let check t ~(before : Context.t) (tr : Transformation.t)
      context — [Pass.emit] guarantees this for fuzzer-proposed
      transformations, so a failure here means a precondition that is not a
      pure function of the context, or an apply path that bypassed it *)
-  if not (Rules.precondition before tr) then
+  if not (Registry.precondition before tr) then
     fail "precondition" "the declared precondition does not hold on the \
                          pre-application context";
   (* 2. the transformed module must still validate *)

@@ -4,24 +4,13 @@
 
 module String_set = Tbct.Dedup.String_set
 
-(** The ignore list fixed before the controlled experiments: supporting
+(** The ignore list fixed before the controlled experiments — derived from
+    the [dedup_relevant] flags in the {!Registry}: supporting
     transformations for adding types and constants, SplitBlock and
     AddFunction (enablers for other transformations), and
     ReplaceIdWithSynonym (which reaps the benefits of prior transformations
     but is not interesting in isolation). *)
-let default_ignored =
-  String_set.of_list
-    [
-      "AddType";
-      "AddConstant";
-      "AddGlobalVariable";
-      "AddUniform";
-      "AddLocalVariable";
-      "AddNop";
-      "SplitBlock";
-      "AddFunction";
-      "ReplaceIdWithSynonym";
-    ]
+let default_ignored = Registry.dedup_ignored
 
 type 'a test_case = {
   label : 'a;  (** caller-supplied payload (e.g. a seed or file name) *)

@@ -2,11 +2,13 @@
 
     The module and facts are repeatedly modified by running fuzzer passes.
     After each pass the tool probabilistically decides whether to stop,
-    definitely stopping once the transformation limit is exceeded.  When the
-    recommendations strategy is enabled, the next pass is drawn with uniform
-    probability either at random or from a queue of follow-on passes pushed
-    after each pass run; disabling it yields the "spirv-fuzz-simple"
-    configuration evaluated in section 4.1. *)
+    definitely stopping once the transformation limit is exceeded.  The
+    next pass is sampled by registry weight — with the default (uniform)
+    weights this is exactly the historical uniform draw, bit-for-bit.  When
+    the recommendations strategy is enabled, the draw is taken either at
+    random or from a queue of follow-on passes pushed after each pass run;
+    disabling it yields the "spirv-fuzz-simple" configuration evaluated in
+    section 4.1. *)
 
 open Spirv_ir
 
@@ -17,6 +19,9 @@ type config = {
   use_recommendations : bool;
   donors : Module_ir.t list;
   check_contracts : bool;      (** debug mode: {!Contract} after every emit *)
+  weights : (Registry.family * int) list;
+      (** per-family sampling-weight multipliers; [[]] (the default) leaves
+          every pass at registry weight 1, i.e. the uniform draw *)
 }
 
 let default_config =
@@ -27,12 +32,15 @@ let default_config =
     use_recommendations = true;
     donors = [];
     check_contracts = false;
+    weights = [];
   }
 
 type result = {
   final : Context.t;
   transformations : Transformation.t list;
   passes_run : string list;
+  counters : (string * int * int) list;
+      (** per-type (type_id, proposed, applied) tallies *)
 }
 
 let run ?(config = default_config) ~seed (ctx : Context.t) : result =
@@ -40,9 +48,29 @@ let run ?(config = default_config) ~seed (ctx : Context.t) : result =
   (* the checker is created before any RNG draw and never consumes one, so
      seeds produce the same transformation stream with checking on or off *)
   let contracts = if config.check_contracts then Some (Contract.create ctx) else None in
-  let em =
-    { Pass.ctx; Pass.emitted = []; Pass.rng; Pass.donors = config.donors;
-      Pass.contracts }
+  let em = Pass.make_emitter ~donors:config.donors ?contracts ~rng ctx in
+  (* Weighted sampling over the registry-derived pass list.  With every
+     effective weight equal to 1 the total equals the pass count and the
+     cumulative index is the raw draw — the same single [Rng.int] call and
+     index arithmetic as [Rng.choose Pass.all], so default-weight campaigns
+     reproduce the pre-registry streams exactly. *)
+  let weighted =
+    List.map
+      (fun (p : Pass.t) ->
+        (p, Registry.pass_weight ~weights:config.weights p.Pass.name))
+      Pass.all
+  in
+  let total = List.fold_left (fun acc (_, w) -> acc + w) 0 weighted in
+  let draw_pass () =
+    if total <= 0 then Tbct.Rng.choose rng Pass.all
+    else begin
+      let k = Tbct.Rng.int rng total in
+      let rec pick acc = function
+        | [] -> Tbct.Rng.choose rng Pass.all (* unreachable: k < total *)
+        | (p, w) :: rest -> if k < acc + w then p else pick (acc + w) rest
+      in
+      pick 0 weighted
+    end
   in
   let queue : string Queue.t = Queue.create () in
   let passes_run = ref [] in
@@ -59,8 +87,8 @@ let run ?(config = default_config) ~seed (ctx : Context.t) : result =
         if from_queue then
           match Pass.find (Queue.pop queue) with
           | Some p -> p
-          | None -> Tbct.Rng.choose rng Pass.all
-        else Tbct.Rng.choose rng Pass.all
+          | None -> draw_pass ()
+        else draw_pass ()
       in
       let before = List.length em.Pass.emitted in
       pass.Pass.run em;
@@ -69,7 +97,7 @@ let run ?(config = default_config) ~seed (ctx : Context.t) : result =
             (List.length em.Pass.emitted - before));
       passes_run := pass.Pass.name :: !passes_run;
       if config.use_recommendations then begin
-        let follow = Pass.follow_ons pass.Pass.name in
+        let follow = Registry.follow_ons pass.Pass.name in
         let chosen = List.filter (fun _ -> Tbct.Rng.bool rng) follow in
         List.iter (fun p -> Queue.push p queue) chosen
       end;
@@ -84,4 +112,5 @@ let run ?(config = default_config) ~seed (ctx : Context.t) : result =
     final = em.Pass.ctx;
     transformations = List.rev em.Pass.emitted;
     passes_run = List.rev !passes_run;
+    counters = Pass.counters_list em;
   }

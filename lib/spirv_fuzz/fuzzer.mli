@@ -6,8 +6,14 @@
     After each pass the tool decides probabilistically whether to continue,
     and stops definitely at the transformation cap.
 
+    Passes are sampled by {!Registry} weight: each pass's effective weight
+    is its registry default scaled by the per-family multipliers in
+    {!config.weights}.  With the default (empty) overrides every pass weighs
+    1 and the draw degenerates to the historical uniform choice — the
+    recorded streams are bit-identical (property-tested).
+
     With {!config.use_recommendations} enabled (the default), the next pass
-    is chosen with uniform probability either at random or from a queue of
+    is chosen with the weighted draw either at random or from a queue of
     follow-on passes pushed after each pass run — the "recommendations
     strategy"; disabling it yields the "spirv-fuzz-simple" configuration
     that Table 3 compares against. *)
@@ -29,6 +35,11 @@ type config = {
           transformation.  Never changes the recorded stream — the checker
           consumes no randomness (property-tested) — it only turns a
           contract breach into a loud {!Contract.Violation}. *)
+  weights : (Registry.family * int) list;
+      (** per-family sampling-weight multipliers applied on top of the
+          registry's per-type defaults; [[]] (the default) keeps the
+          uniform draw.  A family weighted 0 is never drawn (its passes may
+          still run via recommendations). *)
 }
 
 val default_config : config
@@ -40,6 +51,10 @@ type result = {
       (** the recorded sequence; replaying it from the original context with
           {!Lang.replay} reproduces [final] exactly *)
   passes_run : string list;  (** pass names, in execution order *)
+  counters : (string * int * int) list;
+      (** per-type (type_id, proposed, applied) tallies from the emitter,
+          sorted by type_id; proposals that failed their precondition are
+          counted but not applied *)
 }
 
 val run : ?config:config -> seed:int -> Context.t -> result

@@ -18,19 +18,39 @@ type emitter = {
       (* debug mode: check the transformation contract after every emit.
          The checker consumes no randomness, so the recorded stream is
          identical with or without it. *)
+  counters : (string, int * int) Hashtbl.t;
+      (* per-type (proposed, applied) tallies; bookkeeping only, consumes
+         no randomness *)
 }
 
+let make_emitter ?(donors = []) ?contracts ~rng ctx =
+  { ctx; emitted = []; rng; donors; contracts; counters = Hashtbl.create 64 }
+
+let bump_counter em t ~applied =
+  let id = Transformation.type_id t in
+  let p, a = Option.value ~default:(0, 0) (Hashtbl.find_opt em.counters id) in
+  Hashtbl.replace em.counters id (p + 1, if applied then a + 1 else a)
+
+(** Per-type (type_id, proposed, applied) tallies, sorted by type_id. *)
+let counters_list em =
+  List.sort compare
+    (Hashtbl.fold (fun id (p, a) acc -> (id, p, a) :: acc) em.counters [])
+
 let emit em t =
-  if Rules.precondition em.ctx t then begin
+  if Registry.precondition em.ctx t then begin
     let before = em.ctx in
-    em.ctx <- Rules.apply em.ctx t;
+    em.ctx <- Registry.apply em.ctx t;
     (match em.contracts with
     | Some checker -> Contract.check checker ~before t ~after:em.ctx
     | None -> ());
     em.emitted <- t :: em.emitted;
+    bump_counter em t ~applied:true;
     true
   end
-  else false
+  else begin
+    bump_counter em t ~applied:false;
+    false
+  end
 
 let fresh em =
   let m, id = Module_ir.fresh em.ctx.Context.m in
@@ -952,9 +972,9 @@ let pass_add_variables =
   }
 
 (* ------------------------------------------------------------------ *)
-(* Registry and recommendations                                        *)
+(* The sweep list, derived from the registry                           *)
 
-let all : t list =
+let implementations : t list =
   [
     pass_split_blocks;
     pass_add_dead_blocks;
@@ -984,27 +1004,16 @@ let all : t list =
     pass_add_uniforms;
   ]
 
-let find name = List.find_opt (fun p -> String.equal p.name name) all
+(** The sweep order is the registry's: every pass the table names must have
+    an implementation here, and passes the table does not name never run. *)
+let all : t list =
+  List.map
+    (fun name ->
+      match
+        List.find_opt (fun p -> String.equal p.name name) implementations
+      with
+      | Some p -> p
+      | None -> invalid_arg ("Pass.all: registry names unknown pass " ^ name))
+    Registry.pass_names
 
-(** Follow-on recommendations (section 3.2): after running a pass, a random
-    subset of these is pushed onto the recommendation queue. *)
-let follow_ons = function
-  | "add_functions" -> [ "function_calls" ]
-  | "function_calls" -> [ "inline_functions"; "add_parameters" ]
-  | "add_dead_blocks" ->
-      [ "add_stores"; "replace_branches_with_kill"; "function_calls";
-        "split_blocks"; "obfuscate_constants"; "obfuscate_bool_constants" ]
-  | "add_copy_objects" | "add_arithmetic_synonyms" | "add_select_synonyms" ->
-      [ "apply_synonyms" ]
-  | "add_composites" -> [ "apply_synonyms" ]
-  | "add_parameters" -> [ "replace_irrelevant_ids" ]
-  | "add_variables" -> [ "add_stores"; "add_loads" ]
-  | "add_uniforms" -> [ "obfuscate_constants" ]
-  | "split_blocks" -> [ "add_dead_blocks" ]
-  | "wrap_regions" -> [ "split_blocks"; "move_blocks_down" ]
-  | "propagate_instructions_up" -> [ "move_blocks_down"; "permute_phis" ]
-  | "move_blocks_down" -> [ "move_blocks_down" ]
-  | "invert_conditions" -> [ "apply_synonyms" ]
-  | "obfuscate_constants" -> [ "apply_synonyms" ]
-  | "obfuscate_bool_constants" -> [ "replace_branches_with_kill"; "add_stores" ]
-  | _ -> []
+let find name = List.find_opt (fun p -> String.equal p.name name) all

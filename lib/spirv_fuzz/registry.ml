@@ -1,0 +1,1161 @@
+(** The transformation registry: one declarative table, one record per
+    transformation type, driving every consumer.
+
+    Each {!entry} bundles what previously lived in four manually-synced
+    places: the stable [type_id] (deduplication, section 3.5), the family
+    the type belongs to, the sweep pass that proposes it (section 3.2), the
+    precondition/apply hooks of the transformation contract (Definition
+    2.4, implemented per-type in {!Rules}), the contract flags
+    (image-preserving, dedup-relevant), a default sampling weight for the
+    scheduler, and an opportunity generator used by the property suites to
+    manufacture valid instances on demand.
+
+    {!Pass.all} is derived from this table, {!Fuzzer.fuzz} samples passes by
+    the weights recorded here, {!Contract} and {!Dedup} read the flags, and
+    the [tbct transformations] CLI renders the catalogue — so adding a
+    transformation family is a data change in this file.
+
+    Determinism: with every weight at its default of [1] the weighted
+    sampler degenerates to a uniform draw over {!pass_names} (one RNG call,
+    same index arithmetic as [Rng.choose]), so default-weight campaigns
+    reproduce the pre-registry streams bit-for-bit.  The opportunity
+    generators below are used only by tests and the CLI, never by the
+    fuzzing loop, so they may consume randomness freely. *)
+
+open Spirv_ir
+
+(* ------------------------------------------------------------------ *)
+(* Families and entries                                                *)
+
+type family =
+  | Supporting    (** id/type/constant/variable plumbing; dedup-ignored *)
+  | Control_flow  (** block splitting, dead blocks, selection wrapping, ... *)
+  | Data          (** loads/stores, synonyms, composites *)
+  | Function_ops  (** outlining, calls, parameters, inlining *)
+  | Obfuscation   (** constants via uniforms / tautological comparisons *)
+
+let family_to_string = function
+  | Supporting -> "supporting"
+  | Control_flow -> "control_flow"
+  | Data -> "data"
+  | Function_ops -> "function"
+  | Obfuscation -> "obfuscation"
+
+let family_of_string = function
+  | "supporting" -> Some Supporting
+  | "control_flow" -> Some Control_flow
+  | "data" -> Some Data
+  | "function" -> Some Function_ops
+  | "obfuscation" -> Some Obfuscation
+  | _ -> None
+
+let families = [ Supporting; Control_flow; Data; Function_ops; Obfuscation ]
+
+type gen = Context.t -> Tbct.Rng.t -> (Context.t * Transformation.t) option
+
+type entry = {
+  type_id : string;        (** stable name, equal to {!Transformation.type_id} *)
+  family : family;
+  pass : string option;    (** the sweep pass proposing this type, if any *)
+  precondition : Context.t -> Transformation.t -> bool;
+  apply : Context.t -> Transformation.t -> Context.t;
+  image_preserving : bool; (** the Definition 2.4 contract flag *)
+  dedup_relevant : bool;   (** participates in Figure 6 signature sets *)
+  weight : int;            (** default sampling weight (uniform = 1) *)
+  gen : gen;               (** opportunity generator for the property suites *)
+}
+
+(* ------------------------------------------------------------------ *)
+(* Generator helpers                                                   *)
+
+let fresh1 ctx =
+  let m, id = Module_ir.fresh ctx.Context.m in
+  (Context.with_module ctx m, id)
+
+let fresh2 ctx =
+  let ctx, a = fresh1 ctx in
+  let ctx, b = fresh1 ctx in
+  (ctx, a, b)
+
+let freshn ctx n =
+  let m, ids = Module_ir.fresh_many ctx.Context.m n in
+  (Context.with_module ctx m, ids)
+
+let blocks_of ctx =
+  List.concat_map
+    (fun (f : Func.t) -> List.map (fun (b : Block.t) -> (f, b)) f.Func.blocks)
+    ctx.Context.m.Module_ir.functions
+
+let scalar_type_ids ctx =
+  List.filter_map
+    (fun (d : Module_ir.type_decl) ->
+      match d.Module_ir.td_ty with
+      | Ty.Int | Ty.Float | Ty.Bool -> Some d.Module_ir.td_id
+      | _ -> None)
+    ctx.Context.m.Module_ir.types
+
+(* ids with their type ids plausibly usable inside [f]; generated
+   candidates are re-checked by the precondition, so over-approximation is
+   fine (the same contract as Pass.candidate_values) *)
+let values_in ctx (f : Func.t) =
+  let m = ctx.Context.m in
+  let consts =
+    List.map
+      (fun (d : Module_ir.const_decl) -> (d.Module_ir.cd_id, d.Module_ir.cd_ty))
+      m.Module_ir.constants
+  in
+  let params =
+    List.map (fun (p : Func.param) -> (p.Func.param_id, p.Func.param_ty)) f.Func.params
+  in
+  let results =
+    List.filter_map
+      (fun (i : Instr.t) ->
+        match (i.Instr.result, i.Instr.ty) with Some r, Some t -> Some (r, t) | _ -> None)
+      (Func.all_instrs f)
+  in
+  consts @ params @ results
+
+let pointers_in ctx (f : Func.t) =
+  let m = ctx.Context.m in
+  let is_ptr ty =
+    match Module_ir.find_type m ty with Some (Ty.Pointer _) -> true | _ -> false
+  in
+  let globals =
+    List.map
+      (fun (g : Module_ir.global_decl) -> (g.Module_ir.gd_id, g.Module_ir.gd_ty))
+      m.Module_ir.globals
+  in
+  List.filter (fun (_, ty) -> is_ptr ty) (globals @ values_in ctx f)
+
+(* enumerate the use sites of [id] within [f] *)
+let use_sites_in (f : Func.t) id =
+  let sites = ref [] in
+  List.iter
+    (fun (b : Block.t) ->
+      List.iteri
+        (fun idx (i : Instr.t) ->
+          List.iteri
+            (fun op_idx u ->
+              if Id.equal u id then
+                let anchor =
+                  match i.Instr.result with
+                  | Some r -> Transformation.Result_id r
+                  | None -> Transformation.Nth_instr idx
+                in
+                sites :=
+                  {
+                    Transformation.us_fn = f.Func.id;
+                    us_block = b.Block.label;
+                    us_anchor = anchor;
+                    us_operand = op_idx;
+                  }
+                  :: !sites)
+            (Instr.used_ids i))
+        b.Block.instrs;
+      List.iteri
+        (fun op_idx u ->
+          if Id.equal u id then
+            sites :=
+              {
+                Transformation.us_fn = f.Func.id;
+                us_block = b.Block.label;
+                us_anchor = Transformation.Terminator;
+                us_operand = op_idx;
+              }
+              :: !sites)
+        (Block.terminator_used_ids b.Block.terminator))
+    f.Func.blocks;
+  !sites
+
+let cap n xs = List.filteri (fun i _ -> i < n) xs
+
+(* Try the candidate thunks starting at a random rotation; accept the first
+   whose result clears both the fresh-id discipline and the precondition. *)
+let search precondition rng cands =
+  let n = List.length cands in
+  if n = 0 then None
+  else
+    let start = Tbct.Rng.int rng n in
+    let rec go k =
+      if k >= n then None
+      else
+        match (List.nth cands ((start + k) mod n)) () with
+        | Some (ctx, t) when Rules.all_fresh ctx t && precondition ctx t -> Some (ctx, t)
+        | _ -> go (k + 1)
+    in
+    go 0
+
+(* ------------------------------------------------------------------ *)
+(* Opportunity generators, one per transformation type                 *)
+
+let gen_add_type ctx rng =
+  let m = ctx.Context.m in
+  let missing_scalars =
+    List.filter (fun ty -> Module_ir.find_type_id m ty = None) [ Ty.Bool; Ty.Int; Ty.Float ]
+  in
+  let built =
+    List.concat_map
+      (fun c -> [ Ty.Vector (c, 2); Ty.Array (c, 2); Ty.Pointer (Ty.Function, c) ])
+      (scalar_type_ids ctx)
+  in
+  let cands =
+    List.map
+      (fun ty () ->
+        let ctx, fresh = fresh1 ctx in
+        Some (ctx, Transformation.Add_type { fresh; ty }))
+      (missing_scalars @ built)
+  in
+  search Rules.pre_add_type rng cands
+
+let gen_add_constant ctx rng =
+  let m = ctx.Context.m in
+  let k = Tbct.Rng.int rng 1000 in
+  let cands =
+    List.filter_map
+      (fun (d : Module_ir.type_decl) ->
+        let value =
+          match d.Module_ir.td_ty with
+          | Ty.Int -> Some (Constant.Int (Int32.of_int k))
+          | Ty.Float -> Some (Constant.Float (float_of_int k /. 8.0))
+          | Ty.Bool -> Some (Constant.Bool (k mod 2 = 0))
+          | _ -> None
+        in
+        Option.map
+          (fun value () ->
+            let ctx, fresh = fresh1 ctx in
+            Some (ctx, Transformation.Add_constant { fresh; ty = d.Module_ir.td_id; value }))
+          value)
+      m.Module_ir.types
+  in
+  search Rules.pre_add_constant rng cands
+
+let gen_add_global_variable ctx rng =
+  let cands =
+    List.map
+      (fun pointee () ->
+        let ctx, fresh, fresh_ptr_ty = fresh2 ctx in
+        Some (ctx, Transformation.Add_global_variable { fresh; fresh_ptr_ty; pointee }))
+      (scalar_type_ids ctx)
+  in
+  search Rules.pre_add_global_variable rng cands
+
+let gen_add_uniform ctx rng =
+  let m = ctx.Context.m in
+  let k = Tbct.Rng.int rng 100 in
+  let cands =
+    List.filter_map
+      (fun (d : Module_ir.type_decl) ->
+        let value =
+          match d.Module_ir.td_ty with
+          | Ty.Int -> Some (Value.VInt (Int32.of_int k))
+          | Ty.Float -> Some (Value.VFloat (float_of_int k))
+          | Ty.Bool -> Some (Value.VBool (k mod 2 = 0))
+          | _ -> None
+        in
+        Option.map
+          (fun value () ->
+            let ctx, fresh, fresh_ptr_ty = fresh2 ctx in
+            Some
+              ( ctx,
+                Transformation.Add_uniform
+                  {
+                    fresh;
+                    fresh_ptr_ty;
+                    pointee = d.Module_ir.td_id;
+                    name = Printf.sprintf "_u%d" fresh;
+                    value;
+                  } ))
+          value)
+      m.Module_ir.types
+  in
+  search Rules.pre_add_uniform rng cands
+
+let gen_add_local_variable ctx rng =
+  let cands =
+    List.concat_map
+      (fun (f : Func.t) ->
+        List.map
+          (fun pointee () ->
+            let ctx, fresh, fresh_ptr_ty = fresh2 ctx in
+            Some
+              ( ctx,
+                Transformation.Add_local_variable
+                  { fresh; fresh_ptr_ty; fn = f.Func.id; pointee } ))
+          (scalar_type_ids ctx))
+      ctx.Context.m.Module_ir.functions
+  in
+  search Rules.pre_add_local_variable rng cands
+
+let gen_add_nop ctx rng =
+  let cands =
+    List.map
+      (fun ((f : Func.t), (b : Block.t)) () ->
+        Some
+          ( ctx,
+            Transformation.Add_nop
+              { fn = f.Func.id; block = b.Block.label; point = Transformation.At_end } ))
+      (blocks_of ctx)
+  in
+  search Rules.pre_add_nop rng cands
+
+let gen_split_block ctx rng =
+  let cands =
+    List.map
+      (fun ((f : Func.t), (b : Block.t)) () ->
+        let ctx, fresh = fresh1 ctx in
+        Some
+          ( ctx,
+            Transformation.Split_block
+              { fn = f.Func.id; block = b.Block.label; point = Transformation.At_end; fresh }
+          ))
+      (blocks_of ctx)
+  in
+  search Rules.pre_split_block rng cands
+
+let gen_add_dead_block ctx rng =
+  match Edit.find_true_constant ctx.Context.m with
+  | None -> None
+  | Some cond ->
+      let cands =
+        List.map
+          (fun ((f : Func.t), (b : Block.t)) () ->
+            let ctx, fresh = fresh1 ctx in
+            Some
+              ( ctx,
+                Transformation.Add_dead_block
+                  { fn = f.Func.id; existing = b.Block.label; fresh; cond } ))
+          (blocks_of ctx)
+      in
+      search Rules.pre_add_dead_block rng cands
+
+let gen_replace_branch_with_kill ctx rng =
+  let facts = ctx.Context.facts in
+  let cands =
+    List.filter_map
+      (fun ((f : Func.t), (b : Block.t)) ->
+        if Fact_manager.is_dead_block facts b.Block.label then
+          Some
+            (fun () ->
+              Some
+                ( ctx,
+                  Transformation.Replace_branch_with_kill
+                    { fn = f.Func.id; block = b.Block.label } ))
+        else None)
+      (blocks_of ctx)
+  in
+  search Rules.pre_replace_branch_with_kill rng cands
+
+let gen_move_block_down ctx rng =
+  let cands =
+    List.map
+      (fun ((f : Func.t), (b : Block.t)) () ->
+        Some (ctx, Transformation.Move_block_down { fn = f.Func.id; block = b.Block.label }))
+      (blocks_of ctx)
+  in
+  search Rules.pre_move_block_down rng cands
+
+let gen_wrap_region_in_selection ctx rng =
+  let m = ctx.Context.m in
+  let conds =
+    List.filter_map
+      (fun branch_on_true ->
+        Option.map
+          (fun cond -> (cond, branch_on_true))
+          (Edit.find_bool_constant m branch_on_true))
+      [ true; false ]
+  in
+  let cands =
+    List.concat_map
+      (fun ((f : Func.t), (b : Block.t)) ->
+        List.map
+          (fun (cond, branch_on_true) () ->
+            let ctx, fresh_header, fresh_merge = fresh2 ctx in
+            Some
+              ( ctx,
+                Transformation.Wrap_region_in_selection
+                  {
+                    fn = f.Func.id;
+                    block = b.Block.label;
+                    fresh_header;
+                    fresh_merge;
+                    cond;
+                    branch_on_true;
+                  } ))
+          conds)
+      (blocks_of ctx)
+  in
+  search Rules.pre_wrap_region_in_selection rng cands
+
+let gen_invert_branch_condition ctx rng =
+  let cands =
+    List.map
+      (fun ((f : Func.t), (b : Block.t)) () ->
+        let ctx, fresh = fresh1 ctx in
+        Some
+          ( ctx,
+            Transformation.Invert_branch_condition
+              { fn = f.Func.id; block = b.Block.label; fresh } ))
+      (blocks_of ctx)
+  in
+  search Rules.pre_invert_branch_condition rng cands
+
+let gen_propagate_instruction_up ctx rng =
+  let cands =
+    List.map
+      (fun ((f : Func.t), (b : Block.t)) () ->
+        let cfg = Cfg.of_func f in
+        match Cfg.predecessors cfg b.Block.label with
+        | [] -> None
+        | preds ->
+            let ctx, ids = freshn ctx (List.length preds) in
+            Some
+              ( ctx,
+                Transformation.Propagate_instruction_up
+                  {
+                    fn = f.Func.id;
+                    block = b.Block.label;
+                    fresh_per_pred = List.combine preds ids;
+                  } ))
+      (blocks_of ctx)
+  in
+  search Rules.pre_propagate_instruction_up rng cands
+
+let gen_permute_phi_entries ctx rng =
+  let cands =
+    List.concat_map
+      (fun ((f : Func.t), (b : Block.t)) ->
+        List.filter_map
+          (fun (i : Instr.t) ->
+            match (i.Instr.result, i.Instr.op) with
+            | Some phi, Instr.Phi inc when List.length inc >= 2 ->
+                Some
+                  (fun () ->
+                    Some
+                      ( ctx,
+                        Transformation.Permute_phi_entries
+                          { fn = f.Func.id; block = b.Block.label; phi; rotation = 1 } ))
+            | _ -> None)
+          b.Block.instrs)
+      (blocks_of ctx)
+  in
+  search Rules.pre_permute_phi_entries rng cands
+
+let gen_swap_commutative_operands ctx rng =
+  let cands =
+    List.concat_map
+      (fun ((f : Func.t), (b : Block.t)) ->
+        List.filter_map
+          (fun (i : Instr.t) ->
+            match (i.Instr.result, i.Instr.op) with
+            | Some instr, Instr.Binop _ ->
+                Some
+                  (fun () ->
+                    Some
+                      ( ctx,
+                        Transformation.Swap_commutative_operands
+                          { fn = f.Func.id; block = b.Block.label; instr } ))
+            | _ -> None)
+          b.Block.instrs)
+      (blocks_of ctx)
+  in
+  search Rules.pre_swap_commutative_operands rng cands
+
+let gen_add_load ctx rng =
+  let cands =
+    List.concat_map
+      (fun ((f : Func.t), (b : Block.t)) ->
+        List.map
+          (fun (pointer, _) () ->
+            let ctx, fresh = fresh1 ctx in
+            Some
+              ( ctx,
+                Transformation.Add_load
+                  {
+                    fn = f.Func.id;
+                    block = b.Block.label;
+                    point = Transformation.At_end;
+                    fresh;
+                    pointer;
+                  } ))
+          (pointers_in ctx f))
+      (blocks_of ctx)
+  in
+  search Rules.pre_add_load rng (cap 256 cands)
+
+let gen_add_store ctx rng =
+  let m = ctx.Context.m in
+  let cands =
+    List.concat_map
+      (fun ((f : Func.t), (b : Block.t)) ->
+        let values = values_in ctx f in
+        List.concat_map
+          (fun (pointer, ptr_ty) ->
+            match Module_ir.find_type m ptr_ty with
+            | Some (Ty.Pointer (_, pointee)) ->
+                List.filter_map
+                  (fun (value, ty) ->
+                    if Id.equal ty pointee then
+                      Some
+                        (fun () ->
+                          Some
+                            ( ctx,
+                              Transformation.Add_store
+                                {
+                                  fn = f.Func.id;
+                                  block = b.Block.label;
+                                  point = Transformation.At_end;
+                                  pointer;
+                                  value;
+                                } ))
+                    else None)
+                  values
+            | _ -> [])
+          (pointers_in ctx f))
+      (blocks_of ctx)
+  in
+  search Rules.pre_add_store rng (cap 256 cands)
+
+let gen_add_copy_object ctx rng =
+  let cands =
+    List.concat_map
+      (fun ((f : Func.t), (b : Block.t)) ->
+        List.map
+          (fun (operand, _) () ->
+            let ctx, fresh = fresh1 ctx in
+            Some
+              ( ctx,
+                Transformation.Add_copy_object
+                  {
+                    fn = f.Func.id;
+                    block = b.Block.label;
+                    point = Transformation.At_end;
+                    fresh;
+                    operand;
+                  } ))
+          (values_in ctx f))
+      (blocks_of ctx)
+  in
+  search Rules.pre_add_copy_object rng (cap 256 cands)
+
+let gen_add_arithmetic_synonym ctx rng =
+  let m = ctx.Context.m in
+  let kind, want_ty, id_value =
+    match Tbct.Rng.int rng 6 with
+    | 0 -> (Transformation.Add_zero_int, Ty.Int, Constant.Int 0l)
+    | 1 -> (Transformation.Mul_one_int, Ty.Int, Constant.Int 1l)
+    | 2 -> (Transformation.Mul_one_float, Ty.Float, Constant.Float 1.0)
+    | 3 -> (Transformation.Sub_zero_float, Ty.Float, Constant.Float 0.0)
+    | 4 -> (Transformation.Or_false, Ty.Bool, Constant.Bool false)
+    | _ -> (Transformation.And_true, Ty.Bool, Constant.Bool true)
+  in
+  match Module_ir.find_type_id m want_ty with
+  | None -> None
+  | Some tid -> (
+      match Module_ir.find_constant_id m ~ty:tid ~value:id_value with
+      | None -> None
+      | Some identity ->
+          let cands =
+            List.concat_map
+              (fun ((f : Func.t), (b : Block.t)) ->
+                List.filter_map
+                  (fun (operand, ty) ->
+                    if Id.equal ty tid then
+                      Some
+                        (fun () ->
+                          let ctx, fresh = fresh1 ctx in
+                          Some
+                            ( ctx,
+                              Transformation.Add_arithmetic_synonym
+                                {
+                                  fn = f.Func.id;
+                                  block = b.Block.label;
+                                  point = Transformation.At_end;
+                                  fresh;
+                                  operand;
+                                  kind;
+                                  identity;
+                                } ))
+                    else None)
+                  (values_in ctx f))
+              (blocks_of ctx)
+          in
+          search Rules.pre_add_arithmetic_synonym rng (cap 256 cands))
+
+let gen_add_select_synonym ctx rng =
+  let m = ctx.Context.m in
+  let cands =
+    List.concat_map
+      (fun ((f : Func.t), (b : Block.t)) ->
+        let values = values_in ctx f in
+        let bools =
+          List.filter (fun (_, ty) -> Module_ir.find_type m ty = Some Ty.Bool) values
+        in
+        List.concat_map
+          (fun (cond, _) ->
+            List.map
+              (fun (operand, _) () ->
+                let ctx, fresh = fresh1 ctx in
+                Some
+                  ( ctx,
+                    Transformation.Add_select_synonym
+                      {
+                        fn = f.Func.id;
+                        block = b.Block.label;
+                        point = Transformation.At_end;
+                        fresh;
+                        cond;
+                        operand;
+                      } ))
+              values)
+          bools)
+      (blocks_of ctx)
+  in
+  search Rules.pre_add_select_synonym rng (cap 256 cands)
+
+let gen_replace_id_with_synonym ctx rng =
+  let facts = ctx.Context.facts in
+  let cands =
+    List.concat_map
+      (fun (f : Func.t) ->
+        List.concat_map
+          (fun (id, _) ->
+            match Fact_manager.id_synonyms facts id with
+            | [] -> []
+            | syns ->
+                List.concat_map
+                  (fun site ->
+                    List.map
+                      (fun synonym () ->
+                        Some (ctx, Transformation.Replace_id_with_synonym { site; synonym }))
+                      syns)
+                  (use_sites_in f id))
+          (values_in ctx f))
+      ctx.Context.m.Module_ir.functions
+  in
+  search Rules.pre_replace_id_with_synonym rng (cap 256 cands)
+
+let gen_replace_bool_constant_with_binary ctx rng =
+  let m = ctx.Context.m in
+  let bool_constants =
+    List.filter_map
+      (fun (d : Module_ir.const_decl) ->
+        match d.Module_ir.cd_value with
+        | Constant.Bool _ -> Some d.Module_ir.cd_id
+        | _ -> None)
+      m.Module_ir.constants
+  in
+  let cands =
+    List.concat_map
+      (fun (f : Func.t) ->
+        let ints =
+          List.filter
+            (fun (_, ty) -> Module_ir.find_type m ty = Some Ty.Int)
+            (values_in ctx f)
+        in
+        List.concat_map
+          (fun c ->
+            List.concat_map
+              (fun site ->
+                List.map
+                  (fun (operand, _) () ->
+                    let ctx, fresh = fresh1 ctx in
+                    Some
+                      ( ctx,
+                        Transformation.Replace_bool_constant_with_binary
+                          { site; fresh; operand } ))
+                  ints)
+              (use_sites_in f c))
+          bool_constants)
+      m.Module_ir.functions
+  in
+  search Rules.pre_replace_bool_constant_with_binary rng (cap 256 cands)
+
+let gen_replace_irrelevant_id ctx rng =
+  let facts = ctx.Context.facts in
+  let cands =
+    List.concat_map
+      (fun (f : Func.t) ->
+        let values = values_in ctx f in
+        List.concat_map
+          (fun (id, ty) ->
+            if Fact_manager.is_irrelevant facts id then
+              List.concat_map
+                (fun site ->
+                  List.filter_map
+                    (fun (replacement, rty) ->
+                      if Id.equal rty ty && not (Id.equal replacement id) then
+                        Some
+                          (fun () ->
+                            Some
+                              ( ctx,
+                                Transformation.Replace_irrelevant_id { site; replacement }
+                              ))
+                      else None)
+                    values)
+                (use_sites_in f id)
+            else [])
+          values)
+      ctx.Context.m.Module_ir.functions
+  in
+  search Rules.pre_replace_irrelevant_id rng (cap 256 cands)
+
+let gen_replace_constant_with_uniform ctx rng =
+  let m = ctx.Context.m in
+  let cands =
+    List.concat_map
+      (fun (gid, pointee, uv) ->
+        let matching =
+          List.filter_map
+            (fun (d : Module_ir.const_decl) ->
+              if
+                Id.equal d.Module_ir.cd_ty pointee
+                && Value.equal (Module_ir.const_value m d.Module_ir.cd_id) uv
+              then Some d.Module_ir.cd_id
+              else None)
+            m.Module_ir.constants
+        in
+        List.concat_map
+          (fun (f : Func.t) ->
+            List.concat_map
+              (fun c ->
+                List.map
+                  (fun site () ->
+                    let ctx, fresh_load = fresh1 ctx in
+                    Some
+                      ( ctx,
+                        Transformation.Replace_constant_with_uniform
+                          { site; fresh_load; uniform = gid } ))
+                  (use_sites_in f c))
+              matching)
+          m.Module_ir.functions)
+      (Context.known_uniforms ctx)
+  in
+  search Rules.pre_replace_constant_with_uniform rng (cap 256 cands)
+
+let gen_composite_construct ctx rng =
+  let m = ctx.Context.m in
+  let composite_tys =
+    List.filter_map
+      (fun (d : Module_ir.type_decl) ->
+        match d.Module_ir.td_ty with
+        | Ty.Vector _ | Ty.Struct _ | Ty.Array _ -> Some d.Module_ir.td_id
+        | _ -> None)
+      m.Module_ir.types
+  in
+  let cands =
+    List.concat_map
+      (fun ((f : Func.t), (b : Block.t)) ->
+        let values = values_in ctx f in
+        List.filter_map
+          (fun ty ->
+            match Module_ir.composite_arity m ty with
+            | None -> None
+            | Some n ->
+                let parts =
+                  List.init n (fun idx ->
+                      match Module_ir.component_ty m ty idx with
+                      | None -> None
+                      | Some want ->
+                          List.find_map
+                            (fun (v, t) -> if Id.equal t want then Some v else None)
+                            values)
+                in
+                if List.for_all Option.is_some parts then
+                  Some
+                    (fun () ->
+                      let ctx, fresh = fresh1 ctx in
+                      Some
+                        ( ctx,
+                          Transformation.Composite_construct
+                            {
+                              fn = f.Func.id;
+                              block = b.Block.label;
+                              point = Transformation.At_end;
+                              fresh;
+                              ty;
+                              parts = List.map Option.get parts;
+                            } ))
+                else None)
+          composite_tys)
+      (blocks_of ctx)
+  in
+  search Rules.pre_composite_construct rng (cap 256 cands)
+
+let gen_composite_extract ctx rng =
+  let m = ctx.Context.m in
+  let cands =
+    List.concat_map
+      (fun ((f : Func.t), (b : Block.t)) ->
+        List.filter_map
+          (fun (composite, ty) ->
+            if Module_ir.ty_at_path m ty [ 0 ] <> None then
+              Some
+                (fun () ->
+                  let ctx, fresh = fresh1 ctx in
+                  Some
+                    ( ctx,
+                      Transformation.Composite_extract
+                        {
+                          fn = f.Func.id;
+                          block = b.Block.label;
+                          point = Transformation.At_end;
+                          fresh;
+                          composite;
+                          path = [ 0 ];
+                        } ))
+            else None)
+          (values_in ctx f))
+      (blocks_of ctx)
+  in
+  search Rules.pre_composite_extract rng (cap 256 cands)
+
+let gen_set_function_control ctx rng =
+  let cands =
+    List.concat_map
+      (fun (f : Func.t) ->
+        List.filter_map
+          (fun control ->
+            if Func.equal_control f.Func.control control then None
+            else
+              Some
+                (fun () ->
+                  Some (ctx, Transformation.Set_function_control { fn = f.Func.id; control })))
+          [ Func.CNone; Func.DontInline; Func.AlwaysInline ])
+      ctx.Context.m.Module_ir.functions
+  in
+  search Rules.pre_set_function_control rng cands
+
+let gen_function_call ctx rng =
+  let m = ctx.Context.m in
+  let cands =
+    List.concat_map
+      (fun ((f : Func.t), (b : Block.t)) ->
+        let values = values_in ctx f in
+        List.filter_map
+          (fun (g : Func.t) ->
+            if Id.equal g.Func.id f.Func.id then None
+            else
+              match Module_ir.find_type m g.Func.fn_ty with
+              | Some (Ty.Func (_, param_tys)) ->
+                  let args =
+                    List.map
+                      (fun pty ->
+                        List.find_map
+                          (fun (v, t) -> if Id.equal t pty then Some v else None)
+                          values)
+                      param_tys
+                  in
+                  if List.for_all Option.is_some args then
+                    Some
+                      (fun () ->
+                        let ctx, fresh = fresh1 ctx in
+                        Some
+                          ( ctx,
+                            Transformation.Function_call
+                              {
+                                fn = f.Func.id;
+                                block = b.Block.label;
+                                point = Transformation.At_end;
+                                fresh;
+                                callee = g.Func.id;
+                                args = List.map Option.get args;
+                              } ))
+                  else None
+              | _ -> None)
+          m.Module_ir.functions)
+      (blocks_of ctx)
+  in
+  search Rules.pre_function_call rng (cap 256 cands)
+
+let gen_add_parameter ctx rng =
+  let m = ctx.Context.m in
+  let cands =
+    List.concat_map
+      (fun (f : Func.t) ->
+        List.map
+          (fun (d : Module_ir.const_decl) () ->
+            let ctx, fresh_param, fresh_fn_ty = fresh2 ctx in
+            Some
+              ( ctx,
+                Transformation.Add_parameter
+                  { fn = f.Func.id; fresh_param; fresh_fn_ty; default = d.Module_ir.cd_id }
+              ))
+          m.Module_ir.constants)
+      m.Module_ir.functions
+  in
+  search Rules.pre_add_parameter rng (cap 128 cands)
+
+(* a minimal donor-free payload: a one-block function returning an int
+   constant; all declarations carry fresh ids and are interned on apply *)
+let gen_add_function ctx rng =
+  let cand () =
+    let ctx, ids = freshn ctx 5 in
+    match ids with
+    | [ int_ty; fn_ty; c; fn_id; lbl ] ->
+        Some
+          ( ctx,
+            Transformation.Add_function
+              {
+                Transformation.af_function =
+                  {
+                    Func.id = fn_id;
+                    Func.name = Printf.sprintf "_reg_donor%d" fn_id;
+                    Func.fn_ty = fn_ty;
+                    Func.control = Func.CNone;
+                    Func.params = [];
+                    Func.blocks =
+                      [
+                        {
+                          Block.label = lbl;
+                          Block.instrs = [];
+                          Block.terminator = Block.ReturnValue c;
+                        };
+                      ];
+                  };
+                af_types = [ (int_ty, Ty.Int); (fn_ty, Ty.Func (int_ty, [])) ];
+                af_constants = [ (c, int_ty, Constant.Int 7l) ];
+                af_live_safe = true;
+              } )
+    | _ -> None
+  in
+  search Rules.pre_add_function rng [ cand ]
+
+let gen_inline_function ctx rng =
+  let m = ctx.Context.m in
+  let cands =
+    List.concat_map
+      (fun ((f : Func.t), (b : Block.t)) ->
+        List.filter_map
+          (fun (i : Instr.t) ->
+            match (i.Instr.result, i.Instr.op) with
+            | Some call_id, Instr.FunctionCall (callee, _) -> (
+                match Module_ir.find_function m callee with
+                | Some { Func.blocks = [ body ]; _ } ->
+                    let result_ids =
+                      List.filter_map (fun (j : Instr.t) -> j.Instr.result) body.Block.instrs
+                    in
+                    Some
+                      (fun () ->
+                        let ctx, ids = freshn ctx (List.length result_ids) in
+                        Some
+                          ( ctx,
+                            Transformation.Inline_function
+                              {
+                                fn = f.Func.id;
+                                block = b.Block.label;
+                                call_id;
+                                id_map = List.combine result_ids ids;
+                              } ))
+                | _ -> None)
+            | _ -> None)
+          b.Block.instrs)
+      (blocks_of ctx)
+  in
+  search Rules.pre_inline_function rng cands
+
+(* ------------------------------------------------------------------ *)
+(* The table                                                           *)
+
+(* Entry order is load-bearing for determinism: the first occurrence of
+   each pass name, walking this list, must reproduce the historical pass
+   sweep order — {!pass_names} (and hence [Pass.all] and the scheduler's
+   uniform draw) is derived from it. *)
+let all : entry list =
+  let e type_id family pass ~dedup precondition apply gen =
+    {
+      type_id;
+      family;
+      pass;
+      precondition;
+      apply;
+      image_preserving = true;
+      dedup_relevant = dedup;
+      weight = 1;
+      gen;
+    }
+  in
+  [
+    e "AddType" Supporting None ~dedup:false Rules.pre_add_type Rules.apply_add_type
+      gen_add_type;
+    e "AddConstant" Supporting None ~dedup:false Rules.pre_add_constant
+      Rules.apply_add_constant gen_add_constant;
+    e "AddNop" Supporting None ~dedup:false Rules.pre_add_nop Rules.apply_add_nop
+      gen_add_nop;
+    e "SplitBlock" Control_flow (Some "split_blocks") ~dedup:false Rules.pre_split_block
+      Rules.apply_split_block gen_split_block;
+    e "AddDeadBlock" Control_flow (Some "add_dead_blocks") ~dedup:true
+      Rules.pre_add_dead_block Rules.apply_add_dead_block gen_add_dead_block;
+    e "AddLoad" Data (Some "add_loads") ~dedup:true Rules.pre_add_load Rules.apply_add_load
+      gen_add_load;
+    e "AddStore" Data (Some "add_stores") ~dedup:true Rules.pre_add_store
+      Rules.apply_add_store gen_add_store;
+    e "AddCopyObject" Data (Some "add_copy_objects") ~dedup:true Rules.pre_add_copy_object
+      Rules.apply_add_copy_object gen_add_copy_object;
+    e "AddArithmeticSynonym" Data (Some "add_arithmetic_synonyms") ~dedup:true
+      Rules.pre_add_arithmetic_synonym Rules.apply_add_arithmetic_synonym
+      gen_add_arithmetic_synonym;
+    e "AddSelectSynonym" Data (Some "add_select_synonyms") ~dedup:true
+      Rules.pre_add_select_synonym Rules.apply_add_select_synonym gen_add_select_synonym;
+    e "ReplaceIdWithSynonym" Data (Some "apply_synonyms") ~dedup:false
+      Rules.pre_replace_id_with_synonym Rules.apply_replace_id_with_synonym
+      gen_replace_id_with_synonym;
+    e "ReplaceConstantWithUniform" Obfuscation (Some "obfuscate_constants") ~dedup:true
+      Rules.pre_replace_constant_with_uniform Rules.apply_replace_constant_with_uniform
+      gen_replace_constant_with_uniform;
+    e "CompositeConstruct" Data (Some "add_composites") ~dedup:true
+      Rules.pre_composite_construct Rules.apply_composite_construct gen_composite_construct;
+    e "CompositeExtract" Data (Some "add_composites") ~dedup:true
+      Rules.pre_composite_extract Rules.apply_composite_extract gen_composite_extract;
+    e "AddFunction" Function_ops (Some "add_functions") ~dedup:false Rules.pre_add_function
+      Rules.apply_add_function gen_add_function;
+    e "FunctionCall" Function_ops (Some "function_calls") ~dedup:true
+      Rules.pre_function_call Rules.apply_function_call gen_function_call;
+    e "InlineFunction" Function_ops (Some "inline_functions") ~dedup:true
+      Rules.pre_inline_function Rules.apply_inline_function gen_inline_function;
+    e "AddParameter" Function_ops (Some "add_parameters") ~dedup:true
+      Rules.pre_add_parameter Rules.apply_add_parameter gen_add_parameter;
+    e "ReplaceIrrelevantId" Obfuscation (Some "replace_irrelevant_ids") ~dedup:true
+      Rules.pre_replace_irrelevant_id Rules.apply_replace_irrelevant_id
+      gen_replace_irrelevant_id;
+    e "SwapCommutativeOperands" Data (Some "swap_commutative_operands") ~dedup:true
+      Rules.pre_swap_commutative_operands Rules.apply_swap_commutative_operands
+      gen_swap_commutative_operands;
+    e "ReplaceBooleanConstantWithBinary" Obfuscation (Some "obfuscate_bool_constants")
+      ~dedup:true Rules.pre_replace_bool_constant_with_binary
+      Rules.apply_replace_bool_constant_with_binary gen_replace_bool_constant_with_binary;
+    e "MoveBlockDown" Control_flow (Some "move_blocks_down") ~dedup:true
+      Rules.pre_move_block_down Rules.apply_move_block_down gen_move_block_down;
+    e "WrapRegionInSelection" Control_flow (Some "wrap_regions") ~dedup:true
+      Rules.pre_wrap_region_in_selection Rules.apply_wrap_region_in_selection
+      gen_wrap_region_in_selection;
+    e "InvertBranchCondition" Control_flow (Some "invert_conditions") ~dedup:true
+      Rules.pre_invert_branch_condition Rules.apply_invert_branch_condition
+      gen_invert_branch_condition;
+    e "PropagateInstructionUp" Control_flow (Some "propagate_instructions_up") ~dedup:true
+      Rules.pre_propagate_instruction_up Rules.apply_propagate_instruction_up
+      gen_propagate_instruction_up;
+    e "ReplaceBranchWithKill" Control_flow (Some "replace_branches_with_kill") ~dedup:true
+      Rules.pre_replace_branch_with_kill Rules.apply_replace_branch_with_kill
+      gen_replace_branch_with_kill;
+    e "SetFunctionControl" Function_ops (Some "set_function_controls") ~dedup:true
+      Rules.pre_set_function_control Rules.apply_set_function_control
+      gen_set_function_control;
+    e "PermutePhiEntries" Control_flow (Some "permute_phis") ~dedup:true
+      Rules.pre_permute_phi_entries Rules.apply_permute_phi_entries gen_permute_phi_entries;
+    e "AddGlobalVariable" Supporting (Some "add_variables") ~dedup:false
+      Rules.pre_add_global_variable Rules.apply_add_global_variable gen_add_global_variable;
+    e "AddLocalVariable" Supporting (Some "add_variables") ~dedup:false
+      Rules.pre_add_local_variable Rules.apply_add_local_variable gen_add_local_variable;
+    e "AddUniform" Supporting (Some "add_uniforms") ~dedup:false Rules.pre_add_uniform
+      Rules.apply_add_uniform gen_add_uniform;
+  ]
+
+(* ------------------------------------------------------------------ *)
+(* Lookups and derived views                                           *)
+
+let by_id : (string, entry) Hashtbl.t =
+  let tbl = Hashtbl.create 64 in
+  List.iter (fun e -> Hashtbl.replace tbl e.type_id e) all;
+  tbl
+
+let find type_id = Hashtbl.find_opt by_id type_id
+
+let entry_of t =
+  match find (Transformation.type_id t) with
+  | Some e -> e
+  | None ->
+      invalid_arg ("Registry.entry_of: no entry for " ^ Transformation.type_id t)
+
+(** The full transformation precondition: the fresh-id discipline plus the
+    per-type check from the entry. *)
+let precondition ctx t = Rules.all_fresh ctx t && (entry_of t).precondition ctx t
+
+(** Apply a transformation whose precondition holds: claim its fresh ids,
+    then run the per-type effect. *)
+let apply ctx t =
+  (entry_of t).apply (Context.claim ctx (Transformation.fresh_ids t)) t
+
+let image_preserving t = (entry_of t).image_preserving
+
+(** Types excluded from Figure 6 dedup signatures, derived from the
+    [dedup_relevant] flags. *)
+let dedup_ignored =
+  Tbct.Dedup.String_set.of_list
+    (List.filter_map (fun e -> if e.dedup_relevant then None else Some e.type_id) all)
+
+(** Pass names in sweep order: first occurrence walking the table. *)
+let pass_names =
+  List.fold_left
+    (fun acc e ->
+      match e.pass with
+      | Some p when not (List.mem p acc) -> acc @ [ p ]
+      | _ -> acc)
+    [] all
+
+(** Follow-on recommendations (section 3.2): after running a pass, a random
+    subset of these is pushed onto the recommendation queue. *)
+let follow_ons = function
+  | "add_functions" -> [ "function_calls" ]
+  | "function_calls" -> [ "inline_functions"; "add_parameters" ]
+  | "add_dead_blocks" ->
+      [ "add_stores"; "replace_branches_with_kill"; "function_calls";
+        "split_blocks"; "obfuscate_constants"; "obfuscate_bool_constants" ]
+  | "add_copy_objects" | "add_arithmetic_synonyms" | "add_select_synonyms" ->
+      [ "apply_synonyms" ]
+  | "add_composites" -> [ "apply_synonyms" ]
+  | "add_parameters" -> [ "replace_irrelevant_ids" ]
+  | "add_variables" -> [ "add_stores"; "add_loads" ]
+  | "add_uniforms" -> [ "obfuscate_constants" ]
+  | "split_blocks" -> [ "add_dead_blocks" ]
+  | "wrap_regions" -> [ "split_blocks"; "move_blocks_down" ]
+  | "propagate_instructions_up" -> [ "move_blocks_down"; "permute_phis" ]
+  | "move_blocks_down" -> [ "move_blocks_down" ]
+  | "invert_conditions" -> [ "apply_synonyms" ]
+  | "obfuscate_constants" -> [ "apply_synonyms" ]
+  | "obfuscate_bool_constants" -> [ "replace_branches_with_kill"; "add_stores" ]
+  | _ -> []
+
+(* ------------------------------------------------------------------ *)
+(* Weights                                                             *)
+
+(** The effective sampling weight of a pass: the maximum over its member
+    entries of [entry weight × family multiplier].  With no overrides every
+    pass weighs 1 and the scheduler's draw is uniform. *)
+let pass_weight ?(weights = []) name =
+  let mult fam =
+    match List.assoc_opt fam weights with Some n -> n | None -> 1
+  in
+  List.fold_left
+    (fun acc e ->
+      match e.pass with
+      | Some p when String.equal p name -> max acc (e.weight * mult e.family)
+      | _ -> acc)
+    0 all
+
+(** Parse a ["FAMILY=N,FAMILY=N"] weight override list (the [--weights]
+    CLI syntax).  Weights must be non-negative; a weight of 0 disables the
+    family's passes entirely. *)
+let parse_weights s =
+  let items =
+    List.filter
+      (fun item -> String.trim item <> "")
+      (String.split_on_char ',' s)
+  in
+  List.fold_left
+    (fun acc item ->
+      Result.bind acc (fun ws ->
+          match String.index_opt item '=' with
+          | None -> Error (Printf.sprintf "expected FAMILY=N, got %S" item)
+          | Some i -> (
+              let fam_s = String.trim (String.sub item 0 i) in
+              let n_s =
+                String.trim (String.sub item (i + 1) (String.length item - i - 1))
+              in
+              match (family_of_string fam_s, int_of_string_opt n_s) with
+              | Some fam, Some n when n >= 0 -> Ok (ws @ [ (fam, n) ])
+              | None, _ ->
+                  Error
+                    (Printf.sprintf "unknown family %S (expected %s)" fam_s
+                       (String.concat "|" (List.map family_to_string families)))
+              | Some _, _ -> Error (Printf.sprintf "bad weight %S" n_s))))
+    (Ok []) items

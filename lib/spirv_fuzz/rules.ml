@@ -1,11 +1,20 @@
-(** Preconditions and effects for every transformation in the catalogue.
+(** Per-type preconditions and effects for every transformation in the
+    catalogue.
 
-    [precondition ctx t] decides applicability (Definition 2.4); [apply ctx
-    t] performs the effect and is only called when the precondition holds.
-    A handful of CFG transformations (MoveBlockDown, ReplaceBranchWithKill)
-    fold "the result still respects the dominance ordering rules" into the
-    precondition by validating the candidate module, exactly as spirv-fuzz's
-    IsApplicable checks do. *)
+    Each transformation type contributes one [pre_*] function deciding
+    applicability (Definition 2.4) and one [apply_*] function performing the
+    effect; {!Registry} binds them together into the catalogue table and is
+    the only dispatcher — this module deliberately contains no match over
+    the whole {!Transformation.t} type.  A handful of CFG transformations
+    (MoveBlockDown, ReplaceBranchWithKill) fold "the result still respects
+    the dominance ordering rules" into the precondition by validating the
+    candidate module, exactly as spirv-fuzz's IsApplicable checks do.
+
+    Every [pre_*]/[apply_*] function handles exactly one constructor and
+    treats any other transformation as inapplicable ([false] / identity);
+    {!Registry} guarantees they are only ever called with their own type.
+    The [apply_*] functions expect the transformation's fresh ids to have
+    been claimed already ({!Registry.apply} does it). *)
 
 open Spirv_ir
 open Transformation
@@ -197,17 +206,68 @@ let remap_block map (b : Block.t) =
   in
   { Block.label = s b.Block.label; instrs = List.map (remap_instr map) b.Block.instrs; terminator }
 
+let has_syntactic_successor (f : Func.t) block =
+  let rec go = function
+    | [] | [ _ ] -> false
+    | (b : Block.t) :: next :: rest ->
+        Id.equal b.Block.label block || go (next :: rest)
+  in
+  go f.Func.blocks
+
 (* ------------------------------------------------------------------ *)
-(* Preconditions                                                       *)
+(* Module-level effect helpers shared between a precondition (which
+   validates the candidate module) and the corresponding apply           *)
 
-let rec precondition (ctx : Context.t) (t : Transformation.t) =
-  all_fresh ctx t && precondition_specific ctx t
-
-and precondition_specific ctx t =
+let replace_branch_with_kill_m ctx ~fn ~block =
   let m = module_of ctx in
-  let facts = ctx.Context.facts in
-  match t with
+  match lookup_block ctx ~fn ~block with
+  | None -> m
+  | Some (f, b) ->
+      let succs = Block.successors b in
+      (* remove this block's φ entries from former successors *)
+      let f =
+        List.fold_left
+          (fun f succ ->
+            match Func.find_block f succ with
+            | None -> f
+            | Some sb ->
+                let instrs =
+                  List.map
+                    (fun (i : Instr.t) ->
+                      match i.Instr.op with
+                      | Instr.Phi inc ->
+                          {
+                            i with
+                            Instr.op =
+                              Instr.Phi
+                                (List.filter (fun (_, blk) -> not (Id.equal blk block)) inc);
+                          }
+                      | _ -> i)
+                    sb.Block.instrs
+                in
+                Func.replace_block f { sb with Block.instrs })
+          f succs
+      in
+      let f = Func.replace_block f { b with Block.terminator = Block.Kill } in
+      Module_ir.replace_function m f
+
+let move_block_down_m ctx ~fn ~block =
+  let m = module_of ctx in
+  Edit.update_function m ~fn ~f:(fun f ->
+      let rec swap = function
+        | (b : Block.t) :: next :: rest when Id.equal b.Block.label block ->
+            next :: b :: rest
+        | b :: rest -> b :: swap rest
+        | [] -> []
+      in
+      { f with Func.blocks = swap f.Func.blocks })
+
+(* ------------------------------------------------------------------ *)
+(* Preconditions, one function per transformation type                 *)
+
+let pre_add_type ctx = function
   | Add_type { ty; fresh = _ } -> (
+      let m = module_of ctx in
       Module_ir.find_type_id m ty = None
       &&
       (* component ids must already be declared *)
@@ -221,7 +281,11 @@ and precondition_specific ctx t =
       | Ty.Func (r, ps) ->
           Module_ir.find_type m r <> None
           && List.for_all (fun c -> Module_ir.find_type m c <> None) ps)
+  | _ -> false
+
+let pre_add_constant ctx = function
   | Add_constant { ty; value; fresh = _ } -> (
+      let m = module_of ctx in
       Module_ir.find_constant_id m ~ty ~value = None
       &&
       match (Module_ir.find_type m ty, value) with
@@ -241,11 +305,18 @@ and precondition_specific ctx t =
                 (List.mapi (fun idx p -> (idx, p)) parts)
           | Some _ | None -> false)
       | _ -> false)
+  | _ -> false
+
+let pre_add_global_variable ctx = function
   | Add_global_variable { pointee; _ } -> (
-      match Module_ir.find_type m pointee with
+      match Module_ir.find_type (module_of ctx) pointee with
       | Some (Ty.Void | Ty.Func _ | Ty.Pointer _) | None -> false
       | Some _ -> true)
+  | _ -> false
+
+let pre_add_uniform ctx = function
   | Add_uniform { pointee; name; value; _ } -> (
+      let m = module_of ctx in
       (* the name must be unused in both the module and the input, and the
          recorded value must inhabit the pointee type *)
       (not
@@ -259,13 +330,23 @@ and precondition_specific ctx t =
       | Some Ty.Int, Value.VInt _ -> true
       | Some Ty.Float, Value.VFloat _ -> true
       | _ -> false)
+  | _ -> false
+
+let pre_add_local_variable ctx = function
   | Add_local_variable { fn; pointee; _ } -> (
+      let m = module_of ctx in
       Module_ir.find_function m fn <> None
       &&
       match Module_ir.find_type m pointee with
       | Some (Ty.Void | Ty.Func _ | Ty.Pointer _) | None -> false
       | Some _ -> true)
+  | _ -> false
+
+let pre_add_nop ctx = function
   | Add_nop { fn; block; point } -> point_offset ctx ~fn ~block point <> None
+  | _ -> false
+
+let pre_split_block ctx = function
   | Split_block { fn; block; point; fresh = _ } -> (
       match lookup_block ctx ~fn ~block with
       | None -> false
@@ -281,6 +362,9 @@ and precondition_specific ctx t =
                       (fun (i : Instr.t) ->
                         match i.Instr.op with Instr.Variable _ -> false | _ -> true)
                       (List.filteri (fun idx _ -> idx >= o) b.Block.instrs))))
+  | _ -> false
+
+let pre_add_dead_block ctx = function
   | Add_dead_block { fn; existing; fresh = _; cond } -> (
       is_bool_constant ctx cond true
       &&
@@ -293,14 +377,20 @@ and precondition_specific ctx t =
               | Some s -> Edit.phi_count s = 0
               | None -> false)
           | _ -> false))
+  | _ -> false
+
+let pre_replace_branch_with_kill ctx = function
   | Replace_branch_with_kill { fn; block } ->
-      Fact_manager.is_dead_block facts block
+      Fact_manager.is_dead_block ctx.Context.facts block
       && (match lookup_block ctx ~fn ~block with
          | Some (_, b) -> Block.successors b <> []
          | None -> false)
-      && validates (apply_replace_branch_with_kill ctx ~fn ~block)
+      && validates (replace_branch_with_kill_m ctx ~fn ~block)
+  | _ -> false
+
+let pre_move_block_down ctx = function
   | Move_block_down { fn; block } -> (
-      match Module_ir.find_function m fn with
+      match Module_ir.find_function (module_of ctx) fn with
       | None -> false
       | Some f -> (
           match f.Func.blocks with
@@ -308,7 +398,10 @@ and precondition_specific ctx t =
           | entry :: _ ->
               (not (Id.equal entry.Block.label block))
               && has_syntactic_successor f block
-              && validates (apply_move_block_down ctx ~fn ~block)))
+              && validates (move_block_down_m ctx ~fn ~block)))
+  | _ -> false
+
+let pre_wrap_region_in_selection ctx = function
   | Wrap_region_in_selection { fn; block; cond; branch_on_true; _ } -> (
       is_bool_constant ctx cond branch_on_true
       &&
@@ -346,6 +439,9 @@ and precondition_specific ctx t =
                (fun (i : Instr.t) ->
                  match i.Instr.op with Instr.Variable _ -> false | _ -> true)
                b.Block.instrs)
+  | _ -> false
+
+let pre_invert_branch_condition ctx = function
   | Invert_branch_condition { fn; block; fresh = _ } -> (
       match lookup_block ctx ~fn ~block with
       | Some (_, b) -> (
@@ -353,8 +449,75 @@ and precondition_specific ctx t =
           | Block.BranchConditional _ -> true
           | _ -> false)
       | None -> false)
-  | Propagate_instruction_up { fn; block; fresh_per_pred } ->
-      precondition_propagate_up ctx ~fn ~block ~fresh_per_pred
+  | _ -> false
+
+let pre_propagate_instruction_up ctx = function
+  | Propagate_instruction_up { fn; block; fresh_per_pred } -> (
+      let m = module_of ctx in
+      match lookup_block ctx ~fn ~block with
+      | None -> false
+      | Some (f, b) -> (
+          let cfg = Cfg.of_func f in
+          let preds = Cfg.predecessors cfg block in
+          let n_phis = Edit.phi_count b in
+          match List.nth_opt b.Block.instrs n_phis with
+          | None -> false
+          | Some (i : Instr.t) -> (
+              let movable =
+                match i.Instr.op with
+                | Instr.Binop _ | Instr.Unop _ | Instr.Select _
+                | Instr.CompositeConstruct _ | Instr.CompositeExtract _
+                | Instr.CompositeInsert _ | Instr.CopyObject _ | Instr.Load _ ->
+                    true
+                | _ -> false
+              in
+              movable
+              && Cfg.is_reachable cfg block
+              && preds <> []
+              && (not (List.mem block preds))
+              && List.sort_uniq Id.compare (List.map fst fresh_per_pred)
+                 = List.sort_uniq Id.compare preds
+              && List.length fresh_per_pred = List.length preds
+              &&
+              (* each operand must be available at the end of every predecessor,
+                 after substituting φ values for that predecessor *)
+              let analysis = Analysis.make m f in
+              let phi_incoming_for pred op =
+                List.find_map
+                  (fun (p : Instr.t) ->
+                    match (p.Instr.result, p.Instr.op) with
+                    | Some r, Instr.Phi inc when Id.equal r op ->
+                        List.find_map
+                          (fun (v, blk) -> if Id.equal blk pred then Some v else None)
+                          inc
+                    | _ -> None)
+                  (Block.phis b)
+              in
+              List.for_all
+                (fun pred ->
+                  List.for_all
+                    (fun op ->
+                      let op' = Option.value ~default:op (phi_incoming_for pred op) in
+                      Analysis.available_at_end analysis ~block:pred op')
+                    (Instr.used_ids i))
+                preds)))
+  | _ -> false
+
+let pre_permute_phi_entries ctx = function
+  | Permute_phi_entries { fn; block; phi; rotation } -> (
+      rotation >= 0
+      &&
+      match lookup_block ctx ~fn ~block with
+      | None -> false
+      | Some (_, b) ->
+          List.exists
+            (fun (i : Instr.t) ->
+              i.Instr.result = Some phi
+              && (match i.Instr.op with Instr.Phi inc -> List.length inc >= 2 | _ -> false))
+            b.Block.instrs)
+  | _ -> false
+
+let pre_swap_commutative_operands ctx = function
   | Swap_commutative_operands { fn; block; instr } -> (
       match lookup_block ctx ~fn ~block with
       | None -> false
@@ -376,27 +539,23 @@ and precondition_specific ctx t =
                   true
               | _ -> false)
             b.Block.instrs)
-  | Permute_phi_entries { fn; block; phi; rotation } -> (
-      rotation >= 0
-      &&
-      match lookup_block ctx ~fn ~block with
-      | None -> false
-      | Some (_, b) ->
-          List.exists
-            (fun (i : Instr.t) ->
-              i.Instr.result = Some phi
-              && (match i.Instr.op with Instr.Phi inc -> List.length inc >= 2 | _ -> false))
-            b.Block.instrs)
+  | _ -> false
+
+let pre_add_load ctx = function
   | Add_load { fn; block; point; fresh = _; pointer } -> (
       match point_offset ctx ~fn ~block point with
       | None -> false
       | Some o -> (
           available ctx ~fn ~block ~offset:o pointer
           && match type_struct ctx pointer with Some (Ty.Pointer _) -> true | _ -> false))
+  | _ -> false
+
+let pre_add_store ctx = function
   | Add_store { fn; block; point; pointer; value } -> (
       match point_offset ctx ~fn ~block point with
       | None -> false
       | Some o -> (
+          let facts = ctx.Context.facts in
           (Fact_manager.is_dead_block facts block
           || Fact_manager.is_irrelevant_pointee facts pointer)
           && available ctx ~fn ~block ~offset:o pointer
@@ -406,11 +565,17 @@ and precondition_specific ctx t =
           | Some (Ty.Pointer ((Ty.Function | Ty.Private | Ty.Output), pointee)) ->
               type_of_id ctx value = Some pointee
           | _ -> false))
+  | _ -> false
+
+let pre_add_copy_object ctx = function
   | Add_copy_object { fn; block; point; fresh = _; operand } -> (
       match point_offset ctx ~fn ~block point with
       | None -> false
       | Some o ->
           available ctx ~fn ~block ~offset:o operand && type_of_id ctx operand <> None)
+  | _ -> false
+
+let pre_add_arithmetic_synonym ctx = function
   | Add_arithmetic_synonym { fn; block; point; fresh = _; operand; kind; identity } -> (
       match point_offset ctx ~fn ~block point with
       | None -> false
@@ -419,7 +584,7 @@ and precondition_specific ctx t =
           &&
           let operand_is tyv = type_struct ctx operand = Some tyv in
           let identity_is value =
-            match Module_ir.find_constant m identity with
+            match Module_ir.find_constant (module_of ctx) identity with
             | Some { Module_ir.cd_value; _ } -> Constant.equal cd_value value
             | None -> false
           in
@@ -431,6 +596,9 @@ and precondition_specific ctx t =
           | Sub_zero_float -> operand_is Ty.Float && identity_is (Constant.Float 0.0)
           | Or_false -> operand_is Ty.Bool && identity_is (Constant.Bool false)
           | And_true -> operand_is Ty.Bool && identity_is (Constant.Bool true)))
+  | _ -> false
+
+let pre_add_select_synonym ctx = function
   | Add_select_synonym { fn; block; point; fresh = _; cond; operand } -> (
       match point_offset ctx ~fn ~block point with
       | None -> false
@@ -442,16 +610,22 @@ and precondition_specific ctx t =
           match type_struct ctx operand with
           | Some (Ty.Pointer _) | None -> false
           | Some _ -> true))
+  | _ -> false
+
+let pre_replace_id_with_synonym ctx = function
   | Replace_id_with_synonym { site; synonym } -> (
       use_site_replaceable ctx site
       &&
       match (use_site_operand ctx site, use_site_check_position ctx site) with
       | Some current, Some (check_block, check_idx) ->
-          Fact_manager.are_synonymous facts current synonym
+          Fact_manager.are_synonymous ctx.Context.facts current synonym
           && type_of_id ctx current = type_of_id ctx synonym
           && type_of_id ctx current <> None
           && available ctx ~fn:site.us_fn ~block:check_block ~offset:check_idx synonym
       | _ -> false)
+  | _ -> false
+
+let pre_replace_bool_constant_with_binary ctx = function
   | Replace_bool_constant_with_binary { site; fresh = _; operand } -> (
       use_site_replaceable ctx site
       &&
@@ -465,13 +639,18 @@ and precondition_specific ctx t =
       &&
       match (use_site_operand ctx site, use_site_check_position ctx site) with
       | Some current, Some (check_block, check_idx) -> (
-          (match Module_ir.find_constant m current with
+          (match Module_ir.find_constant (module_of ctx) current with
           | Some { Module_ir.cd_value = Constant.Bool _; _ } -> true
           | Some _ | None -> false)
           && available ctx ~fn:site.us_fn ~block:check_block ~offset:check_idx operand
           && type_struct ctx operand = Some Ty.Int)
       | _ -> false)
+  | _ -> false
+
+let pre_replace_irrelevant_id ctx = function
   | Replace_irrelevant_id { site; replacement } -> (
+      let m = module_of ctx in
+      let facts = ctx.Context.facts in
       use_site_replaceable ctx site
       &&
       (* the slot is replaceable either because the id currently used is
@@ -502,6 +681,9 @@ and precondition_specific ctx t =
           | Some _ -> true
           | None -> false)
       | _ -> false)
+  | _ -> false
+
+let pre_replace_constant_with_uniform ctx = function
   | Replace_constant_with_uniform { site; fresh_load = _; uniform } -> (
       use_site_replaceable ctx site
       &&
@@ -513,7 +695,7 @@ and precondition_specific ctx t =
           match use_site_operand ctx site with
           | None -> false
           | Some current -> (
-              match Edit.constant_value m current with
+              match Edit.constant_value (module_of ctx) current with
               | None -> false
               | Some cv -> (
                   match
@@ -525,7 +707,11 @@ and precondition_specific ctx t =
                       Value.equal cv uv
                       && type_of_id ctx current = Some pointee
                   | None -> false))))
+  | _ -> false
+
+let pre_composite_construct ctx = function
   | Composite_construct { fn; block; point; fresh = _; ty; parts } -> (
+      let m = module_of ctx in
       match point_offset ctx ~fn ~block point with
       | None -> false
       | Some o -> (
@@ -537,6 +723,9 @@ and precondition_specific ctx t =
                   && type_of_id ctx part = Module_ir.component_ty m ty idx)
                 (List.mapi (fun idx p -> (idx, p)) parts)
           | Some _ | None -> false))
+  | _ -> false
+
+let pre_composite_extract ctx = function
   | Composite_extract { fn; block; point; fresh = _; composite; path } -> (
       match point_offset ctx ~fn ~block point with
       | None -> false
@@ -545,13 +734,20 @@ and precondition_specific ctx t =
           && available ctx ~fn ~block ~offset:o composite
           &&
           match type_of_id ctx composite with
-          | Some cty -> Module_ir.ty_at_path m cty path <> None
+          | Some cty -> Module_ir.ty_at_path (module_of ctx) cty path <> None
           | None -> false))
+  | _ -> false
+
+let pre_set_function_control ctx = function
   | Set_function_control { fn; control } -> (
-      match Module_ir.find_function m fn with
+      match Module_ir.find_function (module_of ctx) fn with
       | Some f -> not (Func.equal_control f.Func.control control)
       | None -> false)
+  | _ -> false
+
+let pre_function_call ctx = function
   | Function_call { fn; block; point; fresh = _; callee; args } -> (
+      let m = module_of ctx in
       match point_offset ctx ~fn ~block point with
       | None -> false
       | Some o -> (
@@ -591,203 +787,107 @@ and precondition_specific ctx t =
                    && pointer_args_irrelevant)
                   || Fact_manager.is_dead_block ctx.Context.facts block)
               | Some _ | None -> false)))
+  | _ -> false
+
+let pre_add_parameter ctx = function
   | Add_parameter { fn; fresh_param = _; fresh_fn_ty = _; default } -> (
+      let m = module_of ctx in
       match Module_ir.find_function m fn with
       | None -> false
       | Some _ ->
           (not (Id.equal fn m.Module_ir.entry))
           && Module_ir.find_constant m default <> None)
+  | _ -> false
+
+let pre_add_function ctx = function
   | Add_function p ->
-      precondition_add_function ctx p
-  | Inline_function { fn; block; call_id; id_map } ->
-      precondition_inline ctx ~fn ~block ~call_id ~id_map
-
-and has_syntactic_successor (f : Func.t) block =
-  let rec go = function
-    | [] | [ _ ] -> false
-    | (b : Block.t) :: next :: rest ->
-        Id.equal b.Block.label block || go (next :: rest)
-  in
-  go f.Func.blocks
-
-and precondition_propagate_up ctx ~fn ~block ~fresh_per_pred =
-  let m = module_of ctx in
-  match lookup_block ctx ~fn ~block with
-  | None -> false
-  | Some (f, b) -> (
-      let cfg = Cfg.of_func f in
-      let preds = Cfg.predecessors cfg block in
-      let n_phis = Edit.phi_count b in
-      match List.nth_opt b.Block.instrs n_phis with
-      | None -> false
-      | Some (i : Instr.t) -> (
-          let movable =
-            match i.Instr.op with
-            | Instr.Binop _ | Instr.Unop _ | Instr.Select _
-            | Instr.CompositeConstruct _ | Instr.CompositeExtract _
-            | Instr.CompositeInsert _ | Instr.CopyObject _ | Instr.Load _ ->
-                true
-            | _ -> false
-          in
-          movable
-          && Cfg.is_reachable cfg block
-          && preds <> []
-          && (not (List.mem block preds))
-          && List.sort_uniq Id.compare (List.map fst fresh_per_pred)
-             = List.sort_uniq Id.compare preds
-          && List.length fresh_per_pred = List.length preds
-          &&
-          (* each operand must be available at the end of every predecessor,
-             after substituting φ values for that predecessor *)
-          let analysis = Analysis.make m f in
-          let phi_incoming_for pred op =
-            List.find_map
-              (fun (p : Instr.t) ->
-                match (p.Instr.result, p.Instr.op) with
-                | Some r, Instr.Phi inc when Id.equal r op ->
-                    List.find_map
-                      (fun (v, blk) -> if Id.equal blk pred then Some v else None)
-                      inc
-                | _ -> None)
-              (Block.phis b)
-          in
-          List.for_all
-            (fun pred ->
-              List.for_all
-                (fun op ->
-                  let op' = Option.value ~default:op (phi_incoming_for pred op) in
-                  Analysis.available_at_end analysis ~block:pred op')
-                (Instr.used_ids i))
-            preds))
-
-and precondition_add_function ctx (p : add_function_payload) =
-  let m = module_of ctx in
-  (* the donor must be self-contained and manifestly safe: no calls, no
-     kills, no stores outside its own locals *)
-  let f = p.af_function in
-  let structurally_safe =
-    List.for_all
-      (fun (b : Block.t) ->
-        (match b.Block.terminator with Block.Kill -> false | _ -> true)
-        && List.for_all
-             (fun (i : Instr.t) ->
-               match i.Instr.op with
-               | Instr.FunctionCall _ -> false
-               | Instr.Store (ptr, _) ->
-                   (* the pointer must be a local of this function (its
-                      definition appears among the donor's instructions) *)
-                   List.exists
-                     (fun (j : Instr.t) -> j.Instr.result = Some ptr)
-                     (Func.all_instrs f)
-                   || List.exists
-                        (fun (j : Instr.t) ->
-                          match j.Instr.op with
-                          | Instr.AccessChain _ -> j.Instr.result = Some ptr
-                          | _ -> false)
-                        (Func.all_instrs f)
-               | _ -> true)
-             b.Block.instrs)
-      f.Func.blocks
-  in
-  structurally_safe && f.Func.blocks <> [] && Module_ir.find_function m f.Func.id = None
-
-and precondition_inline ctx ~fn ~block ~call_id ~id_map =
-  let m = module_of ctx in
-  match lookup_block ctx ~fn ~block with
-  | None -> false
-  | Some (_, b) -> (
-      let call_instr =
-        List.find_opt (fun (i : Instr.t) -> i.Instr.result = Some call_id) b.Block.instrs
+      let m = module_of ctx in
+      (* the donor must be self-contained and manifestly safe: no calls, no
+         kills, no stores outside its own locals *)
+      let f = p.af_function in
+      let structurally_safe =
+        List.for_all
+          (fun (b : Block.t) ->
+            (match b.Block.terminator with Block.Kill -> false | _ -> true)
+            && List.for_all
+                 (fun (i : Instr.t) ->
+                   match i.Instr.op with
+                   | Instr.FunctionCall _ -> false
+                   | Instr.Store (ptr, _) ->
+                       (* the pointer must be a local of this function (its
+                          definition appears among the donor's instructions) *)
+                       List.exists
+                         (fun (j : Instr.t) -> j.Instr.result = Some ptr)
+                         (Func.all_instrs f)
+                       || List.exists
+                            (fun (j : Instr.t) ->
+                              match j.Instr.op with
+                              | Instr.AccessChain _ -> j.Instr.result = Some ptr
+                              | _ -> false)
+                            (Func.all_instrs f)
+                   | _ -> true)
+                 b.Block.instrs)
+          f.Func.blocks
       in
-      match call_instr with
-      | Some { Instr.op = Instr.FunctionCall (callee, _args); _ } -> (
-          match Module_ir.find_function m callee with
-          | None -> false
-          | Some g -> (
-              (not (Func.equal_control g.Func.control Func.DontInline))
-              &&
-              match g.Func.blocks with
-              | [ body ] -> (
-                  match body.Block.terminator with
-                  | Block.ReturnValue _ ->
-                      (* no allocations, no φs in a single-block callee *)
-                      List.for_all
-                        (fun (i : Instr.t) ->
-                          match i.Instr.op with
-                          | Instr.Variable _ | Instr.Phi _ -> false
-                          | _ -> true)
-                        body.Block.instrs
-                      && (* the id map must cover exactly the callee's results *)
-                      (let result_ids =
-                         List.filter_map
-                           (fun (i : Instr.t) -> i.Instr.result)
-                           body.Block.instrs
-                       in
-                       List.sort_uniq Id.compare (List.map fst id_map)
-                       = List.sort_uniq Id.compare result_ids)
-                  | _ -> false)
-              | _ -> false))
-      | Some _ | None -> false)
+      structurally_safe && f.Func.blocks <> [] && Module_ir.find_function m f.Func.id = None
+  | _ -> false
+
+let pre_inline_function ctx = function
+  | Inline_function { fn; block; call_id; id_map } -> (
+      let m = module_of ctx in
+      match lookup_block ctx ~fn ~block with
+      | None -> false
+      | Some (_, b) -> (
+          let call_instr =
+            List.find_opt (fun (i : Instr.t) -> i.Instr.result = Some call_id) b.Block.instrs
+          in
+          match call_instr with
+          | Some { Instr.op = Instr.FunctionCall (callee, _args); _ } -> (
+              match Module_ir.find_function m callee with
+              | None -> false
+              | Some g -> (
+                  (not (Func.equal_control g.Func.control Func.DontInline))
+                  &&
+                  match g.Func.blocks with
+                  | [ body ] -> (
+                      match body.Block.terminator with
+                      | Block.ReturnValue _ ->
+                          (* no allocations, no φs in a single-block callee *)
+                          List.for_all
+                            (fun (i : Instr.t) ->
+                              match i.Instr.op with
+                              | Instr.Variable _ | Instr.Phi _ -> false
+                              | _ -> true)
+                            body.Block.instrs
+                          && (* the id map must cover exactly the callee's results *)
+                          (let result_ids =
+                             List.filter_map
+                               (fun (i : Instr.t) -> i.Instr.result)
+                               body.Block.instrs
+                           in
+                           List.sort_uniq Id.compare (List.map fst id_map)
+                           = List.sort_uniq Id.compare result_ids)
+                      | _ -> false)
+                  | _ -> false))
+          | Some _ | None -> false))
+  | _ -> false
 
 (* ------------------------------------------------------------------ *)
-(* Effects                                                             *)
+(* Effects, one function per transformation type                       *)
 
-and apply_replace_branch_with_kill ctx ~fn ~block =
-  let m = module_of ctx in
-  match lookup_block ctx ~fn ~block with
-  | None -> m
-  | Some (f, b) ->
-      let succs = Block.successors b in
-      (* remove this block's φ entries from former successors *)
-      let f =
-        List.fold_left
-          (fun f succ ->
-            match Func.find_block f succ with
-            | None -> f
-            | Some sb ->
-                let instrs =
-                  List.map
-                    (fun (i : Instr.t) ->
-                      match i.Instr.op with
-                      | Instr.Phi inc ->
-                          {
-                            i with
-                            Instr.op =
-                              Instr.Phi
-                                (List.filter (fun (_, blk) -> not (Id.equal blk block)) inc);
-                          }
-                      | _ -> i)
-                    sb.Block.instrs
-                in
-                Func.replace_block f { sb with Block.instrs })
-          f succs
-      in
-      let f = Func.replace_block f { b with Block.terminator = Block.Kill } in
-      Module_ir.replace_function m f
-
-and apply_move_block_down ctx ~fn ~block =
-  let m = module_of ctx in
-  Edit.update_function m ~fn ~f:(fun f ->
-      let rec swap = function
-        | (b : Block.t) :: next :: rest when Id.equal b.Block.label block ->
-            next :: b :: rest
-        | b :: rest -> b :: swap rest
-        | [] -> []
-      in
-      { f with Func.blocks = swap f.Func.blocks })
-
-let apply (ctx : Context.t) (t : Transformation.t) : Context.t =
-  let ctx = Context.claim ctx (fresh_ids t) in
-  let m = module_of ctx in
-  let facts = ctx.Context.facts in
-  match t with
+let apply_add_type ctx = function
   | Add_type { fresh; ty } ->
+      let m = module_of ctx in
       {
         ctx with
         Context.m =
           { m with Module_ir.types = m.Module_ir.types @ [ { Module_ir.td_id = fresh; td_ty = ty } ] };
       }
+  | _ -> ctx
+
+let apply_add_constant ctx = function
   | Add_constant { fresh; ty; value } ->
+      let m = module_of ctx in
       {
         ctx with
         Context.m =
@@ -797,7 +897,11 @@ let apply (ctx : Context.t) (t : Transformation.t) : Context.t =
               m.Module_ir.constants @ [ { Module_ir.cd_id = fresh; cd_ty = ty; cd_value = value } ];
           };
       }
+  | _ -> ctx
+
+let apply_add_global_variable ctx = function
   | Add_global_variable { fresh; fresh_ptr_ty; pointee } ->
+      let m = module_of ctx in
       let m, ptr_ty = Edit.intern_type_with m ~fresh:fresh_ptr_ty (Ty.Pointer (Ty.Private, pointee)) in
       let m =
         {
@@ -808,8 +912,16 @@ let apply (ctx : Context.t) (t : Transformation.t) : Context.t =
                   gd_name = Printf.sprintf "_g%d" fresh; gd_init = None } ];
         }
       in
-      { ctx with Context.m = m; Context.facts = Fact_manager.add_irrelevant_pointee facts fresh }
+      {
+        ctx with
+        Context.m = m;
+        Context.facts = Fact_manager.add_irrelevant_pointee ctx.Context.facts fresh;
+      }
+  | _ -> ctx
+
+let apply_add_uniform ctx = function
   | Add_uniform { fresh; fresh_ptr_ty; pointee; name; value } ->
+      let m = module_of ctx in
       let m, ptr_ty = Edit.intern_type_with m ~fresh:fresh_ptr_ty (Ty.Pointer (Ty.Uniform, pointee)) in
       let m =
         {
@@ -826,7 +938,11 @@ let apply (ctx : Context.t) (t : Transformation.t) : Context.t =
         }
       in
       { ctx with Context.m = m; Context.input = input }
+  | _ -> ctx
+
+let apply_add_local_variable ctx = function
   | Add_local_variable { fresh; fresh_ptr_ty; fn; pointee } ->
+      let m = module_of ctx in
       let m, ptr_ty = Edit.intern_type_with m ~fresh:fresh_ptr_ty (Ty.Pointer (Ty.Function, pointee)) in
       let m =
         Edit.update_function m ~fn ~f:(fun f ->
@@ -836,14 +952,26 @@ let apply (ctx : Context.t) (t : Transformation.t) : Context.t =
                 let var = Instr.make ~result:fresh ~ty:ptr_ty (Instr.Variable Ty.Function) in
                 { f with Func.blocks = { entry with Block.instrs = var :: entry.Block.instrs } :: rest })
       in
-      { ctx with Context.m = m; Context.facts = Fact_manager.add_irrelevant_pointee facts fresh }
+      {
+        ctx with
+        Context.m = m;
+        Context.facts = Fact_manager.add_irrelevant_pointee ctx.Context.facts fresh;
+      }
+  | _ -> ctx
+
+let apply_add_nop ctx = function
   | Add_nop { fn; block; point } -> (
       match point_offset ctx ~fn ~block point with
       | None -> ctx
       | Some o ->
           Context.with_module ctx
-            (Edit.insert_instr m ~fn ~block ~offset:o (Instr.make_void Instr.Nop)))
+            (Edit.insert_instr (module_of ctx) ~fn ~block ~offset:o (Instr.make_void Instr.Nop)))
+  | _ -> ctx
+
+let apply_split_block ctx = function
   | Split_block { fn; block; point; fresh } -> (
+      let m = module_of ctx in
+      let facts = ctx.Context.facts in
       match lookup_block ctx ~fn ~block with
       | None -> ctx
       | Some (f, b) -> (
@@ -894,7 +1022,11 @@ let apply (ctx : Context.t) (t : Transformation.t) : Context.t =
                 else facts
               in
               { ctx with Context.m = Module_ir.replace_function m f; Context.facts = facts }))
+  | _ -> ctx
+
+let apply_add_dead_block ctx = function
   | Add_dead_block { fn; existing; fresh; cond } -> (
+      let m = module_of ctx in
       match lookup_block ctx ~fn ~block:existing with
       | None -> ctx
       | Some (f, b) -> (
@@ -909,14 +1041,24 @@ let apply (ctx : Context.t) (t : Transformation.t) : Context.t =
               {
                 ctx with
                 Context.m = Module_ir.replace_function m f;
-                Context.facts = Fact_manager.add_dead_block facts fresh;
+                Context.facts = Fact_manager.add_dead_block ctx.Context.facts fresh;
               }
           | _ -> ctx))
+  | _ -> ctx
+
+let apply_replace_branch_with_kill ctx = function
   | Replace_branch_with_kill { fn; block } ->
-      Context.with_module ctx (apply_replace_branch_with_kill ctx ~fn ~block)
+      Context.with_module ctx (replace_branch_with_kill_m ctx ~fn ~block)
+  | _ -> ctx
+
+let apply_move_block_down ctx = function
   | Move_block_down { fn; block } ->
-      Context.with_module ctx (apply_move_block_down ctx ~fn ~block)
+      Context.with_module ctx (move_block_down_m ctx ~fn ~block)
+  | _ -> ctx
+
+let apply_wrap_region_in_selection ctx = function
   | Wrap_region_in_selection { fn; block; fresh_header; fresh_merge; cond; branch_on_true } -> (
+      let m = module_of ctx in
       match lookup_block ctx ~fn ~block with
       | None -> ctx
       | Some (f, b) ->
@@ -982,7 +1124,11 @@ let apply (ctx : Context.t) (t : Transformation.t) : Context.t =
               f (Block.successors merge)
           in
           Context.with_module ctx (Module_ir.replace_function m f))
+  | _ -> ctx
+
+let apply_invert_branch_condition ctx = function
   | Invert_branch_condition { fn; block; fresh } -> (
+      let m = module_of ctx in
       match lookup_block ctx ~fn ~block with
       | None -> ctx
       | Some (f, b) -> (
@@ -1001,7 +1147,11 @@ let apply (ctx : Context.t) (t : Transformation.t) : Context.t =
               in
               Context.with_module ctx (Module_ir.replace_function m (Func.replace_block f b))
           | _ -> ctx))
+  | _ -> ctx
+
+let apply_propagate_instruction_up ctx = function
   | Propagate_instruction_up { fn; block; fresh_per_pred } -> (
+      let m = module_of ctx in
       match lookup_block ctx ~fn ~block with
       | None -> ctx
       | Some (f, b) -> (
@@ -1057,9 +1207,12 @@ let apply (ctx : Context.t) (t : Transformation.t) : Context.t =
                     })
               in
               Context.with_module ctx (Module_ir.replace_function m f)))
+  | _ -> ctx
+
+let apply_swap_commutative_operands ctx = function
   | Swap_commutative_operands { fn; block; instr } ->
       Context.with_module ctx
-        (Edit.update_block m ~fn ~block ~f:(fun b ->
+        (Edit.update_block (module_of ctx) ~fn ~block ~f:(fun b ->
              {
                b with
                Block.instrs =
@@ -1096,6 +1249,9 @@ let apply (ctx : Context.t) (t : Transformation.t) : Context.t =
                        | _ -> i)
                    b.Block.instrs;
              }))
+  | _ -> ctx
+
+let apply_permute_phi_entries ctx = function
   | Permute_phi_entries { fn; block; phi; rotation } ->
       let rotate n xs =
         let len = List.length xs in
@@ -1105,7 +1261,7 @@ let apply (ctx : Context.t) (t : Transformation.t) : Context.t =
           List.filteri (fun i _ -> i >= k) xs @ List.filteri (fun i _ -> i < k) xs
       in
       Context.with_module ctx
-        (Edit.update_block m ~fn ~block ~f:(fun b ->
+        (Edit.update_block (module_of ctx) ~fn ~block ~f:(fun b ->
              {
                b with
                Block.instrs =
@@ -1118,6 +1274,9 @@ let apply (ctx : Context.t) (t : Transformation.t) : Context.t =
                      else i)
                    b.Block.instrs;
              }))
+  | _ -> ctx
+
+let apply_add_load ctx = function
   | Add_load { fn; block; point; fresh; pointer } -> (
       match point_offset ctx ~fn ~block point with
       | None -> ctx
@@ -1128,29 +1287,38 @@ let apply (ctx : Context.t) (t : Transformation.t) : Context.t =
             | _ -> 0
           in
           Context.with_module ctx
-            (Edit.insert_instr m ~fn ~block ~offset:o
+            (Edit.insert_instr (module_of ctx) ~fn ~block ~offset:o
                (Instr.make ~result:fresh ~ty:pointee (Instr.Load pointer))))
+  | _ -> ctx
+
+let apply_add_store ctx = function
   | Add_store { fn; block; point; pointer; value } -> (
       match point_offset ctx ~fn ~block point with
       | None -> ctx
       | Some o ->
           Context.with_module ctx
-            (Edit.insert_instr m ~fn ~block ~offset:o
+            (Edit.insert_instr (module_of ctx) ~fn ~block ~offset:o
                (Instr.make_void (Instr.Store (pointer, value)))))
+  | _ -> ctx
+
+let apply_add_copy_object ctx = function
   | Add_copy_object { fn; block; point; fresh; operand } -> (
       match point_offset ctx ~fn ~block point with
       | None -> ctx
       | Some o ->
           let ty = Option.value ~default:0 (type_of_id ctx operand) in
           let m =
-            Edit.insert_instr m ~fn ~block ~offset:o
+            Edit.insert_instr (module_of ctx) ~fn ~block ~offset:o
               (Instr.make ~result:fresh ~ty (Instr.CopyObject operand))
           in
           {
             ctx with
             Context.m = m;
-            Context.facts = Fact_manager.add_id_synonym facts fresh operand;
+            Context.facts = Fact_manager.add_id_synonym ctx.Context.facts fresh operand;
           })
+  | _ -> ctx
+
+let apply_add_arithmetic_synonym ctx = function
   | Add_arithmetic_synonym { fn; block; point; fresh; operand; kind; identity } -> (
       match point_offset ctx ~fn ~block point with
       | None -> ctx
@@ -1165,29 +1333,41 @@ let apply (ctx : Context.t) (t : Transformation.t) : Context.t =
             | Or_false -> Instr.Binop (Instr.LogicalOr, operand, identity)
             | And_true -> Instr.Binop (Instr.LogicalAnd, operand, identity)
           in
-          let m = Edit.insert_instr m ~fn ~block ~offset:o (Instr.make ~result:fresh ~ty op) in
+          let m =
+            Edit.insert_instr (module_of ctx) ~fn ~block ~offset:o (Instr.make ~result:fresh ~ty op)
+          in
           {
             ctx with
             Context.m = m;
-            Context.facts = Fact_manager.add_id_synonym facts fresh operand;
+            Context.facts = Fact_manager.add_id_synonym ctx.Context.facts fresh operand;
           })
+  | _ -> ctx
+
+let apply_add_select_synonym ctx = function
   | Add_select_synonym { fn; block; point; fresh; cond; operand } -> (
       match point_offset ctx ~fn ~block point with
       | None -> ctx
       | Some o ->
           let ty = Option.value ~default:0 (type_of_id ctx operand) in
           let m =
-            Edit.insert_instr m ~fn ~block ~offset:o
+            Edit.insert_instr (module_of ctx) ~fn ~block ~offset:o
               (Instr.make ~result:fresh ~ty (Instr.Select (cond, operand, operand)))
           in
           {
             ctx with
             Context.m = m;
-            Context.facts = Fact_manager.add_id_synonym facts fresh operand;
+            Context.facts = Fact_manager.add_id_synonym ctx.Context.facts fresh operand;
           })
+  | _ -> ctx
+
+let apply_replace_id_with_synonym ctx = function
   | Replace_id_with_synonym { site; synonym } ->
       Context.with_module ctx (substitute_use_site ctx site synonym)
+  | _ -> ctx
+
+let apply_replace_bool_constant_with_binary ctx = function
   | Replace_bool_constant_with_binary { site; fresh; operand } -> (
+      let m = module_of ctx in
       match resolve_use_site ctx site with
       | None -> ctx
       | Some (b, where) ->
@@ -1221,8 +1401,14 @@ let apply (ctx : Context.t) (t : Transformation.t) : Context.t =
           in
           let ctx = Context.with_module ctx m in
           Context.with_module ctx (substitute_use_site ctx site' fresh))
+  | _ -> ctx
+
+let apply_replace_irrelevant_id ctx = function
   | Replace_irrelevant_id { site; replacement } ->
       Context.with_module ctx (substitute_use_site ctx site replacement)
+  | _ -> ctx
+
+let apply_replace_constant_with_uniform ctx = function
   | Replace_constant_with_uniform { site; fresh_load; uniform } -> (
       match resolve_use_site ctx site with
       | None -> ctx
@@ -1239,7 +1425,8 @@ let apply (ctx : Context.t) (t : Transformation.t) : Context.t =
             | `Instr (idx, _) -> idx
           in
           let m =
-            Edit.insert_instr m ~fn:site.us_fn ~block:site.us_block ~offset:insert_offset load
+            Edit.insert_instr (module_of ctx) ~fn:site.us_fn ~block:site.us_block
+              ~offset:insert_offset load
           in
           (* re-resolve in the updated module; Nth_instr anchors shifted *)
           let site' =
@@ -1249,23 +1436,30 @@ let apply (ctx : Context.t) (t : Transformation.t) : Context.t =
           in
           let ctx = Context.with_module ctx m in
           Context.with_module ctx (substitute_use_site ctx site' fresh_load))
+  | _ -> ctx
+
+let apply_composite_construct ctx = function
   | Composite_construct { fn; block; point; fresh; ty; parts } -> (
       match point_offset ctx ~fn ~block point with
       | None -> ctx
       | Some o ->
           let m =
-            Edit.insert_instr m ~fn ~block ~offset:o
+            Edit.insert_instr (module_of ctx) ~fn ~block ~offset:o
               (Instr.make ~result:fresh ~ty (Instr.CompositeConstruct parts))
           in
           let facts =
             List.fold_left
               (fun facts (idx, part) ->
                 Fact_manager.add_synonym facts (fresh, [ idx ]) (part, []))
-              facts
+              ctx.Context.facts
               (List.mapi (fun idx p -> (idx, p)) parts)
           in
           { ctx with Context.m = m; Context.facts = facts })
+  | _ -> ctx
+
+let apply_composite_extract ctx = function
   | Composite_extract { fn; block; point; fresh; composite; path } -> (
+      let m = module_of ctx in
       match point_offset ctx ~fn ~block point with
       | None -> ctx
       | Some o ->
@@ -1278,7 +1472,7 @@ let apply (ctx : Context.t) (t : Transformation.t) : Context.t =
             Edit.insert_instr m ~fn ~block ~offset:o
               (Instr.make ~result:fresh ~ty:result_ty (Instr.CompositeExtract (composite, path)))
           in
-          let facts = Fact_manager.add_synonym facts (fresh, []) (composite, path) in
+          let facts = Fact_manager.add_synonym ctx.Context.facts (fresh, []) (composite, path) in
           (* bridge to whole-object synonyms where the component is known *)
           let facts =
             List.fold_left
@@ -1287,10 +1481,17 @@ let apply (ctx : Context.t) (t : Transformation.t) : Context.t =
               (Fact_manager.component_synonyms facts ~composite ~path)
           in
           { ctx with Context.m = m; Context.facts = facts })
+  | _ -> ctx
+
+let apply_set_function_control ctx = function
   | Set_function_control { fn; control } ->
       Context.with_module ctx
-        (Edit.update_function m ~fn ~f:(fun f -> { f with Func.control }))
+        (Edit.update_function (module_of ctx) ~fn ~f:(fun f -> { f with Func.control }))
+  | _ -> ctx
+
+let apply_function_call ctx = function
   | Function_call { fn; block; point; fresh; callee; args } -> (
+      let m = module_of ctx in
       match point_offset ctx ~fn ~block point with
       | None -> ctx
       | Some o ->
@@ -1305,7 +1506,11 @@ let apply (ctx : Context.t) (t : Transformation.t) : Context.t =
           Context.with_module ctx
             (Edit.insert_instr m ~fn ~block ~offset:o
                (Instr.make ~result:fresh ~ty:ret_ty (Instr.FunctionCall (callee, args)))))
+  | _ -> ctx
+
+let apply_add_parameter ctx = function
   | Add_parameter { fn; fresh_param; fresh_fn_ty; default } -> (
+      let m = module_of ctx in
       match Module_ir.find_function m fn with
       | None -> ctx
       | Some f -> (
@@ -1354,9 +1559,12 @@ let apply (ctx : Context.t) (t : Transformation.t) : Context.t =
               {
                 ctx with
                 Context.m = m;
-                Context.facts = Fact_manager.add_irrelevant facts fresh_param;
+                Context.facts = Fact_manager.add_irrelevant ctx.Context.facts fresh_param;
               }
           | Some _ | None -> ctx))
+  | _ -> ctx
+
+let apply_add_function ctx = function
   | Add_function p ->
       let m = module_of ctx in
       (* intern donated types with structural dedupe, building a remap *)
@@ -1405,10 +1613,15 @@ let apply (ctx : Context.t) (t : Transformation.t) : Context.t =
       in
       let m = { m with Module_ir.functions = m.Module_ir.functions @ [ f ] } in
       let facts =
-        if p.af_live_safe then Fact_manager.add_live_safe facts f.Func.id else facts
+        if p.af_live_safe then Fact_manager.add_live_safe ctx.Context.facts f.Func.id
+        else ctx.Context.facts
       in
       { ctx with Context.m = m; Context.facts = facts }
+  | _ -> ctx
+
+let apply_inline_function ctx = function
   | Inline_function { fn; block; call_id; id_map } -> (
+      let m = module_of ctx in
       match lookup_block ctx ~fn ~block with
       | None -> ctx
       | Some (f, b) -> (
@@ -1450,3 +1663,4 @@ let apply (ctx : Context.t) (t : Transformation.t) : Context.t =
                   | _ -> ctx)
               | Some _ | None -> ctx)
           | Some _ | None -> ctx))
+  | _ -> ctx

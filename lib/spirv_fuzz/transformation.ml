@@ -205,6 +205,43 @@ let type_id = function
   | Add_function _ -> "AddFunction"
   | Inline_function _ -> "InlineFunction"
 
+(** Every [type_id] in the catalogue, in variant-declaration order — the
+    ground truth the registry completeness check compares against. *)
+let catalogue =
+  [
+    "AddType";
+    "AddConstant";
+    "AddGlobalVariable";
+    "AddUniform";
+    "AddLocalVariable";
+    "AddNop";
+    "SplitBlock";
+    "AddDeadBlock";
+    "ReplaceBranchWithKill";
+    "MoveBlockDown";
+    "WrapRegionInSelection";
+    "InvertBranchCondition";
+    "PropagateInstructionUp";
+    "PermutePhiEntries";
+    "SwapCommutativeOperands";
+    "AddLoad";
+    "AddStore";
+    "AddCopyObject";
+    "AddArithmeticSynonym";
+    "AddSelectSynonym";
+    "ReplaceIdWithSynonym";
+    "ReplaceBooleanConstantWithBinary";
+    "ReplaceIrrelevantId";
+    "ReplaceConstantWithUniform";
+    "CompositeConstruct";
+    "CompositeExtract";
+    "SetFunctionControl";
+    "FunctionCall";
+    "AddParameter";
+    "AddFunction";
+    "InlineFunction";
+  ]
+
 (** All the fresh ids a transformation introduces (for tests and audits). *)
 let fresh_ids = function
   | Add_type { fresh; _ } | Add_constant { fresh; _ } -> [ fresh ]

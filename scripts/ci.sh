@@ -92,6 +92,67 @@ fi
 ./_build/default/bin/tbct_cli.exe store gc "$STORE" --max-bytes 65536 > /dev/null
 ./_build/default/bin/tbct_cli.exe store stats "$STORE" > /dev/null
 
+# registry completeness gate: every transformation type has exactly one
+# registry entry (the command cross-checks the catalogue and exits 1 on
+# any missing/extra/duplicate entry), and the JSON catalogue agrees
+./_build/default/bin/tbct_cli.exe transformations --check
+N_TYPES=$(./_build/default/bin/tbct_cli.exe transformations --json | wc -l)
+if [ "$N_TYPES" -ne 31 ]; then
+  echo "CI: transformations --json lists $N_TYPES entries, expected 31" >&2
+  exit 1
+fi
+if ! ./_build/default/bin/tbct_cli.exe transformations --json \
+    | grep -q '"type_id":"ReplaceBranchWithKill"'; then
+  echo "CI: transformations --json is missing ReplaceBranchWithKill" >&2
+  exit 1
+fi
+
+# single-source-of-truth gate: the registry owns all per-type dispatch;
+# rules.ml and pass.ml must not grow their own type_id dispatch tables or
+# keep a local copy of the follow-on recommendations
+if grep -n '"Add[A-Z]\|"Replace[A-Z]\|"Split[A-Z]\|"Move[A-Z]\|"Wrap[A-Z]\|"Invert[A-Z]\|"Propagate[A-Z]\|"Permute[A-Z]\|"Swap[A-Z]\|"Composite[A-Z]\|"Set[A-Z]\|"Function[A-Z]\|"Inline[A-Z]' \
+     lib/spirv_fuzz/rules.ml lib/spirv_fuzz/pass.ml; then
+  echo "CI: transformation type_id literal outside the registry —" \
+       "rules.ml/pass.ml must not duplicate the dispatch table" >&2
+  exit 1
+fi
+if grep -n "follow_ons" lib/spirv_fuzz/pass.ml; then
+  echo "CI: follow_ons defined in pass.ml — recommendations live in the" \
+       "registry" >&2
+  exit 1
+fi
+
+# zero-drift gate: explicit uniform weights must reproduce the default
+# campaign bit for bit, and a non-uniform weighting must actually change it
+WDIR=$(mktemp -d)
+./_build/default/bin/tbct_cli.exe campaign --seeds 20 \
+    --hits-out "$WDIR/hits-default.txt" > /dev/null
+./_build/default/bin/tbct_cli.exe campaign --seeds 20 \
+    --weights supporting=1,control_flow=1,data=1,function=1,obfuscation=1 \
+    --hits-out "$WDIR/hits-uniform.txt" > /dev/null
+if ! cmp -s "$WDIR/hits-default.txt" "$WDIR/hits-uniform.txt"; then
+  echo "CI: explicit uniform weights drifted from the default campaign" >&2
+  rm -rf "$WDIR"
+  exit 1
+fi
+./_build/default/bin/tbct_cli.exe campaign --seeds 20 --weights control_flow=6 \
+    --hits-out "$WDIR/hits-weighted.txt" > /dev/null
+if cmp -s "$WDIR/hits-default.txt" "$WDIR/hits-weighted.txt"; then
+  echo "CI: control_flow=6 produced the same campaign as uniform weights —" \
+       "weighted sampling is not taking effect" >&2
+  rm -rf "$WDIR"
+  exit 1
+fi
+rm -rf "$WDIR"
+
+# quick perf smoke: the registry perf section must run and persist its
+# machine-readable summary (BENCH_PR6.json at the repo root)
+./_build/default/bench/main.exe --perf-smoke > /dev/null
+if [ ! -s BENCH_PR6.json ]; then
+  echo "CI: bench --perf-smoke did not write BENCH_PR6.json" >&2
+  exit 1
+fi
+
 # pool determinism gate: a parallel campaign's hit list and a parallel
 # dedup run's reduced tests must be byte-identical to the sequential ones
 # at any worker count (the Pool's task-id-ordered merge contract)
@@ -112,4 +173,4 @@ if ! cmp -s "$STORE/tests-seq.txt" "$STORE/tests-par.txt"; then
   exit 1
 fi
 
-echo "CI: build + tests + lint + contract-smoke + store-smoke + pool-determinism + invariant checks passed"
+echo "CI: build + tests + lint + contract-smoke + store-smoke + registry-gates + perf-smoke + pool-determinism + invariant checks passed"

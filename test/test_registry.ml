@@ -1,0 +1,339 @@
+(* Registry-derived properties: the one table in Spirv_fuzz.Registry must
+   stay a bijection with the transformation catalogue, derive the same
+   pass list / dedup ignore set the consumers used to hard-code, and its
+   per-entry hooks must respect the paper's contract — generated
+   opportunities satisfy their precondition and apply preserves
+   validity, lint cleanliness and the rendered image.  Also pins the
+   zero-drift guarantee: uniform weights reproduce the historical RNG
+   stream bit for bit, and non-uniform weights really shift sampling. *)
+
+open Spirv_ir
+module Registry = Spirv_fuzz.Registry
+
+let catalogue = Spirv_fuzz.Transformation.catalogue
+let entry_ids = List.map (fun (e : Registry.entry) -> e.Registry.type_id) Registry.all
+
+(* ------------------------------------------------------------------ *)
+(* completeness: table <-> catalogue bijection                         *)
+
+let test_completeness () =
+  Alcotest.(check int)
+    "one entry per transformation type" (List.length catalogue)
+    (List.length entry_ids);
+  List.iter
+    (fun id ->
+      Alcotest.(check bool) ("registry covers " ^ id) true (List.mem id entry_ids))
+    catalogue;
+  List.iter
+    (fun id ->
+      Alcotest.(check bool) ("catalogue covers " ^ id) true (List.mem id catalogue))
+    entry_ids;
+  let sorted = List.sort_uniq String.compare entry_ids in
+  Alcotest.(check int) "no duplicate entries" (List.length entry_ids)
+    (List.length sorted)
+
+let test_find () =
+  List.iter
+    (fun id ->
+      match Registry.find id with
+      | Some e -> Alcotest.(check string) "find returns the entry" id e.Registry.type_id
+      | None -> Alcotest.failf "Registry.find %s returned None" id)
+    catalogue;
+  Alcotest.(check bool) "unknown id is None" true
+    (Option.is_none (Registry.find "NoSuchTransformation"))
+
+(* ------------------------------------------------------------------ *)
+(* derived consumers: pass list and dedup ignore set                   *)
+
+let test_pass_names () =
+  let pass_names = Registry.pass_names in
+  let all_names = List.map (fun (p : Spirv_fuzz.Pass.t) -> p.Spirv_fuzz.Pass.name) Spirv_fuzz.Pass.all in
+  Alcotest.(check (list string)) "Pass.all is ordered by the registry"
+    pass_names all_names;
+  (* every named pass is the proposer of at least one entry *)
+  List.iter
+    (fun name ->
+      Alcotest.(check bool) (name ^ " proposes an entry") true
+        (List.exists
+           (fun (e : Registry.entry) -> e.Registry.pass = Some name)
+           Registry.all))
+    pass_names
+
+let test_dedup_ignored () =
+  (* the section 3.5 ignore list the consumers used to hard-code *)
+  let expected =
+    [
+      "AddType"; "AddConstant"; "AddNop"; "SplitBlock"; "ReplaceIdWithSynonym";
+      "AddFunction"; "AddGlobalVariable"; "AddLocalVariable"; "AddUniform";
+    ]
+  in
+  Alcotest.(check (list string)) "dedup ignore set from the dedup_relevant flags"
+    (List.sort String.compare expected)
+    (Spirv_fuzz.Dedup.String_set.elements Registry.dedup_ignored);
+  List.iter
+    (fun (e : Registry.entry) ->
+      Alcotest.(check bool)
+        (e.Registry.type_id ^ " flag matches the ignore set")
+        (not e.Registry.dedup_relevant)
+        (Spirv_fuzz.Dedup.String_set.mem e.Registry.type_id Registry.dedup_ignored))
+    Registry.all
+
+(* ------------------------------------------------------------------ *)
+(* weights                                                             *)
+
+let test_parse_weights () =
+  (match Registry.parse_weights "control_flow=5, data=2" with
+  | Ok w ->
+      Alcotest.(check int) "two overrides parsed" 2 (List.length w);
+      Alcotest.(check bool) "control_flow=5" true
+        (List.mem (Registry.Control_flow, 5) w)
+  | Error e -> Alcotest.failf "parse_weights rejected valid input: %s" e);
+  (match Registry.parse_weights "obfuscation=0" with
+  | Ok [ (Registry.Obfuscation, 0) ] -> ()
+  | Ok _ -> Alcotest.fail "unexpected parse"
+  | Error e -> Alcotest.failf "zero weight must parse: %s" e);
+  Alcotest.(check bool) "unknown family rejected" true
+    (Result.is_error (Registry.parse_weights "nonsense=3"));
+  Alcotest.(check bool) "negative weight rejected" true
+    (Result.is_error (Registry.parse_weights "data=-1"));
+  Alcotest.(check bool) "malformed pair rejected" true
+    (Result.is_error (Registry.parse_weights "data"))
+
+let test_pass_weight () =
+  List.iter
+    (fun name ->
+      Alcotest.(check int) ("uniform weight of " ^ name) 1
+        (Registry.pass_weight name))
+    Registry.pass_names;
+  Alcotest.(check int) "unknown pass weighs 0" 0
+    (Registry.pass_weight "no_such_pass");
+  let w = [ (Registry.Control_flow, 7) ] in
+  Alcotest.(check int) "family multiplier applies" 7
+    (Registry.pass_weight ~weights:w "split_blocks");
+  Alcotest.(check int) "other families keep weight 1" 1
+    (Registry.pass_weight ~weights:w "add_loads")
+
+(* ------------------------------------------------------------------ *)
+(* per-entry contract: gen -> precondition -> apply preserves all      *)
+
+(* fuzzer-enriched contexts: realistic modules with facts (dead blocks,
+   synonyms, irrelevant ids) so fact-driven gens have material to work
+   with.  Built once — rendering every (entry, ctx, salt) apply result is
+   the expensive part, so keep the context count small. *)
+let enriched =
+  lazy
+    (let refs = Lazy.force Corpus.lowered_references in
+     let donors = List.map snd (Lazy.force Corpus.lowered_donors) in
+     let config =
+       {
+         Spirv_fuzz.Fuzzer.default_config with
+         Spirv_fuzz.Fuzzer.donors;
+         Spirv_fuzz.Fuzzer.max_transformations = 40;
+         Spirv_fuzz.Fuzzer.max_passes = 20;
+       }
+     in
+     List.map
+       (fun seed ->
+         let _, m = List.nth refs (seed mod List.length refs) in
+         let ctx = Spirv_fuzz.Context.make m Corpus.default_input in
+         (Spirv_fuzz.Fuzzer.run ~config ~seed ctx).Spirv_fuzz.Fuzzer.final)
+       [ 1; 2; 5 ])
+
+let render_exn what (ctx : Spirv_fuzz.Context.t) =
+  match Interp.render ctx.Spirv_fuzz.Context.m ctx.Spirv_fuzz.Context.input with
+  | Ok img -> img
+  | Error t -> Alcotest.failf "%s render trapped: %s" what (Interp.trap_to_string t)
+
+(* one generated opportunity checked end to end; returns whether the gen
+   produced anything on this (ctx, salt) *)
+let check_one (e : Registry.entry) (ctx : Spirv_fuzz.Context.t) salt =
+  let rng = Tbct.Rng.make salt in
+  match e.Registry.gen ctx rng with
+  | None -> false
+  | Some (ctx', t) ->
+      Alcotest.(check string)
+        ("gen emits its own type: " ^ e.Registry.type_id)
+        e.Registry.type_id
+        (Spirv_fuzz.Transformation.type_id t);
+      Alcotest.(check bool)
+        ("generated opportunity satisfies precondition: " ^ e.Registry.type_id)
+        true
+        (Registry.precondition ctx' t);
+      let before_img = render_exn (e.Registry.type_id ^ " before") ctx' in
+      let before_lint =
+        Lint.error_count (Lint.check_module ctx'.Spirv_fuzz.Context.m)
+      in
+      let after = Registry.apply ctx' t in
+      (match Validate.check after.Spirv_fuzz.Context.m with
+      | Ok () -> ()
+      | Error (err :: _) ->
+          Alcotest.failf "%s apply broke validation: %s" e.Registry.type_id
+            (Validate.error_to_string err)
+      | Error [] -> Alcotest.fail "invalid");
+      Alcotest.(check bool)
+        (e.Registry.type_id ^ " apply introduces no lint errors")
+        true
+        (Lint.error_count (Lint.check_module after.Spirv_fuzz.Context.m)
+        <= before_lint);
+      let after_img = render_exn (e.Registry.type_id ^ " after") after in
+      Alcotest.(check bool)
+        (e.Registry.type_id ^ " apply preserves the image")
+        true
+        (Image.equal before_img after_img);
+      true
+
+let test_entry_contracts () =
+  let ctxs = Lazy.force enriched in
+  let generated =
+    List.filter
+      (fun (e : Registry.entry) ->
+        let hits = ref 0 in
+        List.iter
+          (fun ctx ->
+            List.iter
+              (fun salt -> if check_one e ctx salt then incr hits)
+              [ 11; 23; 47 ])
+          ctxs;
+        !hits > 0)
+      Registry.all
+  in
+  (* not every type finds an opportunity on every module (e.g. facts the
+     fuzzer never recorded), but the overwhelming majority must *)
+  Alcotest.(check bool)
+    (Printf.sprintf "most entries generate opportunities (%d of %d)"
+       (List.length generated) (List.length Registry.all))
+    true
+    (List.length generated >= 24)
+
+let prop_gen_respects_contract =
+  QCheck.Test.make ~name:"random gen draws satisfy the entry contract"
+    ~count:60
+    QCheck.(pair (int_bound 30) (int_bound 1_000_000))
+    (fun (entry_idx, salt) ->
+      let e = List.nth Registry.all (entry_idx mod List.length Registry.all) in
+      let ctxs = Lazy.force enriched in
+      let ctx = List.nth ctxs (salt mod List.length ctxs) in
+      ignore (check_one e ctx salt);
+      true)
+
+(* ------------------------------------------------------------------ *)
+(* scheduling: zero drift at uniform weights, real drift otherwise     *)
+
+let run_with weights seed =
+  let refs = Lazy.force Corpus.lowered_references in
+  let donors = List.map snd (Lazy.force Corpus.lowered_donors) in
+  let _, m = List.nth refs (seed mod List.length refs) in
+  let ctx = Spirv_fuzz.Context.make m Corpus.default_input in
+  let config =
+    {
+      Spirv_fuzz.Fuzzer.default_config with
+      Spirv_fuzz.Fuzzer.donors;
+      Spirv_fuzz.Fuzzer.weights = weights;
+    }
+  in
+  Spirv_fuzz.Fuzzer.run ~config ~seed ctx
+
+let uniform =
+  List.map (fun f -> (f, 1)) Registry.families
+
+let prop_uniform_stream_equality =
+  QCheck.Test.make
+    ~name:"explicit uniform weights reproduce the default stream bit for bit"
+    ~count:8
+    QCheck.(int_bound 1_000)
+    (fun seed ->
+      let a = run_with [] seed in
+      let b = run_with uniform seed in
+      a.Spirv_fuzz.Fuzzer.transformations = b.Spirv_fuzz.Fuzzer.transformations
+      && a.Spirv_fuzz.Fuzzer.passes_run = b.Spirv_fuzz.Fuzzer.passes_run
+      && a.Spirv_fuzz.Fuzzer.counters = b.Spirv_fuzz.Fuzzer.counters)
+
+let test_nonuniform_changes_sampling () =
+  let differs seed =
+    let a = run_with [] seed in
+    let b = run_with [ (Registry.Control_flow, 10) ] seed in
+    a.Spirv_fuzz.Fuzzer.passes_run <> b.Spirv_fuzz.Fuzzer.passes_run
+  in
+  Alcotest.(check bool) "control_flow=10 shifts the pass stream" true
+    (List.exists differs [ 0; 1; 2; 3; 4 ])
+
+let test_zero_weight_family () =
+  (* a family weighted 0 contributes nothing to the random draw: without
+     recommendations its passes can never run *)
+  let refs = Lazy.force Corpus.lowered_references in
+  let _, m = List.nth refs 0 in
+  let ctx = Spirv_fuzz.Context.make m Corpus.default_input in
+  let config =
+    {
+      Spirv_fuzz.Fuzzer.default_config with
+      Spirv_fuzz.Fuzzer.use_recommendations = false;
+      Spirv_fuzz.Fuzzer.weights =
+        List.map
+          (fun f -> (f, if f = Registry.Control_flow then 0 else 1))
+          Registry.families;
+    }
+  in
+  let control_flow_passes =
+    List.filter_map
+      (fun (e : Registry.entry) ->
+        if e.Registry.family = Registry.Control_flow then e.Registry.pass
+        else None)
+      Registry.all
+  in
+  List.iter
+    (fun seed ->
+      let r = Spirv_fuzz.Fuzzer.run ~config ~seed ctx in
+      List.iter
+        (fun p ->
+          Alcotest.(check bool)
+            (p ^ " never drawn at weight 0")
+            false
+            (List.mem p r.Spirv_fuzz.Fuzzer.passes_run))
+        control_flow_passes)
+    [ 3; 7; 9 ]
+
+(* counters bookkeeping: proposed >= applied, applied sums to the recorded
+   sequence length *)
+let prop_counters_consistent =
+  QCheck.Test.make ~name:"emitter counters tally the recorded stream"
+    ~count:10
+    QCheck.(int_bound 1_000)
+    (fun seed ->
+      let r = run_with [] seed in
+      let applied_total =
+        List.fold_left (fun acc (_, _, a) -> acc + a) 0
+          r.Spirv_fuzz.Fuzzer.counters
+      in
+      List.for_all (fun (_, p, a) -> p >= a && a >= 0) r.Spirv_fuzz.Fuzzer.counters
+      && applied_total = List.length r.Spirv_fuzz.Fuzzer.transformations)
+
+let qcheck tests = List.map QCheck_alcotest.to_alcotest tests
+
+let () =
+  Alcotest.run "registry"
+    [
+      ( "table",
+        [
+          Alcotest.test_case "catalogue bijection" `Quick test_completeness;
+          Alcotest.test_case "find" `Quick test_find;
+          Alcotest.test_case "pass list derivation" `Quick test_pass_names;
+          Alcotest.test_case "dedup ignore derivation" `Quick test_dedup_ignored;
+        ] );
+      ( "weights",
+        [
+          Alcotest.test_case "parse_weights" `Quick test_parse_weights;
+          Alcotest.test_case "pass_weight" `Quick test_pass_weight;
+          Alcotest.test_case "non-uniform shifts sampling" `Quick
+            test_nonuniform_changes_sampling;
+          Alcotest.test_case "zero-weight family never drawn" `Quick
+            test_zero_weight_family;
+        ] );
+      ( "contract",
+        Alcotest.test_case "every entry generates and preserves" `Slow
+          test_entry_contracts
+        :: qcheck
+             [
+               prop_gen_respects_contract; prop_uniform_stream_equality;
+               prop_counters_consistent;
+             ] );
+    ]

@@ -74,13 +74,9 @@ let exercise_pass pass_name seed =
       let reference = render_exn ctx.Spirv_fuzz.Context.m default_input in
       let donors = [ Generator.generate (Tbct.Rng.make (seed + 1)) ] in
       let em =
-        {
-          Spirv_fuzz.Pass.ctx;
-          Spirv_fuzz.Pass.emitted = [];
-          Spirv_fuzz.Pass.rng = Tbct.Rng.make (seed * 3 + 1);
-          Spirv_fuzz.Pass.donors;
-          Spirv_fuzz.Pass.contracts = None;
-        }
+        Spirv_fuzz.Pass.make_emitter ~donors
+          ~rng:(Tbct.Rng.make (seed * 3 + 1))
+          ctx
       in
       (* enablers so data-dependent passes have something to chew on *)
       Spirv_fuzz.Pass.pass_add_dead_blocks.Spirv_fuzz.Pass.run em;
@@ -379,8 +375,8 @@ let test_contracts_catch_bad_transformation () =
       { fresh = ctx.Spirv_fuzz.Context.m.Module_ir.id_bound; ty = Ty.Float }
   in
   Alcotest.(check bool) "precondition is indeed false" false
-    (Spirv_fuzz.Rules.precondition ctx bad);
-  let after = Spirv_fuzz.Rules.apply ctx bad in
+    (Spirv_fuzz.Registry.precondition ctx bad);
+  let after = Spirv_fuzz.Registry.apply ctx bad in
   let checker = Spirv_fuzz.Contract.create ctx in
   match Spirv_fuzz.Contract.check checker ~before:ctx bad ~after with
   | () -> Alcotest.fail "violated precondition not caught"
@@ -404,7 +400,7 @@ let test_contracts_catch_invalid_module () =
       }
   in
   Alcotest.(check bool) "harmless precondition holds" true
-    (Spirv_fuzz.Rules.precondition ctx nop);
+    (Spirv_fuzz.Registry.precondition ctx nop);
   (* pretend the transformation was applied but hand the checker a broken
      module: entry function retyped to a dangling type id *)
   let broken =
