@@ -685,6 +685,116 @@ let registry_perf () =
   Printf.printf "registry perf section written to BENCH_PR6.json\n"
 
 (* ------------------------------------------------------------------ *)
+(* Loop-aware TV: verdicts, abstain reasons, and trip bounds            *)
+
+let loop_tv_perf () =
+  section "Loop-aware TV: looping corpus coverage";
+  let corpus = Lazy.force Corpus.lowered_loop_references in
+  let loop_facts m =
+    let f = List.hd m.Spirv_ir.Module_ir.functions in
+    let av = Spirv_ir.Dataflow.Availability.make m f in
+    let cfg = Spirv_ir.Dataflow.Availability.cfg av in
+    let dom = Spirv_ir.Dataflow.Availability.dominance av in
+    let loops = Spirv_ir.Loops.analyze cfg dom in
+    let r = Spirv_ir.Dataflow.Ranges.compute m f ~cfg ~loops in
+    let proven =
+      List.filter
+        (fun (l : Spirv_ir.Loops.loop) ->
+          Spirv_ir.Dataflow.Ranges.trip_bound r ~header:l.Spirv_ir.Loops.header
+          <> None)
+        loops.Spirv_ir.Loops.loops
+    in
+    (List.length loops.Spirv_ir.Loops.loops, List.length proven)
+  in
+  let classify (report : Compilers.Optimizer.tv_report) =
+    if report.Compilers.Optimizer.tv_guilty <> None then ("mismatch", None)
+    else
+      let abstained =
+        List.find_map
+          (fun (_, v) -> Compilers.Tv.abstain_label v)
+          report.Compilers.Optimizer.tv_steps
+      in
+      match abstained with
+      | Some label -> ("abstained", Some label)
+      | None -> ("equivalent", None)
+  in
+  let rows =
+    List.map
+      (fun (name, m) ->
+        let t0 = Unix.gettimeofday () in
+        let verdict, reason =
+          match Compilers.Optimizer.(run_tv standard) m with
+          | Ok report -> classify report
+          | Error _ -> ("crash", None)
+        in
+        let wall = Unix.gettimeofday () -. t0 in
+        let n_loops, n_proven = loop_facts m in
+        (name, verdict, reason, n_loops, n_proven, wall))
+      corpus
+  in
+  List.iter
+    (fun (name, verdict, reason, n_loops, n_proven, wall) ->
+      Printf.printf "  %-24s %-10s %-16s %d/%d loops bounded  %.3fs\n" name
+        verdict
+        (Option.value ~default:"-" reason)
+        n_proven n_loops wall)
+    rows;
+  let reason_tally =
+    List.fold_left
+      (fun acc label ->
+        let n =
+          List.length
+            (List.filter (fun (_, _, r, _, _, _) -> r = Some label) rows)
+        in
+        if n > 0 then (label, n) :: acc else acc)
+      []
+      (List.rev Spirv_ir.Symval.reason_labels)
+  in
+  let counted =
+    List.filter
+      (fun (name, _, _, _, _, _) -> List.mem name Corpus.counted_loop_names)
+      rows
+  in
+  let counted_covered =
+    List.filter (fun (_, v, _, _, _, _) -> v <> "abstained") counted
+  in
+  let rate =
+    float_of_int (List.length counted_covered)
+    /. float_of_int (max 1 (List.length counted))
+  in
+  Printf.printf
+    "counted-loop subset: %d/%d modules decided (%.0f%% non-abstained)\n"
+    (List.length counted_covered) (List.length counted) (100. *. rate);
+  List.iter
+    (fun (label, n) -> Printf.printf "  abstain %-18s %d\n" label n)
+    reason_tally;
+  let oc = open_out "BENCH_PR7.json" in
+  Printf.fprintf oc
+    "{\"modules\":%d,\"counted\":%d,\"counted_decided\":%d,\
+     \"counted_decided_rate\":%.3f,\"abstain_reasons\":{%s},\"per_module\":[%s]}\n"
+    (List.length rows) (List.length counted)
+    (List.length counted_covered)
+    rate
+    (String.concat ","
+       (List.map
+          (fun (label, n) -> Printf.sprintf "\"%s\":%d" label n)
+          reason_tally))
+    (String.concat ","
+       (List.map
+          (fun (name, verdict, reason, n_loops, n_proven, wall) ->
+            Printf.sprintf
+              "{\"name\":\"%s\",\"verdict\":\"%s\",\"reason\":%s,\
+               \"loops\":%d,\"bounded\":%d,\"wall_s\":%.3f}"
+              name verdict
+              (match reason with
+              | Some r -> Printf.sprintf "\"%s\"" r
+              | None -> "null")
+              n_loops n_proven wall)
+          rows));
+  close_out oc;
+  Printf.printf "loop TV section written to BENCH_PR7.json\n"
+
+(* ------------------------------------------------------------------ *)
 (* Bechamel micro-benchmarks                                           *)
 
 let perf_suite () =
@@ -755,7 +865,8 @@ let () =
       ("--perf", Arg.Set perf, "also run the Bechamel micro-benchmarks");
       ( "--perf-smoke",
         Arg.Set perf_smoke,
-        "only the quick registry perf section (writes BENCH_PR6.json)" );
+        "only the quick registry and loop-TV perf sections (writes \
+         BENCH_PR6.json and BENCH_PR7.json)" );
       ("--ablate", Arg.Set ablate, "also run the design ablations");
       ("--quick", Arg.Unit (fun () -> seeds := 60), "small quick run");
       ("--no-campaign", Arg.Set skip_campaign, "only the deterministic figures");
@@ -764,6 +875,8 @@ let () =
     "bench: regenerate the paper's tables and figures";
   if !perf_smoke then begin
     registry_perf ();
+    print_newline ();
+    loop_tv_perf ();
     print_newline ();
     exit 0
   end;
@@ -791,6 +904,7 @@ let () =
     oracle_perf ();
     tv_perf ();
     registry_perf ();
+    loop_tv_perf ();
     perf_suite ()
   end;
   print_newline ()

@@ -22,8 +22,12 @@ let write_module path m =
   output_string oc (Spirv_ir.Disasm.to_string m);
   close_out oc
 
-let corpus_module name =
-  List.assoc_opt name (Lazy.force Corpus.lowered_references)
+(* the references plus the loop corpus: everything --corpus can name *)
+let corpus_modules () =
+  Lazy.force Corpus.lowered_references
+  @ Lazy.force Corpus.lowered_loop_references
+
+let corpus_module name = List.assoc_opt name (corpus_modules ())
 
 let load ~path ~corpus =
   match (path, corpus) with
@@ -34,8 +38,7 @@ let load ~path ~corpus =
       | None ->
           Error
             (Printf.sprintf "unknown corpus program %s (try: %s)" name
-               (String.concat ", "
-                  (List.map fst (Lazy.force Corpus.lowered_references)))))
+               (String.concat ", " (List.map fst (corpus_modules ())))))
   | None, None -> Error "provide a module file or --corpus NAME"
 
 let or_die = function
@@ -155,7 +158,7 @@ let lint_cmd =
               Hashtbl.add seen name ();
               true
             end)
-          (Lazy.force Corpus.lowered_references @ Lazy.force Corpus.lowered_donors)
+          (corpus_modules () @ Lazy.force Corpus.lowered_donors)
       end
       else
         let name =
@@ -207,12 +210,13 @@ let tv_cmd =
   let all_arg =
     Arg.(value & flag
          & info [ "all" ]
-             ~doc:"Validate every corpus reference instead of one module.")
+             ~doc:"Validate every corpus reference (including the loop \
+                   corpus) instead of one module.")
   in
   let run path corpus all target json =
     let t = or_die (find_target target) in
     let mods =
-      if all then Lazy.force Corpus.lowered_references
+      if all then corpus_modules ()
       else
         let name =
           match (path, corpus) with
@@ -301,6 +305,126 @@ let tv_cmd =
              treated as bugs.  With $(b,--json), one JSON verdict per line.")
     Term.(const (fun p c a t j -> Stdlib.exit (run p c a t j)) $ file_arg
           $ corpus_arg $ all_arg $ target_arg $ json_arg)
+
+(* ------------------------------------------------------------------ *)
+(* analyze: the loop forest and value ranges behind the TV oracle      *)
+
+let analyze_cmd =
+  let loops_arg =
+    Arg.(value & flag
+         & info [ "loops" ] ~doc:"Print only the natural-loop forest.")
+  in
+  let ranges_arg =
+    Arg.(value & flag
+         & info [ "ranges" ]
+             ~doc:"Print only the value ranges and trip-count bounds.")
+  in
+  let run path corpus loops_only ranges_only json =
+    let m = or_die (load ~path ~corpus) in
+    let show_loops = loops_only || not ranges_only in
+    let show_ranges = ranges_only || not loops_only in
+    let id = Spirv_ir.Id.to_string in
+    let ids l = String.concat " " (List.map id l) in
+    (* JSON interval corners: null stands for the infinite sentinel *)
+    let corner n =
+      if n = min_int || n = max_int then "null" else string_of_int n
+    in
+    List.iter
+      (fun (f : Spirv_ir.Func.t) ->
+        let av = Spirv_ir.Dataflow.Availability.make m f in
+        let cfg = Spirv_ir.Dataflow.Availability.cfg av in
+        let dom = Spirv_ir.Dataflow.Availability.dominance av in
+        let forest = Spirv_ir.Loops.analyze cfg dom in
+        let ranges =
+          Spirv_ir.Dataflow.Ranges.compute m f ~cfg ~loops:forest
+        in
+        let bound_of (l : Spirv_ir.Loops.loop) =
+          Spirv_ir.Dataflow.Ranges.trip_bound ranges ~header:l.Spirv_ir.Loops.header
+        in
+        if json then begin
+          let loop_objs =
+            List.map
+              (fun (l : Spirv_ir.Loops.loop) ->
+                Printf.sprintf
+                  "{\"header\":%s,\"depth\":%d,\"blocks\":%d,\"latches\":[%s],\
+                   \"exits\":%d,\"trip_bound\":%s}"
+                  (json_string (id l.Spirv_ir.Loops.header))
+                  l.Spirv_ir.Loops.depth
+                  (Spirv_ir.Id.Set.cardinal l.Spirv_ir.Loops.blocks)
+                  (String.concat ","
+                     (List.map (fun b -> json_string (id b))
+                        l.Spirv_ir.Loops.latches))
+                  (List.length l.Spirv_ir.Loops.exits)
+                  (match bound_of l with
+                  | Some n -> string_of_int n
+                  | None -> "null"))
+              forest.Spirv_ir.Loops.loops
+          in
+          let range_objs =
+            List.map
+              (fun (r, (itv : Spirv_ir.Dataflow.Itv.t)) ->
+                Printf.sprintf "{\"id\":%s,\"lo\":%s,\"hi\":%s}"
+                  (json_string (id r))
+                  (corner itv.Spirv_ir.Dataflow.Itv.lo)
+                  (corner itv.Spirv_ir.Dataflow.Itv.hi))
+              (Spirv_ir.Dataflow.Ranges.known ranges)
+          in
+          Printf.printf
+            "{\"fn\":%s,\"loops\":[%s],\"irreducible\":%d,\"ranges\":[%s]}\n"
+            (json_string (id f.Spirv_ir.Func.id))
+            (String.concat "," (if show_loops then loop_objs else []))
+            (List.length forest.Spirv_ir.Loops.irreducible)
+            (String.concat "," (if show_ranges then range_objs else []))
+        end
+        else begin
+          Printf.printf "fn %s:\n" (id f.Spirv_ir.Func.id);
+          if show_loops then begin
+            if forest.Spirv_ir.Loops.loops = [] then
+              print_endline "  no loops";
+            List.iter
+              (fun (l : Spirv_ir.Loops.loop) ->
+                Printf.printf
+                  "  loop %s: depth %d, %d block(s), latches [%s], %d \
+                   exit(s), trip bound %s\n"
+                  (id l.Spirv_ir.Loops.header) l.Spirv_ir.Loops.depth
+                  (Spirv_ir.Id.Set.cardinal l.Spirv_ir.Loops.blocks)
+                  (ids l.Spirv_ir.Loops.latches)
+                  (List.length l.Spirv_ir.Loops.exits)
+                  (match bound_of l with
+                  | Some n -> string_of_int n
+                  | None -> "unproven"))
+              forest.Spirv_ir.Loops.loops;
+            List.iter
+              (fun (u, v) ->
+                Printf.printf "  irreducible edge %s -> %s\n" (id u) (id v))
+              forest.Spirv_ir.Loops.irreducible
+          end;
+          if show_ranges then begin
+            (match
+               Spirv_ir.Id.Set.elements
+                 (Spirv_ir.Dataflow.Ranges.tracked ranges)
+             with
+            | [] -> ()
+            | cells -> Printf.printf "  tracked cells: %s\n" (ids cells));
+            List.iter
+              (fun (r, itv) ->
+                Printf.printf "  %s in %s\n" (id r)
+                  (Spirv_ir.Dataflow.Itv.to_string itv))
+              (Spirv_ir.Dataflow.Ranges.known ranges)
+          end
+        end)
+      m.Spirv_ir.Module_ir.functions
+  in
+  Cmd.v
+    (Cmd.info "analyze"
+       ~doc:"Print the loop-aware static analysis the TV oracle runs on a \
+             module: the natural-loop forest (headers, nesting, latches, \
+             exits, proven trip-count bounds) and the interval value \
+             ranges, per function.  $(b,--loops) or $(b,--ranges) \
+             restricts the report; with $(b,--json), one JSON object per \
+             function per line.")
+    Term.(const run $ file_arg $ corpus_arg $ loops_arg $ ranges_arg
+          $ json_arg)
 
 let disasm_cmd =
   let run path corpus =
@@ -1146,7 +1270,8 @@ let () =
     (Cmd.eval ~argv
        (Cmd.group info
           [
-            validate_cmd; lint_cmd; tv_cmd; disasm_cmd; render_cmd; run_cmd; targets_cmd;
+            validate_cmd; lint_cmd; tv_cmd; analyze_cmd; disasm_cmd;
+            render_cmd; run_cmd; targets_cmd;
             transformations_cmd; fuzz_cmd; hunt_cmd; campaign_cmd; dedup_cmd;
             store_cmd;
           ]))

@@ -13,6 +13,7 @@ type pass_name =
   | Inline
   | Store_forward
   | Dse
+  | Hoist_invariant
 [@@deriving show { with_path = false }, eq]
 
 let run_pass flags m = function
@@ -25,6 +26,7 @@ let run_pass flags m = function
   | Inline -> Passes.inline flags m
   | Store_forward -> Passes.store_forward m
   | Dse -> Passes.dse m
+  | Hoist_invariant -> Passes.hoist_invariant flags m
 
 let run ?(flags = Passes.no_bugs) pipeline m =
   List.fold_left (run_pass flags) m pipeline

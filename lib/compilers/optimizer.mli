@@ -18,6 +18,9 @@ type pass_name =
   | Inline          (** single-block callee inlining (honours DontInline) *)
   | Store_forward   (** block-local store-to-load forwarding *)
   | Dse             (** stores to never-read local variables *)
+  | Hoist_invariant
+      (** loop-invariant code motion to the preheader ({!Passes}); kept
+          out of [standard] so the [-O] baseline is unchanged *)
 
 val pp_pass_name : Format.formatter -> pass_name -> unit
 val show_pass_name : pass_name -> string

@@ -20,6 +20,11 @@ type flags = {
   bug_inline_swaps_const_args : bool;
       (** miscompile: the inliner swaps the first two arguments of a call
           when both are constants *)
+  bug_hoist_loop_load : bool;
+      (** miscompile: loop-invariant code motion treats a load as invariant
+          when every in-loop store to its cell sits later in the load's own
+          block — forgetting the block re-executes, so the hoisted load
+          feeds every iteration the stale pre-loop value *)
 }
 
 let no_bugs =
@@ -28,6 +33,7 @@ let no_bugs =
     bug_keep_stale_phi_entries = false;
     bug_fold_sub_zero = false;
     bug_inline_swaps_const_args = false;
+    bug_hoist_loop_load = false;
   }
 
 (* ------------------------------------------------------------------ *)
@@ -470,6 +476,184 @@ let dse m =
     }
   in
   { m with Module_ir.functions = List.map eliminate_in m.Module_ir.functions }
+
+(* ------------------------------------------------------------------ *)
+(* Loop-invariant code motion                                          *)
+
+(* Hoist loop-invariant instructions to the loop's preheader — the unique
+   out-of-loop predecessor of the header, when it branches to the header
+   unconditionally.  Pure value instructions hoist whenever every operand
+   is defined outside the loop (in SSA such a definition necessarily
+   dominates the preheader); loads additionally require that the cell
+   provably cannot change inside the loop: a direct (never
+   access-chained) pointer, no in-loop store to it, no in-loop call.  The
+   loop forest and dominator tree come from the shared Dataflow analyses,
+   and hoisting moves instructions without touching any terminator, so
+   the CFG — and therefore the analysis — stays valid throughout. *)
+let hoist_invariant flags m =
+  let hoist_fn (fn : Func.t) =
+    let av = Dataflow.Availability.make m fn in
+    let cfg = Dataflow.Availability.cfg av in
+    let dom = Dataflow.Availability.dominance av in
+    let forest = Loops.analyze cfg dom in
+    if forest.Loops.loops = [] then fn
+    else begin
+      let def_block : (Id.t, Id.t) Hashtbl.t = Hashtbl.create 64 in
+      List.iter
+        (fun (b : Block.t) ->
+          List.iter
+            (fun (i : Instr.t) ->
+              match i.Instr.result with
+              | Some r -> Hashtbl.replace def_block r b.Block.label
+              | None -> ())
+            b.Block.instrs)
+        fn.Func.blocks;
+      let access_chain_bases =
+        List.filter_map
+          (fun (i : Instr.t) ->
+            match i.Instr.op with
+            | Instr.AccessChain (base, _) -> Some base
+            | _ -> None)
+          (Func.all_instrs fn)
+      in
+      let blocks = ref fn.Func.blocks in
+      let process (l : Loops.loop) =
+        let preds = Cfg.predecessors cfg l.Loops.header in
+        let outside =
+          List.filter (fun p -> not (Id.Set.mem p l.Loops.blocks)) preds
+        in
+        let preheader =
+          match outside with
+          | [ ph ] -> (
+              match
+                List.find_opt
+                  (fun (b : Block.t) -> Id.equal b.Block.label ph)
+                  !blocks
+              with
+              | Some b -> (
+                  match b.Block.terminator with
+                  | Block.Branch _ -> Some ph
+                  | _ -> None)
+              | None -> None)
+          | _ -> None
+        in
+        match preheader with
+        | None -> ()
+        | Some ph ->
+            let in_loop_label lbl = Id.Set.mem lbl l.Loops.blocks in
+            let defined_in_loop id =
+              match Hashtbl.find_opt def_block id with
+              | Some b -> in_loop_label b
+              | None -> false (* constant / global / parameter *)
+            in
+            let loop_blocks () =
+              List.filter
+                (fun (b : Block.t) -> in_loop_label b.Block.label)
+                !blocks
+            in
+            let loop_has_call =
+              List.exists
+                (fun (b : Block.t) ->
+                  List.exists
+                    (fun (i : Instr.t) ->
+                      match i.Instr.op with
+                      | Instr.FunctionCall _ -> true
+                      | _ -> false)
+                    b.Block.instrs)
+                (loop_blocks ())
+            in
+            let in_loop_stores p =
+              List.concat_map
+                (fun (b : Block.t) ->
+                  List.mapi (fun idx (i : Instr.t) -> (idx, i)) b.Block.instrs
+                  |> List.filter_map (fun (idx, (i : Instr.t)) ->
+                         match i.Instr.op with
+                         | Instr.Store (q, _) when Id.equal q p ->
+                             Some (b.Block.label, idx)
+                         | _ -> None))
+                (loop_blocks ())
+            in
+            let hoistable (b : Block.t) idx (i : Instr.t) =
+              i.Instr.result <> None
+              && (not (List.exists defined_in_loop (Instr.used_ids i)))
+              &&
+              match i.Instr.op with
+              | Instr.Binop _ | Instr.Unop _ | Instr.Select _
+              | Instr.CompositeConstruct _ | Instr.CompositeExtract _
+              | Instr.CompositeInsert _ | Instr.CopyObject _ ->
+                  true
+              | Instr.Load p ->
+                  (not (List.mem p access_chain_bases))
+                  && (not loop_has_call)
+                  && (match in_loop_stores p with
+                     | [] -> true
+                     | stores ->
+                         (* the injected bug: a float load whose in-loop
+                            stores all sit later in its own block "happens
+                            after" them, so it looks invariant — wrong,
+                            the block re-executes and rereads the
+                            accumulator.  The broken legality check lives
+                            in the float path only, so integer induction
+                            variables keep the loop terminating. *)
+                         flags.bug_hoist_loop_load
+                         && (match i.Instr.ty with
+                            | Some t ->
+                                Module_ir.find_type m t = Some Ty.Float
+                            | None -> false)
+                         && List.for_all
+                              (fun (bl, si) ->
+                                Id.equal bl b.Block.label && si > idx)
+                              stores)
+              | _ -> false
+            in
+            (* Rounds with a per-round snapshot of the def-site table:
+               chains of invariant instructions hoist over successive
+               rounds, which also appends them to the preheader in
+               dependency order. *)
+            let changed = ref true in
+            let rounds = ref 0 in
+            while !changed && !rounds < 8 do
+              incr rounds;
+              changed := false;
+              let pending = ref [] in
+              blocks :=
+                List.map
+                  (fun (b : Block.t) ->
+                    if not (in_loop_label b.Block.label) then b
+                    else begin
+                      let keep = ref [] in
+                      List.iteri
+                        (fun idx (i : Instr.t) ->
+                          if hoistable b idx i then pending := i :: !pending
+                          else keep := i :: !keep)
+                        b.Block.instrs;
+                      { b with Block.instrs = List.rev !keep }
+                    end)
+                  !blocks;
+              match List.rev !pending with
+              | [] -> ()
+              | instrs ->
+                  changed := true;
+                  List.iter
+                    (fun (i : Instr.t) ->
+                      match i.Instr.result with
+                      | Some r -> Hashtbl.replace def_block r ph
+                      | None -> ())
+                    instrs;
+                  blocks :=
+                    List.map
+                      (fun (b : Block.t) ->
+                        if Id.equal b.Block.label ph then
+                          { b with Block.instrs = b.Block.instrs @ instrs }
+                        else b)
+                      !blocks
+            done
+      in
+      List.iter process forest.Loops.loops;
+      { fn with Func.blocks = !blocks }
+    end
+  in
+  { m with Module_ir.functions = List.map hoist_fn m.Module_ir.functions }
 
 (* ------------------------------------------------------------------ *)
 (* Inlining                                                            *)

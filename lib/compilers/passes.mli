@@ -19,6 +19,11 @@ type flags = {
   bug_inline_swaps_const_args : bool;
       (** miscompile: the inliner swaps the first two arguments of a call
           when both are same-typed constants *)
+  bug_hoist_loop_load : bool;
+      (** miscompile: loop-invariant code motion hoists a load whose cell
+          {e is} stored inside the loop, when every such store sits later
+          in the load's own block — each iteration then reads the stale
+          pre-loop value *)
 }
 
 val no_bugs : flags
@@ -32,3 +37,11 @@ val cse : Module_ir.t -> Module_ir.t
 val store_forward : Module_ir.t -> Module_ir.t
 val dse : Module_ir.t -> Module_ir.t
 val inline : flags -> Module_ir.t -> Module_ir.t
+
+val hoist_invariant : flags -> Module_ir.t -> Module_ir.t
+(** Loop-invariant code motion over the {!Spirv_ir.Loops} forest: pure
+    instructions whose operands are all defined outside the loop — and
+    loads of cells that provably cannot change inside it — move to the
+    loop's preheader.  Loops without a unique fall-through preheader are
+    left alone.  Not part of {!Optimizer.standard}; it exists to exercise
+    the loop-aware validator (and hosts [bug_hoist_loop_load]). *)

@@ -13,31 +13,43 @@ let check_pass (before : Module_ir.t) (after : Module_ir.t) : verdict =
   try
     let s1 = Symval.summarize ctx before in
     let s2 = Symval.summarize ctx after in
+    let mismatch slot a b =
+      (* A summary built under forced loop exits pruned branch arms the
+         range analysis proved infeasible — but the two modules may have
+         proved *different* bounds, so a divergence seen only then is not
+         a trustworthy witness.  Equal summaries are still equal. *)
+      if Symval.forced_exits ctx > 0 then
+        Abstained
+          (Symval.reason_label `Forced_unroll
+          ^ ": summaries diverge at " ^ slot
+          ^ " but were built under forced loop exits")
+      else
+        Mismatch
+          { w_slot = slot; w_before = Symval.to_string a; w_after = Symval.to_string b }
+    in
     if not (Symval.equal_node s1.Symval.s_kill s2.Symval.s_kill) then
-      Mismatch
-        {
-          w_slot = "kill";
-          w_before = Symval.to_string s1.Symval.s_kill;
-          w_after = Symval.to_string s2.Symval.s_kill;
-        }
+      mismatch "kill" s1.Symval.s_kill s2.Symval.s_kill
     else if Symval.is_const_true s1.Symval.s_kill then
       (* every fragment is killed on both sides: the output cell is never
          observed *)
       Equivalent
     else if not (Symval.equal_node s1.Symval.s_out s2.Symval.s_out) then
-      Mismatch
-        {
-          w_slot = "output";
-          w_before = Symval.to_string s1.Symval.s_out;
-          w_after = Symval.to_string s2.Symval.s_out;
-        }
+      mismatch "output" s1.Symval.s_out s2.Symval.s_out
     else Equivalent
   with
-  | Symval.Abstain reason -> Abstained reason
+  | Symval.Abstain (r, msg) -> Abstained (Symval.reason_label r ^ ": " ^ msg)
   | exn ->
       (* soundness over completeness: an internal error is an abstention,
          never a finding *)
-      Abstained ("internal: " ^ Printexc.to_string exn)
+      Abstained
+        (Symval.reason_label `Internal ^ ": " ^ Printexc.to_string exn)
+
+let abstain_label = function
+  | Abstained r -> (
+      match String.index_opt r ':' with
+      | Some i -> Some (String.sub r 0 i)
+      | None -> Some r)
+  | Equivalent | Mismatch _ -> None
 
 let verdict_to_string = function
   | Equivalent -> "equivalent"

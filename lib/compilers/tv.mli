@@ -33,7 +33,16 @@ val check_pass : Module_ir.t -> Module_ir.t -> verdict
     hash-consing context and compares the kill conditions, then (when the
     fragment is not provably always killed) the output values.  Any
     internal error or analysis limit yields [Abstained], never a false
-    [Mismatch]. *)
+    [Mismatch].  The abstention payload is prefixed with the structured
+    {!Spirv_ir.Symval.reason} label (["loop-unbounded: ..."], ["budget:
+    ..."], …); a divergence witnessed only under forced loop exits
+    (different proven trip bounds on the two sides) is downgraded to
+    [Abstained "forced-unroll: ..."]. *)
+
+val abstain_label : verdict -> string option
+(** The structured reason label of an abstention (the payload up to the
+    first [':']), [None] for the other verdicts — the bucketing key for
+    {!Harness.Engine} stats and [bench --perf]. *)
 
 val verdict_to_string : verdict -> string
 (** One-line rendering: ["equivalent"], ["mismatch at <slot>: ..."] or

@@ -402,6 +402,92 @@ let donor_extra =
 let donors = references @ donor_extra
 
 (* ------------------------------------------------------------------ *)
+(* Loop corpus: counted, nested, uniform-bounded and genuinely unbounded
+   loops exercising the loop-aware TV pipeline.  Kept separate from
+   [references] so the campaign composition, golden counts and RNG
+   streams of the earlier experiments stay byte-identical. *)
+
+(* L1. constant-bound accumulation: concretely unrollable *)
+let loop_counted =
+  mk "loop_counted"
+    [
+      dfloat "acc" (fl 0.0);
+      for_ "i" 0 5 [ set "acc" (add (v "acc") (mul nx (fl 0.15))) ];
+      color (v "acc") ny (v "u_half");
+    ]
+
+(* L2. nested constant loops *)
+let loop_nested_counted =
+  mk "loop_nested_counted"
+    [
+      dfloat "acc" (fl 0.0);
+      for_ "i" 0 2
+        [ for_ "j" 0 3 [ set "acc" (add (v "acc") (mul nx (fl 0.05))) ] ];
+      color (v "acc") (mul (v "acc") ny) (v "u_half");
+    ]
+
+(* L3. for-to against a constant expression bound *)
+let loop_to_counted =
+  mk "loop_to_counted"
+    [
+      dfloat "acc" ny;
+      for_to "i" 0 (il 6) [ set "acc" (add (v "acc") (fl 0.1)) ];
+      color nx (v "acc") (v "u_half");
+    ]
+
+(* L4. uniform bound clamped to [0, 8]: the trip count is not concrete,
+   but the range analysis proves the bound, so TV unrolls under forced
+   exits instead of abstaining *)
+let loop_uniform_clamped =
+  mk "loop_uniform_clamped"
+    [
+      dint "n" (v "u_steps");
+      if_ (lt (v "n") (il 0)) [ set "n" (il 0) ] [];
+      if_ (gt (v "n") (il 8)) [ set "n" (il 8) ] [];
+      dfloat "acc" (fl 0.0);
+      for_to "i" 0 (v "n") [ set "acc" (add (v "acc") (fl 0.11)) ];
+      color (v "acc") nx (v "u_half");
+    ]
+
+(* L5. second clamped-uniform loop with a multiplicative body *)
+let loop_mode_clamped =
+  mk "loop_mode_clamped"
+    [
+      dint "k" (v "u_mode");
+      if_ (lt (v "k") (il 1)) [ set "k" (il 1) ] [];
+      if_ (gt (v "k") (il 4)) [ set "k" (il 4) ] [];
+      dfloat "acc" (v "u_one");
+      for_to "j" 0 (v "k") [ set "acc" (mul (v "acc") (fl 0.7)) ];
+      color (v "acc") (sub (fl 1.0) (v "acc")) ny;
+    ]
+
+(* L6. genuinely unbounded for the analysis: the raw uniform bound has no
+   provable range, so TV abstains (loop-unbounded) while the interpreter
+   still runs fine on the default input (u_steps = 4) *)
+let loop_uniform_raw =
+  mk "loop_uniform_raw"
+    [
+      dfloat "acc" (fl 0.0);
+      for_to "i" 0 (v "u_steps") [ set "acc" (add (v "acc") (fl 0.2)) ];
+      color (v "acc") ny nx;
+    ]
+
+let loop_references =
+  [
+    loop_counted; loop_nested_counted; loop_to_counted; loop_uniform_clamped;
+    loop_mode_clamped; loop_uniform_raw;
+  ]
+
+(* The counted subset: loops whose trip-count bound the range analysis is
+   expected to prove (the CI gate demands >= 90% non-Abstained TV
+   verdicts here). *)
+let counted_loop_names =
+  [
+    "loop_counted"; "loop_nested_counted"; "loop_to_counted";
+    "loop_uniform_clamped"; "loop_mode_clamped";
+  ]
+
+(* ------------------------------------------------------------------ *)
 (* Lowered forms                                                       *)
 
 let lower_checked (name, p) =
@@ -411,6 +497,7 @@ let lower_checked (name, p) =
 
 let lowered_references = lazy (List.map lower_checked references)
 let lowered_donors = lazy (List.map lower_checked donors)
+let lowered_loop_references = lazy (List.map lower_checked loop_references)
 
 (** The lowered reference set paired with the input — what spirv-fuzz
     consumes; the paper additionally feeds spirv-opt-optimized copies of

@@ -38,6 +38,7 @@ let dbool x e = decl Ast.TBool x e
 let set x e = Ast.Assign (x, e)
 let if_ c t e = Ast.If (c, t, e)
 let for_ i lo hi body = Ast.For (i, lo, hi, body)
+let for_to i lo bound body = Ast.For_to (i, lo, bound, body)
 let color r g b = Ast.Set_color (r, g, b)
 let ret e = Ast.Return e
 

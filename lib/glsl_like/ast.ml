@@ -53,6 +53,10 @@ type stmt =
   | If of expr * stmt list * stmt list
   | For of string * int * int * stmt list
       (** [For (i, lo, hi, body)]: i from lo inclusive to hi exclusive *)
+  | For_to of string * int * expr * stmt list
+      (** [For_to (i, lo, bound, body)]: i from lo inclusive up to the value
+          of [bound] (an int expression, evaluated once before the loop)
+          exclusive *)
   | Set_color of expr * expr * expr  (** write the fragment color (r, g, b) *)
   | Discard                          (** OpKill *)
   | Return of expr
@@ -103,6 +107,7 @@ let rec stmt_markers s =
   | Declare (_, _, e) | Assign (_, e) | Return e -> expr_markers e
   | If (c, t, f) -> expr_markers c @ stmts_markers t @ stmts_markers f
   | For (_, _, _, body) -> stmts_markers body
+  | For_to (_, _, bound, body) -> expr_markers bound @ stmts_markers body
   | Set_color (r, g, b) -> expr_markers r @ expr_markers g @ expr_markers b
   | Discard -> []
   | Injected (m, body) -> m :: stmts_markers body
@@ -139,6 +144,8 @@ let rec revert_stmt marker s =
   | If (c, t, f) ->
       [ If (revert_expr marker c, revert_stmts marker t, revert_stmts marker f) ]
   | For (i, lo, hi, body) -> [ For (i, lo, hi, revert_stmts marker body) ]
+  | For_to (i, lo, bound, body) ->
+      [ For_to (i, lo, revert_expr marker bound, revert_stmts marker body) ]
   | Set_color (r, g, b) ->
       [ Set_color (revert_expr marker r, revert_expr marker g, revert_expr marker b) ]
   | Discard -> [ Discard ]

@@ -280,6 +280,33 @@ and lower_stmt tables env (s : Ast.stmt) : env * bool =
       Builder.branch fb l_header;
       Builder.start_block fb l_exit;
       (env, false)
+  | Ast.For_to (i, lo, bound, body) ->
+      (* like For, but the bound is an expression evaluated once before the
+         loop: its SSA value dominates the header, so the header compare is
+         [iv < bound_v] with a loop-invariant right-hand side — the shape
+         the interval analysis proves trip bounds for *)
+      let bound_v = lower_expr tables env bound in
+      let ptr = Builder.hoisted_var fb ~pointee:(Builder.int_ty b) in
+      Builder.store fb ptr (Builder.cint b lo);
+      let env_body = { env with vars = (i, ptr) :: env.vars } in
+      let l_header = Builder.new_label fb in
+      let l_body = Builder.new_label fb in
+      let l_latch = Builder.new_label fb in
+      let l_exit = Builder.new_label fb in
+      Builder.branch fb l_header;
+      Builder.start_block fb l_header;
+      let iv = Builder.load fb ptr in
+      let cond = Builder.slt fb iv bound_v in
+      Builder.branch_cond fb cond l_body l_exit;
+      Builder.start_block fb l_body;
+      let _, term = lower_stmts tables env_body body in
+      if not term then Builder.branch fb l_latch;
+      Builder.start_block fb l_latch;
+      let iv' = Builder.load fb ptr in
+      Builder.store fb ptr (Builder.iadd fb iv' (Builder.cint b 1));
+      Builder.branch fb l_header;
+      Builder.start_block fb l_exit;
+      (env, false)
   | Ast.Set_color (r, g, bl) -> (
       let ir = lower_expr tables env r in
       let ig = lower_expr tables env g in

@@ -84,6 +84,11 @@ let rec stmt_lines indent (s : Ast.stmt) =
       (Printf.sprintf "%sfor (int %s = %d; %s < %d; %s++) {" pad i lo i hi i
        :: stmts_lines (indent + 1) body)
       @ [ pad ^ "}" ]
+  | Ast.For_to (i, lo, bound, body) ->
+      (Printf.sprintf "%sfor (int %s = %d; %s < %s; %s++) {" pad i lo i
+         (expr_to_string bound) i
+       :: stmts_lines (indent + 1) body)
+      @ [ pad ^ "}" ]
   | Ast.Set_color (r, g, b) ->
       [ Printf.sprintf "%sgl_FragColor = vec4(%s, %s, %s, 1.0);" pad (expr_to_string r)
           (expr_to_string g) (expr_to_string b) ]

@@ -120,8 +120,8 @@ let rec fuzz_stmts st ~in_main (ss : Ast.stmt list) =
     let rec stmt_terminates = function
       | Ast.Return _ | Ast.Discard -> true
       | Ast.If (_, t, f) -> stmts_terminate t && stmts_terminate f
-      | Ast.Declare _ | Ast.Assign _ | Ast.For _ | Ast.Set_color _
-      | Ast.Injected _ | Ast.Wrap_if _ | Ast.Wrap_loop _ ->
+      | Ast.Declare _ | Ast.Assign _ | Ast.For _ | Ast.For_to _
+      | Ast.Set_color _ | Ast.Injected _ | Ast.Wrap_if _ | Ast.Wrap_loop _ ->
           false
     and stmts_terminate ss = List.exists stmt_terminates ss in
     let terminates = stmts_terminate middle in
@@ -145,6 +145,8 @@ and fuzz_stmt st ~in_main (s : Ast.stmt) =
     | Ast.If (c, t, f) ->
         Ast.If (fuzz_expr st c, fuzz_stmts st ~in_main t, fuzz_stmts st ~in_main f)
     | Ast.For (i, lo, hi, body) -> Ast.For (i, lo, hi, fuzz_stmts st ~in_main body)
+    | Ast.For_to (i, lo, bound, body) ->
+        Ast.For_to (i, lo, fuzz_expr st bound, fuzz_stmts st ~in_main body)
     | Ast.Set_color (r, g, b) ->
         Ast.Set_color (fuzz_expr st r, fuzz_expr st g, fuzz_expr st b)
     | Ast.Discard -> Ast.Discard

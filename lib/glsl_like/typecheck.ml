@@ -170,6 +170,15 @@ and check_stmt env ~ret (s : Ast.stmt) : (bool, error) result =
         let env' = { env with vars = (i, Ast.TInt) :: env.vars } in
         let* term = check_stmts env' ~ret body in
         if term then fail "loop body may not terminate the shader" else Ok false
+  | Ast.For_to (i, _, bound, body) ->
+      if List.mem_assoc i env.vars then fail "loop variable %s shadows" i
+      else
+        let* tb = infer_expr env bound in
+        if tb <> Ast.TInt then fail "for_to bound must be an int expression"
+        else
+          let env' = { env with vars = (i, Ast.TInt) :: env.vars } in
+          let* term = check_stmts env' ~ret body in
+          if term then fail "loop body may not terminate the shader" else Ok false
   | Ast.Set_color (r, g, b) ->
       if not env.in_main then fail "set_color outside main"
       else

@@ -230,7 +230,7 @@ let optimize e (m : Module_ir.t) : (Module_ir.t, string) result =
     content-addressing makes the digest pair a faithful key — so a cached
     verdict is the verdict.  Equal digests short-circuit to [Equivalent]
     (a pass that changed nothing proved itself). *)
-let tv_check e ~(before : Module_ir.t) ~(after : Module_ir.t) :
+let tv_check_uncounted e ~(before : Module_ir.t) ~(after : Module_ir.t) :
     Compilers.Tv.verdict =
   let d1 = Digest.of_module before in
   let d2 = Digest.of_module after in
@@ -274,6 +274,17 @@ let tv_check e ~(before : Module_ir.t) ~(after : Module_ir.t) :
                 Cas.put cas ~key:(tv_store_key key) (Run_codec.encode_verdict v);
                 locked e (fun () -> e.store_writes <- e.store_writes + 1));
             v)
+
+let tv_check e ~(before : Module_ir.t) ~(after : Module_ir.t) :
+    Compilers.Tv.verdict =
+  let v = tv_check_uncounted e ~before ~after in
+  (* bucket abstentions by their structured Symval reason (the payload's
+     label prefix); bump_counter takes the engine lock itself, so this
+     must stay outside any [locked] block *)
+  (match Compilers.Tv.abstain_label v with
+  | Some label -> bump_counter e ("tv-abstain:" ^ label) 1
+  | None -> ());
+  v
 
 let timed e ~stage f =
   let t0 = Unix.gettimeofday () in

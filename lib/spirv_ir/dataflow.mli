@@ -26,6 +26,8 @@ type 'a solution = {
 }
 
 val solve :
+  ?edge:(src:int -> dst:int -> 'a -> 'a) ->
+  ?widen:(int -> old:'a -> 'a -> 'a) ->
   Cfg.t ->
   direction ->
   'a lattice ->
@@ -38,7 +40,15 @@ val solve :
     state at the entry block (forward) or at exit blocks (backward).
     Unreachable blocks are solved too, over whatever edges they have; a
     predecessor-less non-entry block sees [bottom].  Termination requires
-    the usual monotone-transfer / finite-height conditions. *)
+    the usual monotone-transfer / finite-height conditions.
+
+    [edge], when given, transforms each source state as it flows across a
+    specific edge before joining (path-sensitive refinement; [src]/[dst]
+    are Cfg positions oriented along the propagation direction).  [widen],
+    when given, is applied to a block's freshly-joined incoming state
+    against the previous one ([old]) — infinite-height lattices (intervals)
+    use it at loop headers to force termination.  Both default to the
+    identity. *)
 
 (** {1 Analyses} *)
 
@@ -119,6 +129,71 @@ module Constprop : sig
       not. *)
 
   val known : t -> (Id.t * Value.t) list
+end
+
+(** Integer intervals over the module's Int32 scalars.  [min_int]/[max_int]
+    (OCaml's) are the -oo/+oo sentinels; arithmetic that could leave the
+    int32 range returns {!Itv.top} because Int32 ops wrap. *)
+module Itv : sig
+  type t = { lo : int; hi : int }
+
+  val top : t
+  val is_top : t -> bool
+  val point : int -> t
+  val make : int -> int -> t
+  val mem : int -> t -> bool
+  val equal : t -> t -> bool
+  val join : t -> t -> t
+
+  val meet : t -> t -> t
+  (** May be empty ([lo > hi]); see {!is_empty}. *)
+
+  val is_empty : t -> bool
+  val finite : t -> bool
+  val singleton : t -> int option
+  val widen : old:t -> t -> t
+  val add : t -> t -> t
+  val sub : t -> t -> t
+  val mul : t -> t -> t
+  val neg : t -> t
+  val to_string : t -> string
+end
+
+(** Interval / value-range abstract interpretation: a [solve] instance over
+    per-id interval environments, with conditional-edge refinement,
+    delayed widening at loop headers (and at irreducible retreating-edge
+    targets) and two descending narrowing sweeps.  Tracks SSA int values
+    plus unaliased function-local int cells; everything else is top.
+    [Symval] consumes {!trip_bound} to unroll counted loops soundly. *)
+module Ranges : sig
+  type t
+
+  val compute : Module_ir.t -> Func.t -> cfg:Cfg.t -> loops:Loops.forest -> t
+  (** [cfg]/[loops] are the caller's already-derived facts (source them
+      from {!Availability} and {!Loops.analyze}). *)
+
+  val interval_of : t -> Id.t -> Itv.t
+  (** Sound interval for an SSA value (its binding at its defining block's
+      exit, which covers every execution), or for a constant. *)
+
+  val interval_at : t -> block:Id.t -> Id.t -> Itv.t
+  (** The id's interval in the labelled block's exit environment. *)
+
+  val known : t -> (Id.t * Itv.t) list
+  (** All function-defined ids with a non-top interval. *)
+
+  val trip_bound : t -> header:Id.t -> int option
+  (** A proven upper bound on the number of back-edge traversals of the
+      loop headed at [header]: requires a single latch, a header branch on
+      an ascending comparison ([var < bound] / [<=], possibly negated), a
+      var that advances by a positive constant per iteration (φ-carried or
+      an unaliased memory cell), a finite lower bound for [var] and a
+      finite upper bound for [bound] at the header. *)
+
+  val tracked : t -> Id.Set.t
+  (** The unaliased function-local int cells the analysis tracks. *)
+
+  val forest : t -> Loops.forest
 end
 
 val write_only_locals : Func.t -> Id.Set.t

@@ -27,7 +27,15 @@ type state = {
   mutable steps : int;
   step_limit : int;
   globals : rvalue Id.Map.t;  (* global id -> Ptr *)
+  trace : (Id.t -> Value.t -> unit) option;
+      (* observation hook: called on every SSA value binding (instruction
+         results and φ merges); pointers are not observable values *)
 }
+
+let notify st r rv =
+  match (st.trace, rv) with
+  | Some f, Val v -> f r v
+  | Some _, Ptr _ | None, _ -> ()
 
 let tick st =
   st.steps <- st.steps + 1;
@@ -106,7 +114,11 @@ and exec_block st f env ~prev (b : Block.t) : Value.t option =
               | _ -> invalid "malformed phi")
             phi_instrs
         in
-        List.fold_left (fun env (r, v) -> Id.Map.add r v env) env bindings
+        List.fold_left
+          (fun env (r, v) ->
+            notify st r v;
+            Id.Map.add r v env)
+          env bindings
   in
   let env = List.fold_left (exec_instr st f) env rest in
   tick st;
@@ -126,7 +138,10 @@ and exec_block st f env ~prev (b : Block.t) : Value.t option =
 
 and exec_instr st _f env (i : Instr.t) =
   tick st;
-  let bind r rv = Id.Map.add r rv env in
+  let bind r rv =
+    notify st r rv;
+    Id.Map.add r rv env
+  in
   match (i.Instr.result, i.Instr.op) with
   | _, Instr.Nop -> env
   | None, Instr.Store (p, v) ->
@@ -230,10 +245,11 @@ let allocate_globals m (input : Input.t) ~frag_x ~frag_y =
 
 let default_step_limit = 100_000
 
-let run_fragment ?(step_limit = default_step_limit) m input ~frag_x ~frag_y : outcome =
+let run_fragment ?(step_limit = default_step_limit) ?trace m input ~frag_x
+    ~frag_y : outcome =
   try
     let globals = allocate_globals m input ~frag_x ~frag_y in
-    let st = { m; steps = 0; step_limit; globals } in
+    let st = { m; steps = 0; step_limit; globals; trace } in
     let entry = Module_ir.entry_function m in
     let result =
       try
@@ -273,11 +289,11 @@ let render ?(step_limit = default_step_limit) m input =
    with Exit -> ());
   !result
 
-let run_function ?(step_limit = default_step_limit) m ~fn ~args =
+let run_function ?(step_limit = default_step_limit) ?trace m ~fn ~args =
   try
     let input = Input.make [] in
     let globals = allocate_globals m input ~frag_x:0 ~frag_y:0 in
-    let st = { m; steps = 0; step_limit; globals } in
+    let st = { m; steps = 0; step_limit; globals; trace } in
     let f = Module_ir.function_exn m fn in
     let result =
       try exec_function st f (List.map (fun v -> Val v) args)

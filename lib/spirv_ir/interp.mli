@@ -23,12 +23,17 @@ type outcome = (Image.pixel, trap) result
 
 val run_fragment :
   ?step_limit:int ->
+  ?trace:(Id.t -> Value.t -> unit) ->
   Module_ir.t ->
   Input.t ->
   frag_x:int ->
   frag_y:int ->
   outcome
-(** Execute the entry point for one fragment. Default step limit: 100_000. *)
+(** Execute the entry point for one fragment. Default step limit: 100_000.
+    [trace] is called on every SSA value binding (instruction results and
+    φ merges, across all executed functions) — the hook the range-analysis
+    soundness tests use to check every concrete value against its computed
+    interval.  Pointer bindings are not reported. *)
 
 val render :
   ?step_limit:int -> Module_ir.t -> Input.t -> (Image.t, trap) result
@@ -36,6 +41,7 @@ val render :
 
 val run_function :
   ?step_limit:int ->
+  ?trace:(Id.t -> Value.t -> unit) ->
   Module_ir.t ->
   fn:Id.t ->
   args:Value.t list ->

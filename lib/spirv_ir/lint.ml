@@ -186,6 +186,52 @@ let check_function m (f : Func.t) : finding list =
       report ?block "store-never-read" Warning
         "local %s is stored to but never read" (Id.to_string v))
     (Dataflow.write_only_locals f);
+  (* loop rules, over the natural-loop forest *)
+  let forest = Loops.analyze cfg dom in
+  List.iter
+    (fun (u, v) ->
+      report ~block:u "irreducible-cfg" Warning
+        "retreating edge %s -> %s whose target does not dominate its \
+         source: the region is irreducible"
+        (Id.to_string u) (Id.to_string v))
+    forest.Loops.irreducible;
+  List.iter
+    (fun (l : Loops.loop) ->
+      (* infinite-loop: a natural loop with no exit edge can only spin
+         (Return/Kill terminators end a block outside any cycle, so a
+         body without exit edges has no way out) *)
+      if l.Loops.exits = [] then
+        report ~block:l.Loops.header "infinite-loop" Error
+          "loop headed at %s has no exit edge"
+          (Id.to_string l.Loops.header);
+      (* loop-invariant-code: a pure value instruction inside the loop
+         whose operands are all defined outside it recomputes the same
+         value every iteration *)
+      let defined_in_loop id =
+        match Dataflow.Availability.def_site av id with
+        | Some (bl, _) -> Id.Set.mem bl l.Loops.blocks
+        | None -> false
+      in
+      List.iter
+        (fun (b : Block.t) ->
+          if Id.Set.mem b.Block.label l.Loops.blocks then
+            List.iter
+              (fun (i : Instr.t) ->
+                match (i.Instr.result, i.Instr.op) with
+                | ( Some r,
+                    ( Instr.Binop _ | Instr.Unop _ | Instr.Select _
+                    | Instr.CompositeConstruct _ | Instr.CompositeExtract _
+                    | Instr.CompositeInsert _ ) )
+                  when not (List.exists defined_in_loop (Instr.used_ids i))
+                  ->
+                    report ~block:b.Block.label "loop-invariant-code" Warning
+                      "%s is loop-invariant in the loop headed at %s"
+                      (Id.to_string r)
+                      (Id.to_string l.Loops.header)
+                | _ -> ())
+              b.Block.instrs)
+        f.Func.blocks)
+    forest.Loops.loops;
   List.rev !out
 
 let check_module (m : Module_ir.t) : finding list =

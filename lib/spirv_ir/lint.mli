@@ -16,6 +16,12 @@
       can never be observed
     - [block-order] (error): a block appears after a block it strictly
       dominates (non-canonical layout)
+    - [infinite-loop] (error): a natural loop ({!Loops}) with no exit edge
+      — a body without exit edges has no way out
+    - [irreducible-cfg] (warning): a retreating edge whose target does not
+      dominate its source (the loop analyses will not cover the region)
+    - [loop-invariant-code] (warning): a pure value instruction inside a
+      loop whose operands are all defined outside it
 
     Lint never raises on malformed input, so it can run on modules the
     validator rejects. *)

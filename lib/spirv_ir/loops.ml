@@ -1,0 +1,135 @@
+(** Natural-loop forest.
+
+    Back edges are recovered from the dominator tree ([u -> v] is a back edge
+    when [v] dominates [u]); each back-edge target is a loop header and the
+    loop body is the header plus everything that reaches a latch without
+    passing through the header.  Retreating edges whose target does {e not}
+    dominate their source witness an irreducible region.
+
+    The analysis is a pure function of an already-computed [Cfg.t] and
+    [Dominance.t] (it never derives its own — callers are expected to source
+    both from [Dataflow.Availability]). *)
+
+type loop = {
+  header : Id.t;
+  latches : Id.t list;  (** back-edge sources, in block order *)
+  blocks : Id.Set.t;  (** body, including the header *)
+  exits : (Id.t * Id.t) list;  (** (in-loop block, out-of-loop target) edges *)
+  depth : int;  (** nesting depth; 1 = outermost *)
+  parent : Id.t option;  (** header of the innermost enclosing loop *)
+}
+
+type forest = {
+  loops : loop list;  (** outermost-first (sorted by increasing depth) *)
+  irreducible : (Id.t * Id.t) list;
+      (** retreating edges that are not back edges *)
+}
+
+let analyze (cfg : Cfg.t) (dom : Dominance.t) : forest =
+  let n = Array.length cfg.Cfg.blocks in
+  let label i = cfg.Cfg.blocks.(i).Block.label in
+  (* RPO ranks for retreating-edge detection; unreachable blocks keep rank
+     max_int so their edges are never classified. *)
+  let rank = Array.make n max_int in
+  List.iteri (fun r i -> rank.(i) <- r) (Cfg.reverse_postorder cfg);
+  let back_edges = ref [] and irreducible = ref [] in
+  for u = 0 to n - 1 do
+    if cfg.Cfg.reachable.(u) then
+      List.iter
+        (fun v ->
+          if cfg.Cfg.reachable.(v) && rank.(v) <= rank.(u) then
+            if Dominance.dominates dom (label v) (label u) then
+              back_edges := (u, v) :: !back_edges
+            else irreducible := (label u, label v) :: !irreducible)
+        cfg.Cfg.succs.(u)
+  done;
+  (* Group latches by header position, preserving block order. *)
+  let headers = ref [] in
+  let latches_of = Hashtbl.create 8 in
+  List.iter
+    (fun (u, v) ->
+      if not (Hashtbl.mem latches_of v) then headers := v :: !headers;
+      Hashtbl.replace latches_of v (u :: Option.value ~default:[] (Hashtbl.find_opt latches_of v)))
+    (List.sort compare !back_edges);
+  let headers = List.sort compare !headers in
+  let body_of h latches =
+    (* header + blocks that reach a latch backwards without passing [h] *)
+    let in_body = Array.make n false in
+    in_body.(h) <- true;
+    let rec visit u =
+      if not in_body.(u) then begin
+        in_body.(u) <- true;
+        List.iter visit cfg.Cfg.preds.(u)
+      end
+    in
+    List.iter visit latches;
+    in_body
+  in
+  let raw =
+    List.map
+      (fun h ->
+        let latches = List.rev (Option.value ~default:[] (Hashtbl.find_opt latches_of h)) in
+        let in_body = body_of h latches in
+        let blocks = ref Id.Set.empty and exits = ref [] in
+        for u = 0 to n - 1 do
+          if in_body.(u) then begin
+            blocks := Id.Set.add (label u) !blocks;
+            List.iter
+              (fun v -> if not in_body.(v) then exits := (label u, label v) :: !exits)
+              cfg.Cfg.succs.(u)
+          end
+        done;
+        (h, latches, !blocks, List.rev !exits))
+      headers
+  in
+  (* Nesting: loop A encloses loop B when B's header lies in A's body (and
+     they are distinct); the innermost such A is B's parent. *)
+  let enclosing (h, _, _, _) =
+    List.filter
+      (fun (h', _, blocks', _) -> h' <> h && Id.Set.mem (label h) blocks')
+      raw
+  in
+  let loops =
+    List.map
+      (fun ((h, latches, blocks, exits) as l) ->
+        let encl = enclosing l in
+        let depth = 1 + List.length encl in
+        let parent =
+          List.fold_left
+            (fun acc (h', _, blocks', _) ->
+              match acc with
+              | Some (_, best) when Id.Set.cardinal best <= Id.Set.cardinal blocks' -> acc
+              | _ -> Some (label h', blocks'))
+            None encl
+          |> Option.map fst
+        in
+        {
+          header = label h;
+          latches = List.map label latches;
+          blocks;
+          exits;
+          depth;
+          parent;
+        })
+      raw
+  in
+  let loops = List.stable_sort (fun a b -> compare a.depth b.depth) loops in
+  { loops; irreducible = List.rev !irreducible }
+
+let header_of forest label =
+  List.find_opt (fun l -> Id.equal l.header label) forest.loops
+
+let is_in_loop l label = Id.Set.mem label l.blocks
+
+(** Innermost loop whose body contains [label]. *)
+let innermost_containing forest label =
+  List.fold_left
+    (fun acc l ->
+      if Id.Set.mem label l.blocks then
+        match acc with
+        | Some best when best.depth >= l.depth -> acc
+        | _ -> Some l
+      else acc)
+    None forest.loops
+
+let is_reducible forest = forest.irreducible = []

@@ -1,0 +1,30 @@
+(** Natural-loop forest over an already-computed CFG + dominator tree.
+
+    Callers are expected to source both inputs from the shared
+    [Dataflow.Availability] analysis; this module never computes its own. *)
+
+type loop = {
+  header : Id.t;
+  latches : Id.t list;  (** back-edge sources, in block order *)
+  blocks : Id.Set.t;  (** body, including the header *)
+  exits : (Id.t * Id.t) list;  (** (in-loop block, out-of-loop target) edges *)
+  depth : int;  (** nesting depth; 1 = outermost *)
+  parent : Id.t option;  (** header of the innermost enclosing loop *)
+}
+
+type forest = {
+  loops : loop list;  (** outermost-first (sorted by increasing depth) *)
+  irreducible : (Id.t * Id.t) list;
+      (** retreating edges whose target does not dominate their source *)
+}
+
+val analyze : Cfg.t -> Dominance.t -> forest
+
+val header_of : forest -> Id.t -> loop option
+(** The loop headed at the given label, if any. *)
+
+val innermost_containing : forest -> Id.t -> loop option
+(** Innermost loop whose body contains the given label. *)
+
+val is_in_loop : loop -> Id.t -> bool
+val is_reducible : forest -> bool

@@ -4,9 +4,31 @@
    discipline, same lookup order env → globals → constants); wherever it
    cannot, it raises Abstain instead of approximating. *)
 
-exception Abstain of string
+type reason =
+  [ `Loop_unbounded  (** back edge with no provable trip-count bound *)
+  | `Budget  (** node / visit / call-depth / unroll budget exhausted *)
+  | `Dynamic_index  (** access chain indexed by a symbolic value *)
+  | `Forced_unroll  (** a mismatch reached only through forced loop exits *)
+  | `Unsupported  (** construct outside the modelled fragment semantics *)
+  | `Internal  (** malformed module: the evaluator's invariants broke *) ]
 
-let abstain fmt = Printf.ksprintf (fun s -> raise (Abstain s)) fmt
+let reason_label : reason -> string = function
+  | `Loop_unbounded -> "loop-unbounded"
+  | `Budget -> "budget"
+  | `Dynamic_index -> "dynamic-index"
+  | `Forced_unroll -> "forced-unroll"
+  | `Unsupported -> "unsupported"
+  | `Internal -> "internal"
+
+let reason_labels =
+  List.map reason_label
+    [ `Loop_unbounded; `Budget; `Dynamic_index; `Forced_unroll; `Unsupported;
+      `Internal ]
+
+exception Abstain of reason * string
+
+let abstain reason fmt =
+  Printf.ksprintf (fun s -> raise (Abstain (reason, s))) fmt
 
 type desc =
   | Const of Value.t
@@ -26,21 +48,26 @@ type ctx = {
   mutable next_id : int;
   mutable visits : int;
   mutable local_serial : int;
+  mutable forced_exits : int;
   max_visits : int;
   max_nodes : int;
+  max_unroll : int;
 }
 
-let create ?(max_visits = 20_000) ?(max_nodes = 200_000) () =
+let create ?(max_visits = 20_000) ?(max_nodes = 200_000) ?(max_unroll = 64) () =
   {
     tbl = Hashtbl.create 1024;
     next_id = 0;
     visits = 0;
     local_serial = 0;
+    forced_exits = 0;
     max_visits;
     max_nodes;
+    max_unroll;
   }
 
 let node_count ctx = ctx.next_id
+let forced_exits ctx = ctx.forced_exits
 
 (* Interning keys use the float's bit pattern, matching Value.equal's
    bit-level comparison (so -0.0 and 0.0 intern to distinct constants,
@@ -73,7 +100,7 @@ let mk ctx desc =
   | Some n -> n
   | None ->
       if ctx.next_id >= ctx.max_nodes then
-        abstain "node budget exhausted (%d nodes)" ctx.max_nodes;
+        abstain `Budget "node budget exhausted (%d nodes)" ctx.max_nodes;
       let n = { nid = ctx.next_id; desc } in
       ctx.next_id <- ctx.next_id + 1;
       Hashtbl.add ctx.tbl key n;
@@ -109,7 +136,7 @@ let binop ctx op a b =
   match (a.desc, b.desc) with
   | Const va, Const vb -> (
       try const ctx (Ops.eval_binop op va vb)
-      with Ops.Type_error msg -> abstain "constant fold: %s" msg)
+      with Ops.Type_error msg -> abstain `Internal "constant fold: %s" msg)
   | _ -> (
       (* Boolean identity/absorption/idempotence: the kill flag is
          composed with LogicalOr across calls, so these folds keep it in
@@ -140,13 +167,13 @@ let unop ctx op a =
   match a.desc with
   | Const v -> (
       try const ctx (Ops.eval_unop op v)
-      with Ops.Type_error msg -> abstain "constant fold: %s" msg)
+      with Ops.Type_error msg -> abstain `Internal "constant fold: %s" msg)
   | _ -> mk ctx (App (Instr.unop_name op, [ a ]))
 
 let ite ctx c a b =
   match c.desc with
   | Const (Value.VBool cond) -> if cond then a else b
-  | Const _ -> abstain "select condition is not a bool"
+  | Const _ -> abstain `Internal "select condition is not a bool"
   | _ ->
       if a.nid = b.nid then a
       else if is_dead a then b
@@ -269,6 +296,8 @@ type fexit = { x_kill : node; x_ret : node; x_mem : node RootMap.t }
 type menv = {
   m : Module_ir.t;
   avail : (Id.t, Dataflow.Availability.t) Hashtbl.t;
+  facts : (Id.t, Loops.forest * int Id.Map.t) Hashtbl.t;
+      (** per function: loop forest + proven trip bounds, keyed by header *)
   globals : rv Id.Map.t;
 }
 
@@ -280,6 +309,32 @@ let availability_for me (f : Func.t) =
       Hashtbl.add me.avail f.Func.id a;
       a
 
+(* Loop forest + trip bounds, from the shared Dataflow analyses (never a
+   private fixpoint: the CFG and dominator tree come from Availability, the
+   bounds from Dataflow.Ranges).  Computed once per function and cached. *)
+let loop_facts_for me (f : Func.t) =
+  match Hashtbl.find_opt me.facts f.Func.id with
+  | Some x -> x
+  | None ->
+      let av = availability_for me f in
+      let cfg = Dataflow.Availability.cfg av in
+      let dom = Dataflow.Availability.dominance av in
+      let forest = Loops.analyze cfg dom in
+      let bounds =
+        if forest.Loops.loops = [] then Id.Map.empty
+        else
+          let ranges = Dataflow.Ranges.compute me.m f ~cfg ~loops:forest in
+          List.fold_left
+            (fun acc (l : Loops.loop) ->
+              match Dataflow.Ranges.trip_bound ranges ~header:l.Loops.header with
+              | Some bnd -> Id.Map.add l.Loops.header bnd acc
+              | None -> acc)
+            Id.Map.empty forest.Loops.loops
+      in
+      let facts = (forest, bounds) in
+      Hashtbl.add me.facts f.Func.id facts;
+      facts
+
 let lookup ctx me env id =
   match Id.Map.find_opt id env with
   | Some rv -> rv
@@ -289,40 +344,41 @@ let lookup ctx me env id =
       | None -> (
           match Module_ir.find_constant me.m id with
           | Some _ -> Rnode (const ctx (Module_ir.const_value me.m id))
-          | None -> abstain "unbound id %s" (Id.to_string id)))
+          | None -> abstain `Internal "unbound id %s" (Id.to_string id)))
 
 let lookup_val ctx me env id =
   match lookup ctx me env id with
   | Rnode n -> n
-  | Rptr _ -> abstain "id %s is a pointer where a value was expected" (Id.to_string id)
+  | Rptr _ -> abstain `Internal "id %s is a pointer where a value was expected" (Id.to_string id)
 
 let lookup_ptr ctx me env id =
   match lookup ctx me env id with
   | Rptr p -> p
-  | Rnode _ -> abstain "id %s is a value where a pointer was expected" (Id.to_string id)
+  | Rnode _ -> abstain `Internal "id %s is a value where a pointer was expected" (Id.to_string id)
 
 let mem_find mem base =
   match RootMap.find_opt base mem with
   | Some n -> n
-  | None -> abstain "load from an unallocated root"
+  | None -> abstain `Internal "load from an unallocated root"
 
 let max_call_depth = 64
 
 let rec eval_function ctx me ~depth (f : Func.t) (args : rv list) mem : fexit =
-  if depth > max_call_depth then abstain "call depth exceeded in %s" f.Func.name;
+  if depth > max_call_depth then abstain `Budget "call depth exceeded in %s" f.Func.name;
   let env =
     try
       List.fold_left2
         (fun env (p : Func.param) a -> Id.Map.add p.Func.param_id a env)
         Id.Map.empty f.Func.params args
-    with Invalid_argument _ -> abstain "arity mismatch calling %s" f.Func.name
+    with Invalid_argument _ -> abstain `Internal "arity mismatch calling %s" f.Func.name
   in
-  eval_block ctx me ~depth f env ~pred:None mem (Func.entry_block f)
+  eval_block ctx me ~depth ~unrolls:Id.Map.empty f env ~pred:None mem
+    (Func.entry_block f)
 
-and eval_block ctx me ~depth f env ~pred mem (b : Block.t) : fexit =
+and eval_block ctx me ~depth ~unrolls f env ~pred mem (b : Block.t) : fexit =
   ctx.visits <- ctx.visits + 1;
   if ctx.visits > ctx.max_visits then
-    abstain "evaluation budget exhausted (%d block visits)" ctx.max_visits;
+    abstain `Budget "evaluation budget exhausted (%d block visits)" ctx.max_visits;
   let phi_instrs, rest =
     let rec split acc = function
       | (i : Instr.t) :: tl when Instr.is_phi i -> split (i :: acc) tl
@@ -335,7 +391,7 @@ and eval_block ctx me ~depth f env ~pred mem (b : Block.t) : fexit =
     match pred with
     | None ->
         if phi_instrs <> [] then
-          abstain "phi in entry block %s" (Id.to_string b.Block.label);
+          abstain `Internal "phi in entry block %s" (Id.to_string b.Block.label);
         env
     | Some pred_label ->
         let bindings =
@@ -350,19 +406,21 @@ and eval_block ctx me ~depth f env ~pred mem (b : Block.t) : fexit =
                   with
                   | Some (v, _) -> (r, lookup ctx me env v)
                   | None ->
-                      abstain "phi %s lacks an entry for predecessor %s"
+                      abstain `Internal "phi %s lacks an entry for predecessor %s"
                         (Id.to_string r) (Id.to_string pred_label))
-              | _ -> abstain "malformed phi")
+              | _ -> abstain `Internal "malformed phi")
             phi_instrs
         in
         List.fold_left (fun env (r, v) -> Id.Map.add r v env) env bindings
   in
-  eval_instrs ctx me ~depth f env mem b rest
+  eval_instrs ctx me ~depth ~unrolls f env mem b rest
 
-and eval_instrs ctx me ~depth f env mem b = function
-  | [] -> eval_terminator ctx me ~depth f env mem b
+and eval_instrs ctx me ~depth ~unrolls f env mem b = function
+  | [] -> eval_terminator ctx me ~depth ~unrolls f env mem b
   | (i : Instr.t) :: tl -> (
-      let continue_with env mem = eval_instrs ctx me ~depth f env mem b tl in
+      let continue_with env mem =
+        eval_instrs ctx me ~depth ~unrolls f env mem b tl
+      in
       let bind r rv = Id.Map.add r rv env in
       match (i.Instr.result, i.Instr.op) with
       | _, Instr.Nop -> continue_with env mem
@@ -391,12 +449,12 @@ and eval_instrs ctx me ~depth f env mem b = function
               continue_with
                 (bind r (lookup ctx me env (if cond then tv else fv)))
                 mem
-          | Const _ -> abstain "select condition is not a bool"
+          | Const _ -> abstain `Internal "select condition is not a bool"
           | _ -> (
               match (lookup ctx me env tv, lookup ctx me env fv) with
               | Rnode tn, Rnode fn ->
                   continue_with (bind r (Rnode (ite ctx cn tn fn))) mem
-              | _ -> abstain "pointer select on a symbolic condition"))
+              | _ -> abstain `Unsupported "pointer select on a symbolic condition"))
       | Some r, Instr.CompositeConstruct parts ->
           continue_with
             (bind r
@@ -428,8 +486,8 @@ and eval_instrs ctx me ~depth f env mem b = function
               (fun idx ->
                 match (lookup_val ctx me env idx).desc with
                 | Const (Value.VInt i) -> Int32.to_int i
-                | Const _ -> abstain "non-integer index in access chain"
-                | _ -> abstain "dynamic access-chain index")
+                | Const _ -> abstain `Internal "non-integer index in access chain"
+                | _ -> abstain `Dynamic_index "dynamic access-chain index")
               idxs
           in
           continue_with
@@ -439,7 +497,7 @@ and eval_instrs ctx me ~depth f env mem b = function
           let g =
             match Module_ir.find_function me.m callee with
             | Some g -> g
-            | None -> abstain "call to unknown function %s" (Id.to_string callee)
+            | None -> abstain `Internal "call to unknown function %s" (Id.to_string callee)
           in
           let arg_values = List.map (lookup ctx me env) args in
           let sub = eval_function ctx me ~depth:(depth + 1) g arg_values mem in
@@ -458,7 +516,7 @@ and eval_instrs ctx me ~depth f env mem b = function
                   bind r (Rnode ret)
               | None -> env
             in
-            let rest = eval_instrs ctx me ~depth f env sub.x_mem b tl in
+            let rest = eval_instrs ctx me ~depth ~unrolls f env sub.x_mem b tl in
             match rest with
             | { x_kill; x_ret; x_mem } ->
                 {
@@ -466,7 +524,7 @@ and eval_instrs ctx me ~depth f env mem b = function
                   x_ret;
                   x_mem;
                 })
-      | Some _, Instr.Phi _ -> abstain "phi after non-phi instruction"
+      | Some _, Instr.Phi _ -> abstain `Internal "phi after non-phi instruction"
       | Some r, Instr.CopyObject x ->
           continue_with (bind r (lookup ctx me env x)) mem
       | Some r, Instr.Variable Ty.Function -> (
@@ -484,23 +542,53 @@ and eval_instrs ctx me ~depth f env mem b = function
                   in
                   continue_with (bind r (Rptr { base = root; rpath = [] })) mem
               | Some _ | None ->
-                  abstain "variable %s has non-pointer type" (Id.to_string r))
-          | None -> abstain "variable without a type")
+                  abstain `Internal "variable %s has non-pointer type" (Id.to_string r))
+          | None -> abstain `Internal "variable without a type")
       | Some _, Instr.Variable _ ->
-          abstain "function-scope variable with bad storage class"
+          abstain `Internal "function-scope variable with bad storage class"
       | Some r, Instr.Undef -> (
           match i.Instr.ty with
           | Some ty ->
               continue_with
                 (bind r (Rnode (const ctx (Module_ir.zero_value me.m ty))))
                 mem
-          | None -> abstain "undef without a type")
-      | None, _ -> abstain "instruction missing a result id"
-      | Some _, Instr.Store _ -> abstain "store with a result id")
+          | None -> abstain `Internal "undef without a type")
+      | None, _ -> abstain `Internal "instruction missing a result id"
+      | Some _, Instr.Store _ -> abstain `Internal "store with a result id")
 
-and eval_terminator ctx me ~depth f env mem (b : Block.t) : fexit =
+and eval_terminator ctx me ~depth ~unrolls f env mem (b : Block.t) : fexit =
+  let forest, bounds = loop_facts_for me f in
+  (* Unroll counters are kept per path and keyed by loop header: every
+     back-edge traversal (conditional or not) bumps the target header's
+     counter; leaving a loop body resets its header's counter so the next
+     entry to the loop (e.g. an outer iteration) counts afresh. *)
   let follow target =
-    eval_block ctx me ~depth f env ~pred:(Some b.Block.label) mem
+    let unrolls =
+      if forest.Loops.loops = [] then unrolls
+      else
+        let u =
+          List.fold_left
+            (fun u (l : Loops.loop) ->
+              if
+                Id.Set.mem b.Block.label l.Loops.blocks
+                && not (Id.Set.mem target l.Loops.blocks)
+              then Id.Map.remove l.Loops.header u
+              else u)
+            unrolls forest.Loops.loops
+        in
+        if
+          List.exists
+            (fun (l : Loops.loop) ->
+              Id.equal l.Loops.header target
+              && List.exists (Id.equal b.Block.label) l.Loops.latches)
+            forest.Loops.loops
+        then
+          Id.Map.update target
+            (function None -> Some 1 | Some n -> Some (n + 1))
+            u
+        else u
+    in
+    eval_block ctx me ~depth ~unrolls f env ~pred:(Some b.Block.label) mem
       (Func.block_exn f target)
   in
   match b.Block.terminator with
@@ -509,7 +597,7 @@ and eval_terminator ctx me ~depth f env mem (b : Block.t) : fexit =
       { x_kill = cbool ctx false; x_ret = lookup_val ctx me env v; x_mem = mem }
   | Block.Kill -> { x_kill = cbool ctx true; x_ret = dead ctx; x_mem = mem }
   | Block.Unreachable ->
-      abstain "reached OpUnreachable in %s" (Id.to_string b.Block.label)
+      abstain `Unsupported "reached OpUnreachable in %s" (Id.to_string b.Block.label)
   | Block.Branch target -> follow target
   | Block.BranchConditional (c, t, fl) -> (
       if Id.equal t fl then follow t
@@ -519,20 +607,56 @@ and eval_terminator ctx me ~depth f env mem (b : Block.t) : fexit =
         | Const (Value.VBool cond) ->
             (* concrete edge: this is what unrolls counted loops *)
             follow (if cond then t else fl)
-        | Const _ -> abstain "branch condition is not a bool"
-        | _ ->
+        | Const _ -> abstain `Internal "branch condition is not a bool"
+        | _ -> (
+            (* A symbolic condition that decides whether a loop keeps
+               running is gated by the range analysis: with a proven trip
+               bound we fork like any other branch until the counter shows
+               the continue arm is statically infeasible, then force the
+               exit.  Without a bound, forking would never terminate, so we
+               abstain — structurally, not by exhausting the budget. *)
             let dom = Dataflow.Availability.dominance (availability_for me f) in
-            if
-              Dominance.dominates dom t b.Block.label
-              || Dominance.dominates dom fl b.Block.label
-            then
-              abstain "data-dependent back edge in %s at %s" f.Func.name
-                (Id.to_string b.Block.label)
-            else
-              (* fork: both arms run to function exit, then merge *)
+            let decision =
+              if Dominance.dominates dom t b.Block.label then Some (t, fl)
+              else if Dominance.dominates dom fl b.Block.label then
+                Some (fl, t)
+              else
+                match Loops.header_of forest b.Block.label with
+                | Some l -> (
+                    match (Loops.is_in_loop l t, Loops.is_in_loop l fl) with
+                    | true, false -> Some (l.Loops.header, fl)
+                    | false, true -> Some (l.Loops.header, t)
+                    | true, true | false, false -> None)
+                | None -> None
+            in
+            let fork () =
               let t_exit = follow t in
               let f_exit = follow fl in
-              merge_exits ctx cn t_exit f_exit)
+              merge_exits ctx cn t_exit f_exit
+            in
+            match decision with
+            | None -> fork ()
+            | Some (header, exit_arm) -> (
+                match Id.Map.find_opt header bounds with
+                | None ->
+                    abstain `Loop_unbounded
+                      "no provable trip bound for the loop at %s in %s"
+                      (Id.to_string header) f.Func.name
+                | Some bnd ->
+                    if bnd > ctx.max_unroll then
+                      abstain `Budget
+                        "trip bound %d at %s exceeds the unroll budget %d"
+                        bnd (Id.to_string header) ctx.max_unroll
+                    else if
+                      Option.value ~default:0 (Id.Map.find_opt header unrolls)
+                      >= bnd
+                    then begin
+                      (* the proven bound makes the continue arm infeasible
+                         on this path: take the exit without forking *)
+                      ctx.forced_exits <- ctx.forced_exits + 1;
+                      follow exit_arm
+                    end
+                    else fork ())))
 
 and merge_exits ctx cn t_exit f_exit =
   (* A killed arm's values are unobservable: substituting Dead lets the
@@ -569,7 +693,7 @@ let init_globals ctx (m : Module_ir.t) =
         match Module_ir.find_type m g.Module_ir.gd_ty with
         | Some (Ty.Pointer (sc, p)) -> (sc, p)
         | Some _ | None ->
-            abstain "global %s has a non-pointer type" g.Module_ir.gd_name
+            abstain `Internal "global %s has a non-pointer type" g.Module_ir.gd_name
       in
       let initial =
         match sc with
@@ -588,7 +712,7 @@ let init_globals ctx (m : Module_ir.t) =
 
 let summarize ctx (m : Module_ir.t) =
   let globals, mem = init_globals ctx m in
-  let me = { m; avail = Hashtbl.create 8; globals } in
+  let me = { m; avail = Hashtbl.create 8; facts = Hashtbl.create 8; globals } in
   let entry = Module_ir.entry_function m in
   let ex = eval_function ctx me ~depth:0 entry [] mem in
   let s_out =
@@ -604,7 +728,7 @@ let summarize ctx (m : Module_ir.t) =
     | Some g -> (
         match RootMap.find_opt (Root.Rglobal g.Module_ir.gd_id) ex.x_mem with
         | Some n -> n
-        | None -> abstain "output global missing from the store summary")
+        | None -> abstain `Internal "output global missing from the store summary")
     | None -> const ctx (Value.VComposite [||])
   in
   { s_kill = ex.x_kill; s_out }

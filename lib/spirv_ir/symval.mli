@@ -12,17 +12,42 @@
     generator's counted loops exactly), symbolic conditions fork both arms
     to function exit and merge them with [select] nodes.
 
+    Loops with a {e proven} trip bound (from {!Dataflow.Ranges.trip_bound}
+    over the {!Loops} forest) unroll soundly even when their condition
+    stays symbolic: the evaluator forks each loop-deciding branch until
+    the per-path back-edge counter reaches the bound, at which point the
+    continue arm is statically infeasible and the exit arm is followed
+    directly (counted in {!forced_exits}; {!Tv} downgrades any mismatch
+    witnessed under forcing to an abstention).
+
     Soundness discipline: whenever the evaluator cannot prove what a
-    construct denotes — a data-dependent back edge, a dynamic access-chain
-    index, a pointer-valued select on a symbolic condition, an exhausted
-    budget — it raises {!Abstain} rather than guessing.  Callers must
-    never report an abstention as a bug.
+    construct denotes — a back edge without a trip bound, a dynamic
+    access-chain index, a pointer-valued select on a symbolic condition,
+    an exhausted budget — it raises {!Abstain} rather than guessing.
+    Callers must never report an abstention as a bug.
 
-    Reachability and dominance come from the shared
-    {!Dataflow.Availability} analysis (CI greps enforce that this module
-    neither rebuilds a CFG nor calls [Dominance.compute] itself). *)
+    Reachability, dominance, the loop forest and value ranges all come
+    from the shared {!Dataflow} analyses (CI greps enforce that this
+    module neither rebuilds a CFG nor runs a private fixpoint). *)
 
-exception Abstain of string
+type reason =
+  [ `Loop_unbounded  (** back edge with no provable trip-count bound *)
+  | `Budget  (** node / visit / call-depth / unroll budget exhausted *)
+  | `Dynamic_index  (** access chain indexed by a symbolic value *)
+  | `Forced_unroll  (** a mismatch reached only through forced loop exits *)
+  | `Unsupported  (** construct outside the modelled fragment semantics *)
+  | `Internal  (** malformed module: the evaluator's invariants broke *) ]
+(** Why a summary could not be built — bucketed by {!Engine} stats and
+    surfaced through [tbct tv --json].  [`Forced_unroll] is never raised
+    here; {!Tv} uses it when discarding a mismatch seen under forcing. *)
+
+val reason_label : reason -> string
+(** Stable kebab-case label ("loop-unbounded", "budget", …). *)
+
+val reason_labels : string list
+(** All labels, in declaration order — for stats headers. *)
+
+exception Abstain of reason * string
 (** The construct named in the payload is beyond the analysis. *)
 
 type node
@@ -33,13 +58,21 @@ type ctx
 (** Hash-consing arena and evaluation budgets.  Summaries are only
     comparable when built in the {e same} context. *)
 
-val create : ?max_visits:int -> ?max_nodes:int -> unit -> ctx
+val create : ?max_visits:int -> ?max_nodes:int -> ?max_unroll:int -> unit -> ctx
 (** [max_visits] bounds block visits across all [summarize] calls on the
     context (loop unrolling and branch forking both consume it);
-    [max_nodes] bounds distinct DAG nodes.  Exhaustion raises {!Abstain}. *)
+    [max_nodes] bounds distinct DAG nodes; [max_unroll] (default 64) caps
+    the proven trip bound a loop may have and still be unrolled.
+    Exhaustion raises {!Abstain} with reason [`Budget]. *)
 
 val node_count : ctx -> int
 (** Distinct nodes interned so far — a measure of summary sharing. *)
+
+val forced_exits : ctx -> int
+(** How many times the evaluator forced a loop exit because the per-path
+    unroll counter reached the proven trip bound.  A mismatch between two
+    summaries built under forcing is not trustworthy (the two modules may
+    have proved different bounds); {!Tv} downgrades it to an abstention. *)
 
 type summary = {
   s_kill : node;  (** symbolic "fragment was killed" condition *)

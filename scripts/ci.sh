@@ -46,17 +46,58 @@ if ! grep -q "Dataflow\.Availability" lib/spirv_ir/symval.ml; then
   exit 1
 fi
 
+# loop summarization must take its loop forest and trip bounds from the
+# shared interval analysis (Dataflow.Ranges), not a private fixpoint
+if ! grep -q "Dataflow\.Ranges" lib/spirv_ir/symval.ml; then
+  echo "CI: Symval no longer consumes Spirv_ir.Dataflow.Ranges —" \
+       "loop trip bounds must come from the shared interval analysis" >&2
+  exit 1
+fi
+
 # lint gate: every shipped corpus module must be free of lint errors
 # (warnings are allowed; the exit code is 1 only on errors)
 ./_build/default/bin/tbct_cli.exe lint --all
 
-# translation-validation gate: every corpus module must validate cleanly
-# through every target's pipeline — zero Mismatch verdicts (exit 1 on any);
-# abstentions are allowed but never count as bugs
+# translation-validation gate: every corpus module — including the looping
+# corpus — must validate cleanly through every target's pipeline — zero
+# Mismatch verdicts (exit 1 on any); abstentions are allowed but never
+# count as bugs
 for target in AMD-LLPC Mesa Mesa-Old NVIDIA Pixel-5 Pixel-4 spirv-opt \
               spirv-opt-old SwiftShader; do
   ./_build/default/bin/tbct_cli.exe tv --all --target "$target" > /dev/null
 done
+
+# loop-coverage gate: on the counted-loop corpus the oracle must decide
+# (Equivalent or Mismatch, not Abstained) at least 90% of the modules —
+# the whole point of the loop-aware analysis
+COUNTED="loop_counted loop_nested_counted loop_to_counted \
+         loop_uniform_clamped loop_mode_clamped"
+DECIDED=0; TOTAL=0
+for name in $COUNTED; do
+  TOTAL=$((TOTAL + 1))
+  if ! ./_build/default/bin/tbct_cli.exe tv --corpus "$name" --json \
+      | grep -q '"verdict":"abstained"'; then
+    DECIDED=$((DECIDED + 1))
+  fi
+done
+if [ $((DECIDED * 10)) -lt $((TOTAL * 9)) ]; then
+  echo "CI: only $DECIDED/$TOTAL counted-loop modules decided by TV —" \
+       "abstain rate exceeds the 10% ceiling" >&2
+  exit 1
+fi
+
+# analyze smoke: the loop/range report must prove the clamped uniform
+# loop's trip bound (the canonical widening + refinement test case)
+if ! ./_build/default/bin/tbct_cli.exe analyze --corpus loop_uniform_clamped \
+    --loops | grep -q "trip bound 8"; then
+  echo "CI: tbct analyze no longer proves the clamped uniform trip bound" >&2
+  exit 1
+fi
+if ! ./_build/default/bin/tbct_cli.exe analyze --corpus loop_uniform_raw \
+    --loops | grep -q "trip bound unproven"; then
+  echo "CI: tbct analyze claims a bound for the unclamped uniform loop" >&2
+  exit 1
+fi
 
 # contract-checked campaign smoke: a short run with the transformation
 # contract checker on; any breach raises a Violation (exit code 2)
@@ -145,11 +186,20 @@ if cmp -s "$WDIR/hits-default.txt" "$WDIR/hits-weighted.txt"; then
 fi
 rm -rf "$WDIR"
 
-# quick perf smoke: the registry perf section must run and persist its
-# machine-readable summary (BENCH_PR6.json at the repo root)
+# quick perf smoke: the registry and loop-TV perf sections must run and
+# persist their machine-readable summaries (BENCH_PR6.json and
+# BENCH_PR7.json at the repo root)
 ./_build/default/bench/main.exe --perf-smoke > /dev/null
 if [ ! -s BENCH_PR6.json ]; then
   echo "CI: bench --perf-smoke did not write BENCH_PR6.json" >&2
+  exit 1
+fi
+if [ ! -s BENCH_PR7.json ]; then
+  echo "CI: bench --perf-smoke did not write BENCH_PR7.json" >&2
+  exit 1
+fi
+if ! grep -q '"abstain_reasons"' BENCH_PR7.json; then
+  echo "CI: BENCH_PR7.json is missing the abstain_reasons breakdown" >&2
   exit 1
 fi
 
@@ -173,4 +223,4 @@ if ! cmp -s "$STORE/tests-seq.txt" "$STORE/tests-par.txt"; then
   exit 1
 fi
 
-echo "CI: build + tests + lint + contract-smoke + store-smoke + registry-gates + perf-smoke + pool-determinism + invariant checks passed"
+echo "CI: build + tests + lint + tv + loop-coverage + contract-smoke + store-smoke + registry-gates + perf-smoke + pool-determinism + invariant checks passed"

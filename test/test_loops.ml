@@ -1,0 +1,572 @@
+(* Tests for the loop-aware static-analysis layer: the natural-loop forest
+   (Spirv_ir.Loops), the interval/range analysis with trip-count bounds
+   (Spirv_ir.Dataflow.Ranges), their consumption by the symbolic TV oracle,
+   the loop-invariant code-motion pass with its injected bug, and the loop
+   lint rules. *)
+
+open Spirv_ir
+
+let main_fn (m : Module_ir.t) : Func.t =
+  List.find
+    (fun (f : Func.t) -> Id.equal f.Func.id m.Module_ir.entry)
+    m.Module_ir.functions
+
+let facts m (fn : Func.t) =
+  let av = Dataflow.Availability.make m fn in
+  let cfg = Dataflow.Availability.cfg av in
+  let dom = Dataflow.Availability.dominance av in
+  let forest = Loops.analyze cfg dom in
+  let ranges = Dataflow.Ranges.compute m fn ~cfg ~loops:forest in
+  (forest, ranges)
+
+let loop_corpus = Corpus.lowered_loop_references
+let corpus_module name = List.assoc name (Lazy.force loop_corpus)
+
+(* ------------------------------------------------------------------ *)
+(* Crafted CFGs                                                        *)
+
+(* l0 -> lh (phi i; i < 10 ? lb : lx); lb: i2 = i + 1 -> lh *)
+let counted_loop () =
+  let b = Builder.create () in
+  let void_t = Builder.void_ty b in
+  let out = Builder.output_color b in
+  let fb, main, _ =
+    Builder.begin_function b ~name:"main" ~ret:void_t ~params:[]
+  in
+  let l0 = Builder.new_label fb in
+  let lh = Builder.new_label fb in
+  let lb = Builder.new_label fb in
+  let lx = Builder.new_label fb in
+  let zero = Builder.cint b 0 in
+  let one = Builder.cint b 1 in
+  let ten = Builder.cint b 10 in
+  let onef = Builder.cfloat b 1.0 in
+  Builder.start_block fb l0;
+  Builder.branch fb lh;
+  Builder.start_block fb lh;
+  let i = Builder.phi fb ~ty:(Builder.int_ty b) [ (zero, l0); (zero, lb) ] in
+  let cond = Builder.slt fb i ten in
+  Builder.branch_cond fb cond lb lx;
+  Builder.start_block fb lb;
+  let i2 = Builder.iadd fb i one in
+  Builder.branch fb lh;
+  Builder.patch_phi fb ~phi:i ~pred:lb ~value:i2;
+  Builder.start_block fb lx;
+  let color =
+    Builder.composite fb ~ty:(Builder.vec4f b) [ onef; onef; onef; onef ]
+  in
+  Builder.store fb out color;
+  Builder.ret fb;
+  ignore (Builder.end_function fb);
+  let m = Builder.finish b ~entry:main in
+  (m, (l0, lh, lb, lx))
+
+(* two nested counted loops:
+   l0 -> h1 (phi i; i < 4 ? b1 : lx)
+   b1 -> h2 (phi j; j < 3 ? b2 : lat1)
+   b2: j2 = j + 1 -> h2
+   lat1: i2 = i + 1 -> h1 *)
+let nested_loop () =
+  let b = Builder.create () in
+  let void_t = Builder.void_ty b in
+  let out = Builder.output_color b in
+  let fb, main, _ =
+    Builder.begin_function b ~name:"main" ~ret:void_t ~params:[]
+  in
+  let l0 = Builder.new_label fb in
+  let h1 = Builder.new_label fb in
+  let b1 = Builder.new_label fb in
+  let h2 = Builder.new_label fb in
+  let b2 = Builder.new_label fb in
+  let lat1 = Builder.new_label fb in
+  let lx = Builder.new_label fb in
+  let zero = Builder.cint b 0 in
+  let one = Builder.cint b 1 in
+  let four = Builder.cint b 4 in
+  let three = Builder.cint b 3 in
+  let onef = Builder.cfloat b 1.0 in
+  Builder.start_block fb l0;
+  Builder.branch fb h1;
+  Builder.start_block fb h1;
+  let i = Builder.phi fb ~ty:(Builder.int_ty b) [ (zero, l0); (zero, lat1) ] in
+  let c1 = Builder.slt fb i four in
+  Builder.branch_cond fb c1 b1 lx;
+  Builder.start_block fb b1;
+  Builder.branch fb h2;
+  Builder.start_block fb h2;
+  let j = Builder.phi fb ~ty:(Builder.int_ty b) [ (zero, b1); (zero, b2) ] in
+  let c2 = Builder.slt fb j three in
+  Builder.branch_cond fb c2 b2 lat1;
+  Builder.start_block fb b2;
+  let j2 = Builder.iadd fb j one in
+  Builder.branch fb h2;
+  Builder.patch_phi fb ~phi:j ~pred:b2 ~value:j2;
+  Builder.start_block fb lat1;
+  let i2 = Builder.iadd fb i one in
+  Builder.branch fb h1;
+  Builder.patch_phi fb ~phi:i ~pred:lat1 ~value:i2;
+  Builder.start_block fb lx;
+  let color =
+    Builder.composite fb ~ty:(Builder.vec4f b) [ onef; onef; onef; onef ]
+  in
+  Builder.store fb out color;
+  Builder.ret fb;
+  ignore (Builder.end_function fb);
+  let m = Builder.finish b ~entry:main in
+  (m, (h1, h2, b2, lat1))
+
+(* an irreducible region: l0 conditionally enters a or b, which branch to
+   each other — neither dominates the other, so the retreating edge is not
+   a natural back edge *)
+let irreducible_cfg () =
+  let b = Builder.create () in
+  let void_t = Builder.void_ty b in
+  let out = Builder.output_color b in
+  let fb, main, _ =
+    Builder.begin_function b ~name:"main" ~ret:void_t ~params:[]
+  in
+  let l0 = Builder.new_label fb in
+  let la = Builder.new_label fb in
+  let lb = Builder.new_label fb in
+  let lx = Builder.new_label fb in
+  let t = Builder.cbool b true in
+  let onef = Builder.cfloat b 1.0 in
+  Builder.start_block fb l0;
+  Builder.branch_cond fb t la lb;
+  Builder.start_block fb la;
+  Builder.branch_cond fb t lb lx;
+  Builder.start_block fb lb;
+  Builder.branch_cond fb t la lx;
+  Builder.start_block fb lx;
+  let color =
+    Builder.composite fb ~ty:(Builder.vec4f b) [ onef; onef; onef; onef ]
+  in
+  Builder.store fb out color;
+  Builder.ret fb;
+  ignore (Builder.end_function fb);
+  Builder.finish b ~entry:main
+
+(* a self-loop with no exit edge: the infinite-loop lint rule's target *)
+let endless_loop () =
+  let b = Builder.create () in
+  let void_t = Builder.void_ty b in
+  let _out = Builder.output_color b in
+  let fb, main, _ =
+    Builder.begin_function b ~name:"main" ~ret:void_t ~params:[]
+  in
+  let l0 = Builder.new_label fb in
+  let la = Builder.new_label fb in
+  Builder.start_block fb l0;
+  Builder.branch fb la;
+  Builder.start_block fb la;
+  Builder.branch fb la;
+  ignore (Builder.end_function fb);
+  let m = Builder.finish b ~entry:main in
+  (m, la)
+
+(* ------------------------------------------------------------------ *)
+(* Loop forest                                                         *)
+
+let test_forest_simple () =
+  let m, (_, lh, lb, lx) = counted_loop () in
+  let forest, _ = facts m (main_fn m) in
+  Alcotest.(check int) "one loop" 1 (List.length forest.Loops.loops);
+  Alcotest.(check bool) "reducible" true (Loops.is_reducible forest);
+  let l = List.hd forest.Loops.loops in
+  Alcotest.(check bool) "header" true (Id.equal l.Loops.header lh);
+  Alcotest.(check bool) "latch" true
+    (l.Loops.latches = [ lb ]);
+  Alcotest.(check int) "body size" 2 (Id.Set.cardinal l.Loops.blocks);
+  Alcotest.(check bool) "exit edge" true
+    (List.exists
+       (fun (src, dst) -> Id.equal src lh && Id.equal dst lx)
+       l.Loops.exits);
+  Alcotest.(check int) "depth" 1 l.Loops.depth;
+  Alcotest.(check bool) "no parent" true (l.Loops.parent = None)
+
+let test_forest_nested () =
+  let m, (h1, h2, b2, _) = nested_loop () in
+  let forest, _ = facts m (main_fn m) in
+  Alcotest.(check int) "two loops" 2 (List.length forest.Loops.loops);
+  let outer =
+    match Loops.header_of forest h1 with
+    | Some l -> l
+    | None -> Alcotest.fail "outer loop missing"
+  in
+  let inner =
+    match Loops.header_of forest h2 with
+    | Some l -> l
+    | None -> Alcotest.fail "inner loop missing"
+  in
+  Alcotest.(check int) "outer depth" 1 outer.Loops.depth;
+  Alcotest.(check int) "inner depth" 2 inner.Loops.depth;
+  Alcotest.(check bool) "inner parent" true
+    (inner.Loops.parent = Some h1);
+  Alcotest.(check bool) "inner body inside outer" true
+    (Id.Set.subset inner.Loops.blocks outer.Loops.blocks);
+  (match Loops.innermost_containing forest b2 with
+  | Some l -> Alcotest.(check bool) "innermost of b2" true (Id.equal l.Loops.header h2)
+  | None -> Alcotest.fail "b2 not in any loop")
+
+let test_forest_irreducible () =
+  let m = irreducible_cfg () in
+  let forest, _ = facts m (main_fn m) in
+  Alcotest.(check bool) "irreducible edge found" true
+    (forest.Loops.irreducible <> []);
+  Alcotest.(check bool) "not reducible" false (Loops.is_reducible forest)
+
+(* ------------------------------------------------------------------ *)
+(* Ranges and trip bounds                                              *)
+
+let test_trip_bound_phi_carried () =
+  let m, (_, lh, _, _) = counted_loop () in
+  let _, ranges = facts m (main_fn m) in
+  Alcotest.(check (option int)) "i < 10 step 1" (Some 10)
+    (Dataflow.Ranges.trip_bound ranges ~header:lh)
+
+let test_trip_bound_nested () =
+  let m, (h1, h2, _, _) = nested_loop () in
+  let _, ranges = facts m (main_fn m) in
+  Alcotest.(check (option int)) "outer" (Some 4)
+    (Dataflow.Ranges.trip_bound ranges ~header:h1);
+  Alcotest.(check (option int)) "inner" (Some 3)
+    (Dataflow.Ranges.trip_bound ranges ~header:h2)
+
+(* the clamped uniform bound is provable through the conditional-edge
+   refinement; the raw uniform bound is not *)
+let test_trip_bound_corpus () =
+  let check name expected =
+    let m = corpus_module name in
+    let fn = main_fn m in
+    let forest, ranges = facts m fn in
+    match forest.Loops.loops with
+    | [ l ] ->
+        Alcotest.(check (option int)) name expected
+          (Dataflow.Ranges.trip_bound ranges ~header:l.Loops.header)
+    | ls -> Alcotest.failf "%s: expected 1 loop in main, got %d" name (List.length ls)
+  in
+  check "loop_uniform_clamped" (Some 8);
+  check "loop_mode_clamped" (Some 4);
+  check "loop_uniform_raw" None
+
+(* soundness: every concrete SSA int value the interpreter binds lies
+   within its computed interval *)
+let interval_table (m : Module_ir.t) =
+  let tbl = Hashtbl.create 64 in
+  List.iter
+    (fun (fn : Func.t) ->
+      if fn.Func.blocks <> [] then begin
+        let _, ranges = facts m fn in
+        List.iter
+          (fun (id, itv) -> Hashtbl.replace tbl id itv)
+          (Dataflow.Ranges.known ranges)
+      end)
+    m.Module_ir.functions;
+  tbl
+
+let check_ranges_sound name m (input : Input.t) =
+  let tbl = interval_table m in
+  let bad = ref None in
+  let trace id v =
+    match (Hashtbl.find_opt tbl id, v) with
+    | Some itv, Value.VInt n ->
+        if
+          (not (Dataflow.Itv.mem (Int32.to_int n) itv))
+          && Option.is_none !bad
+        then bad := Some (id, n, itv)
+    | _ -> ()
+  in
+  for y = 0 to input.Input.height - 1 do
+    for x = 0 to input.Input.width - 1 do
+      ignore (Interp.run_fragment ~trace m input ~frag_x:x ~frag_y:y)
+    done
+  done;
+  match !bad with
+  | None -> ()
+  | Some (id, n, itv) ->
+      Alcotest.failf "%s: %s bound to %ld outside %s" name (Id.to_string id)
+        n
+        (Dataflow.Itv.to_string itv)
+
+let test_ranges_sound_on_corpus () =
+  List.iter
+    (fun (name, m) -> check_ranges_sound name m Corpus.default_input)
+    (Lazy.force Corpus.lowered_references @ Lazy.force loop_corpus)
+
+let prop_ranges_sound_on_generated =
+  QCheck.Test.make ~count:30
+    ~name:"range analysis sound vs Interp on generated modules"
+    QCheck.(int_bound 1_000_000)
+    (fun seed ->
+      let m = Generator.generate (Tbct.Rng.make seed) in
+      check_ranges_sound (Printf.sprintf "seed %d" seed) m
+        Generator.default_input;
+      true)
+
+(* ------------------------------------------------------------------ *)
+(* TV over the loop corpus                                             *)
+
+let test_tv_counted_corpus () =
+  List.iter
+    (fun name ->
+      let m = corpus_module name in
+      match Compilers.Optimizer.(run_tv standard) m with
+      | Error s -> Alcotest.failf "%s: pipeline crashed: %s" name s
+      | Ok report ->
+          List.iter
+            (fun (p, v) ->
+              match v with
+              | Compilers.Tv.Equivalent -> ()
+              | Compilers.Tv.Mismatch _ ->
+                  Alcotest.failf "%s: mismatch in %s" name
+                    (Compilers.Optimizer.show_pass_name p)
+              | Compilers.Tv.Abstained r ->
+                  Alcotest.failf "%s: %s abstained: %s" name
+                    (Compilers.Optimizer.show_pass_name p)
+                    r)
+            report.Compilers.Optimizer.tv_steps)
+    Corpus.counted_loop_names
+
+let test_tv_unbounded_abstains () =
+  let m = corpus_module "loop_uniform_raw" in
+  match Compilers.Optimizer.(run_tv standard) m with
+  | Error s -> Alcotest.failf "pipeline crashed: %s" s
+  | Ok report ->
+      Alcotest.(check bool) "no guilty pass" true
+        (report.Compilers.Optimizer.tv_guilty = None);
+      let labels =
+        List.filter_map
+          (fun (_, v) -> Compilers.Tv.abstain_label v)
+          report.Compilers.Optimizer.tv_steps
+      in
+      Alcotest.(check bool) "abstains with the loop-unbounded reason" true
+        (List.mem "loop-unbounded" labels)
+
+let test_reason_labels () =
+  Alcotest.(check string) "budget" "budget" (Symval.reason_label `Budget);
+  Alcotest.(check (list string)) "all labels"
+    [ "loop-unbounded"; "budget"; "dynamic-index"; "forced-unroll";
+      "unsupported"; "internal" ]
+    Symval.reason_labels
+
+(* the loop corpus itself is executable and lint-error-free *)
+let test_loop_corpus_well_defined () =
+  List.iter
+    (fun (name, m) ->
+      Alcotest.(check bool)
+        (name ^ " renders") true
+        (Interp.well_defined m Corpus.default_input);
+      match Lint.errors (Lint.check_module m) with
+      | [] -> ()
+      | f :: _ ->
+          Alcotest.failf "%s has lint errors: %s" name (Lint.to_string f))
+    (Lazy.force loop_corpus)
+
+(* ------------------------------------------------------------------ *)
+(* Loop-invariant code motion                                          *)
+
+let all_corpus () =
+  Lazy.force Corpus.lowered_references @ Lazy.force loop_corpus
+
+let test_hoist_preserves_semantics () =
+  List.iter
+    (fun (name, m) ->
+      let m' = Compilers.Optimizer.run [ Compilers.Optimizer.Hoist_invariant ] m in
+      Alcotest.(check bool) (name ^ " valid") true (Validate.is_valid m');
+      (match
+         ( Interp.render m Corpus.default_input,
+           Interp.render m' Corpus.default_input )
+       with
+      | Ok a, Ok b ->
+          Alcotest.(check bool) (name ^ " image unchanged") true
+            (Image.equal a b)
+      | _ -> Alcotest.failf "%s: render failed" name);
+      match Compilers.Tv.check_pass m m' with
+      | Compilers.Tv.Mismatch w ->
+          Alcotest.failf "%s: TV mismatch at %s" name w.Compilers.Tv.w_slot
+      | Compilers.Tv.Equivalent | Compilers.Tv.Abstained _ -> ())
+    (all_corpus ())
+
+(* the pass moves something: loop_counted recomputes gl_x / 8 every
+   iteration, which is invariant *)
+let test_hoist_moves_invariant_code () =
+  let m = corpus_module "loop_counted" in
+  let m' = Compilers.Optimizer.run [ Compilers.Optimizer.Hoist_invariant ] m in
+  Alcotest.(check bool) "module changed" false
+    (String.equal (Disasm.to_string m) (Disasm.to_string m'))
+
+let bug_flags =
+  { Compilers.Passes.no_bugs with Compilers.Passes.bug_hoist_loop_load = true }
+
+(* the injected LICM bug hoists the accumulator load past the loop header;
+   on a constant-bound loop TV unrolls concretely, catches the divergence
+   and blames the pass by name *)
+let test_hoist_bug_blamed () =
+  let m = corpus_module "loop_counted" in
+  match
+    Compilers.Optimizer.run_tv ~flags:bug_flags
+      [ Compilers.Optimizer.Hoist_invariant ] m
+  with
+  | Error s -> Alcotest.failf "pipeline crashed: %s" s
+  | Ok report ->
+      Alcotest.(check bool) "guilty pass named" true
+        (report.Compilers.Optimizer.tv_guilty
+        = Some Compilers.Optimizer.Hoist_invariant);
+      (* and it is a real miscompilation, not a TV artifact *)
+      let m' = Compilers.Passes.hoist_invariant bug_flags m in
+      match
+        ( Interp.render m Corpus.default_input,
+          Interp.render m' Corpus.default_input )
+      with
+      | Ok a, Ok b ->
+          Alcotest.(check bool) "images differ" false (Image.equal a b)
+      | _ -> Alcotest.fail "render failed"
+
+(* under forced loop exits (symbolic bound proven by the range analysis),
+   a divergence is downgraded to a forced-unroll abstention rather than
+   reported as a mismatch *)
+let test_forced_unroll_downgrade () =
+  let m = corpus_module "loop_uniform_clamped" in
+  let m' = Compilers.Passes.hoist_invariant bug_flags m in
+  match Compilers.Tv.check_pass m m' with
+  | Compilers.Tv.Mismatch _ ->
+      Alcotest.fail "mismatch under forced exits should be downgraded"
+  | v ->
+      Alcotest.(check (option string)) "forced-unroll label"
+        (Some "forced-unroll")
+        (Compilers.Tv.abstain_label v)
+
+(* ------------------------------------------------------------------ *)
+(* Engine: per-reason abstention counters                              *)
+
+let test_engine_abstain_counter () =
+  let e = Harness.Engine.create () in
+  let m = corpus_module "loop_uniform_raw" in
+  (* the engine short-circuits digest-identical pairs to Equivalent, so
+     give it a genuinely transformed [after] module *)
+  let m' = Compilers.Optimizer.run Compilers.Optimizer.standard m in
+  if String.equal (Digest.of_module m) (Digest.of_module m') then
+    Alcotest.fail "optimizing left the module unchanged";
+  (match Harness.Engine.tv_check e ~before:m ~after:m' with
+  | Compilers.Tv.Abstained _ -> ()
+  | _ -> Alcotest.fail "expected an abstention on the unbounded loop");
+  let stats = Harness.Engine.stats e in
+  Alcotest.(check (option int)) "counter bumped" (Some 1)
+    (List.assoc_opt "tv-abstain:loop-unbounded"
+       stats.Harness.Engine.counters)
+
+(* ------------------------------------------------------------------ *)
+(* Lint loop rules                                                     *)
+
+let has_rule rule sev findings =
+  List.exists
+    (fun (f : Lint.finding) ->
+      String.equal f.Lint.rule rule && f.Lint.severity = sev)
+    findings
+
+let test_lint_infinite_loop () =
+  let m, _ = endless_loop () in
+  Alcotest.(check bool) "infinite-loop error" true
+    (has_rule "infinite-loop" Lint.Error (Lint.check_module m))
+
+let test_lint_irreducible () =
+  let m = irreducible_cfg () in
+  Alcotest.(check bool) "irreducible-cfg warning" true
+    (has_rule "irreducible-cfg" Lint.Warning (Lint.check_module m))
+
+let test_lint_loop_invariant_code () =
+  (* plant a constant-operand add inside the counted loop's body *)
+  let b = Builder.create () in
+  let void_t = Builder.void_ty b in
+  let out = Builder.output_color b in
+  let fb, main, _ =
+    Builder.begin_function b ~name:"main" ~ret:void_t ~params:[]
+  in
+  let l0 = Builder.new_label fb in
+  let lh = Builder.new_label fb in
+  let lb = Builder.new_label fb in
+  let lx = Builder.new_label fb in
+  let zero = Builder.cint b 0 in
+  let one = Builder.cint b 1 in
+  let ten = Builder.cint b 10 in
+  let onef = Builder.cfloat b 1.0 in
+  Builder.start_block fb l0;
+  Builder.branch fb lh;
+  Builder.start_block fb lh;
+  let i = Builder.phi fb ~ty:(Builder.int_ty b) [ (zero, l0); (zero, lb) ] in
+  let cond = Builder.slt fb i ten in
+  Builder.branch_cond fb cond lb lx;
+  Builder.start_block fb lb;
+  let inv = Builder.fadd fb onef onef in
+  let i2 = Builder.iadd fb i one in
+  Builder.branch fb lh;
+  Builder.patch_phi fb ~phi:i ~pred:lb ~value:i2;
+  Builder.start_block fb lx;
+  let color =
+    Builder.composite fb ~ty:(Builder.vec4f b) [ onef; onef; onef; onef ]
+  in
+  Builder.store fb out color;
+  Builder.ret fb;
+  ignore (Builder.end_function fb);
+  let m = Builder.finish b ~entry:main in
+  ignore inv;
+  Alcotest.(check bool) "loop-invariant-code warning" true
+    (has_rule "loop-invariant-code" Lint.Warning (Lint.check_module m))
+
+(* ------------------------------------------------------------------ *)
+
+let qcheck tests = List.map QCheck_alcotest.to_alcotest tests
+
+let () =
+  Alcotest.run "loops"
+    [
+      ( "forest",
+        [
+          Alcotest.test_case "simple counted loop" `Quick test_forest_simple;
+          Alcotest.test_case "nested loops" `Quick test_forest_nested;
+          Alcotest.test_case "irreducible region" `Quick
+            test_forest_irreducible;
+        ] );
+      ( "ranges",
+        [
+          Alcotest.test_case "phi-carried trip bound" `Quick
+            test_trip_bound_phi_carried;
+          Alcotest.test_case "nested trip bounds" `Quick
+            test_trip_bound_nested;
+          Alcotest.test_case "corpus trip bounds" `Quick
+            test_trip_bound_corpus;
+          Alcotest.test_case "sound on the corpus" `Quick
+            test_ranges_sound_on_corpus;
+        ]
+        @ qcheck [ prop_ranges_sound_on_generated ] );
+      ( "tv",
+        [
+          Alcotest.test_case "counted corpus fully covered" `Quick
+            test_tv_counted_corpus;
+          Alcotest.test_case "unbounded loop abstains" `Quick
+            test_tv_unbounded_abstains;
+          Alcotest.test_case "reason labels" `Quick test_reason_labels;
+          Alcotest.test_case "loop corpus well-defined" `Quick
+            test_loop_corpus_well_defined;
+          Alcotest.test_case "engine abstain counters" `Quick
+            test_engine_abstain_counter;
+        ] );
+      ( "hoist",
+        [
+          Alcotest.test_case "preserves semantics" `Quick
+            test_hoist_preserves_semantics;
+          Alcotest.test_case "moves invariant code" `Quick
+            test_hoist_moves_invariant_code;
+          Alcotest.test_case "injected bug blamed" `Quick
+            test_hoist_bug_blamed;
+          Alcotest.test_case "forced-unroll downgrade" `Quick
+            test_forced_unroll_downgrade;
+        ] );
+      ( "lint",
+        [
+          Alcotest.test_case "infinite-loop" `Quick test_lint_infinite_loop;
+          Alcotest.test_case "irreducible-cfg" `Quick test_lint_irreducible;
+          Alcotest.test_case "loop-invariant-code" `Quick
+            test_lint_loop_invariant_code;
+        ] );
+    ]
