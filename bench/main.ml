@@ -795,6 +795,117 @@ let loop_tv_perf () =
   Printf.printf "loop TV section written to BENCH_PR7.json\n"
 
 (* ------------------------------------------------------------------ *)
+(* Campaign service: fleet throughput and the shared-engine payoff      *)
+
+let service_perf () =
+  section "Campaign service: fleet throughput & shared-engine payoff";
+  let seeds = 40 in
+  let timed f =
+    let t0 = Unix.gettimeofday () in
+    let r = f () in
+    (r, Unix.gettimeofday () -. t0)
+  in
+  let spec =
+    {
+      Tbct_service.Protocol.sub_tool = Harness.Pipeline.Spirv_fuzz_tool;
+      sub_seeds = seeds;
+      sub_targets = [ "SwiftShader" ];
+      sub_weights = "";
+      sub_tv = false;
+    }
+  in
+  (* drive [n] identical jobs through one scheduler (one shared engine and
+     pool, as the daemon would) and report fleet-level throughput *)
+  let run_fleet n =
+    let dir =
+      Filename.concat
+        (Filename.get_temp_dir_name ())
+        (Printf.sprintf "tbct-bench-serve-%d-%d" (Unix.getpid ()) n)
+    in
+    rm_rf dir;
+    Fun.protect
+      ~finally:(fun () -> rm_rf dir)
+      (fun () ->
+        Harness.Pool.with_pool ~workers:4 (fun pool ->
+            let sched = Tbct_service.Scheduler.create ~root:dir ~pool () in
+            Fun.protect
+              ~finally:(fun () -> Tbct_service.Scheduler.close sched)
+              (fun () ->
+                for _ = 1 to n do
+                  match Tbct_service.Scheduler.submit sched spec with
+                  | Ok _ -> ()
+                  | Error msg -> failwith ("bench submit: " ^ msg)
+                done;
+                let (), wall =
+                  timed (fun () ->
+                      while Tbct_service.Scheduler.runnable sched do
+                        ignore (Tbct_service.Scheduler.step sched)
+                      done)
+                in
+                let hit_lists =
+                  List.map
+                    (fun j ->
+                      match Tbct_service.Scheduler.hits sched j with
+                      | Ok (hs, true) -> hs
+                      | Ok (_, false) -> failwith "bench: job incomplete"
+                      | Error msg -> failwith ("bench hits: " ^ msg))
+                    (Tbct_service.Scheduler.jobs sched)
+                in
+                let stats =
+                  Harness.Engine.stats (Tbct_service.Scheduler.engine sched)
+                in
+                ( wall,
+                  hit_lists,
+                  stats,
+                  Tbct_service.Scheduler.cross_job_memo_hits sched ))))
+  in
+  let report label n (wall, _, (s : Harness.Engine.stats), cross) =
+    Printf.printf
+      "%s: %.2fs (%.2f jobs/s), %d runs executed, %d saved by the shared \
+       engine (%.1f%% hit rate), %d cross-job memo hits\n"
+      label wall
+      (float_of_int n /. Float.max 1e-9 wall)
+      s.Harness.Engine.runs_executed s.Harness.Engine.runs_saved
+      (100.0 *. s.Harness.Engine.hit_rate)
+      cross
+  in
+  let single = run_fleet 1 in
+  let fleet = run_fleet 4 in
+  report (Printf.sprintf "1 job   (%d seeds)" seeds) 1 single;
+  report (Printf.sprintf "4 jobs  (%d seeds each, one engine)" seeds) 4 fleet;
+  let _, single_hits, _, _ = single in
+  let _, fleet_hits, _, _ = fleet in
+  let reference = List.hd single_hits in
+  let identical = List.for_all (fun hs -> hs = reference) fleet_hits in
+  Printf.printf
+    "all fleet jobs' hit lists identical to the lone job's: %b\n" identical;
+  let fleet_json n (wall, _, (s : Harness.Engine.stats), cross) =
+    Tbct_service.Json.Obj
+      [
+        ("jobs", Tbct_service.Json.Int n);
+        ("wall_s", Tbct_service.Json.Float wall);
+        ("jobs_per_s", Tbct_service.Json.Float (float_of_int n /. Float.max 1e-9 wall));
+        ("runs_executed", Tbct_service.Json.Int s.Harness.Engine.runs_executed);
+        ("runs_saved", Tbct_service.Json.Int s.Harness.Engine.runs_saved);
+        ("hit_rate", Tbct_service.Json.Float s.Harness.Engine.hit_rate);
+        ("cross_job_memo_hits", Tbct_service.Json.Int cross);
+      ]
+  in
+  let doc =
+    Tbct_service.Json.Obj
+      [
+        ("seeds_per_job", Tbct_service.Json.Int seeds);
+        ("single", fleet_json 1 single);
+        ("fleet", fleet_json 4 fleet);
+        ("hits_identical", Tbct_service.Json.Bool identical);
+      ]
+  in
+  let oc = open_out "BENCH_PR8.json" in
+  output_string oc (Tbct_service.Json.to_string doc ^ "\n");
+  close_out oc;
+  Printf.printf "service perf section written to BENCH_PR8.json\n"
+
+(* ------------------------------------------------------------------ *)
 (* Bechamel micro-benchmarks                                           *)
 
 let perf_suite () =
@@ -865,8 +976,8 @@ let () =
       ("--perf", Arg.Set perf, "also run the Bechamel micro-benchmarks");
       ( "--perf-smoke",
         Arg.Set perf_smoke,
-        "only the quick registry and loop-TV perf sections (writes \
-         BENCH_PR6.json and BENCH_PR7.json)" );
+        "only the quick registry, loop-TV and service perf sections (writes \
+         BENCH_PR6.json, BENCH_PR7.json and BENCH_PR8.json)" );
       ("--ablate", Arg.Set ablate, "also run the design ablations");
       ("--quick", Arg.Unit (fun () -> seeds := 60), "small quick run");
       ("--no-campaign", Arg.Set skip_campaign, "only the deterministic figures");
@@ -877,6 +988,8 @@ let () =
     registry_perf ();
     print_newline ();
     loop_tv_perf ();
+    print_newline ();
+    service_perf ();
     print_newline ();
     exit 0
   end;
@@ -905,6 +1018,7 @@ let () =
     tv_perf ();
     registry_perf ();
     loop_tv_perf ();
+    service_perf ();
     perf_suite ()
   end;
   print_newline ()

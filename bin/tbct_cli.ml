@@ -882,12 +882,35 @@ let campaign_cmd =
       | Some dir ->
           let cas = Harness.Persist.open_cas ~fsync ~dir () in
           let engine = Harness.Engine.create ~store:cas () in
+          (* Ctrl-C checkpoints instead of killing: the handler flips one
+             atomic, the campaign's stop hook sees it before each fresh
+             seed, and everything already finished is in the journal — the
+             same path the service daemon uses, so `--resume` completes
+             the run bit-identical to an uninterrupted one. *)
+          let interrupted = Atomic.make false in
+          let prev_sigint =
+            Sys.signal Sys.sigint
+              (Sys.Signal_handle (fun _ -> Atomic.set interrupted true))
+          in
           let outcome =
-            or_contract_violation (fun () ->
-                Harness.Persist.run_campaign ~scale ~domains ~engine
-                  ~check_contracts ~tv ~weights ~resume ~fsync ~dir tool)
+            Fun.protect
+              ~finally:(fun () -> Sys.set_signal Sys.sigint prev_sigint)
+              (fun () ->
+                or_contract_violation (fun () ->
+                    Harness.Persist.run_campaign ~scale ~domains ~engine
+                      ~check_contracts ~tv ~weights ~resume ~fsync
+                      ~stop:(fun () -> Atomic.get interrupted)
+                      ~dir tool))
           in
           let o = or_die outcome in
+          if not o.Harness.Persist.completed then begin
+            Printf.printf
+              "interrupted: %d seed(s) journaled in %s; rerun with --resume \
+               to finish (bit-identical to an uninterrupted run)\n"
+              (o.Harness.Persist.seeds_skipped + o.Harness.Persist.seeds_run)
+              dir;
+            exit 130
+          end;
           if resume then begin
             Printf.printf "resume: %d seed(s) replayed from the journal%s, %d executed\n"
               o.Harness.Persist.seeds_skipped
@@ -910,13 +933,10 @@ let campaign_cmd =
     | None -> ()
     | Some path ->
         let oc = open_out_bin path in
+        (* the same encoder the service's hits verb uses, so batch and
+           daemon output are byte-comparable by construction *)
         List.iter
-          (fun (h : Harness.Experiments.hit) ->
-            Printf.fprintf oc "%d\t%s\t%s\t%S\t%s\n" h.Harness.Experiments.hit_seed
-              h.Harness.Experiments.hit_ref h.Harness.Experiments.hit_target
-              h.Harness.Experiments.hit_detection.Harness.Pipeline.signature
-              (if h.Harness.Experiments.hit_detection.Harness.Pipeline.via_opt
-               then "opt" else "direct"))
+          (fun h -> output_string oc (Harness.Persist.hit_line h ^ "\n"))
           hits;
         close_out oc;
         Printf.printf "hit list written to %s\n" path);
@@ -948,25 +968,37 @@ let store_cmd =
          & info [] ~docv:"DIR" ~doc:"The campaign store directory.")
   in
   let stats_cmd =
-    let run dir =
+    let run dir json =
       let cas = Harness.Persist.open_cas ~dir () in
       let s = Tbct_store.Cas.stats cas in
-      Printf.printf "cas: %d object(s), %d bytes in %s\n"
-        s.Tbct_store.Cas.objects s.Tbct_store.Cas.bytes
-        (Tbct_store.Cas.root cas);
       let replay = Tbct_store.Journal.replay ~path:(Harness.Persist.journal_path dir) in
-      Printf.printf "journal: %d valid record(s)%s\n"
-        (List.length replay.Tbct_store.Journal.records)
-        (if replay.Tbct_store.Journal.dropped then
-           " + a torn trailing record (killed campaign; resumable)"
-         else "");
       let bank = Tbct_store.Bugbank.load ~dir:(Harness.Persist.bugbank_dir dir) in
-      Printf.printf "bugbank: %d signature(s)\n" (Tbct_store.Bugbank.size bank)
+      if json then
+        Printf.printf
+          "{\"cas\": {\"objects\": %d, \"bytes\": %d, \"root\": %s}, \
+           \"journal\": {\"records\": %d, \"torn_tail\": %b}, \
+           \"bugbank\": {\"signatures\": %d}}\n"
+          s.Tbct_store.Cas.objects s.Tbct_store.Cas.bytes
+          (json_string (Tbct_store.Cas.root cas))
+          (List.length replay.Tbct_store.Journal.records)
+          replay.Tbct_store.Journal.dropped
+          (Tbct_store.Bugbank.size bank)
+      else begin
+        Printf.printf "cas: %d object(s), %d bytes in %s\n"
+          s.Tbct_store.Cas.objects s.Tbct_store.Cas.bytes
+          (Tbct_store.Cas.root cas);
+        Printf.printf "journal: %d valid record(s)%s\n"
+          (List.length replay.Tbct_store.Journal.records)
+          (if replay.Tbct_store.Journal.dropped then
+             " + a torn trailing record (killed campaign; resumable)"
+           else "");
+        Printf.printf "bugbank: %d signature(s)\n" (Tbct_store.Bugbank.size bank)
+      end
     in
     Cmd.v
       (Cmd.info "stats"
          ~doc:"Report the store's cache size, journal state and bug bank.")
-      Term.(const run $ dir_arg)
+      Term.(const run $ dir_arg $ json_arg)
   in
   let gc_cmd =
     let max_bytes_arg =
@@ -1091,7 +1123,7 @@ let dedup_cmd =
                 Harness.Experiments.dd_module = m;
               })
   in
-  let run seeds cap domains bank tests_out emit_dir =
+  let run seeds cap domains bank tests_out emit_dir json =
     let scale =
       {
         Harness.Experiments.default_scale with
@@ -1099,7 +1131,11 @@ let dedup_cmd =
         Harness.Experiments.max_reductions_per_signature = cap;
       }
     in
-    Printf.printf "fuzzing %d seeds against every target...
+    (* --json promises exactly one JSON document on stdout *)
+    let say fmt =
+      if json then Printf.ifprintf Stdlib.stdout fmt else Printf.printf fmt
+    in
+    say "fuzzing %d seeds against every target...
 %!" seeds;
     let engine = Harness.Engine.create () in
     (* one pool serves both phases: campaign seeds, then per-hit reductions *)
@@ -1117,7 +1153,7 @@ let dedup_cmd =
                h.Harness.Experiments.hit_detection.Harness.Pipeline.signature))
         hits
     in
-    Printf.printf "%d detections (%d crashes); reducing and deduplicating...
+    say "%d detections (%d crashes); reducing and deduplicating...
 %!"
       (List.length hits) (List.length crashes);
     (* the bank's CAS holds previously-minimized modules: a hit whose
@@ -1144,7 +1180,7 @@ let dedup_cmd =
         ~hits ()
     in
     if Atomic.get recalled > 0 then
-      Printf.printf "bank: %d reduced test(s) recalled without re-reducing\n"
+      say "bank: %d reduced test(s) recalled without re-reducing\n"
         (Atomic.get recalled);
     (match tests_out with
     | None -> ()
@@ -1157,7 +1193,7 @@ let dedup_cmd =
               (String.concat "," d.Harness.Experiments.dd_types))
           tests;
         close_out oc;
-        Printf.printf "reduced tests written to %s\n" path);
+        say "reduced tests written to %s\n" path);
     (match emit_dir with
     | None -> ()
     | Some dir ->
@@ -1183,26 +1219,54 @@ let dedup_cmd =
               (Spirv_ir.Disasm.to_string d.Harness.Experiments.dd_module);
             close_out oc)
           tests;
-        Printf.printf "%d minimized module(s) written to %s\n"
+        say "%d minimized module(s) written to %s\n"
           (List.length tests) dir);
     let rows, total =
       Harness.Experiments.table4 ~scale ~engine ~tests ~hits:[| hits; []; [] |] ()
     in
-    Printf.printf "%-14s %6s %6s %8s %9s %6s
+    if not json then begin
+      Printf.printf "%-14s %6s %6s %8s %9s %6s
 " "Target" "Tests" "Sigs" "Reports"
-      "Distinct" "Dups";
-    List.iter
-      (fun (r : Harness.Experiments.table4_row) ->
-        if r.Harness.Experiments.t4_tests > 0 then
-          Printf.printf "%-14s %6d %6d %8d %9d %6d
+        "Distinct" "Dups";
+      List.iter
+        (fun (r : Harness.Experiments.table4_row) ->
+          if r.Harness.Experiments.t4_tests > 0 then
+            Printf.printf "%-14s %6d %6d %8d %9d %6d
 " r.Harness.Experiments.t4_target
-            r.Harness.Experiments.t4_tests r.Harness.Experiments.t4_sigs
-            r.Harness.Experiments.t4_reports r.Harness.Experiments.t4_distinct
-            r.Harness.Experiments.t4_dups)
-      (rows @ [ total ]);
-    print_endline (Harness.Engine.stats_to_string (Harness.Engine.stats engine));
+              r.Harness.Experiments.t4_tests r.Harness.Experiments.t4_sigs
+              r.Harness.Experiments.t4_reports r.Harness.Experiments.t4_distinct
+              r.Harness.Experiments.t4_dups)
+        (rows @ [ total ]);
+      print_endline
+        (Harness.Engine.stats_to_string (Harness.Engine.stats engine))
+    end;
+    let row_json (r : Harness.Experiments.table4_row) =
+      Printf.sprintf
+        "{\"target\": %s, \"tests\": %d, \"sigs\": %d, \"reports\": %d, \
+         \"distinct\": %d, \"dups\": %d}"
+        (json_string r.Harness.Experiments.t4_target)
+        r.Harness.Experiments.t4_tests r.Harness.Experiments.t4_sigs
+        r.Harness.Experiments.t4_reports r.Harness.Experiments.t4_distinct
+        r.Harness.Experiments.t4_dups
+    in
+    let emit_json ~bank_json =
+      if json then
+        Printf.printf
+          "{\"seeds\": %d, \"detections\": %d, \"crashes\": %d, \"rows\": \
+           [%s], \"total\": %s%s}\n"
+          seeds (List.length hits) (List.length crashes)
+          (String.concat ", "
+             (List.filter_map
+                (fun (r : Harness.Experiments.table4_row) ->
+                  if r.Harness.Experiments.t4_tests > 0 then Some (row_json r)
+                  else None)
+                rows))
+          (row_json total) bank_json
+    in
     match (bank, bank_cas) with
-    | None, _ | _, None -> 0
+    | None, _ | _, None ->
+        emit_json ~bank_json:"";
+        0
     | Some dir, Some cas ->
         let bank =
           Tbct_store.Bugbank.load ~dir:(Harness.Persist.bugbank_dir dir)
@@ -1236,11 +1300,18 @@ let dedup_cmd =
             | `Known -> incr known)
           tests;
         Tbct_store.Bugbank.save bank;
-        Printf.printf
+        say
           "bug bank %s: %d newly-banked signature(s), %d test(s) matched \
            already-known signatures; %d reduced module(s) spilled to the \
            store; %d signature(s) banked in total\n"
           dir !fresh !known !spilled (Tbct_store.Bugbank.size bank);
+        emit_json
+          ~bank_json:
+            (Printf.sprintf
+               ", \"bank\": {\"dir\": %s, \"new\": %d, \"known\": %d, \
+                \"spilled\": %d, \"size\": %d}"
+               (json_string dir) !fresh !known !spilled
+               (Tbct_store.Bugbank.size bank));
         if !fresh > 0 then 0 else 3
   in
   Cmd.v
@@ -1249,9 +1320,368 @@ let dedup_cmd =
          "Fuzz, reduce every crash, and recommend a deduplicated subset for           investigation (the Figure 6 algorithm).  With $(b,--bank), also \
           record signatures in a cross-campaign bug bank, spill each \
           minimized module into the store's CAS, and recall already-banked \
-          test cases without re-reducing them.")
-    Term.(const (fun s c d b t e -> Stdlib.exit (run s c d b t e)) $ seeds_arg
-          $ cap_arg $ domains_arg $ bank_arg $ tests_out_arg $ emit_arg)
+          test cases without re-reducing them.  With $(b,--json), one JSON \
+          document replaces the tables.")
+    Term.(const (fun s c d b t e j -> Stdlib.exit (run s c d b t e j))
+          $ seeds_arg $ cap_arg $ domains_arg $ bank_arg $ tests_out_arg
+          $ emit_arg $ json_arg)
+
+(* ------------------------------------------------------------------ *)
+(* serve + the fleet client commands                                    *)
+
+module Service = Tbct_service
+
+let socket_arg =
+  Arg.(required & opt (some string) None
+       & info [ "socket" ] ~docv:"PATH"
+           ~doc:"The daemon's Unix socket path (keep it short: the kernel \
+                 caps Unix socket paths at ~100 bytes).")
+
+let job_pos_arg =
+  Arg.(required & pos 0 (some string) None
+       & info [] ~docv:"JOB" ~doc:"A job id, as printed by submit/jobs.")
+
+let with_conn socket f =
+  match Service.Client.connect ~path:socket with
+  | Error e ->
+      prerr_endline ("error: " ^ e);
+      exit 1
+  | Ok conn ->
+      Fun.protect ~finally:(fun () -> Service.Client.close conn)
+        (fun () -> f conn)
+
+let request_or_die conn req =
+  match Service.Client.request conn req with
+  | Error e ->
+      prerr_endline ("error: " ^ e);
+      exit 1
+  | Ok reply -> (
+      match Service.Json.mem_bool "ok" reply with
+      | Some true -> reply
+      | _ ->
+          prerr_endline
+            ("error: "
+            ^ Option.value ~default:"request refused"
+                (Service.Json.mem_str "error" reply));
+          exit 1)
+
+let serve_cmd =
+  let store_arg =
+    Arg.(required & opt (some string) None
+         & info [ "store" ] ~docv:"DIR"
+             ~doc:"The store directory: shared run cache (cas/), job queue \
+                   and bug bank (jobs/), one campaign journal per job \
+                   (jobs/JOB/).")
+  in
+  let domains_arg =
+    Arg.(value & opt int 1
+         & info [ "domains" ] ~docv:"N"
+             ~doc:"Worker domains in the shared pool all jobs multiplex \
+                   over.")
+  in
+  let quantum_arg =
+    Arg.(value & opt int 8
+         & info [ "quantum" ] ~docv:"N"
+             ~doc:"Fresh seeds per scheduler slice: smaller interleaves \
+                   jobs finer, larger amortizes journal replay better.")
+  in
+  let fsync_arg =
+    Arg.(value & flag
+         & info [ "fsync" ]
+             ~doc:"fsync every journal record and store write.")
+  in
+  let run store socket domains quantum fsync =
+    match
+      Service.Server.run ~fsync ~quantum ~root:store ~socket ~domains ()
+    with
+    | Ok () -> print_endline "daemon stopped (jobs checkpointed)"
+    | Error e ->
+        prerr_endline ("error: " ^ e);
+        exit 1
+  in
+  Cmd.v
+    (Cmd.info "serve"
+       ~doc:"Run the campaign fleet daemon: a job queue of campaigns \
+             multiplexed fairly over one shared engine and domain pool, \
+             serving submit/status/attach/cancel/drain/shutdown over a \
+             Unix socket.  SIGINT/SIGTERM (and the shutdown verb) \
+             checkpoint every in-flight campaign through its journal; a \
+             restarted daemon resumes each job bit-identical to an \
+             uninterrupted run.")
+    Term.(const run $ store_arg $ socket_arg $ domains_arg $ quantum_arg
+          $ fsync_arg)
+
+let submit_cmd =
+  let tool_arg =
+    Arg.(value & opt string "spirv-fuzz"
+         & info [ "tool" ] ~doc:"spirv-fuzz | spirv-fuzz-simple | glsl-fuzz")
+  in
+  let seeds_arg =
+    Arg.(value & opt int 100 & info [ "seeds" ] ~docv:"N" ~doc:"Campaign size.")
+  in
+  let targets_arg =
+    Arg.(value & opt (some string) None
+         & info [ "targets" ] ~docv:"A,B,..."
+             ~doc:"Comma-separated target names (default: every target).")
+  in
+  let weights_arg =
+    Arg.(value & opt string ""
+         & info [ "weights" ] ~docv:"FAMILY=N,..."
+             ~doc:"Per-family sampling weights (campaign --weights syntax).")
+  in
+  let tv_arg =
+    Arg.(value & flag
+         & info [ "tv" ] ~doc:"Run the translation validator as a second \
+                               oracle.")
+  in
+  let run socket tool seeds targets weights tv =
+    let sub_tool =
+      match Harness.Pipeline.tool_of_name tool with
+      | Some t -> t
+      | None ->
+          prerr_endline ("unknown tool " ^ tool);
+          exit 1
+    in
+    let sub_targets =
+      match targets with
+      | None -> []
+      | Some s ->
+          List.filter
+            (fun t -> t <> "")
+            (List.map String.trim (String.split_on_char ',' s))
+    in
+    let spec =
+      {
+        Service.Protocol.sub_tool;
+        sub_seeds = seeds;
+        sub_targets;
+        sub_weights = weights;
+        sub_tv = tv;
+      }
+    in
+    with_conn socket @@ fun conn ->
+    let reply = request_or_die conn (Service.Protocol.Submit spec) in
+    match Service.Json.mem_str "job" reply with
+    | Some id -> print_endline id
+    | None -> print_endline "submitted"
+  in
+  Cmd.v
+    (Cmd.info "submit"
+       ~doc:"Submit a campaign to a running daemon; prints the job id.")
+    Term.(const run $ socket_arg $ tool_arg $ seeds_arg $ targets_arg
+          $ weights_arg $ tv_arg)
+
+let attach_cmd =
+  let run socket id =
+    with_conn socket @@ fun conn ->
+    let on_event v =
+      match Service.Json.mem_str "event" v with
+      | Some "seed" ->
+          Printf.printf "seed %d done (%d/%d)\n%!"
+            (Option.value ~default:(-1) (Service.Json.mem_int "seed" v))
+            (Option.value ~default:0 (Service.Json.mem_int "seeds_done" v))
+            (Option.value ~default:0 (Service.Json.mem_int "seeds" v))
+      | Some "hit" ->
+          Printf.printf "hit\t%s%s\n%!"
+            (Option.value ~default:"" (Service.Json.mem_str "line" v))
+            (if Service.Json.mem_bool "new_signature" v = Some true then
+               "\tNEW"
+             else "")
+      | Some ev -> Printf.printf "%s\n%!" ev
+      | None -> (
+          (* the initial snapshot reply *)
+          match Service.Json.member "job" v with
+          | Some j ->
+              Printf.printf "attached to %s (%s, %d/%d seeds)\n%!"
+                (Option.value ~default:id (Service.Json.mem_str "id" j))
+                (Option.value ~default:"?" (Service.Json.mem_str "state" j))
+                (Option.value ~default:0 (Service.Json.mem_int "seeds_done" j))
+                (Option.value ~default:0 (Service.Json.mem_int "seeds" j))
+          | None -> ())
+    in
+    match Service.Client.stream conn (Service.Protocol.Attach id) ~on_event with
+    | Error e ->
+        prerr_endline ("error: " ^ e);
+        exit 1
+    | Ok last -> (
+        match Service.Json.mem_bool "ok" last with
+        | Some false ->
+            prerr_endline
+              ("error: "
+              ^ Option.value ~default:"attach refused"
+                  (Service.Json.mem_str "error" last));
+            exit 1
+        | _ ->
+            let state =
+              Option.value ~default:"?" (Service.Json.mem_str "state" last)
+            in
+            Printf.printf "job %s: %s\n" id state;
+            if state <> "done" then exit 4)
+  in
+  Cmd.v
+    (Cmd.info "attach"
+       ~doc:"Stream a job's live progress and hit feed until it finishes \
+             (exit 4 if it ended cancelled).")
+    Term.(const run $ socket_arg $ job_pos_arg)
+
+let jobs_cmd =
+  let run socket json =
+    with_conn socket @@ fun conn ->
+    let reply = request_or_die conn Service.Protocol.Jobs in
+    if json then print_endline (Service.Json.to_string reply)
+    else
+      match Option.bind (Service.Json.member "jobs" reply) Service.Json.to_list with
+      | None | Some [] -> print_endline "no jobs"
+      | Some jobs ->
+          List.iter
+            (fun j ->
+              Printf.printf "%-8s %-10s %-18s %5d/%-5d %4d hit(s)\n"
+                (Option.value ~default:"?" (Service.Json.mem_str "id" j))
+                (Option.value ~default:"?" (Service.Json.mem_str "state" j))
+                (Option.value ~default:"?" (Service.Json.mem_str "tool" j))
+                (Option.value ~default:0 (Service.Json.mem_int "seeds_done" j))
+                (Option.value ~default:0 (Service.Json.mem_int "seeds" j))
+                (Option.value ~default:0 (Service.Json.mem_int "hits" j)))
+            jobs
+  in
+  Cmd.v
+    (Cmd.info "jobs" ~doc:"List the daemon's jobs.")
+    Term.(const run $ socket_arg $ json_arg)
+
+let status_cmd =
+  let job_arg =
+    Arg.(value & opt (some string) None
+         & info [ "job" ] ~docv:"JOB" ~doc:"Status of one job only.")
+  in
+  let run socket job json =
+    with_conn socket @@ fun conn ->
+    let reply = request_or_die conn (Service.Protocol.Status job) in
+    if json then print_endline (Service.Json.to_string reply)
+    else
+      match job with
+      | Some id -> (
+          match Service.Json.member "job" reply with
+          | None -> print_endline "no such job"
+          | Some j ->
+              Printf.printf "%s: %s, %d/%d seeds, %d hit(s) (%d new), %d \
+                             run(s), %d memo hit(s) (%d cross-job)\n"
+                id
+                (Option.value ~default:"?" (Service.Json.mem_str "state" j))
+                (Option.value ~default:0 (Service.Json.mem_int "seeds_done" j))
+                (Option.value ~default:0 (Service.Json.mem_int "seeds" j))
+                (Option.value ~default:0 (Service.Json.mem_int "hits" j))
+                (Option.value ~default:0
+                   (Service.Json.mem_int "new_signatures" j))
+                (Option.value ~default:0
+                   (Service.Json.mem_int "runs_executed" j))
+                (Option.value ~default:0 (Service.Json.mem_int "memo_hits" j))
+                (Option.value ~default:0
+                   (Service.Json.mem_int "cross_memo_hits" j)))
+      | None ->
+          let jobs =
+            Option.value ~default:[]
+              (Option.bind (Service.Json.member "jobs" reply)
+                 Service.Json.to_list)
+          in
+          let count st =
+            List.length
+              (List.filter
+                 (fun j -> Service.Json.mem_str "state" j = Some st)
+                 jobs)
+          in
+          Printf.printf
+            "%d job(s): %d queued, %d running, %d done, %d cancelled\n"
+            (List.length jobs) (count "queued") (count "running")
+            (count "done") (count "cancelled");
+          Printf.printf "cross-job memo hits: %d\n"
+            (Option.value ~default:0
+               (Service.Json.mem_int "cross_job_memo_hits" reply));
+          (match Service.Json.member "engine" reply with
+          | Some e ->
+              Printf.printf "engine: %d run(s), %d saved\n"
+                (Option.value ~default:0
+                   (Service.Json.mem_int "runs_executed" e))
+                (Option.value ~default:0 (Service.Json.mem_int "runs_saved" e))
+          | None -> ())
+  in
+  Cmd.v
+    (Cmd.info "status"
+       ~doc:"Daemon or per-job status; $(b,--json) dumps the full \
+             engine/pool statistics.")
+    Term.(const run $ socket_arg $ job_arg $ json_arg)
+
+let hits_cmd =
+  let out_arg =
+    Arg.(value & opt (some string) None
+         & info [ "o"; "output" ] ~docv:"FILE"
+             ~doc:"Write here instead of stdout (same format as campaign \
+                   --hits-out, byte-comparable).")
+  in
+  let run socket id out =
+    with_conn socket @@ fun conn ->
+    let reply = request_or_die conn (Service.Protocol.Hits id) in
+    let completed =
+      Service.Json.mem_bool "completed" reply = Some true
+    in
+    let lines =
+      List.filter_map Service.Json.to_str
+        (Option.value ~default:[]
+           (Option.bind (Service.Json.member "hits" reply)
+              Service.Json.to_list))
+    in
+    (match out with
+    | None -> List.iter print_endline lines
+    | Some path ->
+        let oc = open_out_bin path in
+        List.iter (fun l -> output_string oc (l ^ "\n")) lines;
+        close_out oc);
+    if not completed then begin
+      prerr_endline "note: campaign incomplete; this is a checkpoint prefix";
+      exit 5
+    end
+  in
+  Cmd.v
+    (Cmd.info "hits"
+       ~doc:"Fetch a job's hit list (bit-identical to what an \
+             uninterrupted batch campaign at the same parameters writes \
+             with --hits-out).  Exit 5 if the job has not finished.")
+    Term.(const run $ socket_arg $ job_pos_arg $ out_arg)
+
+let cancel_cmd =
+  let run socket id =
+    with_conn socket @@ fun conn ->
+    ignore (request_or_die conn (Service.Protocol.Cancel id) : Service.Json.t);
+    Printf.printf "cancelled %s\n" id
+  in
+  Cmd.v
+    (Cmd.info "cancel" ~doc:"Cancel a queued or running job.")
+    Term.(const run $ socket_arg $ job_pos_arg)
+
+let drain_cmd =
+  let run socket =
+    with_conn socket @@ fun conn ->
+    ignore (request_or_die conn Service.Protocol.Drain : Service.Json.t);
+    print_endline "draining: no new submissions; daemon exits when all \
+                   jobs finish"
+  in
+  Cmd.v
+    (Cmd.info "drain"
+       ~doc:"Stop accepting submissions and let the daemon exit once \
+             every job is terminal.")
+    Term.(const run $ socket_arg)
+
+let shutdown_cmd =
+  let run socket =
+    with_conn socket @@ fun conn ->
+    ignore (request_or_die conn Service.Protocol.Shutdown : Service.Json.t);
+    print_endline "daemon stopping (in-flight campaigns checkpointed)"
+  in
+  Cmd.v
+    (Cmd.info "shutdown"
+       ~doc:"Checkpoint every in-flight campaign and stop the daemon; a \
+             later serve on the same store resumes each job \
+             bit-identically.")
+    Term.(const run $ socket_arg)
 
 (* --verbose works on every subcommand: it is stripped from argv before
    dispatch and turns on debug logging for the tbct.* sources *)
@@ -1273,5 +1703,6 @@ let () =
             validate_cmd; lint_cmd; tv_cmd; analyze_cmd; disasm_cmd;
             render_cmd; run_cmd; targets_cmd;
             transformations_cmd; fuzz_cmd; hunt_cmd; campaign_cmd; dedup_cmd;
-            store_cmd;
+            store_cmd; serve_cmd; submit_cmd; attach_cmd; jobs_cmd;
+            status_cmd; hits_cmd; cancel_cmd; drain_cmd; shutdown_cmd;
           ]))

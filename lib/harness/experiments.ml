@@ -89,6 +89,7 @@ let references_for (tool : Pipeline.tool) =
 let run_campaign ?(scale = default_scale) ?(targets = Compilers.Target.all)
     ?(domains = 1) ?pool ?engine ?(check_contracts = false) ?(tv = false)
     ?(weights = []) ?(skip = fun (_ : int) -> (None : hit list option))
+    ?(stop = fun () -> false)
     ?(on_seed = fun (_ : int) (_ : hit list) -> ()) tool : hit list =
   let engine = match engine with Some e -> e | None -> Engine.create () in
   let refs = Array.of_list (references_for tool) in
@@ -152,9 +153,15 @@ let run_campaign ?(scale = default_scale) ?(targets = Compilers.Target.all)
             match skip seed with
             | Some recorded -> recorded
             | None ->
-                let computed = hits_for_seed seed in
-                on_seed seed computed;
-                computed
+                (* a cancelled seed is neither executed nor reported to
+                   [on_seed]: the journal records only finished seeds, so a
+                   later resume recomputes exactly the missing ones *)
+                if stop () then []
+                else begin
+                  let computed = hits_for_seed seed in
+                  on_seed seed computed;
+                  computed
+                end
           in
           Atomic.incr worker_seeds.(worker);
           ignore

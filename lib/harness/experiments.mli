@@ -42,6 +42,7 @@ val run_campaign :
   ?tv:bool ->
   ?weights:(Spirv_fuzz.Registry.family * int) list ->
   ?skip:(int -> hit list option) ->
+  ?stop:(unit -> bool) ->
   ?on_seed:(int -> hit list -> unit) ->
   Pipeline.tool ->
   hit list
@@ -77,7 +78,16 @@ val run_campaign :
     freshly computed seed is reported (from its worker domain — the hook
     must be thread-safe).  The returned list is always in canonical
     (seed-ascending) order, whatever mix of recorded and fresh seeds
-    produced it. *)
+    produced it.
+
+    [?stop] (default [fun () -> false]) is the cancellation hook the
+    campaign service and the batch CLI's SIGINT handler plug in: it is
+    polled (possibly from worker domains) before each fresh seed, and a
+    seed observed after it returns [true] is neither executed nor reported
+    to [on_seed] — it contributes nothing to the returned list.  A stopped
+    campaign therefore returns a {e partial} hit list; callers that
+    journal through {!Persist} get an exact [completed] flag and can
+    resume later, bit-identical to an uninterrupted run. *)
 
 val tools : Pipeline.tool array
 (** The three configurations, in Table 3 column order. *)

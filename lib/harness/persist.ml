@@ -231,6 +231,10 @@ type outcome = {
   hits : Experiments.hit list;
   seeds_skipped : int;  (** seeds served from the journal *)
   seeds_run : int;      (** seeds actually executed this invocation *)
+  completed : bool;
+      (** every seed is now journaled; [false] only when a [?stop] hook
+          cancelled the campaign mid-flight (the hit list is then partial
+          and a later [~resume:true] run finishes the job) *)
   journal_dropped : bool;
       (** the journal ended in a truncated/corrupted record (the crash
           signature of a killed campaign) that was discarded *)
@@ -239,9 +243,18 @@ type outcome = {
           invocation grew the campaign past it *)
 }
 
+(* the canonical one-line hit encoding: what [campaign --hits-out] writes
+   and what the service's [hits] verb streams, so the two are
+   byte-comparable by construction *)
+let hit_line (h : Experiments.hit) =
+  Printf.sprintf "%d\t%s\t%s\t%S\t%s" h.Experiments.hit_seed
+    h.Experiments.hit_ref h.Experiments.hit_target
+    h.Experiments.hit_detection.Pipeline.signature
+    (if h.Experiments.hit_detection.Pipeline.via_opt then "opt" else "direct")
+
 let run_campaign ?(scale = Experiments.default_scale)
     ?(targets = Compilers.Target.all) ?domains ?pool ?engine ?check_contracts
-    ?tv ?weights ?(resume = false) ?(fsync = false)
+    ?tv ?weights ?(resume = false) ?(fsync = false) ?stop
     ?(on_seed = fun (_ : int) (_ : Experiments.hit list) -> ()) ~dir tool :
     (outcome, string) result =
   match open_campaign ~resume ~fsync ~dir ~tool ~targets ~scale () with
@@ -253,8 +266,9 @@ let run_campaign ?(scale = Experiments.default_scale)
       Fun.protect
         ~finally:(fun () -> close c)
         (fun () ->
-          (* counted with an Atomic: the skip hook runs on worker domains *)
+          (* counted with Atomics: both hooks run on worker domains *)
           let skipped = Atomic.make 0 in
+          let fresh = Atomic.make 0 in
           let skip_hook seed =
             match skip c seed with
             | Some hits ->
@@ -266,19 +280,25 @@ let run_campaign ?(scale = Experiments.default_scale)
              leaves the seed it saw recorded *)
           let seed_hook seed hits =
             on_seed_journal c seed hits;
+            Atomic.incr fresh;
             on_seed seed hits
           in
           let hits =
             Experiments.run_campaign ~scale ~targets ?domains ?pool ?engine
-              ?check_contracts ?tv ?weights ~skip:skip_hook
+              ?check_contracts ?tv ?weights ~skip:skip_hook ?stop
               ~on_seed:seed_hook tool
           in
           let seeds_skipped = Atomic.get skipped in
+          (* counted, not inferred: with a [?stop] hook some seeds are
+             neither skipped nor run, and the difference is exactly what
+             [completed] reports *)
+          let seeds_run = Atomic.get fresh in
           Ok
             {
               hits;
               seeds_skipped;
-              seeds_run = scale.Experiments.seeds - seeds_skipped;
+              seeds_run;
+              completed = seeds_skipped + seeds_run >= scale.Experiments.seeds;
               journal_dropped = c.journal_dropped;
               extended_from =
                 (match c.prior_seeds with

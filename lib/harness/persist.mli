@@ -85,11 +85,21 @@ type outcome = {
   hits : Experiments.hit list;
   seeds_skipped : int;  (** seeds served from the journal *)
   seeds_run : int;      (** seeds executed by this invocation *)
+  completed : bool;
+      (** every seed is journaled; [false] only when [?stop] cancelled the
+          campaign mid-flight (the hit list is then partial and a later
+          [~resume:true] run finishes the job) *)
   journal_dropped : bool;
   extended_from : int option;
       (** [Some n]: a resume grew the campaign past the [n] seeds the
           journal had recorded *)
 }
+
+val hit_line : Experiments.hit -> string
+(** The canonical one-line encoding of a hit
+    ([seed TAB ref TAB target TAB quoted-signature TAB opt|direct]) shared
+    by [tbct campaign --hits-out] and the campaign service's [hits] verb,
+    so their outputs are byte-comparable by construction. *)
 
 val run_campaign :
   ?scale:Experiments.scale ->
@@ -102,6 +112,7 @@ val run_campaign :
   ?weights:(Spirv_fuzz.Registry.family * int) list ->
   ?resume:bool ->
   ?fsync:bool ->
+  ?stop:(unit -> bool) ->
   ?on_seed:(int -> Experiments.hit list -> unit) ->
   dir:string ->
   Pipeline.tool ->
@@ -116,6 +127,15 @@ val run_campaign :
     after each fresh seed's journal record is appended (so a raising hook
     loses nothing already recorded); like the journal hook it may run on
     any worker domain and must be thread-safe.
+
+    [?stop] is the graceful-cancellation hook ({!Experiments.run_campaign}):
+    once it returns [true], remaining fresh seeds are neither executed nor
+    journaled, the call returns promptly with [completed = false], and —
+    because every {e finished} seed was journaled before the hook fired —
+    a later [~resume:true] invocation completes the campaign bit-identical
+    to an uninterrupted run.  This is the checkpoint path shared by the
+    campaign service's scheduler quanta, its graceful shutdown, and the
+    batch CLI's SIGINT handler.
 
     The journal fd is closed — via [Fun.protect] — even when a worker or
     the user hook raises mid-campaign, so an aborted run always leaves a

@@ -1,0 +1,41 @@
+(** Bug signatures (section 3.4).
+
+    A bug signature is either the crash signature extracted from a compiler
+    crash, the paper's single catch-all miscompilation signature, or — with
+    the translation validator in the loop — a pass-granular
+    ["miscompile:<target>:<pass>"] bucket.  The type is deliberately a
+    plain string: signatures flow through journals, sockets and bug banks
+    unchanged, and equality is string equality. *)
+
+type t = string
+
+val miscompilation : t
+(** The paper's single signature for every dynamically-detected
+    miscompilation ("all miscompilations contribute the same bug
+    signature"). *)
+
+val miscompile :
+  target:Compilers.Target.t ->
+  pass:Compilers.Optimizer.pass_name option ->
+  t
+(** Pass-granular miscompilation signature, the refinement the translation
+    validator makes possible: a TV [Mismatch] names the guilty pass, so
+    miscompilations on the same target split into per-pass buckets
+    ["miscompile:<target>:<pass>"].  [pass = None] means the optimizer was
+    validated clean and the blame lies downstream (["...:backend"]). *)
+
+val is_miscompilation : t -> bool
+(** [true] for {!miscompilation} and for every {!miscompile} bucket. *)
+
+val blamed_pass : t -> string option
+(** The pass name of a pass-granular TV signature, or [None] for the
+    [":backend"] fallback and every non-TV signature.  Pass-blamed
+    signatures are reproducible without executing anything — the
+    interestingness test can re-validate instead of re-rendering. *)
+
+val bug_id_of_signature : t -> string
+(** Ground-truth bug id behind a signature (for the Table 4 baseline,
+    where "a set of bugs known to be distinct" is required).  Derived
+    signatures (validation failures, device hangs) are canonicalised by
+    prefix; every miscompilation bucket maps to the single
+    ["miscompilation"] phenomenon. *)

@@ -1,0 +1,59 @@
+(** Daemon protocol client (see the interface). *)
+
+type conn = { fd : Unix.file_descr; ic : in_channel }
+
+let connect ~path =
+  let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+  match Unix.connect fd (Unix.ADDR_UNIX path) with
+  | () -> Ok { fd; ic = Unix.in_channel_of_descr fd }
+  | exception Unix.Unix_error (e, _, _) ->
+      (try Unix.close fd with Unix.Unix_error _ -> ());
+      Error
+        (Printf.sprintf "cannot connect to %s: %s" path (Unix.error_message e))
+
+let send_line c line =
+  let b = Bytes.of_string (line ^ "\n") in
+  let n = Bytes.length b in
+  let rec go off =
+    if off < n then go (off + Unix.write c.fd b off (n - off))
+  in
+  try Ok (go 0)
+  with Unix.Unix_error (e, _, _) ->
+    Error (Printf.sprintf "send failed: %s" (Unix.error_message e))
+
+let read_json c =
+  match input_line c.ic with
+  | line -> (
+      match Json.of_string line with
+      | Ok v -> Ok v
+      | Error msg -> Error (Printf.sprintf "bad reply: %s" msg))
+  | exception End_of_file -> Error "connection closed by daemon"
+  | exception Sys_error msg -> Error msg
+
+let request c req =
+  match send_line c (Protocol.encode_request req) with
+  | Error _ as e -> e
+  | Ok () -> read_json c
+
+let stream c req ~on_event =
+  match send_line c (Protocol.encode_request req) with
+  | Error _ as e -> e
+  | Ok () ->
+      let rec go () =
+        match read_json c with
+        | Error _ as e -> e
+        | Ok v -> (
+            (* a failed attach gets one error reply and no stream *)
+            match Json.mem_bool "ok" v with
+            | Some false -> Ok v
+            | _ ->
+                if Json.mem_str "event" v = Some "end" then Ok v
+                else begin
+                  on_event v;
+                  go ()
+                end)
+      in
+      go ()
+
+let close c =
+  try Unix.close c.fd with Unix.Unix_error _ -> ()

@@ -1,0 +1,19 @@
+(** Client side of the daemon protocol: connect, one-line request/reply,
+    and event streaming for [attach].  Used by the [tbct] client commands
+    and the service tests. *)
+
+type conn
+
+val connect : path:string -> (conn, string) result
+
+val request : conn -> Protocol.request -> (Json.t, string) result
+(** Send one request, read one reply line.  [Error] on a dropped
+    connection or unparseable reply. *)
+
+val stream :
+  conn -> Protocol.request -> on_event:(Json.t -> unit) -> (Json.t, string) result
+(** Send an [Attach] request and feed every event line to [on_event] until
+    the server's terminal [{"event": "end"}] line, which is returned.  The
+    initial [ok] reply (the job snapshot) is fed to [on_event] too. *)
+
+val close : conn -> unit

@@ -1,0 +1,277 @@
+(** JSON value type and single-line codec (see the interface). *)
+
+type t =
+  | Null
+  | Bool of bool
+  | Int of int
+  | Float of float
+  | Str of string
+  | List of t list
+  | Obj of (string * t) list
+
+(* ---------- encoding ---------- *)
+
+let escape_string buf s =
+  Buffer.add_char buf '"';
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '\n' -> Buffer.add_string buf "\\n"
+      | '\t' -> Buffer.add_string buf "\\t"
+      | '\r' -> Buffer.add_string buf "\\r"
+      | c when Char.code c < 0x20 ->
+          Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.add_char buf '"'
+
+let rec encode buf = function
+  | Null -> Buffer.add_string buf "null"
+  | Bool b -> Buffer.add_string buf (if b then "true" else "false")
+  | Int n -> Buffer.add_string buf (string_of_int n)
+  | Float f ->
+      if Float.is_finite f then begin
+        (* %.17g round-trips every finite double through float_of_string;
+           make sure the text stays a float, not an integer literal *)
+        let s = Printf.sprintf "%.17g" f in
+        Buffer.add_string buf s;
+        if String.for_all (fun c -> c = '-' || (c >= '0' && c <= '9')) s then
+          Buffer.add_string buf ".0"
+      end
+      else Buffer.add_string buf "null"
+  | Str s -> escape_string buf s
+  | List items ->
+      Buffer.add_char buf '[';
+      List.iteri
+        (fun i v ->
+          if i > 0 then Buffer.add_char buf ',';
+          encode buf v)
+        items;
+      Buffer.add_char buf ']'
+  | Obj fields ->
+      Buffer.add_char buf '{';
+      List.iteri
+        (fun i (k, v) ->
+          if i > 0 then Buffer.add_char buf ',';
+          escape_string buf k;
+          Buffer.add_char buf ':';
+          encode buf v)
+        fields;
+      Buffer.add_char buf '}'
+
+let to_string v =
+  let buf = Buffer.create 256 in
+  encode buf v;
+  Buffer.contents buf
+
+(* ---------- parsing ---------- *)
+
+exception Parse_error of string
+
+type cursor = { s : string; mutable pos : int }
+
+let fail c msg = raise (Parse_error (Printf.sprintf "%s at offset %d" msg c.pos))
+let peek c = if c.pos < String.length c.s then Some c.s.[c.pos] else None
+let advance c = c.pos <- c.pos + 1
+
+let skip_ws c =
+  while
+    match peek c with
+    | Some (' ' | '\t' | '\n' | '\r') ->
+        advance c;
+        true
+    | _ -> false
+  do
+    ()
+  done
+
+let expect c ch =
+  match peek c with
+  | Some x when x = ch -> advance c
+  | _ -> fail c (Printf.sprintf "expected %C" ch)
+
+let literal c word value =
+  let n = String.length word in
+  if
+    c.pos + n <= String.length c.s
+    && String.equal (String.sub c.s c.pos n) word
+  then begin
+    c.pos <- c.pos + n;
+    value
+  end
+  else fail c (Printf.sprintf "expected %s" word)
+
+let hex_digit c ch =
+  match ch with
+  | '0' .. '9' -> Char.code ch - Char.code '0'
+  | 'a' .. 'f' -> Char.code ch - Char.code 'a' + 10
+  | 'A' .. 'F' -> Char.code ch - Char.code 'A' + 10
+  | _ -> fail c "bad hex digit in \\u escape"
+
+let parse_string c =
+  expect c '"';
+  let buf = Buffer.create 16 in
+  let rec loop () =
+    match peek c with
+    | None -> fail c "unterminated string"
+    | Some '"' -> advance c
+    | Some '\\' -> (
+        advance c;
+        match peek c with
+        | None -> fail c "unterminated escape"
+        | Some e ->
+            advance c;
+            (match e with
+            | '"' -> Buffer.add_char buf '"'
+            | '\\' -> Buffer.add_char buf '\\'
+            | '/' -> Buffer.add_char buf '/'
+            | 'n' -> Buffer.add_char buf '\n'
+            | 't' -> Buffer.add_char buf '\t'
+            | 'r' -> Buffer.add_char buf '\r'
+            | 'b' -> Buffer.add_char buf '\b'
+            | 'f' -> Buffer.add_char buf '\012'
+            | 'u' ->
+                if c.pos + 4 > String.length c.s then
+                  fail c "truncated \\u escape";
+                let v =
+                  (hex_digit c c.s.[c.pos] lsl 12)
+                  lor (hex_digit c c.s.[c.pos + 1] lsl 8)
+                  lor (hex_digit c c.s.[c.pos + 2] lsl 4)
+                  lor hex_digit c c.s.[c.pos + 3]
+                in
+                c.pos <- c.pos + 4;
+                (* our encoder only \u-escapes control bytes, so a
+                   code point < 0x80 is a plain byte; anything larger
+                   (a foreign encoder's escape) goes out as UTF-8 *)
+                if v < 0x80 then Buffer.add_char buf (Char.chr v)
+                else if v < 0x800 then begin
+                  Buffer.add_char buf (Char.chr (0xC0 lor (v lsr 6)));
+                  Buffer.add_char buf (Char.chr (0x80 lor (v land 0x3F)))
+                end
+                else begin
+                  Buffer.add_char buf (Char.chr (0xE0 lor (v lsr 12)));
+                  Buffer.add_char buf
+                    (Char.chr (0x80 lor ((v lsr 6) land 0x3F)));
+                  Buffer.add_char buf (Char.chr (0x80 lor (v land 0x3F)))
+                end
+            | _ -> fail c "unknown escape");
+            loop ())
+    | Some ch ->
+        advance c;
+        Buffer.add_char buf ch;
+        loop ()
+  in
+  loop ();
+  Buffer.contents buf
+
+let parse_number c =
+  let start = c.pos in
+  let is_float = ref false in
+  let rec loop () =
+    match peek c with
+    | Some ('0' .. '9' | '-' | '+') ->
+        advance c;
+        loop ()
+    | Some ('.' | 'e' | 'E') ->
+        is_float := true;
+        advance c;
+        loop ()
+    | _ -> ()
+  in
+  loop ();
+  let text = String.sub c.s start (c.pos - start) in
+  if !is_float then
+    match float_of_string_opt text with
+    | Some f -> Float f
+    | None -> fail c "bad float literal"
+  else
+    match int_of_string_opt text with
+    | Some n -> Int n
+    | None -> fail c "bad int literal"
+
+let rec parse_value c =
+  skip_ws c;
+  match peek c with
+  | None -> fail c "unexpected end of input"
+  | Some '"' -> Str (parse_string c)
+  | Some '{' ->
+      advance c;
+      skip_ws c;
+      if peek c = Some '}' then begin
+        advance c;
+        Obj []
+      end
+      else begin
+        let fields = ref [] in
+        let rec members () =
+          skip_ws c;
+          let k = parse_string c in
+          skip_ws c;
+          expect c ':';
+          let v = parse_value c in
+          fields := (k, v) :: !fields;
+          skip_ws c;
+          match peek c with
+          | Some ',' ->
+              advance c;
+              members ()
+          | Some '}' -> advance c
+          | _ -> fail c "expected ',' or '}'"
+        in
+        members ();
+        Obj (List.rev !fields)
+      end
+  | Some '[' ->
+      advance c;
+      skip_ws c;
+      if peek c = Some ']' then begin
+        advance c;
+        List []
+      end
+      else begin
+        let items = ref [] in
+        let rec elements () =
+          let v = parse_value c in
+          items := v :: !items;
+          skip_ws c;
+          match peek c with
+          | Some ',' ->
+              advance c;
+              elements ()
+          | Some ']' -> advance c
+          | _ -> fail c "expected ',' or ']'"
+        in
+        elements ();
+        List (List.rev !items)
+      end
+  | Some 't' -> literal c "true" (Bool true)
+  | Some 'f' -> literal c "false" (Bool false)
+  | Some 'n' -> literal c "null" Null
+  | Some ('-' | '0' .. '9') -> parse_number c
+  | Some ch -> fail c (Printf.sprintf "unexpected %C" ch)
+
+let of_string s =
+  let c = { s; pos = 0 } in
+  match parse_value c with
+  | v ->
+      skip_ws c;
+      if c.pos < String.length s then Error "trailing garbage after value"
+      else Ok v
+  | exception Parse_error msg -> Error msg
+
+(* ---------- accessors ---------- *)
+
+let member key = function
+  | Obj fields -> List.assoc_opt key fields
+  | _ -> None
+
+let to_int = function Int n -> Some n | _ -> None
+let to_str = function Str s -> Some s | _ -> None
+let to_bool = function Bool b -> Some b | _ -> None
+let to_list = function List l -> Some l | _ -> None
+
+let mem_str key v = Option.bind (member key v) to_str
+let mem_int key v = Option.bind (member key v) to_int
+let mem_bool key v = Option.bind (member key v) to_bool

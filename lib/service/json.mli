@@ -1,0 +1,47 @@
+(** A minimal JSON value type and exact single-line codec for the service's
+    newline-delimited wire protocol.
+
+    No JSON library ships in the build, so the service carries its own:
+    a small recursive-descent parser and an encoder whose output never
+    contains a raw newline (control bytes are [\uXXXX]-escaped), so one
+    value always occupies exactly one wire line.  The codec round-trips
+    every value exactly — QCheck-tested — with two documented exceptions:
+    non-finite floats encode as [null] (JSON has no spelling for them) and
+    finite floats are printed with 17 significant digits, which
+    [float_of_string] maps back to the identical bit pattern. *)
+
+type t =
+  | Null
+  | Bool of bool
+  | Int of int
+  | Float of float
+  | Str of string
+  | List of t list
+  | Obj of (string * t) list
+
+val to_string : t -> string
+(** Compact single-line encoding (no raw newlines, ever). *)
+
+val of_string : string -> (t, string) result
+(** Parse one JSON value; trailing garbage (other than whitespace) is an
+    error.  Numbers without [.]/[e] parse as [Int], others as [Float]. *)
+
+(** {1 Accessors} — total, [option]-valued helpers for picking responses
+    apart without pattern-matching boilerplate. *)
+
+val member : string -> t -> t option
+(** Field lookup; [None] for missing fields and non-objects. *)
+
+val to_int : t -> int option       (** [Int] only *)
+
+val to_str : t -> string option    (** [Str] only *)
+
+val to_bool : t -> bool option     (** [Bool] only *)
+
+val to_list : t -> t list option   (** [List] only *)
+
+val mem_str : string -> t -> string option
+(** [member] composed with {!to_str}. *)
+
+val mem_int : string -> t -> int option
+val mem_bool : string -> t -> bool option

@@ -1,0 +1,132 @@
+(** The fleet scheduler: a fair round-robin multiplexer running any number
+    of campaigns over {e one} shared {!Harness.Engine} and
+    {!Harness.Pool}.
+
+    Each call to {!step} runs one {e slice} of one runnable job: a
+    [Persist.run_campaign ~resume:true] invocation at the job's full scale
+    whose [?stop] hook halts it after [quantum] freshly-executed seeds.
+    The campaign journal under [root/jobs/<id>/] makes every slice a
+    checkpoint — the journal replay at the start of the next slice splices
+    all prior seeds back in, so the final slice returns a hit list
+    bit-identical to an uninterrupted run (the {!Harness.Persist} resume
+    contract).  Because jobs advance slice by slice in submission-order
+    rotation, two concurrent jobs interleave progress fairly instead of
+    running back to back.
+
+    All jobs share the engine, so one job's executions memoize for every
+    other — the cross-job hit counter measures exactly that: memo/store/TV
+    hits observed during a job's slice after {e another} job has executed
+    runs.  Job submissions and state transitions are durable in
+    [root/jobs/jobs.log] ({!Tbct_store.Jobs}); a daemon killed [-9]
+    mid-slice restarts with every interrupted job still [Running] and
+    resumes it from its journal, bit-identical.
+
+    Threading: {!step}, {!submit}, {!cancel} and {!hits} must be called
+    from one thread (the server's event loop).  The [on_event] callback,
+    however, fires from {e worker domains} for [Seed_done]/[Hit_found]
+    and must be thread-safe. *)
+
+type t
+type job
+
+(** {1 Job accessors} *)
+
+val id : job -> string
+val spec : job -> Tbct_store.Jobs.record
+val state : job -> Tbct_store.Jobs.state
+
+val seeds_done : job -> int
+(** Journaled seeds (resumed + freshly executed).  For a job restored
+    already-[Done] from a previous daemon this is its full seed count. *)
+
+val hits_found : job -> int
+(** Hits observed by {e this} daemon (restored jobs report their full list
+    via the [hits] verb, not this counter). *)
+
+val new_signatures : job -> int
+(** Hits whose bank signature was new when first seen. *)
+
+val runs_executed : job -> int  (** engine executions attributed to the job *)
+
+val memo_hits : job -> int
+(** memo + store + optimize + TV hits observed during the job's slices. *)
+
+val cross_memo_hits : job -> int
+(** The subset of {!memo_hits} earned after another job had already
+    executed runs — the shared-engine payoff. *)
+
+val slices : job -> int
+val last_error : job -> string option
+
+(** {1 Events} *)
+
+type event =
+  | Submitted of job
+  | Started of job  (** first slice about to run *)
+  | Seed_done of job * int * int  (** seed id, hits it produced *)
+  | Hit_found of job * Harness.Experiments.hit * bool
+      (** [true]: the signature was new to the service's bug bank *)
+  | Finished of job
+  | Halted of job  (** cancelled, or failed (see {!last_error}) *)
+
+(** {1 Lifecycle} *)
+
+val create :
+  ?fsync:bool ->
+  ?quantum:int ->
+  ?on_event:(event -> unit) ->
+  root:string ->
+  pool:Harness.Pool.t ->
+  unit ->
+  t
+(** Open the store rooted at [root]: the shared CAS at [root/cas] (backing
+    a single shared engine), the job store at [root/jobs/jobs.log], and
+    the service bug bank at [root/jobs/bugbank.txt].  Jobs recorded
+    [Queued] or [Running] by a previous daemon are picked up where their
+    journals left off.  [quantum] (default 8) is the fresh-seed budget per
+    slice. *)
+
+val engine : t -> Harness.Engine.t
+
+val submit : t -> Protocol.submit_spec -> (job, string) result
+(** Validate targets and weights, persist the job ([Queued]), emit
+    [Submitted]. *)
+
+val cancel : t -> id:string -> (unit, string) result
+(** Cancel a queued or running job (persisted; emits [Halted]).  Already
+    terminal jobs are an error. *)
+
+val job : t -> id:string -> job option
+val jobs : t -> job list  (** submission order *)
+
+val runnable : t -> bool
+(** Is any job [Queued] or [Running]?  (Drives the server's select
+    timeout: poll-only when there is work to do.) *)
+
+val step : t -> [ `Idle | `Sliced of job | `Finished of job | `Halted of job ]
+(** Run one slice of the next runnable job in round-robin order.
+    [`Finished]: that slice completed the campaign (job now [Done]).
+    [`Halted]: the slice failed (journal mismatch, worker exception);
+    the job is cancelled with {!last_error} set. *)
+
+val hits : t -> job -> (Harness.Experiments.hit list * bool, string) result
+(** The job's journaled hits in canonical order, and whether the campaign
+    is complete.  Implemented as a resume-replay with an always-[true]
+    stop hook, so nothing executes: for a [Done] job this is the full hit
+    list, bit-identical to an uninterrupted batch run; for a [Running] job
+    it is the checkpointed prefix. *)
+
+val interrupt : t -> unit
+(** Graceful-shutdown flag, consulted by the in-flight slice's stop hook
+    (safe from a signal handler: one atomic store).  The slice checkpoints
+    at seed granularity and {!step} returns; jobs stay [Running] in the
+    store, to be resumed by the next daemon. *)
+
+val interrupted : t -> bool
+
+val cross_job_memo_hits : t -> int
+(** Total {!cross_memo_hits} across all jobs. *)
+
+val close : t -> unit
+(** Save the bug bank and close the job store (campaign journals are
+    opened and closed per slice and need no cleanup here). *)

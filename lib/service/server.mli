@@ -1,0 +1,38 @@
+(** The fleet daemon: a single-threaded event loop serving the
+    newline-delimited JSON protocol over a Unix domain socket while a
+    {!Scheduler} advances campaigns slice by slice between polls.
+
+    The loop alternates I/O and work: with runnable jobs it polls with a
+    zero timeout and runs one scheduler slice per iteration; idle, it
+    blocks in [select] for a short tick.  Requests are therefore answered
+    between slices — never concurrently with one — which is what lets the
+    scheduler stay single-threaded while worker domains stream
+    [Seed_done]/[Hit_found] events to attached clients (socket writes are
+    serialized by one mutex).
+
+    Shutdown paths, all of which checkpoint through the campaign journals:
+    - [SIGINT]/[SIGTERM]: the handler sets the scheduler's interrupt flag;
+      the in-flight slice stops at the next seed boundary and the loop
+      exits.  Jobs stay [Running] in the job store and resume on restart.
+    - the [shutdown] verb: same, by request.
+    - the [drain] verb: new submissions are refused and the loop exits
+      once every job is terminal.
+    - [kill -9]: no cleanup runs, but every completed seed was journaled
+      before its hook returned, so the restarted daemon loses at most the
+      in-flight seeds of one quantum — and re-executes them bit-identical. *)
+
+val run :
+  ?fsync:bool ->
+  ?quantum:int ->
+  ?tick:float ->
+  root:string ->
+  socket:string ->
+  domains:int ->
+  unit ->
+  (unit, string) result
+(** Serve until a shutdown path fires.  [root] is the store directory
+    (CAS, job store, bug bank, per-job journals all live under it);
+    [socket] is the Unix socket path (a stale socket file is replaced);
+    [domains] sizes the shared worker pool.  [tick] (default 0.2s) is the
+    idle poll interval.  Returns [Error] only when the socket cannot be
+    bound. *)

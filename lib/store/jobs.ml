@@ -1,0 +1,154 @@
+(** Persistent job records for the campaign service (see the interface).
+    One checksummed journal record per submission and per state
+    transition; replay reconstructs the queue after any crash. *)
+
+type state = Queued | Running | Done | Cancelled
+
+let state_to_string = function
+  | Queued -> "queued"
+  | Running -> "running"
+  | Done -> "done"
+  | Cancelled -> "cancelled"
+
+let state_of_string = function
+  | "queued" -> Some Queued
+  | "running" -> Some Running
+  | "done" -> Some Done
+  | "cancelled" -> Some Cancelled
+  | _ -> None
+
+type record = {
+  id : string;
+  tool : string;
+  seeds : int;
+  targets : string list;
+  weights : string;
+  tv : bool;
+}
+
+type t = {
+  journal : Journal.t;
+  (* submission order is the scheduler's round-robin order; the table
+     holds the latest state *)
+  mutable order : string list;  (* reversed: newest first *)
+  jobs : (string, record * state) Hashtbl.t;
+}
+
+let log_path dir = Filename.concat dir "jobs.log"
+let version = "v1"
+
+(* Every variable-content field is %S-quoted so records stay single
+   lines — the same discipline as the campaign journal's codec. *)
+let encode_job (r : record) =
+  String.concat "\t"
+    [
+      "job"; version;
+      Printf.sprintf "%S" r.id;
+      Printf.sprintf "%S" r.tool;
+      string_of_int r.seeds;
+      Printf.sprintf "%S" (String.concat "," r.targets);
+      Printf.sprintf "%S" r.weights;
+      (if r.tv then "1" else "0");
+    ]
+
+let encode_state ~id st =
+  String.concat "\t"
+    [ "state"; version; Printf.sprintf "%S" id; state_to_string st ]
+
+let unquote s = try Some (Scanf.sscanf s "%S%!" Fun.id) with _ -> None
+
+let decode record =
+  match String.split_on_char '\t' record with
+  | [ "job"; v; id; tool; seeds; targets; weights; tv ]
+    when String.equal v version -> (
+      match
+        (unquote id, unquote tool, int_of_string_opt seeds, unquote targets,
+         unquote weights, tv)
+      with
+      | Some id, Some tool, Some seeds, Some targets, Some weights,
+        (("0" | "1") as tv) ->
+          Some
+            (`Job
+              {
+                id;
+                tool;
+                seeds;
+                targets =
+                  (if String.equal targets "" then []
+                   else String.split_on_char ',' targets);
+                weights;
+                tv = String.equal tv "1";
+              })
+      | _ -> None)
+  | [ "state"; v; id; st ] when String.equal v version -> (
+      match (unquote id, state_of_string st) with
+      | Some id, Some st -> Some (`State (id, st))
+      | _ -> None)
+  | _ -> None
+
+let open_ ?(fsync = false) ~dir () : t =
+  let path = log_path dir in
+  let replay = Journal.replay ~path in
+  let jobs = Hashtbl.create 16 in
+  let order = ref [] in
+  List.iter
+    (fun record ->
+      match decode record with
+      | Some (`Job r) ->
+          if not (Hashtbl.mem jobs r.id) then begin
+            Hashtbl.replace jobs r.id (r, Queued);
+            order := r.id :: !order
+          end
+      | Some (`State (id, st)) -> (
+          match Hashtbl.find_opt jobs id with
+          | Some (r, _) -> Hashtbl.replace jobs id (r, st)
+          | None -> ())
+      | None -> () (* checksummed but unparseable: a future record shape *))
+    replay.Journal.records;
+  (* cut off a torn suffix before appending, or the first new record is
+     glued onto the half-written line and lost to the next replay *)
+  if replay.Journal.dropped then
+    Journal.truncate ~path ~bytes:replay.Journal.valid_bytes;
+  { journal = Journal.open_append ~fsync ~path (); order = !order; jobs }
+
+let add t (r : record) =
+  if Hashtbl.mem t.jobs r.id then
+    invalid_arg (Printf.sprintf "Jobs.add: duplicate job id %s" r.id);
+  Journal.append t.journal (encode_job r);
+  Hashtbl.replace t.jobs r.id (r, Queued);
+  t.order <- r.id :: t.order
+
+let set_state t ~id st =
+  match Hashtbl.find_opt t.jobs id with
+  | None -> ()
+  | Some (r, prev) ->
+      if prev <> st then begin
+        Journal.append t.journal (encode_state ~id st);
+        Hashtbl.replace t.jobs id (r, st)
+      end
+
+let entries t =
+  List.rev_map (fun id -> Hashtbl.find t.jobs id) t.order
+
+let find t ~id = Hashtbl.find_opt t.jobs id
+
+let fresh_id t =
+  (* monotonic across restarts: one past the highest numeric suffix ever
+     recorded, so a restarted daemon never reuses a dead job's id *)
+  let high =
+    Hashtbl.fold
+      (fun id _ acc ->
+        match String.index_opt id '-' with
+        | Some i -> (
+            match
+              int_of_string_opt
+                (String.sub id (i + 1) (String.length id - i - 1))
+            with
+            | Some n -> max acc n
+            | None -> acc)
+        | None -> acc)
+      t.jobs 0
+  in
+  Printf.sprintf "job-%d" (high + 1)
+
+let close t = Journal.close t.journal

@@ -1,0 +1,55 @@
+(** Persistent job records for the campaign service.
+
+    The fleet daemon keeps its job queue durable in [dir/jobs.log], an
+    append-only checksummed {!Journal}: one [job] record per submission
+    and one [state] record per transition.  Replaying the valid prefix
+    reconstructs the queue a killed daemon left behind — a job whose last
+    recorded state was [Running] was interrupted mid-campaign and is
+    rescheduled by the daemon (its own campaign journal under
+    [dir/<id>/] supplies the bit-identical resume).
+
+    Records survive [kill -9] at record granularity: a torn trailing
+    record is dropped on replay exactly like a campaign journal's, so the
+    worst a crash loses is the very last state transition — never a whole
+    job, and never the ability to resume. *)
+
+type state = Queued | Running | Done | Cancelled
+
+val state_to_string : state -> string
+val state_of_string : string -> state option
+
+(** Immutable submission parameters, as recorded at [submit] time. *)
+type record = {
+  id : string;        (** ["job-<n>"], unique within the store *)
+  tool : string;      (** {!Harness.Pipeline.tool_name} form *)
+  seeds : int;
+  targets : string list;  (** target names; [[]] means every target *)
+  weights : string;   (** CLI [FAMILY=N,...] syntax; [""] = uniform *)
+  tv : bool;
+}
+
+type t
+
+val open_ : ?fsync:bool -> dir:string -> unit -> t
+(** Replay [dir/jobs.log] (created, with its parents, if missing) and
+    open it for appending.  A torn trailing record is truncated away
+    before the first append, as the journal contract requires. *)
+
+val add : t -> record -> unit
+(** Persist a new submission (its initial state is {!Queued}).
+    @raise Invalid_argument on a duplicate id. *)
+
+val set_state : t -> id:string -> state -> unit
+(** Append a state transition for an existing job (unknown ids are
+    ignored — the daemon validates first). *)
+
+val entries : t -> (record * state) list
+(** Every known job with its latest recorded state, in submission order. *)
+
+val find : t -> id:string -> (record * state) option
+
+val fresh_id : t -> string
+(** The next unused ["job-<n>"] id (monotonic across restarts: derived
+    from the highest id ever recorded, not from the live count). *)
+
+val close : t -> unit

@@ -186,9 +186,9 @@ if cmp -s "$WDIR/hits-default.txt" "$WDIR/hits-weighted.txt"; then
 fi
 rm -rf "$WDIR"
 
-# quick perf smoke: the registry and loop-TV perf sections must run and
-# persist their machine-readable summaries (BENCH_PR6.json and
-# BENCH_PR7.json at the repo root)
+# quick perf smoke: the registry, loop-TV and service perf sections must
+# run and persist their machine-readable summaries (BENCH_PR6.json,
+# BENCH_PR7.json and BENCH_PR8.json at the repo root)
 ./_build/default/bench/main.exe --perf-smoke > /dev/null
 if [ ! -s BENCH_PR6.json ]; then
   echo "CI: bench --perf-smoke did not write BENCH_PR6.json" >&2
@@ -200,6 +200,14 @@ if [ ! -s BENCH_PR7.json ]; then
 fi
 if ! grep -q '"abstain_reasons"' BENCH_PR7.json; then
   echo "CI: BENCH_PR7.json is missing the abstain_reasons breakdown" >&2
+  exit 1
+fi
+if [ ! -s BENCH_PR8.json ]; then
+  echo "CI: bench --perf-smoke did not write BENCH_PR8.json" >&2
+  exit 1
+fi
+if ! grep -q '"hits_identical":true' BENCH_PR8.json; then
+  echo "CI: BENCH_PR8.json says fleet jobs drifted from the lone job" >&2
   exit 1
 fi
 
@@ -223,4 +231,80 @@ if ! cmp -s "$STORE/tests-seq.txt" "$STORE/tests-par.txt"; then
   exit 1
 fi
 
-echo "CI: build + tests + lint + tv + loop-coverage + contract-smoke + store-smoke + registry-gates + perf-smoke + pool-determinism + invariant checks passed"
+# serve smoke: a daemon on a temp socket runs two concurrent campaigns
+# over one shared engine.  Gates: both jobs complete under attach, the
+# jobs share the engine (cross-job memo hits > 0 in status --json), drain
+# exits the daemon cleanly, and a daemon killed -9 mid-campaign resumes
+# its job on restart to a hit list byte-identical to an uninterrupted
+# batch run.  Daemon PIDs come from $! — pgrep would match this script's
+# own command line.
+SDIR=$(mktemp -d)
+SOCK="$SDIR/s"  # keep the socket path well under the sun_path limit
+TBCT=./_build/default/bin/tbct_cli.exe
+wait_sock() {
+  n=0
+  while [ ! -S "$1" ]; do
+    n=$((n + 1))
+    if [ "$n" -gt 100 ]; then
+      echo "CI: daemon socket $1 never appeared" >&2
+      exit 1
+    fi
+    sleep 0.1
+  done
+}
+"$TBCT" serve --store "$SDIR/store" --socket "$SOCK" --domains 2 \
+    > "$SDIR/serve1.log" 2>&1 &
+DPID=$!
+wait_sock "$SOCK"
+J1=$("$TBCT" submit --socket "$SOCK" --seeds 20)
+J2=$("$TBCT" submit --socket "$SOCK" --seeds 20)
+"$TBCT" attach --socket "$SOCK" "$J1" > /dev/null
+"$TBCT" attach --socket "$SOCK" "$J2" > /dev/null
+if ! "$TBCT" status --socket "$SOCK" --json \
+    | grep -q '"cross_job_memo_hits":[1-9]'; then
+  echo "CI: two concurrent jobs produced no cross-job memo hits —" \
+       "the daemon is not sharing one engine" >&2
+  kill "$DPID" 2> /dev/null || true
+  exit 1
+fi
+"$TBCT" hits --socket "$SOCK" "$J1" -o "$SDIR/hits-serve.txt"
+"$TBCT" drain --socket "$SOCK" > /dev/null
+if ! wait "$DPID"; then
+  echo "CI: drained daemon exited non-zero" >&2
+  exit 1
+fi
+"$TBCT" campaign --seeds 20 --hits-out "$SDIR/hits-batch.txt" > /dev/null
+if ! cmp -s "$SDIR/hits-serve.txt" "$SDIR/hits-batch.txt"; then
+  echo "CI: daemon job hit list differs from the batch campaign" >&2
+  exit 1
+fi
+
+# kill -9 mid-campaign, restart on the same store, resume to completion
+KSOCK="$SDIR/k"
+"$TBCT" serve --store "$SDIR/kstore" --socket "$KSOCK" --domains 2 \
+    > "$SDIR/serve2.log" 2>&1 &
+KPID=$!
+wait_sock "$KSOCK"
+JK=$("$TBCT" submit --socket "$KSOCK" --seeds 60)
+sleep 0.4
+kill -9 "$KPID"
+wait "$KPID" 2> /dev/null || true
+rm -f "$KSOCK"  # kill -9 leaves the stale socket file; clear it so
+                # wait_sock sees the restarted daemon's bind, not this one
+"$TBCT" serve --store "$SDIR/kstore" --socket "$KSOCK" --domains 2 \
+    > "$SDIR/serve3.log" 2>&1 &
+KPID=$!
+wait_sock "$KSOCK"
+"$TBCT" attach --socket "$KSOCK" "$JK" > /dev/null
+"$TBCT" hits --socket "$KSOCK" "$JK" -o "$SDIR/hits-resumed.txt"
+"$TBCT" shutdown --socket "$KSOCK" > /dev/null
+wait "$KPID" || true
+"$TBCT" campaign --seeds 60 --hits-out "$SDIR/hits-fresh.txt" > /dev/null
+if ! cmp -s "$SDIR/hits-resumed.txt" "$SDIR/hits-fresh.txt"; then
+  echo "CI: resumed daemon job hit list differs from an uninterrupted" \
+       "batch campaign" >&2
+  exit 1
+fi
+rm -rf "$SDIR"
+
+echo "CI: build + tests + lint + tv + loop-coverage + contract-smoke + store-smoke + registry-gates + perf-smoke + pool-determinism + serve-smoke + invariant checks passed"
