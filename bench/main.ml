@@ -906,6 +906,143 @@ let service_perf () =
   Printf.printf "service perf section written to BENCH_PR8.json\n"
 
 (* ------------------------------------------------------------------ *)
+(* Memory analysis: per-module overhead, proofs and the abstain shift   *)
+
+let memory_perf () =
+  section "Memory analysis: overhead, proofs and abstain classes";
+  let corpus =
+    Lazy.force Corpus.lowered_references
+    @ Lazy.force Corpus.lowered_loop_references
+    @ Corpus.memory_references
+  in
+  (* (a) Memory.analyze overhead and resolution stats per module.  The
+     availability analysis is shared with the range/loop passes, so the
+     marginal cost of the memory oracle is [analyze] alone. *)
+  let mem_rows =
+    List.map
+      (fun (name, m) ->
+        let f = List.hd m.Spirv_ir.Module_ir.functions in
+        let av = Spirv_ir.Dataflow.Availability.make m f in
+        let t0 = Unix.gettimeofday () in
+        let mem = Spirv_ir.Memory.analyze m f ~avail:av in
+        let wall = Unix.gettimeofday () -. t0 in
+        (name, Spirv_ir.Memory.stats mem, wall))
+      corpus
+  in
+  List.iter
+    (fun (name, (s : Spirv_ir.Memory.stats), wall) ->
+      Printf.printf
+        "  %-24s %2d loads %2d stores  %2d/%2d resolved  %2d in-bounds  \
+         %2d no-alias  %.0fus\n"
+        name s.Spirv_ir.Memory.n_loads s.Spirv_ir.Memory.n_stores
+        s.Spirv_ir.Memory.n_resolved
+        (s.Spirv_ir.Memory.n_loads + s.Spirv_ir.Memory.n_stores)
+        s.Spirv_ir.Memory.n_in_bounds s.Spirv_ir.Memory.n_no_alias
+        (wall *. 1e6))
+    mem_rows;
+  (* (b) the abstain-class shift: TV over the whole corpus, bucketing
+     abstentions by reason — dynamic-index must be zero now that Symval
+     folds proven-in-bounds accesses instead of giving up — plus the
+     mem-proofs count per module from the counted checker. *)
+  let classify (report : Compilers.Optimizer.tv_report) =
+    if report.Compilers.Optimizer.tv_guilty <> None then ("mismatch", None)
+    else
+      match
+        List.find_map
+          (fun (_, v) -> Compilers.Tv.abstain_label v)
+          report.Compilers.Optimizer.tv_steps
+      with
+      | Some label -> ("abstained", Some label)
+      | None -> ("equivalent", None)
+  in
+  let tv_rows =
+    List.map
+      (fun (name, m) ->
+        let t0 = Unix.gettimeofday () in
+        let verdict, reason =
+          match Compilers.Optimizer.(run_tv standard) m with
+          | Ok report -> classify report
+          | Error _ -> ("crash", None)
+        in
+        let proofs =
+          let after = Compilers.Optimizer.(run standard) m in
+          snd (Compilers.Tv.check_pass_counted m after)
+        in
+        let wall = Unix.gettimeofday () -. t0 in
+        (name, verdict, reason, proofs, wall))
+      corpus
+  in
+  let reason_tally =
+    List.fold_left
+      (fun acc label ->
+        let n =
+          List.length
+            (List.filter (fun (_, _, r, _, _) -> r = Some label) tv_rows)
+        in
+        if n > 0 then (label, n) :: acc else acc)
+      []
+      (List.rev Spirv_ir.Symval.reason_labels)
+  in
+  let dynamic_index =
+    List.length
+      (List.filter (fun (_, _, r, _, _) -> r = Some "dynamic-index") tv_rows)
+  in
+  let proofs_total =
+    List.fold_left (fun acc (_, _, _, p, _) -> acc + p) 0 tv_rows
+  in
+  List.iter
+    (fun (name, verdict, reason, proofs, wall) ->
+      Printf.printf "  %-24s %-10s %-16s %2d proofs  %.3fs\n" name verdict
+        (Option.value ~default:"-" reason)
+        proofs wall)
+    tv_rows;
+  Printf.printf
+    "corpus of %d modules: %d mem-proofs, %d dynamic-index abstentions\n"
+    (List.length tv_rows) proofs_total dynamic_index;
+  List.iter
+    (fun (label, n) -> Printf.printf "  abstain %-18s %d\n" label n)
+    reason_tally;
+  let oc = open_out "BENCH_PR9.json" in
+  Printf.fprintf oc
+    "{\"modules\":%d,\"memory_modules\":%d,\"mem_proofs_total\":%d,\
+     \"dynamic_index_abstains\":%d,\"abstain_reasons\":{%s},\
+     \"memory\":[%s],\"tv\":[%s]}\n"
+    (List.length corpus)
+    (List.length Corpus.memory_references)
+    proofs_total dynamic_index
+    (String.concat ","
+       (List.map
+          (fun (label, n) -> Printf.sprintf "\"%s\":%d" label n)
+          reason_tally))
+    (String.concat ","
+       (List.map
+          (fun (name, (s : Spirv_ir.Memory.stats), wall) ->
+            Printf.sprintf
+              "{\"name\":\"%s\",\"wall_us\":%.1f,\"loads\":%d,\"stores\":%d,\
+               \"resolved\":%d,\"in_bounds\":%d,\"pairs\":%d,\"no_alias\":%d,\
+               \"may_alias\":%d,\"must_alias\":%d}"
+              name (wall *. 1e6) s.Spirv_ir.Memory.n_loads
+              s.Spirv_ir.Memory.n_stores s.Spirv_ir.Memory.n_resolved
+              s.Spirv_ir.Memory.n_in_bounds s.Spirv_ir.Memory.n_pairs
+              s.Spirv_ir.Memory.n_no_alias s.Spirv_ir.Memory.n_may_alias
+              s.Spirv_ir.Memory.n_must_alias)
+          mem_rows))
+    (String.concat ","
+       (List.map
+          (fun (name, verdict, reason, proofs, wall) ->
+            Printf.sprintf
+              "{\"name\":\"%s\",\"verdict\":\"%s\",\"reason\":%s,\
+               \"mem_proofs\":%d,\"wall_s\":%.3f}"
+              name verdict
+              (match reason with
+              | Some r -> Printf.sprintf "\"%s\"" r
+              | None -> "null")
+              proofs wall)
+          tv_rows));
+  close_out oc;
+  Printf.printf "memory analysis section written to BENCH_PR9.json\n"
+
+(* ------------------------------------------------------------------ *)
 (* Bechamel micro-benchmarks                                           *)
 
 let perf_suite () =
@@ -976,8 +1113,9 @@ let () =
       ("--perf", Arg.Set perf, "also run the Bechamel micro-benchmarks");
       ( "--perf-smoke",
         Arg.Set perf_smoke,
-        "only the quick registry, loop-TV and service perf sections (writes \
-         BENCH_PR6.json, BENCH_PR7.json and BENCH_PR8.json)" );
+        "only the quick registry, loop-TV, service and memory perf sections \
+         (writes BENCH_PR6.json, BENCH_PR7.json, BENCH_PR8.json and \
+         BENCH_PR9.json)" );
       ("--ablate", Arg.Set ablate, "also run the design ablations");
       ("--quick", Arg.Unit (fun () -> seeds := 60), "small quick run");
       ("--no-campaign", Arg.Set skip_campaign, "only the deterministic figures");
@@ -990,6 +1128,8 @@ let () =
     loop_tv_perf ();
     print_newline ();
     service_perf ();
+    print_newline ();
+    memory_perf ();
     print_newline ();
     exit 0
   end;
@@ -1019,6 +1159,7 @@ let () =
     registry_perf ();
     loop_tv_perf ();
     service_perf ();
+    memory_perf ();
     perf_suite ()
   end;
   print_newline ()

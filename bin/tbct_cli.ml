@@ -22,10 +22,12 @@ let write_module path m =
   output_string oc (Spirv_ir.Disasm.to_string m);
   close_out oc
 
-(* the references plus the loop corpus: everything --corpus can name *)
+(* the references plus the loop and memory corpora: everything --corpus
+   can name *)
 let corpus_modules () =
   Lazy.force Corpus.lowered_references
   @ Lazy.force Corpus.lowered_loop_references
+  @ Corpus.memory_references
 
 let corpus_module name = List.assoc_opt name (corpus_modules ())
 
@@ -319,10 +321,18 @@ let analyze_cmd =
          & info [ "ranges" ]
              ~doc:"Print only the value ranges and trip-count bounds.")
   in
-  let run path corpus loops_only ranges_only json =
+  let memory_arg =
+    Arg.(value & flag
+         & info [ "memory" ]
+             ~doc:"Print only the memory/alias analysis: access paths, \
+                   in-bounds proofs, alias pair classification and the \
+                   def-use findings.")
+  in
+  let run path corpus loops_only ranges_only memory_only json =
     let m = or_die (load ~path ~corpus) in
-    let show_loops = loops_only || not ranges_only in
-    let show_ranges = ranges_only || not loops_only in
+    let show_loops = loops_only || (not ranges_only && not memory_only) in
+    let show_ranges = ranges_only || (not loops_only && not memory_only) in
+    let show_memory = memory_only || (not loops_only && not ranges_only) in
     let id = Spirv_ir.Id.to_string in
     let ids l = String.concat " " (List.map id l) in
     (* JSON interval corners: null stands for the infinite sentinel *)
@@ -340,6 +350,10 @@ let analyze_cmd =
         in
         let bound_of (l : Spirv_ir.Loops.loop) =
           Spirv_ir.Dataflow.Ranges.trip_bound ranges ~header:l.Spirv_ir.Loops.header
+        in
+        let mem =
+          if show_memory then Some (Spirv_ir.Memory.analyze m f ~avail:av)
+          else None
         in
         if json then begin
           let loop_objs =
@@ -369,12 +383,52 @@ let analyze_cmd =
                   (corner itv.Spirv_ir.Dataflow.Itv.hi))
               (Spirv_ir.Dataflow.Ranges.known ranges)
           in
+          let memory_obj =
+            match mem with
+            | None -> ""
+            | Some mem ->
+                let s = Spirv_ir.Memory.stats mem in
+                let access_objs =
+                  List.map
+                    (fun (a : Spirv_ir.Memory.access) ->
+                      Printf.sprintf
+                        "{\"kind\":%s,\"block\":%s,\"ptr\":%s,\"path\":%s,\
+                         \"in_bounds\":%b}"
+                        (json_string
+                           (match a.Spirv_ir.Memory.a_kind with
+                           | Spirv_ir.Memory.ALoad -> "load"
+                           | Spirv_ir.Memory.AStore -> "store"))
+                        (json_string (id a.Spirv_ir.Memory.a_block))
+                        (json_string (id a.Spirv_ir.Memory.a_ptr))
+                        (match a.Spirv_ir.Memory.a_path with
+                        | Some p ->
+                            json_string (Spirv_ir.Memory.path_to_string p)
+                        | None -> "null")
+                        a.Spirv_ir.Memory.in_bounds)
+                    (Spirv_ir.Memory.accesses mem)
+                in
+                Printf.sprintf
+                  ",\"memory\":{\"loads\":%d,\"stores\":%d,\"resolved\":%d,\
+                   \"in_bounds\":%d,\"pairs\":%d,\"no_alias\":%d,\
+                   \"may_alias\":%d,\"must_alias\":%d,\"uninitialized\":%d,\
+                   \"dead_stores\":%d,\"redundant_loads\":%d,\
+                   \"accesses\":[%s]}"
+                  s.Spirv_ir.Memory.n_loads s.Spirv_ir.Memory.n_stores
+                  s.Spirv_ir.Memory.n_resolved s.Spirv_ir.Memory.n_in_bounds
+                  s.Spirv_ir.Memory.n_pairs s.Spirv_ir.Memory.n_no_alias
+                  s.Spirv_ir.Memory.n_may_alias s.Spirv_ir.Memory.n_must_alias
+                  s.Spirv_ir.Memory.n_uninitialized
+                  s.Spirv_ir.Memory.n_dead_stores
+                  s.Spirv_ir.Memory.n_redundant_loads
+                  (String.concat "," access_objs)
+          in
           Printf.printf
-            "{\"fn\":%s,\"loops\":[%s],\"irreducible\":%d,\"ranges\":[%s]}\n"
+            "{\"fn\":%s,\"loops\":[%s],\"irreducible\":%d,\"ranges\":[%s]%s}\n"
             (json_string (id f.Spirv_ir.Func.id))
             (String.concat "," (if show_loops then loop_objs else []))
             (List.length forest.Spirv_ir.Loops.irreducible)
             (String.concat "," (if show_ranges then range_objs else []))
+            memory_obj
         end
         else begin
           Printf.printf "fn %s:\n" (id f.Spirv_ir.Func.id);
@@ -411,20 +465,55 @@ let analyze_cmd =
                 Printf.printf "  %s in %s\n" (id r)
                   (Spirv_ir.Dataflow.Itv.to_string itv))
               (Spirv_ir.Dataflow.Ranges.known ranges)
-          end
+          end;
+          match mem with
+          | None -> ()
+          | Some mem ->
+              let s = Spirv_ir.Memory.stats mem in
+              Printf.printf
+                "  memory: %d load(s), %d store(s), %d resolved, %d \
+                 in-bounds; pairs: %d no-alias, %d may-alias, %d must-alias\n"
+                s.Spirv_ir.Memory.n_loads s.Spirv_ir.Memory.n_stores
+                s.Spirv_ir.Memory.n_resolved s.Spirv_ir.Memory.n_in_bounds
+                s.Spirv_ir.Memory.n_no_alias s.Spirv_ir.Memory.n_may_alias
+                s.Spirv_ir.Memory.n_must_alias;
+              List.iter
+                (fun a ->
+                  Printf.printf "  %s\n"
+                    (Spirv_ir.Memory.access_to_string mem a))
+                (Spirv_ir.Memory.accesses mem);
+              let findings label accs =
+                List.iter
+                  (fun (a : Spirv_ir.Memory.access) ->
+                    Printf.printf "  %s: %s in %s\n" label
+                      (id a.Spirv_ir.Memory.a_ptr)
+                      (id a.Spirv_ir.Memory.a_block))
+                  accs
+              in
+              findings "uninitialized-load"
+                (Spirv_ir.Memory.uninitialized_loads mem);
+              findings "dead-store" (Spirv_ir.Memory.dead_stores mem);
+              List.iter
+                (fun ((_, later) : Spirv_ir.Memory.access * _) ->
+                  Printf.printf "  redundant-load: %s in %s\n"
+                    (id later.Spirv_ir.Memory.a_ptr)
+                    (id later.Spirv_ir.Memory.a_block))
+                (Spirv_ir.Memory.redundant_loads mem)
         end)
       m.Spirv_ir.Module_ir.functions
   in
   Cmd.v
     (Cmd.info "analyze"
-       ~doc:"Print the loop-aware static analysis the TV oracle runs on a \
-             module: the natural-loop forest (headers, nesting, latches, \
-             exits, proven trip-count bounds) and the interval value \
-             ranges, per function.  $(b,--loops) or $(b,--ranges) \
-             restricts the report; with $(b,--json), one JSON object per \
-             function per line.")
+       ~doc:"Print the static analyses the TV oracle runs on a module: the \
+             natural-loop forest (headers, nesting, latches, exits, proven \
+             trip-count bounds), the interval value ranges, and the \
+             memory/alias analysis (access paths, in-bounds proofs, alias \
+             classification, def-use findings), per function.  \
+             $(b,--loops), $(b,--ranges) or $(b,--memory) restricts the \
+             report; with $(b,--json), one JSON object per function per \
+             line.")
     Term.(const run $ file_arg $ corpus_arg $ loops_arg $ ranges_arg
-          $ json_arg)
+          $ memory_arg $ json_arg)
 
 let disasm_cmd =
   let run path corpus =
@@ -973,16 +1062,48 @@ let store_cmd =
       let s = Tbct_store.Cas.stats cas in
       let replay = Tbct_store.Journal.replay ~path:(Harness.Persist.journal_path dir) in
       let bank = Tbct_store.Bugbank.load ~dir:(Harness.Persist.bugbank_dir dir) in
-      if json then
+      (* a serve root additionally carries a job queue whose journal
+         records per-job tv-abstain counter snapshots *)
+      let job_counters =
+        let jobs_dir = Filename.concat dir "jobs" in
+        if Sys.file_exists (Filename.concat jobs_dir "jobs.log") then begin
+          let jobs = Tbct_store.Jobs.open_ ~dir:jobs_dir () in
+          let entries =
+            List.map
+              (fun ((r : Tbct_store.Jobs.record), _) ->
+                (r.Tbct_store.Jobs.id,
+                 Tbct_store.Jobs.counters jobs ~id:r.Tbct_store.Jobs.id))
+              (Tbct_store.Jobs.entries jobs)
+          in
+          Tbct_store.Jobs.close jobs;
+          entries
+        end
+        else []
+      in
+      if json then begin
+        let jobs_json =
+          String.concat ", "
+            (List.map
+               (fun (id, kvs) ->
+                 Printf.sprintf "%s: {%s}" (json_string id)
+                   (String.concat ", "
+                      (List.map
+                         (fun (k, v) ->
+                           Printf.sprintf "%s: %d" (json_string k) v)
+                         kvs)))
+               job_counters)
+        in
         Printf.printf
           "{\"cas\": {\"objects\": %d, \"bytes\": %d, \"root\": %s}, \
            \"journal\": {\"records\": %d, \"torn_tail\": %b}, \
-           \"bugbank\": {\"signatures\": %d}}\n"
+           \"bugbank\": {\"signatures\": %d}, \"jobs\": {%s}}\n"
           s.Tbct_store.Cas.objects s.Tbct_store.Cas.bytes
           (json_string (Tbct_store.Cas.root cas))
           (List.length replay.Tbct_store.Journal.records)
           replay.Tbct_store.Journal.dropped
           (Tbct_store.Bugbank.size bank)
+          jobs_json
+      end
       else begin
         Printf.printf "cas: %d object(s), %d bytes in %s\n"
           s.Tbct_store.Cas.objects s.Tbct_store.Cas.bytes
@@ -992,7 +1113,14 @@ let store_cmd =
           (if replay.Tbct_store.Journal.dropped then
              " + a torn trailing record (killed campaign; resumable)"
            else "");
-        Printf.printf "bugbank: %d signature(s)\n" (Tbct_store.Bugbank.size bank)
+        Printf.printf "bugbank: %d signature(s)\n" (Tbct_store.Bugbank.size bank);
+        List.iter
+          (fun (id, kvs) ->
+            if kvs <> [] then
+              Printf.printf "%s: %s\n" id
+                (String.concat ", "
+                   (List.map (fun (k, v) -> Printf.sprintf "%s=%d" k v) kvs)))
+          job_counters
       end
     in
     Cmd.v

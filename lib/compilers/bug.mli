@@ -62,3 +62,34 @@ val all_crash_bugs : crash_spec list
 val find_crash_bug : string -> crash_spec option
 val all_miscompile_bugs : miscompile_spec list
 val find_miscompile_bug : string -> miscompile_spec option
+
+(** {1 Optimizer-hosted pass bugs}
+
+    The third bug population: bugs living {e inside} optimizer passes,
+    enabled per target through {!Passes.flags}.  Unlike crash and
+    miscompile specs they have a ground-truth guilty pass, which the
+    translation validator ({!Optimizer.run_tv}) must recover — the Table 4
+    blame-attribution experiments key on this catalogue.  The fuzzing
+    registry mirrors it as dependency-free metadata
+    ([Spirv_fuzz.Registry.injected_pass_bugs]); a test keeps the two in
+    sync. *)
+
+type pass_bug_kind =
+  | Crashes      (** the pass aborts with a stable signature *)
+  | Invalid_ir   (** the pass emits IR the validator/lint rejects *)
+  | Miscompiles  (** the pass silently changes semantics *)
+
+val pass_bug_kind_to_string : pass_bug_kind -> string
+(** ["crash"], ["invalid-ir"] or ["miscompile"] — the registry metadata
+    encoding. *)
+
+type pass_bug_spec = {
+  pb_id : string;  (** the flag's field name, e.g. ["bug_fold_sub_zero"] *)
+  pb_pass : Optimizer.pass_name;  (** ground-truth guilty pass *)
+  pb_kind : pass_bug_kind;
+  pb_enable : Passes.flags -> Passes.flags;  (** set the flag *)
+  pb_enabled : Passes.flags -> bool;  (** read the flag *)
+}
+
+val all_pass_bugs : pass_bug_spec list
+val find_pass_bug : string -> pass_bug_spec option

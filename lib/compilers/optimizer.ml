@@ -24,7 +24,7 @@ let run_pass flags m = function
   | Phi_simplify -> Passes.phi_simplify m
   | Cse -> Passes.cse m
   | Inline -> Passes.inline flags m
-  | Store_forward -> Passes.store_forward m
+  | Store_forward -> Passes.store_forward flags m
   | Dse -> Passes.dse m
   | Hoist_invariant -> Passes.hoist_invariant flags m
 
@@ -55,7 +55,17 @@ let run_checked ?(flags = Passes.no_bugs) pipeline m =
               | Ok () | Error [] -> (
                   match Lint.errors (Lint.check_module m') with
                   | fd :: _ -> Some (pass, "lint: " ^ Lint.to_string fd)
-                  | [] -> None)
+                  | [] -> (
+                      (* Memory-backed DSE soundness: every store the pass
+                         deleted must be unobservable to the independent
+                         access-path def-use analysis too (checked on the
+                         input module, where the stores still exist) *)
+                      match pass with
+                      | Dse -> (
+                          match Passes.dse_cross_check m with
+                          | v :: _ -> Some (pass, "memory: " ^ v)
+                          | [] -> None)
+                      | _ -> None))
             in
             let failures =
               match failure with Some f -> f :: failures | None -> failures

@@ -25,6 +25,11 @@ type flags = {
           when every in-loop store to its cell sits later in the load's own
           block — forgetting the block re-executes, so the hoisted load
           feeds every iteration the stale pre-loop value *)
+  bug_forward_aliased_store : bool;
+      (** miscompile: store-to-load forwarding keys access-chain pointers by
+          their syntactic (base, indices) pair and forwards across an
+          intervening chain store with a different key — forgetting that a
+          dynamic index may alias the forwarded cell *)
 }
 
 let no_bugs =
@@ -34,6 +39,7 @@ let no_bugs =
     bug_fold_sub_zero = false;
     bug_inline_swaps_const_args = false;
     bug_hoist_loop_load = false;
+    bug_forward_aliased_store = false;
   }
 
 (* ------------------------------------------------------------------ *)
@@ -398,8 +404,17 @@ let cse m =
 
 (* Forward [Store (p, v)] to subsequent [Load p] within a block, for direct
    (non-access-chain) pointers.  Conservatively invalidated by calls, by any
-   store through an access chain, and per-pointer by overwrites. *)
-let store_forward m =
+   store through an access chain, and per-pointer by overwrites.
+
+   With [bug_forward_aliased_store] the pass additionally forwards through
+   access-chain pointers, keyed by the chain's syntactic (base, indices)
+   pair — and an intervening chain store with a {e different} key does not
+   invalidate the fact, even though a dynamic index may name the same cell.
+   Storing [a[0] := x] then [a[j] := y] and loading [a[0]] forwards [x]
+   where [j = 0] would have produced [y].  Exactly the alias-blindness the
+   {!Spirv_ir.Memory} analysis exists to expose: the render oracle only
+   catches it when the sampled grid happens to drive [j] to 0. *)
+let store_forward flags m =
   let access_chain_bases =
     List.concat_map
       (fun (fn : Func.t) ->
@@ -411,41 +426,72 @@ let store_forward m =
           (Func.all_instrs fn))
       m.Module_ir.functions
   in
-  let forward_block (b : Block.t) =
-    let known : (Id.t, Id.t) Hashtbl.t = Hashtbl.create 8 in
-    let instrs =
-      List.map
-        (fun (i : Instr.t) ->
-          match (i.Instr.result, i.Instr.ty, i.Instr.op) with
-          | _, _, Instr.Store (p, v) ->
-              if List.mem p access_chain_bases then Hashtbl.reset known
-              else Hashtbl.replace known p v;
-              i
-          | _, _, Instr.FunctionCall _ ->
-              Hashtbl.reset known;
-              i
-          | _, _, Instr.AccessChain _ ->
-              (* a fresh interior pointer: drop everything about its base *)
-              Hashtbl.reset known;
-              i
-          | Some r, Some ty, Instr.Load p -> (
-              match Hashtbl.find_opt known p with
-              | Some v when not (List.mem p access_chain_bases) ->
-                  Instr.make ~result:r ~ty (Instr.CopyObject v)
-              | _ -> i)
-          | _ -> i)
-        b.Block.instrs
+  let forward_fn (fn : Func.t) =
+    (* chain-pointer results and their syntactic keys, function-wide (the
+       buggy forwarder looks keys up across the defining instruction) *)
+    let chain_key : (Id.t, Id.t * Id.t list) Hashtbl.t = Hashtbl.create 8 in
+    List.iter
+      (fun (i : Instr.t) ->
+        match (i.Instr.result, i.Instr.op) with
+        | Some r, Instr.AccessChain (base, idxs) ->
+            Hashtbl.replace chain_key r (base, idxs)
+        | _ -> ())
+      (Func.all_instrs fn);
+    let forward_block (b : Block.t) =
+      let known : (Id.t, Id.t) Hashtbl.t = Hashtbl.create 8 in
+      let chain_known : (Id.t * Id.t list, Id.t) Hashtbl.t = Hashtbl.create 8 in
+      let drop_chain_facts_for base =
+        let stale =
+          Hashtbl.fold
+            (fun ((b', _) as k) _ acc -> if Id.equal b' base then k :: acc else acc)
+            chain_known []
+        in
+        List.iter (Hashtbl.remove chain_known) stale
+      in
+      let instrs =
+        List.map
+          (fun (i : Instr.t) ->
+            match (i.Instr.result, i.Instr.ty, i.Instr.op) with
+            | _, _, Instr.Store (p, v) ->
+                (if flags.bug_forward_aliased_store then
+                   match Hashtbl.find_opt chain_key p with
+                   | Some key ->
+                       (* BUG: records the fact under the syntactic key
+                          without killing the other keys on the same base *)
+                       Hashtbl.replace chain_known key v
+                   | None -> drop_chain_facts_for p);
+                if List.mem p access_chain_bases then Hashtbl.reset known
+                else Hashtbl.replace known p v;
+                i
+            | _, _, Instr.FunctionCall _ ->
+                Hashtbl.reset known;
+                Hashtbl.reset chain_known;
+                i
+            | _, _, Instr.AccessChain _ ->
+                (* a fresh interior pointer: drop everything about its base *)
+                Hashtbl.reset known;
+                i
+            | Some r, Some ty, Instr.Load p -> (
+                match Hashtbl.find_opt known p with
+                | Some v when not (List.mem p access_chain_bases) ->
+                    Instr.make ~result:r ~ty (Instr.CopyObject v)
+                | _ -> (
+                    if not flags.bug_forward_aliased_store then i
+                    else
+                      match
+                        Option.bind (Hashtbl.find_opt chain_key p)
+                          (Hashtbl.find_opt chain_known)
+                      with
+                      | Some v -> Instr.make ~result:r ~ty (Instr.CopyObject v)
+                      | None -> i))
+            | _ -> i)
+          b.Block.instrs
+      in
+      { b with Block.instrs }
     in
-    { b with Block.instrs }
+    { fn with Func.blocks = List.map forward_block fn.Func.blocks }
   in
-  {
-    m with
-    Module_ir.functions =
-      List.map
-        (fun (fn : Func.t) ->
-          { fn with Func.blocks = List.map forward_block fn.Func.blocks })
-        m.Module_ir.functions;
-  }
+  { m with Module_ir.functions = List.map forward_fn m.Module_ir.functions }
 
 (* ------------------------------------------------------------------ *)
 (* Dead store elimination                                              *)
@@ -476,6 +522,44 @@ let dse m =
     }
   in
   { m with Module_ir.functions = List.map eliminate_in m.Module_ir.functions }
+
+(* Memory-backed cross-check for DSE: every store the pass would delete —
+   a store through a pointer in [write_only_locals] — must also be
+   unobservable according to the independent {!Spirv_ir.Memory} def-use
+   analysis ([observable_store] finds a reachable may-aliasing load).  The
+   two analyses are built differently (syntactic use-scan vs. access-path
+   reaching-stores), so agreement here is a real check, not a tautology;
+   [Optimizer.run_checked] fails the Dse step on any violation. *)
+let dse_cross_check m =
+  List.concat_map
+    (fun (fn : Func.t) ->
+      let write_only = Dataflow.write_only_locals fn in
+      if Id.Set.is_empty write_only then []
+      else
+        let avail = Dataflow.Availability.make m fn in
+        let mem = Memory.analyze m fn ~avail in
+        List.concat_map
+          (fun (b : Block.t) ->
+            List.concat
+              (List.mapi
+                 (fun idx (i : Instr.t) ->
+                   match i.Instr.op with
+                   | Instr.Store (p, _)
+                     when Id.Set.mem p write_only
+                          && Memory.observable_store mem ~block:b.Block.label
+                               ~index:idx ->
+                       [
+                         Printf.sprintf
+                           "dse would delete an observable store through %s \
+                            in %s/%s"
+                           (Id.to_string p)
+                           (Id.to_string fn.Func.id)
+                           (Id.to_string b.Block.label);
+                       ]
+                   | _ -> [])
+                 b.Block.instrs))
+          fn.Func.blocks)
+    m.Module_ir.functions
 
 (* ------------------------------------------------------------------ *)
 (* Loop-invariant code motion                                          *)

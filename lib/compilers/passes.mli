@@ -24,6 +24,14 @@ type flags = {
           {e is} stored inside the loop, when every such store sits later
           in the load's own block — each iteration then reads the stale
           pre-loop value *)
+  bug_forward_aliased_store : bool;
+      (** miscompile: store-to-load forwarding keys access-chain pointers
+          by their syntactic (base, indices) pair and forwards across an
+          intervening chain store with a different key, even though a
+          dynamic index may name the forwarded cell.  The translation
+          validator's symbolic memory model catches it on {e every}
+          module; the render oracle only where the sampled grid drives the
+          dynamic index onto the forwarded cell *)
 }
 
 val no_bugs : flags
@@ -34,8 +42,17 @@ val dce : Module_ir.t -> Module_ir.t
 val simplify_cfg : flags -> Module_ir.t -> Module_ir.t
 val phi_simplify : Module_ir.t -> Module_ir.t
 val cse : Module_ir.t -> Module_ir.t
-val store_forward : Module_ir.t -> Module_ir.t
+val store_forward : flags -> Module_ir.t -> Module_ir.t
 val dse : Module_ir.t -> Module_ir.t
+
+val dse_cross_check : Module_ir.t -> string list
+(** Violations of the Memory-backed DSE soundness check: stores that
+    [dse] would delete (their pointer is in
+    {!Spirv_ir.Dataflow.write_only_locals}) but that the independent
+    {!Spirv_ir.Memory} def-use analysis still finds observable.  Empty on
+    every module when both analyses are sound; {!Optimizer.run_checked}
+    fails the Dse step otherwise. *)
+
 val inline : flags -> Module_ir.t -> Module_ir.t
 
 val hoist_invariant : flags -> Module_ir.t -> Module_ir.t

@@ -6,10 +6,14 @@ type witness = { w_slot : string; w_before : string; w_after : string }
 type verdict = Equivalent | Mismatch of witness | Abstained of string
 [@@deriving show { with_path = false }, eq]
 
-let check_pass (before : Module_ir.t) (after : Module_ir.t) : verdict =
+let check_pass_counted (before : Module_ir.t) (after : Module_ir.t) :
+    verdict * int =
   (* One shared context: hash-consing makes cross-module semantic equality
      a node-id comparison. *)
   let ctx = Symval.create () in
+  let finish v = (v, Symval.mem_proofs ctx) in
+  finish
+  @@
   try
     let s1 = Symval.summarize ctx before in
     let s2 = Symval.summarize ctx after in
@@ -43,6 +47,8 @@ let check_pass (before : Module_ir.t) (after : Module_ir.t) : verdict =
          never a finding *)
       Abstained
         (Symval.reason_label `Internal ^ ": " ^ Printexc.to_string exn)
+
+let check_pass before after = fst (check_pass_counted before after)
 
 let abstain_label = function
   | Abstained r -> (

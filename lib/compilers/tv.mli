@@ -39,6 +39,13 @@ val check_pass : Module_ir.t -> Module_ir.t -> verdict
     (different proven trip bounds on the two sides) is downgraded to
     [Abstained "forced-unroll: ..."]. *)
 
+val check_pass_counted : Module_ir.t -> Module_ir.t -> verdict * int
+(** [check_pass] plus the number of dynamic access-chain indices the
+    evaluator folded under a {!Spirv_ir.Memory} finite-range proof while
+    building the two summaries ({!Spirv_ir.Symval.mem_proofs}) — the
+    engine accumulates it as the [mem-proofs] counter on fresh (unmemoized)
+    validations. *)
+
 val abstain_label : verdict -> string option
 (** The structured reason label of an abstention (the payload up to the
     first [':']), [None] for the other verdicts — the bucketing key for

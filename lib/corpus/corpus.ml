@@ -506,3 +506,124 @@ let reference_contexts () =
   List.map
     (fun (name, m) -> (name, Spirv_fuzz.Context.make m default_input))
     (Lazy.force lowered_references)
+
+(* ------------------------------------------------------------------ *)
+(* Memory corpus: modules that index composites with computed values,
+   exercising the {!Spirv_ir.Memory} access-path analysis and the
+   symbolic memory model that folds proven-finite dynamic indices.  The
+   MiniGLSL surface language has no arrays, so these are built directly
+   with {!Spirv_ir.Builder}.  Kept separate from [references] so the
+   campaign composition, golden counts and RNG streams of the earlier
+   experiments stay byte-identical. *)
+
+module B = Spirv_ir.Builder
+
+(* [0, n) index from an arbitrary int: ((i mod n) + n) mod n.  The range
+   analysis proves the result in-bounds even though the dividend has no
+   bound: a singleton divisor n caps the remainder at |n|-1 in magnitude,
+   and the non-negative dividend of the outer mod pins the sign. *)
+let clamped_index b fb ~n i =
+  let cn = B.cint b n in
+  B.smod fb (B.iadd fb (B.smod fb i cn) cn) cn
+
+(* Shared preamble: one function, one open block, the fragment coordinate
+   split into components, and a float array local of length [len] with
+   every cell initialised (constant-index stores strongly kill the
+   initial-value token per cell, keeping the uninitialized-load rule
+   quiet). *)
+let mem_prologue b ~len ~init =
+  let out = B.output_color b in
+  let fc = B.frag_coord b in
+  let fb, main, _ =
+    B.begin_function b ~name:"main" ~ret:(B.void_ty b) ~params:[]
+  in
+  let l = B.new_label fb in
+  B.start_block fb l;
+  let xy = B.load fb fc in
+  let x = B.extract fb xy [ 0 ] in
+  let y = B.extract fb xy [ 1 ] in
+  let arr_ty = B.array_ty b ~elem:(B.float_ty b) ~len in
+  let a = B.hoisted_var fb ~pointee:arr_ty in
+  List.iteri
+    (fun j v ->
+      B.store fb (B.access_chain fb a [ B.cint b j ]) (B.cfloat b v))
+    init;
+  (out, fb, main, x, y, a)
+
+let mem_epilogue b fb main ~out (r, g, bl) =
+  let v4 =
+    B.composite fb ~ty:(B.vec4f b) [ r; g; bl; B.cfloat b 1.0 ]
+  in
+  B.store fb out v4;
+  B.ret fb;
+  ignore (B.end_function fb);
+  B.finish b ~entry:main
+
+(* M1. two dynamic loads through proven-in-bounds rotating indices: the
+   symbolic memory model folds each into a select chain over the four
+   cells instead of abstaining *)
+let mem_rotate =
+  let b = B.create () in
+  let out, fb, main, x, y, a =
+    mem_prologue b ~len:4 ~init:[ 0.1; 0.35; 0.6; 0.85 ]
+  in
+  let ix = B.f_to_s fb x in
+  let j = clamped_index b fb ~n:4 ix in
+  let j2 = clamped_index b fb ~n:4 (B.iadd fb j (B.cint b 1)) in
+  let r = B.load fb (B.access_chain fb a [ j ]) in
+  let g = B.load fb (B.access_chain fb a [ j2 ]) in
+  ("mem_rotate", mem_epilogue b fb main ~out (r, g, B.fmul fb y (B.cfloat b 0.5)))
+
+(* M2. a dynamic store followed by a dynamic load: the store becomes a
+   per-cell conditional update, the load a select chain over the updated
+   cells; the constant reload of cell 0 keeps the whole array observed *)
+let mem_swizzle =
+  let b = B.create () in
+  let out, fb, main, x, y, a =
+    mem_prologue b ~len:3 ~init:[ 0.2; 0.5; 0.8 ]
+  in
+  let j = clamped_index b fb ~n:3 (B.f_to_s fb y) in
+  B.store fb (B.access_chain fb a [ j ]) x;
+  let r = B.load fb (B.access_chain fb a [ j ]) in
+  let g = B.load fb (B.access_chain fb a [ B.cint b 0 ]) in
+  ("mem_swizzle", mem_epilogue b fb main ~out (r, g, B.cfloat b 0.25))
+
+(* M3. constant-index load past a may-aliasing dynamic store — the exact
+   shape [bug_forward_aliased_store] miscompiles: a buggy store-to-load
+   forwarder that keys on the syntactic chain forwards the cell-0 init
+   over the dynamic store even though the dynamic index may be 0 *)
+let mem_mask =
+  let b = B.create () in
+  let out, fb, main, x, y, a =
+    mem_prologue b ~len:2 ~init:[ 0.0; 0.9 ]
+  in
+  B.store fb (B.access_chain fb a [ B.cint b 0 ]) x;
+  let j = clamped_index b fb ~n:2 (B.f_to_s fb y) in
+  B.store fb (B.access_chain fb a [ j ]) (B.fmul fb y (B.cfloat b 0.5)) ;
+  let r = B.load fb (B.access_chain fb a [ B.cint b 0 ]) in
+  let g = B.load fb (B.access_chain fb a [ j ]) in
+  ("mem_mask", mem_epilogue b fb main ~out (r, g, B.cfloat b 0.75))
+
+(* M4. table lookup indexed by a uniform: the index is symbolic on every
+   pixel yet the clamp proves it in-bounds, so TV still covers the
+   module *)
+let mem_gate =
+  let b = B.create () in
+  let out, fb, main, x, y, a =
+    mem_prologue b ~len:4 ~init:[ 0.15; 0.4; 0.65; 0.9 ]
+  in
+  let int_ty = B.int_ty b in
+  let u_mode = B.uniform b ~pointee:int_ty ~name:"u_mode" in
+  let k = clamped_index b fb ~n:4 (B.load fb u_mode) in
+  let r = B.load fb (B.access_chain fb a [ k ]) in
+  let g = B.fmul fb r x in
+  ("mem_gate", mem_epilogue b fb main ~out (r, g, B.fmul fb y (B.cfloat b 0.35)))
+
+(** Builder-built modules (already IR — no lowering step).  Paired with
+    [default_input] they validate, interpret deterministically, stay
+    lint-clean under the memory rules, and pass translation validation
+    with zero dynamic-index abstentions. *)
+let memory_references =
+  [ mem_rotate; mem_swizzle; mem_mask; mem_gate ]
+
+let memory_reference_names = List.map fst memory_references

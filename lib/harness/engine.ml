@@ -263,8 +263,10 @@ let tv_check_uncounted e ~(before : Module_ir.t) ~(after : Module_ir.t) :
             v
         | None ->
             let t0 = Unix.gettimeofday () in
-            let v = Compilers.Tv.check_pass before after in
+            let v, proofs = Compilers.Tv.check_pass_counted before after in
             let dt = Unix.gettimeofday () -. t0 in
+            (* fresh computes only: a memoized verdict re-proves nothing *)
+            if proofs > 0 then bump_counter e "mem-proofs" proofs;
             locked e (fun () ->
                 Lru.set e.tv_memo key v;
                 add_stage_locked e tv_stage dt);

@@ -16,6 +16,9 @@ type job = {
   mutable jmemo_hits : int;
   mutable jcross_hits : int;
   mutable jslices : int;
+  (* accumulated tv-abstain:<reason> buckets, attributed per slice (slices
+     are serialized, so an engine-counter delta belongs to this job) *)
+  jabstains : (string, int) Hashtbl.t;
   mutable jerror : string option;
 }
 
@@ -55,12 +58,20 @@ let runs_executed j = j.jruns
 let memo_hits j = j.jmemo_hits
 let cross_memo_hits j = j.jcross_hits
 let slices j = j.jslices
+
+let tv_abstains j =
+  List.sort
+    (fun (a, _) (b, _) -> String.compare a b)
+    (Hashtbl.fold (fun k v acc -> (k, v) :: acc) j.jabstains [])
+
 let last_error j = j.jerror
 
 let jobs_dir t = Filename.concat t.root "jobs"
 let job_dir t id = Filename.concat (jobs_dir t) id
 
-let fresh_job (r : Jobs.record) st =
+let fresh_job ?(counters = []) (r : Jobs.record) st =
+  let jabstains = Hashtbl.create 4 in
+  List.iter (fun (k, v) -> Hashtbl.replace jabstains k v) counters;
   {
     jid = r.Jobs.id;
     jspec = r;
@@ -72,6 +83,7 @@ let fresh_job (r : Jobs.record) st =
     jmemo_hits = 0;
     jcross_hits = 0;
     jslices = 0;
+    jabstains;
     jerror = None;
   }
 
@@ -102,7 +114,8 @@ let create ?(fsync = false) ?(quantum = 8) ?(on_event = fun _ -> ()) ~root
      interrupted mid-campaign and resume from their journals *)
   List.iter
     (fun ((r : Jobs.record), st) ->
-      Hashtbl.replace t.table r.Jobs.id (fresh_job r st);
+      let counters = Jobs.counters store ~id:r.Jobs.id in
+      Hashtbl.replace t.table r.Jobs.id (fresh_job ~counters r st);
       t.order <- t.order @ [ r.Jobs.id ])
     (Jobs.entries store);
   t
@@ -202,6 +215,15 @@ let memo_total (s : Harness.Engine.stats) =
   s.Harness.Engine.cache_hits + s.Harness.Engine.store_hits
   + s.Harness.Engine.opt_hits + s.Harness.Engine.tv_hits
 
+let abstain_prefix = "tv-abstain:"
+
+let abstain_counters (s : Harness.Engine.stats) =
+  List.filter
+    (fun (k, _) ->
+      String.length k > String.length abstain_prefix
+      && String.sub k 0 (String.length abstain_prefix) = abstain_prefix)
+    s.Harness.Engine.counters
+
 let record_hit t j (h : Experiments.hit) =
   let signature = h.Experiments.hit_detection.Harness.Pipeline.signature in
   let bug_id = Harness.Signature.bug_id_of_signature signature in
@@ -269,6 +291,20 @@ let slice t j =
              - before.Harness.Engine.runs_executed);
           j.jmemo_hits <- j.jmemo_hits + memo_delta;
           if other_ran then j.jcross_hits <- j.jcross_hits + memo_delta;
+          (* slice-local growth of each tv-abstain bucket belongs to this
+             job; persist the accumulated snapshot with the slice *)
+          let before_abstains = abstain_counters before in
+          List.iter
+            (fun (k, v) ->
+              let prior =
+                Option.value ~default:0 (List.assoc_opt k before_abstains)
+              in
+              if v > prior then
+                Hashtbl.replace j.jabstains k
+                  (v - prior
+                  + Option.value ~default:0 (Hashtbl.find_opt j.jabstains k)))
+            (abstain_counters after);
+          Jobs.set_counters t.store ~id:j.jid (tv_abstains j);
           j.jslices <- j.jslices + 1;
           (* exact, replacing the live per-seed increments: the journal
              knows precisely how many seeds are recorded *)

@@ -56,6 +56,14 @@ val cross_memo_hits : job -> int
     executed runs — the shared-engine payoff. *)
 
 val slices : job -> int
+
+val tv_abstains : job -> (string * int) list
+(** The job's accumulated translation-validation abstention buckets
+    ([("tv-abstain:<reason>", count)]), sorted by label.  Attributed from
+    the engine's counter deltas around each slice (slices are
+    serialized), persisted to the jobs journal as ["counters"] records,
+    and restored on daemon restart. *)
+
 val last_error : job -> string option
 
 (** {1 Events} *)

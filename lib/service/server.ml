@@ -64,6 +64,11 @@ let job_json j =
       ("memo_hits", Json.Int (Scheduler.memo_hits j));
       ("cross_memo_hits", Json.Int (Scheduler.cross_memo_hits j));
       ("slices", Json.Int (Scheduler.slices j));
+      ( "tv_abstains",
+        Json.Obj
+          (List.map
+             (fun (k, v) -> (k, Json.Int v))
+             (Scheduler.tv_abstains j)) );
       ( "error",
         match Scheduler.last_error j with
         | Some e -> Json.Str e
@@ -87,6 +92,13 @@ let engine_json (s : Harness.Engine.stats) =
       ("runs_saved", Json.Int s.Harness.Engine.runs_saved);
       ("hit_rate", Json.Float s.Harness.Engine.hit_rate);
       ("execute_wall", Json.Float s.Harness.Engine.execute_wall);
+      ( "counters",
+        Json.Obj
+          (List.map
+             (fun (k, v) -> (k, Json.Int v))
+             (List.sort
+                (fun (a, _) (b, _) -> String.compare a b)
+                s.Harness.Engine.counters)) );
     ]
 
 let pool_json pool =

@@ -1116,6 +1116,27 @@ let follow_ons = function
   | _ -> []
 
 (* ------------------------------------------------------------------ *)
+(* Injected optimizer pass bugs                                        *)
+
+(** The optimizer-hosted injected bugs, as (flag id, hosting pass,
+    bug kind) string triples.  Metadata only: the authoritative catalogue
+    with the enable/probe closures is [Compilers.Bug.all_pass_bugs] (a
+    test keeps the two aligned), and keeping this table dependency-free —
+    no [compilers] import, no {!entry} in {!all} — means campaign RNG
+    streams and golden counts stay byte-identical while the CLI and the
+    experiment reports can still render the roster from the registry
+    alone. *)
+let injected_pass_bugs =
+  [
+    ("bug_fold_div_crash", "Const_fold", "crash");
+    ("bug_keep_stale_phi_entries", "Simplify_cfg", "invalid-ir");
+    ("bug_fold_sub_zero", "Const_fold", "miscompile");
+    ("bug_inline_swaps_const_args", "Inline", "miscompile");
+    ("bug_hoist_loop_load", "Hoist_invariant", "miscompile");
+    ("bug_forward_aliased_store", "Store_forward", "miscompile");
+  ]
+
+(* ------------------------------------------------------------------ *)
 (* Weights                                                             *)
 
 (** The effective sampling weight of a pass: the maximum over its member

@@ -595,6 +595,25 @@ module Ranges = struct
                 | Value.VInt n -> bind env r (Itv.point (Int32.to_int n))
                 | Value.VBool _ | Value.VFloat _ | Value.VComposite _ -> env
                 | exception Ops.Type_error _ -> env)
+            | _, Some m when op = Instr.SMod ->
+                (* [Ops.smod] is [Int32.rem] (dividend-signed, and 0 when the
+                   divisor is 0), so with a known divisor m <> 0 the result
+                   lies in [-(|m|-1), |m|-1], tightened by the dividend's
+                   sign; this is what proves the
+                   [((x mod n) + n) mod n] in-bounds idiom.  Soundness at
+                   the int32 edge: |Int32.rem a m| < |m| for every a,
+                   including min_int (rem min_int (-1) = 0). *)
+                if m = 0 then bind env r (Itv.point 0)
+                else
+                  let bound = abs m - 1 in
+                  let ia = lk a in
+                  let itv =
+                    if ia.Itv.lo >= 0 then Itv.make 0 (min ia.Itv.hi bound)
+                    else if ia.Itv.hi <= 0 then
+                      Itv.make (max ia.Itv.lo (-bound)) 0
+                    else Itv.make (-bound) bound
+                  in
+                  bind env r itv
             | _ -> env)
         | _ -> env)
     | Some r, Instr.Unop (Instr.SNegate, a) -> bind env r (Itv.neg (lk a))

@@ -20,7 +20,7 @@ type rvalue =
   | Val of Value.t
   | Ptr of ptr
 
-and ptr = { cell : Value.t ref; path : int list }
+and ptr = { cell : Value.t ref; path : int list; root : Id.t }
 
 type state = {
   m : Module_ir.t;
@@ -30,12 +30,24 @@ type state = {
   trace : (Id.t -> Value.t -> unit) option;
       (* observation hook: called on every SSA value binding (instruction
          results and φ merges); pointers are not observable values *)
+  mem_trace :
+    (kind:[ `Load | `Store ] -> ptr:Id.t -> root:Id.t -> path:int list -> unit)
+    option;
+      (* memory hook: called on every executed Load/Store with the pointer
+         operand, the variable the cell was allocated for, and the fully
+         resolved (concrete) element path — the ground truth the memory
+         analysis' alias verdicts are checked against *)
 }
 
 let notify st r rv =
   match (st.trace, rv) with
   | Some f, Val v -> f r v
   | Some _, Ptr _ | None, _ -> ()
+
+let notify_mem st ~kind ~ptr_id (p : ptr) =
+  match st.mem_trace with
+  | Some f -> f ~kind ~ptr:ptr_id ~root:p.root ~path:(List.rev p.path)
+  | None -> ()
 
 let tick st =
   st.steps <- st.steps + 1;
@@ -146,6 +158,7 @@ and exec_instr st _f env (i : Instr.t) =
   | _, Instr.Nop -> env
   | None, Instr.Store (p, v) ->
       let ptr = lookup_ptr st env p in
+      notify_mem st ~kind:`Store ~ptr_id:p ptr;
       store ptr (lookup_val st env v);
       env
   | Some r, Instr.Binop (op, a, b) -> (
@@ -167,7 +180,10 @@ and exec_instr st _f env (i : Instr.t) =
       bind r
         (Val
            (Value.update_at_path (lookup_val st env c) path (lookup_val st env obj)))
-  | Some r, Instr.Load p -> bind r (Val (load (lookup_ptr st env p)))
+  | Some r, Instr.Load p ->
+      let ptr = lookup_ptr st env p in
+      notify_mem st ~kind:`Load ~ptr_id:p ptr;
+      bind r (Val (load ptr))
   | Some r, Instr.AccessChain (base, idxs) ->
       let ptr = lookup_ptr st env base in
       let path =
@@ -198,7 +214,11 @@ and exec_instr st _f env (i : Instr.t) =
       | Some ptr_ty -> (
           match Module_ir.type_exn st.m ptr_ty with
           | Ty.Pointer (_, pointee) ->
-              bind r (Ptr { cell = ref (Module_ir.zero_value st.m pointee); path = [] })
+              bind r
+                (Ptr
+                   { cell = ref (Module_ir.zero_value st.m pointee);
+                     path = [];
+                     root = r })
           | _ -> invalid "variable %s has non-pointer type" (Id.to_string r))
       | None -> invalid "variable without a type")
   | Some _, Instr.Variable _ -> invalid "function-scope variable with bad storage class"
@@ -240,16 +260,18 @@ let allocate_globals m (input : Input.t) ~frag_x ~frag_y =
             | Some c -> Module_ir.const_value m c
             | None -> Module_ir.zero_value m pointee)
       in
-      Id.Map.add g.Module_ir.gd_id (Ptr { cell = ref initial; path = [] }) acc)
+      Id.Map.add g.Module_ir.gd_id
+        (Ptr { cell = ref initial; path = []; root = g.Module_ir.gd_id })
+        acc)
     Id.Map.empty m.Module_ir.globals
 
 let default_step_limit = 100_000
 
-let run_fragment ?(step_limit = default_step_limit) ?trace m input ~frag_x
-    ~frag_y : outcome =
+let run_fragment ?(step_limit = default_step_limit) ?trace ?mem_trace m input
+    ~frag_x ~frag_y : outcome =
   try
     let globals = allocate_globals m input ~frag_x ~frag_y in
-    let st = { m; steps = 0; step_limit; globals; trace } in
+    let st = { m; steps = 0; step_limit; globals; trace; mem_trace } in
     let entry = Module_ir.entry_function m in
     let result =
       try
@@ -289,11 +311,12 @@ let render ?(step_limit = default_step_limit) m input =
    with Exit -> ());
   !result
 
-let run_function ?(step_limit = default_step_limit) ?trace m ~fn ~args =
+let run_function ?(step_limit = default_step_limit) ?trace ?mem_trace m ~fn
+    ~args =
   try
     let input = Input.make [] in
     let globals = allocate_globals m input ~frag_x:0 ~frag_y:0 in
-    let st = { m; steps = 0; step_limit; globals; trace } in
+    let st = { m; steps = 0; step_limit; globals; trace; mem_trace } in
     let f = Module_ir.function_exn m fn in
     let result =
       try exec_function st f (List.map (fun v -> Val v) args)

@@ -24,6 +24,8 @@ type outcome = (Image.pixel, trap) result
 val run_fragment :
   ?step_limit:int ->
   ?trace:(Id.t -> Value.t -> unit) ->
+  ?mem_trace:
+    (kind:[ `Load | `Store ] -> ptr:Id.t -> root:Id.t -> path:int list -> unit) ->
   Module_ir.t ->
   Input.t ->
   frag_x:int ->
@@ -33,7 +35,11 @@ val run_fragment :
     [trace] is called on every SSA value binding (instruction results and
     φ merges, across all executed functions) — the hook the range-analysis
     soundness tests use to check every concrete value against its computed
-    interval.  Pointer bindings are not reported. *)
+    interval.  Pointer bindings are not reported.
+    [mem_trace] is called on every executed Load/Store with the pointer
+    operand id, the variable or global the cell was allocated for ([root])
+    and the fully resolved concrete element path — the ground truth the
+    {!Memory} alias-soundness tests compare [No_alias] verdicts against. *)
 
 val render :
   ?step_limit:int -> Module_ir.t -> Input.t -> (Image.t, trap) result
@@ -42,6 +48,8 @@ val render :
 val run_function :
   ?step_limit:int ->
   ?trace:(Id.t -> Value.t -> unit) ->
+  ?mem_trace:
+    (kind:[ `Load | `Store ] -> ptr:Id.t -> root:Id.t -> path:int list -> unit) ->
   Module_ir.t ->
   fn:Id.t ->
   args:Value.t list ->

@@ -186,6 +186,57 @@ let check_function m (f : Func.t) : finding list =
       report ?block "store-never-read" Warning
         "local %s is stored to but never read" (Id.to_string v))
     (Dataflow.write_only_locals f);
+  (* memory rules, over the shared access-path / alias analysis *)
+  let mem = Memory.analyze m f ~avail:av in
+  let kind_str (a : Memory.access) =
+    match a.Memory.a_kind with
+    | Memory.ALoad -> "load"
+    | Memory.AStore -> "store"
+  in
+  let path_str (a : Memory.access) =
+    match a.Memory.a_path with
+    | Some p -> Memory.path_to_string p
+    | None -> "<unresolved>"
+  in
+  (* possible-out-of-bounds: a resolved chain access whose index interval
+     is not provably within the composite.  An Error even though the
+     runtime clamps: a clamped access aliases a cell the author never
+     named, which is exactly how UB-adjacent modules masquerade as
+     miscompilations. *)
+  List.iter
+    (fun (a : Memory.access) ->
+      match a.Memory.a_path with
+      | Some p when p.Memory.segs <> [] && not a.Memory.in_bounds ->
+          report ~block:a.Memory.a_block "possible-out-of-bounds" Error
+            "%s through %s may index out of bounds: %s" (kind_str a)
+            (Id.to_string a.Memory.a_ptr)
+            (Memory.path_to_string p)
+      | _ -> ())
+    (Memory.accesses mem);
+  (* uninitialized-load: the initial-value token reaches the load *)
+  List.iter
+    (fun (a : Memory.access) ->
+      report ~block:a.Memory.a_block "uninitialized-load" Warning
+        "load %s may observe the zero-initialized default of %s"
+        (Id.to_string a.Memory.a_ptr) (path_str a))
+    (Memory.uninitialized_loads mem);
+  (* dead-store: no may-aliasing load is reachable from the store (bases
+     with no loads at all belong to store-never-read above) *)
+  List.iter
+    (fun (a : Memory.access) ->
+      report ~block:a.Memory.a_block "dead-store" Warning
+        "store through %s to %s is never observed by a load"
+        (Id.to_string a.Memory.a_ptr) (path_str a))
+    (Memory.dead_stores mem);
+  (* redundant-load: a same-block must-aliasing reload with no intervening
+     may-aliasing store or call *)
+  List.iter
+    (fun ((first : Memory.access), (again : Memory.access)) ->
+      report ~block:again.Memory.a_block "redundant-load" Warning
+        "load %s of %s reloads the value of %s in the same block"
+        (Id.to_string again.Memory.a_ptr) (path_str again)
+        (Id.to_string first.Memory.a_ptr))
+    (Memory.redundant_loads mem);
   (* loop rules, over the natural-loop forest *)
   let forest = Loops.analyze cfg dom in
   List.iter

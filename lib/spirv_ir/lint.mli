@@ -23,6 +23,20 @@
     - [loop-invariant-code] (warning): a pure value instruction inside a
       loop whose operands are all defined outside it
 
+    Memory rules, over the {!Memory} access-path / alias analysis:
+
+    - [possible-out-of-bounds] (error): a resolved chain access whose
+      index interval is not provably within the composite it indexes —
+      the runtime clamps, so the access silently aliases a cell the
+      author never named
+    - [uninitialized-load] (warning): a load of a non-escaping local that
+      the initial-value token still reaches (may observe the
+      zero-initialized default)
+    - [dead-store] (warning): a store to a non-escaping local that is
+      loaded elsewhere, but from which no may-aliasing load is reachable
+    - [redundant-load] (warning): a same-block must-aliasing chain reload
+      with no intervening may-aliasing store or call
+
     Lint never raises on malformed input, so it can run on modules the
     validator rejects. *)
 

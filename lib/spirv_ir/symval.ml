@@ -49,6 +49,7 @@ type ctx = {
   mutable visits : int;
   mutable local_serial : int;
   mutable forced_exits : int;
+  mutable mem_proofs : int;
   max_visits : int;
   max_nodes : int;
   max_unroll : int;
@@ -61,6 +62,7 @@ let create ?(max_visits = 20_000) ?(max_nodes = 200_000) ?(max_unroll = 64) () =
     visits = 0;
     local_serial = 0;
     forced_exits = 0;
+    mem_proofs = 0;
     max_visits;
     max_nodes;
     max_unroll;
@@ -68,6 +70,7 @@ let create ?(max_visits = 20_000) ?(max_nodes = 200_000) ?(max_unroll = 64) () =
 
 let node_count ctx = ctx.next_id
 let forced_exits ctx = ctx.forced_exits
+let mem_proofs ctx = ctx.mem_proofs
 
 (* Interning keys use the float's bit pattern, matching Value.equal's
    bit-level comparison (so -0.0 and 0.0 intern to distinct constants,
@@ -286,8 +289,75 @@ end
 
 module RootMap = Map.Make (Root)
 
-type sptr = { base : Root.t; rpath : int list (* reversed, as in Interp *) }
+(* One access-chain level of a symbolic pointer.  A [Pconst] level is a
+   literal index (evaluated exactly as before the memory model existed —
+   the canonical forms of chain-free and constant-chain modules must not
+   move).  A [Psym] level is a dynamic index that [Memory] proved bounded:
+   loads and stores through it fold into a select chain over all [len]
+   cells, with the edge cells' conditions mirroring the interpreter's
+   clamping ([idx <= 0] / [idx >= len-1]).  Folding over the full cell
+   range — rather than the proven interval — keeps the canonical form
+   independent of {e how tight} each side of a pass proves the range, so
+   two modules disagree only if their cell values disagree. *)
+type pseg =
+  | Pconst of int
+  | Psym of { idx : node; len : int }
+
+type sptr = { base : Root.t; rpath : pseg list (* reversed, as in Interp *) }
 type rv = Rnode of node | Rptr of sptr
+
+(* Literal index path, if the chain has no symbolic level. *)
+let const_psegs psegs =
+  let rec go acc = function
+    | [] -> Some (List.rev acc)
+    | Pconst i :: tl -> go (i :: acc) tl
+    | Psym _ :: _ -> None
+  in
+  go [] psegs
+
+let cell_cond ctx idx ~len j =
+  let ci v = const ctx (Value.VInt (Int32.of_int v)) in
+  if j = 0 then binop ctx Instr.SLessThanEqual idx (ci 0)
+  else if j = len - 1 then binop ctx Instr.SGreaterThanEqual idx (ci (len - 1))
+  else binop ctx Instr.IEqual idx (ci j)
+
+(* Load through a mixed literal/symbolic path: symbolic levels become a
+   right-nested select chain (cell 0 first, last cell unconditional — by
+   clamping, an index that matched no earlier condition lands there). *)
+let rec extract_psegs ctx n = function
+  | [] -> n
+  | Pconst i :: rest -> extract_psegs ctx (extract ctx n [ i ]) rest
+  | Psym { idx; len } :: rest ->
+      if len <= 0 then n
+      else
+        let arm j = extract_psegs ctx (extract ctx n [ j ]) rest in
+        let rec chain j =
+          if j >= len - 1 then arm (len - 1)
+          else ite ctx (cell_cond ctx idx ~len j) (arm j) (chain (j + 1))
+        in
+        chain 0
+
+(* Store through a mixed path: each cell a symbolic level can reach is
+   rebuilt as [select(idx-matches-j, updated, old)]. *)
+let rec update_psegs ctx base psegs v =
+  match psegs with
+  | [] -> v
+  | Pconst i :: [] -> sym_update ctx base [ i ] v
+  | Pconst i :: rest ->
+      let child = extract ctx base [ i ] in
+      sym_update ctx base [ i ] (update_psegs ctx child rest v)
+  | Psym { idx; len } :: rest ->
+      if len <= 0 then base
+      else if len = 1 then
+        let child = extract ctx base [ 0 ] in
+        sym_update ctx base [ 0 ] (update_psegs ctx child rest v)
+      else
+        let cell j =
+          let old_j = extract ctx base [ j ] in
+          let upd_j = update_psegs ctx old_j rest v in
+          ite ctx (cell_cond ctx idx ~len j) upd_j old_j
+        in
+        construct ctx (List.init len cell)
 
 (* Everything observable at a function exit: the composed kill condition,
    the return value (Dead for void / killed paths) and the store. *)
@@ -298,6 +368,9 @@ type menv = {
   avail : (Id.t, Dataflow.Availability.t) Hashtbl.t;
   facts : (Id.t, Loops.forest * int Id.Map.t) Hashtbl.t;
       (** per function: loop forest + proven trip bounds, keyed by header *)
+  mems : (Id.t, Memory.t) Hashtbl.t;
+      (** per function: the access-path / alias analysis backing the
+          symbolic memory model *)
   globals : rv Id.Map.t;
 }
 
@@ -335,6 +408,17 @@ let loop_facts_for me (f : Func.t) =
       Hashtbl.add me.facts f.Func.id facts;
       facts
 
+(* The per-function memory analysis, computed once and cached — the only
+   path by which the evaluator reasons about dynamic access-chain indices
+   (CI greps enforce there is no ad-hoc chain walking here). *)
+let memory_for me (f : Func.t) =
+  match Hashtbl.find_opt me.mems f.Func.id with
+  | Some t -> t
+  | None ->
+      let t = Memory.analyze me.m f ~avail:(availability_for me f) in
+      Hashtbl.add me.mems f.Func.id t;
+      t
+
 let lookup ctx me env id =
   match Id.Map.find_opt id env with
   | Some rv -> rv
@@ -362,6 +446,10 @@ let mem_find mem base =
   | None -> abstain `Internal "load from an unallocated root"
 
 let max_call_depth = 64
+
+(* Cells a single folded dynamic index may fan out over; composites in the
+   modelled fragment subset are at most mat4-sized. *)
+let max_fold = 16
 
 let rec eval_function ctx me ~depth (f : Func.t) (args : rv list) mem : fexit =
   if depth > max_call_depth then abstain `Budget "call depth exceeded in %s" f.Func.name;
@@ -427,8 +515,12 @@ and eval_instrs ctx me ~depth ~unrolls f env mem b = function
       | None, Instr.Store (p, v) ->
           let ptr = lookup_ptr ctx me env p in
           let cur = mem_find mem ptr.base in
+          let path = List.rev ptr.rpath in
+          let vn = lookup_val ctx me env v in
           let updated =
-            sym_update ctx cur (List.rev ptr.rpath) (lookup_val ctx me env v)
+            match const_psegs path with
+            | Some ints -> sym_update ctx cur ints vn
+            | None -> update_psegs ctx cur path vn
           in
           continue_with env (RootMap.add ptr.base updated mem)
       | Some r, Instr.Binop (op, a, c) ->
@@ -476,18 +568,50 @@ and eval_instrs ctx me ~depth ~unrolls f env mem b = function
       | Some r, Instr.Load p ->
           let ptr = lookup_ptr ctx me env p in
           let cur = mem_find mem ptr.base in
-          continue_with
-            (bind r (Rnode (extract ctx cur (List.rev ptr.rpath))))
-            mem
+          let path = List.rev ptr.rpath in
+          let loaded =
+            match const_psegs path with
+            | Some ints -> extract ctx cur ints
+            | None -> extract_psegs ctx cur path
+          in
+          continue_with (bind r (Rnode loaded)) mem
       | Some r, Instr.AccessChain (base, idxs) ->
           let ptr = lookup_ptr ctx me env base in
+          (* segments (one per index operand, with the proven interval and
+             the indexed composite's arity) come from the shared memory
+             analysis; a symbolic index is foldable exactly when its range
+             is proven finite there *)
+          let segs = lazy (Memory.chain_segs (memory_for me f) r) in
           let path =
-            List.map
-              (fun idx ->
+            List.mapi
+              (fun k idx ->
                 match (lookup_val ctx me env idx).desc with
-                | Const (Value.VInt i) -> Int32.to_int i
+                | Const (Value.VInt i) -> Pconst (Int32.to_int i)
                 | Const _ -> abstain `Internal "non-integer index in access chain"
-                | _ -> abstain `Dynamic_index "dynamic access-chain index")
+                | _ -> (
+                    let seg =
+                      match Lazy.force segs with
+                      | Some ss -> List.nth_opt ss k
+                      | None -> None
+                    in
+                    match seg with
+                    | None ->
+                        abstain `Dynamic_index
+                          "dynamic access-chain index through an unresolved pointer"
+                    | Some s ->
+                        let len = s.Memory.seg_len in
+                        if not (Dataflow.Itv.finite s.Memory.seg_itv) then
+                          abstain `Dynamic_index
+                            "dynamic access-chain index with an unbounded range"
+                        else if len > max_fold then
+                          abstain `Dynamic_index
+                            "dynamic access-chain index fans out over %d cells"
+                            len
+                        else begin
+                          ctx.mem_proofs <- ctx.mem_proofs + 1;
+                          if len = 1 then Pconst 0
+                          else Psym { idx = lookup_val ctx me env idx; len }
+                        end))
               idxs
           in
           continue_with
@@ -712,7 +836,15 @@ let init_globals ctx (m : Module_ir.t) =
 
 let summarize ctx (m : Module_ir.t) =
   let globals, mem = init_globals ctx m in
-  let me = { m; avail = Hashtbl.create 8; facts = Hashtbl.create 8; globals } in
+  let me =
+    {
+      m;
+      avail = Hashtbl.create 8;
+      facts = Hashtbl.create 8;
+      mems = Hashtbl.create 8;
+      globals;
+    }
+  in
   let entry = Module_ir.entry_function m in
   let ex = eval_function ctx me ~depth:0 entry [] mem in
   let s_out =

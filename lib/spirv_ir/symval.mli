@@ -20,15 +20,24 @@
     directly (counted in {!forced_exits}; {!Tv} downgrades any mismatch
     witnessed under forcing to an abstention).
 
+    Dynamic access-chain indices fold rather than abstain: when the
+    {!Memory} analysis proves the index's range finite, a load or store
+    through it becomes a select chain over the composite's cells whose
+    edge conditions mirror the interpreter's clamping, so modules that
+    index arrays with computed values stay inside the translation
+    validator instead of falling back to the render oracle.
+
     Soundness discipline: whenever the evaluator cannot prove what a
     construct denotes — a back edge without a trip bound, a dynamic
-    access-chain index, a pointer-valued select on a symbolic condition,
-    an exhausted budget — it raises {!Abstain} rather than guessing.
-    Callers must never report an abstention as a bug.
+    access-chain index with no provable range, a pointer-valued select on
+    a symbolic condition, an exhausted budget — it raises {!Abstain}
+    rather than guessing.  Callers must never report an abstention as a
+    bug.
 
-    Reachability, dominance, the loop forest and value ranges all come
-    from the shared {!Dataflow} analyses (CI greps enforce that this
-    module neither rebuilds a CFG nor runs a private fixpoint). *)
+    Reachability, dominance, the loop forest, value ranges and access
+    paths all come from the shared {!Dataflow}/{!Memory} analyses (CI
+    greps enforce that this module neither rebuilds a CFG nor walks
+    access chains privately). *)
 
 type reason =
   [ `Loop_unbounded  (** back edge with no provable trip-count bound *)
@@ -73,6 +82,12 @@ val forced_exits : ctx -> int
     unroll counter reached the proven trip bound.  A mismatch between two
     summaries built under forcing is not trustworthy (the two modules may
     have proved different bounds); {!Tv} downgrades it to an abstention. *)
+
+val mem_proofs : ctx -> int
+(** How many dynamic access-chain indices were folded into select chains
+    over their cells instead of abstaining, each licensed by a
+    {!Memory.chain_segs} finite-range proof.  Surfaced as the engine's
+    [mem-proofs] counter. *)
 
 type summary = {
   s_kill : node;  (** symbolic "fragment was killed" condition *)

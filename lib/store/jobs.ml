@@ -32,6 +32,9 @@ type t = {
      holds the latest state *)
   mutable order : string list;  (* reversed: newest first *)
   jobs : (string, record * state) Hashtbl.t;
+  (* latest per-job named counters (tv-abstain buckets); absent for jobs
+     that never recorded any *)
+  job_counters : (string, (string * int) list) Hashtbl.t;
 }
 
 let log_path dir = Filename.concat dir "jobs.log"
@@ -54,6 +57,32 @@ let encode_job (r : record) =
 let encode_state ~id st =
   String.concat "\t"
     [ "state"; version; Printf.sprintf "%S" id; state_to_string st ]
+
+(* counters records carry "name=value,..." pairs; replayers that predate
+   them skip the unknown record type (the journal is checksummed, so an
+   unparseable-but-valid record is a future shape, not corruption) *)
+let encode_counters ~id kvs =
+  let body =
+    String.concat ","
+      (List.map (fun (k, v) -> Printf.sprintf "%s=%d" k v) kvs)
+  in
+  String.concat "\t"
+    [ "counters"; version; Printf.sprintf "%S" id; Printf.sprintf "%S" body ]
+
+let decode_counter_body body =
+  List.filter_map
+    (fun item ->
+      match String.index_opt item '=' with
+      | Some i -> (
+          let k = String.sub item 0 i in
+          let v = String.sub item (i + 1) (String.length item - i - 1) in
+          match int_of_string_opt v with
+          | Some n when k <> "" -> Some (k, n)
+          | _ -> None)
+      | None -> None)
+    (List.filter
+       (fun s -> s <> "")
+       (String.split_on_char ',' body))
 
 let unquote s = try Some (Scanf.sscanf s "%S%!" Fun.id) with _ -> None
 
@@ -84,12 +113,17 @@ let decode record =
       match (unquote id, state_of_string st) with
       | Some id, Some st -> Some (`State (id, st))
       | _ -> None)
+  | [ "counters"; v; id; body ] when String.equal v version -> (
+      match (unquote id, unquote body) with
+      | Some id, Some body -> Some (`Counters (id, decode_counter_body body))
+      | _ -> None)
   | _ -> None
 
 let open_ ?(fsync = false) ~dir () : t =
   let path = log_path dir in
   let replay = Journal.replay ~path in
   let jobs = Hashtbl.create 16 in
+  let job_counters = Hashtbl.create 16 in
   let order = ref [] in
   List.iter
     (fun record ->
@@ -103,13 +137,16 @@ let open_ ?(fsync = false) ~dir () : t =
           match Hashtbl.find_opt jobs id with
           | Some (r, _) -> Hashtbl.replace jobs id (r, st)
           | None -> ())
+      | Some (`Counters (id, kvs)) ->
+          if Hashtbl.mem jobs id then Hashtbl.replace job_counters id kvs
       | None -> () (* checksummed but unparseable: a future record shape *))
     replay.Journal.records;
   (* cut off a torn suffix before appending, or the first new record is
      glued onto the half-written line and lost to the next replay *)
   if replay.Journal.dropped then
     Journal.truncate ~path ~bytes:replay.Journal.valid_bytes;
-  { journal = Journal.open_append ~fsync ~path (); order = !order; jobs }
+  { journal = Journal.open_append ~fsync ~path (); order = !order; jobs;
+    job_counters }
 
 let add t (r : record) =
   if Hashtbl.mem t.jobs r.id then
@@ -126,6 +163,18 @@ let set_state t ~id st =
         Journal.append t.journal (encode_state ~id st);
         Hashtbl.replace t.jobs id (r, st)
       end
+
+let set_counters t ~id kvs =
+  if Hashtbl.mem t.jobs id then begin
+    let kvs = List.sort (fun (a, _) (b, _) -> String.compare a b) kvs in
+    if Hashtbl.find_opt t.job_counters id <> Some kvs then begin
+      Journal.append t.journal (encode_counters ~id kvs);
+      Hashtbl.replace t.job_counters id kvs
+    end
+  end
+
+let counters t ~id =
+  Option.value ~default:[] (Hashtbl.find_opt t.job_counters id)
 
 let entries t =
   List.rev_map (fun id -> Hashtbl.find t.jobs id) t.order

@@ -43,6 +43,19 @@ val set_state : t -> id:string -> state -> unit
 (** Append a state transition for an existing job (unknown ids are
     ignored — the daemon validates first). *)
 
+val set_counters : t -> id:string -> (string * int) list -> unit
+(** Persist the job's latest named-counter snapshot (the scheduler's
+    accumulated [tv-abstain:<reason>] buckets) as a ["counters"] record.
+    The pairs are canonicalized by name and only appended when they
+    differ from the last recorded snapshot; unknown ids are ignored.
+    Replayers that predate counters records skip them (the journal is
+    checksummed, so an unparseable-but-valid record is a future shape,
+    not corruption) — the format stays forward- and backward-compatible. *)
+
+val counters : t -> id:string -> (string * int) list
+(** The job's latest recorded counter snapshot, sorted by name ([[]] if
+    none was ever recorded). *)
+
 val entries : t -> (record * state) list
 (** Every known job with its latest recorded state, in submission order. *)
 

@@ -54,18 +54,47 @@ if ! grep -q "Dataflow\.Ranges" lib/spirv_ir/symval.ml; then
   exit 1
 fi
 
+# the symbolic memory model must take its access paths and in-bounds
+# proofs from the shared Spirv_ir.Memory analysis, not walk access
+# chains privately
+if ! grep -q "Memory\.chain_segs" lib/spirv_ir/symval.ml; then
+  echo "CI: Symval no longer consumes Spirv_ir.Memory.chain_segs —" \
+       "dynamic-index folds must be licensed by the shared memory analysis" >&2
+  exit 1
+fi
+
 # lint gate: every shipped corpus module must be free of lint errors
 # (warnings are allowed; the exit code is 1 only on errors)
 ./_build/default/bin/tbct_cli.exe lint --all
+
+# memory-lint gate: the corpus must also be clean under the four memory
+# rules (three of which are warnings, so the error exit above cannot see
+# them)
+if ./_build/default/bin/tbct_cli.exe lint --all --json \
+    | grep -Eq '"rule":"(possible-out-of-bounds|uninitialized-load|dead-store|redundant-load)"'; then
+  echo "CI: corpus modules carry memory-lint findings" >&2
+  exit 1
+fi
 
 # translation-validation gate: every corpus module — including the looping
 # corpus — must validate cleanly through every target's pipeline — zero
 # Mismatch verdicts (exit 1 on any); abstentions are allowed but never
 # count as bugs
+TVSWEEP=$(mktemp)
 for target in AMD-LLPC Mesa Mesa-Old NVIDIA Pixel-5 Pixel-4 spirv-opt \
               spirv-opt-old SwiftShader; do
-  ./_build/default/bin/tbct_cli.exe tv --all --target "$target" > /dev/null
+  ./_build/default/bin/tbct_cli.exe tv --all --target "$target" --json \
+      > "$TVSWEEP"
+  # memory-coverage gate: with the access-path analysis licensing the
+  # symbolic memory model, no corpus module may abstain for the
+  # dynamic-index reason on any target
+  if grep -q '"reason":"dynamic-index' "$TVSWEEP"; then
+    echo "CI: dynamic-index abstention on target $target — the memory" \
+         "analysis no longer covers the corpus" >&2
+    exit 1
+  fi
 done
+rm -f "$TVSWEEP"
 
 # loop-coverage gate: on the counted-loop corpus the oracle must decide
 # (Equivalent or Mismatch, not Abstained) at least 90% of the modules —
@@ -186,9 +215,9 @@ if cmp -s "$WDIR/hits-default.txt" "$WDIR/hits-weighted.txt"; then
 fi
 rm -rf "$WDIR"
 
-# quick perf smoke: the registry, loop-TV and service perf sections must
-# run and persist their machine-readable summaries (BENCH_PR6.json,
-# BENCH_PR7.json and BENCH_PR8.json at the repo root)
+# quick perf smoke: the registry, loop-TV, service and memory perf
+# sections must run and persist their machine-readable summaries
+# (BENCH_PR6.json through BENCH_PR9.json at the repo root)
 ./_build/default/bench/main.exe --perf-smoke > /dev/null
 if [ ! -s BENCH_PR6.json ]; then
   echo "CI: bench --perf-smoke did not write BENCH_PR6.json" >&2
@@ -208,6 +237,18 @@ if [ ! -s BENCH_PR8.json ]; then
 fi
 if ! grep -q '"hits_identical":true' BENCH_PR8.json; then
   echo "CI: BENCH_PR8.json says fleet jobs drifted from the lone job" >&2
+  exit 1
+fi
+if [ ! -s BENCH_PR9.json ]; then
+  echo "CI: bench --perf-smoke did not write BENCH_PR9.json" >&2
+  exit 1
+fi
+if ! grep -q '"dynamic_index_abstains":0' BENCH_PR9.json; then
+  echo "CI: BENCH_PR9.json reports dynamic-index abstentions on the corpus" >&2
+  exit 1
+fi
+if ! grep -q '"mem_proofs_total"' BENCH_PR9.json; then
+  echo "CI: BENCH_PR9.json is missing the mem_proofs_total figure" >&2
   exit 1
 fi
 
@@ -307,4 +348,4 @@ if ! cmp -s "$SDIR/hits-resumed.txt" "$SDIR/hits-fresh.txt"; then
 fi
 rm -rf "$SDIR"
 
-echo "CI: build + tests + lint + tv + loop-coverage + contract-smoke + store-smoke + registry-gates + perf-smoke + pool-determinism + serve-smoke + invariant checks passed"
+echo "CI: build + tests + lint + tv + loop-coverage + memory-coverage + contract-smoke + store-smoke + registry-gates + perf-smoke + pool-determinism + serve-smoke + invariant checks passed"
