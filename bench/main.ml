@@ -1043,6 +1043,191 @@ let memory_perf () =
   Printf.printf "memory analysis section written to BENCH_PR9.json\n"
 
 (* ------------------------------------------------------------------ *)
+(* Compiled execution kernel: throughput vs the reference interpreter   *)
+
+let compile_perf () =
+  section "Compiled execution kernel: throughput and codec bandwidth";
+  let corpus =
+    Lazy.force Corpus.lowered_references
+    @ Lazy.force Corpus.lowered_loop_references
+    @ Corpus.memory_references
+  in
+  let input = Corpus.default_input in
+  (* (a) bit-equality over the corpus first — the speedup below is
+     meaningless if the kernel ever disagrees with the interpreter *)
+  let pixel_eq a b =
+    match (a, b) with
+    | Spirv_ir.Image.Killed, Spirv_ir.Image.Killed -> true
+    | Spirv_ir.Image.Color u, Spirv_ir.Image.Color v -> Spirv_ir.Value.equal u v
+    | _, _ -> false
+  in
+  let render_eq a b =
+    match (a, b) with
+    | Ok (x : Spirv_ir.Image.t), Ok y ->
+        x.Spirv_ir.Image.width = y.Spirv_ir.Image.width
+        && x.Spirv_ir.Image.height = y.Spirv_ir.Image.height
+        && Array.for_all2 pixel_eq x.Spirv_ir.Image.pixels
+             y.Spirv_ir.Image.pixels
+    | Error (s : Spirv_ir.Interp.trap), Error t -> s = t
+    | _, _ -> false
+  in
+  let programs = List.map (fun (n, m) -> (n, m, Spirv_ir.Compile.lower m)) corpus in
+  let bit_equal =
+    List.for_all
+      (fun (_, m, p) ->
+        render_eq (Spirv_ir.Interp.render m input)
+          (Spirv_ir.Compile.render_batch p input))
+      programs
+  in
+  Printf.printf "corpus bit-equality (compiled vs interpreter): %s\n"
+    (if bit_equal then "ok" else "MISMATCH");
+  (* (b) fragment-execution throughput: full-grid renders per second with
+     each kernel.  The compiled numbers amortize the one-time lowering the
+     way the engine does (per-digest program cache). *)
+  let measure budget f =
+    ignore (f ());
+    let t0 = Unix.gettimeofday () in
+    let n = ref 0 in
+    while Unix.gettimeofday () -. t0 < budget do
+      f ();
+      incr n
+    done;
+    float_of_int !n /. (Unix.gettimeofday () -. t0)
+  in
+  let sweeps_interp =
+    measure 0.4 (fun () ->
+        List.iter (fun (_, m, _) -> ignore (Spirv_ir.Interp.render m input))
+          programs)
+  in
+  let sweeps_compiled =
+    measure 0.4 (fun () ->
+        List.iter
+          (fun (_, _, p) -> ignore (Spirv_ir.Compile.render_batch p input))
+          programs)
+  in
+  let frags_per_sweep =
+    float_of_int
+      (List.length programs * input.Spirv_ir.Input.width
+      * input.Spirv_ir.Input.height)
+  in
+  let renders_per_sweep = float_of_int (List.length programs) in
+  let speedup = sweeps_compiled /. sweeps_interp in
+  let speedup_ok = speedup >= 3.0 in
+  Printf.printf
+    "interpreter: %.0f renders/s (%.0f fragments/s)\n\
+     compiled:    %.0f renders/s (%.0f fragments/s)\n\
+     fragment-execution speedup: %.1fx (gate >= 3.0x: %s)\n"
+    (sweeps_interp *. renders_per_sweep)
+    (sweeps_interp *. frags_per_sweep)
+    (sweeps_compiled *. renders_per_sweep)
+    (sweeps_compiled *. frags_per_sweep)
+    speedup
+    (if speedup_ok then "ok" else "FAIL");
+  (* (c) end-to-end Backend.run throughput (optimizer + validation
+     included), with the engine's cached-program render hook vs the
+     default interpreter hook *)
+  let target = Compilers.Target.swiftshader in
+  let cache = Hashtbl.create 64 in
+  let cached_render m i =
+    let d = Spirv_ir.Digest.of_module m in
+    let p =
+      match Hashtbl.find_opt cache d with
+      | Some p -> p
+      | None ->
+          let p = Spirv_ir.Compile.lower m in
+          Hashtbl.replace cache d p;
+          p
+    in
+    Spirv_ir.Compile.render_batch p i
+  in
+  let runs_interp =
+    measure 0.4 (fun () ->
+        List.iter
+          (fun (_, m, _) -> ignore (Compilers.Backend.run target m input))
+          programs)
+  in
+  let runs_compiled =
+    measure 0.4 (fun () ->
+        List.iter
+          (fun (_, m, _) ->
+            ignore (Compilers.Backend.run ~render:cached_render target m input))
+          programs)
+  in
+  Printf.printf
+    "Backend.run: %.0f runs/s interpreter, %.0f runs/s compiled (%.2fx)\n"
+    (runs_interp *. renders_per_sweep)
+    (runs_compiled *. renders_per_sweep)
+    (runs_compiled /. runs_interp);
+  (* (d) store codec bandwidth on a large rendered image (binary vs text) *)
+  let big =
+    let img = Spirv_ir.Image.create ~width:128 ~height:128 in
+    Array.iteri
+      (fun i _ ->
+        img.Spirv_ir.Image.pixels.(i) <-
+          Spirv_ir.Image.Color
+            (Spirv_ir.Value.VComposite
+               [|
+                 Spirv_ir.Value.VFloat (float_of_int i *. 0.125);
+                 Spirv_ir.Value.VFloat (float_of_int i *. -0.25);
+                 Spirv_ir.Value.VFloat 0.5;
+                 Spirv_ir.Value.VFloat 1.0;
+               |]))
+      img.Spirv_ir.Image.pixels;
+    Compilers.Backend.Rendered img
+  in
+  let enc_bin = Tbct_store.Run_codec.encode_run big in
+  let enc_text = Tbct_store.Run_codec.encode_run_text big in
+  let mbs bytes rate = rate *. float_of_int bytes /. 1e6 in
+  let bin_enc_s =
+    measure 0.2 (fun () -> ignore (Tbct_store.Run_codec.encode_run big))
+  in
+  let bin_dec_s =
+    measure 0.2 (fun () -> ignore (Tbct_store.Run_codec.decode_run enc_bin))
+  in
+  let text_enc_s =
+    measure 0.2 (fun () -> ignore (Tbct_store.Run_codec.encode_run_text big))
+  in
+  let text_dec_s =
+    measure 0.2 (fun () ->
+        ignore (Tbct_store.Run_codec.decode_run_text enc_text))
+  in
+  Printf.printf
+    "run codec on a 128x128 render: binary %d bytes (enc %.0f MB/s, dec %.0f \
+     MB/s), text %d bytes (enc %.0f MB/s, dec %.0f MB/s)\n"
+    (String.length enc_bin)
+    (mbs (String.length enc_bin) bin_enc_s)
+    (mbs (String.length enc_bin) bin_dec_s)
+    (String.length enc_text)
+    (mbs (String.length enc_text) text_enc_s)
+    (mbs (String.length enc_text) text_dec_s);
+  let oc = open_out "BENCH_PR10.json" in
+  Printf.fprintf oc
+    "{\"modules\":%d,\"bit_equal\":%b,\
+     \"interp_renders_s\":%.1f,\"compiled_renders_s\":%.1f,\
+     \"interp_fragments_s\":%.0f,\"compiled_fragments_s\":%.0f,\
+     \"fragment_speedup\":%.2f,\"speedup_ok\":%b,\
+     \"interp_runs_s\":%.1f,\"compiled_runs_s\":%.1f,\"run_speedup\":%.2f,\
+     \"codec\":{\"binary_bytes\":%d,\"text_bytes\":%d,\
+     \"binary_encode_mb_s\":%.1f,\"binary_decode_mb_s\":%.1f,\
+     \"text_encode_mb_s\":%.1f,\"text_decode_mb_s\":%.1f}}\n"
+    (List.length programs) bit_equal
+    (sweeps_interp *. renders_per_sweep)
+    (sweeps_compiled *. renders_per_sweep)
+    (sweeps_interp *. frags_per_sweep)
+    (sweeps_compiled *. frags_per_sweep)
+    speedup speedup_ok
+    (runs_interp *. renders_per_sweep)
+    (runs_compiled *. renders_per_sweep)
+    (runs_compiled /. runs_interp)
+    (String.length enc_bin) (String.length enc_text)
+    (mbs (String.length enc_bin) bin_enc_s)
+    (mbs (String.length enc_bin) bin_dec_s)
+    (mbs (String.length enc_text) text_enc_s)
+    (mbs (String.length enc_text) text_dec_s);
+  close_out oc;
+  Printf.printf "compiled kernel section written to BENCH_PR10.json\n"
+
+(* ------------------------------------------------------------------ *)
 (* Bechamel micro-benchmarks                                           *)
 
 let perf_suite () =
@@ -1113,9 +1298,8 @@ let () =
       ("--perf", Arg.Set perf, "also run the Bechamel micro-benchmarks");
       ( "--perf-smoke",
         Arg.Set perf_smoke,
-        "only the quick registry, loop-TV, service and memory perf sections \
-         (writes BENCH_PR6.json, BENCH_PR7.json, BENCH_PR8.json and \
-         BENCH_PR9.json)" );
+        "only the quick registry, loop-TV, service, memory and compiled-kernel \
+         perf sections (writes BENCH_PR6.json through BENCH_PR10.json)" );
       ("--ablate", Arg.Set ablate, "also run the design ablations");
       ("--quick", Arg.Unit (fun () -> seeds := 60), "small quick run");
       ("--no-campaign", Arg.Set skip_campaign, "only the deterministic figures");
@@ -1130,6 +1314,8 @@ let () =
     service_perf ();
     print_newline ();
     memory_perf ();
+    print_newline ();
+    compile_perf ();
     print_newline ();
     exit 0
   end;
@@ -1160,6 +1346,7 @@ let () =
     loop_tv_perf ();
     service_perf ();
     memory_perf ();
+    compile_perf ();
     perf_suite ()
   end;
   print_newline ()

@@ -934,8 +934,17 @@ let campaign_cmd =
                    family weighted 0 is never drawn.  The default is the \
                    uniform draw, bit-identical to earlier releases.")
   in
+  let reference_interp_arg =
+    Arg.(value & flag
+         & info [ "reference-interp" ]
+             ~doc:"Execute fragments with the reference interpreter instead \
+                   of the flat compiled kernel.  The hit list is \
+                   bit-identical either way; CI runs both and diffs the \
+                   output files to prove it.")
+  in
   let run seeds tool domains stats check_contracts tv weights store resume
-      fsync hits_out =
+      fsync hits_out reference_interp =
+    let compiled = not reference_interp in
     let tool =
       match Harness.Pipeline.tool_of_name tool with
       | Some t -> t
@@ -961,7 +970,7 @@ let campaign_cmd =
             prerr_endline "error: --resume requires --store DIR";
             exit 1
           end;
-          let engine = Harness.Engine.create () in
+          let engine = Harness.Engine.create ~compiled () in
           let hits =
             or_contract_violation (fun () ->
                 Harness.Experiments.run_campaign ~scale ~domains ~engine
@@ -970,7 +979,7 @@ let campaign_cmd =
           (engine, hits)
       | Some dir ->
           let cas = Harness.Persist.open_cas ~fsync ~dir () in
-          let engine = Harness.Engine.create ~store:cas () in
+          let engine = Harness.Engine.create ~store:cas ~compiled () in
           (* Ctrl-C checkpoints instead of killing: the handler flips one
              atomic, the campaign's stop hook sees it before each fresh
              seed, and everything already finished is in the journal — the
@@ -1046,7 +1055,7 @@ let campaign_cmd =
     (Cmd.info "campaign" ~doc:"Run a fuzzing campaign over all targets.")
     Term.(const run $ seeds_arg $ tool_arg $ domains_arg $ stats_arg
           $ check_contracts_arg $ tv_arg $ weights_arg $ store_arg
-          $ resume_arg $ fsync_arg $ hits_out_arg)
+          $ resume_arg $ fsync_arg $ hits_out_arg $ reference_interp_arg)
 
 (* ------------------------------------------------------------------ *)
 (* store: inspect and maintain a campaign store directory               *)
@@ -1251,7 +1260,15 @@ let dedup_cmd =
                 Harness.Experiments.dd_module = m;
               })
   in
-  let run seeds cap domains bank tests_out emit_dir json =
+  let reference_interp_arg =
+    Arg.(value & flag
+         & info [ "reference-interp" ]
+             ~doc:"Execute fragments with the reference interpreter instead \
+                   of the flat compiled kernel.  Reduced tests are \
+                   bit-identical either way; CI runs both and diffs the \
+                   output files to prove it.")
+  in
+  let run seeds cap domains bank tests_out emit_dir json reference_interp =
     let scale =
       {
         Harness.Experiments.default_scale with
@@ -1265,7 +1282,7 @@ let dedup_cmd =
     in
     say "fuzzing %d seeds against every target...
 %!" seeds;
-    let engine = Harness.Engine.create () in
+    let engine = Harness.Engine.create ~compiled:(not reference_interp) () in
     (* one pool serves both phases: campaign seeds, then per-hit reductions *)
     let workers = max 1 (min domains seeds) in
     Harness.Pool.with_pool ~workers @@ fun pool ->
@@ -1450,9 +1467,9 @@ let dedup_cmd =
           minimized module into the store's CAS, and recall already-banked \
           test cases without re-reducing them.  With $(b,--json), one JSON \
           document replaces the tables.")
-    Term.(const (fun s c d b t e j -> Stdlib.exit (run s c d b t e j))
+    Term.(const (fun s c d b t e j r -> Stdlib.exit (run s c d b t e j r))
           $ seeds_arg $ cap_arg $ domains_arg $ bank_arg $ tests_out_arg
-          $ emit_arg $ json_arg)
+          $ emit_arg $ json_arg $ reference_interp_arg)
 
 (* ------------------------------------------------------------------ *)
 (* serve + the fleet client commands                                    *)

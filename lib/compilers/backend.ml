@@ -17,8 +17,14 @@ type run_result =
 
 (** Ground truth for experiments: which injected bug produced a crash
     signature (None for real faults such as validation failures, which get
-    a derived signature). *)
-let run (t : Target.t) (m : Module_ir.t) (input : Input.t) : run_result =
+    a derived signature).
+
+    [render] is the execution kernel applied to the post-miscompile module;
+    it defaults to the reference interpreter.  The harness engine passes
+    the flat compiled kernel here (with its per-digest program cache) —
+    any substitute must be observably bit-identical to [Interp.render]. *)
+let run ?(render = fun m input -> Interp.render m input) (t : Target.t)
+    (m : Module_ir.t) (input : Input.t) : run_result =
   let check_phase phase m =
     List.find_map
       (fun id ->
@@ -53,7 +59,7 @@ let run (t : Target.t) (m : Module_ir.t) (input : Input.t) : run_result =
                           | None -> m)
                         optimized t.Target.miscompile_bug_ids
                     in
-                    match Interp.render corrupted input with
+                    match render corrupted input with
                     | Ok img -> Rendered img
                     | Error Interp.Step_limit_exceeded ->
                         Crashed "device lost (timeout)"

@@ -16,7 +16,17 @@ type run_result =
   | Compiled_ok          (** tooling targets (spirv-opt): no execution *)
   | Crashed of string    (** a crash signature *)
 
-val run : Target.t -> Module_ir.t -> Input.t -> run_result
+val run :
+  ?render:(Module_ir.t -> Input.t -> (Image.t, Interp.trap) result) ->
+  Target.t ->
+  Module_ir.t ->
+  Input.t ->
+  run_result
+(** [render] executes the post-miscompile module over the fragment grid;
+    defaults to {!Interp.render}.  The harness engine substitutes the flat
+    compiled kernel ({!Compile.render_batch} behind a per-digest program
+    cache); any substitute must be observably bit-identical to the
+    reference interpreter. *)
 
 val optimize_reference : Module_ir.t -> Module_ir.t option
 (** Clean [-O] for preparing optimized copies of reference shaders. *)

@@ -22,6 +22,10 @@ type t = {
       (* module digest -> clean -O optimized module *)
   mutable tv_memo : (string * string, Compilers.Tv.verdict) Lru.t;
       (* (before digest, after digest) -> translation-validation verdict *)
+  mutable compile_memo : (string, Compile.t) Lru.t;
+      (* module digest -> lowered program for the flat execution kernel *)
+  use_compiled : bool;
+      (* false: reference-interpreter mode (the differential oracle) *)
   memo_capacity : int;
   baselines : (string * string, Compilers.Backend.run_result) Hashtbl.t;
       (* (target name, reference name) -> result *)
@@ -42,6 +46,8 @@ type t = {
   mutable store_writes : int;
   mutable tv_checks : int;
   mutable tv_hits : int;
+  mutable compiles : int;
+  mutable compile_hits : int;
 }
 
 type stats = {
@@ -54,6 +60,8 @@ type stats = {
   store_writes : int;
   tv_checks : int;
   tv_hits : int;
+  compiles : int;
+  compile_hits : int;
   memo_entries : int;
   memo_capacity : int;
   memo_evictions : int;
@@ -65,12 +73,15 @@ type stats = {
   counters : (string * int) list;
 }
 
-let create ?store ?(memo_capacity = default_memo_capacity) () =
+let create ?store ?(memo_capacity = default_memo_capacity) ?(compiled = true)
+    () =
   {
     lock = Mutex.create ();
     memo = Lru.create ~capacity:memo_capacity;
     opt_memo = Lru.create ~capacity:memo_capacity;
     tv_memo = Lru.create ~capacity:memo_capacity;
+    compile_memo = Lru.create ~capacity:memo_capacity;
+    use_compiled = compiled;
     memo_capacity;
     baselines = Hashtbl.create 64;
     store;
@@ -86,6 +97,8 @@ let create ?store ?(memo_capacity = default_memo_capacity) () =
     store_writes = 0;
     tv_checks = 0;
     tv_hits = 0;
+    compiles = 0;
+    compile_hits = 0;
   }
 
 let cas e = e.store
@@ -114,6 +127,29 @@ let run_store_key (target, mdigest, idigest) =
 
 let opt_store_key mdigest = Cas.key_of_string ("opt:" ^ mdigest)
 let tv_store_key (d1, d2) = Cas.key_of_string (Printf.sprintf "tv:%s:%s" d1 d2)
+
+(* The flat compiled kernel behind a per-digest program cache.  Lowered
+   programs are immutable and freely shareable across domains; the LRU is
+   consulted and updated under the engine lock, and the (pure) lowering
+   itself runs unlocked — a racing duplicate lowering is harmless. *)
+let compiled_program e (m : Module_ir.t) : Compile.t =
+  let d = Digest.of_module m in
+  let cached = locked e (fun () -> Lru.find e.compile_memo d) in
+  match cached with
+  | Some p ->
+      locked e (fun () -> e.compile_hits <- e.compile_hits + 1);
+      p
+  | None ->
+      let p = Compile.lower m in
+      locked e (fun () ->
+          Lru.set e.compile_memo d p;
+          e.compiles <- e.compiles + 1);
+      p
+
+(* The render hook handed to [Backend.run]: it receives the post-miscompile
+   module, which differs from the module the engine was asked about, so it
+   is digested and lowered (through the cache) on its own. *)
+let compiled_render e m input = Compile.render_batch (compiled_program e m) input
 
 (* The mutex is released while the backend runs: two domains missing on the
    same key may both execute, but [Backend.run] is deterministic, so the
@@ -147,7 +183,11 @@ let run e (t : Compilers.Target.t) (m : Module_ir.t) (input : Input.t) :
           r
       | None ->
           let t0 = Unix.gettimeofday () in
-          let r = Compilers.Backend.run t m input in
+          let r =
+            if e.use_compiled then
+              Compilers.Backend.run ~render:(compiled_render e) t m input
+            else Compilers.Backend.run t m input
+          in
           let dt = Unix.gettimeofday () -. t0 in
           let did = (Domain.self () :> int) in
           locked e (fun () ->
@@ -310,12 +350,15 @@ let stats e : stats =
         store_writes = e.store_writes;
         tv_checks = e.tv_checks;
         tv_hits = e.tv_hits;
+        compiles = e.compiles;
+        compile_hits = e.compile_hits;
         memo_entries =
-          Lru.length e.memo + Lru.length e.opt_memo + Lru.length e.tv_memo;
+          Lru.length e.memo + Lru.length e.opt_memo + Lru.length e.tv_memo
+          + Lru.length e.compile_memo;
         memo_capacity = e.memo_capacity;
         memo_evictions =
           Lru.evictions e.memo + Lru.evictions e.opt_memo
-          + Lru.evictions e.tv_memo;
+          + Lru.evictions e.tv_memo + Lru.evictions e.compile_memo;
         runs_saved;
         hit_rate =
           (if looked_up = 0 then 0.0
@@ -338,6 +381,7 @@ let reset e =
       e.memo <- Lru.create ~capacity:e.memo_capacity;
       e.opt_memo <- Lru.create ~capacity:e.memo_capacity;
       e.tv_memo <- Lru.create ~capacity:e.memo_capacity;
+      e.compile_memo <- Lru.create ~capacity:e.memo_capacity;
       Hashtbl.reset e.baselines;
       Hashtbl.reset e.stage_wall;
       Hashtbl.reset e.domain_runs;
@@ -350,7 +394,9 @@ let reset e =
       e.store_hits <- 0;
       e.store_writes <- 0;
       e.tv_checks <- 0;
-      e.tv_hits <- 0)
+      e.tv_hits <- 0;
+      e.compiles <- 0;
+      e.compile_hits <- 0)
 
 let pp_stats fmt (s : stats) =
   Format.fprintf fmt
@@ -367,6 +413,9 @@ let pp_stats fmt (s : stats) =
     Format.fprintf fmt "@\ntv: %d checks, %d memoized (%.1f%% hit rate)"
       s.tv_checks s.tv_hits
       (100.0 *. float_of_int s.tv_hits /. float_of_int s.tv_checks);
+  if s.compiles > 0 || s.compile_hits > 0 then
+    Format.fprintf fmt "@\ncompile: %d modules lowered, %d program-cache hits"
+      s.compiles s.compile_hits;
   if s.stages <> [] then begin
     Format.fprintf fmt "@\nstage wall-clock:";
     List.iter (fun (k, v) -> Format.fprintf fmt "@\n  %-10s %8.3fs" k v) s.stages

@@ -48,6 +48,8 @@ type stats = {
   store_writes : int;    (** objects written through to the disk store *)
   tv_checks : int;       (** translation-validation checks requested *)
   tv_hits : int;         (** TV verdicts served without re-validating *)
+  compiles : int;        (** modules lowered by the flat execution kernel *)
+  compile_hits : int;    (** renders served by an already-lowered program *)
   memo_entries : int;    (** current entries across the memo tables *)
   memo_capacity : int;   (** the per-table LRU entry cap *)
   memo_evictions : int;  (** entries evicted by the LRU bound *)
@@ -71,11 +73,22 @@ type stats = {
 
 val default_memo_capacity : int
 
-val create : ?store:Tbct_store.Cas.t -> ?memo_capacity:int -> unit -> t
+val create :
+  ?store:Tbct_store.Cas.t -> ?memo_capacity:int -> ?compiled:bool -> unit -> t
 (** A fresh engine with empty caches and zeroed counters.  [store] makes
     the run cache and the optimize cache read-through/write-through to the
     given on-disk CAS; [memo_capacity] (default
-    {!default_memo_capacity}) bounds each in-memory table. *)
+    {!default_memo_capacity}) bounds each in-memory table.
+
+    [compiled] (default [true]) selects the execution kernel for the hot
+    path: modules are lowered once by {!Spirv_ir.Compile.lower} into flat
+    programs, cached per module digest in an LRU ([compiles] /
+    [compile_hits] in {!stats}), and executed with
+    {!Spirv_ir.Compile.render_batch} — observably bit-identical to the
+    reference interpreter.  [~compiled:false] keeps every render on
+    {!Spirv_ir.Interp.render}: the reference-interpreter mode the CI
+    byte-equality gate runs campaigns under (the differential oracle for
+    the kernel itself). *)
 
 val cas : t -> Tbct_store.Cas.t option
 (** The disk store this engine is backed by, if any. *)

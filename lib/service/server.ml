@@ -87,6 +87,8 @@ let engine_json (s : Harness.Engine.stats) =
       ("store_writes", Json.Int s.Harness.Engine.store_writes);
       ("tv_checks", Json.Int s.Harness.Engine.tv_checks);
       ("tv_hits", Json.Int s.Harness.Engine.tv_hits);
+      ("compiles", Json.Int s.Harness.Engine.compiles);
+      ("compile_hits", Json.Int s.Harness.Engine.compile_hits);
       ("memo_entries", Json.Int s.Harness.Engine.memo_entries);
       ("memo_evictions", Json.Int s.Harness.Engine.memo_evictions);
       ("runs_saved", Json.Int s.Harness.Engine.runs_saved);

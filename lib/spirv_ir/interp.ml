@@ -234,36 +234,65 @@ let make_frag_coord m ~frag_x ~frag_y =
   Value.VComposite
     [| Value.VFloat (float_of_int frag_x +. 0.5); Value.VFloat (float_of_int frag_y +. 0.5) |]
 
+(* Per-render plan for the globals: the pointee/storage checks, uniform
+   resolution and initializer evaluation are done once; between fragments
+   only the cells are reset (the Input-class coordinate is the only
+   per-fragment value).  Evaluation order per global is unchanged, so trap
+   precedence matches the old per-fragment allocation exactly. *)
+type global_slot = {
+  gs_cell : Value.t ref;
+  gs_coord : bool;    (* an Input-class variable: rebuilt per fragment *)
+  gs_value : Value.t; (* reset value when not [gs_coord] *)
+}
+
+let global_plan m (input : Input.t) =
+  let slots = ref [] in
+  let globals =
+    List.fold_left
+      (fun acc (g : Module_ir.global_decl) ->
+        let pointee =
+          match Module_ir.find_type m g.Module_ir.gd_ty with
+          | Some (Ty.Pointer (_, p)) -> p
+          | Some _ | None ->
+              raise (Trap (Invalid_module ("global with non-pointer type: " ^ g.Module_ir.gd_name)))
+        in
+        let storage =
+          match Module_ir.find_type m g.Module_ir.gd_ty with
+          | Some (Ty.Pointer (sc, _)) -> sc
+          | Some _ | None -> Ty.Private
+        in
+        let coord, value =
+          match storage with
+          | Ty.Uniform -> (
+              match Input.find_uniform input g.Module_ir.gd_name with
+              | Some v -> (false, v)
+              | None -> raise (Trap (Missing_uniform g.Module_ir.gd_name)))
+          | Ty.Input -> (true, Value.VComposite [||])
+          | Ty.Private | Ty.Output | Ty.Function -> (
+              match g.Module_ir.gd_init with
+              | Some c -> (false, Module_ir.const_value m c)
+              | None -> (false, Module_ir.zero_value m pointee))
+        in
+        let cell = ref value in
+        slots := { gs_cell = cell; gs_coord = coord; gs_value = value } :: !slots;
+        Id.Map.add g.Module_ir.gd_id
+          (Ptr { cell; path = []; root = g.Module_ir.gd_id })
+          acc)
+      Id.Map.empty m.Module_ir.globals
+  in
+  (globals, Array.of_list (List.rev !slots))
+
+let reset_globals m slots ~frag_x ~frag_y =
+  Array.iter
+    (fun s ->
+      s.gs_cell :=
+        if s.gs_coord then make_frag_coord m ~frag_x ~frag_y else s.gs_value)
+    slots
+
 let allocate_globals m (input : Input.t) ~frag_x ~frag_y =
-  List.fold_left
-    (fun acc (g : Module_ir.global_decl) ->
-      let pointee =
-        match Module_ir.find_type m g.Module_ir.gd_ty with
-        | Some (Ty.Pointer (_, p)) -> p
-        | Some _ | None ->
-            raise (Trap (Invalid_module ("global with non-pointer type: " ^ g.Module_ir.gd_name)))
-      in
-      let storage =
-        match Module_ir.find_type m g.Module_ir.gd_ty with
-        | Some (Ty.Pointer (sc, _)) -> sc
-        | Some _ | None -> Ty.Private
-      in
-      let initial =
-        match storage with
-        | Ty.Uniform -> (
-            match Input.find_uniform input g.Module_ir.gd_name with
-            | Some v -> v
-            | None -> raise (Trap (Missing_uniform g.Module_ir.gd_name)))
-        | Ty.Input -> make_frag_coord m ~frag_x ~frag_y
-        | Ty.Private | Ty.Output | Ty.Function -> (
-            match g.Module_ir.gd_init with
-            | Some c -> Module_ir.const_value m c
-            | None -> Module_ir.zero_value m pointee)
-      in
-      Id.Map.add g.Module_ir.gd_id
-        (Ptr { cell = ref initial; path = []; root = g.Module_ir.gd_id })
-        acc)
-    Id.Map.empty m.Module_ir.globals
+  let globals, slots = global_plan m input in
+  reset_globals m slots ~frag_x ~frag_y;
+  globals
 
 let default_step_limit = 100_000
 
@@ -296,20 +325,50 @@ let run_fragment ?(step_limit = default_step_limit) ?trace ?mem_trace m input
   with Trap t -> Error t
 
 let render ?(step_limit = default_step_limit) m input =
-  let img = Image.create ~width:input.Input.width ~height:input.Input.height in
-  let result = ref (Ok img) in
-  (try
-     for y = 0 to input.Input.height - 1 do
-       for x = 0 to input.Input.width - 1 do
-         match run_fragment ~step_limit m input ~frag_x:x ~frag_y:y with
-         | Ok px -> Image.set img ~x ~y px
-         | Error t ->
-             result := Error t;
-             raise Exit
-       done
-     done
-   with Exit -> ());
-  !result
+  let width = input.Input.width and height = input.Input.height in
+  let img = Image.create ~width ~height in
+  if width <= 0 || height <= 0 then Ok img
+  else
+    try
+      (* Hoisted out of the fragment loop: the globals structure (one set
+         of cells, reset between fragments), the entry function and the
+         output pointer.  The image stays local to this call, so a trapping
+         fragment can never leak a partially-written image. *)
+      let globals, slots = global_plan m input in
+      let st = { m; steps = 0; step_limit; globals; trace = None; mem_trace = None } in
+      let entry = Module_ir.entry_function m in
+      let output =
+        match
+          List.find_opt
+            (fun (g : Module_ir.global_decl) ->
+              match Module_ir.find_type m g.Module_ir.gd_ty with
+              | Some (Ty.Pointer (Ty.Output, _)) -> true
+              | Some _ | None -> false)
+            m.Module_ir.globals
+        with
+        | Some g -> (
+            match Id.Map.find_opt g.Module_ir.gd_id globals with
+            | Some (Ptr p) -> Some p
+            | Some (Val _) | None -> raise (Trap (Invalid_module "output not allocated")))
+        | None -> None
+      in
+      for y = 0 to height - 1 do
+        for x = 0 to width - 1 do
+          reset_globals m slots ~frag_x:x ~frag_y:y;
+          st.steps <- 0;
+          let px =
+            try
+              ignore (exec_function st entry []);
+              match output with
+              | Some p -> Image.Color (load p)
+              | None -> Image.Color (Value.VComposite [||])
+            with Kill_fragment -> Image.Killed
+          in
+          Image.set img ~x ~y px
+        done
+      done;
+      Ok img
+    with Trap t -> Error t
 
 let run_function ?(step_limit = default_step_limit) ?trace ?mem_trace m ~fn
     ~args =

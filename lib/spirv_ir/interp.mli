@@ -21,6 +21,9 @@ val trap_to_string : trap -> string
 
 type outcome = (Image.pixel, trap) result
 
+val default_step_limit : int
+(** The step budget applied when [?step_limit] is omitted: 100_000. *)
+
 val run_fragment :
   ?step_limit:int ->
   ?trace:(Id.t -> Value.t -> unit) ->

@@ -22,7 +22,20 @@ let rec encode_value buf (v : Value.t) =
       Buffer.add_string buf (Int32.to_string i)
   | Value.VFloat f ->
       Buffer.add_char buf 'f';
-      Buffer.add_string buf (Printf.sprintf "%h" f)
+      (* [%h] round-trips every float except NaNs, whose payload bits
+         [float_of_string] does not restore (every textual NaN parses to
+         the default quiet NaN).  Such values fall back to an explicit
+         bit-pattern escape, [f#<hex bits>], so the codec is exact on all
+         2^64 payloads. *)
+      let hex = Printf.sprintf "%h" f in
+      let bits = Int64.bits_of_float f in
+      let survives =
+        match float_of_string_opt hex with
+        | Some g -> Int64.equal bits (Int64.bits_of_float g)
+        | None -> false
+      in
+      if survives then Buffer.add_string buf hex
+      else Buffer.add_string buf (Printf.sprintf "#%Lx" bits)
   | Value.VComposite elems ->
       Buffer.add_char buf '(';
       Array.iteri
@@ -74,10 +87,17 @@ let rec parse_value s pos =
           match Int32.of_string_opt tok with
           | Some i -> Value.VInt i
           | None -> raise (Bad ("int: " ^ tok)))
-      | _ -> (
-          match float_of_string_opt tok with
-          | Some f -> Value.VFloat f
-          | None -> raise (Bad ("float: " ^ tok))))
+      | _ ->
+          if String.length tok > 0 && tok.[0] = '#' then
+            match
+              Int64.of_string_opt ("0x" ^ String.sub tok 1 (String.length tok - 1))
+            with
+            | Some bits -> Value.VFloat (Int64.float_of_bits bits)
+            | None -> raise (Bad ("float bits: " ^ tok))
+          else (
+            match float_of_string_opt tok with
+            | Some f -> Value.VFloat f
+            | None -> raise (Bad ("float: " ^ tok))))
   | c -> raise (Bad (Printf.sprintf "value: unexpected %C" c))
 
 let value_to_string v =
@@ -93,9 +113,9 @@ let value_of_string s =
   | exception Bad _ -> None
 
 (* ------------------------------------------------------------------ *)
-(* Run results *)
+(* Run results: text codec (the legacy store format, still read) *)
 
-let encode_run (r : Compilers.Backend.run_result) : string =
+let encode_run_text (r : Compilers.Backend.run_result) : string =
   match r with
   | Compilers.Backend.Compiled_ok -> "ok"
   | Compilers.Backend.Crashed s -> Printf.sprintf "crash %S" s
@@ -114,7 +134,7 @@ let encode_run (r : Compilers.Backend.run_result) : string =
         img.Image.pixels;
       Buffer.contents buf
 
-let decode_run (s : string) : Compilers.Backend.run_result option =
+let decode_run_text (s : string) : Compilers.Backend.run_result option =
   if String.equal s "ok" then Some Compilers.Backend.Compiled_ok
   else if String.length s >= 6 && String.equal (String.sub s 0 6) "crash " then
     match Scanf.sscanf (String.sub s 6 (String.length s - 6)) "%S%!" Fun.id with
@@ -153,6 +173,132 @@ let decode_run (s : string) : Compilers.Backend.run_result option =
                      { Image.width = w; Image.height = h; Image.pixels }))
         | _ -> None)
     | [] -> None
+
+(* ------------------------------------------------------------------ *)
+(* Run results: binary codec (the current store format)
+
+   Layout: a leading version byte 0x01 (no legacy text object starts with
+   it: they begin with 'o', 'c' or 'i'), then a tag byte — 0 Compiled_ok,
+   1 Crashed (u32 length + bytes), 2 Rendered (u32 width, u32 height,
+   then width*height pixels: 0 = Killed, 1 = Color + value).  Values are
+   tag-prefixed: 0/1 VBool, 2 VInt (int32 LE), 3 VFloat
+   (Int64.bits_of_float, LE — exact on every payload by construction),
+   4 VComposite (u32 count + elements).  All integers little-endian. *)
+
+let binary_version = '\001'
+
+let rec add_value_bin buf (v : Value.t) =
+  match v with
+  | Value.VBool false -> Buffer.add_char buf '\000'
+  | Value.VBool true -> Buffer.add_char buf '\001'
+  | Value.VInt i ->
+      Buffer.add_char buf '\002';
+      Buffer.add_int32_le buf i
+  | Value.VFloat f ->
+      Buffer.add_char buf '\003';
+      Buffer.add_int64_le buf (Int64.bits_of_float f)
+  | Value.VComposite elems ->
+      Buffer.add_char buf '\004';
+      Buffer.add_int32_le buf (Int32.of_int (Array.length elems));
+      Array.iter (add_value_bin buf) elems
+
+let rd_byte s pos =
+  if !pos >= String.length s then raise (Bad "eof");
+  let c = s.[!pos] in
+  incr pos;
+  c
+
+let rd_int32 s pos =
+  if !pos + 4 > String.length s then raise (Bad "eof");
+  let v = String.get_int32_le s !pos in
+  pos := !pos + 4;
+  v
+
+let rd_int64 s pos =
+  if !pos + 8 > String.length s then raise (Bad "eof");
+  let v = String.get_int64_le s !pos in
+  pos := !pos + 8;
+  v
+
+let rd_len s pos =
+  let n = Int32.to_int (rd_int32 s pos) in
+  (* every encoded element occupies at least one byte, so a count beyond
+     the remaining bytes is corruption, not a huge allocation request *)
+  if n < 0 || n > String.length s - !pos then raise (Bad "length");
+  n
+
+let rec rd_value s pos =
+  match rd_byte s pos with
+  | '\000' -> Value.VBool false
+  | '\001' -> Value.VBool true
+  | '\002' -> Value.VInt (rd_int32 s pos)
+  | '\003' -> Value.VFloat (Int64.float_of_bits (rd_int64 s pos))
+  | '\004' ->
+      let n = rd_len s pos in
+      Value.VComposite (Array.init n (fun _ -> rd_value s pos))
+  | c -> raise (Bad (Printf.sprintf "value tag %C" c))
+
+let encode_run (r : Compilers.Backend.run_result) : string =
+  let buf = Buffer.create 256 in
+  Buffer.add_char buf binary_version;
+  (match r with
+  | Compilers.Backend.Compiled_ok -> Buffer.add_char buf '\000'
+  | Compilers.Backend.Crashed sg ->
+      Buffer.add_char buf '\001';
+      Buffer.add_int32_le buf (Int32.of_int (String.length sg));
+      Buffer.add_string buf sg
+  | Compilers.Backend.Rendered img ->
+      Buffer.add_char buf '\002';
+      Buffer.add_int32_le buf (Int32.of_int img.Image.width);
+      Buffer.add_int32_le buf (Int32.of_int img.Image.height);
+      Array.iter
+        (fun (p : Image.pixel) ->
+          match p with
+          | Image.Killed -> Buffer.add_char buf '\000'
+          | Image.Color v ->
+              Buffer.add_char buf '\001';
+              add_value_bin buf v)
+        img.Image.pixels);
+  Buffer.contents buf
+
+let decode_run_binary (s : string) : Compilers.Backend.run_result option =
+  let pos = ref 1 (* past the version byte *) in
+  match
+    let r =
+      match rd_byte s pos with
+      | '\000' -> Compilers.Backend.Compiled_ok
+      | '\001' ->
+          let n = rd_len s pos in
+          let sg = String.sub s !pos n in
+          pos := !pos + n;
+          Compilers.Backend.Crashed sg
+      | '\002' ->
+          let w = Int32.to_int (rd_int32 s pos) in
+          let h = Int32.to_int (rd_int32 s pos) in
+          if w <= 0 || h <= 0 || w * h > String.length s - !pos then
+            raise (Bad "dimensions");
+          let pixels =
+            Array.init (w * h) (fun _ ->
+                match rd_byte s pos with
+                | '\000' -> Image.Killed
+                | '\001' -> Image.Color (rd_value s pos)
+                | c -> raise (Bad (Printf.sprintf "pixel tag %C" c)))
+          in
+          Compilers.Backend.Rendered
+            { Image.width = w; Image.height = h; Image.pixels }
+      | c -> raise (Bad (Printf.sprintf "run tag %C" c))
+    in
+    if !pos <> String.length s then raise (Bad "trailing bytes");
+    r
+  with
+  | r -> Some r
+  | exception Bad _ -> None
+
+(* Version sniffing keeps existing stores readable: objects written by the
+   text codec never begin with the binary version byte. *)
+let decode_run (s : string) : Compilers.Backend.run_result option =
+  if String.length s > 0 && s.[0] = binary_version then decode_run_binary s
+  else decode_run_text s
 
 (* ------------------------------------------------------------------ *)
 (* Translation-validation verdicts *)

@@ -1,17 +1,34 @@
-(** Exact textual codecs for store artifacts.
+(** Exact codecs for store artifacts.
 
-    Round-tripping is lossless by construction (floats in hexadecimal
-    notation, modules via the invertible Disasm/Asm pair): a decoded run
-    result is structurally equal to the encoded one, which is what lets
-    the engine substitute disk-cached results inside interestingness tests
-    without affecting what ddmin keeps (DESIGN.md §7). *)
+    Round-tripping is lossless by construction: a decoded run result is
+    structurally equal to the encoded one, which is what lets the engine
+    substitute disk-cached results inside interestingness tests without
+    affecting what ddmin keeps (DESIGN.md §7 and §14).
+
+    Run results use a compact length-prefixed binary format (floats as
+    [Int64.bits_of_float], exact on every NaN payload); a leading version
+    byte distinguishes it from the legacy text format, which {!decode_run}
+    still reads so existing stores stay usable.  The text codec prints
+    floats in [%h] hexadecimal notation with an explicit [#<bits>] escape
+    for the NaN payloads [%h] cannot round-trip.  Modules reuse the
+    invertible Disasm/Asm pair, whose exactness the digest layer already
+    depends on. *)
 
 open Spirv_ir
 
 val encode_run : Compilers.Backend.run_result -> string
+(** Binary encoding (version-prefixed). *)
+
 val decode_run : string -> Compilers.Backend.run_result option
-(** [None] on a corrupt or truncated object — callers treat that as a
-    cache miss and recompute. *)
+(** Decodes both the binary format and the legacy text format (version
+    sniffing on the first byte).  [None] on a corrupt or truncated
+    object — callers treat that as a cache miss and recompute. *)
+
+val encode_run_text : Compilers.Backend.run_result -> string
+(** The legacy text encoding — kept for old-store read-back tests and
+    cross-format tooling. *)
+
+val decode_run_text : string -> Compilers.Backend.run_result option
 
 val encode_module : Module_ir.t -> string
 val decode_module : string -> Module_ir.t option

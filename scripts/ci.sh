@@ -20,6 +20,21 @@ if grep -rn "baseline_cache" lib/harness; then
   exit 1
 fi
 
+# compiled-kernel invariant: the engine hot path executes through the flat
+# compiled kernel (one-time lowering, per-digest program cache); the
+# tree-walking interpreter stays out of lib/harness — it is the
+# differential oracle behind --reference-interp, reached only via the
+# default render hook inside Compilers.Backend
+if grep -n "Interp\.render" lib/harness/*.ml; then
+  echo "CI: Interp.render on the harness hot path — renders must go" \
+       "through Spirv_ir.Compile.render_batch" >&2
+  exit 1
+fi
+if ! grep -q "Compile\.render_batch" lib/harness/engine.ml; then
+  echo "CI: Harness.Engine no longer uses the compiled execution kernel" >&2
+  exit 1
+fi
+
 # shared-analysis invariant: dominance/def-use facts are derived once, in
 # Spirv_ir.Dataflow; the validator, lint and Analysis consume them rather
 # than building their own CFG or dominator tree
@@ -251,6 +266,19 @@ if ! grep -q '"mem_proofs_total"' BENCH_PR9.json; then
   echo "CI: BENCH_PR9.json is missing the mem_proofs_total figure" >&2
   exit 1
 fi
+if [ ! -s BENCH_PR10.json ]; then
+  echo "CI: bench --perf-smoke did not write BENCH_PR10.json" >&2
+  exit 1
+fi
+if ! grep -q '"bit_equal":true' BENCH_PR10.json; then
+  echo "CI: BENCH_PR10.json reports a compiled-vs-interpreter mismatch" >&2
+  exit 1
+fi
+if ! grep -q '"speedup_ok":true' BENCH_PR10.json; then
+  echo "CI: compiled kernel is below the 3x fragment-throughput gate" \
+       "(see fragment_speedup in BENCH_PR10.json)" >&2
+  exit 1
+fi
 
 # pool determinism gate: a parallel campaign's hit list and a parallel
 # dedup run's reduced tests must be byte-identical to the sequential ones
@@ -269,6 +297,41 @@ fi
     --tests-out "$STORE/tests-par.txt" > /dev/null
 if ! cmp -s "$STORE/tests-seq.txt" "$STORE/tests-par.txt"; then
   echo "CI: 4-domain parallel reduction differs from the sequential one" >&2
+  exit 1
+fi
+
+# compiled-kernel equivalence gate: a campaign and a dedup run over all
+# nine targets must be byte-identical between the flat compiled kernel
+# (the default) and the reference interpreter (--reference-interp), at
+# both --domains 1 and --domains 4.  The hits/tests files above came from
+# default (compiled) runs, so diffing against reference runs proves the
+# kernels agree on every fragment the campaign executes.
+./_build/default/bin/tbct_cli.exe campaign --seeds 40 --domains 1 \
+    --reference-interp --hits-out "$STORE/hits-refint-seq.txt" > /dev/null
+if ! cmp -s "$STORE/hits-seq.txt" "$STORE/hits-refint-seq.txt"; then
+  echo "CI: compiled-kernel campaign differs from the reference" \
+       "interpreter (sequential)" >&2
+  exit 1
+fi
+./_build/default/bin/tbct_cli.exe campaign --seeds 40 --domains 4 \
+    --reference-interp --hits-out "$STORE/hits-refint-par.txt" > /dev/null
+if ! cmp -s "$STORE/hits-par.txt" "$STORE/hits-refint-par.txt"; then
+  echo "CI: compiled-kernel campaign differs from the reference" \
+       "interpreter (4 domains)" >&2
+  exit 1
+fi
+./_build/default/bin/tbct_cli.exe dedup --seeds 40 --domains 1 \
+    --reference-interp --tests-out "$STORE/tests-refint-seq.txt" > /dev/null
+if ! cmp -s "$STORE/tests-seq.txt" "$STORE/tests-refint-seq.txt"; then
+  echo "CI: compiled-kernel reduction differs from the reference" \
+       "interpreter (sequential)" >&2
+  exit 1
+fi
+./_build/default/bin/tbct_cli.exe dedup --seeds 40 --domains 4 \
+    --reference-interp --tests-out "$STORE/tests-refint-par.txt" > /dev/null
+if ! cmp -s "$STORE/tests-par.txt" "$STORE/tests-refint-par.txt"; then
+  echo "CI: compiled-kernel reduction differs from the reference" \
+       "interpreter (4 domains)" >&2
   exit 1
 fi
 
@@ -348,4 +411,4 @@ if ! cmp -s "$SDIR/hits-resumed.txt" "$SDIR/hits-fresh.txt"; then
 fi
 rm -rf "$SDIR"
 
-echo "CI: build + tests + lint + tv + loop-coverage + memory-coverage + contract-smoke + store-smoke + registry-gates + perf-smoke + pool-determinism + serve-smoke + invariant checks passed"
+echo "CI: build + tests + lint + tv + loop-coverage + memory-coverage + contract-smoke + store-smoke + registry-gates + perf-smoke + pool-determinism + compiled-kernel-equivalence + serve-smoke + invariant checks passed"

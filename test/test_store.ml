@@ -37,8 +37,10 @@ let fresh_dir =
 (* ------------------------------------------------------------------ *)
 (* Codecs: exact round trips *)
 
-(* no NaN: round-tripping loses the payload bits and Value.equal compares
-   float bits exactly *)
+(* NaN payloads do round-trip (the text codec's #bits escape, the binary
+   codec's Int64 bits) — the hostile-float properties live in
+   test_compile.ml; this generator scrubs NaN only because the run
+   round-trip below compares with structural (=), where nan <> nan *)
 let value_gen =
   let open QCheck.Gen in
   let base =
